@@ -1,0 +1,58 @@
+// Ablation: GraphLab synchronous vs asynchronous engine. The paper ran
+// GraphLab in sync mode to match the other platforms; its native async
+// engine converges label propagation with far fewer vertex updates and no
+// barriers, at the price of fine-grained communication.
+#include "bench_common.h"
+
+#include "algorithms/gas_programs.h"
+#include "platforms/gas/engine.h"
+
+namespace {
+
+using namespace gb;
+
+template <bool kAsync>
+double run_conn(const datasets::Dataset& ds) {
+  sim::ClusterConfig cfg = bench::paper_cluster();
+  cfg.work_scale = ds.extrapolation();
+  sim::Cluster cluster(cfg);
+  platforms::PhaseRecorder rec(cluster);
+  algorithms::gas::ConnProgram prog;
+  std::vector<std::uint64_t> data(ds.graph.num_vertices());
+  for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) data[v] = v;
+  std::vector<std::uint8_t> active(ds.graph.num_vertices(), 1);
+  if constexpr (kAsync) {
+    platforms::gas::run_async(ds.graph, prog, data, active, cluster, rec, {},
+                              1e15);
+  } else {
+    platforms::gas::run_sync(ds.graph, prog, data, active, cluster, rec, {},
+                             1e15);
+  }
+  return rec.result().total_time;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gb;
+  harness::Table table("Ablation: GraphLab sync vs async engine, CONN");
+  table.set_header({"Dataset", "Sync", "Async", "Async speedup"});
+
+  const datasets::DatasetId ids[] = {
+      datasets::DatasetId::kAmazon,
+      datasets::DatasetId::kKGS,
+      datasets::DatasetId::kCitation,
+      datasets::DatasetId::kDotaLeague,
+  };
+  for (const auto id : ids) {
+    const auto ds = bench::load(id);
+    const double sync_t = run_conn<false>(ds);
+    const double async_t = run_conn<true>(ds);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", sync_t / async_t);
+    table.add_row({ds.name, harness::format_seconds(sync_t),
+                   harness::format_seconds(async_t), speedup});
+  }
+  bench::write_table(table, "ablation_async.csv");
+  return 0;
+}

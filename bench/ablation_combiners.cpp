@@ -1,0 +1,61 @@
+// Ablation: Pregel message combiners. BFS and CONN only need the minimum
+// message per destination, so a sender-side combiner collapses the
+// superstep-one message flood. Measures time and whether combining moves
+// the platform out of its crash regime on the largest graph.
+#include "bench_common.h"
+
+#include "algorithms/pregel_programs.h"
+#include "platforms/pregel/engine.h"
+
+namespace {
+
+using namespace gb;
+
+harness::Measurement run_conn(const datasets::Dataset& ds, bool combiner) {
+  sim::ClusterConfig cfg = bench::paper_cluster();
+  cfg.work_scale = ds.extrapolation();
+  sim::Cluster cluster(cfg);
+  platforms::PhaseRecorder rec(cluster);
+  platforms::pregel::EngineConfig config;
+  config.use_combiner = combiner;
+  algorithms::pregel::ConnProgram prog;
+  harness::Measurement m;
+  try {
+    const auto out =
+        platforms::pregel::run_bsp<std::uint64_t, std::uint64_t>(
+            ds.graph, prog, cluster, rec, 20.0 * 3600.0, 0, config);
+    (void)out;
+    m.outcome = harness::Outcome::kOk;
+    m.result = rec.finish({});
+  } catch (const PlatformError& e) {
+    m.outcome = e.kind() == PlatformError::Kind::kOutOfMemory
+                    ? harness::Outcome::kOutOfMemory
+                    : harness::Outcome::kError;
+    m.message = e.what();
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gb;
+  harness::Table table("Ablation: Pregel combiners, CONN");
+  table.set_header({"Dataset", "No combiner", "Min-combiner"});
+
+  const datasets::DatasetId ids[] = {
+      datasets::DatasetId::kKGS,
+      datasets::DatasetId::kDotaLeague,
+      datasets::DatasetId::kSynth,
+      datasets::DatasetId::kFriendster,
+  };
+  for (const auto id : ids) {
+    const auto ds = bench::load(id);
+    const auto off = run_conn(ds, false);
+    const auto on = run_conn(ds, true);
+    table.add_row({ds.name, harness::format_measurement(off),
+                   harness::format_measurement(on)});
+  }
+  bench::write_table(table, "ablation_combiners.csv");
+  return 0;
+}

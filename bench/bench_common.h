@@ -1,0 +1,89 @@
+// Shared setup for the bench binaries: dataset loading at benchmark
+// scales, the paper's fixed cluster configuration, and cell helpers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/platform_suite.h"
+#include "datasets/catalog.h"
+#include "harness/experiment.h"
+#include "harness/metrics.h"
+#include "harness/report.h"
+#include "sim/cluster.h"
+
+namespace gb::bench {
+
+/// Dataset scale for the experiment binaries. Full paper scale by default
+/// (structural effects — BFS iteration counts, STATS message-volume
+/// crashes — are scale-sensitive). Override with e.g. GB_BENCH_SCALE=0.05
+/// for a quick smoke run; the cost model extrapolates counted work back to
+/// full size either way, at the cost of structural fidelity.
+inline double bench_scale() {
+  if (const char* env = std::getenv("GB_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+/// Friendster is additionally capped (1.8 G edges do not fit one host).
+inline double dataset_scale(datasets::DatasetId id) {
+  const double base = bench_scale();
+  const double cap = datasets::info(id).default_scale;
+  return std::min(base, cap);
+}
+
+inline datasets::Dataset load(datasets::DatasetId id) {
+  std::cerr << "[bench] loading " << datasets::info(id).name << " @ scale "
+            << dataset_scale(id) << "...\n";
+  return datasets::load_or_generate(id, dataset_scale(id));
+}
+
+/// The paper's fixed execution infrastructure (Section 4.1): 20 computing
+/// nodes, 1 core each, plus the master.
+inline sim::ClusterConfig paper_cluster(std::uint32_t workers = 20,
+                                        std::uint32_t cores = 1) {
+  sim::ClusterConfig cfg;
+  cfg.num_workers = workers;
+  cfg.cores_per_worker = cores;
+  return cfg;
+}
+
+inline harness::Measurement run(const platforms::Platform& platform,
+                                const datasets::Dataset& ds,
+                                platforms::Algorithm algorithm,
+                                std::uint32_t workers = 20,
+                                std::uint32_t cores = 1) {
+  return harness::run_cell(platform, ds, algorithm,
+                           harness::default_params(ds),
+                           paper_cluster(workers, cores));
+}
+
+/// Where CSV copies of every table land.
+inline std::string results_dir() {
+  if (const char* env = std::getenv("GB_RESULTS_DIR")) return env;
+  return "results";
+}
+
+inline void write_csv_only(const harness::Table& table,
+                           const std::string& file_name) {
+  std::error_code ec;
+  std::filesystem::create_directories(results_dir(), ec);
+  if (!ec) {
+    table.write_csv((std::filesystem::path(results_dir()) / file_name).string());
+  }
+}
+
+inline void write_table(const harness::Table& table,
+                        const std::string& file_name) {
+  table.print(std::cout);
+  write_csv_only(table, file_name);
+}
+
+}  // namespace gb::bench

@@ -1,0 +1,31 @@
+// Extension experiment (beyond the paper's five classes): PageRank across
+// all six platforms on the two "important vertices" workloads the survey
+// motivates — a web-like directed graph (WikiTalk class) and the dense
+// gaming graph (DotaLeague).
+#include "bench_common.h"
+
+int main() {
+  using namespace gb;
+  const auto platforms_list = algorithms::make_all_platforms();
+
+  harness::Table table("Extension: PageRank (10 iterations), 20 nodes");
+  std::vector<std::string> header{"Dataset"};
+  for (const auto& p : platforms_list) header.push_back(p->name());
+  table.set_header(header);
+
+  const datasets::DatasetId ids[] = {
+      datasets::DatasetId::kWikiTalk,
+      datasets::DatasetId::kDotaLeague,
+  };
+  for (const auto id : ids) {
+    const auto ds = bench::load(id);
+    std::vector<std::string> row{ds.name};
+    for (const auto& p : platforms_list) {
+      const auto m = bench::run(*p, ds, platforms::Algorithm::kPageRank);
+      row.push_back(harness::format_measurement(m));
+    }
+    table.add_row(row);
+  }
+  bench::write_table(table, "ext_pagerank.csv");
+  return 0;
+}

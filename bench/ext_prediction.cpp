@@ -1,0 +1,79 @@
+// Extension experiment: the performance-boundary model (the paper's
+// Section 7 future work). For BFS and CONN on every dataset x platform
+// cell, compare the closed-form worst-case prediction with the simulated
+// execution: the bound must hold, and its tightness tells the analyst how
+// conservative a capacity plan based on it would be.
+#include "bench_common.h"
+
+#include "algorithms/reference.h"
+#include "harness/prediction.h"
+
+namespace {
+
+using namespace gb;
+
+struct Cell {
+  harness::PlatformClass cls;
+  std::unique_ptr<platforms::Platform> platform;
+};
+
+}  // namespace
+
+int main() {
+  using namespace gb;
+  std::vector<Cell> cells;
+  cells.push_back({harness::PlatformClass::kHadoop, algorithms::make_hadoop()});
+  cells.push_back({harness::PlatformClass::kYarn, algorithms::make_yarn()});
+  cells.push_back(
+      {harness::PlatformClass::kStratosphere, algorithms::make_stratosphere()});
+  cells.push_back({harness::PlatformClass::kGiraph, algorithms::make_giraph()});
+  cells.push_back(
+      {harness::PlatformClass::kGraphLab, algorithms::make_graphlab(false)});
+
+  harness::Table table(
+      "Extension: worst-case prediction vs simulation, BFS, 20 nodes");
+  table.set_header({"Dataset", "Platform", "Predicted bound", "Simulated",
+                    "Bound holds", "Slack factor"});
+
+  const datasets::DatasetId ids[] = {
+      datasets::DatasetId::kAmazon,
+      datasets::DatasetId::kKGS,
+      datasets::DatasetId::kDotaLeague,
+  };
+
+  int violations = 0;
+  for (const auto id : ids) {
+    const auto ds = bench::load(id);
+    const auto params = harness::default_params(ds);
+    const auto bfs = algorithms::reference_bfs(ds.graph, params.bfs_source);
+    for (const auto& cell : cells) {
+      sim::ClusterConfig cfg = bench::paper_cluster();
+      const auto prediction = harness::predict_worst_case(
+          cell.cls,
+          harness::workload_stats(ds, static_cast<double>(bfs.iterations) + 1),
+          cfg);
+      const auto m =
+          bench::run(*cell.platform, ds, platforms::Algorithm::kBfs);
+      if (!m.ok()) {
+        table.add_row({ds.name, cell.platform->name(),
+                       harness::format_seconds(prediction.upper_bound),
+                       harness::outcome_label(m.outcome), "-", "-"});
+        continue;
+      }
+      const bool holds = prediction.upper_bound >= m.time();
+      if (!holds) ++violations;
+      char slack[32];
+      std::snprintf(slack, sizeof(slack), "%.1fx",
+                    prediction.upper_bound / m.time());
+      table.add_row({ds.name, cell.platform->name(),
+                     harness::format_seconds(prediction.upper_bound),
+                     harness::format_seconds(m.time()),
+                     holds ? "yes" : "NO", slack});
+    }
+  }
+  bench::write_table(table, "ext_prediction.csv");
+  std::cout << (violations == 0 ? "All bounds hold.\n"
+                                : "BOUND VIOLATIONS: " +
+                                      std::to_string(violations) + "\n");
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+// Extension experiment: the paper's related-work platforms (Table 8) on
+// this harness — HaLoop's loop-aware caching and PEGASUS's block-encoded
+// GIM-V against stock Hadoop, for the iterative workloads where each was
+// published to shine (CONN, the algorithm both HaLoop's and PEGASUS's
+// original evaluations feature).
+#include "bench_common.h"
+
+int main() {
+  using namespace gb;
+  std::vector<std::unique_ptr<platforms::Platform>> list;
+  list.push_back(algorithms::make_hadoop());
+  list.push_back(algorithms::make_haloop());
+  list.push_back(algorithms::make_pegasus());
+  list.push_back(algorithms::make_stratosphere());
+  list.push_back(algorithms::make_giraph());
+  list.push_back(algorithms::make_gps());
+
+  harness::Table table(
+      "Extension: related-work platforms (Table 8), CONN, 20 nodes");
+  std::vector<std::string> header{"Dataset"};
+  for (const auto& p : list) header.push_back(p->name());
+  table.set_header(header);
+
+  const datasets::DatasetId ids[] = {
+      datasets::DatasetId::kCitation,
+      datasets::DatasetId::kDotaLeague,
+  };
+  for (const auto id : ids) {
+    const auto ds = bench::load(id);
+    std::vector<std::string> row{ds.name};
+    for (const auto& p : list) {
+      const auto m = bench::run(*p, ds, platforms::Algorithm::kConn);
+      row.push_back(harness::format_measurement(m));
+    }
+    table.add_row(row);
+  }
+
+  // The expressiveness boundary: PEGASUS cannot run non-GIM-V algorithms.
+  harness::Table limits("Expressiveness: CD on the related-work platforms");
+  limits.set_header({"Platform", "CD outcome"});
+  const auto ds = bench::load(datasets::DatasetId::kKGS);
+  for (const auto& p : list) {
+    const auto m = bench::run(*p, ds, platforms::Algorithm::kCd);
+    limits.add_row({p->name(), harness::format_measurement(m)});
+  }
+
+  bench::write_table(table, "ext_related_platforms.csv");
+  bench::write_table(limits, "ext_related_platforms_limits.csv");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Extension experiment: hardware sensitivity. The paper benchmarks one
+// fixed cluster (DAS-4: SATA disks, GbE data network); the cost-model
+// overrides let us ask how the platform ranking would shift on different
+// hardware — a 10x faster network (IB-class) and SSD-class disks. The
+// expectation from the model: network upgrades compress the gap between
+// Stratosphere and the in-memory platforms (shuffle-bound), while disk
+// upgrades mostly rescue Hadoop (materialization-bound).
+#include "bench_common.h"
+
+#include "sim/cost_config.h"
+
+namespace {
+
+using namespace gb;
+
+harness::Measurement run_with(const platforms::Platform& p,
+                              const datasets::Dataset& ds,
+                              const sim::CostModel& cost) {
+  sim::ClusterConfig cfg = bench::paper_cluster();
+  cfg.cost = cost;
+  return harness::run_cell(p, ds, platforms::Algorithm::kBfs,
+                           harness::default_params(ds), cfg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gb;
+  // Friendster: the only workload big enough that hardware, not fixed
+  // costs, dominates the generic platforms.
+  const auto ds = bench::load(datasets::DatasetId::kFriendster);
+
+  sim::CostModel stock;
+  sim::CostModel fast_net = stock;
+  sim::apply_cost_override(fast_net, "net_bps=1.17e9");  // 10 GbE / IB
+  sim::CostModel fast_disk = stock;
+  sim::apply_cost_override(fast_disk, "disk_read_bps=500e6");
+  sim::apply_cost_override(fast_disk, "disk_write_bps=450e6");
+  sim::apply_cost_override(fast_disk, "disk_seek_sec=1e-4");
+
+  std::vector<std::unique_ptr<platforms::Platform>> list;
+  list.push_back(algorithms::make_hadoop());
+  list.push_back(algorithms::make_stratosphere());
+  list.push_back(algorithms::make_giraph());
+  list.push_back(algorithms::make_graphlab(false));
+
+  harness::Table table(
+      "Extension: hardware sensitivity, BFS on Friendster, 20 nodes");
+  table.set_header({"Platform", "DAS-4 (stock)", "10x network", "SSD disks"});
+
+  for (const auto& p : list) {
+    const auto base = run_with(*p, ds, stock);
+    const auto net = run_with(*p, ds, fast_net);
+    const auto disk = run_with(*p, ds, fast_disk);
+    table.add_row({p->name(), harness::format_measurement(base),
+                   harness::format_measurement(net),
+                   harness::format_measurement(disk)});
+  }
+  bench::write_table(table, "ext_sensitivity.csv");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 12: NEPS (edges per second per computing node) of BFS on
+// Friendster and DotaLeague while growing the cluster 20 -> 50 machines.
+#include "bench_common.h"
+
+namespace {
+
+void run_dataset(const gb::datasets::Dataset& ds, const std::string& csv) {
+  using namespace gb;
+  std::vector<std::unique_ptr<platforms::Platform>> list;
+  list.push_back(algorithms::make_hadoop());
+  list.push_back(algorithms::make_yarn());
+  list.push_back(algorithms::make_stratosphere());
+  list.push_back(algorithms::make_giraph());
+  list.push_back(algorithms::make_graphlab(false));
+  list.push_back(algorithms::make_graphlab(true));
+
+  harness::Table table("Figure 12: NEPS, BFS on " + ds.name);
+  std::vector<std::string> header{"#machines"};
+  for (const auto& p : list) header.push_back(p->name());
+  table.set_header(header);
+
+  for (std::uint32_t machines = 20; machines <= 50; machines += 5) {
+    std::vector<std::string> row{std::to_string(machines)};
+    for (const auto& p : list) {
+      const auto m = bench::run(*p, ds, platforms::Algorithm::kBfs, machines);
+      row.push_back(m.ok() ? harness::format_si(
+                                 harness::neps(ds, m.time(), machines))
+                           : harness::outcome_label(m.outcome));
+    }
+    table.add_row(row);
+  }
+  bench::write_table(table, csv);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gb;
+  run_dataset(bench::load(datasets::DatasetId::kFriendster),
+              "fig12_neps_friendster.csv");
+  run_dataset(bench::load(datasets::DatasetId::kDotaLeague),
+              "fig12_neps_dotaleague.csv");
+  return 0;
+}

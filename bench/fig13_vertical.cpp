@@ -1,0 +1,43 @@
+// Figure 13: vertical scalability — BFS execution time on Friendster and
+// DotaLeague on 20 machines with 1 to 7 computing cores per machine.
+#include "bench_common.h"
+
+namespace {
+
+void run_dataset(const gb::datasets::Dataset& ds, const std::string& csv) {
+  using namespace gb;
+  std::vector<std::unique_ptr<platforms::Platform>> list;
+  list.push_back(algorithms::make_hadoop());
+  list.push_back(algorithms::make_yarn());
+  list.push_back(algorithms::make_stratosphere());
+  list.push_back(algorithms::make_giraph());
+  list.push_back(algorithms::make_graphlab(false));
+  list.push_back(algorithms::make_graphlab(true));
+
+  harness::Table table("Figure 13: vertical scalability, BFS on " + ds.name);
+  std::vector<std::string> header{"#cores"};
+  for (const auto& p : list) header.push_back(p->name());
+  table.set_header(header);
+
+  for (std::uint32_t cores = 1; cores <= 7; ++cores) {
+    std::vector<std::string> row{std::to_string(cores)};
+    for (const auto& p : list) {
+      const auto m =
+          bench::run(*p, ds, platforms::Algorithm::kBfs, 20, cores);
+      row.push_back(harness::format_measurement(m));
+    }
+    table.add_row(row);
+  }
+  bench::write_table(table, csv);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gb;
+  run_dataset(bench::load(datasets::DatasetId::kFriendster),
+              "fig13_vertical_friendster.csv");
+  run_dataset(bench::load(datasets::DatasetId::kDotaLeague),
+              "fig13_vertical_dotaleague.csv");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 14: NEPS (per core) of BFS on Friendster and DotaLeague in the
+// vertical-scalability configuration (20 machines, 1-7 cores).
+#include "bench_common.h"
+
+namespace {
+
+void run_dataset(const gb::datasets::Dataset& ds, const std::string& csv) {
+  using namespace gb;
+  std::vector<std::unique_ptr<platforms::Platform>> list;
+  list.push_back(algorithms::make_hadoop());
+  list.push_back(algorithms::make_yarn());
+  list.push_back(algorithms::make_stratosphere());
+  list.push_back(algorithms::make_giraph());
+  list.push_back(algorithms::make_graphlab(false));
+  list.push_back(algorithms::make_graphlab(true));
+
+  harness::Table table("Figure 14: NEPS per core, BFS on " + ds.name);
+  std::vector<std::string> header{"#cores"};
+  for (const auto& p : list) header.push_back(p->name());
+  table.set_header(header);
+
+  for (std::uint32_t cores = 1; cores <= 7; ++cores) {
+    std::vector<std::string> row{std::to_string(cores)};
+    for (const auto& p : list) {
+      const auto m =
+          bench::run(*p, ds, platforms::Algorithm::kBfs, 20, cores);
+      row.push_back(m.ok() ? harness::format_si(harness::neps(
+                                 ds, m.time(), 20, cores))
+                           : harness::outcome_label(m.outcome));
+    }
+    table.add_row(row);
+  }
+  bench::write_table(table, csv);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gb;
+  run_dataset(bench::load(datasets::DatasetId::kFriendster),
+              "fig14_neps_friendster.csv");
+  run_dataset(bench::load(datasets::DatasetId::kDotaLeague),
+              "fig14_neps_dotaleague.csv");
+  return 0;
+}

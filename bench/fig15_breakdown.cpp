@@ -1,0 +1,40 @@
+// Figure 15: execution time breakdown — computation time Tc versus
+// overhead time To — for BFS on DotaLeague across the platforms,
+// including GraphLab(mp).
+#include "bench_common.h"
+
+int main() {
+  using namespace gb;
+  const auto ds = bench::load(datasets::DatasetId::kDotaLeague);
+
+  std::vector<std::unique_ptr<platforms::Platform>> list;
+  list.push_back(algorithms::make_hadoop());
+  list.push_back(algorithms::make_yarn());
+  list.push_back(algorithms::make_stratosphere());
+  list.push_back(algorithms::make_giraph());
+  list.push_back(algorithms::make_graphlab(false));
+  list.push_back(algorithms::make_graphlab(true));
+
+  harness::Table table(
+      "Figure 15: execution time breakdown, BFS on DotaLeague");
+  table.set_header({"Platform", "Computation [s]", "Overhead [s]",
+                    "Total [s]", "Overhead [%]"});
+
+  for (const auto& p : list) {
+    const auto m = bench::run(*p, ds, platforms::Algorithm::kBfs);
+    if (!m.ok()) {
+      table.add_row({p->name(), harness::outcome_label(m.outcome), "-", "-",
+                     "-"});
+      continue;
+    }
+    char tc[32], to[32], total[32], pct[32];
+    std::snprintf(tc, sizeof(tc), "%.1f", m.result.computation_time);
+    std::snprintf(to, sizeof(to), "%.1f", m.result.overhead_time());
+    std::snprintf(total, sizeof(total), "%.1f", m.result.total_time);
+    std::snprintf(pct, sizeof(pct), "%.0f",
+                  100.0 * m.result.overhead_time() / m.result.total_time);
+    table.add_row({p->name(), tc, to, total, pct});
+  }
+  bench::write_table(table, "fig15_breakdown.csv");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 16: execution time breakdown of GraphLab for CONN on every
+// dataset (the paper notes CONN on Friendster exceeds one hour and the
+// scale of the figure).
+#include "bench_common.h"
+
+int main() {
+  using namespace gb;
+  const auto graphlab = algorithms::make_graphlab();
+
+  harness::Table table(
+      "Figure 16: GraphLab execution time breakdown, CONN per dataset");
+  table.set_header({"Dataset", "Computation [s]", "Overhead [s]",
+                    "Total [s]", "Overhead [%]"});
+
+  const datasets::DatasetId ids[] = {
+      datasets::DatasetId::kAmazon,     datasets::DatasetId::kWikiTalk,
+      datasets::DatasetId::kKGS,        datasets::DatasetId::kCitation,
+      datasets::DatasetId::kDotaLeague, datasets::DatasetId::kSynth,
+      datasets::DatasetId::kFriendster,
+  };
+
+  for (const auto id : ids) {
+    const auto ds = bench::load(id);
+    const auto m = bench::run(*graphlab, ds, platforms::Algorithm::kConn);
+    if (!m.ok()) {
+      table.add_row({ds.name, harness::outcome_label(m.outcome), "-", "-",
+                     "-"});
+      continue;
+    }
+    char tc[32], to[32], total[32], pct[32];
+    std::snprintf(tc, sizeof(tc), "%.1f", m.result.computation_time);
+    std::snprintf(to, sizeof(to), "%.1f", m.result.overhead_time());
+    std::snprintf(total, sizeof(total), "%.1f", m.result.total_time);
+    std::snprintf(pct, sizeof(pct), "%.0f",
+                  100.0 * m.result.overhead_time() / m.result.total_time);
+    table.add_row({ds.name, tc, to, total, pct});
+  }
+  bench::write_table(table, "fig16_graphlab_breakdown.csv");
+  return 0;
+}

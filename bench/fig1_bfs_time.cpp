@@ -1,0 +1,32 @@
+// Figure 1: execution time of BFS, all datasets x all platforms, on the
+// fixed 20-node / 1-core infrastructure. Crashed or over-budget cells are
+// reported the way the paper narrates them.
+#include "bench_common.h"
+
+int main() {
+  using namespace gb;
+  const auto platforms = algorithms::make_all_platforms();
+
+  harness::Table table("Figure 1: BFS execution time, 20 nodes x 1 core");
+  std::vector<std::string> header{"Dataset"};
+  for (const auto& p : platforms) header.push_back(p->name());
+  table.set_header(header);
+
+  for (const auto id : datasets::all_datasets()) {
+    const auto ds = bench::load(id);
+    std::vector<std::string> row{ds.name};
+    for (const auto& p : platforms) {
+      // The paper has no Neo4j result for Friendster: its import never
+      // finished (Table 6 "N/A"), so there is nothing to run against.
+      if (!p->distributed() && id == datasets::DatasetId::kFriendster) {
+        row.push_back("n/a");
+        continue;
+      }
+      const auto m = bench::run(*p, ds, platforms::Algorithm::kBfs);
+      row.push_back(harness::format_measurement(m));
+    }
+    table.add_row(row);
+  }
+  bench::write_table(table, "fig1_bfs_time.csv");
+  return 0;
+}

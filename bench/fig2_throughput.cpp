@@ -1,0 +1,39 @@
+// Figure 2: EPS and VPS of executing BFS (distributed platforms), derived
+// from the Figure 1 runs.
+#include "bench_common.h"
+
+int main() {
+  using namespace gb;
+  const auto platforms = algorithms::make_all_platforms();
+
+  harness::Table eps_table("Figure 2 (left): EPS of BFS");
+  harness::Table vps_table("Figure 2 (right): VPS of BFS");
+  std::vector<std::string> header{"Dataset"};
+  for (const auto& p : platforms) {
+    if (p->distributed()) header.push_back(p->name());
+  }
+  eps_table.set_header(header);
+  vps_table.set_header(header);
+
+  for (const auto id : datasets::all_datasets()) {
+    const auto ds = bench::load(id);
+    std::vector<std::string> eps_row{ds.name};
+    std::vector<std::string> vps_row{ds.name};
+    for (const auto& p : platforms) {
+      if (!p->distributed()) continue;  // the paper plots the 5 distributed ones
+      const auto m = bench::run(*p, ds, platforms::Algorithm::kBfs);
+      if (m.ok()) {
+        eps_row.push_back(harness::format_si(harness::eps(ds, m.time())));
+        vps_row.push_back(harness::format_si(harness::vps(ds, m.time())));
+      } else {
+        eps_row.push_back(harness::outcome_label(m.outcome));
+        vps_row.push_back(harness::outcome_label(m.outcome));
+      }
+    }
+    eps_table.add_row(eps_row);
+    vps_table.add_row(vps_row);
+  }
+  bench::write_table(eps_table, "fig2_eps.csv");
+  bench::write_table(vps_table, "fig2_vps.csv");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 3: execution time of all five algorithms for all datasets on
+// Giraph, plus CONN on GraphLab (the paper's right-most bars). Includes
+// the narrated crashes: STATS on WikiTalk, everything but EVO on
+// Friendster.
+#include "bench_common.h"
+
+int main() {
+  using namespace gb;
+  const auto giraph = algorithms::make_giraph();
+  const auto graphlab = algorithms::make_graphlab();
+
+  const datasets::DatasetId ids[] = {
+      datasets::DatasetId::kAmazon,     datasets::DatasetId::kWikiTalk,
+      datasets::DatasetId::kKGS,        datasets::DatasetId::kCitation,
+      datasets::DatasetId::kDotaLeague, datasets::DatasetId::kFriendster,
+  };
+  const platforms::Algorithm algos[] = {
+      platforms::Algorithm::kStats, platforms::Algorithm::kBfs,
+      platforms::Algorithm::kConn, platforms::Algorithm::kCd,
+      platforms::Algorithm::kEvo,
+  };
+
+  harness::Table table(
+      "Figure 3: Giraph, all algorithms x datasets (+ GraphLab CONN)");
+  table.set_header({"Dataset", "STATS", "BFS", "CONN", "CD", "EVO",
+                    "CONN(GraphLab)"});
+
+  for (const auto id : ids) {
+    const auto ds = bench::load(id);
+    std::vector<std::string> row{ds.name};
+    for (const auto algo : algos) {
+      const auto m = bench::run(*giraph, ds, algo);
+      row.push_back(harness::format_measurement(m));
+    }
+    const auto gl = bench::run(*graphlab, ds, platforms::Algorithm::kConn);
+    row.push_back(harness::format_measurement(gl));
+    table.add_row(row);
+  }
+  bench::write_table(table, "fig3_giraph_all.csv");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figures 5-7: CPU utilization, memory usage and network traffic of the
+// master node while the distributed platforms run BFS on DotaLeague.
+// 100 normalized samples per platform, like the paper's Ganglia plots.
+#include "bench_common.h"
+
+int main() {
+  using namespace gb;
+  const auto ds = bench::load(datasets::DatasetId::kDotaLeague);
+  const auto platform_list = algorithms::make_all_platforms();
+
+  harness::Table table(
+      "Figures 5-7: master-node resource usage, BFS on DotaLeague "
+      "(normalized time, 100 points; 10-point summary below)");
+  table.set_header({"Platform", "t[%]", "CPU [%]", "Memory [GB]",
+                    "Net in [Kbit/s]", "Net out [Kbit/s]"});
+
+  for (const auto& p : platform_list) {
+    if (!p->distributed()) continue;
+    sim::ClusterConfig cfg = bench::paper_cluster();
+    cfg.work_scale = ds.extrapolation();
+    sim::Cluster cluster(cfg);
+    const auto m = harness::run_cell(*p, ds, platforms::Algorithm::kBfs,
+                                     harness::default_params(ds), cluster);
+    if (!m.ok()) continue;
+    const auto points =
+        cluster.master_trace().normalized(m.result.total_time, 100);
+    harness::Table csv("fig5to7_" + p->name());
+    csv.set_header({"t_percent", "cpu_percent", "mem_gb", "net_in_kbps",
+                    "net_out_kbps"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& s = points[i];
+      char t[16], cpu[16], mem[16], in[16], outr[16];
+      std::snprintf(t, sizeof(t), "%.1f", s.time);
+      std::snprintf(cpu, sizeof(cpu), "%.3f", 100.0 * s.cpu_cores / 8.0);
+      std::snprintf(mem, sizeof(mem), "%.2f", s.mem_bytes / (1 << 30));
+      std::snprintf(in, sizeof(in), "%.0f", s.net_in_bps * 8.0 / 1000.0);
+      std::snprintf(outr, sizeof(outr), "%.0f", s.net_out_bps * 8.0 / 1000.0);
+      csv.add_row({t, cpu, mem, in, outr});
+      if (i % 10 == 4) {
+        table.add_row({p->name(), t, cpu, mem, in, outr});
+      }
+    }
+    bench::write_csv_only(csv, "fig5to7_master_" + p->name() + ".csv");
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figures 8-10: CPU utilization, memory usage and network traffic of a
+// computing node while the distributed platforms run BFS on DotaLeague.
+// Prints terminal charts of each platform's traces and writes the full
+// 100-point series to results/.
+#include "bench_common.h"
+
+#include "harness/ascii_chart.h"
+
+int main() {
+  using namespace gb;
+  const auto ds = bench::load(datasets::DatasetId::kDotaLeague);
+  const auto platform_list = algorithms::make_all_platforms();
+
+  harness::Table table(
+      "Figures 8-10: computing-node resource usage, BFS on DotaLeague "
+      "(normalized time; 10-point summary, full series in results/)");
+  table.set_header({"Platform", "t[%]", "CPU [%]", "Memory [GB]",
+                    "Net in [Mbit/s]", "Net out [Mbit/s]"});
+
+  for (const auto& p : platform_list) {
+    if (!p->distributed()) continue;
+    sim::ClusterConfig cfg = bench::paper_cluster();
+    cfg.work_scale = ds.extrapolation();
+    sim::Cluster cluster(cfg);
+    const auto m = harness::run_cell(*p, ds, platforms::Algorithm::kBfs,
+                                     harness::default_params(ds), cluster);
+    if (!m.ok()) continue;
+    // The paper plots the worker closest to the average; all simulated
+    // workers carry the average by construction, so worker 0 is exact.
+    const auto points =
+        cluster.worker_trace(0).normalized(m.result.total_time, 100);
+    harness::Table csv("fig8to10_" + p->name());
+    csv.set_header({"t_percent", "cpu_percent", "mem_gb", "net_in_mbps",
+                    "net_out_mbps"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& s = points[i];
+      char t[16], cpu[16], mem[16], in[16], outr[16];
+      std::snprintf(t, sizeof(t), "%.1f", s.time);
+      std::snprintf(cpu, sizeof(cpu), "%.2f", 100.0 * s.cpu_cores / 8.0);
+      std::snprintf(mem, sizeof(mem), "%.2f", s.mem_bytes / (1 << 30));
+      std::snprintf(in, sizeof(in), "%.2f", s.net_in_bps * 8.0 / 1e6);
+      std::snprintf(outr, sizeof(outr), "%.2f", s.net_out_bps * 8.0 / 1e6);
+      csv.add_row({t, cpu, mem, in, outr});
+      if (i % 10 == 4) {
+        table.add_row({p->name(), t, cpu, mem, in, outr});
+      }
+    }
+    bench::write_csv_only(csv, "fig8to10_worker_" + p->name() + ".csv");
+
+    // Terminal rendering of the CPU and memory traces (Figs. 8 and 9).
+    std::vector<double> cpu_series;
+    std::vector<double> mem_series;
+    cpu_series.reserve(points.size());
+    for (const auto& s : points) {
+      cpu_series.push_back(100.0 * s.cpu_cores / 8.0);
+      mem_series.push_back(s.mem_bytes / (1 << 30));
+    }
+    harness::ChartOptions cpu_chart;
+    cpu_chart.height = 6;
+    cpu_chart.y_label = p->name() + " worker CPU [%] over normalized time";
+    std::cout << harness::ascii_chart(harness::downsample(cpu_series, 60),
+                                      cpu_chart);
+    harness::ChartOptions mem_chart;
+    mem_chart.height = 6;
+    mem_chart.y_max = 24.0;
+    mem_chart.y_label = p->name() + " worker memory [GB] over normalized time";
+    std::cout << harness::ascii_chart(harness::downsample(mem_series, 60),
+                                      mem_chart)
+              << "\n";
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks of this library's own hot paths: graph
+// construction, BFS reference kernel, the BSP engine, and the generators.
+// These measure real wall-clock performance of the simulator, not the
+// simulated platforms.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/evolution.h"
+#include "algorithms/pregel_programs.h"
+#include "algorithms/reference.h"
+#include "datasets/generators.h"
+#include "platforms/pregel/engine.h"
+#include "sim/cluster.h"
+
+namespace {
+
+using namespace gb;
+
+Graph make_test_graph(std::uint32_t scale) {
+  return datasets::rmat(scale, EdgeId{8} << scale, 0.57, 0.19, 0.19, false,
+                        42);
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto scale = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_test_graph(scale));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (8LL << scale));
+}
+BENCHMARK(BM_GraphBuild)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_ReferenceBfs(benchmark::State& state) {
+  const Graph g = make_test_graph(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::reference_bfs(g, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_adjacency_entries()));
+}
+BENCHMARK(BM_ReferenceBfs)->Arg(14)->Arg(16);
+
+void BM_ReferenceConn(benchmark::State& state) {
+  const Graph g = make_test_graph(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::reference_conn(g));
+  }
+}
+BENCHMARK(BM_ReferenceConn)->Arg(14);
+
+void BM_PregelBfs(benchmark::State& state) {
+  const Graph g = make_test_graph(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 20;
+    sim::Cluster cluster(cfg);
+    platforms::PhaseRecorder rec(cluster);
+    algorithms::pregel::BfsProgram prog{0};
+    benchmark::DoNotOptimize(
+        platforms::pregel::run_bsp<std::uint64_t, std::uint64_t>(
+            g, prog, cluster, rec, 1e12, algorithms::kUnreached, {}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_adjacency_entries()));
+}
+BENCHMARK(BM_PregelBfs)->Arg(14)->Arg(16);
+
+void BM_ForestFire(benchmark::State& state) {
+  const Graph g = make_test_graph(14);
+  algorithms::EvoParams params;
+  params.growth = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::forest_fire_evolve(g, params));
+  }
+}
+BENCHMARK(BM_ForestFire);
+
+void BM_CdStep(benchmark::State& state) {
+  const Graph g = make_test_graph(13);
+  std::vector<std::uint64_t> labels(g.num_vertices());
+  std::vector<algorithms::CdScore> scores(g.num_vertices(), 10);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) labels[v] = v;
+  std::vector<std::uint64_t> out_labels;
+  std::vector<algorithms::CdScore> out_scores;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::cd_step(g, {}, labels, scores,
+                                                 out_labels, out_scores));
+  }
+}
+BENCHMARK(BM_CdStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

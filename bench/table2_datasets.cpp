@@ -1,0 +1,32 @@
+// Table 2: summary of datasets — #V, #E, link density d, average degree D,
+// directivity — for the seven generated graphs, next to the paper's
+// published values.
+#include "bench_common.h"
+
+#include "core/graph_stats.h"
+
+int main() {
+  using namespace gb;
+  harness::Table table("Table 2: Summary of datasets (generated vs paper)");
+  table.set_header({"Graph", "#V", "#E", "d (x1e-5)", "D", "Directed",
+                    "paper #V", "paper #E", "scale"});
+
+  for (const auto id : datasets::all_datasets()) {
+    const auto& meta = datasets::info(id);
+    const auto ds = bench::load(id);
+    const auto s = summarize(ds.graph);
+    char density[32];
+    std::snprintf(density, sizeof(density), "%.1f",
+                  s.link_density * 1e5);
+    char degree[32];
+    std::snprintf(degree, sizeof(degree), "%.0f", s.average_degree);
+    table.add_row({ds.name, std::to_string(s.num_vertices),
+                   std::to_string(s.num_edges), density, degree,
+                   meta.directed ? "directed" : "undirected",
+                   std::to_string(meta.paper_vertices),
+                   std::to_string(meta.paper_edges),
+                   std::to_string(ds.scale)});
+  }
+  bench::write_table(table, "table2_datasets.csv");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Capacity planning: given a platform and workload, how many machines are
+// worth paying for? Sweeps cluster sizes and cores (the paper's horizontal
+// and vertical scalability axes) and reports where the returns diminish —
+// including the normalized per-node throughput that the paper shows
+// mostly *decreases* as clusters grow.
+#include <iostream>
+
+#include "algorithms/platform_suite.h"
+#include "datasets/catalog.h"
+#include "harness/experiment.h"
+#include "harness/metrics.h"
+#include "harness/report.h"
+
+int main() {
+  using namespace gb;
+
+  const auto ds = datasets::generate(datasets::DatasetId::kFriendster, 0.005);
+  const auto platform = algorithms::make_graphlab(/*multi_piece=*/true);
+  const auto params = harness::default_params(ds);
+  std::cout << "Capacity planning for " << platform->name()
+            << " CONN on a Friendster-class graph (scale " << ds.scale
+            << ")\n\n";
+
+  harness::Table horizontal("Horizontal: machines (1 core each)");
+  horizontal.set_header({"#machines", "Time", "NEPS", "Speedup vs 10"});
+  double base = 0;
+  for (std::uint32_t machines = 10; machines <= 50; machines += 10) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = machines;
+    const auto m = harness::run_cell(*platform, ds,
+                                     platforms::Algorithm::kConn, params, cfg);
+    if (!m.ok()) continue;
+    if (base == 0) base = m.time();
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", base / m.time());
+    horizontal.add_row({std::to_string(machines),
+                        harness::format_measurement(m),
+                        harness::format_si(harness::neps(ds, m.time(), machines)),
+                        speedup});
+  }
+  horizontal.print(std::cout);
+
+  harness::Table vertical("Vertical: cores on 20 machines");
+  vertical.set_header({"#cores", "Time", "NEPS/core"});
+  for (std::uint32_t cores = 1; cores <= 7; cores += 2) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 20;
+    cfg.cores_per_worker = cores;
+    const auto m = harness::run_cell(*platform, ds,
+                                     platforms::Algorithm::kConn, params, cfg);
+    if (!m.ok()) continue;
+    vertical.add_row({std::to_string(cores), harness::format_measurement(m),
+                      harness::format_si(
+                          harness::neps(ds, m.time(), 20, cores))});
+  }
+  vertical.print(std::cout);
+
+  std::cout << "Rule of thumb from the paper (and visible above): adding\n"
+               "resources keeps lowering wall-clock time only while the\n"
+               "workload is compute-bound; the normalized per-unit\n"
+               "throughput (NEPS) mostly decreases, so cost-efficiency\n"
+               "peaks at small clusters.\n";
+  return 0;
+}

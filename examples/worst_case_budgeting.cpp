@@ -1,0 +1,65 @@
+// Worst-case budgeting: the paper's future-work scenario (Section 7).
+// An analyst wants a *guarantee* — "this nightly CONN job finishes inside
+// the batch window" — before buying cluster time. The performance-
+// boundary model gives a closed-form worst-case bound per platform from
+// nothing but dataset statistics; this example computes the bounds, then
+// checks them against an actual (simulated) run.
+#include <iostream>
+
+#include "algorithms/platform_suite.h"
+#include "datasets/catalog.h"
+#include "harness/experiment.h"
+#include "harness/prediction.h"
+#include "harness/report.h"
+
+int main() {
+  using namespace gb;
+
+  const auto ds = datasets::generate(datasets::DatasetId::kKGS, 0.02);
+  // A bound is only a bound if the iteration budget covers the worst
+  // case; label propagation is bounded by the graph's diameter, for which
+  // the analyst uses a generous estimate.
+  const double iteration_budget = 25;
+  std::cout << "Workload: CONN on a KGS-class graph ("
+            << ds.graph.num_vertices() << " vertices at scale " << ds.scale
+            << "), batch window 10 min, 20 machines, iteration budget "
+            << iteration_budget << "\n\n";
+
+  sim::ClusterConfig cluster;
+  cluster.num_workers = 20;
+  const auto workload = harness::workload_stats(ds, iteration_budget);
+
+  harness::Table table("Worst-case bounds vs one simulated run");
+  table.set_header({"Platform", "Guaranteed bound", "Fits 10 min window",
+                    "Actual (simulated)"});
+
+  const struct {
+    harness::PlatformClass cls;
+    std::unique_ptr<platforms::Platform> platform;
+  } rows[] = {
+      {harness::PlatformClass::kHadoop, algorithms::make_hadoop()},
+      {harness::PlatformClass::kStratosphere, algorithms::make_stratosphere()},
+      {harness::PlatformClass::kGiraph, algorithms::make_giraph()},
+      {harness::PlatformClass::kGraphLab, algorithms::make_graphlab()},
+  };
+
+  const auto params = harness::default_params(ds);
+  for (const auto& row : rows) {
+    const auto bound =
+        harness::predict_worst_case(row.cls, workload, cluster);
+    const auto m = harness::run_cell(*row.platform, ds,
+                                     platforms::Algorithm::kConn, params,
+                                     cluster);
+    table.add_row({row.platform->name(),
+                   harness::format_seconds(bound.upper_bound),
+                   bound.upper_bound <= 600.0 ? "yes" : "NO",
+                   harness::format_measurement(m)});
+  }
+  table.print(std::cout);
+
+  std::cout << "The bound assumes every vertex active in every round — "
+               "platforms with\ndynamic active sets (Giraph, GraphLab) "
+               "finish far inside it, while for\nHadoop the bound is "
+               "tight: it really does touch everything every round.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "algorithms/evolution.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/rng.h"
+
+namespace gb::algorithms {
+
+EvoTrace forest_fire_evolve(const Graph& g, const EvoParams& params) {
+  EvoTrace trace;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return trace;
+
+  Xoshiro256 rng(params.seed);
+  const std::uint64_t total_new = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(params.growth * static_cast<double>(n)));
+
+  std::vector<VertexId> burned;          // current fire's visit order
+  std::vector<std::uint8_t> burned_mark(n, 0);
+  std::vector<VertexId> candidates;
+
+  VertexId next_id = n;
+  for (std::uint32_t iter = 0; iter < params.iterations; ++iter) {
+    EvoIterationStats stats;
+    // Spread the growth budget evenly; the last iteration takes the rest.
+    const std::uint64_t share =
+        iter + 1 == params.iterations
+            ? total_new - trace.total_new_vertices
+            : total_new / params.iterations;
+
+    for (std::uint64_t i = 0; i < share; ++i) {
+      const VertexId w = next_id++;
+      ++stats.new_vertices;
+
+      // Choose an ambassador and burn outward from it.
+      const VertexId ambassador = static_cast<VertexId>(rng.next_below(n));
+      burned.clear();
+      burned.push_back(ambassador);
+      burned_mark[ambassador] = 1;
+
+      std::size_t cursor = 0;
+      while (cursor < burned.size() &&
+             burned.size() < params.max_burn_per_vertex) {
+        const VertexId b = burned[cursor++];
+        // x forward links, y backward links (geometric draws with means
+        // (1-p)^-1 and (1-rp)^-1, per Leskovec et al.).
+        const std::uint64_t x = rng.next_geometric(1.0 - params.p_forward);
+        const std::uint64_t y = rng.next_geometric(
+            1.0 - params.r_backward * params.p_forward);
+
+        const auto burn_from = [&](std::span<const VertexId> nbrs,
+                                   std::uint64_t quota) {
+          // Stay under the per-fire cap even mid-wave.
+          const std::uint64_t room =
+              params.max_burn_per_vertex - burned.size();
+          quota = std::min(quota, room);
+          if (quota == 0 || nbrs.empty()) return;
+          candidates.clear();
+          for (const VertexId u : nbrs) {
+            if (!burned_mark[u]) candidates.push_back(u);
+          }
+          for (std::uint64_t k = 0; k < quota && !candidates.empty(); ++k) {
+            const std::size_t pick = rng.next_below(candidates.size());
+            const VertexId u = candidates[pick];
+            candidates[pick] = candidates.back();
+            candidates.pop_back();
+            burned_mark[u] = 1;
+            burned.push_back(u);
+          }
+        };
+        burn_from(g.out_neighbors(b), x);
+        if (g.directed()) burn_from(g.in_neighbors(b), y);
+      }
+
+      // Link the new vertex to every burned vertex.
+      for (const VertexId b : burned) {
+        trace.edges.emplace_back(w, b);
+        ++stats.new_edges;
+        burned_mark[b] = 0;  // reset for the next fire
+      }
+      stats.burned_vertices += burned.size();
+    }
+
+    trace.total_new_vertices += stats.new_vertices;
+    trace.total_new_edges += stats.new_edges;
+    trace.iterations.push_back(stats);
+  }
+  return trace;
+}
+
+Graph apply_evolution(const Graph& g, const EvoTrace& trace) {
+  const VertexId n = g.num_vertices() +
+                     static_cast<VertexId>(trace.total_new_vertices);
+  GraphBuilder builder(n, g.directed());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      if (!g.directed() && u < v) continue;  // emit undirected edges once
+      builder.add_edge(v, u);
+    }
+  }
+  for (const auto& [w, b] : trace.edges) builder.add_edge(w, b);
+  return builder.build();
+}
+
+}  // namespace gb::algorithms

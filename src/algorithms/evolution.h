@@ -1,0 +1,48 @@
+// Graph evolution (EVO): the Forest Fire model of Leskovec et al.
+//
+// The burn process is inherently sequential per new vertex, so all six
+// platform implementations share this kernel: it computes the exact set of
+// created vertices/edges and, per evolution iteration, the work counts
+// (burned edges, messages) that each platform engine converts into its own
+// costs. The kernel is deterministic in (graph, params, seed), so every
+// platform produces the identical evolved graph — which the tests check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace gb::algorithms {
+
+struct EvoParams {
+  double growth = 0.001;        // fraction of new vertices (total)
+  std::uint32_t iterations = 6;
+  double p_forward = 0.5;       // forward burning probability
+  double r_backward = 0.5;      // backward burning ratio
+  std::uint64_t seed = 1;
+  std::uint32_t max_burn_per_vertex = 10'000;  // safety valve
+};
+
+struct EvoIterationStats {
+  std::uint64_t new_vertices = 0;
+  std::uint64_t new_edges = 0;
+  std::uint64_t burned_vertices = 0;  // vertices visited by the fire
+};
+
+struct EvoTrace {
+  std::vector<EvoIterationStats> iterations;
+  std::uint64_t total_new_vertices = 0;
+  std::uint64_t total_new_edges = 0;
+  /// New edges as (new vertex id, existing vertex id); new ids start at
+  /// graph.num_vertices().
+  std::vector<std::pair<VertexId, VertexId>> edges;
+};
+
+EvoTrace forest_fire_evolve(const Graph& g, const EvoParams& params);
+
+/// Materialize the evolved graph: the original plus the trace's new
+/// vertices and edges (what a platform's EVO output file contains).
+Graph apply_evolution(const Graph& g, const EvoTrace& trace);
+
+}  // namespace gb::algorithms

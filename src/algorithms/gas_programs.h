@@ -1,0 +1,174 @@
+// The benchmark algorithms as gather-apply-scatter vertex programs
+// (platforms/gas/engine.h) — the shape they take on distributed GraphLab.
+// Semantics match algorithms/reference.h.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "algorithms/reference.h"
+#include "core/graph.h"
+#include "core/graph_stats.h"
+#include "platforms/gas/engine.h"
+
+namespace gb::algorithms::gas {
+
+using platforms::gas::EdgeDir;
+
+// ---- BFS --------------------------------------------------------------------
+// Gather: minimum level over in-neighbors; apply: adopt min + 1; scatter
+// along out-edges when the level improved.
+struct BfsProgram {
+  using VData = std::uint64_t;  // level
+  using Gather = std::uint64_t;
+  static constexpr EdgeDir kGatherDir = EdgeDir::kIn;
+  static constexpr EdgeDir kScatterDir = EdgeDir::kOut;
+
+  VertexId source;
+
+  Gather gather_init() const { return kUnreached; }
+  void gather(VertexId v, VertexId nbr, const VData& nbr_data,
+              Gather& acc) const {
+    (void)v;
+    (void)nbr;
+    acc = std::min(acc, nbr_data);
+  }
+  bool apply(VertexId v, VData& data, const Gather& acc,
+             std::uint32_t iteration) const {
+    if (iteration == 0 && v == source) {
+      data = 0;
+      return true;
+    }
+    if (acc != kUnreached && acc + 1 < data) {
+      data = acc + 1;
+      return true;
+    }
+    return false;
+  }
+  double extra_units(VertexId) const { return 0; }
+};
+
+// ---- CONN -------------------------------------------------------------------
+struct ConnProgram {
+  using VData = std::uint64_t;  // label
+  using Gather = std::uint64_t;
+  static constexpr EdgeDir kGatherDir = EdgeDir::kBoth;
+  static constexpr EdgeDir kScatterDir = EdgeDir::kBoth;
+
+  Gather gather_init() const { return ~std::uint64_t{0}; }
+  void gather(VertexId v, VertexId nbr, const VData& nbr_data,
+              Gather& acc) const {
+    (void)v;
+    (void)nbr;
+    acc = std::min(acc, nbr_data);
+  }
+  bool apply(VertexId v, VData& data, const Gather& acc,
+             std::uint32_t iteration) const {
+    (void)v;
+    (void)iteration;
+    if (acc < data) {
+      data = acc;
+      return true;
+    }
+    return false;
+  }
+  double extra_units(VertexId) const { return 0; }
+};
+
+// ---- CD ---------------------------------------------------------------------
+struct CdData {
+  std::uint64_t label = 0;
+  CdScore score = 0;
+};
+
+struct CdProgram {
+  using VData = CdData;
+  using Gather = CdTally;
+  static constexpr EdgeDir kGatherDir = EdgeDir::kIn;
+  static constexpr EdgeDir kScatterDir = EdgeDir::kOut;
+
+  CdParams params;
+
+  Gather gather_init() const { return {}; }
+  void gather(VertexId v, VertexId nbr, const VData& nbr_data,
+              Gather& acc) const {
+    (void)v;
+    (void)nbr;
+    acc.add(nbr_data.label, nbr_data.score);
+  }
+  bool apply(VertexId v, VData& data, const Gather& acc,
+             std::uint32_t iteration) const {
+    (void)v;
+    if (acc.empty()) return iteration + 1 < params.iterations;
+    const auto [label, max_score] = acc.choose();
+    data.label = label;
+    data.score = max_score > 0 ? max_score - 1 : 0;
+    // CD runs a fixed budget: keep every vertex active until it is spent.
+    return iteration + 1 < params.iterations;
+  }
+  double extra_units(VertexId) const { return 0; }
+};
+
+// ---- PageRank (extension) -----------------------------------------------------
+struct PageRankProgram {
+  using VData = double;  // rank
+  using Gather = double;
+  static constexpr EdgeDir kGatherDir = EdgeDir::kIn;
+  static constexpr EdgeDir kScatterDir = EdgeDir::kOut;
+
+  const Graph* graph = nullptr;
+  PageRankParams params;
+
+  Gather gather_init() const { return 0.0; }
+  void gather(VertexId v, VertexId nbr, const VData& nbr_data,
+              Gather& acc) const {
+    (void)v;
+    const EdgeId deg = graph->out_degree(nbr);
+    if (deg > 0) acc += nbr_data / static_cast<double>(deg);
+  }
+  bool apply(VertexId v, VData& data, const Gather& acc,
+             std::uint32_t iteration) const {
+    (void)v;
+    data = pagerank_update(acc, graph->num_vertices(), params.damping);
+    return iteration + 1 < params.iterations;
+  }
+  double extra_units(VertexId) const { return 0; }
+};
+
+// ---- STATS ------------------------------------------------------------------
+// GraphLab's CONN and triangle-count toolkits exist natively; STATS uses a
+// gather over out-neighbors with full neighborhood intersection, charged
+// via extra_units.
+struct StatsProgram {
+  using VData = double;  // local clustering coefficient
+  using Gather = EdgeId;
+  static constexpr EdgeDir kGatherDir = EdgeDir::kOut;
+  static constexpr EdgeDir kScatterDir = EdgeDir::kOut;
+
+  const Graph* graph = nullptr;
+
+  Gather gather_init() const { return 0; }
+  void gather(VertexId v, VertexId nbr, const VData& nbr_data,
+              Gather& acc) const {
+    (void)nbr_data;
+    acc += sorted_intersection_count(graph->out_neighbors(v),
+                                     graph->out_neighbors(nbr), v);
+  }
+  bool apply(VertexId v, VData& data, const Gather& acc,
+             std::uint32_t iteration) const {
+    (void)iteration;
+    const double deg = static_cast<double>(graph->out_degree(v));
+    data = deg >= 2 ? static_cast<double>(acc) / (deg * (deg - 1.0)) : 0.0;
+    return false;  // single round, nothing to scatter
+  }
+  double extra_units(VertexId v) const {
+    // Merge-intersection touches both sorted lists per neighbor pair.
+    double units = 0;
+    for (const VertexId u : graph->out_neighbors(v)) {
+      units += static_cast<double>(graph->out_degree(v) + graph->out_degree(u));
+    }
+    return units;
+  }
+};
+
+}  // namespace gb::algorithms::gas

@@ -1,0 +1,92 @@
+#include "algorithms/graph500.h"
+
+#include <cmath>
+
+#include "algorithms/reference.h"
+
+namespace gb::algorithms {
+
+Graph500Validation validate_bfs_levels(
+    const Graph& g, VertexId source,
+    const std::vector<std::uint64_t>& levels) {
+  Graph500Validation result;
+  const auto fail = [&result](std::string message) {
+    result.valid = false;
+    result.error = std::move(message);
+    return result;
+  };
+
+  if (levels.size() != g.num_vertices()) {
+    return fail("level array size mismatch");
+  }
+  if (source >= g.num_vertices() || levels[source] != 0) {
+    return fail("source level is not zero");
+  }
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (levels[v] == kUnreached) continue;
+    if (v != source && levels[v] == 0) {
+      return fail("non-source vertex at level 0: " + std::to_string(v));
+    }
+    bool has_parent_level = v == source;
+    for (const VertexId u : g.out_neighbors(v)) {
+      if (levels[u] == kUnreached) {
+        // Rule 4 (directed): everything out-adjacent to a reached vertex
+        // must be reached.
+        return fail("unreached vertex adjacent from reached vertex " +
+                    std::to_string(v));
+      }
+      // Rule 2 applies in the direction BFS can traverse.
+      if (levels[u] + 1 < levels[v] && !g.directed()) {
+        return fail("level gap of more than one across edge (" +
+                    std::to_string(v) + "," + std::to_string(u) + ")");
+      }
+      if (levels[u] > levels[v] + 1) {
+        return fail("missed shortcut across edge (" + std::to_string(v) +
+                    "," + std::to_string(u) + ")");
+      }
+    }
+    if (!has_parent_level) {
+      for (const VertexId u : g.in_neighbors(v)) {
+        if (levels[u] != kUnreached && levels[u] + 1 == levels[v]) {
+          has_parent_level = true;
+          break;
+        }
+      }
+      if (!has_parent_level) {
+        return fail("vertex " + std::to_string(v) +
+                    " has no neighbor one level closer to the source");
+      }
+    }
+  }
+  return result;
+}
+
+EdgeId traversed_edges(const Graph& g,
+                       const std::vector<std::uint64_t>& levels) {
+  EdgeId entries = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (levels[v] == kUnreached) continue;
+    entries += g.out_degree(v);
+  }
+  // Undirected adjacency double-counts component-internal edges; edges
+  // out of the component (impossible when levels are valid) would be
+  // counted once, which matches Graph500's "at least one endpoint".
+  return g.directed() ? entries : (entries + 1) / 2;
+}
+
+double teps(EdgeId edges, double seconds) {
+  return seconds > 0 ? static_cast<double>(edges) / seconds : 0.0;
+}
+
+double harmonic_mean_teps(const std::vector<double>& teps_values) {
+  if (teps_values.empty()) return 0.0;
+  double inverse_sum = 0.0;
+  for (const double t : teps_values) {
+    if (t <= 0) return 0.0;
+    inverse_sum += 1.0 / t;
+  }
+  return static_cast<double>(teps_values.size()) / inverse_sum;
+}
+
+}  // namespace gb::algorithms

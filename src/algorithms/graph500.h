@@ -1,0 +1,45 @@
+// Graph500-style BFS validation and the TEPS metric.
+//
+// The paper positions its EPS metric as "a straightforward extension of
+// the TEPS metric used by Graph500" (Section 2.1). This module provides
+// the original: spec-style validation of a BFS result and traversed-edges
+// -per-second over the searched component, so the Synth dataset can be
+// exercised exactly the way Graph500 exercises its Kronecker graphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace gb::algorithms {
+
+struct Graph500Validation {
+  bool valid = true;
+  std::string error;  // first violated rule, empty when valid
+};
+
+/// Validate a level array against the Graph500 result rules (adapted to
+/// levels rather than parent pointers):
+///  1. the source has level 0 and every other level is positive;
+///  2. levels of adjacent reached vertices differ by at most 1;
+///  3. every reached non-source vertex has a neighbor one level closer;
+///  4. reachability is exact: a reached and an unreached vertex are never
+///     adjacent (undirected graphs), and every vertex adjacent *from* a
+///     reached vertex is reached (directed graphs).
+Graph500Validation validate_bfs_levels(const Graph& g, VertexId source,
+                                       const std::vector<std::uint64_t>& levels);
+
+/// Edges within the searched component (what Graph500 counts as
+/// "traversed"): edges with at least one reached endpoint.
+EdgeId traversed_edges(const Graph& g,
+                       const std::vector<std::uint64_t>& levels);
+
+/// Traversed edges per second.
+double teps(EdgeId edges, double seconds);
+
+/// Harmonic mean of per-root TEPS values (the Graph500 aggregate).
+double harmonic_mean_teps(const std::vector<double>& teps_values);
+
+}  // namespace gb::algorithms

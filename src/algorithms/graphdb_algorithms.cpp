@@ -1,0 +1,195 @@
+#include "algorithms/graphdb_algorithms.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/graph_stats.h"
+
+namespace gb::algorithms::graphdb {
+namespace {
+
+void check_limit(const Database& db, SimTime time_limit, const char* what) {
+  if (db.elapsed() > time_limit) {
+    throw PlatformError(PlatformError::Kind::kTimeout,
+                        std::string(what) +
+                            " exceeded the experiment time budget on Neo4j");
+  }
+}
+
+}  // namespace
+
+TraversalResult db_bfs(Database& db, VertexId source, SimTime time_limit) {
+  const Graph& g = db.graph();
+  TraversalResult result;
+  result.values.assign(g.num_vertices(), kUnreached);
+  if (source >= g.num_vertices()) return result;
+
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  result.values[source] = 0;
+  std::uint64_t depth = 0;
+
+  while (!frontier.empty()) {
+    for (const VertexId v : frontier) {
+      for (const VertexId u : db.expand(v)) {
+        if (result.values[u] == kUnreached) {
+          result.values[u] = depth + 1;
+          next.push_back(u);
+        }
+      }
+    }
+    check_limit(db, time_limit, "BFS");
+    if (next.empty()) break;
+    ++depth;
+    frontier.swap(next);
+    next.clear();
+  }
+  result.iterations = depth;
+  result.elapsed = db.elapsed();
+  return result;
+}
+
+TraversalResult db_conn(Database& db, SimTime time_limit) {
+  const Graph& g = db.graph();
+  const VertexId n = g.num_vertices();
+  TraversalResult result;
+  result.values.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.values[v] = v;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.iterations;
+    for (VertexId v = 0; v < n; ++v) {
+      std::uint64_t smallest = result.values[v];
+      for (const VertexId u : db.expand_in(v)) {
+        smallest = std::min(smallest, result.values[u]);
+      }
+      if (g.directed()) {
+        for (const VertexId u : db.expand(v)) {
+          smallest = std::min(smallest, result.values[u]);
+        }
+      }
+      if (smallest < result.values[v]) {
+        result.values[v] = smallest;
+        changed = true;
+      }
+    }
+    check_limit(db, time_limit, "CONN");
+  }
+  result.elapsed = db.elapsed();
+  return result;
+}
+
+TraversalResult db_cd(Database& db, const CdParams& params,
+                      SimTime time_limit) {
+  const Graph& g = db.graph();
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint64_t> labels(n);
+  std::vector<CdScore> scores(n, params.initial_units());
+  for (VertexId v = 0; v < n; ++v) labels[v] = v;
+  std::vector<std::uint64_t> next_labels(n);
+  std::vector<CdScore> next_scores(n);
+
+  TraversalResult result;
+  CdTally tally;
+  for (std::uint32_t iter = 0; iter < params.iterations; ++iter) {
+    for (VertexId v = 0; v < n; ++v) {
+      const auto senders = db.expand_in(v);
+      // Label and score of each neighbor are vertex properties read
+      // through the Core API.
+      db.access_properties(static_cast<double>(senders.size()) * 2.0);
+      if (senders.empty()) {
+        next_labels[v] = labels[v];
+        next_scores[v] = scores[v];
+        continue;
+      }
+      tally.clear();
+      for (const VertexId u : senders) tally.add(labels[u], scores[u]);
+      const auto [label, max_score] = tally.choose();
+      next_labels[v] = label;
+      next_scores[v] = max_score > 0 ? max_score - 1 : 0;
+      db.access_properties(2.0);  // write back label + score
+    }
+    labels.swap(next_labels);
+    scores.swap(next_scores);
+    ++result.iterations;
+    check_limit(db, time_limit, "CD");
+  }
+  result.values = std::move(labels);
+  result.elapsed = db.elapsed();
+  return result;
+}
+
+DbPageRankResult db_pagerank(Database& db, const PageRankParams& params,
+                             SimTime time_limit) {
+  const Graph& g = db.graph();
+  const VertexId n = g.num_vertices();
+  DbPageRankResult result;
+  if (n == 0) return result;
+  std::vector<double> ranks(n, 1.0 / static_cast<double>(n));
+  std::vector<double> shares(n, 0.0);
+  std::vector<double> next(n, 0.0);
+
+  for (std::uint32_t iter = 0; iter < params.iterations; ++iter) {
+    for (VertexId v = 0; v < n; ++v) {
+      const EdgeId deg = g.out_degree(v);
+      shares[v] = deg > 0 ? ranks[v] / static_cast<double>(deg) : 0.0;
+    }
+    db.access_properties(static_cast<double>(n));  // read all ranks
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (const VertexId u : db.expand_in(v)) sum += shares[u];
+      next[v] = pagerank_update(sum, n, params.damping);
+    }
+    db.access_properties(static_cast<double>(n));  // write all ranks
+    ranks.swap(next);
+    ++result.iterations;
+    check_limit(db, time_limit, "PageRank");
+  }
+  result.ranks = std::move(ranks);
+  result.elapsed = db.elapsed();
+  return result;
+}
+
+DbStatsResult db_stats(Database& db, SimTime time_limit) {
+  const Graph& g = db.graph();
+  // Preflight: the neighborhood-exchange volume is sum(deg^2); if charging
+  // it alone blows the budget, abort before executing the kernel.
+  double accesses = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const double d = static_cast<double>(g.out_degree(v));
+    accesses += d * d + d + 1.0;
+  }
+  const double predicted =
+      accesses * db.config().traversal_access_sec +
+      static_cast<double>(g.num_vertices()) * db.config().property_access_sec;
+  if (predicted > time_limit) {
+    throw PlatformError(PlatformError::Kind::kTimeout,
+                        "STATS exceeded the experiment time budget on Neo4j");
+  }
+
+  DbStatsResult result;
+  double lcc_sum = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    db.expand(v);
+    const double deg = static_cast<double>(g.out_degree(v));
+    if (deg >= 2) {
+      // Neighbor lists are re-fetched per pair; charge and compute.
+      for (const VertexId u : g.out_neighbors(v)) db.expand(u);
+      lcc_sum += local_clustering_coefficient(g, v);
+    }
+    db.access_properties(1.0);
+    check_limit(db, time_limit, "STATS");
+  }
+  result.stats.vertices = g.num_vertices();
+  result.stats.edges = g.num_edges();
+  result.stats.average_lcc =
+      g.num_vertices() > 0
+          ? lcc_sum / static_cast<double>(g.num_vertices())
+          : 0.0;
+  result.elapsed = db.elapsed();
+  return result;
+}
+
+}  // namespace gb::algorithms::graphdb

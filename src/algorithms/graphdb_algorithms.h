@@ -1,0 +1,49 @@
+// The benchmark algorithms as single-machine traversals over the graph
+// database engine (platforms/graphdb/database.h). Each node expansion and
+// property access is charged through the database's cache model; the
+// functions throw PlatformError(kTimeout) when the simulated clock passes
+// `time_limit`, mirroring the paper's manually terminated >20 h Neo4j runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/reference.h"
+#include "core/types.h"
+#include "platforms/graphdb/database.h"
+
+namespace gb::algorithms::graphdb {
+
+using platforms::graphdb::Database;
+
+struct TraversalResult {
+  std::vector<std::uint64_t> values;
+  std::uint64_t iterations = 0;
+  SimTime elapsed = 0;
+};
+
+TraversalResult db_bfs(Database& db, VertexId source, SimTime time_limit);
+TraversalResult db_conn(Database& db, SimTime time_limit);
+TraversalResult db_cd(Database& db, const CdParams& params, SimTime time_limit);
+
+struct DbPageRankResult {
+  std::vector<double> ranks;
+  std::uint64_t iterations = 0;
+  SimTime elapsed = 0;
+};
+
+DbPageRankResult db_pagerank(Database& db, const PageRankParams& params,
+                             SimTime time_limit);
+
+struct DbStatsResult {
+  StatsResult stats;
+  SimTime elapsed = 0;
+};
+
+/// STATS: before touching the store, a cost preflight (O(V)) estimates the
+/// total access volume; if it already exceeds the time limit the run is
+/// aborted without executing the quadratic kernel (the paper's ">20 hours,
+/// not shown" cells).
+DbStatsResult db_stats(Database& db, SimTime time_limit);
+
+}  // namespace gb::algorithms::graphdb

@@ -1,0 +1,154 @@
+// The benchmark algorithms expressed as iterative map/reduce jobs: the
+// driver pattern the paper used on Hadoop and YARN (and, with a richer
+// per-iteration plan, on Stratosphere). The map side emits messages keyed
+// by destination vertex; the reduce side folds the grouped messages into
+// the vertex state. Both engines execute these jobs for real.
+//
+// map() is generic over the emitter so the same job runs on the Hadoop
+// engine (MapEmitter) and on the Nephele executor.
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "algorithms/reference.h"
+#include "core/graph.h"
+
+namespace gb::algorithms::mr {
+
+// ---- BFS --------------------------------------------------------------------
+struct BfsJob {
+  using State = std::uint64_t;  // level, kUnreached until visited
+  using Msg = std::uint64_t;    // proposed level
+
+  VertexId source;
+  std::uint32_t iteration = 0;  // maintained by the driver
+
+  template <typename Emitter>
+  void map(VertexId v, const State& s, const Graph& g, Emitter& out) {
+    if (iteration == 0) {
+      if (v == source) {
+        for (const VertexId u : g.out_neighbors(v)) out.emit(u, 1);
+      }
+      return;
+    }
+    // Only vertices that joined the frontier last round propagate.
+    if (s == iteration) {
+      for (const VertexId u : g.out_neighbors(v)) out.emit(u, s + 1);
+    }
+  }
+
+  bool reduce(VertexId v, State& s, const Graph& g, std::span<const Msg> msgs) {
+    (void)g;
+    if (iteration == 0 && v == source && s != 0) {
+      s = 0;
+      return true;
+    }
+    std::uint64_t best = s;
+    for (const Msg m : msgs) best = std::min(best, m);
+    if (best < s) {
+      s = best;
+      return true;
+    }
+    return false;
+  }
+};
+
+// ---- CONN -------------------------------------------------------------------
+struct ConnJob {
+  using State = std::uint64_t;  // component label
+  using Msg = std::uint64_t;
+
+  std::uint32_t iteration = 0;
+
+  template <typename Emitter>
+  void map(VertexId v, const State& s, const Graph& g, Emitter& out) {
+    // Label flows along both directions for weak connectivity. Emitting
+    // every round mirrors the Hadoop implementation, which cannot keep an
+    // active set between jobs.
+    for (const VertexId u : g.out_neighbors(v)) out.emit(u, s);
+    if (g.directed()) {
+      for (const VertexId u : g.in_neighbors(v)) out.emit(u, s);
+    }
+  }
+
+  bool reduce(VertexId v, State& s, const Graph& g, std::span<const Msg> msgs) {
+    (void)v;
+    (void)g;
+    std::uint64_t smallest = s;
+    for (const Msg m : msgs) smallest = std::min(smallest, m);
+    if (smallest < s) {
+      s = smallest;
+      return true;
+    }
+    return false;
+  }
+};
+
+// ---- CD ---------------------------------------------------------------------
+struct CdState {
+  std::uint64_t label = 0;
+  CdScore score = 0;
+};
+
+struct CdMsg {
+  std::uint64_t label = 0;
+  CdScore score = 0;
+};
+
+struct CommunityDetectionJob {
+  using State = CdState;
+  using Msg = CdMsg;
+
+  CdParams params;
+  std::uint32_t iteration = 0;
+
+  template <typename Emitter>
+  void map(VertexId v, const State& s, const Graph& g, Emitter& out) {
+    for (const VertexId u : g.out_neighbors(v)) out.emit(u, {s.label, s.score});
+  }
+
+  bool reduce(VertexId v, State& s, const Graph& g, std::span<const Msg> msgs) {
+    (void)v;
+    (void)g;
+    // CD runs its fixed iteration budget even when no label flips: the
+    // attenuating scores can still flip labels in a later round, and the
+    // reference implementation runs the full budget too.
+    const bool budget_left = iteration + 1 < params.iterations;
+    if (msgs.empty()) return budget_left;
+    CdTally tally;
+    for (const Msg& m : msgs) tally.add(m.label, m.score);
+    const auto [label, max_score] = tally.choose();
+    s.label = label;
+    s.score = max_score > 0 ? max_score - 1 : 0;
+    return budget_left;
+  }
+};
+
+// ---- PageRank (extension) -----------------------------------------------------
+struct PageRankJob {
+  using State = double;  // rank
+  using Msg = double;    // share = rank / out-degree
+
+  PageRankParams params;
+  std::uint32_t iteration = 0;
+
+  template <typename Emitter>
+  void map(VertexId v, const State& s, const Graph& g, Emitter& out) {
+    const EdgeId deg = g.out_degree(v);
+    if (deg == 0) return;
+    const double share = s / static_cast<double>(deg);
+    for (const VertexId u : g.out_neighbors(v)) out.emit(u, share);
+  }
+
+  bool reduce(VertexId v, State& s, const Graph& g, std::span<const Msg> msgs) {
+    (void)v;
+    double sum = 0.0;
+    for (const Msg m : msgs) sum += m;
+    s = pagerank_update(sum, g.num_vertices(), params.damping);
+    // Fixed budget: the driver stops after params.iterations rounds.
+    return iteration + 1 < params.iterations;
+  }
+};
+
+}  // namespace gb::algorithms::mr

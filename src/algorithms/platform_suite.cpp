@@ -1,0 +1,745 @@
+#include "algorithms/platform_suite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algorithms/evolution.h"
+#include "algorithms/gas_programs.h"
+#include "algorithms/graphdb_algorithms.h"
+#include "algorithms/mr_jobs.h"
+#include "algorithms/pregel_programs.h"
+#include "algorithms/reference.h"
+#include "core/error.h"
+#include "platforms/dataflow/engine.h"
+#include "platforms/mapreduce/engine.h"
+
+namespace gb::algorithms {
+namespace {
+
+using platforms::Algorithm;
+using platforms::AlgorithmOutput;
+using platforms::AlgorithmParams;
+using platforms::PhaseRecorder;
+using platforms::PhaseUsage;
+using platforms::Platform;
+using platforms::RunResult;
+
+EvoParams evo_params_from(const AlgorithmParams& params) {
+  EvoParams evo;
+  evo.growth = params.evo_growth;
+  evo.iterations = params.evo_iterations;
+  evo.p_forward = params.evo_p_forward;
+  evo.r_backward = params.evo_r_backward;
+  evo.seed = params.seed;
+  return evo;
+}
+
+CdParams cd_params_from(const AlgorithmParams& params) {
+  CdParams cd;
+  cd.initial_score = params.cd_initial_score;
+  cd.hop_attenuation = params.cd_hop_attenuation;
+  cd.iterations = params.cd_max_iterations;
+  return cd;
+}
+
+PageRankParams pagerank_params_from(const AlgorithmParams& params) {
+  PageRankParams pr;
+  pr.iterations = params.pagerank_iterations;
+  pr.damping = params.pagerank_damping;
+  return pr;
+}
+
+AlgorithmOutput evo_output(const Graph& g, const EvoTrace& trace) {
+  AlgorithmOutput out;
+  out.vertices = g.num_vertices() + trace.total_new_vertices;
+  out.edges = g.num_edges() + trace.total_new_edges;
+  out.scalar = static_cast<double>(trace.total_new_edges);
+  out.iterations = trace.iterations.size();
+  return out;
+}
+
+/// STATS preflight volumes, all O(V + E) to compute: the id-list exchange
+/// and the merge-intersection work the kernel would perform.
+struct StatsVolumes {
+  double exchange_records = 0;  // one per shipped adjacency list
+  double exchange_bytes = 0;
+  double intersect_units = 0;
+};
+
+StatsVolumes stats_volumes(const Graph& g) {
+  StatsVolumes v;
+  for (VertexId x = 0; x < g.num_vertices(); ++x) {
+    const double out_deg = static_cast<double>(g.out_degree(x));
+    const double in_deg = static_cast<double>(g.in_degree(x));
+    // x's out-list is shipped once per in-neighbor of x.
+    v.exchange_records += in_deg;
+    v.exchange_bytes += in_deg * (out_deg * 8.0 + 16.0);
+  }
+  for (VertexId x = 0; x < g.num_vertices(); ++x) {
+    const double own = static_cast<double>(g.out_degree(x));
+    for (const VertexId u : g.out_neighbors(x)) {
+      v.intersect_units += own + static_cast<double>(g.out_degree(u));
+    }
+  }
+  return v;
+}
+
+// ============================ Giraph =========================================
+
+class GiraphPlatform final : public Platform {
+ public:
+  explicit GiraphPlatform(bool gps = false) : gps_(gps) {}
+
+  std::string name() const override { return gps_ ? "GPS" : "Giraph"; }
+  bool distributed() const override { return true; }
+
+  RunResult run(const datasets::Dataset& dataset, Algorithm algorithm,
+                const AlgorithmParams& params,
+                sim::Cluster& cluster) const override {
+    const Graph& g = dataset.graph;
+    PhaseRecorder rec(cluster);
+    platforms::pregel::EngineConfig config;
+    if (gps_) {
+      // GPS = Pregel + LALP (large-adjacency-list partitioning).
+      config.lalp_threshold = 100;
+    }
+    AlgorithmOutput out;
+
+    switch (algorithm) {
+      case Algorithm::kBfs: {
+        pregel::BfsProgram prog{params.bfs_source};
+        auto bsp = platforms::pregel::run_bsp<std::uint64_t, std::uint64_t>(
+            g, prog, cluster, rec, params.time_limit, kUnreached, config);
+        out.vertex_values = std::move(bsp.values);
+        out.iterations = bsp.supersteps;
+        break;
+      }
+      case Algorithm::kConn: {
+        pregel::ConnProgram prog;
+        auto bsp = platforms::pregel::run_bsp<std::uint64_t, std::uint64_t>(
+            g, prog, cluster, rec, params.time_limit, 0, config);
+        out.vertex_values = std::move(bsp.values);
+        out.iterations = bsp.supersteps;
+        break;
+      }
+      case Algorithm::kCd: {
+        pregel::CdProgram prog{cd_params_from(params)};
+        auto bsp =
+            platforms::pregel::run_bsp<pregel::CdValue, pregel::CdMessage>(
+                g, prog, cluster, rec, params.time_limit, {}, config);
+        out.vertex_values.reserve(bsp.values.size());
+        for (const auto& v : bsp.values) out.vertex_values.push_back(v.label);
+        out.iterations = bsp.supersteps;
+        break;
+      }
+      case Algorithm::kStats: {
+        pregel::StatsProgram prog;
+        auto bsp = platforms::pregel::run_bsp<double, std::uint64_t>(
+            g, prog, cluster, rec, params.time_limit, 0.0, config);
+        out.scalar = g.num_vertices() > 0
+                         ? bsp.aggregate / static_cast<double>(g.num_vertices())
+                         : 0.0;
+        out.vertices = g.num_vertices();
+        out.edges = g.num_edges();
+        out.iterations = bsp.supersteps;
+        break;
+      }
+      case Algorithm::kPageRank: {
+        pregel::PageRankProgram prog{pagerank_params_from(params)};
+        auto bsp = platforms::pregel::run_bsp<double, double>(
+            g, prog, cluster, rec, params.time_limit, 0.0, config);
+        std::vector<double> ranks = std::move(bsp.values);
+        out.vertex_values = encode_ranks(ranks);
+        out.iterations = bsp.supersteps;
+        break;
+      }
+      case Algorithm::kEvo: {
+        const EvoTrace trace = forest_fire_evolve(g, evo_params_from(params));
+        const double partition = platforms::pregel::charge_setup_and_load(
+            g, cluster, rec, config);
+        const auto& cost = cluster.cost();
+        std::size_t step = 0;
+        for (const auto& iter : trace.iterations) {
+          const double units = cluster.scale_units(
+              static_cast<double>(iter.burned_vertices + iter.new_edges) *
+              config.units_per_message);
+          const double msg_bytes = cluster.scale_bytes(
+              static_cast<double>(iter.new_edges) *
+              (8.0 + static_cast<double>(config.message_overhead)));
+          const std::string label = "superstep_" + std::to_string(step++);
+          rec.phase(label + "/compute",
+                    cluster.jvm_compute_time(units) / cluster.total_slots(),
+                    true,
+                    PhaseUsage{.worker_cpu_cores = static_cast<double>(
+                                   cluster.cores_per_worker()),
+                               .worker_mem_bytes = partition});
+          rec.phase(label + "/sync",
+                    cost.network_time(static_cast<Bytes>(msg_bytes),
+                                      cluster.num_workers()) +
+                        cost.bsp_barrier_sec,
+                    false,
+                    PhaseUsage{.worker_cpu_cores = 0.1,
+                               .worker_mem_bytes = partition,
+                               .master_cpu_cores = 0.03});
+        }
+        platforms::pregel::charge_write(g, cluster, rec, partition);
+        out = evo_output(g, trace);
+        break;
+      }
+    }
+    return rec.finish(std::move(out), Bytes{200} << 20);
+  }
+
+ private:
+  bool gps_;
+};
+
+// ======================== Hadoop / YARN ======================================
+
+enum class MRVariant { kHadoop, kYarn, kHaLoop, kPegasus };
+
+class MapReducePlatform final : public Platform {
+ public:
+  explicit MapReducePlatform(MRVariant variant) : variant_(variant) {}
+
+  std::string name() const override {
+    switch (variant_) {
+      case MRVariant::kHadoop:
+        return "Hadoop";
+      case MRVariant::kYarn:
+        return "YARN";
+      case MRVariant::kHaLoop:
+        return "HaLoop";
+      case MRVariant::kPegasus:
+        return "PEGASUS";
+    }
+    return "?";
+  }
+  bool distributed() const override { return true; }
+
+  RunResult run(const datasets::Dataset& dataset, Algorithm algorithm,
+                const AlgorithmParams& params,
+                sim::Cluster& cluster) const override {
+    const Graph& g = dataset.graph;
+    PhaseRecorder rec(cluster);
+    platforms::mapreduce::MRConfig config;
+    config.yarn = variant_ == MRVariant::kYarn;
+    config.haloop = variant_ == MRVariant::kHaLoop;
+    if (variant_ == MRVariant::kPegasus) {
+      // GIM-V over block-encoded matrices: structure compresses ~4x, and
+      // only matrix-vector-shaped algorithms are expressible.
+      config.block_compression = 4.0;
+      if (algorithm != Algorithm::kBfs && algorithm != Algorithm::kConn &&
+          algorithm != Algorithm::kPageRank) {
+        throw PlatformError(
+            PlatformError::Kind::kUnsupported,
+            "PEGASUS expresses only GIM-V algorithms (BFS, CONN, PageRank)");
+      }
+    }
+    AlgorithmOutput out;
+
+    switch (algorithm) {
+      case Algorithm::kBfs: {
+        mr::BfsJob job{params.bfs_source};
+        std::vector<std::uint64_t> state(g.num_vertices(), kUnreached);
+        const auto stats = platforms::mapreduce::run_iterative(
+            g, job, state, cluster, rec, config, config.max_iterations,
+            params.time_limit);
+        out.vertex_values = std::move(state);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kConn: {
+        mr::ConnJob job;
+        std::vector<std::uint64_t> state(g.num_vertices());
+        for (VertexId v = 0; v < g.num_vertices(); ++v) state[v] = v;
+        const auto stats = platforms::mapreduce::run_iterative(
+            g, job, state, cluster, rec, config, config.max_iterations,
+            params.time_limit);
+        out.vertex_values = std::move(state);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kCd: {
+        mr::CommunityDetectionJob job{cd_params_from(params)};
+        std::vector<mr::CdState> state(g.num_vertices());
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          state[v] = {v, job.params.initial_units()};
+        }
+        const auto stats = platforms::mapreduce::run_iterative(
+            g, job, state, cluster, rec, config, job.params.iterations,
+            params.time_limit);
+        out.vertex_values.reserve(state.size());
+        for (const auto& s : state) out.vertex_values.push_back(s.label);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kPageRank: {
+        mr::PageRankJob job{pagerank_params_from(params)};
+        std::vector<double> state(
+            g.num_vertices(),
+            g.num_vertices() > 0 ? 1.0 / static_cast<double>(g.num_vertices())
+                                 : 0.0);
+        const auto stats = platforms::mapreduce::run_iterative(
+            g, job, state, cluster, rec, config, job.params.iterations,
+            params.time_limit);
+        out.vertex_values = encode_ranks(state);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kStats: {
+        const storage::Hdfs hdfs(cluster.cost());
+        const StatsVolumes volumes = stats_volumes(g);
+        platforms::mapreduce::detail::IterationVolume volume;
+        volume.map_output_records =
+            static_cast<double>(g.num_vertices()) + volumes.exchange_records;
+        volume.map_output_bytes =
+            static_cast<double>(g.text_size_bytes()) + volumes.exchange_bytes;
+        volume.compute_units = volumes.intersect_units;
+        // Crash (scratch overflow) and cost checks happen before the
+        // quadratic kernel ever runs.
+        platforms::mapreduce::detail::charge_iteration(
+            g, cluster, rec, config, hdfs, volume, "stats");
+        if (rec.now() > params.time_limit) {
+          throw PlatformError(
+              PlatformError::Kind::kTimeout,
+              name() + " STATS exceeded the experiment time budget");
+        }
+        const StatsResult stats = reference_stats(g);
+        out.scalar = stats.average_lcc;
+        out.vertices = stats.vertices;
+        out.edges = stats.edges;
+        out.iterations = 1;
+        break;
+      }
+      case Algorithm::kEvo: {
+        const storage::Hdfs hdfs(cluster.cost());
+        const EvoTrace trace = forest_fire_evolve(g, evo_params_from(params));
+        std::size_t step = 0;
+        for (const auto& iter : trace.iterations) {
+          platforms::mapreduce::detail::IterationVolume volume;
+          volume.map_output_records =
+              static_cast<double>(g.num_vertices()) +
+              static_cast<double>(iter.burned_vertices + iter.new_edges);
+          volume.map_output_bytes =
+              static_cast<double>(g.text_size_bytes()) +
+              static_cast<double>(iter.burned_vertices + iter.new_edges) *
+                  config.message_record_bytes;
+          volume.compute_units = static_cast<double>(iter.burned_vertices);
+          const std::string label = "iter_" + std::to_string(step++);
+          // Hadoop needs two MapReduce jobs per EVO iteration
+          // (Section 4.1.3): ambassador selection + burn propagation.
+          platforms::mapreduce::detail::charge_iteration(
+              g, cluster, rec, config, hdfs, volume, label + "_select");
+          platforms::mapreduce::detail::charge_iteration(
+              g, cluster, rec, config, hdfs, volume, label + "_burn");
+        }
+        out = evo_output(g, trace);
+        break;
+      }
+    }
+    return rec.finish(std::move(out), Bytes{200} << 20);
+  }
+
+ private:
+  MRVariant variant_;
+};
+
+// ========================= Stratosphere ======================================
+
+class StratospherePlatform final : public Platform {
+ public:
+  std::string name() const override { return "Stratosphere"; }
+  bool distributed() const override { return true; }
+
+  RunResult run(const datasets::Dataset& dataset, Algorithm algorithm,
+                const AlgorithmParams& params,
+                sim::Cluster& cluster) const override {
+    const Graph& g = dataset.graph;
+    PhaseRecorder rec(cluster);
+    platforms::dataflow::DataflowConfig config;
+    AlgorithmOutput out;
+
+    using platforms::dataflow::OperatorKind;
+    using platforms::dataflow::Plan;
+
+    const auto iterative_plan = [] {
+      Plan plan;
+      const auto src = plan.add_source("vertices");
+      const auto expand = plan.add(OperatorKind::kMap, "expand", {src});
+      const auto update = plan.add(OperatorKind::kReduce, "update", {expand});
+      plan.add_sink("out", update);
+      return plan;
+    };
+
+    switch (algorithm) {
+      case Algorithm::kBfs: {
+        mr::BfsJob job{params.bfs_source};
+        std::vector<std::uint64_t> state(g.num_vertices(), kUnreached);
+        const auto stats = platforms::dataflow::run_iterative(
+            g, job, state, iterative_plan(), cluster, rec, config,
+            config.max_iterations, params.time_limit);
+        out.vertex_values = std::move(state);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kConn: {
+        mr::ConnJob job;
+        std::vector<std::uint64_t> state(g.num_vertices());
+        for (VertexId v = 0; v < g.num_vertices(); ++v) state[v] = v;
+        const auto stats = platforms::dataflow::run_iterative(
+            g, job, state, iterative_plan(), cluster, rec, config,
+            config.max_iterations, params.time_limit);
+        out.vertex_values = std::move(state);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kCd: {
+        mr::CommunityDetectionJob job{cd_params_from(params)};
+        std::vector<mr::CdState> state(g.num_vertices());
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          state[v] = {v, job.params.initial_units()};
+        }
+        const auto stats = platforms::dataflow::run_iterative(
+            g, job, state, iterative_plan(), cluster, rec, config,
+            job.params.iterations, params.time_limit);
+        out.vertex_values.reserve(state.size());
+        for (const auto& s : state) out.vertex_values.push_back(s.label);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kPageRank: {
+        mr::PageRankJob job{pagerank_params_from(params)};
+        std::vector<double> state(
+            g.num_vertices(),
+            g.num_vertices() > 0 ? 1.0 / static_cast<double>(g.num_vertices())
+                                 : 0.0);
+        const auto stats = platforms::dataflow::run_iterative(
+            g, job, state, iterative_plan(), cluster, rec, config,
+            job.params.iterations, params.time_limit);
+        out.vertex_values = encode_ranks(state);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kStats: {
+        // Plan: vertices -> Map (key by neighbor) -> Match (adjacency
+        // join) -> Reduce (intersect + LCC) -> sink.
+        Plan plan;
+        const auto src = plan.add_source("vertices");
+        const auto pairs = plan.add(OperatorKind::kMap, "pair", {src});
+        const auto join =
+            plan.add(OperatorKind::kMatch, "adjacency_join", {pairs, src});
+        const auto lcc = plan.add(OperatorKind::kReduce, "lcc", {join});
+        plan.add_sink("out", lcc);
+
+        const storage::Hdfs hdfs(cluster.cost());
+        const StatsVolumes volumes = stats_volumes(g);
+        // The Match's probe side materializes one candidate record per
+        // shipped adjacency id — sum(deg^2) records flow through the plan.
+        platforms::dataflow::detail::charge_plan_iteration(
+            g, platforms::dataflow::compile(plan), cluster, rec, config, hdfs,
+            volumes.exchange_bytes / 8.0, volumes.intersect_units, "stats");
+        // The paper's operators terminated this configuration after ~4
+        // hours without success; reproduce that patience threshold before
+        // attempting the quadratic kernel.
+        const SimTime patience = std::min(params.time_limit, 4.0 * 3600.0);
+        if (rec.now() > patience) {
+          throw PlatformError(
+              PlatformError::Kind::kTimeout,
+              "Stratosphere STATS terminated after exceeding the operators' "
+              "patience (paper: ~4 hours without success)");
+        }
+        const StatsResult stats = reference_stats(g);
+        out.scalar = stats.average_lcc;
+        out.vertices = stats.vertices;
+        out.edges = stats.edges;
+        out.iterations = 1;
+        break;
+      }
+      case Algorithm::kEvo: {
+        // Single map-reduce-reduce plan per iteration (Section 4.1.3).
+        Plan plan;
+        const auto src = plan.add_source("vertices");
+        const auto select = plan.add(OperatorKind::kMap, "select", {src});
+        const auto burn = plan.add(OperatorKind::kReduce, "burn", {select});
+        const auto link = plan.add(
+            OperatorKind::kReduce, "link", {burn},
+            {.same_key = true, .super_key = false, .output_cardinality = 1.0});
+        plan.add_sink("out", link);
+        const auto dag = platforms::dataflow::compile(plan);
+
+        const storage::Hdfs hdfs(cluster.cost());
+        const EvoTrace trace = forest_fire_evolve(g, evo_params_from(params));
+        std::size_t step = 0;
+        for (const auto& iter : trace.iterations) {
+          platforms::dataflow::detail::charge_plan_iteration(
+              g, dag, cluster, rec, config, hdfs,
+              static_cast<double>(iter.burned_vertices + iter.new_edges),
+              static_cast<double>(iter.burned_vertices),
+              "iter_" + std::to_string(step++));
+        }
+        out = evo_output(g, trace);
+        break;
+      }
+    }
+    return rec.finish(std::move(out), Bytes{400} << 20);
+  }
+};
+
+// =========================== GraphLab ========================================
+
+class GraphLabPlatform final : public Platform {
+ public:
+  explicit GraphLabPlatform(bool multi_piece) : multi_piece_(multi_piece) {}
+
+  std::string name() const override {
+    return multi_piece_ ? "GraphLab(mp)" : "GraphLab";
+  }
+  bool distributed() const override { return true; }
+
+  RunResult run(const datasets::Dataset& dataset, Algorithm algorithm,
+                const AlgorithmParams& params,
+                sim::Cluster& cluster) const override {
+    const Graph& g = dataset.graph;
+    PhaseRecorder rec(cluster);
+    platforms::gas::GasConfig config;
+    config.multi_piece_loading = multi_piece_;
+    AlgorithmOutput out;
+
+    switch (algorithm) {
+      case Algorithm::kBfs: {
+        gas::BfsProgram prog{params.bfs_source};
+        std::vector<std::uint64_t> data(g.num_vertices(), kUnreached);
+        std::vector<std::uint8_t> active(g.num_vertices(), 0);
+        if (params.bfs_source < g.num_vertices()) {
+          active[params.bfs_source] = 1;
+        }
+        const auto stats = platforms::gas::run_sync(
+            g, prog, data, active, cluster, rec, config, params.time_limit);
+        out.vertex_values = std::move(data);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kConn: {
+        gas::ConnProgram prog;
+        std::vector<std::uint64_t> data(g.num_vertices());
+        for (VertexId v = 0; v < g.num_vertices(); ++v) data[v] = v;
+        std::vector<std::uint8_t> active(g.num_vertices(), 1);
+        const auto stats = platforms::gas::run_sync(
+            g, prog, data, active, cluster, rec, config, params.time_limit);
+        out.vertex_values = std::move(data);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kCd: {
+        gas::CdProgram prog{cd_params_from(params)};
+        std::vector<gas::CdData> data(g.num_vertices());
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          data[v] = {v, prog.params.initial_units()};
+        }
+        std::vector<std::uint8_t> active(g.num_vertices(), 1);
+        const auto stats = platforms::gas::run_sync(
+            g, prog, data, active, cluster, rec, config, params.time_limit);
+        out.vertex_values.reserve(data.size());
+        for (const auto& d : data) out.vertex_values.push_back(d.label);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kPageRank: {
+        gas::PageRankProgram prog{&g, pagerank_params_from(params)};
+        std::vector<double> data(
+            g.num_vertices(),
+            g.num_vertices() > 0 ? 1.0 / static_cast<double>(g.num_vertices())
+                                 : 0.0);
+        std::vector<std::uint8_t> active(g.num_vertices(), 1);
+        const auto stats = platforms::gas::run_sync(
+            g, prog, data, active, cluster, rec, config, params.time_limit);
+        out.vertex_values = encode_ranks(data);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kStats: {
+        gas::StatsProgram prog{&g};
+        std::vector<double> data(g.num_vertices(), 0.0);
+        std::vector<std::uint8_t> active(g.num_vertices(), 1);
+        const auto stats = platforms::gas::run_sync(
+            g, prog, data, active, cluster, rec, config, params.time_limit);
+        double lcc_sum = 0.0;
+        for (const double d : data) lcc_sum += d;
+        out.scalar = g.num_vertices() > 0
+                         ? lcc_sum / static_cast<double>(g.num_vertices())
+                         : 0.0;
+        out.vertices = g.num_vertices();
+        out.edges = g.num_edges();
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kEvo: {
+        const EvoTrace trace = forest_fire_evolve(g, evo_params_from(params));
+        const double partition = platforms::gas::charge_startup_and_load(
+            g, static_cast<double>(g.num_vertices()), cluster, rec, config);
+        const auto& cost = cluster.cost();
+        std::size_t step = 0;
+        for (const auto& iter : trace.iterations) {
+          const double units = cluster.scale_units(
+              static_cast<double>(iter.burned_vertices + iter.new_edges));
+          const double sync_bytes = cluster.scale_bytes(
+              static_cast<double>(iter.new_edges) *
+              (config.vertex_data_bytes + config.mirror_header_bytes));
+          const std::string label = "iter_" + std::to_string(step++);
+          rec.phase(label + "/compute",
+                    cluster.native_compute_time(units) / cluster.total_slots(),
+                    true,
+                    PhaseUsage{.worker_cpu_cores = static_cast<double>(
+                                   cluster.cores_per_worker()),
+                               .worker_mem_bytes = partition});
+          rec.phase(label + "/sync",
+                    cost.network_time(static_cast<Bytes>(sync_bytes),
+                                      cluster.num_workers()) +
+                        cost.net_latency_sec * 4.0,
+                    false,
+                    PhaseUsage{.worker_cpu_cores = 0.1,
+                               .worker_mem_bytes = partition});
+        }
+        platforms::gas::charge_write(g, cluster, rec, partition);
+        out = evo_output(g, trace);
+        break;
+      }
+    }
+    return rec.finish(std::move(out), Bytes{0});
+  }
+
+ private:
+  bool multi_piece_;
+};
+
+// ============================ Neo4j ==========================================
+
+class Neo4jPlatform final : public Platform {
+ public:
+  std::string name() const override { return "Neo4j"; }
+  bool distributed() const override { return false; }
+
+  RunResult run(const datasets::Dataset& dataset, Algorithm algorithm,
+                const AlgorithmParams& params,
+                sim::Cluster& cluster) const override {
+    const Graph& g = dataset.graph;
+    PhaseRecorder rec(cluster);
+    platforms::graphdb::Database db(g, cluster.cost(),
+                                    cluster.config().work_scale);
+    db.begin(platforms::graphdb::CacheState::kHot);
+    AlgorithmOutput out;
+
+    switch (algorithm) {
+      case Algorithm::kBfs: {
+        auto result = graphdb::db_bfs(db, params.bfs_source, params.time_limit);
+        out.vertex_values = std::move(result.values);
+        out.iterations = result.iterations;
+        break;
+      }
+      case Algorithm::kConn: {
+        auto result = graphdb::db_conn(db, params.time_limit);
+        out.vertex_values = std::move(result.values);
+        out.iterations = result.iterations;
+        break;
+      }
+      case Algorithm::kCd: {
+        auto result =
+            graphdb::db_cd(db, cd_params_from(params), params.time_limit);
+        out.vertex_values = std::move(result.values);
+        out.iterations = result.iterations;
+        break;
+      }
+      case Algorithm::kPageRank: {
+        auto result = graphdb::db_pagerank(db, pagerank_params_from(params),
+                                           params.time_limit);
+        out.vertex_values = encode_ranks(result.ranks);
+        out.iterations = result.iterations;
+        break;
+      }
+      case Algorithm::kStats: {
+        auto result = graphdb::db_stats(db, params.time_limit);
+        out.scalar = result.stats.average_lcc;
+        out.vertices = result.stats.vertices;
+        out.edges = result.stats.edges;
+        out.iterations = 1;
+        break;
+      }
+      case Algorithm::kEvo: {
+        const EvoTrace trace = forest_fire_evolve(g, evo_params_from(params));
+        // Burning traverses relationships through the object cache;
+        // created vertices and edges are transactional writes through the
+        // record store (same path as ingestion).
+        const double scale = cluster.config().work_scale;
+        for (const auto& iter : trace.iterations) {
+          db.access_properties(static_cast<double>(iter.burned_vertices));
+          db.charge_user_compute(static_cast<double>(iter.burned_vertices));
+          db.add_time(scale *
+                      (static_cast<double>(iter.new_edges) *
+                           db.store().config().edge_insert_sec +
+                       static_cast<double>(iter.new_vertices) *
+                           db.store().config().node_insert_sec));
+        }
+        out = evo_output(g, trace);
+        break;
+      }
+    }
+
+    // Single-machine accounting: setup is overhead, the rest computation.
+    const SimTime setup = db.config().query_setup_sec;
+    const double mem = std::min(
+        static_cast<double>(db.store().object_cache_demand()),
+        static_cast<double>(cluster.cost().heap_limit));
+    rec.phase("setup", setup, false, PhaseUsage{.worker_mem_bytes = mem});
+    rec.phase("query", std::max(0.0, db.elapsed() - setup), true,
+              PhaseUsage{.worker_cpu_cores = 1.0, .worker_mem_bytes = mem});
+    if (rec.now() > params.time_limit) {
+      throw PlatformError(PlatformError::Kind::kTimeout,
+                          "Neo4j exceeded the experiment time budget");
+    }
+    return rec.finish(std::move(out), Bytes{0});
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Platform> make_hadoop() {
+  return std::make_unique<MapReducePlatform>(MRVariant::kHadoop);
+}
+std::unique_ptr<Platform> make_yarn() {
+  return std::make_unique<MapReducePlatform>(MRVariant::kYarn);
+}
+std::unique_ptr<Platform> make_haloop() {
+  return std::make_unique<MapReducePlatform>(MRVariant::kHaLoop);
+}
+std::unique_ptr<Platform> make_pegasus() {
+  return std::make_unique<MapReducePlatform>(MRVariant::kPegasus);
+}
+std::unique_ptr<Platform> make_stratosphere() {
+  return std::make_unique<StratospherePlatform>();
+}
+std::unique_ptr<Platform> make_giraph() {
+  return std::make_unique<GiraphPlatform>();
+}
+std::unique_ptr<Platform> make_gps() {
+  return std::make_unique<GiraphPlatform>(/*gps=*/true);
+}
+std::unique_ptr<Platform> make_graphlab(bool multi_piece) {
+  return std::make_unique<GraphLabPlatform>(multi_piece);
+}
+std::unique_ptr<Platform> make_neo4j() {
+  return std::make_unique<Neo4jPlatform>();
+}
+
+std::vector<std::unique_ptr<Platform>> make_all_platforms() {
+  std::vector<std::unique_ptr<Platform>> platforms;
+  platforms.push_back(make_giraph());
+  platforms.push_back(make_stratosphere());
+  platforms.push_back(make_hadoop());
+  platforms.push_back(make_yarn());
+  platforms.push_back(make_graphlab(false));
+  platforms.push_back(make_neo4j());
+  return platforms;
+}
+
+}  // namespace gb::algorithms

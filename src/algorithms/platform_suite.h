@@ -1,0 +1,40 @@
+// The six benchmarked platforms, assembled: each class binds one execution
+// engine to the five algorithm implementations and exposes the common
+// Platform interface the harness drives.
+//
+//   Hadoop        — platforms/mapreduce, per-iteration MR jobs
+//   YARN          — same engine, container-based resource manager variant
+//   Stratosphere  — platforms/dataflow, PACT plans on Nephele
+//   Giraph        — platforms/pregel, BSP vertex programs
+//   GraphLab      — platforms/gas, GAS programs (optionally "(mp)" loading)
+//   Neo4j         — platforms/graphdb, single-machine traversals
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platforms/platform.h"
+
+namespace gb::algorithms {
+
+std::unique_ptr<platforms::Platform> make_hadoop();
+std::unique_ptr<platforms::Platform> make_yarn();
+std::unique_ptr<platforms::Platform> make_stratosphere();
+std::unique_ptr<platforms::Platform> make_giraph();
+std::unique_ptr<platforms::Platform> make_graphlab(bool multi_piece = false);
+std::unique_ptr<platforms::Platform> make_neo4j();
+
+// Related-work platforms (the paper's Table 8), built on the MapReduce
+// engine: HaLoop caches loop-invariant data between iterations; PEGASUS
+// runs GIM-V over block-compressed matrices (BFS/CONN/PageRank only).
+std::unique_ptr<platforms::Platform> make_haloop();
+std::unique_ptr<platforms::Platform> make_pegasus();
+/// GPS (Salihoglu & Widom): Pregel plus large-adjacency-list partitioning.
+std::unique_ptr<platforms::Platform> make_gps();
+
+/// All six platforms in the paper's presentation order (GraphLab in stock
+/// single-file loading mode).
+std::vector<std::unique_ptr<platforms::Platform>> make_all_platforms();
+
+}  // namespace gb::algorithms

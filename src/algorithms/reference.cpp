@@ -1,0 +1,191 @@
+#include "algorithms/reference.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/graph_stats.h"
+
+namespace gb::algorithms {
+
+BfsResult reference_bfs(const Graph& g, VertexId source) {
+  BfsResult result;
+  result.levels.assign(g.num_vertices(), kUnreached);
+  if (source >= g.num_vertices()) return result;
+
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  result.levels[source] = 0;
+  result.visited = 1;
+  std::uint64_t depth = 0;
+
+  while (!frontier.empty()) {
+    next.clear();
+    for (const VertexId v : frontier) {
+      for (const VertexId u : g.out_neighbors(v)) {
+        if (result.levels[u] == kUnreached) {
+          result.levels[u] = depth + 1;
+          next.push_back(u);
+          ++result.visited;
+        }
+      }
+    }
+    if (next.empty()) break;
+    ++depth;
+    frontier.swap(next);
+  }
+  result.iterations = depth;
+  return result;
+}
+
+ConnResult reference_conn(const Graph& g) {
+  ConnResult result;
+  const VertexId n = g.num_vertices();
+  result.labels.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.labels[v] = v;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.iterations;
+    for (VertexId v = 0; v < n; ++v) {
+      std::uint64_t smallest = result.labels[v];
+      for (const VertexId u : g.in_neighbors(v)) {
+        smallest = std::min(smallest, result.labels[u]);
+      }
+      if (g.directed()) {
+        for (const VertexId u : g.out_neighbors(v)) {
+          smallest = std::min(smallest, result.labels[u]);
+        }
+      }
+      if (smallest < result.labels[v]) {
+        result.labels[v] = smallest;
+        changed = true;
+      }
+    }
+  }
+  result.components = count_distinct(result.labels);
+  return result;
+}
+
+std::pair<std::uint64_t, CdScore> CdTally::choose() const {
+  std::uint64_t best_label = 0;
+  std::uint64_t best_weight = 0;
+  CdScore best_max = 0;
+  bool first = true;
+  for (const auto& [label, entry] : sums_) {
+    if (first || entry.first > best_weight ||
+        (entry.first == best_weight && label < best_label)) {
+      best_label = label;
+      best_weight = entry.first;
+      best_max = entry.second;
+      first = false;
+    }
+  }
+  return {best_label, best_max};
+}
+
+std::uint64_t cd_step(const Graph& g, const CdParams& params,
+                      const std::vector<std::uint64_t>& labels_in,
+                      const std::vector<CdScore>& scores_in,
+                      std::vector<std::uint64_t>& labels_out,
+                      std::vector<CdScore>& scores_out) {
+  const VertexId n = g.num_vertices();
+  labels_out.resize(n);
+  scores_out.resize(n);
+  std::uint64_t changed = 0;
+
+  CdTally tally;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto senders = g.in_neighbors(v);
+    if (senders.empty()) {
+      labels_out[v] = labels_in[v];
+      scores_out[v] = scores_in[v];
+      continue;
+    }
+    tally.clear();
+    for (const VertexId u : senders) tally.add(labels_in[u], scores_in[u]);
+    const auto [best_label, best_max] = tally.choose();
+    labels_out[v] = best_label;
+    scores_out[v] = best_max > 0 ? best_max - 1 : 0;
+    if (best_label != labels_in[v]) ++changed;
+  }
+  (void)params;
+  return changed;
+}
+
+CdResult reference_cd(const Graph& g, const CdParams& params) {
+  CdResult result;
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint64_t> labels(n);
+  std::vector<CdScore> scores(n, params.initial_units());
+  for (VertexId v = 0; v < n; ++v) labels[v] = v;
+
+  std::vector<std::uint64_t> next_labels;
+  std::vector<CdScore> next_scores;
+  // The paper fixes the iteration budget (5) and runs it out even without
+  // convergence; stopping early on "no label changed" would diverge from
+  // the message-passing implementations, whose scores keep attenuating.
+  for (std::uint32_t iter = 0; iter < params.iterations; ++iter) {
+    cd_step(g, params, labels, scores, next_labels, next_scores);
+    labels.swap(next_labels);
+    scores.swap(next_scores);
+    ++result.iterations;
+  }
+  result.labels = std::move(labels);
+  result.communities = count_distinct(result.labels);
+  return result;
+}
+
+StatsResult reference_stats(const Graph& g) {
+  StatsResult result;
+  result.vertices = g.num_vertices();
+  result.edges = g.num_edges();
+  result.average_lcc = average_lcc(g);
+  return result;
+}
+
+std::uint64_t count_distinct(const std::vector<std::uint64_t>& labels) {
+  std::unordered_set<std::uint64_t> distinct(labels.begin(), labels.end());
+  return distinct.size();
+}
+
+PageRankResult reference_pagerank(const Graph& g,
+                                  const PageRankParams& params) {
+  PageRankResult result;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return result;
+  std::vector<double> ranks(n, 1.0 / static_cast<double>(n));
+  std::vector<double> shares(n, 0.0);  // rank / out-degree, previous round
+  std::vector<double> next(n, 0.0);
+
+  for (std::uint32_t iter = 0; iter < params.iterations; ++iter) {
+    for (VertexId v = 0; v < n; ++v) {
+      const EdgeId deg = g.out_degree(v);
+      shares[v] = deg > 0 ? ranks[v] / static_cast<double>(deg) : 0.0;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (const VertexId u : g.in_neighbors(v)) sum += shares[u];
+      next[v] = pagerank_update(sum, n, params.damping);
+    }
+    ranks.swap(next);
+    ++result.iterations;
+  }
+  result.ranks = std::move(ranks);
+  return result;
+}
+
+std::vector<std::uint64_t> encode_ranks(const std::vector<double>& ranks) {
+  std::vector<std::uint64_t> encoded;
+  encoded.reserve(ranks.size());
+  for (const double r : ranks) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &r, sizeof(bits));
+    encoded.push_back(bits);
+  }
+  return encoded;
+}
+
+}  // namespace gb::algorithms

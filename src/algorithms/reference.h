@@ -1,0 +1,151 @@
+// Sequential reference implementations of the five benchmark algorithms.
+//
+// These define the exact semantics every platform implementation must
+// reproduce — the test suite cross-validates each platform's output
+// against them on every dataset class.
+//
+// Semantics fixed here (and mirrored by all platform programs):
+//  * BFS: levels from a source; directed graphs traverse out-edges only
+//    (paper Section 3.2), unreached vertices keep kUnreached.
+//  * CONN (Wu & Du label propagation): labels start as vertex ids and take
+//    the minimum over in- AND out-neighbors until a fixpoint; the final
+//    label is the smallest id in the (weakly) connected component.
+//  * CD (Leung et al.): synchronized label propagation with scores.
+//    Vertices broadcast (label, score) along out-edges; receivers pick the
+//    label with the greatest score sum (ties: smaller label) and adopt
+//    max-score-of-chosen-label minus the hop attenuation. Fixed iteration
+//    budget (paper: 5).
+//  * STATS: vertex/edge counts and the average local clustering
+//    coefficient.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace gb::algorithms {
+
+inline constexpr std::uint64_t kUnreached = ~std::uint64_t{0};
+
+struct BfsResult {
+  std::vector<std::uint64_t> levels;  // kUnreached where not visited
+  std::uint64_t iterations = 0;       // BFS depth (number of frontiers)
+  std::uint64_t visited = 0;
+  double coverage() const {
+    return levels.empty() ? 0.0
+                          : static_cast<double>(visited) /
+                                static_cast<double>(levels.size());
+  }
+};
+
+BfsResult reference_bfs(const Graph& g, VertexId source);
+
+struct ConnResult {
+  std::vector<std::uint64_t> labels;
+  std::uint64_t iterations = 0;
+  std::uint64_t components = 0;
+};
+
+ConnResult reference_conn(const Graph& g);
+
+struct CdParams {
+  double initial_score = 1.0;
+  double hop_attenuation = 0.1;
+  std::uint32_t iterations = 5;
+
+  // Scores are kept in fixed-point units of one hop attenuation so that
+  // score sums are integers — identical regardless of the order in which
+  // a platform's messages arrive (float sums would differ in the last ulp
+  // and could flip label ties between platforms).
+  std::uint32_t initial_units() const {
+    return static_cast<std::uint32_t>(initial_score / hop_attenuation + 0.5);
+  }
+};
+
+/// Fixed-point score type (units of one hop attenuation).
+using CdScore = std::uint32_t;
+
+struct CdResult {
+  std::vector<std::uint64_t> labels;
+  std::uint64_t iterations = 0;
+  std::uint64_t communities = 0;
+};
+
+CdResult reference_cd(const Graph& g, const CdParams& params);
+
+/// One synchronized CD update step; shared by the reference and by every
+/// platform implementation so the semantics cannot drift. Reads the
+/// previous labels/scores, writes the new ones, returns #changed labels.
+std::uint64_t cd_step(const Graph& g, const CdParams& params,
+                      const std::vector<std::uint64_t>& labels_in,
+                      const std::vector<CdScore>& scores_in,
+                      std::vector<std::uint64_t>& labels_out,
+                      std::vector<CdScore>& scores_out);
+
+/// Receiver-side CD tally, shared by the message-passing implementations
+/// (Pregel, GAS): accumulates per-label score sums and maxima. Because
+/// sums are integers, the choice is independent of message arrival order.
+class CdTally {
+ public:
+  void add(std::uint64_t label, CdScore score) {
+    auto& entry = sums_[label];
+    entry.first += score;
+    entry.second = std::max(entry.second, score);
+  }
+  void clear() { sums_.clear(); }
+  bool empty() const { return sums_.empty(); }
+
+  /// Chosen label (max score sum; ties to the smaller label) and the
+  /// maximum score seen for it.
+  std::pair<std::uint64_t, CdScore> choose() const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, CdScore>> sums_;
+};
+
+struct StatsResult {
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  double average_lcc = 0.0;
+};
+
+StatsResult reference_stats(const Graph& g);
+
+/// Count distinct community labels (shared helper).
+std::uint64_t count_distinct(const std::vector<std::uint64_t>& labels);
+
+// ---- PageRank (library extension) -------------------------------------------
+//
+// Fixed-iteration power method with damping, *without* dangling-mass
+// redistribution (GraphLab toolkit semantics). Semantics are pinned so
+// every platform reproduces bit-identical ranks: contributions are summed
+// in ascending in-neighbor order, which is exactly the arrival order on
+// every engine in this library.
+struct PageRankParams {
+  std::uint32_t iterations = 10;
+  double damping = 0.85;
+};
+
+struct PageRankResult {
+  std::vector<double> ranks;
+  std::uint64_t iterations = 0;
+};
+
+PageRankResult reference_pagerank(const Graph& g, const PageRankParams& params);
+
+/// One synchronized PageRank update for vertex v given the previous ranks
+/// divided by out-degree (shared so no implementation drifts).
+inline double pagerank_update(double contribution_sum, VertexId n,
+                              double damping) {
+  return (1.0 - damping) / static_cast<double>(n) +
+         damping * contribution_sum;
+}
+
+/// Bit-exact encoding of ranks into AlgorithmOutput::vertex_values.
+std::vector<std::uint64_t> encode_ranks(const std::vector<double>& ranks);
+
+}  // namespace gb::algorithms

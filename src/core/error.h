@@ -1,0 +1,36 @@
+// Error taxonomy. Platform engines signal the failure modes the paper
+// observes in the wild (OOM crashes, experiment timeouts) as typed
+// exceptions so the harness can report them per-cell like the paper does.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gb {
+
+/// Base class for all graphbench errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input data (graph files, configs).
+class FormatError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A platform run failed in a way the paper records as an outcome
+/// (crash or forced termination), not as a bug in the harness.
+class PlatformError : public Error {
+ public:
+  enum class Kind { kOutOfMemory, kDiskFull, kTimeout, kUnsupported };
+
+  PlatformError(Kind kind, const std::string& what) : Error(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+}  // namespace gb

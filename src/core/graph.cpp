@@ -1,0 +1,175 @@
+#include "core/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/error.h"
+
+namespace gb {
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  const auto nbrs = out_neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+Bytes Graph::text_size_bytes() const {
+  // Approximates the paper's plain-text format: one line per vertex with
+  // the vertex id and comma-separated neighbor lists. We charge an average
+  // of 8 characters per id (ids up to 8 digits plus separator) plus the
+  // line header. This tracks the paper's "tens of MB to tens of GB" sizes.
+  constexpr Bytes kCharsPerId = 8;
+  constexpr Bytes kLineOverhead = 10;
+  // Undirected: each edge appears in both endpoint lines (out_adj_ already
+  // holds 2E entries). Directed: each arc appears in the source's out-list
+  // and the destination's in-list.
+  const Bytes entries = out_adj_.size() + in_adj_.size();
+  return entries * kCharsPerId + static_cast<Bytes>(num_vertices_) * kLineOverhead;
+}
+
+namespace {
+
+constexpr std::uint64_t kBinaryMagic = 0x6762475246313030ULL;  // "gbGRF100"
+
+template <typename T>
+void write_vec(std::ofstream& out, const std::vector<T>& v) {
+  const std::uint64_t n = v.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+template <typename T>
+void read_vec(std::ifstream& in, std::vector<T>& v) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  v.resize(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+}  // namespace
+
+void Graph::save_binary(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw FormatError("cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(&kBinaryMagic), sizeof(kBinaryMagic));
+  const std::uint8_t directed = directed_ ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&directed), sizeof(directed));
+  out.write(reinterpret_cast<const char*>(&num_vertices_), sizeof(num_vertices_));
+  out.write(reinterpret_cast<const char*>(&num_edges_), sizeof(num_edges_));
+  write_vec(out, out_offsets_);
+  write_vec(out, out_adj_);
+  write_vec(out, in_offsets_);
+  write_vec(out, in_adj_);
+  if (!out) throw FormatError("short write to '" + path + "'");
+}
+
+Graph Graph::load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw FormatError("cannot open '" + path + "' for reading");
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kBinaryMagic) {
+    throw FormatError("'" + path + "' is not a graphbench binary graph");
+  }
+  Graph g;
+  std::uint8_t directed = 0;
+  in.read(reinterpret_cast<char*>(&directed), sizeof(directed));
+  g.directed_ = directed != 0;
+  in.read(reinterpret_cast<char*>(&g.num_vertices_), sizeof(g.num_vertices_));
+  in.read(reinterpret_cast<char*>(&g.num_edges_), sizeof(g.num_edges_));
+  read_vec(in, g.out_offsets_);
+  read_vec(in, g.out_adj_);
+  read_vec(in, g.in_offsets_);
+  read_vec(in, g.in_adj_);
+  if (!in) throw FormatError("short read from '" + path + "'");
+  return g;
+}
+
+GraphBuilder::GraphBuilder(VertexId num_vertices, bool directed)
+    : num_vertices_(num_vertices), directed_(directed) {}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    throw FormatError("edge endpoint out of range");
+  }
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::grow_to(VertexId num_vertices) {
+  if (num_vertices < num_vertices_) {
+    throw FormatError("GraphBuilder::grow_to cannot shrink the vertex set");
+  }
+  num_vertices_ = num_vertices;
+}
+
+Graph GraphBuilder::build() {
+  Graph g;
+  g.directed_ = directed_;
+  g.num_vertices_ = num_vertices_;
+
+  // Canonicalize: drop self-loops; for undirected graphs order endpoints
+  // so duplicates collapse regardless of insertion orientation.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(edges_.size());
+  for (auto [u, v] : edges_) {
+    if (u == v) continue;
+    if (!directed_ && u > v) std::swap(u, v);
+    edges.emplace_back(u, v);
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  g.num_edges_ = edges.size();
+
+  // Out-degree counting. Undirected: each edge contributes to both ends.
+  const VertexId n = num_vertices_;
+  std::vector<EdgeId> out_deg(n, 0);
+  for (const auto& [u, v] : edges) {
+    ++out_deg[u];
+    if (!directed_) ++out_deg[v];
+  }
+
+  g.out_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    g.out_offsets_[v + 1] = g.out_offsets_[v] + out_deg[v];
+  }
+  g.out_adj_.resize(g.out_offsets_[n]);
+
+  std::vector<EdgeId> cursor(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.out_adj_[cursor[u]++] = v;
+    if (!directed_) g.out_adj_[cursor[v]++] = u;
+  }
+
+  if (directed_) {
+    std::vector<EdgeId> in_deg(n, 0);
+    for (const auto& [u, v] : edges) ++in_deg[v];
+    g.in_offsets_.assign(n + 1, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      g.in_offsets_[v + 1] = g.in_offsets_[v] + in_deg[v];
+    }
+    g.in_adj_.resize(g.in_offsets_[n]);
+    std::vector<EdgeId> in_cursor(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+    for (const auto& [u, v] : edges) g.in_adj_[in_cursor[v]++] = u;
+  }
+
+  // Sorted-adjacency invariant: edges were inserted in sorted edge order,
+  // so each out list is already sorted for directed graphs; undirected
+  // interleaving can break ordering, so sort per vertex.
+  if (!directed_) {
+    for (VertexId v = 0; v < n; ++v) {
+      auto begin = g.out_adj_.begin() + static_cast<std::ptrdiff_t>(g.out_offsets_[v]);
+      auto end = g.out_adj_.begin() + static_cast<std::ptrdiff_t>(g.out_offsets_[v + 1]);
+      std::sort(begin, end);
+    }
+  }
+  return g;
+}
+
+}  // namespace gb

@@ -1,0 +1,111 @@
+// Compressed sparse row (CSR) graph and its builder.
+//
+// This is the in-memory graph representation shared by every substrate:
+// dataset generators emit it, platform engines partition it, algorithms
+// traverse it. Directed graphs keep both out- and in-adjacency (the paper's
+// text format stores both lists per vertex); undirected graphs store each
+// edge in the adjacency of both endpoints and report the logical edge count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace gb {
+
+class GraphBuilder;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  bool directed() const { return directed_; }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Logical edge count: distinct arcs for directed graphs, distinct
+  /// unordered pairs for undirected graphs (matches the paper's Table 2).
+  EdgeId num_edges() const { return num_edges_; }
+
+  /// Stored adjacency entries (= 2 * num_edges() for undirected graphs).
+  EdgeId num_adjacency_entries() const { return out_adj_.size(); }
+
+  std::span<const VertexId> out_neighbors(VertexId v) const {
+    return {out_adj_.data() + out_offsets_[v],
+            out_adj_.data() + out_offsets_[v + 1]};
+  }
+
+  /// For undirected graphs in-neighbors alias out-neighbors.
+  std::span<const VertexId> in_neighbors(VertexId v) const {
+    if (!directed_) return out_neighbors(v);
+    return {in_adj_.data() + in_offsets_[v], in_adj_.data() + in_offsets_[v + 1]};
+  }
+
+  EdgeId out_degree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+
+  EdgeId in_degree(VertexId v) const {
+    if (!directed_) return out_degree(v);
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Degree used by undirected algorithms; for directed graphs this is
+  /// out-degree (the paper propagates along out-edges only).
+  EdgeId degree(VertexId v) const { return out_degree(v); }
+
+  /// Binary search in the (sorted) out-adjacency.
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Bytes this graph occupies when serialized in the paper's plain-text
+  /// format (used for disk-size-sensitive experiments such as ingestion).
+  Bytes text_size_bytes() const;
+
+  /// Fast binary (de)serialization, used by the dataset cache so large
+  /// generated graphs are built once per machine rather than per binary.
+  void save_binary(const std::string& path) const;
+  static Graph load_binary(const std::string& path);
+
+ private:
+  friend class GraphBuilder;
+
+  bool directed_ = false;
+  VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
+  std::vector<EdgeId> out_offsets_;
+  std::vector<VertexId> out_adj_;
+  std::vector<EdgeId> in_offsets_;   // directed only
+  std::vector<VertexId> in_adj_;     // directed only
+};
+
+/// Accumulates edges, then produces a canonical Graph: sorted adjacency,
+/// parallel edges and self-loops removed, undirected edges symmetrized.
+class GraphBuilder {
+ public:
+  GraphBuilder(VertexId num_vertices, bool directed);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  bool directed() const { return directed_; }
+
+  /// Queue an edge. For undirected graphs (u, v) and (v, u) are the same
+  /// edge; either may be added. Self-loops are dropped at build time.
+  void add_edge(VertexId u, VertexId v);
+
+  /// Number of queued (pre-dedup) edges.
+  std::size_t pending_edges() const { return edges_.size(); }
+
+  /// Grow the vertex set (used by the evolution algorithm).
+  void grow_to(VertexId num_vertices);
+
+  /// Build the canonical graph. The builder is left empty.
+  Graph build();
+
+ private:
+  VertexId num_vertices_;
+  bool directed_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace gb

@@ -1,0 +1,190 @@
+#include "core/graph_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.h"
+
+namespace gb {
+namespace {
+
+VertexId parse_id(std::string_view token, std::size_t line_no) {
+  VertexId value = 0;
+  const auto* begin = token.data();
+  const auto* end = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw FormatError("bad vertex id '" + std::string(token) + "' at line " +
+                      std::to_string(line_no));
+  }
+  return value;
+}
+
+void parse_id_list(std::string_view list, std::size_t line_no,
+                   std::vector<VertexId>& out) {
+  out.clear();
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    std::string_view token = list.substr(0, comma);
+    if (!token.empty()) out.push_back(parse_id(token, line_no));
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+}
+
+void write_list(std::span<const VertexId> ids, std::ostream& out) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) out << ',';
+    out << ids[i];
+  }
+}
+
+}  // namespace
+
+void write_graph(const Graph& g, std::ostream& out) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out << v << ": ";
+    if (g.directed()) {
+      write_list(g.in_neighbors(v), out);
+      out << " # ";
+      write_list(g.out_neighbors(v), out);
+    } else {
+      write_list(g.out_neighbors(v), out);
+    }
+    out << '\n';
+  }
+}
+
+void write_graph_to_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw FormatError("cannot open '" + path + "' for writing");
+  write_graph(g, out);
+}
+
+Graph read_graph(std::istream& in, bool directed) {
+  // First pass accumulates edges keyed by the maximum id seen; vertex ids
+  // must be dense (0..n-1) per the paper's preprocessed datasets.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  VertexId max_id = 0;
+  bool saw_vertex = false;
+
+  std::string line;
+  std::vector<VertexId> ids;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv(line);
+    if (sv.empty()) continue;
+    const std::size_t colon = sv.find(':');
+    if (colon == std::string_view::npos) {
+      throw FormatError("missing ':' at line " + std::to_string(line_no));
+    }
+    const VertexId v = parse_id(sv.substr(0, colon), line_no);
+    saw_vertex = true;
+    max_id = std::max(max_id, v);
+    std::string_view rest = sv.substr(colon + 1);
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+
+    std::string_view out_list = rest;
+    if (directed) {
+      const std::size_t hash = rest.find('#');
+      if (hash == std::string_view::npos) {
+        throw FormatError("directed vertex line missing '#' at line " +
+                          std::to_string(line_no));
+      }
+      // The in-list is redundant with the out-lists of other vertices;
+      // only the out-list defines edges.
+      out_list = rest.substr(hash + 1);
+    }
+    while (!out_list.empty() && out_list.front() == ' ') out_list.remove_prefix(1);
+    while (!out_list.empty() && out_list.back() == ' ') out_list.remove_suffix(1);
+
+    parse_id_list(out_list, line_no, ids);
+    for (VertexId u : ids) {
+      edges.emplace_back(v, u);
+      max_id = std::max(max_id, u);
+    }
+  }
+
+  const VertexId n = saw_vertex ? max_id + 1 : 0;
+  GraphBuilder builder(n, directed);
+  for (auto [u, v] : edges) builder.add_edge(u, v);
+  return builder.build();
+}
+
+Graph read_graph_from_file(const std::string& path, bool directed) {
+  std::ifstream in(path);
+  if (!in) throw FormatError("cannot open '" + path + "' for reading");
+  return read_graph(in, directed);
+}
+
+Graph read_snap_edge_list(std::istream& in, bool directed) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  const auto dense_id = [&remap](std::uint64_t raw) {
+    const auto [it, inserted] =
+        remap.emplace(raw, static_cast<VertexId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv(line);
+    while (!sv.empty() && (sv.front() == ' ' || sv.front() == '\t')) {
+      sv.remove_prefix(1);
+    }
+    if (sv.empty() || sv.front() == '#') continue;
+
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    const char* begin = sv.data();
+    const char* end = sv.data() + sv.size();
+    auto [p1, e1] = std::from_chars(begin, end, src);
+    if (e1 != std::errc{}) {
+      throw FormatError("bad source id at line " + std::to_string(line_no));
+    }
+    while (p1 != end && (*p1 == ' ' || *p1 == '\t')) ++p1;
+    auto [p2, e2] = std::from_chars(p1, end, dst);
+    if (e2 != std::errc{} || p1 == p2) {
+      throw FormatError("bad destination id at line " +
+                        std::to_string(line_no));
+    }
+    // Sequence the renumbering explicitly: argument evaluation order is
+    // unspecified, and ids must be assigned in reading order.
+    const VertexId s = dense_id(src);
+    const VertexId t = dense_id(dst);
+    edges.emplace_back(s, t);
+  }
+
+  GraphBuilder builder(static_cast<VertexId>(remap.size()), directed);
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return builder.build();
+}
+
+Graph read_snap_edge_list_from_file(const std::string& path, bool directed) {
+  std::ifstream in(path);
+  if (!in) throw FormatError("cannot open '" + path + "' for reading");
+  return read_snap_edge_list(in, directed);
+}
+
+void write_snap_edge_list(const Graph& g, std::ostream& out) {
+  out << "# graphbench SNAP export: " << g.num_vertices() << " nodes, "
+      << g.num_edges() << " edges, "
+      << (g.directed() ? "directed" : "undirected") << '\n';
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      if (!g.directed() && u < v) continue;  // each undirected edge once
+      out << v << '\t' << u << '\n';
+    }
+  }
+}
+
+}  // namespace gb

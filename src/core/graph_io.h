@@ -1,0 +1,33 @@
+// Reader/writer for the paper's plain-text graph format.
+//
+// One line per vertex. Undirected: "<id>: <n1>,<n2>,..."; directed:
+// "<id>: <in1>,<in2>,... # <out1>,<out2>,..." (in-list, then out-list).
+// Vertex ids are integers; neighbor lists may be empty.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/graph.h"
+
+namespace gb {
+
+/// Serialize a graph in the text format described above.
+void write_graph(const Graph& g, std::ostream& out);
+void write_graph_to_file(const Graph& g, const std::string& path);
+
+/// Parse a graph from the text format. Throws FormatError on bad input.
+Graph read_graph(std::istream& in, bool directed);
+Graph read_graph_from_file(const std::string& path, bool directed);
+
+/// SNAP edge-list format (the repositories the paper's datasets come
+/// from): '#'-prefixed comment lines, then one "<src><ws><dst>" pair per
+/// line. Vertex ids need not be dense — they are renumbered densely in
+/// first-appearance order.
+Graph read_snap_edge_list(std::istream& in, bool directed);
+Graph read_snap_edge_list_from_file(const std::string& path, bool directed);
+
+/// Serialize as a SNAP edge list (each undirected edge written once).
+void write_snap_edge_list(const Graph& g, std::ostream& out);
+
+}  // namespace gb

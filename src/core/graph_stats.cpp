@@ -1,0 +1,179 @@
+#include "core/graph_stats.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gb {
+
+GraphSummary summarize(const Graph& g) {
+  GraphSummary s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.directed = g.directed();
+  const double n = static_cast<double>(s.num_vertices);
+  const double e = static_cast<double>(s.num_edges);
+  if (s.num_vertices > 1) {
+    const double pairs = n * (n - 1.0);
+    s.link_density = g.directed() ? e / pairs : 2.0 * e / pairs;
+  }
+  if (s.num_vertices > 0) {
+    // For directed graphs e arcs give average in-degree e/n; for
+    // undirected each edge contributes 2 endpoint incidences.
+    s.average_degree = g.directed() ? e / n : 2.0 * e / n;
+  }
+  return s;
+}
+
+EdgeId sorted_intersection_count(std::span<const VertexId> a,
+                                 std::span<const VertexId> b,
+                                 VertexId exclude) {
+  if (a.size() > b.size()) std::swap(a, b);
+  EdgeId count = 0;
+  // Galloping pays off once the size ratio beats the log factor.
+  if (a.size() * 16 < b.size()) {
+    for (const VertexId x : a) {
+      if (x != exclude && std::binary_search(b.begin(), b.end(), x)) ++count;
+    }
+    return count;
+  }
+  auto it1 = a.begin();
+  auto it2 = b.begin();
+  while (it1 != a.end() && it2 != b.end()) {
+    if (*it1 < *it2) {
+      ++it1;
+    } else if (*it2 < *it1) {
+      ++it2;
+    } else {
+      if (*it1 != exclude) ++count;
+      ++it1;
+      ++it2;
+    }
+  }
+  return count;
+}
+
+EdgeId edges_between_neighbors(const Graph& g, VertexId v) {
+  const auto nbrs = g.out_neighbors(v);
+  EdgeId count = 0;
+  // For each neighbor u, count how many of v's neighbors appear in u's
+  // adjacency list.
+  for (const VertexId u : nbrs) {
+    count += sorted_intersection_count(nbrs, g.out_neighbors(u), v);
+  }
+  return count;
+}
+
+double local_clustering_coefficient(const Graph& g, VertexId v) {
+  const EdgeId deg = g.out_degree(v);
+  if (deg < 2) return 0.0;
+  const double links = static_cast<double>(edges_between_neighbors(g, v));
+  const double possible = static_cast<double>(deg) * (static_cast<double>(deg) - 1.0);
+  // Undirected adjacency double-counts each neighbor-neighbor edge (once
+  // from each endpoint), exactly matching the ordered-pair denominator.
+  return links / possible;
+}
+
+double average_lcc(const Graph& g) {
+  if (g.num_vertices() == 0) return 0.0;
+  double total = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    total += local_clustering_coefficient(g, v);
+  }
+  return total / static_cast<double>(g.num_vertices());
+}
+
+DegreeDistribution degree_distribution(const Graph& g) {
+  DegreeDistribution d;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return d;
+  std::vector<EdgeId> degrees(n);
+  double total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = g.out_degree(v);
+    total += static_cast<double>(degrees[v]);
+    d.sum_squared_degree +=
+        static_cast<double>(degrees[v]) * static_cast<double>(degrees[v]);
+  }
+  std::sort(degrees.begin(), degrees.end());
+  d.min_degree = degrees.front();
+  d.max_degree = degrees.back();
+  d.mean = total / static_cast<double>(n);
+  const auto percentile = [&](double p) {
+    const auto idx = static_cast<std::size_t>(p * (n - 1));
+    return degrees[idx];
+  };
+  d.p50 = percentile(0.50);
+  d.p90 = percentile(0.90);
+  d.p99 = percentile(0.99);
+  // Gini over the sorted degrees: G = (2*sum(i*x_i))/(n*sum(x)) - (n+1)/n.
+  if (total > 0) {
+    double weighted = 0;
+    for (VertexId i = 0; i < n; ++i) {
+      weighted += static_cast<double>(i + 1) * static_cast<double>(degrees[i]);
+    }
+    d.gini = 2.0 * weighted / (static_cast<double>(n) * total) -
+             (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+  }
+  return d;
+}
+
+Graph largest_component(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> comp(n, kInvalidVertex);
+  std::vector<VertexId> stack;
+  VertexId best_root = 0;
+  std::size_t best_size = 0;
+  VertexId next_comp = 0;
+
+  for (VertexId s = 0; s < n; ++s) {
+    if (comp[s] != kInvalidVertex) continue;
+    std::size_t size = 0;
+    stack.push_back(s);
+    comp[s] = next_comp;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      ++size;
+      // Weak connectivity: traverse both directions for directed graphs.
+      for (const VertexId u : g.out_neighbors(v)) {
+        if (comp[u] == kInvalidVertex) {
+          comp[u] = next_comp;
+          stack.push_back(u);
+        }
+      }
+      if (g.directed()) {
+        for (const VertexId u : g.in_neighbors(v)) {
+          if (comp[u] == kInvalidVertex) {
+            comp[u] = next_comp;
+            stack.push_back(u);
+          }
+        }
+      }
+    }
+    if (size > best_size) {
+      best_size = size;
+      best_root = next_comp;
+    }
+    ++next_comp;
+  }
+
+  // Dense renumbering of the winning component.
+  std::vector<VertexId> remap(n, kInvalidVertex);
+  VertexId next_id = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (comp[v] == best_root) remap[v] = next_id++;
+  }
+
+  GraphBuilder builder(next_id, g.directed());
+  for (VertexId v = 0; v < n; ++v) {
+    if (remap[v] == kInvalidVertex) continue;
+    for (const VertexId u : g.out_neighbors(v)) {
+      if (remap[u] == kInvalidVertex) continue;
+      if (!g.directed() && remap[u] < remap[v]) continue;  // emit once
+      builder.add_edge(remap[v], remap[u]);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace gb

@@ -1,0 +1,68 @@
+// Structural graph statistics used by Table 2 and by the STATS algorithm's
+// reference implementation: link density, average degree, clustering.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.h"
+
+namespace gb {
+
+struct GraphSummary {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  /// Link density d = #E / (#V * (#V - 1)) for directed graphs and
+  /// 2#E / (#V * (#V - 1)) for undirected (paper Table 2, the values
+  /// listed there are x 1e-5).
+  double link_density = 0.0;
+  /// D: average degree for undirected graphs; average in-degree
+  /// (= average out-degree) for directed graphs.
+  double average_degree = 0.0;
+  bool directed = false;
+};
+
+GraphSummary summarize(const Graph& g);
+
+/// Count common elements of two sorted id lists, skipping `exclude`.
+/// Uses a linear merge for similar sizes and binary probing when one list
+/// is much shorter — the skewed-degree graphs in this study hit the
+/// latter constantly (a leaf's 3-entry list against a hub's 40 k).
+EdgeId sorted_intersection_count(std::span<const VertexId> a,
+                                 std::span<const VertexId> b,
+                                 VertexId exclude);
+
+/// Local clustering coefficient of one vertex: fraction of pairs of
+/// neighbors that are themselves connected. Directed graphs use the
+/// union neighborhood and count directed links, matching the STATS
+/// implementations on the tested platforms.
+double local_clustering_coefficient(const Graph& g, VertexId v);
+
+/// Average LCC over all vertices (the STATS headline output).
+double average_lcc(const Graph& g);
+
+/// Number of edges between the neighbors of v (triangle counting kernel).
+EdgeId edges_between_neighbors(const Graph& g, VertexId v);
+
+/// Restrict a graph to its largest (weakly) connected component and
+/// renumber vertices densely. The paper does this to every raw dataset.
+Graph largest_component(const Graph& g);
+
+/// Degree-distribution summary: the skew numbers that decide platform
+/// behaviour (hub sizes drive message explosions; the Gini coefficient
+/// summarizes how unequal the degree mass is).
+struct DegreeDistribution {
+  EdgeId min_degree = 0;
+  EdgeId max_degree = 0;
+  double mean = 0;
+  EdgeId p50 = 0;
+  EdgeId p90 = 0;
+  EdgeId p99 = 0;
+  double gini = 0;  // 0 = regular graph, -> 1 = all edges on one hub
+  /// sum(deg^2): the neighborhood-exchange volume in id entries — the
+  /// quantity behind every STATS crash in the paper.
+  double sum_squared_degree = 0;
+};
+
+DegreeDistribution degree_distribution(const Graph& g);
+
+}  // namespace gb

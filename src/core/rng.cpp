@@ -1,0 +1,14 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+namespace gb {
+
+std::uint64_t Xoshiro256::next_geometric(double p) {
+  if (p >= 1.0) return 0;
+  // Inverse-CDF sampling: floor(log(U) / log(1-p)).
+  const double u = 1.0 - next_double();  // in (0, 1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+}  // namespace gb

@@ -1,0 +1,93 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace gb {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  size_ = threads;
+  if (size_ == 1) return;  // inline mode: no worker threads
+  workers_.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (size_ == 1 || n < 2) {
+    fn(0, n);
+    return;
+  }
+
+  const std::size_t blocks = std::min(size_, n);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+
+  std::atomic<std::size_t> remaining{blocks};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::condition_variable done_cv;
+  std::mutex done_mutex;
+
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t begin = b * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    auto task = [&, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_one();
+      }
+    };
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace gb

@@ -1,0 +1,51 @@
+// Minimal work-sharing thread pool with a blocked-range parallel_for.
+//
+// Platform engines use it to run per-partition work concurrently on the
+// host while the *simulated* cluster time is accounted separately by the
+// cost model. On a single-core host the pool degrades to serial execution
+// with no thread creation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gb {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_concurrency(); a pool of size 1 runs
+  /// tasks inline on the caller, avoiding thread overhead entirely.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return size_; }
+
+  /// Run fn(begin, end) over [0, n) split into roughly equal blocks, one
+  /// per worker, and wait for completion. Exceptions from workers are
+  /// rethrown on the caller (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide default pool.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::size_t size_;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gb

@@ -1,0 +1,30 @@
+// Fundamental types shared by every graphbench module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gb {
+
+/// Vertex identifier. 32 bits suffice for every dataset in the study
+/// (Friendster tops out at ~66 M vertices).
+using VertexId = std::uint32_t;
+
+/// Edge counts and CSR offsets. Friendster has 1.8 G edges, so 64 bits.
+using EdgeId = std::uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Simulated time in seconds. Double keeps the arithmetic simple; the
+/// resolution required by the paper's figures is ~1 ms over hours.
+using SimTime = double;
+
+/// Bytes of simulated storage / memory / network payload.
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return v << 10; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return v << 20; }
+inline constexpr Bytes operator""_GiB(unsigned long long v) { return v << 30; }
+
+}  // namespace gb

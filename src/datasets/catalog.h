@@ -1,0 +1,73 @@
+// Catalog of the seven paper datasets (Table 2).
+//
+// Each catalog entry records the paper's published characteristics and
+// knows how to synthesize a structurally matching graph at a chosen scale
+// (scale 1.0 = paper size). Friendster defaults to 1/100 scale because its
+// full 1.8 G edges exceed a single host; the cost model extrapolates
+// counted work back to full size (see sim/cost_model.h and DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace gb::datasets {
+
+enum class DatasetId {
+  kAmazon,
+  kWikiTalk,
+  kKGS,
+  kCitation,
+  kDotaLeague,
+  kSynth,
+  kFriendster,
+};
+
+/// Static metadata: the paper's Table 2 row plus our generation defaults.
+struct DatasetInfo {
+  DatasetId id;
+  std::string name;
+  bool directed;
+  VertexId paper_vertices;
+  EdgeId paper_edges;
+  double paper_density;     // d in Table 2 (not the x 1e-5 scaled value)
+  double paper_avg_degree;  // D in Table 2
+  double default_scale;     // 1.0 except Friendster
+  /// Where the paper's randomly-drawn BFS source fell, as a fraction of
+  /// the (chronologically ordered) id space; < 0 means "any vertex".
+  /// Matters only for Citation, whose 0.1 % coverage implies the drawn
+  /// patent was early (its ancestor cone is bounded by its own age).
+  double bfs_source_rank = -1.0;
+};
+
+/// A generated instance: the graph plus provenance.
+struct Dataset {
+  DatasetId id;
+  std::string name;
+  Graph graph;
+  double scale = 1.0;
+
+  /// Work multiplier applied by the cost model so that a scaled-down
+  /// graph yields full-size simulated times and memory footprints.
+  double extrapolation() const { return 1.0 / scale; }
+};
+
+const std::vector<DatasetId>& all_datasets();
+const DatasetInfo& info(DatasetId id);
+const DatasetInfo* find_info(const std::string& name);
+
+/// Generate a dataset. scale <= 0 selects the catalog default.
+/// The result is the largest connected component, densely renumbered,
+/// exactly as the paper preprocesses its raw data.
+Dataset generate(DatasetId id, double scale = 0.0, std::uint64_t seed = 42);
+
+/// Same, but memoized on disk (cache_dir; default "$GB_CACHE_DIR" or
+/// ".graphbench_cache"). Generating the large graphs takes tens of
+/// seconds, so every bench binary shares one cache.
+Dataset load_or_generate(DatasetId id, double scale = 0.0,
+                         std::uint64_t seed = 42,
+                         const std::string& cache_dir = "");
+
+}  // namespace gb::datasets

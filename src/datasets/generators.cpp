@@ -1,0 +1,304 @@
+#include "datasets/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace gb::datasets {
+namespace {
+
+/// O(1) sampling from a fixed discrete distribution (Walker alias method).
+/// Used for activity-skewed player/user selection.
+class AliasSampler {
+ public:
+  explicit AliasSampler(const std::vector<double>& weights) {
+    const std::size_t n = weights.size();
+    prob_.resize(n);
+    alias_.resize(n);
+    double total = 0.0;
+    for (double w : weights) total += w;
+    std::vector<double> scaled(n);
+    std::vector<std::uint32_t> small, large;
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+      (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::uint32_t s = small.back();
+      small.pop_back();
+      const std::uint32_t l = large.back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    for (std::uint32_t l : large) prob_[l] = 1.0;
+    for (std::uint32_t s : small) prob_[s] = 1.0;
+  }
+
+  std::uint32_t sample(Xoshiro256& rng) const {
+    const std::uint32_t i =
+        static_cast<std::uint32_t>(rng.next_below(prob_.size()));
+    return rng.next_double() < prob_[i] ? i : alias_[i];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+std::vector<double> zipf_weights(VertexId n, double skew) {
+  std::vector<double> w(n);
+  for (VertexId i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i) + 1.0, skew);
+  }
+  return w;
+}
+
+}  // namespace
+
+Graph rmat(std::uint32_t scale, EdgeId edges, double a, double b, double c,
+           bool directed, std::uint64_t seed) {
+  const VertexId n = VertexId{1} << scale;
+  GraphBuilder builder(n, directed);
+  Xoshiro256 rng(seed);
+  const double ab = a + b;
+  const double abc = a + b + c;
+  for (EdgeId e = 0; e < edges; ++e) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: neither bit set
+      } else if (r < ab) {
+        v |= 1;
+      } else if (r < abc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph hub_graph(VertexId n, EdgeId edges, VertexId hubs,
+                double hub_in_fraction, double hub_out_fraction,
+                double welcome_fraction, std::uint64_t seed) {
+  GraphBuilder builder(n, /*directed=*/true);
+  Xoshiro256 rng(seed);
+  // Welcome arcs: one admin-to-user arc for `welcome_fraction` of users
+  // (every registered account gets a welcome message). Deterministic sweep
+  // so the covered set is exactly that fraction.
+  EdgeId welcome = std::min<EdgeId>(
+      static_cast<EdgeId>(welcome_fraction * n), edges);
+  for (EdgeId e = 0; e < welcome; ++e) {
+    const auto user = static_cast<VertexId>(
+        (e * 100003ULL) % n);  // coprime stride scatters welcomed users
+    const VertexId admin = static_cast<VertexId>(user % hubs);
+    if (admin != user) builder.add_edge(admin, user);
+  }
+  edges -= welcome;
+
+  std::vector<VertexId> previous_dst;
+  previous_dst.reserve(edges);
+  for (EdgeId e = 0; e < edges; ++e) {
+    const VertexId src =
+        rng.next_bool(hub_out_fraction)
+            ? static_cast<VertexId>(rng.next_below(hubs))
+            : static_cast<VertexId>(rng.next_below(n));
+    VertexId dst;
+    if (rng.next_bool(hub_in_fraction)) {
+      dst = static_cast<VertexId>(rng.next_below(hubs));
+    } else if (!previous_dst.empty() && rng.next_bool(0.5)) {
+      // Copy model: reusing an existing destination yields a power-law
+      // in-degree tail without maintaining a weighted structure.
+      dst = previous_dst[rng.next_below(previous_dst.size())];
+    } else {
+      dst = static_cast<VertexId>(rng.next_below(n));
+    }
+    if (src != dst) {
+      builder.add_edge(src, dst);
+      previous_dst.push_back(dst);
+    }
+  }
+  return builder.build();
+}
+
+namespace {
+
+/// Uniform vertex within +-window of `center`, clamped to [0, n).
+VertexId banded_pick(Xoshiro256& rng, VertexId n, VertexId center,
+                     VertexId window) {
+  const VertexId lo = center > window ? center - window : 0;
+  const VertexId hi = std::min<VertexId>(n - 1, center + window);
+  return lo + static_cast<VertexId>(rng.next_below(hi - lo + 1));
+}
+
+}  // namespace
+
+Graph weighted_pair_graph(VertexId n, EdgeId games, double skew,
+                          double band_p, VertexId band_window,
+                          std::uint64_t seed) {
+  GraphBuilder builder(n, /*directed=*/false);
+  Xoshiro256 rng(seed);
+  const AliasSampler sampler(zipf_weights(n, skew));
+  for (EdgeId g = 0; g < games; ++g) {
+    const VertexId u = sampler.sample(rng);
+    const VertexId v = rng.next_bool(band_p)
+                           ? banded_pick(rng, n, u, band_window)
+                           : sampler.sample(rng);
+    if (u != v) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph match_clique_graph(VertexId n, std::uint64_t matches,
+                         std::uint32_t players_per_match, double skew,
+                         double band_p, VertexId band_window,
+                         std::uint64_t seed) {
+  GraphBuilder builder(n, /*directed=*/false);
+  Xoshiro256 rng(seed);
+  const AliasSampler sampler(zipf_weights(n, skew));
+  std::vector<VertexId> roster(players_per_match);
+  for (std::uint64_t m = 0; m < matches; ++m) {
+    if (rng.next_bool(band_p)) {
+      // Rating-banded matchmaking: everyone near the sampled center.
+      const VertexId center = sampler.sample(rng);
+      for (auto& p : roster) p = banded_pick(rng, n, center, band_window);
+    } else {
+      for (auto& p : roster) p = sampler.sample(rng);
+    }
+    for (std::size_t i = 0; i < roster.size(); ++i) {
+      for (std::size_t j = i + 1; j < roster.size(); ++j) {
+        if (roster[i] != roster[j]) builder.add_edge(roster[i], roster[j]);
+      }
+    }
+  }
+  return builder.build();
+}
+
+Graph copurchase_graph(VertexId n, double k, double rewire_p, VertexId window,
+                       std::uint64_t seed) {
+  GraphBuilder builder(n, /*directed=*/true);
+  Xoshiro256 rng(seed);
+  const auto k_floor = static_cast<std::uint32_t>(k);
+  const double k_frac = k - static_cast<double>(k_floor);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint32_t kv = k_floor + (rng.next_bool(k_frac) ? 1 : 0);
+    for (std::uint32_t i = 1; i <= kv; ++i) {
+      VertexId target = static_cast<VertexId>((v + i) % n);
+      if (rng.next_bool(rewire_p)) {
+        // Related products sit nearby in the catalog: forward jump of at
+        // most `window` positions.
+        const VertexId jump =
+            1 + static_cast<VertexId>(rng.next_below(std::max<VertexId>(window, 2)));
+        target = static_cast<VertexId>((v + jump) % n);
+      }
+      if (target != v) builder.add_edge(v, target);
+    }
+  }
+  return builder.build();
+}
+
+Graph citation_dag(VertexId n, double avg_refs, VertexId window, double copy_p,
+                   std::uint64_t seed) {
+  GraphBuilder builder(n, /*directed=*/true);
+  Xoshiro256 rng(seed);
+  // Circular buffer of recently cited patents: copying from it
+  // concentrates references on a small set of landmark patents per era.
+  std::vector<VertexId> recent;
+  const std::size_t recent_cap = 1024;
+  std::size_t recent_pos = 0;
+  for (VertexId v = 1; v < n; ++v) {
+    // Number of references: 1 + geometric keeps the mean at avg_refs with
+    // a realistic long tail of heavily-citing patents.
+    const double tail = std::max(avg_refs - 1.0, 0.0);
+    const std::uint64_t refs =
+        1 + (tail > 0.0 ? rng.next_geometric(1.0 / (tail + 1.0)) : 0);
+    const VertexId reach = std::min<VertexId>(v, window);
+    for (std::uint64_t r = 0; r < refs; ++r) {
+      VertexId target;
+      if (rng.next_bool(0.005) && v > 1) {
+        // The occasional seminal reference far back in time: keeps BFS
+        // depth near the paper's ~11 without inflating the closure (the
+        // old targets are shared landmarks).
+        target = static_cast<VertexId>(rng.next_below(v));
+      } else if (!recent.empty() && rng.next_bool(copy_p)) {
+        target = recent[rng.next_below(recent.size())];
+      } else {
+        // Squared uniform biases citations toward recent patents.
+        const double u = rng.next_double();
+        const VertexId back = static_cast<VertexId>(u * u * reach);
+        target = v - 1 - std::min<VertexId>(back, v - 1);
+      }
+      if (target != v) {
+        builder.add_edge(v, target);
+        if (recent.size() < recent_cap) {
+          recent.push_back(target);
+        } else {
+          recent[recent_pos] = target;
+          recent_pos = (recent_pos + 1) % recent_cap;
+        }
+      }
+    }
+  }
+  return builder.build();
+}
+
+Graph ring_community_graph(VertexId n, VertexId communities, double avg_degree,
+                           double local_p, double neighbor_p,
+                           double core_fraction, std::uint64_t seed) {
+  GraphBuilder builder(n, /*directed=*/false);
+  Xoshiro256 rng(seed);
+  // Vertices [0, core_size) form the metro core (community 0); the rest
+  // are split evenly over communities 1..communities-1 along the ring.
+  const VertexId core_size =
+      std::max<VertexId>(1, static_cast<VertexId>(core_fraction * n));
+  const VertexId tail = n - core_size;
+  const VertexId tail_comms = communities > 1 ? communities - 1 : 1;
+  const VertexId comm_size = (tail + tail_comms - 1) / tail_comms + 1;
+  const auto community_of = [&](VertexId v) -> VertexId {
+    if (v < core_size) return 0;
+    return 1 + (v - core_size) / comm_size;
+  };
+  const auto random_in_community = [&](VertexId c) -> VertexId {
+    if (c == 0) return static_cast<VertexId>(rng.next_below(core_size));
+    const VertexId lo = core_size + (c - 1) * comm_size;
+    const VertexId hi = std::min<VertexId>(lo + comm_size, n);
+    return lo + static_cast<VertexId>(rng.next_below(hi - lo));
+  };
+
+  const EdgeId target_edges =
+      static_cast<EdgeId>(avg_degree * static_cast<double>(n) / 2.0);
+  for (EdgeId e = 0; e < target_edges; ++e) {
+    const VertexId u = static_cast<VertexId>(rng.next_below(n));
+    const VertexId cu = community_of(u);
+    VertexId cv;
+    const double r = rng.next_double();
+    if (r < local_p) {
+      cv = cu;
+    } else if (r < local_p + neighbor_p) {
+      // Step to an adjacent community on the ring.
+      const VertexId nc = community_of(n - 1) + 1;
+      cv = rng.next_bool(0.5) ? (cu + 1) % nc : (cu + nc - 1) % nc;
+    } else {
+      cv = community_of(static_cast<VertexId>(rng.next_below(n)));
+    }
+    const VertexId v = random_in_community(cv);
+    if (u != v) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+}  // namespace gb::datasets

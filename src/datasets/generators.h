@@ -1,0 +1,86 @@
+// Synthetic graph generators.
+//
+// Each generator reproduces the structural character of one dataset class
+// from the paper's Table 2. The paper used real SNAP / Game Trace Archive
+// data, which is not redistributable here; these generators are the
+// documented substitution (see DESIGN.md §2) and are tuned so that vertex
+// and edge counts, directivity, density and degree skew match the paper.
+// All generators are deterministic in (parameters, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.h"
+
+namespace gb::datasets {
+
+/// Graph500-style Kronecker / R-MAT generator (the paper's "Synth").
+/// Samples `edges` arcs over 2^scale vertices with recursive quadrant
+/// probabilities (a, b, c, d); the caller usually extracts the largest
+/// component afterwards, like the paper does.
+Graph rmat(std::uint32_t scale, EdgeId edges, double a, double b, double c,
+           bool directed, std::uint64_t seed);
+
+/// Hub-and-spokes directed communication graph (WikiTalk class): a small
+/// set of hub vertices (admins) receives `hub_in_fraction` of the social
+/// arcs and originates `hub_out_fraction` of them (admins both receive and
+/// post enormously); the remainder follow a copy model. Additionally,
+/// `welcome_fraction` of all users get one arc from an admin (the wiki
+/// welcome-message bot), which is what makes out-edge BFS cover nearly the
+/// whole graph in a handful of hops. The hubs' enormous out-lists are also
+/// what makes the neighborhood-exchange STATS explode.
+Graph hub_graph(VertexId n, EdgeId edges, VertexId hubs,
+                double hub_in_fraction, double hub_out_fraction,
+                double welcome_fraction, std::uint64_t seed);
+
+/// Pairwise-game interaction graph (KGS class): `games` games, each an
+/// undirected edge between two players drawn from a Zipf-like activity
+/// distribution. With probability `band_p` the opponent comes from a
+/// rating band of `band_window` ranks around the first player (rating-
+/// matched games stretch the diameter like the real server's ladder).
+/// Repeated pairings collapse to single edges.
+Graph weighted_pair_graph(VertexId n, EdgeId games, double skew,
+                          double band_p, VertexId band_window,
+                          std::uint64_t seed);
+
+/// Match-clique graph (DotaLeague class): `matches` matches with
+/// `players_per_match` participants; with probability `band_p` a match is
+/// rating-banded (all players within `band_window` ranks of a sampled
+/// center), else open. All participants are pairwise connected. Produces
+/// extremely dense undirected graphs (paper: avg degree 1663).
+Graph match_clique_graph(VertexId n, std::uint64_t matches,
+                         std::uint32_t players_per_match, double skew,
+                         double band_p, VertexId band_window,
+                         std::uint64_t seed);
+
+/// Co-purchase graph (Amazon class): directed lattice over the product
+/// catalog (each product points at ~`k` similar products, k may be
+/// fractional), with probability `rewire_p` of rewiring an arc to a
+/// product at most `window` positions ahead. Forward-only arcs over a
+/// bounded window give the long BFS depth the paper measures (68
+/// iterations on the smallest graph).
+Graph copurchase_graph(VertexId n, double k, double rewire_p, VertexId window,
+                       std::uint64_t seed);
+
+/// Citation DAG (Citation class): vertex i cites `avg_refs` earlier
+/// vertices inside a recency window of `window`; with probability `copy_p`
+/// a reference is copied from another recent patent's bibliography, which
+/// concentrates citations on a few landmark patents per era. The ancestor
+/// closure (what out-edge BFS reaches) therefore stays tiny — the paper's
+/// 0.1 % coverage.
+Graph citation_dag(VertexId n, double avg_refs, VertexId window, double copy_p,
+                   std::uint64_t seed);
+
+/// Ring-of-communities social graph (Friendster class): `communities`
+/// communities arranged on a ring; vertices connect mostly within their
+/// community, sometimes to neighbor communities, rarely long-range. The
+/// ring stretches the diameter so BFS needs ~20+ iterations, like the
+/// real Friendster crawl. Community 0 is the "metro core" holding
+/// `core_fraction` of all vertices: when a BFS wave reaches it, the
+/// frontier explodes to a large share of the graph in one step — the
+/// message burst that crashes in-memory platforms at full scale.
+Graph ring_community_graph(VertexId n, VertexId communities, double avg_degree,
+                           double local_p, double neighbor_p,
+                           double core_fraction, std::uint64_t seed);
+
+}  // namespace gb::datasets

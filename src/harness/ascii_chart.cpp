@@ -1,0 +1,64 @@
+#include "harness/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace gb::harness {
+
+std::string ascii_chart(std::span<const double> values,
+                        const ChartOptions& options) {
+  if (values.empty() || options.height <= 0) return "";
+  double y_max = options.y_max;
+  if (y_max <= 0) {
+    y_max = *std::max_element(values.begin(), values.end());
+  }
+  if (y_max <= 0) y_max = 1.0;
+
+  std::ostringstream out;
+  for (int row = options.height; row >= 1; --row) {
+    const double threshold =
+        y_max * (static_cast<double>(row) - 0.5) / options.height;
+    if (row == options.height) {
+      char header[64];
+      std::snprintf(header, sizeof(header), "%10.3g |", y_max);
+      out << header;
+    } else if (row == 1) {
+      char footer[64];
+      std::snprintf(footer, sizeof(footer), "%10.3g |", 0.0);
+      out << footer;
+    } else {
+      out << std::string(11, ' ') << '|';
+    }
+    for (const double v : values) {
+      out << (v >= threshold ? options.mark : ' ');
+    }
+    out << '\n';
+  }
+  out << std::string(11, ' ') << '+' << std::string(values.size(), '-')
+      << '\n';
+  if (!options.y_label.empty()) {
+    out << std::string(12, ' ') << options.y_label << '\n';
+  }
+  return out.str();
+}
+
+std::vector<double> downsample(std::span<const double> values,
+                               std::size_t columns) {
+  std::vector<double> result;
+  if (values.empty() || columns == 0) return result;
+  columns = std::min(columns, values.size());
+  result.reserve(columns);
+  for (std::size_t c = 0; c < columns; ++c) {
+    const std::size_t begin = c * values.size() / columns;
+    const std::size_t end =
+        std::max(begin + 1, (c + 1) * values.size() / columns);
+    double sum = 0;
+    for (std::size_t i = begin; i < end; ++i) sum += values[i];
+    result.push_back(sum / static_cast<double>(end - begin));
+  }
+  return result;
+}
+
+}  // namespace gb::harness

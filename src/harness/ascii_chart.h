@@ -1,0 +1,30 @@
+// Terminal rendering of numeric series — the bench binaries use it to
+// show the resource-usage figures (5-10) directly in the console, next to
+// the CSVs meant for plotting tools.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gb::harness {
+
+struct ChartOptions {
+  int height = 8;             // character rows
+  double y_max = 0;           // <= 0: autoscale to the series maximum
+  char mark = '#';
+  std::string y_label;        // printed on the scale line
+};
+
+/// Render `values` as a column chart, one character column per value.
+/// Returns a multi-line string (trailing newline included). Empty input
+/// renders an empty string.
+std::string ascii_chart(std::span<const double> values,
+                        const ChartOptions& options = {});
+
+/// Downsample a series to `columns` points by bucket-averaging (so a
+/// 100-point normalized trace fits a terminal row).
+std::vector<double> downsample(std::span<const double> values,
+                               std::size_t columns);
+
+}  // namespace gb::harness

@@ -1,0 +1,99 @@
+#include "harness/experiment.h"
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace gb::harness {
+
+const char* outcome_label(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kOutOfMemory:
+      return "crash(OOM)";
+    case Outcome::kDiskFull:
+      return "crash(disk)";
+    case Outcome::kTimeout:
+      return "timeout";
+    case Outcome::kUnsupported:
+      return "n/a";
+    case Outcome::kError:
+      return "error";
+  }
+  return "?";
+}
+
+Measurement run_cell(const platforms::Platform& platform,
+                     const datasets::Dataset& dataset,
+                     platforms::Algorithm algorithm,
+                     const platforms::AlgorithmParams& params,
+                     sim::Cluster& cluster) {
+  Measurement m;
+  try {
+    m.result = platform.run(dataset, algorithm, params, cluster);
+    m.outcome = Outcome::kOk;
+  } catch (const PlatformError& e) {
+    switch (e.kind()) {
+      case PlatformError::Kind::kOutOfMemory:
+        m.outcome = Outcome::kOutOfMemory;
+        break;
+      case PlatformError::Kind::kDiskFull:
+        m.outcome = Outcome::kDiskFull;
+        break;
+      case PlatformError::Kind::kTimeout:
+        m.outcome = Outcome::kTimeout;
+        break;
+      case PlatformError::Kind::kUnsupported:
+        m.outcome = Outcome::kUnsupported;
+        break;
+    }
+    m.message = e.what();
+  }
+  return m;
+}
+
+Measurement run_cell(const platforms::Platform& platform,
+                     const datasets::Dataset& dataset,
+                     platforms::Algorithm algorithm,
+                     const platforms::AlgorithmParams& params,
+                     sim::ClusterConfig config) {
+  config.work_scale = dataset.extrapolation();
+  if (!platform.distributed()) {
+    config.num_workers = 1;
+  }
+  sim::Cluster cluster(config);
+  return run_cell(platform, dataset, algorithm, params, cluster);
+}
+
+platforms::AlgorithmParams default_params(const datasets::Dataset& dataset) {
+  platforms::AlgorithmParams params;
+  // Deterministic per-dataset "random" source, like the paper's fixed
+  // randomly-picked vertex per graph.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : dataset.name) h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  SplitMix64 seeded(h);
+  if (dataset.graph.num_vertices() > 0) {
+    params.bfs_source =
+        static_cast<VertexId>(seeded.next() % dataset.graph.num_vertices());
+    // Some datasets pin where the paper's drawn source fell (Citation's
+    // 0.1 % coverage implies an early patent).
+    const auto& meta = datasets::info(dataset.id);
+    if (meta.name == dataset.name && meta.bfs_source_rank >= 0.0) {
+      params.bfs_source = static_cast<VertexId>(
+          meta.bfs_source_rank *
+          static_cast<double>(dataset.graph.num_vertices()));
+    }
+    // A source without out-edges traverses nothing on a directed graph;
+    // like the paper's operators we re-draw until the source can start.
+    const VertexId n = dataset.graph.num_vertices();
+    for (VertexId probe = 0;
+         probe < n && dataset.graph.out_degree(params.bfs_source) == 0;
+         ++probe) {
+      params.bfs_source = (params.bfs_source + 1) % n;
+    }
+  }
+  params.seed = h;
+  return params;
+}
+
+}  // namespace gb::harness

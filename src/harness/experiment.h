@@ -1,0 +1,48 @@
+// Experiment harness: runs one (platform, dataset, algorithm) cell on a
+// fresh simulated cluster and captures the outcome the way the paper
+// reports it — a time when the run succeeds, or a typed failure (crash,
+// timeout) when it does not.
+#pragma once
+
+#include <string>
+
+#include "datasets/catalog.h"
+#include "platforms/platform.h"
+#include "sim/cluster.h"
+
+namespace gb::harness {
+
+enum class Outcome { kOk, kOutOfMemory, kDiskFull, kTimeout, kUnsupported, kError };
+
+const char* outcome_label(Outcome outcome);
+
+struct Measurement {
+  Outcome outcome = Outcome::kError;
+  platforms::RunResult result;
+  std::string message;
+
+  bool ok() const { return outcome == Outcome::kOk; }
+  SimTime time() const { return result.total_time; }
+};
+
+/// Run one cell on the provided cluster (whose traces remain inspectable
+/// afterwards — the resource-usage figures rely on that).
+Measurement run_cell(const platforms::Platform& platform,
+                     const datasets::Dataset& dataset,
+                     platforms::Algorithm algorithm,
+                     const platforms::AlgorithmParams& params,
+                     sim::Cluster& cluster);
+
+/// Convenience: build the cluster from a config (work_scale is filled in
+/// from the dataset) and run. Non-distributed platforms get one node.
+Measurement run_cell(const platforms::Platform& platform,
+                     const datasets::Dataset& dataset,
+                     platforms::Algorithm algorithm,
+                     const platforms::AlgorithmParams& params,
+                     sim::ClusterConfig config = {});
+
+/// The paper's default parameters: the BFS source is a fixed
+/// pseudo-random vertex per dataset (deterministic in the dataset name).
+platforms::AlgorithmParams default_params(const datasets::Dataset& dataset);
+
+}  // namespace gb::harness

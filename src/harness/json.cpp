@@ -1,0 +1,177 @@
+#include "harness/json.h"
+
+#include <cstdio>
+
+#include "core/error.h"
+
+namespace gb::harness {
+
+void JsonWriter::comma_if_needed() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows "key":
+  }
+  if (!has_items_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  stack_.push_back('{');
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != '{' || pending_key_) {
+    throw Error("JsonWriter: unbalanced end_object");
+  }
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  stack_.push_back('[');
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != '[' || pending_key_) {
+    throw Error("JsonWriter: unbalanced end_array");
+  }
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+}
+
+void JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != '{' || pending_key_) {
+    throw Error("JsonWriter: key outside an object");
+  }
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& text) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+}
+
+void JsonWriter::value(const char* text) { value(std::string(text)); }
+
+void JsonWriter::value(double number) {
+  comma_if_needed();
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+  out_ += buffer;
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  comma_if_needed();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(bool flag) {
+  comma_if_needed();
+  out_ += flag ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma_if_needed();
+  out_ += "null";
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty() || pending_key_) {
+    throw Error("JsonWriter: document still open");
+  }
+  return out_;
+}
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string escaped;
+  escaped.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+std::string measurement_to_json(const std::string& platform,
+                                const std::string& dataset,
+                                const std::string& algorithm,
+                                const Measurement& measurement) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("platform");
+  json.value(platform);
+  json.key("dataset");
+  json.value(dataset);
+  json.key("algorithm");
+  json.value(algorithm);
+  json.key("outcome");
+  json.value(outcome_label(measurement.outcome));
+  if (measurement.ok()) {
+    json.key("total_time_sec");
+    json.value(measurement.result.total_time);
+    json.key("computation_time_sec");
+    json.value(measurement.result.computation_time);
+    json.key("overhead_time_sec");
+    json.value(measurement.result.overhead_time());
+    json.key("iterations");
+    json.value(measurement.result.output.iterations);
+    json.key("phases");
+    json.begin_array();
+    for (const auto& [name, duration] : measurement.result.phases) {
+      json.begin_object();
+      json.key("name");
+      json.value(name);
+      json.key("sec");
+      json.value(duration);
+      json.end_object();
+    }
+    json.end_array();
+  } else {
+    json.key("error");
+    json.value(measurement.message);
+  }
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace gb::harness

@@ -1,0 +1,55 @@
+// Minimal JSON emission for experiment results — machine-readable
+// counterpart to the ASCII tables and CSVs, so external tooling (plotting
+// notebooks, dashboards) can consume a bench run without parsing text
+// tables. Writer-only by design: the library never ingests JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace gb::harness {
+
+/// Incremental JSON writer with correct string escaping. Produces
+/// compact, valid JSON; nesting is the caller's responsibility through
+/// the begin/end pairs (mismatches throw).
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key inside an object (must be followed by a value or container).
+  void key(const std::string& name);
+
+  void value(const std::string& text);
+  void value(const char* text);
+  void value(double number);
+  void value(std::uint64_t number);
+  void value(bool flag);
+  void null();
+
+  /// Finished document. Throws if containers are still open.
+  std::string str() const;
+
+  static std::string escape(const std::string& raw);
+
+ private:
+  void comma_if_needed();
+
+  std::string out_;
+  std::vector<char> stack_;       // '{' or '['
+  std::vector<bool> has_items_;   // per container
+  bool pending_key_ = false;
+};
+
+/// One measurement as a JSON object: platform, dataset, algorithm,
+/// outcome, times, phase breakdown.
+std::string measurement_to_json(const std::string& platform,
+                                const std::string& dataset,
+                                const std::string& algorithm,
+                                const Measurement& measurement);
+
+}  // namespace gb::harness

@@ -1,0 +1,38 @@
+// The paper's metrics (Table 1): EPS, VPS and their normalized variants.
+// All use the *paper-size* (extrapolated) vertex/edge counts so that
+// scaled datasets report comparable throughput.
+#pragma once
+
+#include "core/types.h"
+#include "datasets/catalog.h"
+
+namespace gb::harness {
+
+/// Edges per second: #E / T.
+inline double eps(const datasets::Dataset& dataset, SimTime t) {
+  if (t <= 0) return 0;
+  return static_cast<double>(dataset.graph.num_edges()) *
+         dataset.extrapolation() / t;
+}
+
+/// Vertices per second: #V / T.
+inline double vps(const datasets::Dataset& dataset, SimTime t) {
+  if (t <= 0) return 0;
+  return static_cast<double>(dataset.graph.num_vertices()) *
+         dataset.extrapolation() / t;
+}
+
+/// Normalized EPS: per computing node, or per core when cores > 1.
+inline double neps(const datasets::Dataset& dataset, SimTime t,
+                   std::uint32_t nodes, std::uint32_t cores_per_node = 1) {
+  if (nodes == 0 || cores_per_node == 0) return 0;
+  return eps(dataset, t) / (static_cast<double>(nodes) * cores_per_node);
+}
+
+inline double nvps(const datasets::Dataset& dataset, SimTime t,
+                   std::uint32_t nodes, std::uint32_t cores_per_node = 1) {
+  if (nodes == 0 || cores_per_node == 0) return 0;
+  return vps(dataset, t) / (static_cast<double>(nodes) * cores_per_node);
+}
+
+}  // namespace gb::harness

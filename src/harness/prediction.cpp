@@ -1,0 +1,201 @@
+#include "harness/prediction.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gb::harness {
+
+WorkloadStats workload_stats(const datasets::Dataset& dataset,
+                             double iterations) {
+  WorkloadStats w;
+  const double scale = dataset.extrapolation();
+  w.vertices = static_cast<double>(dataset.graph.num_vertices()) * scale;
+  w.adjacency_entries =
+      static_cast<double>(dataset.graph.num_adjacency_entries()) * scale;
+  w.text_bytes = static_cast<double>(dataset.graph.text_size_bytes()) * scale;
+  w.iterations = std::max(1.0, iterations);
+  return w;
+}
+
+const char* platform_class_name(PlatformClass p) {
+  switch (p) {
+    case PlatformClass::kHadoop:
+      return "Hadoop";
+    case PlatformClass::kYarn:
+      return "YARN";
+    case PlatformClass::kStratosphere:
+      return "Stratosphere";
+    case PlatformClass::kGiraph:
+      return "Giraph";
+    case PlatformClass::kGraphLab:
+      return "GraphLab";
+    case PlatformClass::kNeo4j:
+      return "Neo4j";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Worst case for message-passing rounds: every stored arc carries one
+/// message per iteration.
+double worst_messages(const WorkloadStats& w) { return w.adjacency_entries; }
+
+Prediction predict_mapreduce(const WorkloadStats& w,
+                             const sim::ClusterConfig& cluster, bool yarn) {
+  const auto& cost = cluster.cost;
+  const double workers = cluster.num_workers;
+  const double slots = workers * cluster.cores_per_worker;
+
+  const double map_out_bytes =
+      w.text_bytes + worst_messages(w) * w.message_bytes;
+  const double records = w.vertices + worst_messages(w);
+  const double records_per_slot = std::max(records / slots, 1.0);
+
+  const double setup = (yarn ? cost.yarn_job_setup_sec : cost.mr_job_setup_sec) +
+                       2.0 * cost.jvm_startup_sec;
+  const double read = w.text_bytes / (cost.disk_read_bps * workers);
+  const double cpu =
+      (w.adjacency_entries + w.vertices + 2.0 * records) *
+      cost.jvm_sec_per_unit / slots;
+  const double sort = records_per_slot * std::log2(records_per_slot + 2.0) *
+                      cost.jvm_sec_per_unit;
+  const double spill = map_out_bytes / (cost.disk_write_bps * workers);
+  const double shuffle =
+      map_out_bytes / (cost.net_bps * workers) +
+      map_out_bytes / (cost.disk_read_bps * workers);
+  const double write = w.text_bytes / (cost.disk_write_bps * workers);
+  // Convergence-check job: setup + scan.
+  const double convergence = (yarn ? cost.yarn_job_setup_sec
+                                   : cost.mr_job_setup_sec) +
+                             cost.jvm_startup_sec + read;
+
+  Prediction p;
+  p.per_iteration =
+      setup + read + cpu + sort + spill + shuffle + write + convergence;
+  p.fixed_cost = 0;
+  p.upper_bound = p.fixed_cost + w.iterations * p.per_iteration;
+  return p;
+}
+
+Prediction predict_stratosphere(const WorkloadStats& w,
+                                const sim::ClusterConfig& cluster) {
+  const auto& cost = cluster.cost;
+  const double workers = cluster.num_workers;
+  const double slots = workers * cluster.cores_per_worker;
+  const double records = w.vertices + worst_messages(w);
+  const double records_per_slot = std::max(records / slots, 1.0);
+
+  const double read = w.text_bytes / (cost.disk_read_bps * workers);
+  const double cpu = (w.adjacency_entries + w.vertices + records) *
+                     cost.jvm_sec_per_unit / slots;
+  const double sort = records_per_slot * std::log2(records_per_slot + 2.0) *
+                      cost.jvm_sec_per_unit;
+  const double net = (records * w.message_bytes) / (cost.net_bps * workers);
+  const double write = w.text_bytes / (cost.disk_write_bps * workers);
+
+  Prediction p;
+  p.per_iteration = cost.dataflow_deploy_sec + read + cpu + sort + net + write;
+  p.fixed_cost = 0;
+  p.upper_bound = w.iterations * p.per_iteration;
+  return p;
+}
+
+Prediction predict_giraph(const WorkloadStats& w,
+                          const sim::ClusterConfig& cluster) {
+  const auto& cost = cluster.cost;
+  const double workers = cluster.num_workers;
+  const double slots = workers * cluster.cores_per_worker;
+
+  const double load = w.text_bytes / (cost.disk_read_bps * workers) +
+                      w.adjacency_entries * cost.jvm_sec_per_unit / slots +
+                      w.text_bytes / (cost.net_bps * workers);
+  const double per_step =
+      (w.vertices + 4.0 * worst_messages(w)) * cost.jvm_sec_per_unit / slots +
+      worst_messages(w) * w.message_bytes / (cost.net_bps * workers) +
+      cost.bsp_barrier_sec;
+
+  Prediction p;
+  p.fixed_cost = cost.jvm_startup_sec + load + w.vertices * 20.0 /
+                                                   (cost.disk_write_bps * workers);
+  p.per_iteration = per_step;
+  p.upper_bound = p.fixed_cost + w.iterations * per_step;
+  return p;
+}
+
+Prediction predict_graphlab(const WorkloadStats& w,
+                            const sim::ClusterConfig& cluster) {
+  const auto& cost = cluster.cost;
+  const double workers = cluster.num_workers;
+  const double slots = workers * cluster.cores_per_worker;
+
+  // Stock single-file loading: one reader, one NIC.
+  const double load = w.text_bytes / cost.disk_read_bps +
+                      w.text_bytes * 30e-9 +
+                      w.text_bytes / cost.net_bps;
+  const double finalize =
+      w.adjacency_entries * cost.native_sec_per_unit / slots;
+  // Worst-case mirror sync: every vertex mirrored on every worker.
+  const double sync_bytes = w.vertices * workers * 40.0;
+  const double per_step =
+      (w.vertices + 2.0 * w.adjacency_entries) * cost.native_sec_per_unit /
+          slots +
+      sync_bytes / (cost.net_bps * workers) + 4.0 * cost.net_latency_sec;
+
+  Prediction p;
+  p.fixed_cost = cost.mpi_startup_sec + load + finalize;
+  p.per_iteration = per_step;
+  p.upper_bound = p.fixed_cost + w.iterations * per_step;
+  return p;
+}
+
+Prediction predict_neo4j(const WorkloadStats& w,
+                         const sim::ClusterConfig& cluster) {
+  (void)cluster;
+  // Worst case: the object cache thrashes (graph exceeds the heap) and
+  // every record access pays the fault path.
+  const double accesses = (w.vertices + w.adjacency_entries) * w.iterations;
+  Prediction p;
+  p.fixed_cost = 0.2;
+  p.per_iteration = accesses / w.iterations * 0.9 * 0.5e-3;
+  p.upper_bound = p.fixed_cost + w.iterations * p.per_iteration;
+  return p;
+}
+
+}  // namespace
+
+Prediction predict_worst_case(PlatformClass platform,
+                              const WorkloadStats& workload,
+                              const sim::ClusterConfig& cluster) {
+  Prediction p;
+  switch (platform) {
+    case PlatformClass::kHadoop:
+      p = predict_mapreduce(workload, cluster, false);
+      break;
+    case PlatformClass::kYarn:
+      p = predict_mapreduce(workload, cluster, true);
+      break;
+    case PlatformClass::kStratosphere:
+      p = predict_stratosphere(workload, cluster);
+      break;
+    case PlatformClass::kGiraph:
+      p = predict_giraph(workload, cluster);
+      break;
+    case PlatformClass::kGraphLab:
+      p = predict_graphlab(workload, cluster);
+      break;
+    case PlatformClass::kNeo4j:
+      p = predict_neo4j(workload, cluster);
+      break;
+  }
+  // Model tolerance: the closed forms drop constant terms (seeks, wire
+  // latencies, coordination barriers) that a worst-case bound must cover.
+  constexpr double kHeadroomFactor = 1.10;
+  constexpr double kHeadroomFixed = 2.0;  // seconds
+  p.fixed_cost = p.fixed_cost * kHeadroomFactor + kHeadroomFixed;
+  p.per_iteration *= kHeadroomFactor;
+  p.upper_bound = p.upper_bound * kHeadroomFactor + kHeadroomFixed;
+  return p;
+}
+
+}  // namespace gb::harness

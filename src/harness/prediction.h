@@ -1,0 +1,64 @@
+// Performance-boundary model (the paper's stated future work, Section 7:
+// "an empirically validated performance-boundary model for predicting the
+// worst performance of these platforms").
+//
+// Given nothing but dataset statistics (vertex/edge counts, on-disk size),
+// an iteration budget and a cluster shape, predict — without executing
+// anything — an upper bound on the job execution time per platform. The
+// bound assumes the worst case for the data-dependent unknowns: every
+// vertex active in every iteration, every message crossing the network,
+// every iteration running the full budget. The prediction bench validates
+// the bound against the simulator: bounded ≥ simulated for every cell,
+// and tight within a small factor for the platforms without dynamic
+// active sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+#include "datasets/catalog.h"
+#include "platforms/platform.h"
+#include "sim/cluster.h"
+
+namespace gb::harness {
+
+/// Structural inputs of the model: everything an analyst knows *before*
+/// running (Table 2 plus an iteration budget).
+struct WorkloadStats {
+  double vertices = 0;
+  double adjacency_entries = 0;  // stored directed arcs (2E if undirected)
+  double text_bytes = 0;
+  double iterations = 1;          // algorithm rounds (budget or estimate)
+  double message_bytes = 16.0;    // per message on the wire
+};
+
+/// Extract workload stats from a dataset (paper-size, i.e. extrapolated).
+WorkloadStats workload_stats(const datasets::Dataset& dataset,
+                             double iterations);
+
+enum class PlatformClass {
+  kHadoop,
+  kYarn,
+  kStratosphere,
+  kGiraph,
+  kGraphLab,
+  kNeo4j,
+};
+
+const char* platform_class_name(PlatformClass p);
+
+struct Prediction {
+  SimTime upper_bound = 0;  // worst-case job execution time
+  SimTime fixed_cost = 0;   // setup / load / write floor (iteration-free)
+  SimTime per_iteration = 0;
+};
+
+/// Closed-form worst-case prediction. Uses the same cost model as the
+/// engines but no execution: all data-dependent quantities are replaced
+/// by their maxima.
+Prediction predict_worst_case(PlatformClass platform,
+                              const WorkloadStats& workload,
+                              const sim::ClusterConfig& cluster);
+
+}  // namespace gb::harness

@@ -1,0 +1,91 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace gb::harness {
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths;
+  const auto account = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  out << "== " << title_ << " ==\n";
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << std::left << std::setw(static_cast<int>(widths[i]) + 2) << row[i];
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w + 2;
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) print_row(row);
+  out << '\n';
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  const auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string format_seconds(SimTime t) {
+  std::ostringstream out;
+  out << std::fixed;
+  if (t >= 3600.0) {
+    out << std::setprecision(1) << t / 3600.0 << " h";
+  } else if (t >= 60.0) {
+    out << std::setprecision(1) << t / 60.0 << " min";
+  } else if (t >= 1.0) {
+    out << std::setprecision(1) << t << " s";
+  } else {
+    out << std::setprecision(1) << t * 1000.0 << " ms";
+  }
+  return out.str();
+}
+
+std::string format_si(double value) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(value >= 100 ? 0 : 2);
+  if (value >= 1e9) {
+    out << value / 1e9 << "G";
+  } else if (value >= 1e6) {
+    out << std::setprecision(2) << value / 1e6 << "M";
+  } else if (value >= 1e3) {
+    out << std::setprecision(2) << value / 1e3 << "k";
+  } else {
+    out << std::setprecision(2) << value;
+  }
+  return out.str();
+}
+
+std::string format_measurement(const Measurement& m) {
+  if (m.ok()) return format_seconds(m.time());
+  return outcome_label(m.outcome);
+}
+
+}  // namespace gb::harness

@@ -1,0 +1,47 @@
+// Plain-text table / CSV reporting for the bench binaries. Each bench
+// prints the rows/series of one paper table or figure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "harness/experiment.h"
+
+namespace gb::harness {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Aligned ASCII rendering.
+  void print(std::ostream& out) const;
+
+  /// Comma-separated rendering (for plotting scripts).
+  void write_csv(const std::string& path) const;
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "123.4 s", "1.2 h" — human execution times.
+std::string format_seconds(SimTime t);
+
+/// Engineering notation with SI suffix ("3.4M", "870k").
+std::string format_si(double value);
+
+/// A measurement cell: time when ok, the failure label otherwise.
+std::string format_measurement(const Measurement& m);
+
+}  // namespace gb::harness

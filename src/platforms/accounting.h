@@ -1,0 +1,75 @@
+// PhaseRecorder: shared bookkeeping for platform engines.
+//
+// Engines execute an algorithm phase by phase. For each phase they know
+// its duration (from the cost model), whether it is computation or
+// overhead (Figures 15/16 split), and the per-node resource intensity
+// (Figures 5-10). PhaseRecorder accumulates the RunResult and mirrors
+// every phase into the cluster's usage traces.
+#pragma once
+
+#include <string>
+
+#include "platforms/platform.h"
+#include "sim/cluster.h"
+
+namespace gb::platforms {
+
+struct PhaseUsage {
+  double worker_cpu_cores = 0.0;   // busy cores per computing node
+  double worker_mem_bytes = 0.0;   // resident bytes per computing node
+  double worker_net_in_bps = 0.0;  // payload rates per computing node
+  double worker_net_out_bps = 0.0;
+  double master_cpu_cores = 0.0;
+};
+
+class PhaseRecorder {
+ public:
+  explicit PhaseRecorder(sim::Cluster& cluster) : cluster_(cluster) {}
+
+  SimTime now() const { return result_.total_time; }
+
+  /// Append a phase of `duration` seconds. Zero-duration phases are
+  /// dropped. `computation` marks time spent making algorithmic progress
+  /// (the paper's Tc); everything else is overhead.
+  void phase(const std::string& name, SimTime duration, bool computation,
+             const PhaseUsage& usage) {
+    if (duration <= 0) return;
+    const SimTime begin = result_.total_time;
+    result_.add_phase(name, duration, computation);
+    const SimTime end = result_.total_time;
+
+    sim::UsageSegment seg;
+    seg.begin = begin;
+    seg.end = end;
+    seg.cpu_cores = usage.worker_cpu_cores;
+    seg.mem_bytes = usage.worker_mem_bytes;
+    seg.net_in_bps = usage.worker_net_in_bps;
+    seg.net_out_bps = usage.worker_net_out_bps;
+    cluster_.record_all_workers(seg);
+
+    if (usage.master_cpu_cores > 0) {
+      sim::UsageSegment master;
+      master.begin = begin;
+      master.end = end;
+      master.cpu_cores = usage.master_cpu_cores;
+      cluster_.master_trace().add(master);
+    }
+  }
+
+  /// Finish: returns the result with OS/service baselines applied.
+  RunResult finish(AlgorithmOutput output, Bytes master_extra_mem = 0,
+                   Bytes worker_extra_mem = 0) {
+    result_.output = std::move(output);
+    cluster_.add_baselines(result_.total_time, master_extra_mem,
+                           worker_extra_mem);
+    return std::move(result_);
+  }
+
+  const RunResult& result() const { return result_; }
+
+ private:
+  sim::Cluster& cluster_;
+  RunResult result_;
+};
+
+}  // namespace gb::platforms

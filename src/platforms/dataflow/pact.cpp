@@ -1,0 +1,114 @@
+#include "platforms/dataflow/pact.h"
+
+#include "core/error.h"
+
+namespace gb::platforms::dataflow {
+
+const char* operator_kind_name(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kSource:
+      return "Source";
+    case OperatorKind::kMap:
+      return "Map";
+    case OperatorKind::kReduce:
+      return "Reduce";
+    case OperatorKind::kMatch:
+      return "Match";
+    case OperatorKind::kCross:
+      return "Cross";
+    case OperatorKind::kCoGroup:
+      return "CoGroup";
+    case OperatorKind::kSink:
+      return "Sink";
+  }
+  return "?";
+}
+
+const char* channel_type_name(ChannelType type) {
+  switch (type) {
+    case ChannelType::kNetwork:
+      return "network";
+    case ChannelType::kInMemory:
+      return "in-memory";
+    case ChannelType::kFile:
+      return "file";
+  }
+  return "?";
+}
+
+std::uint32_t Plan::add_source(const std::string& name) {
+  ops_.push_back({OperatorKind::kSource, name, {}, {}});
+  return static_cast<std::uint32_t>(ops_.size() - 1);
+}
+
+std::uint32_t Plan::add(OperatorKind kind, const std::string& name,
+                        std::vector<std::uint32_t> inputs,
+                        Annotations annotations) {
+  if (kind == OperatorKind::kSource || kind == OperatorKind::kSink) {
+    throw Error("use add_source/add_sink for " + name);
+  }
+  for (const std::uint32_t in : inputs) {
+    if (in >= ops_.size()) throw Error("bad operator input index");
+  }
+  const std::size_t needed =
+      (kind == OperatorKind::kMatch || kind == OperatorKind::kCross ||
+       kind == OperatorKind::kCoGroup)
+          ? 2
+          : 1;
+  if (inputs.size() != needed) {
+    throw Error(std::string(operator_kind_name(kind)) + " '" + name +
+                "' needs " + std::to_string(needed) + " input(s)");
+  }
+  ops_.push_back({kind, name, annotations, std::move(inputs)});
+  return static_cast<std::uint32_t>(ops_.size() - 1);
+}
+
+std::uint32_t Plan::add_sink(const std::string& name, std::uint32_t input) {
+  if (input >= ops_.size()) throw Error("bad operator input index");
+  ops_.push_back({OperatorKind::kSink, name, {}, {input}});
+  return static_cast<std::uint32_t>(ops_.size() - 1);
+}
+
+JobGraph compile(const Plan& plan) {
+  JobGraph graph;
+  graph.tasks = plan.operators();
+  for (std::uint32_t i = 0; i < graph.tasks.size(); ++i) {
+    const OperatorSpec& op = graph.tasks[i];
+    for (const std::uint32_t input : op.inputs) {
+      const OperatorSpec& producer = graph.tasks[input];
+      Channel ch;
+      ch.from = input;
+      ch.to = i;
+      const bool key_preserved =
+          producer.annotations.same_key || producer.annotations.super_key;
+      switch (op.kind) {
+        case OperatorKind::kMap:
+        case OperatorKind::kSink:
+          ch.type = ChannelType::kInMemory;
+          ch.requires_sort = false;
+          break;
+        case OperatorKind::kReduce:
+        case OperatorKind::kCoGroup:
+          ch.type = key_preserved ? ChannelType::kInMemory
+                                  : ChannelType::kNetwork;
+          ch.requires_sort = true;
+          break;
+        case OperatorKind::kMatch:
+          ch.type = key_preserved ? ChannelType::kInMemory
+                                  : ChannelType::kNetwork;
+          ch.requires_sort = false;  // hash join
+          break;
+        case OperatorKind::kCross:
+          ch.type = ChannelType::kNetwork;
+          ch.requires_sort = false;
+          break;
+        case OperatorKind::kSource:
+          throw Error("a source cannot have inputs");
+      }
+      graph.channels.push_back(ch);
+    }
+  }
+  return graph;
+}
+
+}  // namespace gb::platforms::dataflow

@@ -1,0 +1,78 @@
+// PACT programming model and Nephele DAG compilation (Stratosphere 0.2).
+//
+// A PACT plan is a DAG of second-order operators (Map, Reduce, and the
+// Stratosphere extensions Match, Cross, CoGroup) between data sources and
+// sinks. The compiler turns a plan into a Nephele job graph: one task per
+// operator with a channel per edge. Channel selection follows the
+// platform's behaviour in the paper: network channels by default, with
+// user code annotations letting the compiler keep pipelined stages
+// in-memory and avoid spilling to files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace gb::platforms::dataflow {
+
+enum class OperatorKind { kSource, kMap, kReduce, kMatch, kCross, kCoGroup, kSink };
+
+enum class ChannelType { kNetwork, kInMemory, kFile };
+
+const char* operator_kind_name(OperatorKind kind);
+const char* channel_type_name(ChannelType type);
+
+/// User-code annotations (the paper's "PACT supports several user code
+/// annotations" that let the compiler avoid shipping and sorting).
+struct Annotations {
+  bool same_key = false;        // output keeps the input key (no re-partition)
+  bool super_key = false;       // output key refines the input key
+  double output_cardinality = 1.0;  // records out per record in
+};
+
+struct OperatorSpec {
+  OperatorKind kind = OperatorKind::kMap;
+  std::string name;
+  Annotations annotations;
+  std::vector<std::uint32_t> inputs;  // operator indices
+};
+
+class Plan {
+ public:
+  std::uint32_t add_source(const std::string& name);
+  std::uint32_t add(OperatorKind kind, const std::string& name,
+                    std::vector<std::uint32_t> inputs,
+                    Annotations annotations = {});
+  std::uint32_t add_sink(const std::string& name, std::uint32_t input);
+
+  const std::vector<OperatorSpec>& operators() const { return ops_; }
+
+ private:
+  std::vector<OperatorSpec> ops_;
+};
+
+/// One edge of the compiled Nephele job graph.
+struct Channel {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  ChannelType type = ChannelType::kNetwork;
+  bool requires_sort = false;  // receiver must group/sort its input
+};
+
+struct JobGraph {
+  std::vector<OperatorSpec> tasks;  // same order as the plan
+  std::vector<Channel> channels;
+};
+
+/// Compile a plan: pick channel types and grouping requirements.
+/// - Map after anything: in-memory channel (pipelined, no re-partition).
+/// - Reduce/CoGroup: needs grouping; if the producer's annotations prove
+///   the key is preserved (same_key/super_key), data stays local on an
+///   in-memory channel, otherwise a network re-partition with sorting.
+/// - Match: network re-partition of both inputs unless key-preserving.
+/// - Cross: network broadcast of the smaller input.
+JobGraph compile(const Plan& plan);
+
+}  // namespace gb::platforms::dataflow

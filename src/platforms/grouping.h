@@ -1,0 +1,43 @@
+// Shared shuffle helper: group (destination, message) pairs into
+// per-destination spans via counting sort. This *is* the real data
+// movement of a shuffle — engines charge simulated cost for it separately.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace gb::platforms {
+
+template <typename Msg>
+struct GroupedMessages {
+  std::vector<Msg> messages;       // contiguous, grouped by destination
+  std::vector<EdgeId> offsets;     // n + 1 offsets into messages
+
+  std::span<const Msg> for_vertex(VertexId v) const {
+    return {messages.data() + offsets[v], messages.data() + offsets[v + 1]};
+  }
+};
+
+template <typename Msg>
+void group_by_destination(
+    const std::vector<std::pair<VertexId, Msg>>& outbox, VertexId n,
+    GroupedMessages<Msg>& out) {
+  out.offsets.assign(n + 1, 0);
+  for (const auto& [dst, msg] : outbox) {
+    (void)msg;
+    ++out.offsets[dst + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) out.offsets[v + 1] += out.offsets[v];
+  out.messages.resize(outbox.size());
+  std::vector<EdgeId> cursor(out.offsets.begin(), out.offsets.end() - 1);
+  for (const auto& [dst, msg] : outbox) {
+    out.messages[cursor[dst]++] = msg;
+  }
+}
+
+}  // namespace gb::platforms

@@ -1,0 +1,337 @@
+// MapReduce engine (Hadoop 0.20 class, with a YARN variant).
+//
+// Iterative graph algorithms on Hadoop follow the well-known pattern the
+// paper describes: a driver submits one MapReduce job per iteration; every
+// job re-reads the complete graph from HDFS, maps each vertex record
+// (re-emitting the record itself plus messages to neighbors), sorts and
+// spills map output to local scratch disks, shuffles it to reducers, and
+// writes the complete updated graph back to HDFS. Convergence is detected
+// by an additional lightweight job. This engine executes the user's
+// map/reduce logic for real over in-memory state and charges every one of
+// those data movements to the cost model.
+//
+// Crash semantics: map output that exceeds the local scratch disks fails
+// the job (Hadoop's "no space left on device", the paper's STATS-on-
+// DotaLeague crash). The YARN variant additionally models the 2.0-alpha
+// ApplicationMaster instability on very large shuffles (the paper's
+// YARN-on-Friendster crashes).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cmath>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/graph.h"
+#include "platforms/accounting.h"
+#include "platforms/grouping.h"
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+#include "storage/hdfs.h"
+
+namespace gb::platforms::mapreduce {
+
+struct MRConfig {
+  bool yarn = false;
+  /// HaLoop mode (Bu et al., VLDB'10 — the paper's related work, Table 8):
+  /// loop-aware task scheduling plus caching of loop-invariant data. The
+  /// graph structure is read from HDFS once and served from local reducer
+  /// caches afterwards; only the mutable vertex state and messages move.
+  bool haloop = false;
+  /// PEGASUS mode (Kang et al., ICDM'09 — related work, Table 8): GIM-V
+  /// with block encoding. The adjacency structure is stored and shuffled
+  /// as compressed b x b blocks, dividing structure bytes by this factor.
+  double block_compression = 1.0;
+  /// Hadoop sometimes needs more than one MR job to express a single
+  /// algorithm iteration (EVO needs two; Stratosphere's richer operators
+  /// need one — Section 4.1.3).
+  double jobs_per_iteration = 1.0;
+  /// The driver's convergence check runs as an extra lightweight job per
+  /// iteration (Section 3.1).
+  bool convergence_job = true;
+  /// Local spill space per node (DAS-4 nodes keep most of their disk for
+  /// HDFS; STATS' terabyte-scale neighborhood exchange overflows this —
+  /// the paper's Hadoop crash on DotaLeague).
+  Bytes scratch_capacity = Bytes{64} << 30;
+  /// hadoop-2.0.3-alpha AM instability: jobs whose per-iteration
+  /// intermediate volume exceeds this limit die (YARN only).
+  Bytes yarn_intermediate_limit = Bytes{16} << 30;
+  double vertex_record_bytes = 24.0;  // key + state + serialization
+  double message_record_bytes = 16.0;
+  /// Maximum streams merged at once (the paper configures 80). A reducer
+  /// pulling more map outputs than this needs extra on-disk merge passes.
+  std::uint32_t io_sort_factor = 80;
+  std::uint32_t max_iterations = 10'000;
+};
+
+template <typename Msg>
+class MapEmitter {
+ public:
+  explicit MapEmitter(std::vector<std::pair<VertexId, Msg>>& out)
+      : out_(out) {}
+  void emit(VertexId target, const Msg& message) {
+    out_.emplace_back(target, message);
+  }
+
+ private:
+  std::vector<std::pair<VertexId, Msg>>& out_;
+};
+
+/// One iteration = map over every vertex, group messages, reduce every
+/// vertex. reduce returns true when the vertex state changed (drives the
+/// convergence job).
+///
+/// Job concept:
+///   struct Job {
+///     using State = ...; using Msg = ...;
+///     void map(VertexId v, const State& s, const Graph& g,
+///              MapEmitter<Msg>& out);
+///     bool reduce(VertexId v, State& s, const Graph& g,
+///                 std::span<const Msg> msgs);
+///   };
+struct MRStats {
+  std::uint64_t iterations = 0;
+};
+
+namespace detail {
+
+/// Per-iteration cost accounting shared by the iterative driver and the
+/// single-pass jobs. input/output bytes default to the full graph text
+/// (stock Hadoop re-reads and re-writes everything); HaLoop iterations
+/// shrink them to the mutable state.
+struct IterationVolume {
+  double input_bytes = -1;        // < 0: use the graph's text size
+  double map_output_records = 0;  // vertex records + messages
+  double map_output_bytes = 0;
+  double output_bytes = -1;       // < 0: use the graph's text size
+  double compute_units = 0;  // user map/reduce work beyond record handling
+};
+
+inline void charge_iteration(const Graph& graph, sim::Cluster& cluster,
+                             PhaseRecorder& recorder, const MRConfig& config,
+                             const storage::Hdfs& hdfs,
+                             const IterationVolume& volume,
+                             const std::string& label) {
+  const auto& cost = cluster.cost();
+  const std::uint32_t workers = cluster.num_workers();
+  const std::uint32_t slots = cluster.total_slots();
+  const std::uint32_t cores = cluster.cores_per_worker();
+
+  const double text_bytes = static_cast<double>(graph.text_size_bytes());
+  const double graph_bytes = cluster.scale_bytes(
+      volume.input_bytes >= 0 ? volume.input_bytes : text_bytes);
+  const double write_bytes = cluster.scale_bytes(
+      volume.output_bytes >= 0 ? volume.output_bytes : text_bytes);
+  const double map_out_bytes = cluster.scale_bytes(volume.map_output_bytes);
+  const double map_out_records =
+      cluster.scale_units(volume.map_output_records);
+
+  // Crash checks first. The YARN ApplicationMaster limit is the tighter
+  // threshold, so it trips before the scratch disks fill.
+  if (config.yarn &&
+      map_out_bytes + graph_bytes >
+          static_cast<double>(config.yarn_intermediate_limit) *
+              static_cast<double>(workers) / 20.0) {
+    throw PlatformError(PlatformError::Kind::kOutOfMemory,
+                        "YARN ApplicationMaster failed handling a " +
+                            std::to_string(static_cast<std::uint64_t>(
+                                (map_out_bytes + graph_bytes) / (1 << 30))) +
+                            " GiB shuffle (2.0-alpha instability)");
+  }
+  const double scratch_per_node = map_out_bytes / workers;
+  if (scratch_per_node > static_cast<double>(config.scratch_capacity)) {
+    throw PlatformError(
+        PlatformError::Kind::kDiskFull,
+        (config.yarn ? "YARN" : "Hadoop") + std::string(" map spill of ") +
+            std::to_string(static_cast<std::uint64_t>(scratch_per_node / (1 << 30))) +
+            " GiB/node exceeds local scratch space");
+  }
+
+  // Job setup + task JVMs. Concurrent tasks per node contend for the one
+  // local disk: streaming bandwidth is shared, seeks multiply.
+  const double setup =
+      (config.yarn ? cost.yarn_job_setup_sec : cost.mr_job_setup_sec) +
+      (config.yarn ? cost.container_alloc_sec * 2.0 : 0.0);
+  const double disk_contention_seeks = cost.disk_seek_sec * (cores - 1);
+
+  // Map wave: read the full graph, run user map, sort + spill the output.
+  const double read_time = graph_bytes / (cost.disk_read_bps * workers) +
+                           cost.disk_seek_sec + disk_contention_seeks;
+  const double parse_units = cluster.scale_units(
+      static_cast<double>(graph.num_adjacency_entries() + graph.num_vertices()));
+  const double map_cpu =
+      cluster.jvm_compute_time(parse_units +
+                               cluster.scale_units(volume.compute_units) * 0.5 +
+                               map_out_records) /
+      slots;
+  // Each map task sorts its own share of the output before spilling.
+  const double records_per_slot = std::max(map_out_records / slots, 1.0);
+  const double sort_cpu = cluster.jvm_compute_time(
+      records_per_slot * std::log2(records_per_slot + 2.0));
+  const double spill_time = map_out_bytes / (cost.disk_write_bps * workers) +
+                            disk_contention_seeks;
+
+  const double map_task_duration =
+      read_time + map_cpu + sort_cpu + spill_time;
+  const std::vector<SimTime> map_tasks(slots, map_task_duration);
+  const auto map_wave =
+      sim::schedule_tasks(map_tasks, slots, cost.jvm_startup_sec);
+
+  PhaseUsage map_usage;
+  map_usage.worker_cpu_cores = cores;
+  map_usage.worker_mem_bytes =
+      std::min(map_out_bytes / workers + 1.5e9,
+               static_cast<double>(cost.heap_limit));
+  map_usage.master_cpu_cores = 0.02;
+  recorder.phase(label + "/setup", setup, false,
+                 PhaseUsage{.master_cpu_cores = 0.05});
+  recorder.phase(label + "/map", map_wave.makespan, true, map_usage);
+
+  // Shuffle: (W-1)/W of map output crosses the network; the serving side
+  // re-reads spills from disk.
+  const double cross =
+      workers > 1 ? static_cast<double>(workers - 1) / workers : 0.0;
+  const double shuffle_time =
+      cost.network_time(static_cast<Bytes>(map_out_bytes * cross), workers) +
+      map_out_bytes / (cost.disk_read_bps * workers);
+  PhaseUsage shuffle_usage;
+  shuffle_usage.worker_cpu_cores = 0.3;
+  shuffle_usage.worker_mem_bytes = map_usage.worker_mem_bytes;
+  shuffle_usage.worker_net_in_bps = cost.net_bps * 0.8;
+  shuffle_usage.worker_net_out_bps = cost.net_bps * 0.8;
+  recorder.phase(label + "/shuffle", shuffle_time, false, shuffle_usage);
+
+  // Reduce wave: merge, run user reduce, write the graph back to HDFS.
+  // Each reducer merges one stream per map task; beyond io.sort.factor
+  // streams it needs additional on-disk merge passes over its full input.
+  const double streams_per_reducer = static_cast<double>(slots);
+  std::uint32_t merge_passes = 1;
+  for (double s = streams_per_reducer; s > config.io_sort_factor;
+       s /= config.io_sort_factor) {
+    ++merge_passes;
+  }
+  const double reduce_input_per_node = map_out_bytes / workers;
+  const double extra_merge_io =
+      merge_passes > 1
+          ? (merge_passes - 1) *
+                (reduce_input_per_node / cost.disk_read_bps +
+                 reduce_input_per_node / cost.disk_write_bps)
+          : 0.0;
+  const double merge_cpu =
+      cluster.jvm_compute_time(records_per_slot) * 2.0 * merge_passes;
+  const double reduce_cpu =
+      cluster.jvm_compute_time(cluster.scale_units(volume.compute_units) * 0.5 +
+                               map_out_records) /
+      slots;
+  const double write_time = hdfs.parallel_write_time(
+      static_cast<Bytes>(write_bytes), workers) / cores +
+      disk_contention_seeks;
+  std::vector<SimTime> reduce_tasks(
+      slots, merge_cpu + extra_merge_io / cores + reduce_cpu + write_time);
+  const auto reduce_wave =
+      sim::schedule_tasks(reduce_tasks, slots, cost.jvm_startup_sec);
+
+  PhaseUsage reduce_usage;
+  reduce_usage.worker_cpu_cores = cores * 0.8;
+  reduce_usage.worker_mem_bytes = map_usage.worker_mem_bytes;
+  recorder.phase(label + "/reduce", reduce_wave.makespan, true, reduce_usage);
+}
+
+inline void charge_convergence_job(const Graph& graph, sim::Cluster& cluster,
+                                   PhaseRecorder& recorder,
+                                   const MRConfig& config,
+                                   const std::string& label) {
+  const auto& cost = cluster.cost();
+  const double graph_bytes =
+      cluster.scale_bytes(static_cast<double>(graph.text_size_bytes()));
+  const double setup =
+      config.yarn ? cost.yarn_job_setup_sec : cost.mr_job_setup_sec;
+  const double scan = graph_bytes / (cost.disk_read_bps * cluster.num_workers()) +
+                      cost.disk_seek_sec + cost.jvm_startup_sec;
+  PhaseUsage usage;
+  usage.worker_cpu_cores = 0.4;
+  usage.master_cpu_cores = 0.03;
+  recorder.phase(label + "/convergence", setup + scan, false, usage);
+}
+
+}  // namespace detail
+
+template <typename Job>
+MRStats run_iterative(const Graph& graph, Job& job,
+                      std::vector<typename Job::State>& state,
+                      sim::Cluster& cluster, PhaseRecorder& recorder,
+                      const MRConfig& config, std::uint32_t max_iterations,
+                      SimTime time_limit) {
+  using Msg = typename Job::Msg;
+  const VertexId n = graph.num_vertices();
+  const storage::Hdfs hdfs(cluster.cost());
+  MRStats stats;
+
+  std::vector<std::pair<VertexId, Msg>> outbox;
+  GroupedMessages<Msg> grouped;
+
+  for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
+    if (recorder.now() > time_limit) {
+      throw PlatformError(PlatformError::Kind::kTimeout,
+                          "MapReduce job exceeded the experiment time budget");
+    }
+    job.iteration = iter;
+    outbox.clear();
+    MapEmitter<Msg> emitter(outbox);
+    for (VertexId v = 0; v < n; ++v) job.map(v, state[v], graph, emitter);
+
+    // Group messages by destination (the shuffle, executed for real).
+    group_by_destination(outbox, n, grouped);
+
+    std::uint64_t changed = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (job.reduce(v, state[v], graph, grouped.for_vertex(v))) ++changed;
+    }
+
+    detail::IterationVolume volume;
+    const double structure_bytes =
+        static_cast<double>(graph.text_size_bytes()) /
+        std::max(1.0, config.block_compression);
+    volume.input_bytes = structure_bytes;
+    volume.output_bytes = structure_bytes;
+    volume.map_output_records =
+        static_cast<double>(n) + static_cast<double>(outbox.size());
+    volume.map_output_bytes =
+        structure_bytes +
+        static_cast<double>(outbox.size()) * config.message_record_bytes /
+            std::max(1.0, config.block_compression);
+    volume.compute_units = static_cast<double>(outbox.size());
+    if (config.haloop && iter > 0) {
+      // Loop-invariant graph structure is served from the reducer-local
+      // cache: only mutable vertex state is read, shuffled and written.
+      const double state_bytes =
+          static_cast<double>(n) * config.vertex_record_bytes;
+      volume.input_bytes = state_bytes;
+      volume.output_bytes = state_bytes;
+      volume.map_output_bytes =
+          state_bytes +
+          static_cast<double>(outbox.size()) * config.message_record_bytes;
+    }
+    const std::string label = "iter_" + std::to_string(iter);
+    for (std::uint32_t j = 0;
+         j < static_cast<std::uint32_t>(config.jobs_per_iteration); ++j) {
+      detail::charge_iteration(graph, cluster, recorder, config, hdfs, volume,
+                               config.jobs_per_iteration > 1
+                                   ? label + "_job" + std::to_string(j)
+                                   : label);
+    }
+    // HaLoop evaluates the fixpoint inside the job; stock Hadoop needs
+    // the extra convergence-check job (Section 3.1).
+    if (config.convergence_job && !config.haloop) {
+      detail::charge_convergence_job(graph, cluster, recorder, config, label);
+    }
+    ++stats.iterations;
+    if (changed == 0) break;
+  }
+  return stats;
+}
+
+}  // namespace gb::platforms::mapreduce

@@ -1,0 +1,23 @@
+#include "platforms/platform.h"
+
+namespace gb::platforms {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kStats:
+      return "STATS";
+    case Algorithm::kBfs:
+      return "BFS";
+    case Algorithm::kConn:
+      return "CONN";
+    case Algorithm::kCd:
+      return "CD";
+    case Algorithm::kEvo:
+      return "EVO";
+    case Algorithm::kPageRank:
+      return "PAGERANK";
+  }
+  return "?";
+}
+
+}  // namespace gb::platforms

@@ -1,0 +1,98 @@
+// Common contract for all six platform implementations.
+//
+// A Platform runs one of the five benchmark algorithms on a dataset over a
+// simulated cluster and reports the paper's measurements: total job
+// execution time T, computation time Tc (To = T - Tc), a named phase
+// breakdown (Figures 15/16), and the algorithm's actual output so the test
+// suite can validate every platform against the sequential references.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "datasets/catalog.h"
+#include "sim/cluster.h"
+
+namespace gb::platforms {
+
+enum class Algorithm { kStats, kBfs, kConn, kCd, kEvo, kPageRank };
+
+const char* algorithm_name(Algorithm a);
+
+/// Parameters exactly as fixed in the paper's Section 3.2.
+struct AlgorithmParams {
+  // BFS: source chosen once per graph; directed graphs traverse out-edges.
+  VertexId bfs_source = 0;
+
+  // CD (Leung et al.): initial score 1.0, hop attenuation 0.1, 5 iterations.
+  double cd_initial_score = 1.0;
+  double cd_hop_attenuation = 0.1;
+  std::uint32_t cd_max_iterations = 5;
+
+  // EVO (Forest Fire): +0.1% vertices over 6 iterations, p = r = 0.5.
+  double evo_growth = 0.001;
+  std::uint32_t evo_iterations = 6;
+  double evo_p_forward = 0.5;
+  double evo_r_backward = 0.5;
+
+  // Safety valve for CONN on pathological graphs.
+  std::uint32_t conn_max_iterations = 10'000;
+
+  // PageRank (library extension beyond the paper's five classes):
+  // fixed-iteration power method, no dangling redistribution (GraphLab
+  // toolkit semantics), so every platform computes bit-identical ranks.
+  std::uint32_t pagerank_iterations = 10;
+  double pagerank_damping = 0.85;
+
+  std::uint64_t seed = 1;
+
+  /// Simulated-time budget after which the harness terminates the job,
+  /// like the paper did with Stratosphere STATS (~4 h) and Neo4j (20 h).
+  SimTime time_limit = 20.0 * 3600.0;
+};
+
+/// What the algorithm computed. vertex_values carries BFS levels, CONN
+/// component labels or CD community labels; the scalar carries STATS'
+/// average LCC; EVO reports the evolved graph size.
+struct AlgorithmOutput {
+  std::vector<std::uint64_t> vertex_values;
+  double scalar = 0.0;
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t iterations = 0;
+};
+
+struct RunResult {
+  SimTime total_time = 0.0;        // T: submission to completion
+  SimTime computation_time = 0.0;  // Tc: progress on the algorithm itself
+  std::vector<std::pair<std::string, SimTime>> phases;
+  AlgorithmOutput output;
+
+  SimTime overhead_time() const { return total_time - computation_time; }
+
+  void add_phase(const std::string& name, SimTime duration, bool computation) {
+    phases.emplace_back(name, duration);
+    total_time += duration;
+    if (computation) computation_time += duration;
+  }
+};
+
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  virtual std::string name() const = 0;
+  virtual bool distributed() const = 0;
+
+  /// Execute `algorithm` on `dataset`. The input is assumed already
+  /// ingested (HDFS / database import is measured separately, Table 6).
+  /// Throws PlatformError for the crash/timeout outcomes the paper reports.
+  virtual RunResult run(const datasets::Dataset& dataset, Algorithm algorithm,
+                        const AlgorithmParams& params,
+                        sim::Cluster& cluster) const = 0;
+};
+
+}  // namespace gb::platforms

@@ -1,0 +1,474 @@
+// Pregel/BSP engine (Giraph class).
+//
+// Executes vertex programs in synchronous supersteps over a hash-
+// partitioned graph held in memory, exactly like Giraph 0.2 on Hadoop map
+// slots: one-time input load, dynamic active set (only vertices that are
+// not halted or that received messages compute), message exchange between
+// partitions, a global barrier per superstep, and a crash when a worker's
+// message buffers exceed the heap.
+//
+// The algorithm runs for real: vertex values, messages and the active set
+// are genuine. Simulated time and memory derive from counted work via the
+// cluster's cost model; Java's per-object overheads are modeled through
+// EngineConfig constants.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/graph.h"
+#include "platforms/accounting.h"
+#include "sim/cluster.h"
+
+namespace gb::platforms::pregel {
+
+struct EngineConfig {
+  // JVM in-memory representation (bytes per element).
+  Bytes vertex_overhead = 200;   // vertex object + value + bookkeeping
+  Bytes edge_entry = 48;         // boxed edge in the adjacency list
+  Bytes message_overhead = 64;   // boxed message + queue entry overhead
+  /// Inbound message buffers are double-buffered across supersteps and
+  /// serialized for the wire; this inflates resident bytes.
+  double buffer_factor = 1.5;
+  /// Work units charged per message at the sending and receiving side.
+  double units_per_message = 2.0;
+  /// Apply the program's message combiner at the *sending* worker, like
+  /// Giraph's Combiner interface: per destination only one combined
+  /// message survives, shrinking both network traffic and inbox heap.
+  bool use_combiner = false;
+  /// Fault-tolerance checkpoints (paper Section 3.1: "Giraph uses
+  /// periodic checkpoints"): every N supersteps each worker writes its
+  /// partition state to HDFS. 0 disables checkpointing (the paper's
+  /// effective configuration — no failures are injected).
+  std::uint32_t checkpoint_interval = 0;
+  /// GPS-style LALP (Salihoglu & Widom — the paper's Table 8): the
+  /// adjacency lists of vertices above this degree are partitioned across
+  /// workers, so a broadcast to all neighbors ships one message per
+  /// worker instead of one per edge. 0 disables (Giraph's behaviour).
+  EdgeId lalp_threshold = 0;
+  std::uint32_t max_supersteps = 10'000;
+};
+
+/// Combiner concept (optional on a Program):
+///   static Message combine(const Message& a, const Message& b);
+template <typename Program, typename M>
+concept HasCombiner = requires(const M& a, const M& b) {
+  { Program::combine(a, b) } -> std::convertible_to<M>;
+};
+
+template <typename V, typename M>
+class Context;
+
+template <typename V, typename M>
+struct BspOutcome {
+  std::vector<V> values;
+  std::uint64_t supersteps = 0;
+  double aggregate = 0.0;  // final value of the sum aggregator
+};
+
+/// Runs `program` (see Context for the vertex API) to convergence.
+/// Appends load / superstep / write phases to `recorder`.
+template <typename V, typename M, typename Program>
+BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
+                         sim::Cluster& cluster, PhaseRecorder& recorder,
+                         SimTime time_limit, const V& initial_value,
+                         EngineConfig config = {});
+
+/// The per-vertex API available inside Program::compute.
+template <typename V, typename M>
+class Context {
+ public:
+  VertexId id() const { return id_; }
+  std::uint32_t superstep() const { return superstep_; }
+  const Graph* graph() const { return graph_; }
+  VertexId num_vertices() const { return graph_->num_vertices(); }
+  std::span<const VertexId> out_neighbors() const {
+    return graph_->out_neighbors(id_);
+  }
+  EdgeId out_degree() const { return graph_->out_degree(id_); }
+
+  void send(VertexId target, const M& message) {
+    outbox_->emplace_back(target, message);
+  }
+
+  void send_to_all_neighbors(const M& message) {
+    const auto neighbors = graph_->out_neighbors(id_);
+    for (const VertexId u : neighbors) {
+      outbox_->emplace_back(u, message);
+    }
+    // LALP: a broadcast from a high-degree vertex crosses the wire once
+    // per worker; the local replicas fan out for free. Delivery semantics
+    // are unchanged — only the accounted traffic shrinks.
+    if (lalp_threshold_ > 0 && neighbors.size() > lalp_threshold_ &&
+        neighbors.size() > num_workers_) {
+      *lalp_saved_messages_ +=
+          static_cast<double>(neighbors.size() - num_workers_);
+    }
+  }
+
+  /// Bulk primitive used by STATS: every vertex ships its out-edge list to
+  /// each vertex that lists it as an out-neighbor (the text format carries
+  /// both lists, so senders know their in-neighbors). The engine accounts
+  /// the full id-list traffic but delivers next superstep as zero-copy
+  /// adjacency spans.
+  void send_adjacency_to_all_neighbors() { *adjacency_broadcast_ = true; }
+
+  /// Adjacency lists received from an adjacency broadcast last superstep:
+  /// one list per out-neighbor, which is what the LCC kernel intersects.
+  bool adjacency_messages_available() const { return adjacency_delivered_; }
+  std::span<const VertexId> adjacency_senders() const {
+    return graph_->out_neighbors(id_);
+  }
+  std::span<const VertexId> adjacency_of(VertexId sender) const {
+    return graph_->out_neighbors(sender);
+  }
+
+  void vote_to_halt() { *halt_ = true; }
+
+  /// Charge extra compute work (e.g. neighborhood intersections) beyond
+  /// the default per-vertex/per-message units.
+  void charge(double units) { *extra_units_ += units; }
+
+  /// Sum aggregator (one per job, like Giraph's LongSumAggregator).
+  void aggregate(double value) { *aggregate_next_ += value; }
+  double previous_aggregate() const { return aggregate_prev_; }
+
+ private:
+  template <typename V2, typename M2, typename P2>
+  friend BspOutcome<V2, M2> run_bsp(const Graph&, P2&, sim::Cluster&,
+                                    PhaseRecorder&, SimTime, const V2&,
+                                    EngineConfig);
+
+  const Graph* graph_ = nullptr;
+  VertexId id_ = 0;
+  std::uint32_t superstep_ = 0;
+  bool adjacency_delivered_ = false;
+  EdgeId lalp_threshold_ = 0;
+  std::uint32_t num_workers_ = 1;
+  std::vector<std::pair<VertexId, M>>* outbox_ = nullptr;
+  bool* adjacency_broadcast_ = nullptr;
+  bool* halt_ = nullptr;
+  double* extra_units_ = nullptr;
+  double* lalp_saved_messages_ = nullptr;
+  double* aggregate_next_ = nullptr;
+  double aggregate_prev_ = 0.0;
+};
+
+/// Charge the one-time JVM setup + input load (split read, parse, shuffle
+/// of vertices to their owners) and return the resident partition size per
+/// worker. Shared by run_bsp and the EVO accounting path.
+inline double charge_setup_and_load(const Graph& graph, sim::Cluster& cluster,
+                                    PhaseRecorder& recorder,
+                                    const EngineConfig& config) {
+  const auto& cost = cluster.cost();
+  const std::uint32_t workers = cluster.num_workers();
+  const VertexId n = graph.num_vertices();
+
+  const double text_bytes = cluster.scale_bytes(
+      static_cast<double>(graph.text_size_bytes()));
+  const double parse_units =
+      cluster.scale_units(static_cast<double>(graph.num_adjacency_entries()));
+  const double load_read = cost.disk_read_time(
+      static_cast<Bytes>(text_bytes / workers));
+  const double load_parse =
+      cluster.jvm_compute_time(parse_units) / cluster.total_slots();
+  // Input splits are location-agnostic: (W-1)/W of the parsed vertices are
+  // shipped to their owning worker.
+  const double load_ship = cost.network_time(
+      static_cast<Bytes>(text_bytes * (workers - 1) / workers), workers);
+
+  const double partition_bytes =
+      cluster.scale_bytes(static_cast<double>(n) *
+                              static_cast<double>(config.vertex_overhead) +
+                          static_cast<double>(graph.num_adjacency_entries()) *
+                              static_cast<double>(config.edge_entry)) /
+      workers;
+  cluster.check_heap(partition_bytes, "Giraph graph partition");
+
+  PhaseUsage load_usage;
+  load_usage.worker_cpu_cores = cluster.cores_per_worker();
+  load_usage.worker_mem_bytes = partition_bytes;
+  load_usage.worker_net_in_bps = cost.net_bps * 0.6;
+  load_usage.worker_net_out_bps = cost.net_bps * 0.6;
+  load_usage.master_cpu_cores = 0.02;
+  recorder.phase("setup", cost.jvm_startup_sec + cost.bsp_barrier_sec, false,
+                 PhaseUsage{.worker_mem_bytes = partition_bytes * 0.05,
+                            .master_cpu_cores = 0.05});
+  recorder.phase("load", load_read + load_parse + load_ship, false, load_usage);
+  return partition_bytes;
+}
+
+/// Charge the result write-out. Shared by run_bsp and the EVO path.
+inline void charge_write(const Graph& graph, sim::Cluster& cluster,
+                         PhaseRecorder& recorder, double partition_bytes,
+                         double bytes_per_vertex = 20.0) {
+  const auto& cost = cluster.cost();
+  const double out_bytes = cluster.scale_bytes(
+      static_cast<double>(graph.num_vertices()) * bytes_per_vertex);
+  PhaseUsage write_usage;
+  write_usage.worker_cpu_cores = 0.3;
+  write_usage.worker_mem_bytes = partition_bytes;
+  recorder.phase(
+      "write",
+      cost.disk_write_time(static_cast<Bytes>(out_bytes / cluster.num_workers())),
+      false, write_usage);
+}
+
+template <typename V, typename M, typename Program>
+BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
+                         sim::Cluster& cluster, PhaseRecorder& recorder,
+                         SimTime time_limit, const V& initial_value,
+                         EngineConfig config) {
+  const auto& cost = cluster.cost();
+  const std::uint32_t workers = cluster.num_workers();
+  const VertexId n = graph.num_vertices();
+  const auto owner = [workers](VertexId v) { return v % workers; };
+
+  const double partition_bytes =
+      charge_setup_and_load(graph, cluster, recorder, config);
+
+  // ---- superstep loop ----------------------------------------------------
+  std::vector<V> values(n, initial_value);
+  std::vector<std::uint8_t> halted(n, 0);
+  std::vector<std::pair<VertexId, M>> outbox;
+  std::vector<M> inbox;                   // grouped by destination
+  std::vector<EdgeId> inbox_offsets(n + 1, 0);
+
+  // Combiner scratch (epoch-stamped so it resets in O(1) per superstep).
+  std::vector<std::pair<VertexId, M>> combined;
+  std::vector<std::uint32_t> combine_slot;
+  std::vector<std::uint32_t> combine_epoch;
+  if constexpr (HasCombiner<Program, M>) {
+    if (config.use_combiner) {
+      combine_slot.resize(n, 0);
+      combine_epoch.resize(n, 0);
+    }
+  }
+  bool have_inbox = false;
+  bool adjacency_pending = false;
+  double aggregate_prev = 0.0;
+  std::uint64_t supersteps = 0;
+
+  BspOutcome<V, M> outcome;
+
+  for (std::uint32_t step = 0; step < config.max_supersteps; ++step) {
+    if (recorder.now() > time_limit) {
+      throw PlatformError(PlatformError::Kind::kTimeout,
+                          "Giraph exceeded the experiment time budget");
+    }
+    outbox.clear();
+    bool adjacency_broadcast = false;
+    double aggregate_next = 0.0;
+    double extra_units = 0.0;
+    double lalp_saved = 0.0;
+    std::uint64_t active = 0;
+    std::uint64_t received = 0;
+
+    Context<V, M> ctx;
+    ctx.graph_ = &graph;
+    ctx.superstep_ = step;
+    ctx.adjacency_delivered_ = adjacency_pending;
+    ctx.lalp_threshold_ = config.lalp_threshold;
+    ctx.num_workers_ = workers;
+    ctx.outbox_ = &outbox;
+    ctx.adjacency_broadcast_ = &adjacency_broadcast;
+    ctx.extra_units_ = &extra_units;
+    ctx.lalp_saved_messages_ = &lalp_saved;
+    ctx.aggregate_next_ = &aggregate_next;
+    ctx.aggregate_prev_ = aggregate_prev;
+
+    for (VertexId v = 0; v < n; ++v) {
+      const bool has_msgs =
+          have_inbox && inbox_offsets[v] != inbox_offsets[v + 1];
+      if (halted[v] && !has_msgs && !adjacency_pending) continue;
+      halted[v] = 0;
+      ++active;
+      bool halt = false;
+      ctx.id_ = v;
+      ctx.halt_ = &halt;
+      std::span<const M> msgs;
+      if (has_msgs) {
+        msgs = {inbox.data() + inbox_offsets[v],
+                inbox.data() + inbox_offsets[v + 1]};
+        received += msgs.size();
+      }
+      program.compute(ctx, values[v], msgs);
+      if (halt) halted[v] = 1;
+    }
+
+    // ---- combiner --------------------------------------------------------
+    // Collapse messages per destination before they are buffered or
+    // shipped (approximates Giraph's sender-side combiner; combining here
+    // is global, an upper bound on the per-worker benefit).
+    if constexpr (HasCombiner<Program, M>) {
+      if (config.use_combiner && !outbox.empty()) {
+        combined.clear();
+        const auto epoch = static_cast<std::uint32_t>(step + 1);
+        for (const auto& [dst, msg] : outbox) {
+          if (combine_epoch[dst] != epoch) {
+            combine_epoch[dst] = epoch;
+            combine_slot[dst] = static_cast<std::uint32_t>(combined.size());
+            combined.emplace_back(dst, msg);
+          } else {
+            auto& slot = combined[combine_slot[dst]].second;
+            slot = Program::combine(slot, msg);
+          }
+        }
+        outbox.swap(combined);
+      }
+    }
+
+    // ---- accounting ------------------------------------------------------
+    // Message volume and cross-worker bytes; inbox heap demand per worker.
+    const double payload = static_cast<double>(sizeof(M));
+    const double envelope =
+        payload + static_cast<double>(config.message_overhead);
+    std::vector<double> inbox_bytes(workers, 0.0);
+    for (const auto& [dst, msg] : outbox) {
+      (void)msg;
+      inbox_bytes[owner(dst)] += envelope;
+    }
+    // Cross-worker fraction: with hash partitioning (W-1)/W of messages
+    // cross the network. Exact per-pair counting is not needed for time.
+    const double cross_fraction =
+        workers > 1 ? static_cast<double>(workers - 1) /
+                          static_cast<double>(workers)
+                    : 0.0;
+    double cross_bytes =
+        std::max(0.0, static_cast<double>(outbox.size()) - lalp_saved) *
+        payload * cross_fraction;
+    // LALP also spares the receivers' buffers: replicas materialize from
+    // one wire message per worker.
+    if (lalp_saved > 0) {
+      const double saved_per_worker = lalp_saved * envelope / workers;
+      for (auto& b : inbox_bytes) b = std::max(0.0, b - saved_per_worker);
+    }
+
+    double adjacency_units = 0.0;
+    if (adjacency_broadcast) {
+      // Every vertex shipped its out-edge list to each of its
+      // out-neighbors; senders serialize one entry per edge...
+      for (VertexId v = 0; v < n; ++v) {
+        adjacency_units += static_cast<double>(graph.out_degree(v));
+      }
+      // ...and each receiver buffers the full lists of its in-neighbors.
+      // Accounted in O(V + E), then checked against the heap — the engine
+      // crashes here for the paper's STATS-on-WikiTalk/DotaLeague cases
+      // without materializing terabytes of payload.
+      for (VertexId v = 0; v < n; ++v) {
+        // v receives the adjacency list of each of its out-neighbors u.
+        double recv_bytes = 0.0;
+        for (const VertexId u : graph.out_neighbors(v)) {
+          recv_bytes += static_cast<double>(graph.out_degree(u)) * 8.0 + envelope;
+        }
+        inbox_bytes[owner(v)] += recv_bytes;
+        cross_bytes += recv_bytes * cross_fraction;
+      }
+    }
+
+    double max_inbox = 0.0;
+    for (const double b : inbox_bytes) max_inbox = std::max(max_inbox, b);
+    // Across a superstep boundary, a worker holds both its serialized
+    // outbound buffers and the incoming messages for the next superstep.
+    // (Adjacency exchanges stream sender-side and are charged on the
+    // receiver only.)
+    const double outbox_bytes =
+        adjacency_broadcast
+            ? 0.0
+            : static_cast<double>(outbox.size()) * envelope /
+                  std::max<std::uint32_t>(workers, 1);
+    const double scaled_inbox =
+        cluster.scale_bytes(max_inbox + outbox_bytes) * config.buffer_factor;
+    cluster.check_heap(partition_bytes + scaled_inbox,
+                       "Giraph superstep message buffers");
+
+    const double message_units =
+        (static_cast<double>(outbox.size()) + static_cast<double>(received)) *
+            config.units_per_message +
+        adjacency_units * 2.0;
+    const double compute_units =
+        cluster.scale_units(static_cast<double>(active) + message_units +
+                            extra_units);
+    const double compute_time =
+        cluster.jvm_compute_time(compute_units) / cluster.total_slots();
+    const double net_time =
+        cost.network_time(static_cast<Bytes>(cluster.scale_bytes(cross_bytes)),
+                          workers);
+
+    const std::string label = "superstep_" + std::to_string(step);
+    PhaseUsage compute_usage;
+    compute_usage.worker_cpu_cores = cluster.cores_per_worker();
+    compute_usage.worker_mem_bytes = partition_bytes + scaled_inbox;
+    recorder.phase(label + "/compute", compute_time, true, compute_usage);
+
+    PhaseUsage comm_usage;
+    comm_usage.worker_cpu_cores = 0.15;
+    comm_usage.worker_mem_bytes = partition_bytes + scaled_inbox;
+    comm_usage.worker_net_in_bps = cost.net_bps * 0.5;
+    comm_usage.worker_net_out_bps = cost.net_bps * 0.5;
+    comm_usage.master_cpu_cores = 0.03;  // ZooKeeper barrier coordination
+    recorder.phase(label + "/sync", net_time + cost.bsp_barrier_sec, false,
+                   comm_usage);
+
+    if (config.checkpoint_interval > 0 &&
+        (step + 1) % config.checkpoint_interval == 0) {
+      // Checkpoint: every worker writes its vertex values + pending
+      // messages to HDFS, behind a barrier.
+      const double checkpoint_bytes =
+          cluster.scale_bytes(static_cast<double>(n) * 16.0 + max_inbox) /
+          workers;
+      recorder.phase(label + "/checkpoint",
+                     cost.disk_write_time(static_cast<Bytes>(checkpoint_bytes)) +
+                         cost.bsp_barrier_sec,
+                     false,
+                     PhaseUsage{.worker_cpu_cores = 0.3,
+                                .worker_mem_bytes = partition_bytes});
+    }
+
+    ++supersteps;
+    aggregate_prev = aggregate_next;
+    adjacency_pending = adjacency_broadcast;
+
+    // ---- build next inbox --------------------------------------------------
+    if (outbox.empty() && !adjacency_broadcast) {
+      const bool all_halted =
+          std::all_of(halted.begin(), halted.end(),
+                      [](std::uint8_t h) { return h != 0; });
+      if (all_halted) break;
+      // No messages but some vertices still active: they run next step.
+      have_inbox = false;
+      continue;
+    }
+
+    // Counting sort of outbox into per-destination spans.
+    std::fill(inbox_offsets.begin(), inbox_offsets.end(), 0);
+    for (const auto& [dst, msg] : outbox) {
+      (void)msg;
+      ++inbox_offsets[dst + 1];
+    }
+    for (VertexId v = 0; v < n; ++v) inbox_offsets[v + 1] += inbox_offsets[v];
+    inbox.resize(outbox.size());
+    {
+      std::vector<EdgeId> cursor(inbox_offsets.begin(),
+                                 inbox_offsets.end() - 1);
+      for (const auto& [dst, msg] : outbox) {
+        inbox[cursor[dst]++] = msg;
+      }
+    }
+    have_inbox = true;
+  }
+
+  charge_write(graph, cluster, recorder, partition_bytes);
+
+  outcome.values = std::move(values);
+  outcome.supersteps = supersteps;
+  outcome.aggregate = aggregate_prev;
+  return outcome;
+}
+
+}  // namespace gb::platforms::pregel

@@ -1,0 +1,40 @@
+#include "sim/cluster.h"
+
+#include <sstream>
+
+#include "core/error.h"
+
+namespace gb::sim {
+
+void Cluster::check_heap(double scaled_bytes, const std::string& what) const {
+  if (scaled_bytes <= static_cast<double>(cost().heap_limit)) return;
+  std::ostringstream msg;
+  msg << what << ": " << static_cast<std::uint64_t>(scaled_bytes / (1 << 20))
+      << " MiB exceeds the " << (cost().heap_limit >> 30)
+      << " GiB per-node heap";
+  throw PlatformError(PlatformError::Kind::kOutOfMemory, msg.str());
+}
+
+void Cluster::add_baselines(SimTime total_time, Bytes master_extra_mem,
+                            Bytes worker_extra_mem) {
+  if (total_time <= 0) return;
+  UsageSegment master;
+  master.begin = 0;
+  master.end = total_time;
+  master.cpu_cores = 0.002;  // heartbeats and job management (Fig. 5)
+  master.mem_bytes =
+      static_cast<double>(cost().os_baseline_master + master_extra_mem);
+  master.net_in_bps = 20e3;  // sub-Mbit/s chatter (Fig. 7)
+  master.net_out_bps = 20e3;
+  master_trace_.add(master);
+
+  UsageSegment worker;
+  worker.begin = 0;
+  worker.end = total_time;
+  worker.cpu_cores = 0.001;
+  worker.mem_bytes =
+      static_cast<double>(cost().os_baseline_worker + worker_extra_mem);
+  record_all_workers(worker);
+}
+
+}  // namespace gb::sim

@@ -1,0 +1,93 @@
+// Simulated DAS-4-style cluster.
+//
+// A Cluster is instantiated per experiment run: N computing nodes (each
+// with a configurable core count) plus one master node, mirroring the
+// paper's deployment (master services on an extra machine). Platform
+// engines account their phases against it: converting counted work into
+// time via the cost model, recording resource-usage segments for the
+// monitoring figures, and enforcing the per-node heap limit that causes
+// the paper's crashes.
+//
+// `work_scale` extrapolates counted work on a scaled-down dataset back to
+// full size (Friendster is generated at 1/100; see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/cost_model.h"
+#include "sim/monitor.h"
+
+namespace gb::sim {
+
+struct ClusterConfig {
+  std::uint32_t num_workers = 20;
+  std::uint32_t cores_per_worker = 1;
+  CostModel cost;
+  double work_scale = 1.0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config) : config_(config) {
+    worker_traces_.resize(config.num_workers);
+  }
+
+  const ClusterConfig& config() const { return config_; }
+  const CostModel& cost() const { return config_.cost; }
+  std::uint32_t num_workers() const { return config_.num_workers; }
+  std::uint32_t cores_per_worker() const { return config_.cores_per_worker; }
+
+  /// Total execution slots across the cluster.
+  std::uint32_t total_slots() const {
+    return config_.num_workers * config_.cores_per_worker;
+  }
+
+  /// Extrapolate a count of work units (ops, records) to full-size work.
+  double scale_units(double units) const { return units * config_.work_scale; }
+
+  /// Extrapolate a logical byte count to full-size bytes.
+  double scale_bytes(double bytes) const { return bytes * config_.work_scale; }
+
+  /// Seconds of one core to process `units` of platform code work
+  /// (already-scaled units).
+  double jvm_compute_time(double scaled_units) const {
+    return scaled_units * cost().jvm_sec_per_unit;
+  }
+  double native_compute_time(double scaled_units) const {
+    return scaled_units * cost().native_sec_per_unit;
+  }
+
+  /// Throw PlatformError(kOutOfMemory) when a node's (scaled) resident
+  /// bytes exceed the configured heap. `what` names the allocation in the
+  /// crash report, e.g. "Giraph superstep message buffers".
+  void check_heap(double scaled_bytes, const std::string& what) const;
+
+  UsageTrace& master_trace() { return master_trace_; }
+  UsageTrace& worker_trace(std::uint32_t worker) {
+    return worker_traces_.at(worker);
+  }
+  const UsageTrace& master_trace() const { return master_trace_; }
+  const UsageTrace& worker_trace(std::uint32_t worker) const {
+    return worker_traces_.at(worker);
+  }
+
+  /// Record the same usage segment on every worker.
+  void record_all_workers(const UsageSegment& segment) {
+    for (auto& trace : worker_traces_) trace.add(segment);
+  }
+
+  /// Add the OS + platform-services baseline (Figures 5-10 include it)
+  /// across the whole run.
+  void add_baselines(SimTime total_time, Bytes master_extra_mem,
+                     Bytes worker_extra_mem);
+
+ private:
+  ClusterConfig config_;
+  UsageTrace master_trace_;
+  std::vector<UsageTrace> worker_traces_;
+};
+
+}  // namespace gb::sim

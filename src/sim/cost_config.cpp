@@ -1,0 +1,102 @@
+#include "sim/cost_config.h"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "core/error.h"
+
+namespace gb::sim {
+namespace {
+
+struct Param {
+  const char* name;
+  double CostModel::* field;
+};
+
+struct BytesParam {
+  const char* name;
+  Bytes CostModel::* field;
+};
+
+constexpr Param kDoubleParams[] = {
+    {"jvm_sec_per_unit", &CostModel::jvm_sec_per_unit},
+    {"native_sec_per_unit", &CostModel::native_sec_per_unit},
+    {"disk_read_bps", &CostModel::disk_read_bps},
+    {"disk_write_bps", &CostModel::disk_write_bps},
+    {"disk_seek_sec", &CostModel::disk_seek_sec},
+    {"net_bps", &CostModel::net_bps},
+    {"net_latency_sec", &CostModel::net_latency_sec},
+    {"jvm_startup_sec", &CostModel::jvm_startup_sec},
+    {"mr_job_setup_sec", &CostModel::mr_job_setup_sec},
+    {"yarn_job_setup_sec", &CostModel::yarn_job_setup_sec},
+    {"container_alloc_sec", &CostModel::container_alloc_sec},
+    {"bsp_barrier_sec", &CostModel::bsp_barrier_sec},
+    {"mpi_startup_sec", &CostModel::mpi_startup_sec},
+    {"dataflow_deploy_sec", &CostModel::dataflow_deploy_sec},
+};
+
+constexpr BytesParam kByteParams[] = {
+    {"node_memory", &CostModel::node_memory},
+    {"heap_limit", &CostModel::heap_limit},
+    {"os_baseline_master", &CostModel::os_baseline_master},
+    {"os_baseline_worker", &CostModel::os_baseline_worker},
+};
+
+}  // namespace
+
+std::vector<std::string> cost_parameter_names() {
+  std::vector<std::string> names;
+  for (const auto& p : kDoubleParams) names.emplace_back(p.name);
+  for (const auto& p : kByteParams) names.emplace_back(p.name);
+  return names;
+}
+
+double cost_parameter(const CostModel& cost, std::string_view name) {
+  for (const auto& p : kDoubleParams) {
+    if (name == p.name) return cost.*(p.field);
+  }
+  for (const auto& p : kByteParams) {
+    if (name == p.name) return static_cast<double>(cost.*(p.field));
+  }
+  throw Error("unknown cost parameter '" + std::string(name) + "'");
+}
+
+void set_cost_parameter(CostModel& cost, std::string_view name, double value) {
+  if (value <= 0) {
+    throw Error("cost parameter '" + std::string(name) +
+                "' must be positive");
+  }
+  for (const auto& p : kDoubleParams) {
+    if (name == p.name) {
+      cost.*(p.field) = value;
+      return;
+    }
+  }
+  for (const auto& p : kByteParams) {
+    if (name == p.name) {
+      cost.*(p.field) = static_cast<Bytes>(value);
+      return;
+    }
+  }
+  throw Error("unknown cost parameter '" + std::string(name) + "'");
+}
+
+void apply_cost_override(CostModel& cost, std::string_view assignment) {
+  const std::size_t eq = assignment.find('=');
+  if (eq == std::string_view::npos || eq == 0 ||
+      eq + 1 >= assignment.size()) {
+    throw Error("cost override must be name=value, got '" +
+                std::string(assignment) + "'");
+  }
+  const std::string_view name = assignment.substr(0, eq);
+  const std::string value_str(assignment.substr(eq + 1));
+  char* end = nullptr;
+  const double value = std::strtod(value_str.c_str(), &end);
+  if (end == value_str.c_str() || *end != '\0') {
+    throw Error("bad numeric value in cost override '" +
+                std::string(assignment) + "'");
+  }
+  set_cost_parameter(cost, name, value);
+}
+
+}  // namespace gb::sim

@@ -1,0 +1,30 @@
+// Named, string-settable cost-model parameters.
+//
+// Every calibration constant in CostModel can be overridden by name —
+// "disk_read_bps=200e6" — which is how the CLI and calibration sweeps
+// explore what-if scenarios (faster disks, InfiniBand-class networks,
+// bigger heaps) without recompiling.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace gb::sim {
+
+/// All overridable parameter names.
+std::vector<std::string> cost_parameter_names();
+
+/// Current value of a parameter by name. Throws gb::Error for unknown names.
+double cost_parameter(const CostModel& cost, std::string_view name);
+
+/// Set one parameter by name. Throws gb::Error for unknown names or
+/// non-positive values.
+void set_cost_parameter(CostModel& cost, std::string_view name, double value);
+
+/// Apply a "name=value" assignment (the CLI syntax).
+void apply_cost_override(CostModel& cost, std::string_view assignment);
+
+}  // namespace gb::sim

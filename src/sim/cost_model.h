@@ -1,0 +1,65 @@
+// Cost model: converts counted work (operations, bytes moved, phases) into
+// simulated time on DAS-4-class hardware.
+//
+// The constants describe one DAS-4 node as used by the paper: dual
+// quad-core Xeon E5620 2.4 GHz, 24 GB RAM, enterprise SATA disk, 1 Gbit/s
+// Ethernet for data traffic (HDFS replication disabled). They are
+// calibration inputs, not measurements; EXPERIMENTS.md compares resulting
+// curve *shapes* with the paper, never absolute values.
+#pragma once
+
+#include "core/types.h"
+
+namespace gb::sim {
+
+struct CostModel {
+  // --- compute -----------------------------------------------------------
+  /// Seconds of one core per abstract work unit. A "unit" is roughly one
+  /// edge or message touched by interpreted/managed platform code. JVM
+  /// platforms pay more per unit than native C++ (GraphLab).
+  double jvm_sec_per_unit = 55e-9;
+  double native_sec_per_unit = 9e-9;
+
+  // --- memory ------------------------------------------------------------
+  Bytes node_memory = Bytes{24} << 30;   // physical RAM per node
+  Bytes heap_limit = Bytes{20} << 30;    // usable by the platform process
+  Bytes os_baseline_master = Bytes{8} << 30;   // Fig. 6: OS + HDFS services
+  Bytes os_baseline_worker = Bytes{2} << 30;
+
+  // --- disk --------------------------------------------------------------
+  double disk_read_bps = 110e6;   // sequential read, B/s
+  double disk_write_bps = 95e6;   // sequential write, B/s
+  double disk_seek_sec = 8e-3;
+
+  // --- network (1 Gbit/s Ethernet payload) --------------------------------
+  double net_bps = 117e6;         // B/s per NIC
+  double net_latency_sec = 150e-6;
+
+  // --- platform fixed costs ------------------------------------------------
+  double jvm_startup_sec = 2.5;       // per JVM (Hadoop task, Giraph worker)
+  double mr_job_setup_sec = 6.0;      // Hadoop job submit / init / cleanup
+  double yarn_job_setup_sec = 5.0;    // container negotiation is cheaper
+  double container_alloc_sec = 0.6;   // YARN per-container allocation
+  double bsp_barrier_sec = 0.12;      // Giraph superstep barrier (ZooKeeper)
+  double mpi_startup_sec = 1.0;       // GraphLab mpiexec launch
+  double dataflow_deploy_sec = 2.0;   // Nephele DAG deployment
+
+  /// Time to ship `bytes` over the network fabric when `nodes` NICs move
+  /// data concurrently (all-to-all shuffle / message exchange).
+  double network_time(Bytes bytes, std::uint32_t nodes) const {
+    if (bytes == 0) return 0.0;
+    return static_cast<double>(bytes) / (net_bps * nodes) + net_latency_sec;
+  }
+
+  double disk_read_time(Bytes bytes) const {
+    return bytes == 0 ? 0.0
+                      : disk_seek_sec + static_cast<double>(bytes) / disk_read_bps;
+  }
+
+  double disk_write_time(Bytes bytes) const {
+    return bytes == 0 ? 0.0
+                      : disk_seek_sec + static_cast<double>(bytes) / disk_write_bps;
+  }
+};
+
+}  // namespace gb::sim

@@ -1,0 +1,60 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/error.h"
+
+namespace gb::sim {
+
+void EventQueue::schedule(SimTime when, Callback fn) {
+  if (when < now_) throw Error("EventQueue: scheduling into the past");
+  events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::run() {
+  while (!events_.empty()) {
+    // Moving out of a priority_queue requires the const_cast idiom; the
+    // element is popped immediately afterwards.
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ev.fn();
+  }
+  return now_;
+}
+
+SimTime EventQueue::run_until(SimTime horizon) {
+  while (!events_.empty() && events_.top().when <= horizon) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ev.fn();
+  }
+  now_ = std::max(now_, horizon);
+  return now_;
+}
+
+ScheduleResult schedule_tasks(const std::vector<SimTime>& durations,
+                              std::uint32_t slots, SimTime per_task_overhead) {
+  ScheduleResult result;
+  result.finish_times.resize(durations.size(), 0.0);
+  if (durations.empty()) return result;
+  if (slots == 0) throw Error("schedule_tasks: zero slots");
+
+  // Min-heap of slot free times.
+  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<>> free_at;
+  for (std::uint32_t s = 0; s < slots; ++s) free_at.push(0.0);
+
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    const SimTime start = free_at.top();
+    free_at.pop();
+    const SimTime finish = start + per_task_overhead + durations[i];
+    result.finish_times[i] = finish;
+    result.makespan = std::max(result.makespan, finish);
+    free_at.push(finish);
+  }
+  return result;
+}
+
+}  // namespace gb::sim

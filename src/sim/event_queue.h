@@ -1,0 +1,67 @@
+// Discrete-event primitives.
+//
+// EventQueue is a classic DES core (time-ordered callbacks, FIFO among
+// equal timestamps). SlotScheduler answers the question every batch engine
+// asks: given T independent tasks and S execution slots, when does each
+// task finish and when does the wave end? Hadoop map/reduce waves and
+// Nephele task deployment both reduce to it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/types.h"
+
+namespace gb::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `when` (must be >= now()).
+  void schedule(SimTime when, Callback fn);
+
+  /// Run events until the queue drains. Returns the final clock.
+  SimTime run();
+
+  /// Run events with time <= horizon; later events stay queued.
+  SimTime run_until(SimTime horizon);
+
+  SimTime now() const { return now_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Result of scheduling a set of task durations onto a fixed slot count.
+struct ScheduleResult {
+  std::vector<SimTime> finish_times;  // per task, same order as input
+  SimTime makespan = 0;
+};
+
+/// Greedy FIFO assignment of tasks onto `slots` identical slots starting at
+/// time 0; each slot additionally pays `per_task_overhead` before each task
+/// (e.g. JVM spin-up in Hadoop).
+ScheduleResult schedule_tasks(const std::vector<SimTime>& durations,
+                              std::uint32_t slots,
+                              SimTime per_task_overhead = 0.0);
+
+}  // namespace gb::sim

@@ -1,0 +1,54 @@
+#include "sim/monitor.h"
+
+#include <algorithm>
+
+namespace gb::sim {
+
+void UsageTrace::add(const UsageSegment& segment) {
+  if (segment.end <= segment.begin) return;  // zero-length: nothing to record
+  segments_.push_back(segment);
+}
+
+UsageSample UsageTrace::at(SimTime t) const {
+  UsageSample s;
+  s.time = t;
+  for (const auto& seg : segments_) {
+    if (t >= seg.begin && t < seg.end) {
+      s.cpu_cores += seg.cpu_cores;
+      s.mem_bytes += seg.mem_bytes;
+      s.net_in_bps += seg.net_in_bps;
+      s.net_out_bps += seg.net_out_bps;
+    }
+  }
+  return s;
+}
+
+std::vector<UsageSample> UsageTrace::sample(SimTime horizon,
+                                            SimTime interval) const {
+  std::vector<UsageSample> samples;
+  if (horizon <= 0 || interval <= 0) return samples;
+  samples.reserve(static_cast<std::size_t>(horizon / interval) + 1);
+  for (SimTime t = 0; t <= horizon; t += interval) {
+    samples.push_back(at(t));
+  }
+  return samples;
+}
+
+std::vector<UsageSample> UsageTrace::normalized(SimTime total_time,
+                                                int points) const {
+  std::vector<UsageSample> samples;
+  if (total_time <= 0 || points <= 0) return samples;
+  samples.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    // Sample at the middle of each percent bucket so that short phases at
+    // either end are still visible.
+    const SimTime t =
+        total_time * (static_cast<double>(i) + 0.5) / static_cast<double>(points);
+    UsageSample s = at(t);
+    s.time = 100.0 * (static_cast<double>(i) + 0.5) / static_cast<double>(points);
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+}  // namespace gb::sim

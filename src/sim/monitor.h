@@ -1,0 +1,57 @@
+// Ganglia-style resource monitoring for the simulated cluster.
+//
+// Platform engines append usage segments (a time interval plus CPU, memory
+// and network intensity) per node while they account simulated time. The
+// monitor turns segment soup into the per-second samples the paper plots
+// (Figures 5-10), including the normalization of the x-axis to 100 points.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace gb::sim {
+
+/// One interval of resource usage on a node. Overlapping segments add up
+/// (e.g. OS baseline + platform phase).
+struct UsageSegment {
+  SimTime begin = 0;
+  SimTime end = 0;
+  double cpu_cores = 0;      // busy cores during the interval
+  double mem_bytes = 0;      // resident memory attributable to the segment
+  double net_in_bps = 0;     // ingress payload rate
+  double net_out_bps = 0;    // egress payload rate
+};
+
+struct UsageSample {
+  SimTime time = 0;
+  double cpu_cores = 0;
+  double mem_bytes = 0;
+  double net_in_bps = 0;
+  double net_out_bps = 0;
+};
+
+class UsageTrace {
+ public:
+  void add(const UsageSegment& segment);
+
+  /// Instantaneous usage at time t (sum of covering segments).
+  UsageSample at(SimTime t) const;
+
+  /// Periodic samples over [0, horizon] with the given interval
+  /// (default 1 s, the paper's Ganglia setting).
+  std::vector<UsageSample> sample(SimTime horizon, SimTime interval = 1.0) const;
+
+  /// The paper's figure normalization: `points` samples spread over the
+  /// full execution, x expressed in percent of total time.
+  std::vector<UsageSample> normalized(SimTime total_time, int points = 100) const;
+
+  bool empty() const { return segments_.empty(); }
+  const std::vector<UsageSegment>& segments() const { return segments_; }
+
+ private:
+  std::vector<UsageSegment> segments_;
+};
+
+}  // namespace gb::sim

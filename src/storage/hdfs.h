@@ -1,0 +1,63 @@
+// HDFS model.
+//
+// The paper stores every distributed platform's input in HDFS with a
+// single replica and no compression (Section 3.1). This model captures
+// what matters for the experiments: block layout, the single-stream
+// ingestion path (Table 6), and data-local parallel reads/writes during
+// job execution.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "sim/cost_model.h"
+
+namespace gb::storage {
+
+struct HdfsConfig {
+  Bytes block_size = Bytes{64} << 20;
+  std::uint32_t replicas = 1;
+  /// NameNode metadata round-trips + client setup per file operation.
+  double file_overhead_sec = 0.8;
+};
+
+class Hdfs {
+ public:
+  Hdfs(const sim::CostModel& cost, HdfsConfig config = {})
+      : cost_(cost), config_(config) {}
+
+  const HdfsConfig& config() const { return config_; }
+
+  std::uint64_t num_blocks(Bytes file_size) const {
+    return (file_size + config_.block_size - 1) / config_.block_size;
+  }
+
+  /// Loading a local file into HDFS: one writer stream at local-disk
+  /// read speed (the write lands on remote disks at least as fast, so the
+  /// reader is the bottleneck), plus per-file NameNode overhead.
+  SimTime ingest_time(Bytes file_size) const {
+    return config_.file_overhead_sec +
+           static_cast<double>(file_size * config_.replicas) /
+               cost_.disk_read_bps;
+  }
+
+  /// A data-local parallel scan: each worker streams its share of blocks
+  /// from the local disk.
+  SimTime parallel_read_time(Bytes file_size, std::uint32_t workers) const {
+    if (file_size == 0 || workers == 0) return 0.0;
+    const Bytes share = file_size / workers + 1;
+    return cost_.disk_read_time(share);
+  }
+
+  SimTime parallel_write_time(Bytes file_size, std::uint32_t workers) const {
+    if (file_size == 0 || workers == 0) return 0.0;
+    const Bytes share = (file_size * config_.replicas) / workers + 1;
+    return cost_.disk_write_time(share);
+  }
+
+ private:
+  sim::CostModel cost_;
+  HdfsConfig config_;
+};
+
+}  // namespace gb::storage

@@ -1,0 +1,211 @@
+// The heart of the correctness story: every platform implementation of
+// every algorithm must produce the reference output, on undirected and
+// directed graphs, including a small generated instance of a real dataset
+// class.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algorithms/evolution.h"
+#include "algorithms/platform_suite.h"
+#include "algorithms/reference.h"
+#include "datasets/catalog.h"
+#include "harness/experiment.h"
+#include "../test_util.h"
+
+namespace gb::algorithms {
+namespace {
+
+using platforms::Algorithm;
+using platforms::AlgorithmParams;
+
+struct PlatformCase {
+  const char* label;
+  std::unique_ptr<platforms::Platform> (*factory)();
+};
+
+std::unique_ptr<platforms::Platform> make_graphlab_stock() {
+  return make_graphlab(false);
+}
+std::unique_ptr<platforms::Platform> make_graphlab_mp() {
+  return make_graphlab(true);
+}
+
+const PlatformCase kPlatforms[] = {
+    {"Hadoop", &make_hadoop},          {"YARN", &make_yarn},
+    {"Stratosphere", &make_stratosphere}, {"Giraph", &make_giraph},
+    {"GraphLab", &make_graphlab_stock},   {"GraphLab_mp", &make_graphlab_mp},
+    {"Neo4j", &make_neo4j},
+};
+
+class CrossValidation : public ::testing::TestWithParam<PlatformCase> {
+ protected:
+  harness::Measurement run(const datasets::Dataset& ds, Algorithm algorithm,
+                           AlgorithmParams params) {
+    const auto platform = GetParam().factory();
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 4;
+    return harness::run_cell(*platform, ds, algorithm, params, cfg);
+  }
+};
+
+AlgorithmParams params_with_source(VertexId source) {
+  AlgorithmParams p;
+  p.bfs_source = source;
+  return p;
+}
+
+TEST_P(CrossValidation, BfsOnBarbell) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto m = run(ds, Algorithm::kBfs, params_with_source(0));
+  ASSERT_TRUE(m.ok()) << m.message;
+  EXPECT_EQ(m.result.output.vertex_values,
+            reference_bfs(ds.graph, 0).levels);
+}
+
+TEST_P(CrossValidation, BfsOnDirectedDag) {
+  GraphBuilder b(6, true);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  b.add_edge(4, 0);  // not reachable from 0
+  b.add_edge(4, 5);
+  const auto ds = test::as_dataset(b.build());
+  const auto m = run(ds, Algorithm::kBfs, params_with_source(0));
+  ASSERT_TRUE(m.ok()) << m.message;
+  EXPECT_EQ(m.result.output.vertex_values,
+            reference_bfs(ds.graph, 0).levels);
+}
+
+TEST_P(CrossValidation, ConnOnTwoComponents) {
+  const auto ds = test::as_dataset(test::two_components());
+  const auto m = run(ds, Algorithm::kConn, {});
+  ASSERT_TRUE(m.ok()) << m.message;
+  EXPECT_EQ(m.result.output.vertex_values, reference_conn(ds.graph).labels);
+}
+
+TEST_P(CrossValidation, ConnOnDirectedGraph) {
+  GraphBuilder b(5, true);
+  b.add_edge(1, 0);
+  b.add_edge(1, 2);
+  b.add_edge(4, 3);
+  const auto ds = test::as_dataset(b.build());
+  const auto m = run(ds, Algorithm::kConn, {});
+  ASSERT_TRUE(m.ok()) << m.message;
+  EXPECT_EQ(m.result.output.vertex_values, reference_conn(ds.graph).labels);
+}
+
+TEST_P(CrossValidation, CdOnBarbell) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto m = run(ds, Algorithm::kCd, {});
+  ASSERT_TRUE(m.ok()) << m.message;
+  EXPECT_EQ(m.result.output.vertex_values,
+            reference_cd(ds.graph, {}).labels);
+}
+
+TEST_P(CrossValidation, StatsOnBarbell) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto m = run(ds, Algorithm::kStats, {});
+  ASSERT_TRUE(m.ok()) << m.message;
+  const auto ref = reference_stats(ds.graph);
+  EXPECT_EQ(m.result.output.vertices, ref.vertices);
+  EXPECT_EQ(m.result.output.edges, ref.edges);
+  EXPECT_NEAR(m.result.output.scalar, ref.average_lcc, 1e-9);
+}
+
+TEST_P(CrossValidation, EvoGrowsIdenticallyEverywhere) {
+  const auto ds = test::as_dataset(test::complete_graph(40));
+  AlgorithmParams p;
+  p.evo_growth = 0.1;
+  const auto m = run(ds, Algorithm::kEvo, p);
+  ASSERT_TRUE(m.ok()) << m.message;
+  EvoParams evo;
+  evo.growth = p.evo_growth;
+  evo.seed = p.seed;
+  const auto trace = forest_fire_evolve(ds.graph, evo);
+  EXPECT_EQ(m.result.output.vertices,
+            ds.graph.num_vertices() + trace.total_new_vertices);
+  EXPECT_EQ(m.result.output.edges,
+            ds.graph.num_edges() + trace.total_new_edges);
+}
+
+TEST_P(CrossValidation, GeneratedKgsClassGraph) {
+  const auto ds = datasets::generate(datasets::DatasetId::kKGS, 0.01, 21);
+  const auto params = harness::default_params(ds);
+  const auto bfs = run(ds, Algorithm::kBfs, params);
+  ASSERT_TRUE(bfs.ok()) << bfs.message;
+  EXPECT_EQ(bfs.result.output.vertex_values,
+            reference_bfs(ds.graph, params.bfs_source).levels);
+  const auto conn = run(ds, Algorithm::kConn, params);
+  ASSERT_TRUE(conn.ok()) << conn.message;
+  EXPECT_EQ(conn.result.output.vertex_values,
+            reference_conn(ds.graph).labels);
+  const auto cd = run(ds, Algorithm::kCd, params);
+  ASSERT_TRUE(cd.ok()) << cd.message;
+  EXPECT_EQ(cd.result.output.vertex_values,
+            reference_cd(ds.graph, {}).labels);
+}
+
+TEST_P(CrossValidation, GeneratedCitationClassGraph) {
+  const auto ds = datasets::generate(datasets::DatasetId::kCitation, 0.005, 22);
+  const auto params = harness::default_params(ds);
+  const auto bfs = run(ds, Algorithm::kBfs, params);
+  ASSERT_TRUE(bfs.ok()) << bfs.message;
+  EXPECT_EQ(bfs.result.output.vertex_values,
+            reference_bfs(ds.graph, params.bfs_source).levels);
+  const auto conn = run(ds, Algorithm::kConn, params);
+  ASSERT_TRUE(conn.ok()) << conn.message;
+  EXPECT_EQ(conn.result.output.vertex_values,
+            reference_conn(ds.graph).labels);
+}
+
+TEST_P(CrossValidation, PageRankBitIdenticalOnBarbell) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto m = run(ds, Algorithm::kPageRank, {});
+  ASSERT_TRUE(m.ok()) << m.message;
+  const auto ref = reference_pagerank(ds.graph, {});
+  EXPECT_EQ(m.result.output.vertex_values, encode_ranks(ref.ranks));
+}
+
+TEST_P(CrossValidation, PageRankBitIdenticalOnDirectedGraph) {
+  GraphBuilder b(6, true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(5, 2);  // vertex 5 is dangling-in; vertex 4 is dangling-out
+  const auto ds = test::as_dataset(b.build());
+  const auto m = run(ds, Algorithm::kPageRank, {});
+  ASSERT_TRUE(m.ok()) << m.message;
+  const auto ref = reference_pagerank(ds.graph, {});
+  EXPECT_EQ(m.result.output.vertex_values, encode_ranks(ref.ranks));
+}
+
+TEST_P(CrossValidation, PageRankOnGeneratedCitationClassGraph) {
+  const auto ds = datasets::generate(datasets::DatasetId::kCitation, 0.003, 5);
+  const auto m = run(ds, Algorithm::kPageRank, {});
+  ASSERT_TRUE(m.ok()) << m.message;
+  const auto ref = reference_pagerank(ds.graph, {});
+  EXPECT_EQ(m.result.output.vertex_values, encode_ranks(ref.ranks));
+}
+
+TEST_P(CrossValidation, ReportsPositiveTimes) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto m = run(ds, Algorithm::kBfs, params_with_source(0));
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m.result.total_time, 0.0);
+  EXPECT_GT(m.result.computation_time, 0.0);
+  EXPECT_GE(m.result.overhead_time(), 0.0);
+  EXPECT_FALSE(m.result.phases.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, CrossValidation, ::testing::ValuesIn(kPlatforms),
+    [](const ::testing::TestParamInfo<PlatformCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace gb::algorithms

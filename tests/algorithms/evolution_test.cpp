@@ -1,0 +1,133 @@
+#include "algorithms/evolution.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace gb::algorithms {
+namespace {
+
+TEST(ForestFire, GrowsRequestedVertexCount) {
+  const Graph g = test::complete_graph(50);
+  EvoParams params;
+  params.growth = 0.1;  // 5 new vertices
+  const auto trace = forest_fire_evolve(g, params);
+  EXPECT_EQ(trace.total_new_vertices, 5u);
+}
+
+TEST(ForestFire, AtLeastOneVertexEvenOnTinyGrowth) {
+  const Graph g = test::complete_graph(10);
+  EvoParams params;
+  params.growth = 1e-9;
+  const auto trace = forest_fire_evolve(g, params);
+  EXPECT_EQ(trace.total_new_vertices, 1u);
+}
+
+TEST(ForestFire, EveryNewVertexHasAtLeastOneEdge) {
+  const Graph g = test::complete_graph(40);
+  EvoParams params;
+  params.growth = 0.25;
+  const auto trace = forest_fire_evolve(g, params);
+  std::vector<int> degree(trace.total_new_vertices, 0);
+  for (const auto& [w, b] : trace.edges) {
+    ASSERT_GE(w, g.num_vertices());
+    ASSERT_LT(b, g.num_vertices());
+    ++degree[w - g.num_vertices()];
+  }
+  for (const int d : degree) EXPECT_GE(d, 1);
+}
+
+TEST(ForestFire, DeterministicBySeed) {
+  const Graph g = test::barbell_graph();
+  EvoParams params;
+  params.growth = 0.5;
+  const auto a = forest_fire_evolve(g, params);
+  const auto b = forest_fire_evolve(g, params);
+  EXPECT_EQ(a.edges, b.edges);
+  params.seed = 99;
+  const auto c = forest_fire_evolve(g, params);
+  EXPECT_TRUE(a.edges != c.edges || a.total_new_edges != c.total_new_edges);
+}
+
+TEST(ForestFire, IterationStatsSumToTotals) {
+  const Graph g = test::complete_graph(30);
+  EvoParams params;
+  params.growth = 0.3;
+  const auto trace = forest_fire_evolve(g, params);
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  for (const auto& iter : trace.iterations) {
+    vertices += iter.new_vertices;
+    edges += iter.new_edges;
+  }
+  EXPECT_EQ(vertices, trace.total_new_vertices);
+  EXPECT_EQ(edges, trace.total_new_edges);
+  EXPECT_EQ(trace.iterations.size(), params.iterations);
+}
+
+TEST(ForestFire, HigherBurnProbabilityCreatesMoreEdges) {
+  const Graph g = test::complete_graph(60);
+  EvoParams low;
+  low.growth = 0.2;
+  low.p_forward = 0.1;
+  EvoParams high = low;
+  high.p_forward = 0.8;
+  const auto few = forest_fire_evolve(g, low);
+  const auto many = forest_fire_evolve(g, high);
+  EXPECT_GT(many.total_new_edges, few.total_new_edges);
+}
+
+TEST(ForestFire, BurnCapRespected) {
+  const Graph g = test::complete_graph(100);
+  EvoParams params;
+  params.growth = 0.01;
+  params.p_forward = 0.99;  // burns everything without the cap
+  params.max_burn_per_vertex = 10;
+  const auto trace = forest_fire_evolve(g, params);
+  EXPECT_LE(trace.total_new_edges, 10u);
+}
+
+TEST(ApplyEvolution, MaterializesNewVerticesAndEdges) {
+  const Graph g = test::complete_graph(20);
+  EvoParams params;
+  params.growth = 0.2;
+  const auto trace = forest_fire_evolve(g, params);
+  const Graph evolved = apply_evolution(g, trace);
+  EXPECT_EQ(evolved.num_vertices(),
+            g.num_vertices() + trace.total_new_vertices);
+  EXPECT_EQ(evolved.num_edges(), g.num_edges() + trace.total_new_edges);
+  // The original structure is intact.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      EXPECT_TRUE(evolved.has_edge(v, u));
+    }
+  }
+}
+
+TEST(ApplyEvolution, NewVerticesConnectToOriginalGraph) {
+  const Graph g = test::barbell_graph();
+  EvoParams params;
+  params.growth = 0.5;
+  const auto trace = forest_fire_evolve(g, params);
+  const Graph evolved = apply_evolution(g, trace);
+  for (VertexId v = g.num_vertices(); v < evolved.num_vertices(); ++v) {
+    EXPECT_GE(evolved.degree(v), 1u) << "new vertex " << v << " isolated";
+  }
+}
+
+TEST(ApplyEvolution, PreservesDirectivity) {
+  GraphBuilder b(10, true);
+  for (VertexId v = 0; v + 1 < 10; ++v) b.add_edge(v, v + 1);
+  const Graph g = b.build();
+  const auto trace = forest_fire_evolve(g, {});
+  EXPECT_TRUE(apply_evolution(g, trace).directed());
+}
+
+TEST(ForestFire, EmptyGraphNoop) {
+  const Graph g;
+  const auto trace = forest_fire_evolve(g, {});
+  EXPECT_EQ(trace.total_new_vertices, 0u);
+}
+
+}  // namespace
+}  // namespace gb::algorithms

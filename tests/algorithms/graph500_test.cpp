@@ -1,0 +1,84 @@
+#include "algorithms/graph500.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/reference.h"
+#include "../test_util.h"
+
+namespace gb::algorithms {
+namespace {
+
+TEST(Graph500, ReferenceBfsValidates) {
+  const Graph g = test::barbell_graph();
+  const auto bfs = reference_bfs(g, 0);
+  const auto v = validate_bfs_levels(g, 0, bfs.levels);
+  EXPECT_TRUE(v.valid) << v.error;
+}
+
+TEST(Graph500, ValidatesOnDirectedDag) {
+  GraphBuilder b(5, true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  const auto bfs = reference_bfs(g, 0);
+  const auto v = validate_bfs_levels(g, 0, bfs.levels);
+  EXPECT_TRUE(v.valid) << v.error;
+}
+
+TEST(Graph500, RejectsWrongSourceLevel) {
+  const Graph g = test::path_graph(3);
+  std::vector<std::uint64_t> levels{1, 1, 2};
+  EXPECT_FALSE(validate_bfs_levels(g, 0, levels).valid);
+}
+
+TEST(Graph500, RejectsLevelGap) {
+  const Graph g = test::path_graph(3);
+  std::vector<std::uint64_t> levels{0, 1, 3};  // 3 should be 2
+  const auto v = validate_bfs_levels(g, 0, levels);
+  EXPECT_FALSE(v.valid);
+}
+
+TEST(Graph500, RejectsOrphanLevel) {
+  // Vertex at level 2 with no level-1 neighbor.
+  GraphBuilder b(3, false);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  std::vector<std::uint64_t> levels{0, 1, 2};
+  const auto v = validate_bfs_levels(g, 0, levels);
+  EXPECT_FALSE(v.valid);
+}
+
+TEST(Graph500, RejectsUnreachedNeighborOfReached) {
+  const Graph g = test::path_graph(3);
+  std::vector<std::uint64_t> levels{0, 1, kUnreached};
+  EXPECT_FALSE(validate_bfs_levels(g, 0, levels).valid);
+}
+
+TEST(Graph500, RejectsSizeMismatch) {
+  const Graph g = test::path_graph(3);
+  EXPECT_FALSE(validate_bfs_levels(g, 0, {0, 1}).valid);
+}
+
+TEST(Graph500, TraversedEdgesCountsComponentOnly) {
+  const Graph g = test::two_components();  // triangle (3 edges) + edge
+  const auto bfs = reference_bfs(g, 0);
+  EXPECT_EQ(traversed_edges(g, bfs.levels), 3u);
+}
+
+TEST(Graph500, TepsBasics) {
+  EXPECT_DOUBLE_EQ(teps(1000, 2.0), 500.0);
+  EXPECT_DOUBLE_EQ(teps(1000, 0.0), 0.0);
+}
+
+TEST(Graph500, HarmonicMean) {
+  EXPECT_DOUBLE_EQ(harmonic_mean_teps({4.0, 4.0}), 4.0);
+  EXPECT_NEAR(harmonic_mean_teps({2.0, 6.0}), 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(harmonic_mean_teps({}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean_teps({1.0, 0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace gb::algorithms

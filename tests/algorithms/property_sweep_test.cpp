@@ -1,0 +1,135 @@
+// Property sweeps: on randomized R-MAT graphs (several seeds, directed and
+// undirected), every platform implementation must agree with the
+// sequential reference for every algorithm, and core invariants must hold.
+// This is the adversarial counterpart to the hand-picked fixtures in
+// cross_validation_test.cpp.
+#include <gtest/gtest.h>
+
+#include "algorithms/evolution.h"
+#include "algorithms/graph500.h"
+#include "algorithms/platform_suite.h"
+#include "algorithms/reference.h"
+#include "core/graph_stats.h"
+#include "datasets/generators.h"
+#include "harness/experiment.h"
+#include "../test_util.h"
+
+namespace gb::algorithms {
+namespace {
+
+using platforms::Algorithm;
+
+struct SweepCase {
+  std::uint64_t seed;
+  bool directed;
+};
+
+class PropertySweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  datasets::Dataset make_graph() const {
+    const auto [seed, directed] = GetParam();
+    Graph g = largest_component(
+        datasets::rmat(9, 3000, 0.57, 0.19, 0.19, directed, seed));
+    return test::as_dataset(std::move(g),
+                            directed ? "rmat_d" : "rmat_u");
+  }
+};
+
+TEST_P(PropertySweep, AllPlatformsAgreeOnBfs) {
+  const auto ds = make_graph();
+  const auto params = harness::default_params(ds);
+  const auto ref = reference_bfs(ds.graph, params.bfs_source);
+  for (const auto& p : make_all_platforms()) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 3;
+    const auto m = harness::run_cell(*p, ds, Algorithm::kBfs, params, cfg);
+    ASSERT_TRUE(m.ok()) << p->name() << ": " << m.message;
+    EXPECT_EQ(m.result.output.vertex_values, ref.levels) << p->name();
+  }
+}
+
+TEST_P(PropertySweep, AllPlatformsAgreeOnConn) {
+  const auto ds = make_graph();
+  const auto params = harness::default_params(ds);
+  const auto ref = reference_conn(ds.graph);
+  for (const auto& p : make_all_platforms()) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 3;
+    const auto m = harness::run_cell(*p, ds, Algorithm::kConn, params, cfg);
+    ASSERT_TRUE(m.ok()) << p->name() << ": " << m.message;
+    EXPECT_EQ(m.result.output.vertex_values, ref.labels) << p->name();
+  }
+}
+
+TEST_P(PropertySweep, AllPlatformsAgreeOnCd) {
+  const auto ds = make_graph();
+  const auto params = harness::default_params(ds);
+  const auto ref = reference_cd(ds.graph, {});
+  for (const auto& p : make_all_platforms()) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 3;
+    const auto m = harness::run_cell(*p, ds, Algorithm::kCd, params, cfg);
+    ASSERT_TRUE(m.ok()) << p->name() << ": " << m.message;
+    EXPECT_EQ(m.result.output.vertex_values, ref.labels) << p->name();
+  }
+}
+
+TEST_P(PropertySweep, AllPlatformsAgreeOnPageRankBitExact) {
+  const auto ds = make_graph();
+  const auto params = harness::default_params(ds);
+  const auto expected = encode_ranks(reference_pagerank(ds.graph, {}).ranks);
+  for (const auto& p : make_all_platforms()) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 3;
+    const auto m =
+        harness::run_cell(*p, ds, Algorithm::kPageRank, params, cfg);
+    ASSERT_TRUE(m.ok()) << p->name() << ": " << m.message;
+    EXPECT_EQ(m.result.output.vertex_values, expected) << p->name();
+  }
+}
+
+TEST_P(PropertySweep, ReferenceBfsPassesGraph500Validation) {
+  const auto ds = make_graph();
+  const auto params = harness::default_params(ds);
+  const auto ref = reference_bfs(ds.graph, params.bfs_source);
+  const auto v =
+      validate_bfs_levels(ds.graph, params.bfs_source, ref.levels);
+  EXPECT_TRUE(v.valid) << v.error;
+}
+
+TEST_P(PropertySweep, ConnLabelsAreComponentMinima) {
+  const auto ds = make_graph();
+  const auto ref = reference_conn(ds.graph);
+  // Within a component every label equals the smallest member id.
+  for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+    EXPECT_LE(ref.labels[v], v);
+    for (const VertexId u : ds.graph.out_neighbors(v)) {
+      EXPECT_EQ(ref.labels[u], ref.labels[v]);
+    }
+  }
+}
+
+TEST_P(PropertySweep, EvolutionInvariants) {
+  const auto ds = make_graph();
+  EvoParams params;
+  params.growth = 0.05;
+  params.seed = GetParam().seed;
+  const auto trace = forest_fire_evolve(ds.graph, params);
+  EXPECT_EQ(trace.iterations.size(), params.iterations);
+  EXPECT_GE(trace.total_new_edges, trace.total_new_vertices);
+  const Graph evolved = apply_evolution(ds.graph, trace);
+  EXPECT_EQ(evolved.num_edges(), ds.graph.num_edges() + trace.total_new_edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PropertySweep,
+    ::testing::Values(SweepCase{101, false}, SweepCase{102, false},
+                      SweepCase{103, true}, SweepCase{104, true},
+                      SweepCase{105, false}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(info.param.directed ? "directed" : "undirected") +
+             "_seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace gb::algorithms

@@ -1,0 +1,209 @@
+#include "algorithms/reference.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "../test_util.h"
+
+namespace gb::algorithms {
+namespace {
+
+TEST(ReferenceBfs, PathLevels) {
+  const Graph g = test::path_graph(5);
+  const auto r = reference_bfs(g, 0);
+  EXPECT_EQ(r.levels, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(r.iterations, 4u);
+  EXPECT_DOUBLE_EQ(r.coverage(), 1.0);
+}
+
+TEST(ReferenceBfs, LevelsAreShortestPaths) {
+  const Graph g = test::barbell_graph();
+  const auto r = reference_bfs(g, 0);
+  // Triangle edge gives a shortcut: 2 is 1 hop from 0, not 2.
+  EXPECT_EQ(r.levels[2], 1u);
+  EXPECT_EQ(r.levels[3], 2u);
+  EXPECT_EQ(r.levels[6], 4u);
+}
+
+TEST(ReferenceBfs, DirectedDoesNotTraverseBackwards) {
+  GraphBuilder b(3, true);
+  b.add_edge(1, 0);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  const auto r = reference_bfs(g, 0);
+  EXPECT_EQ(r.visited, 1u);
+  EXPECT_EQ(r.levels[1], kUnreached);
+}
+
+TEST(ReferenceBfs, UnreachableComponent) {
+  const Graph g = test::two_components();
+  const auto r = reference_bfs(g, 0);
+  EXPECT_EQ(r.visited, 3u);
+  EXPECT_EQ(r.levels[3], kUnreached);
+  EXPECT_NEAR(r.coverage(), 0.6, 1e-12);
+}
+
+TEST(ReferenceBfs, PropertyLevelsDifferByAtMostOneAcrossEdges) {
+  const Graph g = test::barbell_graph();
+  const auto r = reference_bfs(g, 3);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      if (r.levels[v] != kUnreached && r.levels[u] != kUnreached) {
+        EXPECT_LE(r.levels[u], r.levels[v] + 1);
+      }
+    }
+  }
+}
+
+TEST(ReferenceConn, SingleComponent) {
+  const Graph g = test::barbell_graph();
+  const auto r = reference_conn(g);
+  EXPECT_EQ(r.components, 1u);
+  for (const auto label : r.labels) EXPECT_EQ(label, 0u);
+}
+
+TEST(ReferenceConn, TwoComponents) {
+  const Graph g = test::two_components();
+  const auto r = reference_conn(g);
+  EXPECT_EQ(r.components, 2u);
+  EXPECT_EQ(r.labels[0], 0u);
+  EXPECT_EQ(r.labels[1], 0u);
+  EXPECT_EQ(r.labels[2], 0u);
+  EXPECT_EQ(r.labels[3], 3u);
+  EXPECT_EQ(r.labels[4], 3u);
+}
+
+TEST(ReferenceConn, LabelIsComponentMinimum) {
+  GraphBuilder b(6, false);
+  b.add_edge(5, 2);
+  b.add_edge(2, 4);
+  const Graph g = b.build();
+  const auto r = reference_conn(g);
+  EXPECT_EQ(r.labels[5], 2u);
+  EXPECT_EQ(r.labels[4], 2u);
+}
+
+TEST(ReferenceConn, DirectedWeakConnectivity) {
+  GraphBuilder b(3, true);
+  b.add_edge(1, 0);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  const auto r = reference_conn(g);
+  EXPECT_EQ(r.components, 1u);
+}
+
+TEST(ReferenceCd, CliqueConvergesToOneCommunity) {
+  const Graph g = test::complete_graph(6);
+  const auto r = reference_cd(g, {});
+  EXPECT_EQ(r.communities, 1u);
+}
+
+TEST(ReferenceCd, BarbellSplitsAroundBridge) {
+  const Graph g = test::barbell_graph();
+  const auto r = reference_cd(g, {});
+  // The two triangles should not merge into a single community.
+  EXPECT_GE(r.communities, 2u);
+}
+
+TEST(ReferenceCd, RunsExactlyTheBudget) {
+  const Graph g = test::complete_graph(4);
+  CdParams params;
+  params.iterations = 3;
+  const auto r = reference_cd(g, params);
+  EXPECT_EQ(r.iterations, 3u);
+}
+
+TEST(ReferenceCd, FixedPointScoresUnits) {
+  CdParams params;
+  EXPECT_EQ(params.initial_units(), 10u);
+  params.initial_score = 0.5;
+  EXPECT_EQ(params.initial_units(), 5u);
+}
+
+TEST(CdTally, ChoosesHighestSumThenSmallestLabel) {
+  CdTally tally;
+  tally.add(7, 5);
+  tally.add(3, 4);
+  tally.add(3, 1);  // label 3 sums to 5, ties with label 7
+  const auto [label, max_score] = tally.choose();
+  EXPECT_EQ(label, 3u);
+  EXPECT_EQ(max_score, 4u);
+}
+
+TEST(CdTally, OrderIndependent) {
+  CdTally a, b;
+  a.add(1, 3);
+  a.add(2, 5);
+  a.add(1, 2);
+  b.add(1, 2);
+  b.add(2, 5);
+  b.add(1, 3);
+  EXPECT_EQ(a.choose(), b.choose());
+}
+
+TEST(ReferenceStats, CompleteGraph) {
+  const Graph g = test::complete_graph(5);
+  const auto r = reference_stats(g);
+  EXPECT_EQ(r.vertices, 5u);
+  EXPECT_EQ(r.edges, 10u);
+  EXPECT_DOUBLE_EQ(r.average_lcc, 1.0);
+}
+
+TEST(ReferenceStats, PathGraphZeroClustering) {
+  const auto r = reference_stats(test::path_graph(10));
+  EXPECT_DOUBLE_EQ(r.average_lcc, 0.0);
+}
+
+TEST(ReferencePageRank, RanksSumBelowOneAndPositive) {
+  const Graph g = test::barbell_graph();
+  const auto r = reference_pagerank(g, {});
+  double total = 0.0;
+  for (const double rank : r.ranks) {
+    EXPECT_GT(rank, 0.0);
+    total += rank;
+  }
+  // Without dangling redistribution mass can only leak, never grow.
+  EXPECT_LE(total, 1.0 + 1e-9);
+  EXPECT_GT(total, 0.5);
+}
+
+TEST(ReferencePageRank, HubOutranksLeaves) {
+  // Star: all leaves point at the center.
+  GraphBuilder b(6, true);
+  for (VertexId v = 1; v < 6; ++v) b.add_edge(v, 0);
+  const auto r = reference_pagerank(b.build(), {});
+  for (VertexId v = 1; v < 6; ++v) EXPECT_GT(r.ranks[0], r.ranks[v]);
+}
+
+TEST(ReferencePageRank, SymmetricGraphUniformRanks) {
+  const Graph g = test::complete_graph(5);
+  const auto r = reference_pagerank(g, {});
+  for (const double rank : r.ranks) {
+    EXPECT_NEAR(rank, r.ranks[0], 1e-15);
+  }
+}
+
+TEST(ReferencePageRank, RunsRequestedIterations) {
+  PageRankParams params;
+  params.iterations = 3;
+  const auto r = reference_pagerank(test::path_graph(4), params);
+  EXPECT_EQ(r.iterations, 3u);
+}
+
+TEST(ReferencePageRank, EncodeRanksIsBijective) {
+  const std::vector<double> ranks{0.1, 0.25, 1e-300};
+  const auto encoded = encode_ranks(ranks);
+  ASSERT_EQ(encoded.size(), 3u);
+  double back;
+  std::memcpy(&back, &encoded[1], sizeof(back));
+  EXPECT_EQ(back, 0.25);
+}
+
+TEST(CountDistinct, Basic) {
+  EXPECT_EQ(count_distinct({1, 1, 2, 3, 3, 3}), 3u);
+  EXPECT_EQ(count_distinct({}), 0u);
+}
+
+}  // namespace
+}  // namespace gb::algorithms

@@ -1,0 +1,118 @@
+// Tests for the related-work platforms (HaLoop, PEGASUS) built on the
+// MapReduce engine: correctness against the reference, their published
+// performance characteristics relative to stock Hadoop, and PEGASUS's
+// expressiveness boundary.
+#include <gtest/gtest.h>
+
+#include "algorithms/platform_suite.h"
+#include "algorithms/reference.h"
+#include "harness/experiment.h"
+#include "../test_util.h"
+
+namespace gb::algorithms {
+namespace {
+
+using platforms::Algorithm;
+
+harness::Measurement run(const platforms::Platform& p,
+                         const datasets::Dataset& ds, Algorithm a) {
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 8;
+  return harness::run_cell(p, ds, a, harness::default_params(ds), cfg);
+}
+
+TEST(HaLoop, ConnMatchesReference) {
+  const auto ds = test::as_dataset(test::two_components());
+  const auto m = run(*make_haloop(), ds, Algorithm::kConn);
+  ASSERT_TRUE(m.ok()) << m.message;
+  EXPECT_EQ(m.result.output.vertex_values, reference_conn(ds.graph).labels);
+}
+
+TEST(HaLoop, BeatsHadoopOnIterativeJobs) {
+  // Loop-invariant caching pays off once there is more than one iteration.
+  const auto ds = test::as_dataset(test::path_graph(16), "path", 1e-4);
+  const auto hadoop = run(*make_hadoop(), ds, Algorithm::kBfs);
+  const auto haloop = run(*make_haloop(), ds, Algorithm::kBfs);
+  ASSERT_TRUE(hadoop.ok());
+  ASSERT_TRUE(haloop.ok());
+  EXPECT_LT(haloop.time(), hadoop.time());
+}
+
+TEST(HaLoop, FirstIterationPaysFullInput) {
+  // A single-round workload gains nothing from the cache: STATS.
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto hadoop = run(*make_hadoop(), ds, Algorithm::kStats);
+  const auto haloop = run(*make_haloop(), ds, Algorithm::kStats);
+  ASSERT_TRUE(hadoop.ok());
+  ASSERT_TRUE(haloop.ok());
+  // HaLoop still skips the convergence job, so allow a small gap only.
+  EXPECT_NEAR(haloop.time(), hadoop.time(), 0.2 * hadoop.time());
+}
+
+TEST(Pegasus, ConnMatchesReference) {
+  const auto ds = test::as_dataset(test::two_components());
+  const auto m = run(*make_pegasus(), ds, Algorithm::kConn);
+  ASSERT_TRUE(m.ok()) << m.message;
+  EXPECT_EQ(m.result.output.vertex_values, reference_conn(ds.graph).labels);
+}
+
+TEST(Pegasus, PageRankBitIdentical) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto m = run(*make_pegasus(), ds, Algorithm::kPageRank);
+  ASSERT_TRUE(m.ok()) << m.message;
+  EXPECT_EQ(m.result.output.vertex_values,
+            encode_ranks(reference_pagerank(ds.graph, {}).ranks));
+}
+
+TEST(Pegasus, BlockEncodingBeatsHadoopOnConn) {
+  const auto ds = test::as_dataset(test::complete_graph(64), "clique", 1e-5);
+  const auto hadoop = run(*make_hadoop(), ds, Algorithm::kConn);
+  const auto pegasus = run(*make_pegasus(), ds, Algorithm::kConn);
+  ASSERT_TRUE(hadoop.ok());
+  ASSERT_TRUE(pegasus.ok());
+  EXPECT_LT(pegasus.time(), hadoop.time());
+}
+
+TEST(Pegasus, RejectsNonGimVAlgorithms) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  for (const auto algo : {Algorithm::kCd, Algorithm::kStats, Algorithm::kEvo}) {
+    const auto m = run(*make_pegasus(), ds, algo);
+    EXPECT_EQ(m.outcome, harness::Outcome::kUnsupported)
+        << platforms::algorithm_name(algo);
+  }
+}
+
+TEST(RelatedPlatforms, Names) {
+  EXPECT_EQ(make_haloop()->name(), "HaLoop");
+  EXPECT_EQ(make_pegasus()->name(), "PEGASUS");
+  EXPECT_EQ(make_gps()->name(), "GPS");
+}
+
+TEST(Gps, SameResultsAsGiraph) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto params = harness::default_params(ds);
+  for (const auto algo : {Algorithm::kBfs, Algorithm::kConn, Algorithm::kCd}) {
+    const auto giraph = run(*make_giraph(), ds, algo);
+    const auto gps = run(*make_gps(), ds, algo);
+    ASSERT_TRUE(giraph.ok() && gps.ok());
+    EXPECT_EQ(gps.result.output.vertex_values,
+              giraph.result.output.vertex_values)
+        << platforms::algorithm_name(algo);
+  }
+  (void)params;
+}
+
+TEST(Gps, LalpCutsHubBroadcastTraffic) {
+  // A hub fanning out to 4000 neighbors: Giraph ships 4000 messages,
+  // GPS ships one per worker.
+  GraphBuilder b(4001, false);
+  for (VertexId v = 1; v <= 4000; ++v) b.add_edge(0, v);
+  const auto ds = test::as_dataset(b.build(), "star", 1e-3);
+  const auto giraph = run(*make_giraph(), ds, Algorithm::kConn);
+  const auto gps = run(*make_gps(), ds, Algorithm::kConn);
+  ASSERT_TRUE(giraph.ok() && gps.ok());
+  EXPECT_LT(gps.time(), giraph.time());
+}
+
+}  // namespace
+}  // namespace gb::algorithms

@@ -1,0 +1,131 @@
+#include "core/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.h"
+#include "../test_util.h"
+
+namespace gb {
+namespace {
+
+TEST(GraphIo, UndirectedRoundTrip) {
+  const Graph g = test::barbell_graph();
+  std::stringstream stream;
+  write_graph(g, stream);
+  const Graph back = read_graph(stream, /*directed=*/false);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.out_neighbors(v);
+    const auto b = back.out_neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+  }
+}
+
+TEST(GraphIo, DirectedRoundTrip) {
+  GraphBuilder b(4, true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(3, 1);
+  const Graph g = b.build();
+  std::stringstream stream;
+  write_graph(g, stream);
+  const Graph back = read_graph(stream, /*directed=*/true);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.in_degree(1), 2u);
+  EXPECT_EQ(back.out_degree(3), 1u);
+}
+
+TEST(GraphIo, UndirectedFormatExample) {
+  GraphBuilder b(3, false);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  std::stringstream stream;
+  write_graph(b.build(), stream);
+  EXPECT_EQ(stream.str(), "0: 1\n1: 0,2\n2: 1\n");
+}
+
+TEST(GraphIo, DirectedFormatHasInAndOutLists) {
+  GraphBuilder b(2, true);
+  b.add_edge(0, 1);
+  std::stringstream stream;
+  write_graph(b.build(), stream);
+  EXPECT_EQ(stream.str(), "0:  # 1\n1: 0 # \n");
+}
+
+TEST(GraphIo, EmptyInput) {
+  std::stringstream stream;
+  const Graph g = read_graph(stream, false);
+  EXPECT_EQ(g.num_vertices(), 0u);
+}
+
+TEST(GraphIo, IsolatedVertexPreserved) {
+  std::stringstream stream("0: 1\n1: 0\n2: \n");
+  const Graph g = read_graph(stream, false);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.out_degree(2), 0u);
+}
+
+TEST(GraphIo, MissingColonThrows) {
+  std::stringstream stream("0 1,2\n");
+  EXPECT_THROW(read_graph(stream, false), FormatError);
+}
+
+TEST(GraphIo, BadIdThrows) {
+  std::stringstream stream("0: 1,x\n");
+  EXPECT_THROW(read_graph(stream, false), FormatError);
+}
+
+TEST(GraphIo, DirectedMissingHashThrows) {
+  std::stringstream stream("0: 1,2\n");
+  EXPECT_THROW(read_graph(stream, true), FormatError);
+}
+
+TEST(GraphIo, SnapEdgeListBasic) {
+  std::stringstream stream(
+      "# comment line\n"
+      "0\t1\n"
+      "1 2\n"
+      "\n"
+      "2\t0\n");
+  const Graph g = read_snap_edge_list(stream, /*directed=*/true);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(GraphIo, SnapSparseIdsRenumberedDensely) {
+  std::stringstream stream("1000000 42\n42 7\n");
+  const Graph g = read_snap_edge_list(stream, /*directed=*/true);
+  EXPECT_EQ(g.num_vertices(), 3u);  // 1000000, 42, 7 -> 0, 1, 2
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIo, SnapUndirectedDeduplicates) {
+  std::stringstream stream("0 1\n1 0\n");
+  const Graph g = read_snap_edge_list(stream, /*directed=*/false);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphIo, SnapBadLineThrows) {
+  std::stringstream stream("0 abc\n");
+  EXPECT_THROW(read_snap_edge_list(stream, true), FormatError);
+  std::stringstream stream2("xyz 1\n");
+  EXPECT_THROW(read_snap_edge_list(stream2, true), FormatError);
+}
+
+TEST(GraphIo, SnapRoundTrip) {
+  const Graph g = test::barbell_graph();
+  std::stringstream stream;
+  write_snap_edge_list(g, stream);
+  const Graph back = read_snap_edge_list(stream, /*directed=*/false);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace gb

@@ -1,0 +1,101 @@
+// Property sweeps over randomized graph builds: CSR invariants that must
+// hold for any insertion order, duplication pattern or directivity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/graph.h"
+#include "core/rng.h"
+
+namespace gb {
+namespace {
+
+class GraphBuildSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+Graph random_graph(std::uint64_t seed, bool directed, VertexId n = 64,
+                   int edges = 300) {
+  Xoshiro256 rng(seed);
+  GraphBuilder b(n, directed);
+  for (int e = 0; e < edges; ++e) {
+    b.add_edge(static_cast<VertexId>(rng.next_below(n)),
+               static_cast<VertexId>(rng.next_below(n)));
+  }
+  return b.build();
+}
+
+TEST_P(GraphBuildSweep, AdjacencySortedAndDeduplicated) {
+  for (const bool directed : {false, true}) {
+    const Graph g = random_graph(GetParam(), directed);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const auto nbrs = g.out_neighbors(v);
+      EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+      EXPECT_EQ(std::adjacent_find(nbrs.begin(), nbrs.end()), nbrs.end());
+      EXPECT_EQ(std::count(nbrs.begin(), nbrs.end(), v), 0)
+          << "self loop survived";
+    }
+  }
+}
+
+TEST_P(GraphBuildSweep, UndirectedAdjacencyIsSymmetric) {
+  const Graph g = random_graph(GetParam(), /*directed=*/false);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      EXPECT_TRUE(g.has_edge(u, v)) << u << " -> " << v;
+    }
+  }
+}
+
+TEST_P(GraphBuildSweep, DirectedInOutListsAgree) {
+  const Graph g = random_graph(GetParam(), /*directed=*/true);
+  std::multiset<std::pair<VertexId, VertexId>> from_out;
+  std::multiset<std::pair<VertexId, VertexId>> from_in;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) from_out.emplace(v, u);
+    for (const VertexId u : g.in_neighbors(v)) from_in.emplace(u, v);
+  }
+  EXPECT_EQ(from_out, from_in);
+}
+
+TEST_P(GraphBuildSweep, EdgeCountMatchesAdjacency) {
+  for (const bool directed : {false, true}) {
+    const Graph g = random_graph(GetParam(), directed);
+    const EdgeId expected =
+        directed ? g.num_edges() : 2 * g.num_edges();
+    EXPECT_EQ(g.num_adjacency_entries(), expected);
+  }
+}
+
+TEST_P(GraphBuildSweep, DegreeSumsConsistent) {
+  const Graph g = random_graph(GetParam(), /*directed=*/true);
+  EdgeId out_total = 0;
+  EdgeId in_total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out_total += g.out_degree(v);
+    in_total += g.in_degree(v);
+  }
+  EXPECT_EQ(out_total, g.num_edges());
+  EXPECT_EQ(in_total, g.num_edges());
+}
+
+TEST_P(GraphBuildSweep, BinaryRoundTripIdentical) {
+  const Graph g = random_graph(GetParam(), GetParam() % 2 == 0);
+  const std::string path = testing::TempDir() + "gb_prop_" +
+                           std::to_string(GetParam()) + ".bin";
+  g.save_binary(path);
+  const Graph back = Graph::load_binary(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.out_neighbors(v);
+    const auto b = back.out_neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphBuildSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace gb

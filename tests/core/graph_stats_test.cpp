@@ -1,0 +1,142 @@
+#include "core/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace gb {
+namespace {
+
+TEST(GraphStats, SummaryUndirected) {
+  const Graph g = test::complete_graph(5);
+  const GraphSummary s = summarize(g);
+  EXPECT_EQ(s.num_vertices, 5u);
+  EXPECT_EQ(s.num_edges, 10u);
+  EXPECT_DOUBLE_EQ(s.link_density, 1.0);
+  EXPECT_DOUBLE_EQ(s.average_degree, 4.0);
+}
+
+TEST(GraphStats, SummaryDirected) {
+  GraphBuilder b(4, true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  const Graph g = b.build();
+  const GraphSummary s = summarize(g);
+  EXPECT_DOUBLE_EQ(s.average_degree, 1.0);
+  EXPECT_DOUBLE_EQ(s.link_density, 4.0 / 12.0);
+}
+
+TEST(GraphStats, LccCompleteGraphIsOne) {
+  const Graph g = test::complete_graph(5);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(local_clustering_coefficient(g, v), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(average_lcc(g), 1.0);
+}
+
+TEST(GraphStats, LccPathGraphIsZero) {
+  const Graph g = test::path_graph(6);
+  EXPECT_DOUBLE_EQ(average_lcc(g), 0.0);
+}
+
+TEST(GraphStats, LccTriangleWithTail) {
+  // Triangle 0-1-2 plus tail 2-3: vertex 2 has 3 neighbors, one closed pair.
+  GraphBuilder b(4, false);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  EXPECT_DOUBLE_EQ(local_clustering_coefficient(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(local_clustering_coefficient(g, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(local_clustering_coefficient(g, 3), 0.0);
+}
+
+TEST(GraphStats, LccIsBetweenZeroAndOne) {
+  const Graph g = test::barbell_graph();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const double lcc = local_clustering_coefficient(g, v);
+    EXPECT_GE(lcc, 0.0);
+    EXPECT_LE(lcc, 1.0);
+  }
+}
+
+TEST(GraphStats, LargestComponentPicksBigger) {
+  const Graph g = test::two_components();  // triangle + edge
+  const Graph lcc = largest_component(g);
+  EXPECT_EQ(lcc.num_vertices(), 3u);
+  EXPECT_EQ(lcc.num_edges(), 3u);
+}
+
+TEST(GraphStats, LargestComponentConnectedInputUnchanged) {
+  const Graph g = test::barbell_graph();
+  const Graph lcc = largest_component(g);
+  EXPECT_EQ(lcc.num_vertices(), g.num_vertices());
+  EXPECT_EQ(lcc.num_edges(), g.num_edges());
+}
+
+TEST(GraphStats, LargestComponentDirectedUsesWeakConnectivity) {
+  // 0 -> 1 -> 2 forms one weak component even though 2 cannot reach 0.
+  GraphBuilder b(5, true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph lcc = largest_component(b.build());
+  EXPECT_EQ(lcc.num_vertices(), 3u);
+  EXPECT_EQ(lcc.num_edges(), 2u);
+  EXPECT_TRUE(lcc.directed());
+}
+
+TEST(GraphStats, DegreeDistributionRegularGraph) {
+  const Graph g = test::complete_graph(6);
+  const auto d = degree_distribution(g);
+  EXPECT_EQ(d.min_degree, 5u);
+  EXPECT_EQ(d.max_degree, 5u);
+  EXPECT_DOUBLE_EQ(d.mean, 5.0);
+  EXPECT_NEAR(d.gini, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d.sum_squared_degree, 6.0 * 25.0);
+}
+
+TEST(GraphStats, DegreeDistributionStarIsSkewed) {
+  GraphBuilder b(11, false);
+  for (VertexId v = 1; v <= 10; ++v) b.add_edge(0, v);
+  const auto d = degree_distribution(b.build());
+  EXPECT_EQ(d.max_degree, 10u);
+  EXPECT_EQ(d.p50, 1u);
+  EXPECT_GT(d.gini, 0.3);
+}
+
+TEST(GraphStats, DegreeDistributionPercentilesOrdered) {
+  const Graph g = test::barbell_graph();
+  const auto d = degree_distribution(g);
+  EXPECT_LE(d.p50, d.p90);
+  EXPECT_LE(d.p90, d.p99);
+  EXPECT_LE(d.p99, d.max_degree);
+}
+
+TEST(GraphStats, SortedIntersectionCount) {
+  const std::vector<VertexId> a{1, 3, 5, 7};
+  const std::vector<VertexId> b{2, 3, 5, 8};
+  EXPECT_EQ(sorted_intersection_count(a, b, 99), 2u);
+  EXPECT_EQ(sorted_intersection_count(a, b, 3), 1u);  // exclusion applies
+  EXPECT_EQ(sorted_intersection_count(a, {}, 0), 0u);
+}
+
+TEST(GraphStats, SortedIntersectionGallopingPathAgrees) {
+  // Force the binary-probe path with a tiny list against a huge one.
+  std::vector<VertexId> big(4096);
+  for (VertexId i = 0; i < big.size(); ++i) big[i] = 2 * i;
+  const std::vector<VertexId> small{0, 2, 3, 4094 * 2};
+  EXPECT_EQ(sorted_intersection_count(small, big, ~VertexId{0}), 3u);
+}
+
+TEST(GraphStats, EdgesBetweenNeighborsCountsOrderedPairs) {
+  const Graph g = test::complete_graph(4);
+  // Every vertex: 3 neighbors, all 6 ordered pairs connected.
+  EXPECT_EQ(edges_between_neighbors(g, 0), 6u);
+}
+
+}  // namespace
+}  // namespace gb

@@ -1,0 +1,181 @@
+#include "core/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "core/error.h"
+#include "../test_util.h"
+
+namespace gb {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder b(0, false);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilder, UndirectedEdgeStoredBothSides) {
+  GraphBuilder b(3, false);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_adjacency_entries(), 2u);
+  ASSERT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_neighbors(0)[0], 1u);
+  ASSERT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.out_neighbors(1)[0], 0u);
+}
+
+TEST(GraphBuilder, DuplicateEdgesCollapse) {
+  GraphBuilder b(3, false);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // same undirected edge
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, DirectedDuplicatesDistinctFromReverse) {
+  GraphBuilder b(2, true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+}
+
+TEST(GraphBuilder, SelfLoopsDropped) {
+  GraphBuilder b(2, false);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, OutOfRangeEndpointThrows) {
+  GraphBuilder b(2, false);
+  EXPECT_THROW(b.add_edge(0, 2), FormatError);
+}
+
+TEST(GraphBuilder, GrowToCannotShrink) {
+  GraphBuilder b(5, false);
+  EXPECT_THROW(b.grow_to(3), FormatError);
+  b.grow_to(10);
+  b.add_edge(9, 0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, AdjacencySorted) {
+  GraphBuilder b(5, false);
+  b.add_edge(3, 1);
+  b.add_edge(3, 4);
+  b.add_edge(3, 0);
+  b.add_edge(3, 2);
+  const Graph g = b.build();
+  const auto nbrs = g.out_neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Graph, HasEdge) {
+  const Graph g = test::barbell_graph();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 6));
+}
+
+TEST(Graph, DirectedInOutDegrees) {
+  GraphBuilder b(4, true);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  b.add_edge(3, 2);
+  const Graph g = b.build();
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.in_degree(2), 3u);
+  EXPECT_EQ(g.out_degree(2), 0u);
+}
+
+TEST(Graph, DegreeSumInvariant) {
+  const Graph g = test::barbell_graph();
+  EdgeId total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) total += g.degree(v);
+  EXPECT_EQ(total, 2 * g.num_edges());
+}
+
+TEST(Graph, TextSizeGrowsWithEdges) {
+  const Graph small = test::path_graph(10);
+  const Graph large = test::complete_graph(10);
+  EXPECT_LT(small.text_size_bytes(), large.text_size_bytes());
+}
+
+TEST(Graph, DirectedTextCountsBothLists) {
+  GraphBuilder bu(4, false);
+  bu.add_edge(0, 1);
+  bu.add_edge(1, 2);
+  GraphBuilder bd(4, true);
+  bd.add_edge(0, 1);
+  bd.add_edge(1, 2);
+  // Same logical edge count: both formats store every edge twice.
+  EXPECT_EQ(bu.build().text_size_bytes(), bd.build().text_size_bytes());
+}
+
+TEST(Graph, BinaryRoundTrip) {
+  const Graph g = test::barbell_graph();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gb_graph_roundtrip.bin")
+          .string();
+  g.save_binary(path);
+  const Graph loaded = Graph::load_binary(path);
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(loaded.num_vertices(), g.num_vertices());
+  ASSERT_EQ(loaded.num_edges(), g.num_edges());
+  EXPECT_EQ(loaded.directed(), g.directed());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.out_neighbors(v);
+    const auto b = loaded.out_neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(Graph, BinaryRoundTripDirected) {
+  GraphBuilder b(4, true);
+  b.add_edge(0, 1);
+  b.add_edge(2, 1);
+  b.add_edge(3, 0);
+  const Graph g = b.build();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gb_graph_roundtrip_d.bin")
+          .string();
+  g.save_binary(path);
+  const Graph loaded = Graph::load_binary(path);
+  std::filesystem::remove(path);
+  EXPECT_TRUE(loaded.directed());
+  EXPECT_EQ(loaded.in_degree(1), 2u);
+}
+
+TEST(Graph, LoadBinaryRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gb_graph_garbage.bin")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a graph";
+  }
+  EXPECT_THROW(Graph::load_binary(path), FormatError);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace gb

@@ -1,0 +1,69 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gb {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_EQ(a.next(), b.next());
+  Xoshiro256 a2(42);
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowApproximatelyUniform) {
+  Xoshiro256 rng(3);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, GeometricMeanMatchesTheory) {
+  Xoshiro256 rng(4);
+  const double p = 0.5;
+  double total = 0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    total += static_cast<double>(rng.next_geometric(p));
+  }
+  // Mean of failures-before-success geometric = (1-p)/p = 1.
+  EXPECT_NEAR(total / kSamples, 1.0, 0.05);
+}
+
+TEST(Rng, GeometricWithCertainSuccessIsZero) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.next_geometric(1.0), 0u);
+}
+
+TEST(Rng, SplitMixDistinctStreams) {
+  SplitMix64 a(7);
+  SplitMix64 b(8);
+  EXPECT_NE(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace gb

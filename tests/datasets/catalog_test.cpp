@@ -1,0 +1,87 @@
+#include "datasets/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/graph_stats.h"
+
+namespace gb::datasets {
+namespace {
+
+TEST(Catalog, SevenDatasets) {
+  EXPECT_EQ(all_datasets().size(), 7u);
+}
+
+TEST(Catalog, InfoMatchesPaperTable2) {
+  const DatasetInfo& dota = info(DatasetId::kDotaLeague);
+  EXPECT_EQ(dota.name, "DotaLeague");
+  EXPECT_FALSE(dota.directed);
+  EXPECT_EQ(dota.paper_vertices, 61'171u);
+  EXPECT_EQ(dota.paper_edges, 50'870'316u);
+
+  const DatasetInfo& citation = info(DatasetId::kCitation);
+  EXPECT_TRUE(citation.directed);
+  EXPECT_EQ(citation.paper_vertices, 3'764'117u);
+}
+
+TEST(Catalog, FindInfoByName) {
+  ASSERT_NE(find_info("KGS"), nullptr);
+  EXPECT_EQ(find_info("KGS")->id, DatasetId::kKGS);
+  EXPECT_EQ(find_info("NoSuchGraph"), nullptr);
+}
+
+TEST(Catalog, FriendsterDefaultsToScaledDown) {
+  EXPECT_LT(info(DatasetId::kFriendster).default_scale, 1.0);
+}
+
+// Generating at a small scale keeps this test quick while checking the
+// pipeline end to end: generation, largest-component extraction,
+// directivity, connectivity.
+class ScaledGeneration : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(ScaledGeneration, ProducesConnectedGraphOfRightShape) {
+  const DatasetInfo& meta = info(GetParam());
+  const Dataset ds = generate(GetParam(), /*scale=*/0.02, /*seed=*/11);
+  const Graph& g = ds.graph;
+  EXPECT_EQ(g.directed(), meta.directed);
+  EXPECT_GT(g.num_vertices(), 0u);
+  EXPECT_GT(g.num_edges(), 0u);
+  // Largest-component extraction means the result is weakly connected.
+  const Graph again = largest_component(g);
+  EXPECT_EQ(again.num_vertices(), g.num_vertices());
+  // Extrapolation factor reflects the scale.
+  EXPECT_DOUBLE_EQ(ds.extrapolation(), 1.0 / 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, ScaledGeneration,
+                         ::testing::Values(DatasetId::kAmazon,
+                                           DatasetId::kWikiTalk,
+                                           DatasetId::kKGS,
+                                           DatasetId::kCitation,
+                                           DatasetId::kDotaLeague,
+                                           DatasetId::kSynth,
+                                           DatasetId::kFriendster));
+
+TEST(Catalog, GenerationDeterministicBySeed) {
+  const Dataset a = generate(DatasetId::kAmazon, 0.02, 3);
+  const Dataset b = generate(DatasetId::kAmazon, 0.02, 3);
+  EXPECT_EQ(a.graph.num_vertices(), b.graph.num_vertices());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+}
+
+TEST(Catalog, CacheRoundTrip) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gb_cache_test").string();
+  std::filesystem::remove_all(dir);
+  const Dataset generated =
+      load_or_generate(DatasetId::kKGS, 0.02, 5, dir);
+  ASSERT_TRUE(std::filesystem::exists(dir));
+  const Dataset cached = load_or_generate(DatasetId::kKGS, 0.02, 5, dir);
+  EXPECT_EQ(cached.graph.num_vertices(), generated.graph.num_vertices());
+  EXPECT_EQ(cached.graph.num_edges(), generated.graph.num_edges());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace gb::datasets

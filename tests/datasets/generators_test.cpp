@@ -1,0 +1,156 @@
+#include "datasets/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "core/graph_stats.h"
+
+namespace gb::datasets {
+namespace {
+
+TEST(Generators, RmatDeterministicBySeed) {
+  const Graph a = rmat(10, 5000, 0.57, 0.19, 0.19, false, 7);
+  const Graph b = rmat(10, 5000, 0.57, 0.19, 0.19, false, 7);
+  const Graph c = rmat(10, 5000, 0.57, 0.19, 0.19, false, 8);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_NE(a.num_edges(), c.num_edges());
+}
+
+TEST(Generators, RmatVertexCountIsPowerOfTwo) {
+  const Graph g = rmat(8, 1000, 0.57, 0.19, 0.19, false, 1);
+  EXPECT_EQ(g.num_vertices(), 256u);
+}
+
+TEST(Generators, RmatSkewedDegrees) {
+  const Graph g = rmat(12, 40'000, 0.57, 0.19, 0.19, false, 2);
+  EdgeId max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_vertices());
+  EXPECT_GT(static_cast<double>(max_deg), 10.0 * avg);
+}
+
+TEST(Generators, HubGraphConcentratesDegreesOnHubs) {
+  const Graph g = hub_graph(10'000, 40'000, 5, 0.3, 0.2, 0.5, 3);
+  ASSERT_TRUE(g.directed());
+  // Hubs are vertices 0..4; their degrees should dwarf the average.
+  EdgeId hub_in = 0;
+  EdgeId hub_out = 0;
+  for (VertexId h = 0; h < 5; ++h) {
+    hub_in += g.in_degree(h);
+    hub_out += g.out_degree(h);
+  }
+  EXPECT_GT(static_cast<double>(hub_in),
+            0.2 * static_cast<double>(g.num_edges()));
+  EXPECT_GT(static_cast<double>(hub_out),
+            0.1 * static_cast<double>(g.num_edges()));
+}
+
+TEST(Generators, WeightedPairGraphUndirectedAndDeduplicated) {
+  const Graph g = weighted_pair_graph(1000, 20'000, 0.6, 0.0, 1, 4);
+  EXPECT_FALSE(g.directed());
+  EXPECT_LT(g.num_edges(), 20'000u);  // duplicates collapse
+  EXPECT_GT(g.num_edges(), 5'000u);
+}
+
+TEST(Generators, WeightedPairBandingKeepsEdgesLocal) {
+  const Graph g = weighted_pair_graph(10'000, 50'000, 0.5, 1.0, 100, 4);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      const VertexId lo = std::min(u, v);
+      const VertexId hi = std::max(u, v);
+      EXPECT_LE(hi - lo, 200u);
+    }
+  }
+}
+
+TEST(Generators, MatchCliqueGraphIsDense) {
+  const Graph g = match_clique_graph(200, 2000, 10, 0.3, 0.0, 1, 5);
+  const double avg_degree = 2.0 * static_cast<double>(g.num_edges()) /
+                            static_cast<double>(g.num_vertices());
+  EXPECT_GT(avg_degree, 30.0);
+  // Clique edges give high clustering.
+  EXPECT_GT(average_lcc(largest_component(g)), 0.2);
+}
+
+TEST(Generators, MatchCliqueBandingBoundsEdgeSpan) {
+  const Graph g = match_clique_graph(5000, 3000, 10, 0.3, 1.0, 50, 5);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      const VertexId lo = std::min(u, v);
+      const VertexId hi = std::max(u, v);
+      EXPECT_LE(hi - lo, 100u);
+    }
+  }
+}
+
+TEST(Generators, CopurchaseGraphDegreeNearK) {
+  const Graph g = copurchase_graph(5000, 4.8, 0.3, 50, 6);
+  const double avg_out = static_cast<double>(g.num_edges()) /
+                         static_cast<double>(g.num_vertices());
+  EXPECT_NEAR(avg_out, 4.8, 0.25);
+}
+
+TEST(Generators, CopurchaseArcsStayWithinWindow) {
+  const Graph g = copurchase_graph(5000, 5.0, 0.5, 40, 6);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      const VertexId forward = (u + g.num_vertices() - v) % g.num_vertices();
+      EXPECT_LE(forward, 41u) << "arc jumps beyond the catalog window";
+    }
+  }
+}
+
+TEST(Generators, CitationDagEdgesPointBackward) {
+  const Graph g = citation_dag(2000, 4.0, 100, 0.5, 7);
+  ASSERT_TRUE(g.directed());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      EXPECT_LT(u, v) << "citation must reference an older vertex";
+    }
+  }
+}
+
+TEST(Generators, CitationDagMostlyWithinWindow) {
+  const Graph g = citation_dag(5000, 4.0, 50, 0.0, 8);
+  EdgeId outside = 0;
+  EdgeId total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      ++total;
+      if (u + 51 < v) ++outside;  // beyond the recency window
+    }
+  }
+  // Only the rare "seminal reference" long jumps (~3 %) escape the window.
+  EXPECT_LT(static_cast<double>(outside), 0.08 * static_cast<double>(total));
+}
+
+TEST(Generators, RingCommunityGraphHasLongDiameter) {
+  const Graph g = largest_component(
+      ring_community_graph(4000, 20, 10.0, 0.8, 0.2, 0.3, 9));
+  // BFS depth should be on the order of communities/2, far above the
+  // ~3-4 hops an Erdos-Renyi graph of this density would have.
+  std::vector<int> level(g.num_vertices(), -1);
+  std::vector<VertexId> frontier{0};
+  level[0] = 0;
+  int depth = 0;
+  while (!frontier.empty()) {
+    std::vector<VertexId> next;
+    for (const VertexId v : frontier) {
+      for (const VertexId u : g.out_neighbors(v)) {
+        if (level[u] < 0) {
+          level[u] = depth + 1;
+          next.push_back(u);
+        }
+      }
+    }
+    if (next.empty()) break;
+    ++depth;
+    frontier.swap(next);
+  }
+  EXPECT_GE(depth, 6);
+}
+
+}  // namespace
+}  // namespace gb::datasets

@@ -1,0 +1,117 @@
+// Structural assertions on small-scale instances of the seven dataset
+// classes: the properties that drive paper findings must already be
+// visible at test scale (hub dominance, banding, backward citations,
+// metro core, density ordering).
+#include <gtest/gtest.h>
+
+#include "algorithms/reference.h"
+#include "core/graph_stats.h"
+#include "datasets/catalog.h"
+
+namespace gb::datasets {
+namespace {
+
+Dataset gen(DatasetId id, double scale = 0.02) {
+  return generate(id, scale, 123);
+}
+
+TEST(DatasetStructure, WikiTalkHubsDominateBothDegreeTails) {
+  const auto ds = gen(DatasetId::kWikiTalk);
+  const Graph& g = ds.graph;
+  // The hubs carry a huge share of out-edges (welcome arcs + admin posts).
+  EdgeId top_out = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    top_out = std::max(top_out, g.out_degree(v));
+  }
+  const double avg_out = static_cast<double>(g.num_edges()) /
+                         static_cast<double>(g.num_vertices());
+  EXPECT_GT(static_cast<double>(top_out), 500.0 * avg_out);
+}
+
+TEST(DatasetStructure, WikiTalkMostVerticesWelcomed) {
+  const auto ds = gen(DatasetId::kWikiTalk);
+  const Graph& g = ds.graph;
+  VertexId with_in = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.in_degree(v) > 0) ++with_in;
+  }
+  EXPECT_GT(static_cast<double>(with_in),
+            0.9 * static_cast<double>(g.num_vertices()));
+}
+
+TEST(DatasetStructure, DotaLeagueDensestKgsSecond) {
+  const auto dota = gen(DatasetId::kDotaLeague);
+  const auto kgs = gen(DatasetId::kKGS);
+  const auto amazon = gen(DatasetId::kAmazon);
+  const auto d_dota = summarize(dota.graph);
+  const auto d_kgs = summarize(kgs.graph);
+  const auto d_amazon = summarize(amazon.graph);
+  EXPECT_GT(d_dota.average_degree, d_kgs.average_degree);
+  EXPECT_GT(d_kgs.average_degree, d_amazon.average_degree);
+}
+
+TEST(DatasetStructure, CitationAllArcsPointToOlderPatents) {
+  const auto ds = gen(DatasetId::kCitation);
+  const Graph& g = ds.graph;
+  // Dense renumbering preserves chronological order, so every citation
+  // must still point backwards.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      EXPECT_LT(u, v);
+    }
+  }
+}
+
+TEST(DatasetStructure, CitationAncestorConesStayTiny) {
+  const auto ds = gen(DatasetId::kCitation, 0.05);
+  // A mid-range patent's cone is a small fraction of the graph.
+  const VertexId source = ds.graph.num_vertices() / 2;
+  const auto bfs = algorithms::reference_bfs(ds.graph, source);
+  EXPECT_LT(bfs.coverage(), 0.10);
+}
+
+TEST(DatasetStructure, FriendsterMetroCoreIsDense) {
+  const auto ds = gen(DatasetId::kFriendster, 0.002);
+  const Graph& g = ds.graph;
+  // The first half of the id space (the core) should hold well over half
+  // of all edge endpoints.
+  const VertexId half = g.num_vertices() / 2;
+  EdgeId core_entries = 0;
+  EdgeId total_entries = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    total_entries += g.out_degree(v);
+    if (v < half) core_entries += g.out_degree(v);
+  }
+  EXPECT_GT(static_cast<double>(core_entries),
+            0.55 * static_cast<double>(total_entries));
+}
+
+TEST(DatasetStructure, AmazonHasHighClusteringForItsDegree) {
+  const auto ds = gen(DatasetId::kAmazon, 0.05);
+  // Catalog lattice: low degree, but plenty of closed triangles.
+  const double lcc = average_lcc(ds.graph);
+  EXPECT_GT(lcc, 0.05);
+}
+
+TEST(DatasetStructure, SynthDegreesAreSkewed) {
+  const auto ds = gen(DatasetId::kSynth, 0.05);
+  const auto d = degree_distribution(ds.graph);
+  EXPECT_GT(static_cast<double>(d.max_degree), 20.0 * d.mean);
+  EXPECT_GT(d.gini, 0.4);
+}
+
+TEST(DatasetStructure, ScaleControlsSize) {
+  const auto small = gen(DatasetId::kKGS, 0.01);
+  const auto larger = gen(DatasetId::kKGS, 0.03);
+  EXPECT_GT(larger.graph.num_vertices(), 2 * small.graph.num_vertices());
+  EXPECT_GT(larger.graph.num_edges(), 2 * small.graph.num_edges());
+}
+
+TEST(DatasetStructure, DistinctSeedsDistinctGraphs) {
+  const auto a = generate(DatasetId::kSynth, 0.01, 1);
+  const auto b = generate(DatasetId::kSynth, 0.01, 2);
+  EXPECT_NE(a.graph.num_edges(), b.graph.num_edges());
+}
+
+}  // namespace
+}  // namespace gb::datasets

@@ -1,0 +1,71 @@
+#include "harness/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gb::harness {
+namespace {
+
+TEST(AsciiChart, EmptyInputEmptyOutput) {
+  EXPECT_EQ(ascii_chart({}), "");
+}
+
+TEST(AsciiChart, TallColumnsForLargeValues) {
+  const std::vector<double> values{0.0, 1.0};
+  ChartOptions options;
+  options.height = 4;
+  const std::string chart = ascii_chart(values, options);
+  // 4 chart rows + axis row.
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 5);
+  // The 1.0 column fills every row; the 0.0 column none.
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '#'), 4);
+}
+
+TEST(AsciiChart, AutoscaleUsesMaximum) {
+  const std::vector<double> values{5.0, 10.0};
+  ChartOptions options;
+  options.height = 2;
+  const std::string chart = ascii_chart(values, options);
+  EXPECT_NE(chart.find("10"), std::string::npos);
+}
+
+TEST(AsciiChart, ExplicitYMaxRespected) {
+  const std::vector<double> values{1.0};
+  ChartOptions options;
+  options.height = 4;
+  options.y_max = 4.0;
+  const std::string chart = ascii_chart(values, options);
+  // 1.0 of 4.0 fills only the bottom row.
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '#'), 1);
+}
+
+TEST(AsciiChart, LabelPrinted) {
+  ChartOptions options;
+  options.y_label = "CPU cores";
+  const std::vector<double> values{1.0};
+  EXPECT_NE(ascii_chart(values, options).find("CPU cores"),
+            std::string::npos);
+}
+
+TEST(Downsample, AveragesBuckets) {
+  const std::vector<double> values{1, 1, 3, 3};
+  const auto down = downsample(values, 2);
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_DOUBLE_EQ(down[0], 1.0);
+  EXPECT_DOUBLE_EQ(down[1], 3.0);
+}
+
+TEST(Downsample, NoUpsampling) {
+  const std::vector<double> values{1, 2};
+  EXPECT_EQ(downsample(values, 10).size(), 2u);
+}
+
+TEST(Downsample, EmptyAndZero) {
+  EXPECT_TRUE(downsample({}, 4).empty());
+  const std::vector<double> values{1.0};
+  EXPECT_TRUE(downsample(values, 0).empty());
+}
+
+}  // namespace
+}  // namespace gb::harness

@@ -1,0 +1,104 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/platform_suite.h"
+#include "harness/metrics.h"
+#include "../test_util.h"
+
+namespace gb::harness {
+namespace {
+
+using platforms::Algorithm;
+
+TEST(Experiment, RunCellSuccess) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto platform = algorithms::make_giraph();
+  const auto m = run_cell(*platform, ds, Algorithm::kBfs,
+                          default_params(ds));
+  EXPECT_TRUE(m.ok());
+  EXPECT_GT(m.time(), 0.0);
+}
+
+TEST(Experiment, RunCellCapturesCrash) {
+  const auto ds = test::as_dataset(test::complete_graph(8), "huge", 1e-12);
+  const auto platform = algorithms::make_giraph();
+  const auto m = run_cell(*platform, ds, Algorithm::kConn, default_params(ds));
+  EXPECT_EQ(m.outcome, Outcome::kOutOfMemory);
+  EXPECT_FALSE(m.message.empty());
+}
+
+TEST(Experiment, RunCellCapturesTimeout) {
+  const auto ds = test::as_dataset(test::path_graph(40));
+  const auto platform = algorithms::make_hadoop();
+  auto params = default_params(ds);
+  params.bfs_source = 0;
+  params.time_limit = 1.0;
+  const auto m = run_cell(*platform, ds, Algorithm::kBfs, params);
+  EXPECT_EQ(m.outcome, Outcome::kTimeout);
+}
+
+TEST(Experiment, NonDistributedPlatformGetsOneNode) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto neo4j = algorithms::make_neo4j();
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 20;
+  const auto m = run_cell(*neo4j, ds, Algorithm::kBfs, default_params(ds), cfg);
+  EXPECT_TRUE(m.ok());
+}
+
+TEST(Experiment, DefaultParamsDeterministicPerDataset) {
+  const auto a = test::as_dataset(test::barbell_graph(), "Foo");
+  const auto b = test::as_dataset(test::barbell_graph(), "Foo");
+  const auto c = test::as_dataset(test::barbell_graph(), "Bar");
+  EXPECT_EQ(default_params(a).bfs_source, default_params(b).bfs_source);
+  EXPECT_EQ(default_params(a).seed, default_params(b).seed);
+  EXPECT_NE(default_params(a).seed, default_params(c).seed);
+}
+
+TEST(Experiment, RunsAreFullyDeterministic) {
+  // The simulator replaces the paper's 10 repetitions: rerunning a cell
+  // must reproduce every number exactly, down to the phase breakdown.
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto params = default_params(ds);
+  for (const auto& p : algorithms::make_all_platforms()) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 3;
+    const auto a = run_cell(*p, ds, Algorithm::kCd, params, cfg);
+    const auto b = run_cell(*p, ds, Algorithm::kCd, params, cfg);
+    ASSERT_EQ(a.outcome, b.outcome) << p->name();
+    EXPECT_EQ(a.result.total_time, b.result.total_time) << p->name();
+    EXPECT_EQ(a.result.computation_time, b.result.computation_time);
+    EXPECT_EQ(a.result.phases, b.result.phases) << p->name();
+    EXPECT_EQ(a.result.output.vertex_values, b.result.output.vertex_values);
+  }
+}
+
+TEST(Experiment, OutcomeLabels) {
+  EXPECT_STREQ(outcome_label(Outcome::kOk), "ok");
+  EXPECT_STREQ(outcome_label(Outcome::kOutOfMemory), "crash(OOM)");
+  EXPECT_STREQ(outcome_label(Outcome::kTimeout), "timeout");
+}
+
+TEST(Metrics, EpsUsesExtrapolatedCounts) {
+  auto ds = test::as_dataset(test::complete_graph(10), "scaled", 0.1);
+  // 45 edges at scale 0.1 => 450 paper-size edges.
+  EXPECT_DOUBLE_EQ(eps(ds, 1.0), 450.0);
+  EXPECT_DOUBLE_EQ(vps(ds, 1.0), 100.0);
+}
+
+TEST(Metrics, NepsNormalizesByNodesAndCores) {
+  auto ds = test::as_dataset(test::complete_graph(10));
+  const double raw = eps(ds, 2.0);
+  EXPECT_DOUBLE_EQ(neps(ds, 2.0, 10), raw / 10.0);
+  EXPECT_DOUBLE_EQ(neps(ds, 2.0, 10, 4), raw / 40.0);
+}
+
+TEST(Metrics, ZeroGuards) {
+  auto ds = test::as_dataset(test::complete_graph(10));
+  EXPECT_DOUBLE_EQ(eps(ds, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(neps(ds, 1.0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace gb::harness

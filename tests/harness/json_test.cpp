@@ -1,0 +1,88 @@
+#include "harness/json.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace gb::harness {
+namespace {
+
+TEST(JsonWriter, SimpleObject) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("a");
+  json.value(std::uint64_t{1});
+  json.key("b");
+  json.value("two");
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"a":1,"b":"two"})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("items");
+  json.begin_array();
+  json.value(std::uint64_t{1});
+  json.begin_object();
+  json.key("x");
+  json.value(true);
+  json.end_object();
+  json.null();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"items":[1,{"x":true},null]})");
+}
+
+TEST(JsonWriter, EscapesSpecials) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::escape(std::string("\x01")), "\\u0001");
+}
+
+TEST(JsonWriter, UnbalancedThrows) {
+  JsonWriter json;
+  json.begin_object();
+  EXPECT_THROW(json.end_array(), Error);
+  EXPECT_THROW(json.str(), Error);
+}
+
+TEST(JsonWriter, KeyOutsideObjectThrows) {
+  JsonWriter json;
+  json.begin_array();
+  EXPECT_THROW(json.key("nope"), Error);
+}
+
+TEST(JsonWriter, DoublesRoundTrippable) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(0.1);
+  json.end_array();
+  EXPECT_EQ(json.str(), "[0.10000000000000001]");
+}
+
+TEST(MeasurementJson, SuccessfulRun) {
+  Measurement m;
+  m.outcome = Outcome::kOk;
+  m.result.add_phase("load", 2.0, false);
+  m.result.add_phase("compute", 3.0, true);
+  m.result.output.iterations = 7;
+  const std::string json = measurement_to_json("Giraph", "KGS", "BFS", m);
+  EXPECT_NE(json.find(R"("platform":"Giraph")"), std::string::npos);
+  EXPECT_NE(json.find(R"("outcome":"ok")"), std::string::npos);
+  EXPECT_NE(json.find(R"("total_time_sec":5)"), std::string::npos);
+  EXPECT_NE(json.find(R"("iterations":7)"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"load")"), std::string::npos);
+}
+
+TEST(MeasurementJson, FailedRunCarriesError) {
+  Measurement m;
+  m.outcome = Outcome::kOutOfMemory;
+  m.message = "heap exceeded";
+  const std::string json = measurement_to_json("Giraph", "WikiTalk", "STATS", m);
+  EXPECT_NE(json.find(R"x("outcome":"crash(OOM)")x"), std::string::npos);
+  EXPECT_NE(json.find(R"("error":"heap exceeded")"), std::string::npos);
+  EXPECT_EQ(json.find("total_time_sec"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gb::harness

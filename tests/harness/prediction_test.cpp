@@ -1,0 +1,124 @@
+#include "harness/prediction.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/platform_suite.h"
+#include "algorithms/reference.h"
+#include "harness/experiment.h"
+#include "../test_util.h"
+
+namespace gb::harness {
+namespace {
+
+WorkloadStats small_workload() {
+  WorkloadStats w;
+  w.vertices = 1000;
+  w.adjacency_entries = 10'000;
+  w.text_bytes = 100'000;
+  w.iterations = 5;
+  return w;
+}
+
+TEST(Prediction, WorkloadStatsExtrapolate) {
+  auto ds = test::as_dataset(test::complete_graph(10), "scaled", 0.1);
+  const auto w = workload_stats(ds, 3);
+  EXPECT_DOUBLE_EQ(w.vertices, 100.0);
+  EXPECT_DOUBLE_EQ(w.adjacency_entries, 900.0);  // 2 * 45 edges * 10
+  EXPECT_DOUBLE_EQ(w.iterations, 3.0);
+}
+
+TEST(Prediction, IterationsFloorAtOne) {
+  auto ds = test::as_dataset(test::complete_graph(4));
+  EXPECT_DOUBLE_EQ(workload_stats(ds, 0).iterations, 1.0);
+}
+
+TEST(Prediction, UpperBoundIsLinearInIterations) {
+  sim::ClusterConfig cluster;
+  auto w = small_workload();
+  const auto p5 = predict_worst_case(PlatformClass::kHadoop, w, cluster);
+  w.iterations = 10;
+  const auto p10 = predict_worst_case(PlatformClass::kHadoop, w, cluster);
+  EXPECT_NEAR(p10.upper_bound - p5.upper_bound, 5.0 * p5.per_iteration, 1e-6);
+}
+
+TEST(Prediction, HadoopBoundAboveGiraphBound) {
+  sim::ClusterConfig cluster;
+  const auto w = small_workload();
+  const auto hadoop = predict_worst_case(PlatformClass::kHadoop, w, cluster);
+  const auto giraph = predict_worst_case(PlatformClass::kGiraph, w, cluster);
+  EXPECT_GT(hadoop.upper_bound, giraph.upper_bound);
+}
+
+TEST(Prediction, MoreWorkersLowerBound) {
+  const auto w = small_workload();
+  sim::ClusterConfig small_cluster;
+  small_cluster.num_workers = 10;
+  sim::ClusterConfig big_cluster;
+  big_cluster.num_workers = 50;
+  for (const auto cls :
+       {PlatformClass::kHadoop, PlatformClass::kStratosphere,
+        PlatformClass::kGiraph}) {
+    EXPECT_GT(predict_worst_case(cls, w, small_cluster).upper_bound,
+              predict_worst_case(cls, w, big_cluster).upper_bound)
+        << platform_class_name(cls);
+  }
+}
+
+class PredictionBound
+    : public ::testing::TestWithParam<std::tuple<PlatformClass, int>> {};
+
+TEST_P(PredictionBound, HoldsAgainstSimulation) {
+  const auto [cls, graph_kind] = GetParam();
+  datasets::Dataset ds =
+      graph_kind == 0
+          ? test::as_dataset(test::barbell_graph())
+          : test::as_dataset(test::complete_graph(64), "clique");
+  std::unique_ptr<platforms::Platform> platform;
+  switch (cls) {
+    case PlatformClass::kHadoop:
+      platform = algorithms::make_hadoop();
+      break;
+    case PlatformClass::kYarn:
+      platform = algorithms::make_yarn();
+      break;
+    case PlatformClass::kStratosphere:
+      platform = algorithms::make_stratosphere();
+      break;
+    case PlatformClass::kGiraph:
+      platform = algorithms::make_giraph();
+      break;
+    case PlatformClass::kGraphLab:
+      platform = algorithms::make_graphlab(false);
+      break;
+    case PlatformClass::kNeo4j:
+      platform = algorithms::make_neo4j();
+      break;
+  }
+  const auto params = default_params(ds);
+  sim::ClusterConfig cluster;
+  cluster.num_workers = 4;
+  const auto m =
+      run_cell(*platform, ds, platforms::Algorithm::kConn, params, cluster);
+  ASSERT_TRUE(m.ok()) << m.message;
+  // CONN's round count is bounded by the iteration count it reports.
+  const auto w = workload_stats(
+      ds, static_cast<double>(m.result.output.iterations) + 1);
+  const auto prediction = predict_worst_case(cls, w, cluster);
+  EXPECT_GE(prediction.upper_bound, m.time())
+      << platform_class_name(cls) << " bound too tight";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, PredictionBound,
+    ::testing::Combine(
+        ::testing::Values(PlatformClass::kHadoop, PlatformClass::kYarn,
+                          PlatformClass::kStratosphere, PlatformClass::kGiraph,
+                          PlatformClass::kGraphLab, PlatformClass::kNeo4j),
+        ::testing::Values(0, 1)),
+    [](const ::testing::TestParamInfo<std::tuple<PlatformClass, int>>& info) {
+      return std::string(platform_class_name(std::get<0>(info.param))) +
+             (std::get<1>(info.param) == 0 ? "_barbell" : "_clique");
+    });
+
+}  // namespace
+}  // namespace gb::harness

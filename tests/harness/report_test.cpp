@@ -1,0 +1,66 @@
+#include "harness/report.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace gb::harness {
+namespace {
+
+TEST(Report, TablePrintsAlignedColumns) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Report, CsvRoundTrip) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gb_report_test.csv").string();
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::filesystem::remove(path);
+}
+
+TEST(Report, FormatSeconds) {
+  EXPECT_EQ(format_seconds(0.5), "500.0 ms");
+  EXPECT_EQ(format_seconds(12.34), "12.3 s");
+  EXPECT_EQ(format_seconds(90.0), "1.5 min");
+  EXPECT_EQ(format_seconds(7200.0), "2.0 h");
+}
+
+TEST(Report, FormatSi) {
+  EXPECT_EQ(format_si(1.5e9), "2G");
+  EXPECT_EQ(format_si(3.4e6), "3.40M");
+  EXPECT_EQ(format_si(870.0e3), "870.00k");
+  EXPECT_EQ(format_si(12.0), "12.00");
+}
+
+TEST(Report, FormatMeasurementOutcomes) {
+  Measurement ok;
+  ok.outcome = Outcome::kOk;
+  ok.result.total_time = 10.0;
+  EXPECT_EQ(format_measurement(ok), "10.0 s");
+  Measurement oom;
+  oom.outcome = Outcome::kOutOfMemory;
+  EXPECT_EQ(format_measurement(oom), "crash(OOM)");
+}
+
+}  // namespace
+}  // namespace gb::harness

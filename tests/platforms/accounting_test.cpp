@@ -1,0 +1,78 @@
+#include "platforms/accounting.h"
+
+#include <gtest/gtest.h>
+
+namespace gb::platforms {
+namespace {
+
+sim::Cluster make_cluster() {
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 2;
+  return sim::Cluster(cfg);
+}
+
+TEST(PhaseRecorder, AccumulatesTotalsAndSplitsTc) {
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  rec.phase("load", 10.0, false, {});
+  rec.phase("compute", 5.0, true, {});
+  rec.phase("write", 2.0, false, {});
+  EXPECT_DOUBLE_EQ(rec.result().total_time, 17.0);
+  EXPECT_DOUBLE_EQ(rec.result().computation_time, 5.0);
+  EXPECT_DOUBLE_EQ(rec.result().overhead_time(), 12.0);
+  EXPECT_EQ(rec.result().phases.size(), 3u);
+}
+
+TEST(PhaseRecorder, ZeroDurationPhasesDropped) {
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  rec.phase("noop", 0.0, true, {});
+  rec.phase("negative", -1.0, true, {});
+  EXPECT_TRUE(rec.result().phases.empty());
+}
+
+TEST(PhaseRecorder, MirrorsUsageIntoWorkerTraces) {
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  PhaseUsage usage;
+  usage.worker_cpu_cores = 1.0;
+  usage.worker_mem_bytes = 5e9;
+  usage.worker_net_in_bps = 1e6;
+  rec.phase("busy", 10.0, true, usage);
+  const auto sample = cluster.worker_trace(1).at(5.0);
+  EXPECT_DOUBLE_EQ(sample.cpu_cores, 1.0);
+  EXPECT_DOUBLE_EQ(sample.mem_bytes, 5e9);
+  EXPECT_DOUBLE_EQ(sample.net_in_bps, 1e6);
+}
+
+TEST(PhaseRecorder, MasterUsageRecordedSeparately) {
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  PhaseUsage usage;
+  usage.master_cpu_cores = 0.5;
+  rec.phase("coordinate", 4.0, false, usage);
+  EXPECT_DOUBLE_EQ(cluster.master_trace().at(2.0).cpu_cores, 0.5);
+  EXPECT_DOUBLE_EQ(cluster.worker_trace(0).at(2.0).cpu_cores, 0.0);
+}
+
+TEST(PhaseRecorder, FinishAddsBaselines) {
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  rec.phase("work", 10.0, true, {});
+  const RunResult result = rec.finish({}, Bytes{1} << 30);
+  EXPECT_DOUBLE_EQ(result.total_time, 10.0);
+  // Master baseline (~8 GB) plus the platform's extra GiB.
+  EXPECT_GT(cluster.master_trace().at(5.0).mem_bytes, 8.5e9);
+}
+
+TEST(PhaseRecorder, PhasesAreOrderedInTime) {
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  rec.phase("a", 3.0, false, {.worker_cpu_cores = 1.0});
+  rec.phase("b", 3.0, true, {.worker_cpu_cores = 0.25});
+  EXPECT_DOUBLE_EQ(cluster.worker_trace(0).at(1.0).cpu_cores, 1.0);
+  EXPECT_DOUBLE_EQ(cluster.worker_trace(0).at(4.0).cpu_cores, 0.25);
+}
+
+}  // namespace
+}  // namespace gb::platforms

@@ -1,0 +1,118 @@
+// Edge cases across the platform engines: empty graphs, single vertices,
+// sources with no work, zero-iteration budgets — the inputs a downstream
+// user will eventually feed them.
+#include <gtest/gtest.h>
+
+#include "algorithms/platform_suite.h"
+#include "algorithms/reference.h"
+#include "harness/experiment.h"
+#include "../test_util.h"
+
+namespace gb::platforms {
+namespace {
+
+using Algorithm = platforms::Algorithm;
+
+datasets::Dataset empty_dataset() {
+  return gb::test::as_dataset(GraphBuilder(0, false).build(), "empty");
+}
+
+datasets::Dataset singleton_dataset() {
+  return gb::test::as_dataset(GraphBuilder(1, false).build(), "one");
+}
+
+class EngineEdgeCases : public ::testing::Test {};
+
+TEST_F(EngineEdgeCases, EmptyGraphAllPlatformsAllAlgorithms) {
+  const auto ds = empty_dataset();
+  for (const auto& p : algorithms::make_all_platforms()) {
+    for (const auto algo :
+         {Algorithm::kBfs, Algorithm::kConn, Algorithm::kCd,
+          Algorithm::kStats, Algorithm::kPageRank}) {
+      sim::ClusterConfig cfg;
+      cfg.num_workers = 2;
+      const auto m = harness::run_cell(*p, ds, algo,
+                                       harness::default_params(ds), cfg);
+      EXPECT_TRUE(m.ok()) << p->name() << "/" << algorithm_name(algo) << ": "
+                          << m.message;
+      EXPECT_TRUE(m.result.output.vertex_values.empty());
+    }
+  }
+}
+
+TEST_F(EngineEdgeCases, SingleVertexGraph) {
+  const auto ds = singleton_dataset();
+  for (const auto& p : algorithms::make_all_platforms()) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 2;
+    auto params = harness::default_params(ds);
+    params.bfs_source = 0;
+    const auto m = harness::run_cell(*p, ds, Algorithm::kBfs, params, cfg);
+    ASSERT_TRUE(m.ok()) << p->name() << ": " << m.message;
+    ASSERT_EQ(m.result.output.vertex_values.size(), 1u);
+    EXPECT_EQ(m.result.output.vertex_values[0], 0u);
+  }
+}
+
+TEST_F(EngineEdgeCases, IsolatedSourceTraversesNothing) {
+  GraphBuilder b(4, true);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 1);
+  b.add_edge(1, 0);  // 0 has no out-edges
+  const auto ds = gb::test::as_dataset(b.build(), "sink_source");
+  platforms::AlgorithmParams params;
+  params.bfs_source = 0;
+  for (const auto& p : algorithms::make_all_platforms()) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 2;
+    const auto m = harness::run_cell(*p, ds, Algorithm::kBfs, params, cfg);
+    ASSERT_TRUE(m.ok()) << p->name();
+    EXPECT_EQ(m.result.output.vertex_values,
+              algorithms::reference_bfs(ds.graph, 0).levels)
+        << p->name();
+  }
+}
+
+TEST_F(EngineEdgeCases, MoreWorkersThanVertices) {
+  const auto ds = gb::test::as_dataset(gb::test::path_graph(3), "tiny");
+  for (const auto& p : algorithms::make_all_platforms()) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 50;
+    auto params = harness::default_params(ds);
+    params.bfs_source = 0;
+    const auto m = harness::run_cell(*p, ds, Algorithm::kConn, params, cfg);
+    EXPECT_TRUE(m.ok()) << p->name() << ": " << m.message;
+  }
+}
+
+TEST_F(EngineEdgeCases, CdSingleIterationBudget) {
+  const auto ds = gb::test::as_dataset(gb::test::barbell_graph());
+  platforms::AlgorithmParams params;
+  params.cd_max_iterations = 1;
+  algorithms::CdParams ref_params;
+  ref_params.iterations = 1;
+  const auto expected = algorithms::reference_cd(ds.graph, ref_params).labels;
+  for (const auto& p : algorithms::make_all_platforms()) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 2;
+    const auto m = harness::run_cell(*p, ds, Algorithm::kCd, params, cfg);
+    ASSERT_TRUE(m.ok()) << p->name();
+    EXPECT_EQ(m.result.output.vertex_values, expected) << p->name();
+  }
+}
+
+TEST_F(EngineEdgeCases, EvoOnTinyGraph) {
+  const auto ds = gb::test::as_dataset(gb::test::path_graph(2), "pair");
+  for (const auto& p : algorithms::make_all_platforms()) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 2;
+    const auto m = harness::run_cell(*p, ds, Algorithm::kEvo,
+                                     harness::default_params(ds), cfg);
+    ASSERT_TRUE(m.ok()) << p->name() << ": " << m.message;
+    EXPECT_GE(m.result.output.vertices, 3u);  // at least one new vertex
+  }
+}
+
+}  // namespace
+}  // namespace gb::platforms

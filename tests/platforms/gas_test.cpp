@@ -1,0 +1,217 @@
+#include "platforms/gas/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/gas_programs.h"
+#include "algorithms/reference.h"
+#include "../test_util.h"
+
+namespace gb::platforms::gas {
+namespace {
+
+sim::Cluster make_cluster(std::uint32_t workers = 4, double scale = 1.0) {
+  sim::ClusterConfig cfg;
+  cfg.num_workers = workers;
+  cfg.work_scale = scale;
+  return sim::Cluster(cfg);
+}
+
+TEST(GasEngine, BfsMatchesReference) {
+  const Graph g = test::barbell_graph();
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::gas::BfsProgram prog{0};
+  std::vector<std::uint64_t> data(g.num_vertices(), algorithms::kUnreached);
+  std::vector<std::uint8_t> active(g.num_vertices(), 0);
+  active[0] = 1;
+  run_sync(g, prog, data, active, cluster, rec, {}, 1e9);
+  EXPECT_EQ(data, algorithms::reference_bfs(g, 0).levels);
+}
+
+TEST(GasEngine, BfsDirectedFollowsOutEdges) {
+  GraphBuilder b(4, true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 2);  // 3 unreachable from 0
+  const Graph g = b.build();
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::gas::BfsProgram prog{0};
+  std::vector<std::uint64_t> data(g.num_vertices(), algorithms::kUnreached);
+  std::vector<std::uint8_t> active(g.num_vertices(), 0);
+  active[0] = 1;
+  run_sync(g, prog, data, active, cluster, rec, {}, 1e9);
+  EXPECT_EQ(data, algorithms::reference_bfs(g, 0).levels);
+  EXPECT_EQ(data[3], algorithms::kUnreached);
+}
+
+TEST(GasEngine, ConnMatchesReference) {
+  const Graph g = test::two_components();
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::gas::ConnProgram prog;
+  std::vector<std::uint64_t> data(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) data[v] = v;
+  std::vector<std::uint8_t> active(g.num_vertices(), 1);
+  run_sync(g, prog, data, active, cluster, rec, {}, 1e9);
+  EXPECT_EQ(data, algorithms::reference_conn(g).labels);
+}
+
+TEST(GasEngine, ReplicationFactorGrowsWithWorkers) {
+  const Graph g = test::complete_graph(64);
+  const auto rep_with = [&](std::uint32_t workers) {
+    auto cluster = make_cluster(workers);
+    PhaseRecorder rec(cluster);
+    algorithms::gas::ConnProgram prog;
+    std::vector<std::uint64_t> data(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) data[v] = v;
+    std::vector<std::uint8_t> active(g.num_vertices(), 1);
+    return run_sync(g, prog, data, active, cluster, rec, {}, 1e9)
+        .replication_factor;
+  };
+  EXPECT_GT(rep_with(16), rep_with(2));
+  EXPECT_GE(rep_with(2), 1.0);
+}
+
+TEST(GasEngine, SingleFileLoadingSlowerThanMultiPiece) {
+  const Graph g = test::complete_graph(64);
+  const auto time_with = [&](bool mp) {
+    auto cluster = make_cluster(8, 1e6);
+    PhaseRecorder rec(cluster);
+    GasConfig cfg;
+    cfg.multi_piece_loading = mp;
+    algorithms::gas::ConnProgram prog;
+    std::vector<std::uint64_t> data(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) data[v] = v;
+    std::vector<std::uint8_t> active(g.num_vertices(), 1);
+    run_sync(g, prog, data, active, cluster, rec, cfg, 1e12);
+    return rec.result().total_time;
+  };
+  EXPECT_GT(time_with(false), 2.0 * time_with(true));
+}
+
+TEST(GasEngine, NativeComputeBeatsJvmRate) {
+  const Graph g = test::barbell_graph();
+  auto cluster = make_cluster();
+  EXPECT_LT(cluster.native_compute_time(1e6), cluster.jvm_compute_time(1e6));
+}
+
+TEST(GasEngine, LoadDominatesShortJobs) {
+  // Paper Fig. 15: GraphLab's time is mostly loading/finalizing.
+  const Graph g = test::complete_graph(32);
+  auto cluster = make_cluster(4, 1e5);
+  PhaseRecorder rec(cluster);
+  algorithms::gas::BfsProgram prog{0};
+  std::vector<std::uint64_t> data(g.num_vertices(), algorithms::kUnreached);
+  std::vector<std::uint8_t> active(g.num_vertices(), 0);
+  active[0] = 1;
+  run_sync(g, prog, data, active, cluster, rec, {}, 1e12);
+  EXPECT_GT(rec.result().overhead_time(), rec.result().computation_time);
+}
+
+TEST(GasEngine, StatsProgramComputesLcc) {
+  const Graph g = test::complete_graph(5);
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::gas::StatsProgram prog{&g};
+  std::vector<double> data(g.num_vertices(), 0.0);
+  std::vector<std::uint8_t> active(g.num_vertices(), 1);
+  run_sync(g, prog, data, active, cluster, rec, {}, 1e9);
+  for (const double lcc : data) EXPECT_NEAR(lcc, 1.0, 1e-12);
+}
+
+TEST(GasEngine, EdgeCutProducesSameResult) {
+  const Graph g = test::barbell_graph();
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  GasConfig cfg;
+  cfg.partitioning = Partitioning::kEdgeCut;
+  algorithms::gas::ConnProgram prog;
+  std::vector<std::uint64_t> data(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) data[v] = v;
+  std::vector<std::uint8_t> active(g.num_vertices(), 1);
+  const auto stats = run_sync(g, prog, data, active, cluster, rec, cfg, 1e12);
+  EXPECT_EQ(data, algorithms::reference_conn(g).labels);
+  EXPECT_DOUBLE_EQ(stats.replication_factor, 1.0);
+}
+
+TEST(GasEngine, VertexCutCheaperThanEdgeCutOnHubs) {
+  // A star graph: the hub's edges are nearly all cut under an edge-cut,
+  // while its mirror count is bounded by the worker count.
+  GraphBuilder b(512, false);
+  for (VertexId v = 1; v < 512; ++v) b.add_edge(0, v);
+  const Graph g = b.build();
+  const auto time_with = [&](Partitioning p) {
+    auto cluster = make_cluster(8, 1e6);
+    PhaseRecorder rec(cluster);
+    GasConfig cfg;
+    cfg.partitioning = p;
+    algorithms::gas::ConnProgram prog;
+    std::vector<std::uint64_t> data(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) data[v] = v;
+    std::vector<std::uint8_t> active(g.num_vertices(), 1);
+    run_sync(g, prog, data, active, cluster, rec, cfg, 1e12);
+    return rec.result().total_time;
+  };
+  EXPECT_LT(time_with(Partitioning::kVertexCut),
+            time_with(Partitioning::kEdgeCut));
+}
+
+TEST(GasEngine, AsyncConnReachesSameFixpoint) {
+  const Graph g = test::barbell_graph();
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::gas::ConnProgram prog;
+  std::vector<std::uint64_t> data(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) data[v] = v;
+  std::vector<std::uint8_t> active(g.num_vertices(), 1);
+  run_async(g, prog, data, active, cluster, rec, {}, 1e12);
+  EXPECT_EQ(data, algorithms::reference_conn(g).labels);
+}
+
+TEST(GasEngine, AsyncBfsMatchesReference) {
+  const Graph g = test::two_components();
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::gas::BfsProgram prog{0};
+  std::vector<std::uint64_t> data(g.num_vertices(), algorithms::kUnreached);
+  std::vector<std::uint8_t> active(g.num_vertices(), 0);
+  active[0] = 1;
+  run_async(g, prog, data, active, cluster, rec, {}, 1e12);
+  EXPECT_EQ(data, algorithms::reference_bfs(g, 0).levels);
+}
+
+TEST(GasEngine, AsyncFasterThanSyncForDeepPropagation) {
+  // A long path needs one sync iteration per hop (each with a barrier and
+  // snapshot); the async queue walks it in a single pass.
+  const Graph g = test::path_graph(256);
+  algorithms::gas::ConnProgram prog;
+  const auto run_mode = [&](bool async) {
+    auto cluster = make_cluster(4, 100.0);
+    PhaseRecorder rec(cluster);
+    std::vector<std::uint64_t> data(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) data[v] = v;
+    std::vector<std::uint8_t> active(g.num_vertices(), 1);
+    if (async) {
+      run_async(g, prog, data, active, cluster, rec, {}, 1e12);
+    } else {
+      run_sync(g, prog, data, active, cluster, rec, {}, 1e12);
+    }
+    return rec.result().total_time;
+  };
+  EXPECT_LT(run_mode(true), run_mode(false));
+}
+
+TEST(GasEngine, PartitionOverHeapCrashes) {
+  const Graph g = test::complete_graph(16);
+  auto cluster = make_cluster(2, 1e14);
+  PhaseRecorder rec(cluster);
+  algorithms::gas::ConnProgram prog;
+  std::vector<std::uint64_t> data(g.num_vertices());
+  std::vector<std::uint8_t> active(g.num_vertices(), 1);
+  EXPECT_THROW(run_sync(g, prog, data, active, cluster, rec, {}, 1e9),
+               PlatformError);
+}
+
+}  // namespace
+}  // namespace gb::platforms::gas

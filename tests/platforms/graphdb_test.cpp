@@ -1,0 +1,128 @@
+#include "platforms/graphdb/database.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/graphdb_algorithms.h"
+#include "algorithms/reference.h"
+#include "core/error.h"
+#include "../test_util.h"
+
+namespace gb::platforms::graphdb {
+namespace {
+
+sim::CostModel cost() { return {}; }
+
+TEST(GraphDb, BfsMatchesReference) {
+  const Graph g = test::barbell_graph();
+  Database db(g, cost(), 1.0);
+  db.begin(CacheState::kHot);
+  const auto result = algorithms::graphdb::db_bfs(db, 0, 1e12);
+  EXPECT_EQ(result.values, algorithms::reference_bfs(g, 0).levels);
+}
+
+TEST(GraphDb, ConnMatchesReference) {
+  const Graph g = test::two_components();
+  Database db(g, cost(), 1.0);
+  db.begin(CacheState::kHot);
+  const auto result = algorithms::graphdb::db_conn(db, 1e12);
+  EXPECT_EQ(result.values, algorithms::reference_conn(g).labels);
+}
+
+TEST(GraphDb, StatsMatchesReference) {
+  const Graph g = test::barbell_graph();
+  Database db(g, cost(), 1.0);
+  db.begin(CacheState::kHot);
+  const auto result = algorithms::graphdb::db_stats(db, 1e12);
+  const auto ref = algorithms::reference_stats(g);
+  EXPECT_EQ(result.stats.vertices, ref.vertices);
+  EXPECT_EQ(result.stats.edges, ref.edges);
+  EXPECT_NEAR(result.stats.average_lcc, ref.average_lcc, 1e-12);
+}
+
+TEST(GraphDb, ColdSlowerThanHot) {
+  const Graph g = test::complete_graph(20);
+  Database db(g, cost(), 1.0);
+  db.begin(CacheState::kCold);
+  const auto cold = algorithms::graphdb::db_bfs(db, 0, 1e12);
+  db.begin(CacheState::kHot);
+  const auto hot = algorithms::graphdb::db_bfs(db, 0, 1e12);
+  EXPECT_GT(cold.elapsed, hot.elapsed);
+}
+
+TEST(GraphDb, LazyReadsOnlyChargeTouchedRecords) {
+  // BFS from the tail of a long path touches everything; BFS from an
+  // isolated corner of a directed graph touches almost nothing.
+  GraphBuilder b(1000, true);
+  for (VertexId v = 0; v + 1 < 999; ++v) b.add_edge(v, v + 1);
+  b.add_edge(999, 0);  // source 999 reaches everything via 0...
+  const Graph g = b.build();
+
+  // Zero out the fixed query setup so the comparison isolates record I/O.
+  DatabaseConfig cfg;
+  cfg.query_setup_sec = 0.0;
+  Database db(g, cost(), 1.0, cfg);
+  db.begin(CacheState::kCold);
+  const auto full = algorithms::graphdb::db_bfs(db, 999, 1e12);
+
+  GraphBuilder b2(1000, true);
+  for (VertexId v = 0; v + 1 < 999; ++v) b2.add_edge(v, v + 1);
+  b2.add_edge(998, 999);
+  const Graph g2 = b2.build();
+  Database db2(g2, cost(), 1.0, cfg);
+  db2.begin(CacheState::kCold);
+  const auto tiny = algorithms::graphdb::db_bfs(db2, 999, 1e12);
+
+  EXPECT_GT(full.elapsed, 10.0 * tiny.elapsed);
+}
+
+TEST(GraphDb, ObjectCacheOverflowMakesHotRunsCrawl) {
+  const Graph g = test::complete_graph(12);
+  Database small_scale(g, cost(), 1.0);
+  Database huge_scale(g, cost(), 1e9);  // extrapolated footprint >> heap
+  small_scale.begin(CacheState::kHot);
+  huge_scale.begin(CacheState::kHot);
+  const auto fits = algorithms::graphdb::db_bfs(small_scale, 0, 1e12);
+  const auto thrash = algorithms::graphdb::db_bfs(huge_scale, 0, 1e18);
+  EXPECT_GT(thrash.elapsed, 1000.0 * fits.elapsed);
+}
+
+TEST(GraphDb, CdTimeoutEnforced) {
+  const Graph g = test::complete_graph(30);
+  Database db(g, cost(), 1e7);
+  db.begin(CacheState::kHot);
+  algorithms::CdParams params;
+  EXPECT_THROW(algorithms::graphdb::db_cd(db, params, 1.0), PlatformError);
+}
+
+TEST(GraphDb, StatsPreflightAbortsWithoutExecuting) {
+  const Graph g = test::complete_graph(30);
+  Database db(g, cost(), 1e9);
+  db.begin(CacheState::kHot);
+  try {
+    algorithms::graphdb::db_stats(db, 60.0);
+    FAIL() << "expected timeout";
+  } catch (const PlatformError& e) {
+    EXPECT_EQ(e.kind(), PlatformError::Kind::kTimeout);
+  }
+}
+
+TEST(GraphDb, IngestTimeTracksRecordCounts) {
+  const Graph small = test::path_graph(10);
+  const Graph large = test::path_graph(1000);
+  Database a(small, cost(), 1.0);
+  Database b(large, cost(), 1.0);
+  EXPECT_GT(b.ingest_time(), 50.0 * a.ingest_time());
+}
+
+TEST(GraphDb, CdMatchesReference) {
+  const Graph g = test::barbell_graph();
+  Database db(g, cost(), 1.0);
+  db.begin(CacheState::kHot);
+  algorithms::CdParams params;
+  const auto result = algorithms::graphdb::db_cd(db, params, 1e12);
+  const auto ref = algorithms::reference_cd(g, params);
+  EXPECT_EQ(result.values, ref.labels);
+}
+
+}  // namespace
+}  // namespace gb::platforms::graphdb

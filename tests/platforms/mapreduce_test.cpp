@@ -1,0 +1,185 @@
+#include "platforms/mapreduce/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/mr_jobs.h"
+#include "algorithms/reference.h"
+#include "core/error.h"
+#include "../test_util.h"
+
+namespace gb::platforms::mapreduce {
+namespace {
+
+sim::Cluster make_cluster(std::uint32_t workers = 4, double scale = 1.0,
+                          std::uint32_t cores = 1) {
+  sim::ClusterConfig cfg;
+  cfg.num_workers = workers;
+  cfg.cores_per_worker = cores;
+  cfg.work_scale = scale;
+  return sim::Cluster(cfg);
+}
+
+TEST(MapReduceEngine, BfsMatchesReference) {
+  const Graph g = test::barbell_graph();
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::mr::BfsJob job{0};
+  std::vector<std::uint64_t> state(g.num_vertices(), algorithms::kUnreached);
+  run_iterative(g, job, state, cluster, rec, {}, 1000, 1e9);
+  EXPECT_EQ(state, algorithms::reference_bfs(g, 0).levels);
+}
+
+TEST(MapReduceEngine, ConnMatchesReference) {
+  const Graph g = test::two_components();
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::mr::ConnJob job;
+  std::vector<std::uint64_t> state(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) state[v] = v;
+  run_iterative(g, job, state, cluster, rec, {}, 1000, 1e9);
+  EXPECT_EQ(state, algorithms::reference_conn(g).labels);
+}
+
+TEST(MapReduceEngine, DirectedConnUsesWeakConnectivity) {
+  GraphBuilder b(4, true);
+  b.add_edge(1, 0);
+  b.add_edge(1, 2);
+  b.add_edge(3, 2);
+  const Graph g = b.build();
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::mr::ConnJob job;
+  std::vector<std::uint64_t> state{0, 1, 2, 3};
+  run_iterative(g, job, state, cluster, rec, {}, 1000, 1e9);
+  for (const auto label : state) EXPECT_EQ(label, 0u);
+}
+
+TEST(MapReduceEngine, PerIterationJobSetupCostDominates) {
+  // Many-iteration BFS on a path: Hadoop pays job setup + JVM start per
+  // iteration, so time grows linearly with the iteration count.
+  const Graph g = test::path_graph(12);
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::mr::BfsJob job{0};
+  std::vector<std::uint64_t> state(g.num_vertices(), algorithms::kUnreached);
+  const auto stats = run_iterative(g, job, state, cluster, rec, {}, 1000, 1e9);
+  EXPECT_GE(stats.iterations, 11u);
+  const double per_iteration =
+      rec.result().total_time / static_cast<double>(stats.iterations);
+  EXPECT_GT(per_iteration, cluster.cost().mr_job_setup_sec);
+}
+
+TEST(MapReduceEngine, ConvergenceJobAddsOverhead) {
+  const Graph g = test::path_graph(8);
+  MRConfig with, without;
+  without.convergence_job = false;
+
+  auto run_with_config = [&](const MRConfig& cfg) {
+    auto cluster = make_cluster();
+    PhaseRecorder rec(cluster);
+    algorithms::mr::BfsJob job{0};
+    std::vector<std::uint64_t> state(g.num_vertices(), algorithms::kUnreached);
+    run_iterative(g, job, state, cluster, rec, cfg, 1000, 1e9);
+    return rec.result().total_time;
+  };
+  EXPECT_GT(run_with_config(with), run_with_config(without));
+}
+
+TEST(MapReduceEngine, ScratchOverflowCrashes) {
+  const Graph g = test::complete_graph(8);
+  auto cluster = make_cluster(2, 1e13);
+  PhaseRecorder rec(cluster);
+  algorithms::mr::ConnJob job;
+  std::vector<std::uint64_t> state(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) state[v] = v;
+  try {
+    run_iterative(g, job, state, cluster, rec, {}, 1000, 1e9);
+    FAIL() << "expected disk-full crash";
+  } catch (const PlatformError& e) {
+    EXPECT_EQ(e.kind(), PlatformError::Kind::kDiskFull);
+  }
+}
+
+TEST(MapReduceEngine, YarnIntermediateLimitCrashes) {
+  const Graph g = test::complete_graph(8);
+  auto cluster = make_cluster(20, 5e10);
+  PhaseRecorder rec(cluster);
+  MRConfig cfg;
+  cfg.yarn = true;
+  algorithms::mr::ConnJob job;
+  std::vector<std::uint64_t> state(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) state[v] = v;
+  try {
+    run_iterative(g, job, state, cluster, rec, cfg, 1000, 1e9);
+    FAIL() << "expected YARN AM crash";
+  } catch (const PlatformError& e) {
+    EXPECT_EQ(e.kind(), PlatformError::Kind::kOutOfMemory);
+  }
+}
+
+TEST(MapReduceEngine, YarnSetupSlightlyCheaperPerJob) {
+  const Graph g = test::path_graph(8);
+  const auto run_variant = [&](bool yarn) {
+    auto cluster = make_cluster();
+    PhaseRecorder rec(cluster);
+    MRConfig cfg;
+    cfg.yarn = yarn;
+    algorithms::mr::BfsJob job{0};
+    std::vector<std::uint64_t> state(g.num_vertices(), algorithms::kUnreached);
+    run_iterative(g, job, state, cluster, rec, cfg, 1000, 1e9);
+    return rec.result().total_time;
+  };
+  const double hadoop = run_variant(false);
+  const double yarn = run_variant(true);
+  EXPECT_LT(yarn, hadoop);
+  EXPECT_GT(yarn, hadoop * 0.7);  // "only slightly better" (Section 4.1.1)
+}
+
+TEST(MapReduceEngine, VerticalScalingPlateaus) {
+  const Graph g = test::complete_graph(40);
+  const auto time_with_cores = [&](std::uint32_t cores) {
+    auto cluster = make_cluster(4, 1e6, cores);
+    PhaseRecorder rec(cluster);
+    algorithms::mr::ConnJob job;
+    std::vector<std::uint64_t> state(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) state[v] = v;
+    run_iterative(g, job, state, cluster, rec, {}, 1000, 1e12);
+    return rec.result().total_time;
+  };
+  const double c1 = time_with_cores(1);
+  const double c4 = time_with_cores(4);
+  const double c7 = time_with_cores(7);
+  EXPECT_LT(c4, c1);                   // more cores help at first...
+  EXPECT_GT(c7, c4 * 0.7);             // ...then disk contention plateaus
+}
+
+TEST(MapReduceEngine, MultiPassMergeCostsExtraIo) {
+  // Same job, two io.sort.factor settings: a tiny factor forces extra
+  // on-disk merge passes and must cost more time.
+  const Graph g = test::complete_graph(32);
+  const auto time_with_factor = [&](std::uint32_t factor) {
+    auto cluster = make_cluster(8, 1e7);
+    PhaseRecorder rec(cluster);
+    MRConfig cfg;
+    cfg.io_sort_factor = factor;
+    algorithms::mr::ConnJob job;
+    std::vector<std::uint64_t> state(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) state[v] = v;
+    run_iterative(g, job, state, cluster, rec, cfg, 1000, 1e12);
+    return rec.result().total_time;
+  };
+  EXPECT_GT(time_with_factor(2), time_with_factor(80));
+}
+
+TEST(MapReduceEngine, TimeLimitEnforced) {
+  const Graph g = test::path_graph(32);
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::mr::BfsJob job{0};
+  std::vector<std::uint64_t> state(g.num_vertices(), algorithms::kUnreached);
+  EXPECT_THROW(run_iterative(g, job, state, cluster, rec, {}, 1000, 10.0),
+               PlatformError);
+}
+
+}  // namespace
+}  // namespace gb::platforms::mapreduce

@@ -1,0 +1,228 @@
+#include "platforms/pregel/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/pregel_programs.h"
+#include "algorithms/reference.h"
+#include "core/error.h"
+#include "../test_util.h"
+
+namespace gb::platforms::pregel {
+namespace {
+
+sim::Cluster make_cluster(std::uint32_t workers = 4, double scale = 1.0) {
+  sim::ClusterConfig cfg;
+  cfg.num_workers = workers;
+  cfg.work_scale = scale;
+  return sim::Cluster(cfg);
+}
+
+TEST(PregelEngine, BfsMatchesReference) {
+  const Graph g = test::barbell_graph();
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::pregel::BfsProgram prog{0};
+  const auto out = run_bsp<std::uint64_t, std::uint64_t>(
+      g, prog, cluster, rec, 1e9, algorithms::kUnreached, {});
+
+  const auto ref = algorithms::reference_bfs(g, 0);
+  EXPECT_EQ(out.values, ref.levels);
+}
+
+TEST(PregelEngine, ConnFindsComponents) {
+  const Graph g = test::two_components();
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::pregel::ConnProgram prog;
+  const auto out = run_bsp<std::uint64_t, std::uint64_t>(g, prog, cluster, rec,
+                                                         1e9, 0, {});
+  const auto ref = algorithms::reference_conn(g);
+  EXPECT_EQ(out.values, ref.labels);
+}
+
+TEST(PregelEngine, HaltedVerticesStayIdle) {
+  // A path: once BFS converges, everything halts and the loop ends —
+  // supersteps should be depth + small constant, not max_supersteps.
+  const Graph g = test::path_graph(10);
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::pregel::BfsProgram prog{0};
+  const auto out = run_bsp<std::uint64_t, std::uint64_t>(
+      g, prog, cluster, rec, 1e9, algorithms::kUnreached, {});
+  EXPECT_LE(out.supersteps, 12u);
+}
+
+TEST(PregelEngine, PhasesIncludeLoadComputeWrite) {
+  const Graph g = test::barbell_graph();
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::pregel::ConnProgram prog;
+  run_bsp<std::uint64_t, std::uint64_t>(g, prog, cluster, rec, 1e9, 0, {});
+  const auto& phases = rec.result().phases;
+  ASSERT_GE(phases.size(), 3u);
+  EXPECT_EQ(phases.front().first, "setup");
+  EXPECT_EQ(phases.back().first, "write");
+  EXPECT_GT(rec.result().computation_time, 0.0);
+  EXPECT_GT(rec.result().overhead_time(), 0.0);
+}
+
+TEST(PregelEngine, MessageVolumeOverHeapCrashes) {
+  // Tiny graph, huge extrapolation: the scaled inbox must blow the heap.
+  const Graph g = test::complete_graph(8);
+  auto cluster = make_cluster(2, 1e12);
+  PhaseRecorder rec(cluster);
+  algorithms::pregel::ConnProgram prog;
+  try {
+    run_bsp<std::uint64_t, std::uint64_t>(g, prog, cluster, rec, 1e9, 0, {});
+    FAIL() << "expected OOM";
+  } catch (const PlatformError& e) {
+    EXPECT_EQ(e.kind(), PlatformError::Kind::kOutOfMemory);
+  }
+}
+
+TEST(PregelEngine, TimeLimitEnforced) {
+  const Graph g = test::path_graph(64);
+  auto cluster = make_cluster(2, 1e6);
+  PhaseRecorder rec(cluster);
+  algorithms::pregel::BfsProgram prog{0};
+  EXPECT_THROW((run_bsp<std::uint64_t, std::uint64_t>(
+                   g, prog, cluster, rec, 1e-6, algorithms::kUnreached, {})),
+               PlatformError);
+}
+
+TEST(PregelEngine, StatsComputesAverageLcc) {
+  const Graph g = test::complete_graph(6);
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::pregel::StatsProgram prog;
+  const auto out =
+      run_bsp<double, std::uint64_t>(g, prog, cluster, rec, 1e9, 0.0, {});
+  EXPECT_NEAR(out.aggregate / g.num_vertices(), 1.0, 1e-9);
+}
+
+TEST(PregelEngine, SuperstepsAccumulateSimulatedTime) {
+  const Graph g = test::path_graph(20);
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::pregel::BfsProgram prog{0};
+  run_bsp<std::uint64_t, std::uint64_t>(g, prog, cluster, rec, 1e9,
+                                        algorithms::kUnreached, {});
+  // Barrier cost alone guarantees a lower bound per superstep.
+  EXPECT_GT(rec.result().total_time,
+            15 * cluster.cost().bsp_barrier_sec);
+}
+
+TEST(PregelEngine, CombinerPreservesBfsResult) {
+  const Graph g = test::barbell_graph();
+  EngineConfig config;
+  config.use_combiner = true;
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  algorithms::pregel::BfsProgram prog{0};
+  const auto out = run_bsp<std::uint64_t, std::uint64_t>(
+      g, prog, cluster, rec, 1e9, algorithms::kUnreached, config);
+  EXPECT_EQ(out.values, algorithms::reference_bfs(g, 0).levels);
+}
+
+TEST(PregelEngine, CombinerReducesMessageTime) {
+  const Graph g = test::complete_graph(64);
+  const auto time_with = [&](bool combiner) {
+    auto cluster = make_cluster(4, 1e4);
+    PhaseRecorder rec(cluster);
+    EngineConfig config;
+    config.use_combiner = combiner;
+    algorithms::pregel::ConnProgram prog;
+    run_bsp<std::uint64_t, std::uint64_t>(g, prog, cluster, rec, 1e12, 0,
+                                          config);
+    return rec.result().total_time;
+  };
+  EXPECT_LT(time_with(true), time_with(false));
+}
+
+TEST(PregelEngine, CombinerAvoidsMessageCrash) {
+  const Graph g = test::complete_graph(64);
+  // Pick an extrapolation where the uncombined inbox exceeds the heap but
+  // the combined one (one message per vertex) does not.
+  const double scale = 2e5;
+  algorithms::pregel::ConnProgram prog;
+  {
+    auto cluster = make_cluster(4, scale);
+    PhaseRecorder rec(cluster);
+    EXPECT_THROW((run_bsp<std::uint64_t, std::uint64_t>(g, prog, cluster, rec,
+                                                        1e12, 0, {})),
+                 PlatformError);
+  }
+  {
+    auto cluster = make_cluster(4, scale);
+    PhaseRecorder rec(cluster);
+    EngineConfig config;
+    config.use_combiner = true;
+    EXPECT_NO_THROW((run_bsp<std::uint64_t, std::uint64_t>(
+        g, prog, cluster, rec, 1e12, 0, config)));
+  }
+}
+
+TEST(PregelEngine, CheckpointingAddsOverheadNotResults) {
+  const Graph g = test::path_graph(12);
+  const auto run_with_interval = [&](std::uint32_t interval) {
+    auto cluster = make_cluster(4, 1e3);
+    PhaseRecorder rec(cluster);
+    EngineConfig config;
+    config.checkpoint_interval = interval;
+    algorithms::pregel::BfsProgram prog{0};
+    const auto out = run_bsp<std::uint64_t, std::uint64_t>(
+        g, prog, cluster, rec, 1e12, algorithms::kUnreached, config);
+    return std::make_pair(out.values, rec.result().total_time);
+  };
+  const auto [plain_values, plain_time] = run_with_interval(0);
+  const auto [ckpt_values, ckpt_time] = run_with_interval(2);
+  EXPECT_EQ(plain_values, ckpt_values);
+  EXPECT_GT(ckpt_time, plain_time);
+}
+
+TEST(PregelEngine, LalpReducesTrafficWithoutChangingResults) {
+  GraphBuilder b(600, false);
+  for (VertexId v = 1; v < 600; ++v) b.add_edge(0, v);
+  const Graph g = b.build();
+  const auto run_with_lalp = [&](EdgeId threshold) {
+    auto cluster = make_cluster(4, 1e4);
+    PhaseRecorder rec(cluster);
+    EngineConfig config;
+    config.lalp_threshold = threshold;
+    algorithms::pregel::ConnProgram prog;
+    const auto out =
+        run_bsp<std::uint64_t, std::uint64_t>(g, prog, cluster, rec, 1e12, 0,
+                                              config);
+    return std::make_pair(out.values, rec.result().total_time);
+  };
+  const auto [plain_values, plain_time] = run_with_lalp(0);
+  const auto [lalp_values, lalp_time] = run_with_lalp(100);
+  EXPECT_EQ(plain_values, lalp_values);
+  EXPECT_LT(lalp_time, plain_time);
+}
+
+TEST(PregelEngine, AggregatorVisibleNextSuperstep) {
+  struct AggProgram {
+    void compute(Context<std::uint64_t, std::uint64_t>& ctx,
+                 std::uint64_t& value, std::span<const std::uint64_t>) {
+      if (ctx.superstep() == 0) {
+        ctx.aggregate(1.0);
+        ctx.send(ctx.id(), 0);  // keep everyone alive one more step
+        ctx.vote_to_halt();
+      } else {
+        value = static_cast<std::uint64_t>(ctx.previous_aggregate());
+        ctx.vote_to_halt();
+      }
+    }
+  };
+  const Graph g = test::path_graph(5);
+  auto cluster = make_cluster();
+  PhaseRecorder rec(cluster);
+  AggProgram prog;
+  const auto out = run_bsp<std::uint64_t, std::uint64_t>(g, prog, cluster, rec,
+                                                         1e9, 0, {});
+  for (const auto v : out.values) EXPECT_EQ(v, 5u);
+}
+
+}  // namespace
+}  // namespace gb::platforms::pregel

@@ -1,0 +1,80 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace gb::sim {
+namespace {
+
+TEST(Cluster, SlotsAndScaling) {
+  ClusterConfig cfg;
+  cfg.num_workers = 20;
+  cfg.cores_per_worker = 4;
+  cfg.work_scale = 100.0;
+  Cluster cluster(cfg);
+  EXPECT_EQ(cluster.total_slots(), 80u);
+  EXPECT_DOUBLE_EQ(cluster.scale_units(10.0), 1000.0);
+  EXPECT_DOUBLE_EQ(cluster.scale_bytes(2.0), 200.0);
+}
+
+TEST(Cluster, HeapCheckPassesUnderLimit) {
+  Cluster cluster(ClusterConfig{});
+  EXPECT_NO_THROW(cluster.check_heap(1e9, "test"));
+}
+
+TEST(Cluster, HeapCheckThrowsOverLimit) {
+  Cluster cluster(ClusterConfig{});
+  try {
+    cluster.check_heap(30e9, "message buffers");
+    FAIL() << "expected PlatformError";
+  } catch (const PlatformError& e) {
+    EXPECT_EQ(e.kind(), PlatformError::Kind::kOutOfMemory);
+    EXPECT_NE(std::string(e.what()).find("message buffers"),
+              std::string::npos);
+  }
+}
+
+TEST(Cluster, ComputeRatesDifferByRuntime) {
+  Cluster cluster(ClusterConfig{});
+  // JVM platforms pay more per unit than native code.
+  EXPECT_GT(cluster.jvm_compute_time(1e6), cluster.native_compute_time(1e6));
+}
+
+TEST(Cluster, BaselinesCoverWholeRun) {
+  ClusterConfig cfg;
+  cfg.num_workers = 3;
+  Cluster cluster(cfg);
+  cluster.add_baselines(100.0, 0, 0);
+  const auto master = cluster.master_trace().at(50.0);
+  EXPECT_GT(master.mem_bytes, 7e9);  // ~8 GB OS + services (Fig. 6)
+  const auto worker = cluster.worker_trace(0).at(50.0);
+  EXPECT_GT(worker.mem_bytes, 1e9);
+  EXPECT_LT(worker.mem_bytes, 4e9);
+}
+
+TEST(Cluster, RecordAllWorkersBroadcasts) {
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  Cluster cluster(cfg);
+  cluster.record_all_workers({.begin = 0, .end = 1, .cpu_cores = 1.0});
+  EXPECT_DOUBLE_EQ(cluster.worker_trace(0).at(0.5).cpu_cores, 1.0);
+  EXPECT_DOUBLE_EQ(cluster.worker_trace(1).at(0.5).cpu_cores, 1.0);
+}
+
+TEST(CostModel, NetworkTimeScalesDown) {
+  CostModel cost;
+  const double one_nic = cost.network_time(Bytes{1} << 30, 1);
+  const double twenty = cost.network_time(Bytes{1} << 30, 20);
+  EXPECT_GT(one_nic, twenty);
+  EXPECT_NEAR(one_nic / twenty, 20.0, 1.0);
+}
+
+TEST(CostModel, DiskTimesIncludeSeek) {
+  CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.disk_read_time(0), 0.0);
+  EXPECT_GT(cost.disk_read_time(1), cost.disk_seek_sec);
+}
+
+}  // namespace
+}  // namespace gb::sim

@@ -1,0 +1,56 @@
+#include "sim/cost_config.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace gb::sim {
+namespace {
+
+TEST(CostConfig, ListsAllParameters) {
+  const auto names = cost_parameter_names();
+  EXPECT_GE(names.size(), 15u);
+}
+
+TEST(CostConfig, GetSetRoundTrip) {
+  CostModel cost;
+  for (const auto& name : cost_parameter_names()) {
+    const double original = cost_parameter(cost, name);
+    EXPECT_GT(original, 0.0) << name;
+    set_cost_parameter(cost, name, original * 2.0);
+    EXPECT_NEAR(cost_parameter(cost, name), original * 2.0,
+                original * 1e-9)
+        << name;
+  }
+}
+
+TEST(CostConfig, UnknownNameThrows) {
+  CostModel cost;
+  EXPECT_THROW(cost_parameter(cost, "warp_drive"), Error);
+  EXPECT_THROW(set_cost_parameter(cost, "warp_drive", 1.0), Error);
+}
+
+TEST(CostConfig, NonPositiveValueRejected) {
+  CostModel cost;
+  EXPECT_THROW(set_cost_parameter(cost, "net_bps", 0.0), Error);
+  EXPECT_THROW(set_cost_parameter(cost, "net_bps", -1.0), Error);
+}
+
+TEST(CostConfig, ApplyOverrideParsesAssignment) {
+  CostModel cost;
+  apply_cost_override(cost, "disk_read_bps=200e6");
+  EXPECT_DOUBLE_EQ(cost.disk_read_bps, 200e6);
+  apply_cost_override(cost, "heap_limit=1e9");
+  EXPECT_EQ(cost.heap_limit, Bytes{1'000'000'000});
+}
+
+TEST(CostConfig, ApplyOverrideRejectsGarbage) {
+  CostModel cost;
+  EXPECT_THROW(apply_cost_override(cost, "no_equals"), Error);
+  EXPECT_THROW(apply_cost_override(cost, "=5"), Error);
+  EXPECT_THROW(apply_cost_override(cost, "net_bps="), Error);
+  EXPECT_THROW(apply_cost_override(cost, "net_bps=abc"), Error);
+}
+
+}  // namespace
+}  // namespace gb::sim

@@ -1,0 +1,91 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.h"
+
+namespace gb::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  const SimTime end = q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(end, 3.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  q.schedule(1.0, [&] { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] {
+    ++fired;
+    q.schedule(q.now() + 1.0, [&] { ++fired; });
+  });
+  const SimTime end = q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(end, 2.0);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule(1.0, [] {}), Error);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(10.0, [&] { ++fired; });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(ScheduleTasks, SingleWave) {
+  const auto r = schedule_tasks({2.0, 2.0, 2.0}, 3);
+  EXPECT_DOUBLE_EQ(r.makespan, 2.0);
+}
+
+TEST(ScheduleTasks, TwoWaves) {
+  const auto r = schedule_tasks({2.0, 2.0, 2.0, 2.0}, 2);
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);
+}
+
+TEST(ScheduleTasks, PerTaskOverheadApplied) {
+  const auto r = schedule_tasks({1.0, 1.0}, 1, 0.5);
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+  EXPECT_DOUBLE_EQ(r.finish_times[0], 1.5);
+  EXPECT_DOUBLE_EQ(r.finish_times[1], 3.0);
+}
+
+TEST(ScheduleTasks, UnevenTasksBalance) {
+  const auto r = schedule_tasks({4.0, 1.0, 1.0, 1.0}, 2);
+  // Slot A: 4.0; slot B: 1+1+1 = 3.0.
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);
+}
+
+TEST(ScheduleTasks, ZeroSlotsThrows) {
+  EXPECT_THROW(schedule_tasks({1.0}, 0), Error);
+}
+
+}  // namespace
+}  // namespace gb::sim

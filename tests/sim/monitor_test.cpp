@@ -1,0 +1,66 @@
+#include "sim/monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace gb::sim {
+namespace {
+
+TEST(UsageTrace, OverlappingSegmentsAdd) {
+  UsageTrace trace;
+  trace.add({.begin = 0, .end = 10, .cpu_cores = 1.0, .mem_bytes = 100});
+  trace.add({.begin = 5, .end = 15, .cpu_cores = 0.5, .mem_bytes = 50});
+  EXPECT_DOUBLE_EQ(trace.at(2.0).cpu_cores, 1.0);
+  EXPECT_DOUBLE_EQ(trace.at(7.0).cpu_cores, 1.5);
+  EXPECT_DOUBLE_EQ(trace.at(7.0).mem_bytes, 150.0);
+  EXPECT_DOUBLE_EQ(trace.at(12.0).cpu_cores, 0.5);
+  EXPECT_DOUBLE_EQ(trace.at(20.0).cpu_cores, 0.0);
+}
+
+TEST(UsageTrace, SegmentBoundariesHalfOpen) {
+  UsageTrace trace;
+  trace.add({.begin = 1, .end = 2, .cpu_cores = 1.0});
+  EXPECT_DOUBLE_EQ(trace.at(1.0).cpu_cores, 1.0);
+  EXPECT_DOUBLE_EQ(trace.at(2.0).cpu_cores, 0.0);
+}
+
+TEST(UsageTrace, ZeroLengthSegmentIgnored) {
+  UsageTrace trace;
+  trace.add({.begin = 1, .end = 1, .cpu_cores = 5.0});
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(UsageTrace, SampleCountMatchesHorizon) {
+  UsageTrace trace;
+  trace.add({.begin = 0, .end = 10, .cpu_cores = 1.0});
+  const auto samples = trace.sample(10.0, 1.0);
+  EXPECT_EQ(samples.size(), 11u);  // t = 0..10 inclusive
+}
+
+TEST(UsageTrace, NormalizedProducesRequestedPoints) {
+  UsageTrace trace;
+  trace.add({.begin = 0, .end = 50, .cpu_cores = 2.0});
+  trace.add({.begin = 50, .end = 100, .cpu_cores = 4.0});
+  const auto points = trace.normalized(100.0, 100);
+  ASSERT_EQ(points.size(), 100u);
+  // First half ~2 cores, second half ~4.
+  EXPECT_DOUBLE_EQ(points.front().cpu_cores, 2.0);
+  EXPECT_DOUBLE_EQ(points.back().cpu_cores, 4.0);
+  // The x axis is percent of total time.
+  EXPECT_GT(points.front().time, 0.0);
+  EXPECT_LT(points.back().time, 100.0);
+}
+
+TEST(UsageTrace, NormalizedEmptyOnZeroTotal) {
+  UsageTrace trace;
+  EXPECT_TRUE(trace.normalized(0.0, 100).empty());
+}
+
+TEST(UsageTrace, NetworkRatesTracked) {
+  UsageTrace trace;
+  trace.add({.begin = 0, .end = 5, .net_in_bps = 1000, .net_out_bps = 500});
+  EXPECT_DOUBLE_EQ(trace.at(1.0).net_in_bps, 1000.0);
+  EXPECT_DOUBLE_EQ(trace.at(1.0).net_out_bps, 500.0);
+}
+
+}  // namespace
+}  // namespace gb::sim

@@ -1,0 +1,54 @@
+#include "storage/hdfs.h"
+
+#include <gtest/gtest.h>
+
+namespace gb::storage {
+namespace {
+
+sim::CostModel cost() { return {}; }
+
+TEST(Hdfs, BlockCount) {
+  Hdfs hdfs(cost());
+  EXPECT_EQ(hdfs.num_blocks(0), 0u);
+  EXPECT_EQ(hdfs.num_blocks(1), 1u);
+  EXPECT_EQ(hdfs.num_blocks(Bytes{64} << 20), 1u);
+  EXPECT_EQ(hdfs.num_blocks((Bytes{64} << 20) + 1), 2u);
+}
+
+TEST(Hdfs, IngestionScalesLinearly) {
+  Hdfs hdfs(cost());
+  const double t100 = hdfs.ingest_time(Bytes{100} << 20);
+  const double t200 = hdfs.ingest_time(Bytes{200} << 20);
+  // Roughly +1 s per extra 100 MB (Table 6 discussion).
+  EXPECT_NEAR(t200 - t100, 1.0, 0.3);
+}
+
+TEST(Hdfs, IngestionHasFixedOverhead) {
+  Hdfs hdfs(cost());
+  EXPECT_GT(hdfs.ingest_time(1), 0.5);
+}
+
+TEST(Hdfs, ParallelReadFasterWithMoreWorkers) {
+  Hdfs hdfs(cost());
+  const Bytes file = Bytes{10} << 30;
+  EXPECT_GT(hdfs.parallel_read_time(file, 10),
+            hdfs.parallel_read_time(file, 40));
+}
+
+TEST(Hdfs, ZeroWorkOrWorkersIsFree) {
+  Hdfs hdfs(cost());
+  EXPECT_DOUBLE_EQ(hdfs.parallel_read_time(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(hdfs.parallel_write_time(Bytes{1} << 20, 0), 0.0);
+}
+
+TEST(Hdfs, ReplicationMultipliesWriteVolume) {
+  HdfsConfig cfg;
+  cfg.replicas = 3;
+  Hdfs replicated(cost(), cfg);
+  Hdfs single(cost());
+  EXPECT_GT(replicated.parallel_write_time(Bytes{1} << 30, 10),
+            single.parallel_write_time(Bytes{1} << 30, 10));
+}
+
+}  // namespace
+}  // namespace gb::storage

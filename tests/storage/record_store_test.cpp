@@ -1,0 +1,72 @@
+#include "storage/record_store.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace gb::storage {
+namespace {
+
+sim::CostModel cost() { return {}; }
+
+TEST(RecordStore, SizingCountsRecords) {
+  const Graph g = test::barbell_graph();  // 7 vertices, 8 edges
+  RecordStoreModel store(g, cost(), 1.0);
+  EXPECT_DOUBLE_EQ(store.node_records(), 7.0);
+  EXPECT_DOUBLE_EQ(store.relationship_records(), 8.0);
+  EXPECT_EQ(store.store_bytes(), 7u * 14 + 8u * 33);
+}
+
+TEST(RecordStore, WorkScaleExtrapolates) {
+  const Graph g = test::barbell_graph();
+  RecordStoreModel store(g, cost(), 100.0);
+  EXPECT_DOUBLE_EQ(store.node_records(), 700.0);
+}
+
+TEST(RecordStore, SmallGraphFitsObjectCache) {
+  const Graph g = test::barbell_graph();
+  RecordStoreModel store(g, cost(), 1.0);
+  EXPECT_DOUBLE_EQ(store.object_miss_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(store.hot_access_sec(), store.config().object_hit_sec);
+}
+
+TEST(RecordStore, OversizedGraphThrashes) {
+  // Scale a small graph until the object-cache demand exceeds the heap:
+  // the miss fraction cliffs, so hot accesses approach the fault cost.
+  const Graph g = test::complete_graph(10);
+  RecordStoreModel store(g, cost(), 1e9);
+  EXPECT_GT(store.object_cache_demand(), cost().heap_limit);
+  EXPECT_GT(store.object_miss_fraction(), 0.5);
+  EXPECT_GT(store.hot_access_sec(), 100 * store.config().object_hit_sec);
+}
+
+TEST(RecordStore, ColdAccessCheaperWithLocality) {
+  const Graph g = test::barbell_graph();
+  RecordStoreModel store(g, cost(), 1.0);
+  EXPECT_LT(store.cold_access_sec(1.0), store.cold_access_sec(0.0));
+}
+
+TEST(RecordStore, ColdAccessSlowerThanHot) {
+  const Graph g = test::barbell_graph();
+  RecordStoreModel store(g, cost(), 1.0);
+  EXPECT_GT(store.cold_access_sec(0.5), store.hot_access_sec());
+}
+
+TEST(RecordStore, IngestionDominatedByNodes) {
+  // Same edge count, very different node counts: the node-heavy graph
+  // ingests far slower (the paper's WikiTalk/Citation behaviour).
+  GraphBuilder sparse(1000, false);
+  for (VertexId v = 0; v + 1 < 1000; ++v) sparse.add_edge(v, v + 1);
+  GraphBuilder dense(50, false);
+  for (VertexId u = 0; u < 50; ++u) {
+    for (VertexId v = u + 1; v < 50; ++v) {
+      if (dense.pending_edges() < 999) dense.add_edge(u, v);
+    }
+  }
+  RecordStoreModel node_heavy(sparse.build(), cost(), 1.0);
+  RecordStoreModel edge_heavy(dense.build(), cost(), 1.0);
+  EXPECT_GT(node_heavy.ingest_time(), edge_heavy.ingest_time());
+}
+
+}  // namespace
+}  // namespace gb::storage

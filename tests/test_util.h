@@ -1,0 +1,62 @@
+// Shared fixtures: small deterministic graphs used across the test suite.
+#pragma once
+
+#include "core/graph.h"
+#include "datasets/catalog.h"
+
+namespace gb::test {
+
+/// Path graph 0-1-2-...-(n-1).
+inline Graph path_graph(VertexId n, bool directed = false) {
+  GraphBuilder b(n, directed);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+/// Complete graph on n vertices.
+inline Graph complete_graph(VertexId n, bool directed = false) {
+  GraphBuilder b(n, directed);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v && (directed || u < v)) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+/// Two triangles joined by a bridge: {0,1,2} - 3 - {4,5,6}.
+inline Graph barbell_graph() {
+  GraphBuilder b(7, false);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(5, 6);
+  b.add_edge(4, 6);
+  return b.build();
+}
+
+/// Two disconnected components: a triangle {0,1,2} and an edge {3,4}.
+inline Graph two_components() {
+  GraphBuilder b(5, false);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  return b.build();
+}
+
+/// Wrap a graph as a Dataset for the platform interface.
+inline datasets::Dataset as_dataset(Graph g, const std::string& name = "test",
+                                    double scale = 1.0) {
+  datasets::Dataset ds;
+  ds.id = datasets::DatasetId::kAmazon;  // irrelevant for tests
+  ds.name = name;
+  ds.graph = std::move(g);
+  ds.scale = scale;
+  return ds;
+}
+
+}  // namespace gb::test

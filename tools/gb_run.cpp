@@ -1,0 +1,165 @@
+// gb_run: run a single benchmark cell from the command line.
+//
+//   gb_run [--platform NAME] [--dataset NAME] [--algorithm NAME]
+//          [--workers N] [--cores N] [--scale S] [--seed S] [--breakdown]
+//
+// Example:
+//   gb_run --platform Giraph --dataset KGS --algorithm CONN --workers 30
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "algorithms/platform_suite.h"
+#include "datasets/catalog.h"
+#include "harness/experiment.h"
+#include "harness/metrics.h"
+#include "harness/json.h"
+#include "harness/report.h"
+#include "sim/cost_config.h"
+
+namespace {
+
+using namespace gb;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::cerr << "error: " << msg << "\n\n";
+  std::cerr << "usage: gb_run [--platform Hadoop|YARN|HaLoop|PEGASUS|GPS|"
+               "Stratosphere|Giraph|GraphLab|GraphLab(mp)|Neo4j]\n"
+               "              [--dataset Amazon|WikiTalk|KGS|Citation|"
+               "DotaLeague|Synth|Friendster]\n"
+               "              [--algorithm STATS|BFS|CONN|CD|EVO|PAGERANK]\n"
+               "              [--workers N] [--cores N] [--scale S] "
+               "[--seed S] [--breakdown] [--json]\n"
+               "              [--cost name=value]...   (see --list-costs)\n";
+  std::exit(2);
+}
+
+std::unique_ptr<platforms::Platform> make_platform(const std::string& name) {
+  if (name == "Hadoop") return algorithms::make_hadoop();
+  if (name == "YARN") return algorithms::make_yarn();
+  if (name == "HaLoop") return algorithms::make_haloop();
+  if (name == "PEGASUS") return algorithms::make_pegasus();
+  if (name == "GPS") return algorithms::make_gps();
+  if (name == "Stratosphere") return algorithms::make_stratosphere();
+  if (name == "Giraph") return algorithms::make_giraph();
+  if (name == "GraphLab") return algorithms::make_graphlab(false);
+  if (name == "GraphLab(mp)") return algorithms::make_graphlab(true);
+  if (name == "Neo4j") return algorithms::make_neo4j();
+  usage(("unknown platform '" + name + "'").c_str());
+}
+
+platforms::Algorithm parse_algorithm(const std::string& name) {
+  if (name == "STATS") return platforms::Algorithm::kStats;
+  if (name == "BFS") return platforms::Algorithm::kBfs;
+  if (name == "CONN") return platforms::Algorithm::kConn;
+  if (name == "CD") return platforms::Algorithm::kCd;
+  if (name == "EVO") return platforms::Algorithm::kEvo;
+  if (name == "PAGERANK") return platforms::Algorithm::kPageRank;
+  usage(("unknown algorithm '" + name + "'").c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string platform_name = "Giraph";
+  std::string dataset_name = "KGS";
+  std::string algorithm_name = "BFS";
+  std::uint32_t workers = 20;
+  std::uint32_t cores = 1;
+  double scale = 0.0;  // catalog default
+  std::uint64_t seed = 42;
+  bool breakdown = false;
+  bool json = false;
+  sim::CostModel cost;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--platform") {
+      platform_name = value();
+    } else if (arg == "--dataset") {
+      dataset_name = value();
+    } else if (arg == "--algorithm") {
+      algorithm_name = value();
+    } else if (arg == "--workers") {
+      workers = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--cores") {
+      cores = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--scale") {
+      scale = std::stod(value());
+    } else if (arg == "--seed") {
+      seed = std::stoull(value());
+    } else if (arg == "--breakdown") {
+      breakdown = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--cost") {
+      sim::apply_cost_override(cost, value());
+    } else if (arg == "--list-costs") {
+      for (const auto& name : sim::cost_parameter_names()) {
+        std::cout << name << "=" << sim::cost_parameter(cost, name) << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage(("unknown option '" + arg + "'").c_str());
+    }
+  }
+
+  const auto* meta = datasets::find_info(dataset_name);
+  if (meta == nullptr) usage(("unknown dataset '" + dataset_name + "'").c_str());
+  const auto platform = make_platform(platform_name);
+  const auto algorithm = parse_algorithm(algorithm_name);
+
+  std::cerr << "generating " << dataset_name << "...\n";
+  const auto ds = datasets::load_or_generate(meta->id, scale, seed);
+  std::cerr << "  " << ds.graph.num_vertices() << " vertices, "
+            << ds.graph.num_edges() << " edges (scale " << ds.scale << ")\n";
+
+  sim::ClusterConfig cfg;
+  cfg.num_workers = workers;
+  cfg.cores_per_worker = cores;
+  cfg.cost = cost;
+  const auto params = harness::default_params(ds);
+  const auto m = harness::run_cell(*platform, ds, algorithm, params, cfg);
+
+  if (json) {
+    std::cout << harness::measurement_to_json(platform->name(), dataset_name,
+                                              algorithm_name, m)
+              << "\n";
+    return m.ok() ? 0 : 1;
+  }
+
+  std::cout << platform->name() << " / " << dataset_name << " / "
+            << algorithm_name << " on " << workers << "x" << cores
+            << " cores:\n";
+  std::cout << "  outcome:     " << harness::format_measurement(m);
+  if (!m.ok()) std::cout << "  (" << m.message << ")";
+  std::cout << "\n";
+  if (m.ok()) {
+    std::cout << "  computation: "
+              << harness::format_seconds(m.result.computation_time) << "\n";
+    std::cout << "  overhead:    "
+              << harness::format_seconds(m.result.overhead_time()) << "\n";
+    std::cout << "  iterations:  " << m.result.output.iterations << "\n";
+    std::cout << "  EPS:         "
+              << harness::format_si(harness::eps(ds, m.time())) << "\n";
+    std::cout << "  NEPS:        "
+              << harness::format_si(
+                     harness::neps(ds, m.time(), workers, cores))
+              << "\n";
+    if (breakdown) {
+      std::cout << "  phases:\n";
+      for (const auto& [name, duration] : m.result.phases) {
+        std::cout << "    " << name << ": "
+                  << harness::format_seconds(duration) << "\n";
+      }
+    }
+  }
+  return m.ok() ? 0 : 1;
+}
