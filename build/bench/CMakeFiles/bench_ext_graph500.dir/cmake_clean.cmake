@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_graph500.dir/ext_graph500.cpp.o"
+  "CMakeFiles/bench_ext_graph500.dir/ext_graph500.cpp.o.d"
+  "bench_ext_graph500"
+  "bench_ext_graph500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_graph500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pagerank.dir/ext_pagerank.cpp.o"
+  "CMakeFiles/bench_ext_pagerank.dir/ext_pagerank.cpp.o.d"
+  "bench_ext_pagerank"
+  "bench_ext_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_related_platforms.dir/ext_related_platforms.cpp.o"
+  "CMakeFiles/bench_ext_related_platforms.dir/ext_related_platforms.cpp.o.d"
+  "bench_ext_related_platforms"
+  "bench_ext_related_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_related_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_neps_horizontal.dir/fig12_neps_horizontal.cpp.o"
+  "CMakeFiles/bench_fig12_neps_horizontal.dir/fig12_neps_horizontal.cpp.o.d"
+  "bench_fig12_neps_horizontal"
+  "bench_fig12_neps_horizontal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_neps_horizontal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_neps_vertical.dir/fig14_neps_vertical.cpp.o"
+  "CMakeFiles/bench_fig14_neps_vertical.dir/fig14_neps_vertical.cpp.o.d"
+  "bench_fig14_neps_vertical"
+  "bench_fig14_neps_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_neps_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig16_graphlab_breakdown.cpp" "bench/CMakeFiles/bench_fig16_graphlab_breakdown.dir/fig16_graphlab_breakdown.cpp.o" "gcc" "bench/CMakeFiles/bench_fig16_graphlab_breakdown.dir/fig16_graphlab_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/gp_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/gp_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/gp_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/gp_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_giraph_all.dir/fig3_giraph_all.cpp.o"
+  "CMakeFiles/bench_fig3_giraph_all.dir/fig3_giraph_all.cpp.o.d"
+  "bench_fig3_giraph_all"
+  "bench_fig3_giraph_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_giraph_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

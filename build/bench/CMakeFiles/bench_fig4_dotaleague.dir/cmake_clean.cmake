@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_dotaleague.dir/fig4_dotaleague.cpp.o"
+  "CMakeFiles/bench_fig4_dotaleague.dir/fig4_dotaleague.cpp.o.d"
+  "bench_fig4_dotaleague"
+  "bench_fig4_dotaleague.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_dotaleague.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8to10_worker_usage.dir/fig8to10_worker_usage.cpp.o"
+  "CMakeFiles/bench_fig8to10_worker_usage.dir/fig8to10_worker_usage.cpp.o.d"
+  "bench_fig8to10_worker_usage"
+  "bench_fig8to10_worker_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8to10_worker_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8to10_worker_usage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8to10_worker_usage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_survey.dir/table3_survey.cpp.o"
+  "CMakeFiles/bench_table3_survey.dir/table3_survey.cpp.o.d"
+  "bench_table3_survey"
+  "bench_table3_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

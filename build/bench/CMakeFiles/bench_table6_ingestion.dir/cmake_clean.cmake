@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_ingestion.dir/table6_ingestion.cpp.o"
+  "CMakeFiles/bench_table6_ingestion.dir/table6_ingestion.cpp.o.d"
+  "bench_table6_ingestion"
+  "bench_table6_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

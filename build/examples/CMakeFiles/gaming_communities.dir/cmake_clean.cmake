@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaming_communities.dir/gaming_communities.cpp.o"
+  "CMakeFiles/gaming_communities.dir/gaming_communities.cpp.o.d"
+  "gaming_communities"
+  "gaming_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaming_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

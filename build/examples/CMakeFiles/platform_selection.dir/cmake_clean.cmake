@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_selection.dir/platform_selection.cpp.o"
+  "CMakeFiles/platform_selection.dir/platform_selection.cpp.o.d"
+  "platform_selection"
+  "platform_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worst_case_budgeting.dir/worst_case_budgeting.cpp.o"
+  "CMakeFiles/worst_case_budgeting.dir/worst_case_budgeting.cpp.o.d"
+  "worst_case_budgeting"
+  "worst_case_budgeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worst_case_budgeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

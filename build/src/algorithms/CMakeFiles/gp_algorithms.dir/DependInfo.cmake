@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/evolution.cpp" "src/algorithms/CMakeFiles/gp_algorithms.dir/evolution.cpp.o" "gcc" "src/algorithms/CMakeFiles/gp_algorithms.dir/evolution.cpp.o.d"
+  "/root/repo/src/algorithms/graph500.cpp" "src/algorithms/CMakeFiles/gp_algorithms.dir/graph500.cpp.o" "gcc" "src/algorithms/CMakeFiles/gp_algorithms.dir/graph500.cpp.o.d"
+  "/root/repo/src/algorithms/graphdb_algorithms.cpp" "src/algorithms/CMakeFiles/gp_algorithms.dir/graphdb_algorithms.cpp.o" "gcc" "src/algorithms/CMakeFiles/gp_algorithms.dir/graphdb_algorithms.cpp.o.d"
+  "/root/repo/src/algorithms/platform_suite.cpp" "src/algorithms/CMakeFiles/gp_algorithms.dir/platform_suite.cpp.o" "gcc" "src/algorithms/CMakeFiles/gp_algorithms.dir/platform_suite.cpp.o.d"
+  "/root/repo/src/algorithms/reference.cpp" "src/algorithms/CMakeFiles/gp_algorithms.dir/reference.cpp.o" "gcc" "src/algorithms/CMakeFiles/gp_algorithms.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/gp_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/gp_datasets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

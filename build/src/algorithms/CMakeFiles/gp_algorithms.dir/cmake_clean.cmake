@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_algorithms.dir/evolution.cpp.o"
+  "CMakeFiles/gp_algorithms.dir/evolution.cpp.o.d"
+  "CMakeFiles/gp_algorithms.dir/graph500.cpp.o"
+  "CMakeFiles/gp_algorithms.dir/graph500.cpp.o.d"
+  "CMakeFiles/gp_algorithms.dir/graphdb_algorithms.cpp.o"
+  "CMakeFiles/gp_algorithms.dir/graphdb_algorithms.cpp.o.d"
+  "CMakeFiles/gp_algorithms.dir/platform_suite.cpp.o"
+  "CMakeFiles/gp_algorithms.dir/platform_suite.cpp.o.d"
+  "CMakeFiles/gp_algorithms.dir/reference.cpp.o"
+  "CMakeFiles/gp_algorithms.dir/reference.cpp.o.d"
+  "libgp_algorithms.a"
+  "libgp_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_core.dir/graph.cpp.o"
+  "CMakeFiles/gp_core.dir/graph.cpp.o.d"
+  "CMakeFiles/gp_core.dir/graph_io.cpp.o"
+  "CMakeFiles/gp_core.dir/graph_io.cpp.o.d"
+  "CMakeFiles/gp_core.dir/graph_stats.cpp.o"
+  "CMakeFiles/gp_core.dir/graph_stats.cpp.o.d"
+  "CMakeFiles/gp_core.dir/rng.cpp.o"
+  "CMakeFiles/gp_core.dir/rng.cpp.o.d"
+  "CMakeFiles/gp_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/gp_core.dir/thread_pool.cpp.o.d"
+  "libgp_core.a"
+  "libgp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

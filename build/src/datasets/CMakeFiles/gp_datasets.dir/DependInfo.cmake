@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/catalog.cpp" "src/datasets/CMakeFiles/gp_datasets.dir/catalog.cpp.o" "gcc" "src/datasets/CMakeFiles/gp_datasets.dir/catalog.cpp.o.d"
+  "/root/repo/src/datasets/generators.cpp" "src/datasets/CMakeFiles/gp_datasets.dir/generators.cpp.o" "gcc" "src/datasets/CMakeFiles/gp_datasets.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_harness.dir/ascii_chart.cpp.o"
+  "CMakeFiles/gp_harness.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/gp_harness.dir/experiment.cpp.o"
+  "CMakeFiles/gp_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/gp_harness.dir/json.cpp.o"
+  "CMakeFiles/gp_harness.dir/json.cpp.o.d"
+  "CMakeFiles/gp_harness.dir/prediction.cpp.o"
+  "CMakeFiles/gp_harness.dir/prediction.cpp.o.d"
+  "CMakeFiles/gp_harness.dir/report.cpp.o"
+  "CMakeFiles/gp_harness.dir/report.cpp.o.d"
+  "libgp_harness.a"
+  "libgp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

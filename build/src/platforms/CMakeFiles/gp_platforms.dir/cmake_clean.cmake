@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_platforms.dir/dataflow/pact.cpp.o"
+  "CMakeFiles/gp_platforms.dir/dataflow/pact.cpp.o.d"
+  "CMakeFiles/gp_platforms.dir/graphdb/database.cpp.o"
+  "CMakeFiles/gp_platforms.dir/graphdb/database.cpp.o.d"
+  "CMakeFiles/gp_platforms.dir/platform.cpp.o"
+  "CMakeFiles/gp_platforms.dir/platform.cpp.o.d"
+  "libgp_platforms.a"
+  "libgp_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

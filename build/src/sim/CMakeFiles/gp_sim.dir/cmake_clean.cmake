@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_sim.dir/cluster.cpp.o"
+  "CMakeFiles/gp_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/gp_sim.dir/cost_config.cpp.o"
+  "CMakeFiles/gp_sim.dir/cost_config.cpp.o.d"
+  "CMakeFiles/gp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/gp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/gp_sim.dir/monitor.cpp.o"
+  "CMakeFiles/gp_sim.dir/monitor.cpp.o.d"
+  "libgp_sim.a"
+  "libgp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_storage.dir/record_store.cpp.o"
+  "CMakeFiles/gp_storage.dir/record_store.cpp.o.d"
+  "libgp_storage.a"
+  "libgp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithms_test.dir/algorithms/cross_validation_test.cpp.o"
+  "CMakeFiles/algorithms_test.dir/algorithms/cross_validation_test.cpp.o.d"
+  "CMakeFiles/algorithms_test.dir/algorithms/evolution_test.cpp.o"
+  "CMakeFiles/algorithms_test.dir/algorithms/evolution_test.cpp.o.d"
+  "CMakeFiles/algorithms_test.dir/algorithms/graph500_test.cpp.o"
+  "CMakeFiles/algorithms_test.dir/algorithms/graph500_test.cpp.o.d"
+  "CMakeFiles/algorithms_test.dir/algorithms/paper_behaviors_test.cpp.o"
+  "CMakeFiles/algorithms_test.dir/algorithms/paper_behaviors_test.cpp.o.d"
+  "CMakeFiles/algorithms_test.dir/algorithms/property_sweep_test.cpp.o"
+  "CMakeFiles/algorithms_test.dir/algorithms/property_sweep_test.cpp.o.d"
+  "CMakeFiles/algorithms_test.dir/algorithms/reference_test.cpp.o"
+  "CMakeFiles/algorithms_test.dir/algorithms/reference_test.cpp.o.d"
+  "CMakeFiles/algorithms_test.dir/algorithms/related_platforms_test.cpp.o"
+  "CMakeFiles/algorithms_test.dir/algorithms/related_platforms_test.cpp.o.d"
+  "algorithms_test"
+  "algorithms_test.pdb"
+  "algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/graph_io_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/graph_io_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/graph_property_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/graph_property_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/graph_stats_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/graph_stats_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/graph_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/graph_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/rng_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/rng_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/thread_pool_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/thread_pool_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

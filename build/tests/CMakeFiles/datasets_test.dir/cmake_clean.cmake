@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datasets_test.dir/datasets/catalog_test.cpp.o"
+  "CMakeFiles/datasets_test.dir/datasets/catalog_test.cpp.o.d"
+  "CMakeFiles/datasets_test.dir/datasets/generators_test.cpp.o"
+  "CMakeFiles/datasets_test.dir/datasets/generators_test.cpp.o.d"
+  "CMakeFiles/datasets_test.dir/datasets/structure_test.cpp.o"
+  "CMakeFiles/datasets_test.dir/datasets/structure_test.cpp.o.d"
+  "datasets_test"
+  "datasets_test.pdb"
+  "datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

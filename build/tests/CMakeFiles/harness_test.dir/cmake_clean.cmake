@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_test.dir/harness/ascii_chart_test.cpp.o"
+  "CMakeFiles/harness_test.dir/harness/ascii_chart_test.cpp.o.d"
+  "CMakeFiles/harness_test.dir/harness/experiment_test.cpp.o"
+  "CMakeFiles/harness_test.dir/harness/experiment_test.cpp.o.d"
+  "CMakeFiles/harness_test.dir/harness/json_test.cpp.o"
+  "CMakeFiles/harness_test.dir/harness/json_test.cpp.o.d"
+  "CMakeFiles/harness_test.dir/harness/prediction_test.cpp.o"
+  "CMakeFiles/harness_test.dir/harness/prediction_test.cpp.o.d"
+  "CMakeFiles/harness_test.dir/harness/report_test.cpp.o"
+  "CMakeFiles/harness_test.dir/harness/report_test.cpp.o.d"
+  "harness_test"
+  "harness_test.pdb"
+  "harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platforms_test.dir/platforms/accounting_test.cpp.o"
+  "CMakeFiles/platforms_test.dir/platforms/accounting_test.cpp.o.d"
+  "CMakeFiles/platforms_test.dir/platforms/dataflow_test.cpp.o"
+  "CMakeFiles/platforms_test.dir/platforms/dataflow_test.cpp.o.d"
+  "CMakeFiles/platforms_test.dir/platforms/engine_edge_cases_test.cpp.o"
+  "CMakeFiles/platforms_test.dir/platforms/engine_edge_cases_test.cpp.o.d"
+  "CMakeFiles/platforms_test.dir/platforms/gas_test.cpp.o"
+  "CMakeFiles/platforms_test.dir/platforms/gas_test.cpp.o.d"
+  "CMakeFiles/platforms_test.dir/platforms/graphdb_test.cpp.o"
+  "CMakeFiles/platforms_test.dir/platforms/graphdb_test.cpp.o.d"
+  "CMakeFiles/platforms_test.dir/platforms/mapreduce_test.cpp.o"
+  "CMakeFiles/platforms_test.dir/platforms/mapreduce_test.cpp.o.d"
+  "CMakeFiles/platforms_test.dir/platforms/pregel_test.cpp.o"
+  "CMakeFiles/platforms_test.dir/platforms/pregel_test.cpp.o.d"
+  "platforms_test"
+  "platforms_test.pdb"
+  "platforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_datagen.dir/gb_datagen.cpp.o"
+  "CMakeFiles/gb_datagen.dir/gb_datagen.cpp.o.d"
+  "gb_datagen"
+  "gb_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_run.dir/gb_run.cpp.o"
+  "CMakeFiles/gb_run.dir/gb_run.cpp.o.d"
+  "gb_run"
+  "gb_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
