@@ -81,8 +81,8 @@ TraversalResult db_conn(Database& db, SimTime time_limit) {
   return result;
 }
 
-TraversalResult db_cd(Database& db, const CdParams& params,
-                      SimTime time_limit) {
+TraversalResult db_cd(Database& db, const CdParams& params, SimTime time_limit,
+                      ThreadPool* pool) {
   const Graph& g = db.graph();
   const VertexId n = g.num_vertices();
   std::vector<std::uint64_t> labels(n);
@@ -92,25 +92,35 @@ TraversalResult db_cd(Database& db, const CdParams& params,
   std::vector<CdScore> next_scores(n);
 
   TraversalResult result;
-  CdTally tally;
   for (std::uint32_t iter = 0; iter < params.iterations; ++iter) {
+    // Serial charging sweep, in the exact per-vertex order of the original
+    // single-loop implementation so `elapsed` stays bit-identical: one
+    // expansion, two property reads per sender, and a label+score
+    // write-back for every vertex with incoming edges.
     for (VertexId v = 0; v < n; ++v) {
       const auto senders = db.expand_in(v);
-      // Label and score of each neighbor are vertex properties read
-      // through the Core API.
       db.access_properties(static_cast<double>(senders.size()) * 2.0);
-      if (senders.empty()) {
-        next_labels[v] = labels[v];
-        next_scores[v] = scores[v];
-        continue;
-      }
-      tally.clear();
-      for (const VertexId u : senders) tally.add(labels[u], scores[u]);
-      const auto [label, max_score] = tally.choose();
-      next_labels[v] = label;
-      next_scores[v] = max_score > 0 ? max_score - 1 : 0;
-      db.access_properties(2.0);  // write back label + score
+      if (!senders.empty()) db.access_properties(2.0);
     }
+    // Pure compute over disjoint output ranges; reads only the previous
+    // iteration's labels/scores, so chunks are independent.
+    run_chunks(pool, n, [&](std::size_t, std::size_t begin, std::size_t end) {
+      CdTally tally;
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto v = static_cast<VertexId>(i);
+        const auto senders = g.in_neighbors(v);
+        if (senders.empty()) {
+          next_labels[v] = labels[v];
+          next_scores[v] = scores[v];
+          continue;
+        }
+        tally.clear();
+        for (const VertexId u : senders) tally.add(labels[u], scores[u]);
+        const auto [label, max_score] = tally.choose();
+        next_labels[v] = label;
+        next_scores[v] = max_score > 0 ? max_score - 1 : 0;
+      }
+    });
     labels.swap(next_labels);
     scores.swap(next_scores);
     ++result.iterations;
@@ -122,7 +132,7 @@ TraversalResult db_cd(Database& db, const CdParams& params,
 }
 
 DbPageRankResult db_pagerank(Database& db, const PageRankParams& params,
-                             SimTime time_limit) {
+                             SimTime time_limit, ThreadPool* pool) {
   const Graph& g = db.graph();
   const VertexId n = g.num_vertices();
   DbPageRankResult result;
@@ -132,16 +142,27 @@ DbPageRankResult db_pagerank(Database& db, const PageRankParams& params,
   std::vector<double> next(n, 0.0);
 
   for (std::uint32_t iter = 0; iter < params.iterations; ++iter) {
-    for (VertexId v = 0; v < n; ++v) {
-      const EdgeId deg = g.out_degree(v);
-      shares[v] = deg > 0 ? ranks[v] / static_cast<double>(deg) : 0.0;
-    }
+    run_chunks(pool, n, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto v = static_cast<VertexId>(i);
+        const EdgeId deg = g.out_degree(v);
+        shares[v] = deg > 0 ? ranks[v] / static_cast<double>(deg) : 0.0;
+      }
+    });
     db.access_properties(static_cast<double>(n));  // read all ranks
-    for (VertexId v = 0; v < n; ++v) {
-      double sum = 0.0;
-      for (const VertexId u : db.expand_in(v)) sum += shares[u];
-      next[v] = pagerank_update(sum, n, params.damping);
-    }
+    // Charge the expansions serially in vertex order (keeps `elapsed`
+    // bit-identical), then fold shares in parallel. Each vertex's sum is
+    // still accumulated left-to-right over its own in-list, so the ranks
+    // match the serial run bit for bit.
+    for (VertexId v = 0; v < n; ++v) db.expand_in(v);
+    run_chunks(pool, n, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto v = static_cast<VertexId>(i);
+        double sum = 0.0;
+        for (const VertexId u : g.in_neighbors(v)) sum += shares[u];
+        next[v] = pagerank_update(sum, n, params.damping);
+      }
+    });
     db.access_properties(static_cast<double>(n));  // write all ranks
     ranks.swap(next);
     ++result.iterations;
@@ -152,42 +173,52 @@ DbPageRankResult db_pagerank(Database& db, const PageRankParams& params,
   return result;
 }
 
-DbStatsResult db_stats(Database& db, SimTime time_limit) {
+DbStatsResult db_stats(Database& db, SimTime time_limit, ThreadPool* pool) {
   const Graph& g = db.graph();
+  const VertexId n = g.num_vertices();
   // Preflight: the neighborhood-exchange volume is sum(deg^2); if charging
-  // it alone blows the budget, abort before executing the kernel.
+  // it alone blows the budget, abort before executing the kernel. The
+  // per-vertex terms are integer-valued doubles, so the chunked partial
+  // sums merge to exactly the serial total.
+  const std::size_t chunks = ThreadPool::plan_chunks(n);
+  std::vector<double> partial(chunks, 0.0);
+  run_chunks(pool, n, [&](std::size_t c, std::size_t begin, std::size_t end) {
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double d = static_cast<double>(g.out_degree(static_cast<VertexId>(i)));
+      sum += d * d + d + 1.0;
+    }
+    partial[c] = sum;
+  });
   double accesses = 0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    const double d = static_cast<double>(g.out_degree(v));
-    accesses += d * d + d + 1.0;
-  }
+  for (const double sum : partial) accesses += sum;
   const double predicted =
       accesses * db.config().traversal_access_sec +
-      static_cast<double>(g.num_vertices()) * db.config().property_access_sec;
+      static_cast<double>(n) * db.config().property_access_sec;
   if (predicted > time_limit) {
     throw PlatformError(PlatformError::Kind::kTimeout,
                         "STATS exceeded the experiment time budget on Neo4j");
   }
 
   DbStatsResult result;
-  double lcc_sum = 0.0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  // Serial charging sweep in vertex order: one expansion per vertex, a
+  // re-fetch per neighbor when a triangle count is needed, one property
+  // write. `elapsed` is bit-identical to the original fused loop because
+  // the compute it interleaved with never charged anything.
+  for (VertexId v = 0; v < n; ++v) {
     db.expand(v);
-    const double deg = static_cast<double>(g.out_degree(v));
-    if (deg >= 2) {
-      // Neighbor lists are re-fetched per pair; charge and compute.
+    if (g.out_degree(v) >= 2) {
       for (const VertexId u : g.out_neighbors(v)) db.expand(u);
-      lcc_sum += local_clustering_coefficient(g, v);
     }
     db.access_properties(1.0);
     check_limit(db, time_limit, "STATS");
   }
-  result.stats.vertices = g.num_vertices();
+  // The triangle counting itself is pure compute: reuse the chunked LCC
+  // average, which matches the old serial accumulation exactly (vertices
+  // with degree < 2 contribute +0.0, which cannot perturb the sum).
+  result.stats.vertices = n;
   result.stats.edges = g.num_edges();
-  result.stats.average_lcc =
-      g.num_vertices() > 0
-          ? lcc_sum / static_cast<double>(g.num_vertices())
-          : 0.0;
+  result.stats.average_lcc = average_lcc(g, pool);
   result.elapsed = db.elapsed();
   return result;
 }

@@ -22,9 +22,18 @@ struct TraversalResult {
   SimTime elapsed = 0;
 };
 
+/// BFS and CONN stay host-serial: their host work is one comparison per
+/// charged expansion, so there is nothing to win by splitting them, and
+/// the traversal-charge sequence must stay in vertex order anyway.
 TraversalResult db_bfs(Database& db, VertexId source, SimTime time_limit);
 TraversalResult db_conn(Database& db, SimTime time_limit);
-TraversalResult db_cd(Database& db, const CdParams& params, SimTime time_limit);
+
+/// CD, PageRank and STATS split their pure compute (tallies, rank sums,
+/// neighborhood intersections) over the pool with the deterministic
+/// plan_chunks plan; all simulated charging stays a serial sweep in vertex
+/// order, so `elapsed` is bit-identical at every pool size.
+TraversalResult db_cd(Database& db, const CdParams& params, SimTime time_limit,
+                      ThreadPool* pool = nullptr);
 
 struct DbPageRankResult {
   std::vector<double> ranks;
@@ -33,7 +42,7 @@ struct DbPageRankResult {
 };
 
 DbPageRankResult db_pagerank(Database& db, const PageRankParams& params,
-                             SimTime time_limit);
+                             SimTime time_limit, ThreadPool* pool = nullptr);
 
 struct DbStatsResult {
   StatsResult stats;
@@ -44,6 +53,7 @@ struct DbStatsResult {
 /// total access volume; if it already exceeds the time limit the run is
 /// aborted without executing the quadratic kernel (the paper's ">20 hours,
 /// not shown" cells).
-DbStatsResult db_stats(Database& db, SimTime time_limit);
+DbStatsResult db_stats(Database& db, SimTime time_limit,
+                       ThreadPool* pool = nullptr);
 
 }  // namespace gb::algorithms::graphdb

@@ -66,20 +66,32 @@ struct StatsVolumes {
   double intersect_units = 0;
 };
 
-StatsVolumes stats_volumes(const Graph& g) {
+StatsVolumes stats_volumes(const Graph& g, ThreadPool* pool = nullptr) {
   StatsVolumes v;
-  for (VertexId x = 0; x < g.num_vertices(); ++x) {
-    const double out_deg = static_cast<double>(g.out_degree(x));
-    const double in_deg = static_cast<double>(g.in_degree(x));
-    // x's out-list is shipped once per in-neighbor of x.
-    v.exchange_records += in_deg;
-    v.exchange_bytes += in_deg * (out_deg * 8.0 + 16.0);
-  }
-  for (VertexId x = 0; x < g.num_vertices(); ++x) {
-    const double own = static_cast<double>(g.out_degree(x));
-    for (const VertexId u : g.out_neighbors(x)) {
-      v.intersect_units += own + static_cast<double>(g.out_degree(u));
+  const VertexId n = g.num_vertices();
+  // Chunked partial sums merged in chunk order; every term is an
+  // integer-valued double, so the totals equal the serial sweep exactly.
+  const std::size_t chunks = ThreadPool::plan_chunks(n);
+  std::vector<StatsVolumes> partial(chunks);
+  run_chunks(pool, n, [&](std::size_t c, std::size_t begin, std::size_t end) {
+    StatsVolumes p;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto x = static_cast<VertexId>(i);
+      const double out_deg = static_cast<double>(g.out_degree(x));
+      const double in_deg = static_cast<double>(g.in_degree(x));
+      // x's out-list is shipped once per in-neighbor of x.
+      p.exchange_records += in_deg;
+      p.exchange_bytes += in_deg * (out_deg * 8.0 + 16.0);
+      for (const VertexId u : g.out_neighbors(x)) {
+        p.intersect_units += out_deg + static_cast<double>(g.out_degree(u));
+      }
     }
+    partial[c] = p;
+  });
+  for (const StatsVolumes& p : partial) {
+    v.exchange_records += p.exchange_records;
+    v.exchange_bytes += p.exchange_bytes;
+    v.intersect_units += p.intersect_units;
   }
   return v;
 }
@@ -289,7 +301,7 @@ class MapReducePlatform final : public Platform {
       }
       case Algorithm::kStats: {
         const storage::Hdfs hdfs(cluster.cost());
-        const StatsVolumes volumes = stats_volumes(g);
+        const StatsVolumes volumes = stats_volumes(g, &cluster.pool());
         platforms::mapreduce::detail::IterationVolume volume;
         volume.map_output_records =
             static_cast<double>(g.num_vertices()) + volumes.exchange_records;
@@ -305,7 +317,7 @@ class MapReducePlatform final : public Platform {
               PlatformError::Kind::kTimeout,
               name() + " STATS exceeded the experiment time budget");
         }
-        const StatsResult stats = reference_stats(g);
+        const StatsResult stats = reference_stats(g, &cluster.pool());
         out.scalar = stats.average_lcc;
         out.vertices = stats.vertices;
         out.edges = stats.edges;
@@ -433,7 +445,7 @@ class StratospherePlatform final : public Platform {
         plan.add_sink("out", lcc);
 
         const storage::Hdfs hdfs(cluster.cost());
-        const StatsVolumes volumes = stats_volumes(g);
+        const StatsVolumes volumes = stats_volumes(g, &cluster.pool());
         // The Match's probe side materializes one candidate record per
         // shipped adjacency id — sum(deg^2) records flow through the plan.
         platforms::dataflow::detail::charge_plan_iteration(
@@ -449,7 +461,7 @@ class StratospherePlatform final : public Platform {
               "Stratosphere STATS terminated after exceeding the operators' "
               "patience (paper: ~4 hours without success)");
         }
-        const StatsResult stats = reference_stats(g);
+        const StatsResult stats = reference_stats(g, &cluster.pool());
         out.scalar = stats.average_lcc;
         out.vertices = stats.vertices;
         out.edges = stats.edges;
@@ -644,21 +656,22 @@ class Neo4jPlatform final : public Platform {
         break;
       }
       case Algorithm::kCd: {
-        auto result =
-            graphdb::db_cd(db, cd_params_from(params), params.time_limit);
+        auto result = graphdb::db_cd(db, cd_params_from(params),
+                                     params.time_limit, &cluster.pool());
         out.vertex_values = std::move(result.values);
         out.iterations = result.iterations;
         break;
       }
       case Algorithm::kPageRank: {
         auto result = graphdb::db_pagerank(db, pagerank_params_from(params),
-                                           params.time_limit);
+                                           params.time_limit, &cluster.pool());
         out.vertex_values = encode_ranks(result.ranks);
         out.iterations = result.iterations;
         break;
       }
       case Algorithm::kStats: {
-        auto result = graphdb::db_stats(db, params.time_limit);
+        auto result =
+            graphdb::db_stats(db, params.time_limit, &cluster.pool());
         out.scalar = result.stats.average_lcc;
         out.vertices = result.stats.vertices;
         out.edges = result.stats.edges;

@@ -9,7 +9,7 @@
 
 namespace gb::algorithms {
 
-BfsResult reference_bfs(const Graph& g, VertexId source) {
+BfsResult reference_bfs(const Graph& g, VertexId source, ThreadPool* pool) {
   BfsResult result;
   result.levels.assign(g.num_vertices(), kUnreached);
   if (source >= g.num_vertices()) return result;
@@ -19,11 +19,30 @@ BfsResult reference_bfs(const Graph& g, VertexId source) {
   result.levels[source] = 0;
   result.visited = 1;
   std::uint64_t depth = 0;
+  std::vector<std::vector<VertexId>> candidates;
 
   while (!frontier.empty()) {
     next.clear();
-    for (const VertexId v : frontier) {
-      for (const VertexId u : g.out_neighbors(v)) {
+    // Phase 1 (parallel): scan the frontier read-only and collect
+    // newly-reachable candidates per chunk. Chunks may rediscover the
+    // same vertex; dedup happens in phase 2.
+    const std::size_t chunks = ThreadPool::plan_chunks(frontier.size());
+    candidates.resize(chunks);
+    run_chunks(pool, frontier.size(),
+               [&](std::size_t c, std::size_t begin, std::size_t end) {
+                 auto& out = candidates[c];
+                 out.clear();
+                 for (std::size_t i = begin; i < end; ++i) {
+                   for (const VertexId u : g.out_neighbors(frontier[i])) {
+                     if (result.levels[u] == kUnreached) out.push_back(u);
+                   }
+                 }
+               });
+    // Phase 2 (serial, ascending chunk order): the first claim wins, which
+    // reproduces the discovery order of a plain serial frontier scan, so
+    // levels, visit counts and next-frontier order are all bit-identical.
+    for (std::size_t c = 0; c < chunks; ++c) {
+      for (const VertexId u : candidates[c]) {
         if (result.levels[u] == kUnreached) {
           result.levels[u] = depth + 1;
           next.push_back(u);
@@ -39,31 +58,53 @@ BfsResult reference_bfs(const Graph& g, VertexId source) {
   return result;
 }
 
-ConnResult reference_conn(const Graph& g) {
+ConnResult reference_conn(const Graph& g, ThreadPool* pool) {
   ConnResult result;
   const VertexId n = g.num_vertices();
   result.labels.resize(n);
   for (VertexId v = 0; v < n; ++v) result.labels[v] = v;
 
+  // Chunked hybrid Gauss-Seidel: each chunk propagates labels in-place
+  // within its own range (fast convergence) but reads the previous
+  // iteration's snapshot for vertices owned by other chunks (no races,
+  // and no dependence on which chunk happens to finish first). With one
+  // chunk this is exactly the classic sequential sweep.
+  const std::size_t chunks = ThreadPool::plan_chunks(n);
+  std::vector<std::uint64_t> snapshot;
+  std::vector<std::uint8_t> chunk_changed(chunks, 0);
+
   bool changed = true;
   while (changed) {
     changed = false;
     ++result.iterations;
-    for (VertexId v = 0; v < n; ++v) {
-      std::uint64_t smallest = result.labels[v];
-      for (const VertexId u : g.in_neighbors(v)) {
-        smallest = std::min(smallest, result.labels[u]);
-      }
-      if (g.directed()) {
-        for (const VertexId u : g.out_neighbors(v)) {
-          smallest = std::min(smallest, result.labels[u]);
+    snapshot = result.labels;
+    std::fill(chunk_changed.begin(), chunk_changed.end(), 0);
+    run_chunks(pool, n, [&](std::size_t c, std::size_t begin,
+                            std::size_t end) {
+      auto& labels = result.labels;
+      const auto read = [&](VertexId u) {
+        return (u >= begin && u < end) ? labels[u] : snapshot[u];
+      };
+      bool any = false;
+      for (std::size_t v = begin; v < end; ++v) {
+        std::uint64_t smallest = labels[v];
+        for (const VertexId u : g.in_neighbors(static_cast<VertexId>(v))) {
+          smallest = std::min(smallest, read(u));
+        }
+        if (g.directed()) {
+          for (const VertexId u :
+               g.out_neighbors(static_cast<VertexId>(v))) {
+            smallest = std::min(smallest, read(u));
+          }
+        }
+        if (smallest < labels[v]) {
+          labels[v] = smallest;
+          any = true;
         }
       }
-      if (smallest < result.labels[v]) {
-        result.labels[v] = smallest;
-        changed = true;
-      }
-    }
+      if (any) chunk_changed[c] = 1;
+    });
+    for (const std::uint8_t flag : chunk_changed) changed |= (flag != 0);
   }
   result.components = count_distinct(result.labels);
   return result;
@@ -90,32 +131,41 @@ std::uint64_t cd_step(const Graph& g, const CdParams& params,
                       const std::vector<std::uint64_t>& labels_in,
                       const std::vector<CdScore>& scores_in,
                       std::vector<std::uint64_t>& labels_out,
-                      std::vector<CdScore>& scores_out) {
+                      std::vector<CdScore>& scores_out, ThreadPool* pool) {
   const VertexId n = g.num_vertices();
   labels_out.resize(n);
   scores_out.resize(n);
-  std::uint64_t changed = 0;
 
-  CdTally tally;
-  for (VertexId v = 0; v < n; ++v) {
-    const auto senders = g.in_neighbors(v);
-    if (senders.empty()) {
-      labels_out[v] = labels_in[v];
-      scores_out[v] = scores_in[v];
-      continue;
+  const std::size_t chunks = ThreadPool::plan_chunks(n);
+  std::vector<std::uint64_t> partial(chunks, 0);
+  run_chunks(pool, n, [&](std::size_t c, std::size_t begin, std::size_t end) {
+    CdTally tally;
+    std::uint64_t chunk_changed = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const VertexId v = static_cast<VertexId>(i);
+      const auto senders = g.in_neighbors(v);
+      if (senders.empty()) {
+        labels_out[v] = labels_in[v];
+        scores_out[v] = scores_in[v];
+        continue;
+      }
+      tally.clear();
+      for (const VertexId u : senders) tally.add(labels_in[u], scores_in[u]);
+      const auto [best_label, best_max] = tally.choose();
+      labels_out[v] = best_label;
+      scores_out[v] = best_max > 0 ? best_max - 1 : 0;
+      if (best_label != labels_in[v]) ++chunk_changed;
     }
-    tally.clear();
-    for (const VertexId u : senders) tally.add(labels_in[u], scores_in[u]);
-    const auto [best_label, best_max] = tally.choose();
-    labels_out[v] = best_label;
-    scores_out[v] = best_max > 0 ? best_max - 1 : 0;
-    if (best_label != labels_in[v]) ++changed;
-  }
+    partial[c] = chunk_changed;
+  });
   (void)params;
+  std::uint64_t changed = 0;
+  for (const std::uint64_t count : partial) changed += count;
   return changed;
 }
 
-CdResult reference_cd(const Graph& g, const CdParams& params) {
+CdResult reference_cd(const Graph& g, const CdParams& params,
+                      ThreadPool* pool) {
   CdResult result;
   const VertexId n = g.num_vertices();
   std::vector<std::uint64_t> labels(n);
@@ -128,7 +178,7 @@ CdResult reference_cd(const Graph& g, const CdParams& params) {
   // convergence; stopping early on "no label changed" would diverge from
   // the message-passing implementations, whose scores keep attenuating.
   for (std::uint32_t iter = 0; iter < params.iterations; ++iter) {
-    cd_step(g, params, labels, scores, next_labels, next_scores);
+    cd_step(g, params, labels, scores, next_labels, next_scores, pool);
     labels.swap(next_labels);
     scores.swap(next_scores);
     ++result.iterations;
@@ -138,11 +188,11 @@ CdResult reference_cd(const Graph& g, const CdParams& params) {
   return result;
 }
 
-StatsResult reference_stats(const Graph& g) {
+StatsResult reference_stats(const Graph& g, ThreadPool* pool) {
   StatsResult result;
   result.vertices = g.num_vertices();
   result.edges = g.num_edges();
-  result.average_lcc = average_lcc(g);
+  result.average_lcc = average_lcc(g, pool);
   return result;
 }
 
@@ -152,7 +202,8 @@ std::uint64_t count_distinct(const std::vector<std::uint64_t>& labels) {
 }
 
 PageRankResult reference_pagerank(const Graph& g,
-                                  const PageRankParams& params) {
+                                  const PageRankParams& params,
+                                  ThreadPool* pool) {
   PageRankResult result;
   const VertexId n = g.num_vertices();
   if (n == 0) return result;
@@ -160,16 +211,27 @@ PageRankResult reference_pagerank(const Graph& g,
   std::vector<double> shares(n, 0.0);  // rank / out-degree, previous round
   std::vector<double> next(n, 0.0);
 
+  // Each vertex's contribution sum stays a single serial loop over its
+  // in-neighbors, so chunking never reorders a floating-point sum — ranks
+  // are bit-identical to the sequential sweep at any pool size.
   for (std::uint32_t iter = 0; iter < params.iterations; ++iter) {
-    for (VertexId v = 0; v < n; ++v) {
-      const EdgeId deg = g.out_degree(v);
-      shares[v] = deg > 0 ? ranks[v] / static_cast<double>(deg) : 0.0;
-    }
-    for (VertexId v = 0; v < n; ++v) {
-      double sum = 0.0;
-      for (const VertexId u : g.in_neighbors(v)) sum += shares[u];
-      next[v] = pagerank_update(sum, n, params.damping);
-    }
+    run_chunks(pool, n,
+               [&](std::size_t, std::size_t begin, std::size_t end) {
+                 for (std::size_t v = begin; v < end; ++v) {
+                   const EdgeId deg = g.out_degree(static_cast<VertexId>(v));
+                   shares[v] =
+                       deg > 0 ? ranks[v] / static_cast<double>(deg) : 0.0;
+                 }
+               });
+    run_chunks(pool, n,
+               [&](std::size_t, std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   const VertexId v = static_cast<VertexId>(i);
+                   double sum = 0.0;
+                   for (const VertexId u : g.in_neighbors(v)) sum += shares[u];
+                   next[v] = pagerank_update(sum, n, params.damping);
+                 }
+               });
     ranks.swap(next);
     ++result.iterations;
   }

@@ -17,6 +17,12 @@
 //    budget (paper: 5).
 //  * STATS: vertex/edge counts and the average local clustering
 //    coefficient.
+//
+// Every entry point takes an optional ThreadPool. The hot loops are
+// chunked with ThreadPool::plan_chunks — a pure function of the problem
+// size — and per-chunk results are merged in ascending chunk order, so the
+// output is bit-identical for every pool size (null pool = same plan run
+// inline). The pool only changes wall-clock time.
 #pragma once
 
 #include <algorithm>
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "core/graph.h"
+#include "core/thread_pool.h"
 
 namespace gb::algorithms {
 
@@ -42,7 +49,8 @@ struct BfsResult {
   }
 };
 
-BfsResult reference_bfs(const Graph& g, VertexId source);
+BfsResult reference_bfs(const Graph& g, VertexId source,
+                        ThreadPool* pool = nullptr);
 
 struct ConnResult {
   std::vector<std::uint64_t> labels;
@@ -50,7 +58,7 @@ struct ConnResult {
   std::uint64_t components = 0;
 };
 
-ConnResult reference_conn(const Graph& g);
+ConnResult reference_conn(const Graph& g, ThreadPool* pool = nullptr);
 
 struct CdParams {
   double initial_score = 1.0;
@@ -75,7 +83,8 @@ struct CdResult {
   std::uint64_t communities = 0;
 };
 
-CdResult reference_cd(const Graph& g, const CdParams& params);
+CdResult reference_cd(const Graph& g, const CdParams& params,
+                      ThreadPool* pool = nullptr);
 
 /// One synchronized CD update step; shared by the reference and by every
 /// platform implementation so the semantics cannot drift. Reads the
@@ -84,7 +93,8 @@ std::uint64_t cd_step(const Graph& g, const CdParams& params,
                       const std::vector<std::uint64_t>& labels_in,
                       const std::vector<CdScore>& scores_in,
                       std::vector<std::uint64_t>& labels_out,
-                      std::vector<CdScore>& scores_out);
+                      std::vector<CdScore>& scores_out,
+                      ThreadPool* pool = nullptr);
 
 /// Receiver-side CD tally, shared by the message-passing implementations
 /// (Pregel, GAS): accumulates per-label score sums and maxima. Because
@@ -113,7 +123,7 @@ struct StatsResult {
   double average_lcc = 0.0;
 };
 
-StatsResult reference_stats(const Graph& g);
+StatsResult reference_stats(const Graph& g, ThreadPool* pool = nullptr);
 
 /// Count distinct community labels (shared helper).
 std::uint64_t count_distinct(const std::vector<std::uint64_t>& labels);
@@ -135,7 +145,8 @@ struct PageRankResult {
   std::uint64_t iterations = 0;
 };
 
-PageRankResult reference_pagerank(const Graph& g, const PageRankParams& params);
+PageRankResult reference_pagerank(const Graph& g, const PageRankParams& params,
+                                  ThreadPool* pool = nullptr);
 
 /// One synchronized PageRank update for vertex v given the previous ranks
 /// divided by out-degree (shared so no implementation drifts).

@@ -73,13 +73,21 @@ double local_clustering_coefficient(const Graph& g, VertexId v) {
   return links / possible;
 }
 
-double average_lcc(const Graph& g) {
-  if (g.num_vertices() == 0) return 0.0;
+double average_lcc(const Graph& g, ThreadPool* pool) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return 0.0;
+  const std::size_t chunks = ThreadPool::plan_chunks(n);
+  std::vector<double> partial(chunks, 0.0);
+  run_chunks(pool, n, [&](std::size_t c, std::size_t begin, std::size_t end) {
+    double sum = 0.0;
+    for (std::size_t v = begin; v < end; ++v) {
+      sum += local_clustering_coefficient(g, static_cast<VertexId>(v));
+    }
+    partial[c] = sum;
+  });
   double total = 0.0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    total += local_clustering_coefficient(g, v);
-  }
-  return total / static_cast<double>(g.num_vertices());
+  for (const double sum : partial) total += sum;
+  return total / static_cast<double>(n);
 }
 
 DegreeDistribution degree_distribution(const Graph& g) {

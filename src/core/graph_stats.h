@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "core/graph.h"
+#include "core/thread_pool.h"
 
 namespace gb {
 
@@ -37,8 +38,11 @@ EdgeId sorted_intersection_count(std::span<const VertexId> a,
 /// implementations on the tested platforms.
 double local_clustering_coefficient(const Graph& g, VertexId v);
 
-/// Average LCC over all vertices (the STATS headline output).
-double average_lcc(const Graph& g);
+/// Average LCC over all vertices (the STATS headline output). The sum is
+/// chunked deterministically (ThreadPool::plan_chunks) and merged in
+/// chunk order, so the value is bit-identical at every pool size — a null
+/// pool runs the same plan inline.
+double average_lcc(const Graph& g, ThreadPool* pool = nullptr);
 
 /// Number of edges between the neighbors of v (triangle counting kernel).
 EdgeId edges_between_neighbors(const Graph& g, VertexId v);

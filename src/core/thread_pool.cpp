@@ -5,6 +5,13 @@
 #include <exception>
 
 namespace gb {
+namespace {
+
+// Set for the duration of worker_loop so nested parallel calls from a
+// worker onto its own pool can be detected and run inline.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -28,23 +35,27 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
+      if (stop_ && tasks_.empty()) break;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
   }
+  tl_worker_pool = nullptr;
 }
+
+bool ThreadPool::on_worker_thread() const { return tl_worker_pool == this; }
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
-  if (size_ == 1 || n < 2) {
+  if (size_ == 1 || n < 2 || on_worker_thread()) {
     fn(0, n);
     return;
   }
@@ -85,9 +96,99 @@ void ThreadPool::parallel_for(
   if (first_error) std::rethrow_exception(first_error);
 }
 
+std::size_t ThreadPool::plan_chunks(std::size_t n, std::size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return std::min(kMaxChunks, (n + grain - 1) / grain);
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk_range(std::size_t n,
+                                                            std::size_t chunks,
+                                                            std::size_t c) {
+  const std::size_t per = (n + chunks - 1) / chunks;
+  const std::size_t begin = std::min(n, c * per);
+  const std::size_t end = std::min(n, begin + per);
+  return {begin, end};
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t n, std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0 || chunks == 0) return;
+  if (size_ == 1 || chunks == 1 || on_worker_thread()) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const auto [begin, end] = chunk_range(n, chunks, c);
+      fn(c, begin, end);
+    }
+    return;
+  }
+
+  // One claiming task per worker (bounded by chunks); each task drains
+  // chunks off a shared cursor so a slow chunk cannot stall the rest.
+  const std::size_t tasks = std::min(size_, chunks);
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+
+  std::atomic<std::size_t> remaining{tasks};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::condition_variable done_cv;
+  std::mutex done_mutex;
+
+  for (std::size_t t = 0; t < tasks; ++t) {
+    auto task = [&, cursor, n, chunks] {
+      try {
+        for (;;) {
+          const std::size_t c = cursor->fetch_add(1);
+          if (c >= chunks) break;
+          const auto [begin, end] = chunk_range(n, chunks, c);
+          fn(c, begin, end);
+        }
+      } catch (...) {
+        cursor->store(chunks);  // fail fast: stop handing out chunks
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_one();
+      }
+    };
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
+}
+
+ThreadPool& ThreadPool::serial() {
+  static ThreadPool pool(1);
+  return pool;
+}
+
+void run_chunks(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  const std::size_t chunks = ThreadPool::plan_chunks(n, grain);
+  if (chunks == 0) return;
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_chunks(n, chunks, fn);
+    return;
+  }
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const auto [begin, end] = ThreadPool::chunk_range(n, chunks, c);
+    fn(c, begin, end);
+  }
 }
 
 }  // namespace gb

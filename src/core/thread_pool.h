@@ -1,9 +1,25 @@
-// Minimal work-sharing thread pool with a blocked-range parallel_for.
+// Minimal work-sharing thread pool with a blocked-range parallel_for and
+// a deterministically chunked parallel_chunks.
 //
 // Platform engines use it to run per-partition work concurrently on the
 // host while the *simulated* cluster time is accounted separately by the
 // cost model. On a single-core host the pool degrades to serial execution
 // with no thread creation.
+//
+// Determinism contract: `parallel_for` splits [0, n) into one block per
+// worker, so the split depends on the pool size — fine for loops whose
+// result is independent of the split (disjoint element writes), wrong for
+// anything that accumulates per-block state. Engines that need
+// bit-identical results at any thread count use `plan_chunks` +
+// `parallel_chunks` (or the `run_chunks` helper): the chunk plan is a pure
+// function of n alone, and per-chunk accumulators are merged by the caller
+// serially in ascending chunk order. The serial path executes the *same*
+// plan inline, so parallelism only changes wall-clock time, never output.
+//
+// Nested calls: a worker thread that re-enters parallel_for /
+// parallel_chunks on the pool it belongs to runs the loop inline instead
+// of enqueueing (enqueueing from a worker can deadlock once every worker
+// blocks waiting for tasks nobody is free to run).
 #pragma once
 
 #include <condition_variable>
@@ -12,12 +28,21 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace gb {
 
 class ThreadPool {
  public:
+  /// Default chunk size for plan_chunks: small enough to split the
+  /// generator graphs used in tests, large enough that per-chunk
+  /// dispatch overhead is noise on real datasets.
+  static constexpr std::size_t kDefaultGrain = 512;
+  /// Upper bound on chunks per loop; caps serial merge cost and keeps
+  /// chunked floating-point sums short.
+  static constexpr std::size_t kMaxChunks = 64;
+
   /// threads == 0 picks hardware_concurrency(); a pool of size 1 runs
   /// tasks inline on the caller, avoiding thread overhead entirely.
   explicit ThreadPool(std::size_t threads = 0);
@@ -30,15 +55,40 @@ class ThreadPool {
 
   /// Run fn(begin, end) over [0, n) split into roughly equal blocks, one
   /// per worker, and wait for completion. Exceptions from workers are
-  /// rethrown on the caller (first one wins).
+  /// rethrown on the caller (first one wins). The split depends on the
+  /// pool size — use only when the result does not depend on the split.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
-  /// Process-wide default pool.
+  /// Deterministic chunk count for a loop of n iterations: a pure
+  /// function of n (and grain), never of the pool size. 0 when n == 0.
+  static std::size_t plan_chunks(std::size_t n,
+                                 std::size_t grain = kDefaultGrain);
+
+  /// Half-open range [begin, end) of chunk c under the fixed plan.
+  static std::pair<std::size_t, std::size_t> chunk_range(std::size_t n,
+                                                         std::size_t chunks,
+                                                         std::size_t c);
+
+  /// Run fn(chunk, begin, end) for every chunk in [0, chunks) with ranges
+  /// from chunk_range(n, chunks, c), and wait for completion. Chunks may
+  /// execute in any order and concurrently; callers needing determinism
+  /// keep per-chunk state and merge it in ascending chunk order after the
+  /// call returns. Exceptions: first one wins, rethrown on the caller.
+  void parallel_chunks(
+      std::size_t n, std::size_t chunks,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// Process-wide default pool (hardware concurrency).
   static ThreadPool& global();
+
+  /// Process-wide pool of size 1 — the `parallelism=1` serial baseline.
+  static ThreadPool& serial();
 
  private:
   void worker_loop();
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
 
   std::size_t size_;
   std::vector<std::thread> workers_;
@@ -47,5 +97,15 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+/// Deterministically chunked loop: executes the plan_chunks(n, grain) plan
+/// via `pool` when it can run concurrently, otherwise inline in ascending
+/// chunk order on the caller. A null pool means "serial". Results must be
+/// assembled per chunk and merged in chunk order by the caller; under that
+/// rule the output is bit-identical for every pool size, including null.
+void run_chunks(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    std::size_t grain = ThreadPool::kDefaultGrain);
 
 }  // namespace gb

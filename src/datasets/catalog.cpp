@@ -71,7 +71,7 @@ Graph generate_raw(const DatasetInfo& meta, double scale, std::uint64_t seed) {
       return ring_community_graph(scaled_v(1.01), /*communities=*/46,
                                   /*avg_degree=*/55.5, /*local_p=*/0.80,
                                   /*neighbor_p=*/0.20, /*core_fraction=*/0.55,
-                                  seed);
+                                  /*core_pull=*/0.45, seed);
   }
   throw Error("unknown dataset id");
 }

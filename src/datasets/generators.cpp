@@ -258,7 +258,8 @@ Graph citation_dag(VertexId n, double avg_refs, VertexId window, double copy_p,
 
 Graph ring_community_graph(VertexId n, VertexId communities, double avg_degree,
                            double local_p, double neighbor_p,
-                           double core_fraction, std::uint64_t seed) {
+                           double core_fraction, double core_pull,
+                           std::uint64_t seed) {
   GraphBuilder builder(n, /*directed=*/false);
   Xoshiro256 rng(seed);
   // Vertices [0, core_size) form the metro core (community 0); the rest
@@ -282,7 +283,11 @@ Graph ring_community_graph(VertexId n, VertexId communities, double avg_degree,
   const EdgeId target_edges =
       static_cast<EdgeId>(avg_degree * static_cast<double>(n) / 2.0);
   for (EdgeId e = 0; e < target_edges; ++e) {
-    const VertexId u = static_cast<VertexId>(rng.next_below(n));
+    // The metro core pulls in extra endpoints: redirect the source there
+    // with probability `core_pull`, otherwise draw uniformly.
+    const VertexId u = rng.next_bool(core_pull)
+                           ? random_in_community(0)
+                           : static_cast<VertexId>(rng.next_below(n));
     const VertexId cu = community_of(u);
     VertexId cv;
     const double r = rng.next_double();

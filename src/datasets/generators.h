@@ -79,8 +79,13 @@ Graph citation_dag(VertexId n, double avg_refs, VertexId window, double copy_p,
 /// `core_fraction` of all vertices: when a BFS wave reaches it, the
 /// frontier explodes to a large share of the graph in one step — the
 /// message burst that crashes in-memory platforms at full scale.
+/// `core_pull` biases edge placement toward the core: with that
+/// probability an edge's source is re-drawn from community 0 instead of
+/// uniformly, concentrating endpoint mass there the way the crawl's
+/// densely connected center does.
 Graph ring_community_graph(VertexId n, VertexId communities, double avg_degree,
                            double local_p, double neighbor_p,
-                           double core_fraction, std::uint64_t seed);
+                           double core_fraction, double core_pull,
+                           std::uint64_t seed);
 
 }  // namespace gb::datasets

@@ -1,5 +1,7 @@
 #include "harness/experiment.h"
 
+#include <chrono>
+
 #include "core/error.h"
 #include "core/rng.h"
 
@@ -29,6 +31,8 @@ Measurement run_cell(const platforms::Platform& platform,
                      const platforms::AlgorithmParams& params,
                      sim::Cluster& cluster) {
   Measurement m;
+  m.host_threads = cluster.pool().size();
+  const auto wall_start = std::chrono::steady_clock::now();
   try {
     m.result = platform.run(dataset, algorithm, params, cluster);
     m.outcome = Outcome::kOk;
@@ -49,6 +53,10 @@ Measurement run_cell(const platforms::Platform& platform,
     }
     m.message = e.what();
   }
+  m.host_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return m;
 }
 

@@ -20,6 +20,11 @@ struct Measurement {
   Outcome outcome = Outcome::kError;
   platforms::RunResult result;
   std::string message;
+  /// Host-side observability (not part of the simulated result): how many
+  /// pool threads drove the engines and how long the run took on the
+  /// wall. Deterministic replays must ignore host_wall_seconds.
+  std::size_t host_threads = 1;
+  double host_wall_seconds = 0.0;
 
   bool ok() const { return outcome == Outcome::kOk; }
   SimTime time() const { return result.total_time; }

@@ -146,6 +146,10 @@ std::string measurement_to_json(const std::string& platform,
   json.value(algorithm);
   json.key("outcome");
   json.value(outcome_label(measurement.outcome));
+  json.key("host_threads");
+  json.value(static_cast<std::uint64_t>(measurement.host_threads));
+  json.key("host_wall_sec");
+  json.value(measurement.host_wall_seconds);
   if (measurement.ok()) {
     json.key("total_time_sec");
     json.value(measurement.result.total_time);

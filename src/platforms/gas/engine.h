@@ -16,7 +16,9 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -191,7 +193,25 @@ GasStats run_sync(const Graph& graph, const Program& program,
   // ---- synchronous GAS iterations ------------------------------------------
   GasStats stats;
   stats.replication_factor = n > 0 ? total_mirrors / n : 1.0;
-  std::vector<std::uint8_t> next_active(n, 0);
+
+  // Host-parallel iteration body: vertices are chunked by the fixed
+  // plan_chunks(n) plan; each chunk gathers/applies over its own disjoint
+  // vertex range against the shared read-only snapshot and keeps private
+  // accumulators (all integer-valued, so the chunk-order merge is exact).
+  // Scatter activation is the one cross-chunk write; it goes through a
+  // relaxed atomic flag array — only the constant 1 is ever stored, so the
+  // resulting active set is schedule-independent.
+  ThreadPool* const pool = &cluster.pool();
+  const std::size_t chunks = ThreadPool::plan_chunks(n);
+  struct ChunkState {
+    std::uint64_t active_count = 0;
+    double edge_work = 0.0;
+    double extra = 0.0;
+    double sync_bytes = 0.0;
+  };
+  std::vector<ChunkState> chunk_states(chunks);
+  const std::unique_ptr<std::atomic<std::uint8_t>[]> next_active(
+      n > 0 ? new std::atomic<std::uint8_t>[n] : nullptr);
 
   for (std::uint32_t iter = 0; iter < config.max_iterations; ++iter) {
     if (recorder.now() > time_limit) {
@@ -202,52 +222,74 @@ GasStats run_sync(const Graph& graph, const Program& program,
     double edge_work = 0.0;
     double extra = 0.0;
     double sync_bytes = 0.0;
-    std::fill(next_active.begin(), next_active.end(), 0);
+    run_chunks(pool, n, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t v = begin; v < end; ++v) {
+        next_active[v].store(0, std::memory_order_relaxed);
+      }
+    });
 
     // Synchronous engine semantics: gathers observe the values from the
     // previous iteration, exactly like GraphLab's sync mode snapshots.
     const std::vector<typename Program::VData> snapshot = data;
 
-    for (VertexId v = 0; v < n; ++v) {
-      if (!active[v]) continue;
-      ++active_count;
-      auto acc = program.gather_init();
-      if constexpr (Program::kGatherDir != EdgeDir::kOut) {
-        for (const VertexId u : graph.in_neighbors(v)) {
-          program.gather(v, u, snapshot[u], acc);
-        }
-        edge_work += static_cast<double>(graph.in_degree(v));
-      }
-      if constexpr (Program::kGatherDir != EdgeDir::kIn) {
-        if (graph.directed() || Program::kGatherDir == EdgeDir::kOut) {
-          for (const VertexId u : graph.out_neighbors(v)) {
+    run_chunks(pool, n, [&](std::size_t c, std::size_t begin,
+                            std::size_t end) {
+      ChunkState& cs = chunk_states[c];
+      cs = ChunkState{};
+      for (std::size_t i = begin; i < end; ++i) {
+        const VertexId v = static_cast<VertexId>(i);
+        if (!active[v]) continue;
+        ++cs.active_count;
+        auto acc = program.gather_init();
+        if constexpr (Program::kGatherDir != EdgeDir::kOut) {
+          for (const VertexId u : graph.in_neighbors(v)) {
             program.gather(v, u, snapshot[u], acc);
           }
-          edge_work += static_cast<double>(graph.out_degree(v));
+          cs.edge_work += static_cast<double>(graph.in_degree(v));
         }
-      }
-      extra += program.extra_units(v);
-      const bool changed = program.apply(v, data[v], acc, iter);
-      if (config.partitioning == Partitioning::kVertexCut) {
-        sync_bytes += (mirrors[v] - 1) *
-                      (config.vertex_data_bytes + config.mirror_header_bytes);
-      } else {
-        // Edge-cut: every cut edge of an active vertex carries a message.
-        sync_bytes += cut_degree[v] *
-                      (config.vertex_data_bytes + config.mirror_header_bytes);
-      }
-      if (changed) {
-        if constexpr (Program::kScatterDir != EdgeDir::kIn) {
-          for (const VertexId u : graph.out_neighbors(v)) next_active[u] = 1;
-          edge_work += static_cast<double>(graph.out_degree(v));
+        if constexpr (Program::kGatherDir != EdgeDir::kIn) {
+          if (graph.directed() || Program::kGatherDir == EdgeDir::kOut) {
+            for (const VertexId u : graph.out_neighbors(v)) {
+              program.gather(v, u, snapshot[u], acc);
+            }
+            cs.edge_work += static_cast<double>(graph.out_degree(v));
+          }
         }
-        if constexpr (Program::kScatterDir != EdgeDir::kOut) {
-          if (graph.directed()) {
-            for (const VertexId u : graph.in_neighbors(v)) next_active[u] = 1;
-            edge_work += static_cast<double>(graph.in_degree(v));
+        cs.extra += program.extra_units(v);
+        const bool changed = program.apply(v, data[v], acc, iter);
+        if (config.partitioning == Partitioning::kVertexCut) {
+          cs.sync_bytes +=
+              (mirrors[v] - 1) *
+              (config.vertex_data_bytes + config.mirror_header_bytes);
+        } else {
+          // Edge-cut: every cut edge of an active vertex carries a message.
+          cs.sync_bytes +=
+              cut_degree[v] *
+              (config.vertex_data_bytes + config.mirror_header_bytes);
+        }
+        if (changed) {
+          if constexpr (Program::kScatterDir != EdgeDir::kIn) {
+            for (const VertexId u : graph.out_neighbors(v)) {
+              next_active[u].store(1, std::memory_order_relaxed);
+            }
+            cs.edge_work += static_cast<double>(graph.out_degree(v));
+          }
+          if constexpr (Program::kScatterDir != EdgeDir::kOut) {
+            if (graph.directed()) {
+              for (const VertexId u : graph.in_neighbors(v)) {
+                next_active[u].store(1, std::memory_order_relaxed);
+              }
+              cs.edge_work += static_cast<double>(graph.in_degree(v));
+            }
           }
         }
       }
+    });
+    for (const ChunkState& cs : chunk_states) {
+      active_count += cs.active_count;
+      edge_work += cs.edge_work;
+      extra += cs.extra;
+      sync_bytes += cs.sync_bytes;
     }
     if (active_count == 0) break;
 
@@ -276,7 +318,11 @@ GasStats run_sync(const Graph& graph, const Program& program,
                               .worker_net_in_bps = cost.net_bps * 0.4,
                               .worker_net_out_bps = cost.net_bps * 0.4});
     ++stats.iterations;
-    active.swap(next_active);
+    run_chunks(pool, n, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t v = begin; v < end; ++v) {
+        active[v] = next_active[v].load(std::memory_order_relaxed);
+      }
+    });
   }
 
   charge_write(graph, cluster, recorder, partition_bytes);
@@ -294,6 +340,11 @@ GasStats run_sync(const Graph& graph, const Program& program,
 /// Program concept: same as run_sync, except apply() receives the update
 /// count so far instead of an iteration number, and the engine requires
 /// idempotent, monotone updates (documented per program).
+///
+/// This engine is intentionally host-serial: its whole point is the
+/// sequential work-queue semantics (each update observes every earlier
+/// one), which has no deterministic chunk decomposition. The paper runs
+/// GraphLab synchronously anyway; run_sync is the parallel path.
 template <typename Program>
 GasStats run_async(const Graph& graph, const Program& program,
                    std::vector<typename Program::VData>& data,

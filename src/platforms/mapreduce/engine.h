@@ -273,6 +273,14 @@ MRStats run_iterative(const Graph& graph, Job& job,
   std::vector<std::pair<VertexId, Msg>> outbox;
   GroupedMessages<Msg> grouped;
 
+  // Host-parallel map/reduce waves over the fixed plan_chunks(n) plan:
+  // each chunk maps into a private outbox (concatenated in chunk order =
+  // the serial emission order) and reduces its own disjoint state range.
+  ThreadPool* const pool = &cluster.pool();
+  const std::size_t chunks = ThreadPool::plan_chunks(n);
+  std::vector<std::vector<std::pair<VertexId, Msg>>> chunk_outbox(chunks);
+  std::vector<std::uint64_t> chunk_changed(chunks, 0);
+
   for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
     if (recorder.now() > time_limit) {
       throw PlatformError(PlatformError::Kind::kTimeout,
@@ -280,16 +288,35 @@ MRStats run_iterative(const Graph& graph, Job& job,
     }
     job.iteration = iter;
     outbox.clear();
-    MapEmitter<Msg> emitter(outbox);
-    for (VertexId v = 0; v < n; ++v) job.map(v, state[v], graph, emitter);
+    run_chunks(pool, n, [&](std::size_t c, std::size_t begin,
+                            std::size_t end) {
+      auto& out = chunk_outbox[c];
+      out.clear();
+      MapEmitter<Msg> emitter(out);
+      for (std::size_t v = begin; v < end; ++v) {
+        job.map(static_cast<VertexId>(v), state[v], graph, emitter);
+      }
+    });
+    for (auto& out : chunk_outbox) {
+      outbox.insert(outbox.end(), out.begin(), out.end());
+    }
 
     // Group messages by destination (the shuffle, executed for real).
     group_by_destination(outbox, n, grouped);
 
     std::uint64_t changed = 0;
-    for (VertexId v = 0; v < n; ++v) {
-      if (job.reduce(v, state[v], graph, grouped.for_vertex(v))) ++changed;
-    }
+    run_chunks(pool, n, [&](std::size_t c, std::size_t begin,
+                            std::size_t end) {
+      std::uint64_t count = 0;
+      for (std::size_t v = begin; v < end; ++v) {
+        if (job.reduce(static_cast<VertexId>(v), state[v], graph,
+                       grouped.for_vertex(static_cast<VertexId>(v)))) {
+          ++count;
+        }
+      }
+      chunk_changed[c] = count;
+    });
+    for (const std::uint64_t count : chunk_changed) changed += count;
 
     detail::IterationVolume volume;
     const double structure_bytes =

@@ -239,6 +239,24 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
   std::vector<M> inbox;                   // grouped by destination
   std::vector<EdgeId> inbox_offsets(n + 1, 0);
 
+  // Host-parallel vertex compute: the vertex range is split by the fixed
+  // plan_chunks(n) plan (never by pool size); each chunk owns a private
+  // outbox and accumulator set, merged below in ascending chunk order so
+  // every output — including the outbox message order — matches a serial
+  // sweep bit for bit.
+  ThreadPool* const pool = &cluster.pool();
+  const std::size_t chunks = ThreadPool::plan_chunks(n);
+  struct ChunkState {
+    std::vector<std::pair<VertexId, M>> outbox;
+    double aggregate = 0.0;
+    double extra_units = 0.0;
+    double lalp_saved = 0.0;
+    std::uint64_t active = 0;
+    std::uint64_t received = 0;
+    bool adjacency_broadcast = false;
+  };
+  std::vector<ChunkState> chunk_states(chunks);
+
   // Combiner scratch (epoch-stamped so it resets in O(1) per superstep).
   std::vector<std::pair<VertexId, M>> combined;
   std::vector<std::uint32_t> combine_slot;
@@ -269,36 +287,61 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
     std::uint64_t active = 0;
     std::uint64_t received = 0;
 
-    Context<V, M> ctx;
-    ctx.graph_ = &graph;
-    ctx.superstep_ = step;
-    ctx.adjacency_delivered_ = adjacency_pending;
-    ctx.lalp_threshold_ = config.lalp_threshold;
-    ctx.num_workers_ = workers;
-    ctx.outbox_ = &outbox;
-    ctx.adjacency_broadcast_ = &adjacency_broadcast;
-    ctx.extra_units_ = &extra_units;
-    ctx.lalp_saved_messages_ = &lalp_saved;
-    ctx.aggregate_next_ = &aggregate_next;
-    ctx.aggregate_prev_ = aggregate_prev;
+    run_chunks(pool, n, [&](std::size_t c, std::size_t begin,
+                            std::size_t end) {
+      ChunkState& cs = chunk_states[c];
+      cs.outbox.clear();
+      cs.aggregate = 0.0;
+      cs.extra_units = 0.0;
+      cs.lalp_saved = 0.0;
+      cs.active = 0;
+      cs.received = 0;
+      cs.adjacency_broadcast = false;
 
-    for (VertexId v = 0; v < n; ++v) {
-      const bool has_msgs =
-          have_inbox && inbox_offsets[v] != inbox_offsets[v + 1];
-      if (halted[v] && !has_msgs && !adjacency_pending) continue;
-      halted[v] = 0;
-      ++active;
-      bool halt = false;
-      ctx.id_ = v;
-      ctx.halt_ = &halt;
-      std::span<const M> msgs;
-      if (has_msgs) {
-        msgs = {inbox.data() + inbox_offsets[v],
-                inbox.data() + inbox_offsets[v + 1]};
-        received += msgs.size();
+      Context<V, M> ctx;
+      ctx.graph_ = &graph;
+      ctx.superstep_ = step;
+      ctx.adjacency_delivered_ = adjacency_pending;
+      ctx.lalp_threshold_ = config.lalp_threshold;
+      ctx.num_workers_ = workers;
+      ctx.outbox_ = &cs.outbox;
+      ctx.adjacency_broadcast_ = &cs.adjacency_broadcast;
+      ctx.extra_units_ = &cs.extra_units;
+      ctx.lalp_saved_messages_ = &cs.lalp_saved;
+      ctx.aggregate_next_ = &cs.aggregate;
+      ctx.aggregate_prev_ = aggregate_prev;
+
+      for (std::size_t i = begin; i < end; ++i) {
+        const VertexId v = static_cast<VertexId>(i);
+        const bool has_msgs =
+            have_inbox && inbox_offsets[v] != inbox_offsets[v + 1];
+        if (halted[v] && !has_msgs && !adjacency_pending) continue;
+        halted[v] = 0;
+        ++cs.active;
+        bool halt = false;
+        ctx.id_ = v;
+        ctx.halt_ = &halt;
+        std::span<const M> msgs;
+        if (has_msgs) {
+          msgs = {inbox.data() + inbox_offsets[v],
+                  inbox.data() + inbox_offsets[v + 1]};
+          cs.received += msgs.size();
+        }
+        program.compute(ctx, values[v], msgs);
+        if (halt) halted[v] = 1;
       }
-      program.compute(ctx, values[v], msgs);
-      if (halt) halted[v] = 1;
+    });
+
+    // Fixed-order merge: chunk outboxes concatenate to exactly the message
+    // order a serial vertex sweep would have produced.
+    for (ChunkState& cs : chunk_states) {
+      outbox.insert(outbox.end(), cs.outbox.begin(), cs.outbox.end());
+      aggregate_next += cs.aggregate;
+      extra_units += cs.extra_units;
+      lalp_saved += cs.lalp_saved;
+      active += cs.active;
+      received += cs.received;
+      adjacency_broadcast |= cs.adjacency_broadcast;
     }
 
     // ---- combiner --------------------------------------------------------

@@ -6,6 +6,15 @@
 
 namespace gb::sim {
 
+ThreadPool& Cluster::pool() const {
+  if (config_.parallelism == 1) return ThreadPool::serial();
+  if (config_.parallelism == 0) return ThreadPool::global();
+  if (!own_pool_) {
+    own_pool_ = std::make_unique<ThreadPool>(config_.parallelism);
+  }
+  return *own_pool_;
+}
+
 void Cluster::check_heap(double scaled_bytes, const std::string& what) const {
   if (scaled_bytes <= static_cast<double>(cost().heap_limit)) return;
   std::ostringstream msg;

@@ -13,9 +13,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "core/types.h"
 #include "sim/cost_model.h"
 #include "sim/monitor.h"
@@ -27,6 +29,10 @@ struct ClusterConfig {
   std::uint32_t cores_per_worker = 1;
   CostModel cost;
   double work_scale = 1.0;
+  /// Host threads driving the engines: 0 = hardware concurrency,
+  /// 1 = serial, N = a dedicated pool of N. Affects wall-clock only —
+  /// results and simulated times are bit-identical at every setting.
+  std::uint32_t parallelism = 0;
 };
 
 class Cluster {
@@ -44,6 +50,12 @@ class Cluster {
   std::uint32_t total_slots() const {
     return config_.num_workers * config_.cores_per_worker;
   }
+
+  /// Host thread pool the engines run their per-partition work on,
+  /// selected by `config.parallelism`. Engines must route any
+  /// order-sensitive work through run_chunks so that this is a pure
+  /// wall-clock knob (see DESIGN.md, "Parallel execution & determinism").
+  ThreadPool& pool() const;
 
   /// Extrapolate a count of work units (ops, records) to full-size work.
   double scale_units(double units) const { return units * config_.work_scale; }
@@ -88,6 +100,9 @@ class Cluster {
   ClusterConfig config_;
   UsageTrace master_trace_;
   std::vector<UsageTrace> worker_traces_;
+  // Lazily created when parallelism names an explicit size (> 1); the
+  // 0 / 1 settings use the shared global() / serial() pools instead.
+  mutable std::unique_ptr<ThreadPool> own_pool_;
 };
 
 }  // namespace gb::sim

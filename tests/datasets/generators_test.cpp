@@ -128,7 +128,7 @@ TEST(Generators, CitationDagMostlyWithinWindow) {
 
 TEST(Generators, RingCommunityGraphHasLongDiameter) {
   const Graph g = largest_component(
-      ring_community_graph(4000, 20, 10.0, 0.8, 0.2, 0.3, 9));
+      ring_community_graph(4000, 20, 10.0, 0.8, 0.2, 0.3, /*core_pull=*/0.0, 9));
   // BFS depth should be on the order of communities/2, far above the
   // ~3-4 hops an Erdos-Renyi graph of this density would have.
   std::vector<int> level(g.num_vertices(), -1);

@@ -1,0 +1,89 @@
+// Determinism under repetition: the same (platform, dataset, algorithm,
+// seed) cell, run repeatedly with the multi-threaded pool, must serialize
+// to the same report JSON every time. Only host_wall_sec — real
+// wall-clock, explicitly excluded from the determinism contract — is
+// stripped before comparing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/platform_suite.h"
+#include "datasets/catalog.h"
+#include "harness/experiment.h"
+#include "harness/json.h"
+
+namespace gb::algorithms {
+namespace {
+
+using platforms::Algorithm;
+
+/// Remove the "host_wall_sec" member (key and value) from a compact JSON
+/// object; everything else must match bit for bit.
+std::string strip_wall_clock(std::string json) {
+  const std::string key = "\"host_wall_sec\":";
+  const auto start = json.find(key);
+  if (start == std::string::npos) return json;
+  auto end = start + key.size();
+  while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+  if (end < json.size() && json[end] == ',') ++end;  // eat the separator
+  json.erase(start, end - start);
+  return json;
+}
+
+TEST(ParallelDeterminism, StripHelperRemovesOnlyTheWallClock) {
+  EXPECT_EQ(strip_wall_clock("{\"a\":1,\"host_wall_sec\":0.125,\"b\":2}"),
+            "{\"a\":1,\"b\":2}");
+  EXPECT_EQ(strip_wall_clock("{\"host_wall_sec\":3}"), "{}");
+  EXPECT_EQ(strip_wall_clock("{\"a\":1}"), "{\"a\":1}");
+}
+
+std::string run_report(const platforms::Platform& platform,
+                       const datasets::Dataset& ds, Algorithm algorithm) {
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.parallelism = 0;  // all hardware threads
+  const auto params = harness::default_params(ds);
+  const auto m = harness::run_cell(platform, ds, algorithm, params, cfg);
+  return harness::measurement_to_json(platform.name(), ds.name,
+                                      platforms::algorithm_name(algorithm), m);
+}
+
+TEST(ParallelDeterminism, RepeatedRunsProduceIdenticalReports) {
+  const auto ds = datasets::generate(datasets::DatasetId::kKGS, 0.01, 7);
+  const struct {
+    std::unique_ptr<platforms::Platform> platform;
+    Algorithm algorithm;
+  } cells[] = {
+      {make_giraph(), Algorithm::kBfs},
+      {make_graphlab(), Algorithm::kConn},
+      {make_hadoop(), Algorithm::kCd},
+      {make_stratosphere(), Algorithm::kPageRank},
+      {make_neo4j(), Algorithm::kStats},
+  };
+  for (const auto& cell : cells) {
+    SCOPED_TRACE(cell.platform->name());
+    const std::string first =
+        strip_wall_clock(run_report(*cell.platform, ds, cell.algorithm));
+    EXPECT_NE(first.find("\"host_threads\""), std::string::npos);
+    for (int rep = 1; rep < 5; ++rep) {
+      const std::string again =
+          strip_wall_clock(run_report(*cell.platform, ds, cell.algorithm));
+      EXPECT_EQ(again, first) << "repetition " << rep;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, RegeneratedDatasetDoesNotPerturbReports) {
+  // The full chain — generator, engine, JSON — is a pure function of the
+  // seed even when every stage is rebuilt from scratch.
+  const auto a = datasets::generate(datasets::DatasetId::kCitation, 0.005, 3);
+  const auto b = datasets::generate(datasets::DatasetId::kCitation, 0.005, 3);
+  const auto giraph = make_giraph();
+  EXPECT_EQ(strip_wall_clock(run_report(*giraph, a, Algorithm::kPageRank)),
+            strip_wall_clock(run_report(*giraph, b, Algorithm::kPageRank)));
+}
+
+}  // namespace
+}  // namespace gb::algorithms

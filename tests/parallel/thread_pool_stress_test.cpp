@@ -1,0 +1,229 @@
+// Stress and edge-case coverage for the thread pool's deterministic
+// chunking layer: nested calls, zero-length ranges, exception semantics,
+// inline execution on size-1 pools, and concurrent external callers.
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+namespace gb {
+namespace {
+
+using ChunkPlan = std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>;
+
+/// Record every (chunk, begin, end) triple run_chunks issues, sorted by
+/// chunk index so concurrent execution order does not matter.
+ChunkPlan record_plan(ThreadPool* pool, std::size_t n) {
+  std::mutex mu;
+  ChunkPlan plan;
+  run_chunks(pool, n, [&](std::size_t c, std::size_t begin, std::size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    plan.emplace_back(c, begin, end);
+  });
+  std::sort(plan.begin(), plan.end());
+  return plan;
+}
+
+TEST(ThreadPoolPlan, PlanChunksIsPureFunctionOfN) {
+  EXPECT_EQ(ThreadPool::plan_chunks(0), 0u);
+  EXPECT_EQ(ThreadPool::plan_chunks(1), 1u);
+  EXPECT_EQ(ThreadPool::plan_chunks(ThreadPool::kDefaultGrain), 1u);
+  EXPECT_EQ(ThreadPool::plan_chunks(ThreadPool::kDefaultGrain + 1), 2u);
+  // Large loops hit the cap, bounding the serial merge cost.
+  EXPECT_EQ(ThreadPool::plan_chunks(10'000'000), ThreadPool::kMaxChunks);
+  // A zero grain is clamped rather than dividing by zero.
+  EXPECT_EQ(ThreadPool::plan_chunks(10, 0), 10u);
+}
+
+TEST(ThreadPoolPlan, ChunkRangesTileTheRangeExactly) {
+  for (const std::size_t n : {1u, 7u, 512u, 513u, 1024u, 4097u, 100'000u}) {
+    const std::size_t chunks = ThreadPool::plan_chunks(n);
+    std::size_t expected_begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const auto [begin, end] = ThreadPool::chunk_range(n, chunks, c);
+      EXPECT_EQ(begin, expected_begin) << "n=" << n << " c=" << c;
+      EXPECT_LE(begin, end);
+      expected_begin = end;
+    }
+    EXPECT_EQ(expected_begin, n) << "n=" << n;
+  }
+}
+
+TEST(ThreadPoolPlan, PlanIdenticalForEveryPoolSize) {
+  const std::size_t n = 5000;
+  const ChunkPlan baseline = record_plan(nullptr, n);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(record_plan(&ThreadPool::serial(), n), baseline);
+  ThreadPool three(3);
+  EXPECT_EQ(record_plan(&three, n), baseline);
+  EXPECT_EQ(record_plan(&ThreadPool::global(), n), baseline);
+}
+
+TEST(ThreadPoolPlan, NullPoolRunsChunksInAscendingOrder) {
+  std::vector<std::size_t> order;
+  run_chunks(nullptr, 5000,
+             [&](std::size_t c, std::size_t, std::size_t) { order.push_back(c); });
+  ASSERT_GT(order.size(), 1u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ThreadPoolStress, ZeroLengthRangeIssuesNoChunks) {
+  bool called = false;
+  const auto fn = [&](std::size_t, std::size_t, std::size_t) { called = true; };
+  run_chunks(nullptr, 0, fn);
+  run_chunks(&ThreadPool::global(), 0, fn);
+  ThreadPool pool(2);
+  pool.parallel_chunks(0, ThreadPool::plan_chunks(0), fn);
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolStress, PoolOfOneRunsChunksInlineOnCaller) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::set<std::thread::id> seen;
+  pool.parallel_chunks(4096, ThreadPool::plan_chunks(4096),
+                       [&](std::size_t, std::size_t, std::size_t) {
+                         seen.insert(std::this_thread::get_id());
+                       });
+  EXPECT_EQ(seen, std::set<std::thread::id>{caller});
+}
+
+TEST(ThreadPoolStress, SerialSingletonIsSizeOneAndStable) {
+  ThreadPool& a = ThreadPool::serial();
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(&a, &ThreadPool::serial());
+}
+
+TEST(ThreadPoolStress, GlobalSingletonIsStableAcrossUses) {
+  ThreadPool& pool = ThreadPool::global();
+  EXPECT_EQ(&pool, &ThreadPool::global());
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> covered{0};
+    run_chunks(&pool, 2048, [&](std::size_t, std::size_t begin, std::size_t end) {
+      covered.fetch_add(end - begin);
+    });
+    EXPECT_EQ(covered.load(), 2048u);
+  }
+}
+
+TEST(ThreadPoolStress, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> inner_total{0};
+  pool.parallel_for(64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // Re-entering the pool from one of its workers must not enqueue
+      // (all workers could block waiting on each other) — it runs inline.
+      pool.parallel_for(10, [&](std::size_t b, std::size_t e) {
+        inner_total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 64u * 10u);
+}
+
+TEST(ThreadPoolStress, NestedRunChunksCoversEverything) {
+  ThreadPool& pool = ThreadPool::global();
+  std::atomic<std::size_t> total{0};
+  run_chunks(&pool, 2000, [&](std::size_t, std::size_t begin, std::size_t end) {
+    run_chunks(&pool, end - begin, [&](std::size_t, std::size_t b, std::size_t e) {
+      total.fetch_add(e - b);
+    });
+  });
+  EXPECT_EQ(total.load(), 2000u);
+}
+
+TEST(ThreadPoolStress, ParallelForExceptionFirstOneWins) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(100'000, [](std::size_t begin, std::size_t) {
+      throw std::runtime_error("block@" + std::to_string(begin));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    // Exactly one of the block exceptions surfaces, not a torn mixture.
+    EXPECT_EQ(std::string(e.what()).rfind("block@", 0), 0u);
+  }
+}
+
+TEST(ThreadPoolStress, ParallelChunksExceptionFirstOneWins) {
+  ThreadPool pool(4);
+  const std::size_t n = 100'000;
+  const std::size_t chunks = ThreadPool::plan_chunks(n);
+  ASSERT_GT(chunks, 1u);
+  try {
+    pool.parallel_chunks(n, chunks, [](std::size_t c, std::size_t, std::size_t) {
+      throw std::runtime_error("chunk@" + std::to_string(c));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("chunk@", 0), 0u);
+  }
+}
+
+TEST(ThreadPoolStress, PoolIsReusableAfterAnException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_chunks(10'000, ThreadPool::plan_chunks(10'000),
+                                    [](std::size_t, std::size_t, std::size_t) {
+                                      throw std::logic_error("boom");
+                                    }),
+               std::logic_error);
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_chunks(10'000, ThreadPool::plan_chunks(10'000),
+                       [&](std::size_t, std::size_t begin, std::size_t end) {
+                         covered.fetch_add(end - begin);
+                       });
+  EXPECT_EQ(covered.load(), 10'000u);
+}
+
+TEST(ThreadPoolStress, ExceptionPropagatesThroughRunChunksHelper) {
+  EXPECT_THROW(run_chunks(&ThreadPool::global(), 5000,
+                          [](std::size_t c, std::size_t, std::size_t) {
+                            if (c == 1) throw std::out_of_range("nope");
+                          }),
+               std::out_of_range);
+  // The null-pool (inline) path rethrows too.
+  EXPECT_THROW(run_chunks(nullptr, 5000,
+                          [](std::size_t c, std::size_t, std::size_t) {
+                            if (c == 1) throw std::out_of_range("nope");
+                          }),
+               std::out_of_range);
+}
+
+TEST(ThreadPoolStress, ConcurrentExternalCallersShareOnePool) {
+  ThreadPool& pool = ThreadPool::global();
+  constexpr int kCallers = 4;
+  constexpr std::size_t kN = 20'000;
+  std::vector<std::uint64_t> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      const std::size_t chunks = ThreadPool::plan_chunks(kN);
+      std::vector<std::uint64_t> partial(chunks, 0);
+      pool.parallel_chunks(kN, chunks,
+                           [&](std::size_t c, std::size_t begin, std::size_t end) {
+                             std::uint64_t s = 0;
+                             for (std::size_t i = begin; i < end; ++i) s += i;
+                             partial[c] = s;
+                           });
+      std::uint64_t total = 0;
+      for (const std::uint64_t s : partial) total += s;
+      sums[t] = total;
+    });
+  }
+  for (auto& th : callers) th.join();
+  const std::uint64_t expected = kN * (kN - 1) / 2;
+  for (const std::uint64_t s : sums) EXPECT_EQ(s, expected);
+}
+
+}  // namespace
+}  // namespace gb

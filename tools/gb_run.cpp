@@ -2,6 +2,7 @@
 //
 //   gb_run [--platform NAME] [--dataset NAME] [--algorithm NAME]
 //          [--workers N] [--cores N] [--scale S] [--seed S] [--breakdown]
+//          [--parallelism N]   (host threads: 0 = hardware, 1 = serial)
 //
 // Example:
 //   gb_run --platform Giraph --dataset KGS --algorithm CONN --workers 30
@@ -31,6 +32,8 @@ using namespace gb;
                "              [--algorithm STATS|BFS|CONN|CD|EVO|PAGERANK]\n"
                "              [--workers N] [--cores N] [--scale S] "
                "[--seed S] [--breakdown] [--json]\n"
+               "              [--parallelism N]   (host threads: 0 = "
+               "hardware, 1 = serial)\n"
                "              [--cost name=value]...   (see --list-costs)\n";
   std::exit(2);
 }
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
   std::uint32_t cores = 1;
   double scale = 0.0;  // catalog default
   std::uint64_t seed = 42;
+  std::uint32_t parallelism = 0;
   bool breakdown = false;
   bool json = false;
   sim::CostModel cost;
@@ -93,6 +97,8 @@ int main(int argc, char** argv) {
       scale = std::stod(value());
     } else if (arg == "--seed") {
       seed = std::stoull(value());
+    } else if (arg == "--parallelism") {
+      parallelism = static_cast<std::uint32_t>(std::stoul(value()));
     } else if (arg == "--breakdown") {
       breakdown = true;
     } else if (arg == "--json") {
@@ -125,6 +131,7 @@ int main(int argc, char** argv) {
   cfg.num_workers = workers;
   cfg.cores_per_worker = cores;
   cfg.cost = cost;
+  cfg.parallelism = parallelism;
   const auto params = harness::default_params(ds);
   const auto m = harness::run_cell(*platform, ds, algorithm, params, cfg);
 
@@ -147,6 +154,9 @@ int main(int argc, char** argv) {
     std::cout << "  overhead:    "
               << harness::format_seconds(m.result.overhead_time()) << "\n";
     std::cout << "  iterations:  " << m.result.output.iterations << "\n";
+    std::cout << "  host:        " << m.host_threads << " thread(s), "
+              << harness::format_seconds(m.host_wall_seconds)
+              << " wall\n";
     std::cout << "  EPS:         "
               << harness::format_si(harness::eps(ds, m.time())) << "\n";
     std::cout << "  NEPS:        "
