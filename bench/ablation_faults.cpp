@@ -1,0 +1,80 @@
+// Ablation: checkpoint overhead vs recovery cost. Runs CONN fault-free to
+// establish each platform's baseline, then injects one worker crash
+// halfway through that baseline and compares what recovery costs:
+// Hadoop re-executes the dead node's tasks, Giraph restores from its last
+// checkpoint (paying a steady checkpoint-write overhead while nothing
+// fails — or, without checkpoints, losing the job), GraphLab's MPI abort
+// simply ends the run. The fault plan is keyed to simulated time, so the
+// table is deterministic at any host parallelism.
+#include "bench_common.h"
+
+#include "sim/faults.h"
+
+namespace {
+
+using namespace gb;
+
+harness::Measurement run_with(const platforms::Platform& platform,
+                              const datasets::Dataset& ds,
+                              std::uint32_t checkpoint_interval,
+                              double crash_at) {
+  sim::ClusterConfig cfg = bench::paper_cluster();
+  if (crash_at > 0.0) {
+    sim::FaultEvent event;
+    event.kind = sim::FaultKind::kWorkerCrash;
+    event.time = crash_at;
+    event.worker = 7;
+    cfg.faults.add(event);
+  }
+  auto params = harness::default_params(ds);
+  params.checkpoint_interval = checkpoint_interval;
+  return harness::run_cell(platform, ds, platforms::Algorithm::kConn, params,
+                           cfg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gb;
+  const auto ds = bench::load(datasets::DatasetId::kKGS);
+
+  struct Config {
+    std::string label;
+    std::unique_ptr<platforms::Platform> platform;
+    std::uint32_t checkpoint_interval;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"Hadoop", algorithms::make_hadoop(), 0});
+  configs.push_back({"Giraph (no ckpt)", algorithms::make_giraph(), 0});
+  configs.push_back({"Giraph (ckpt=2)", algorithms::make_giraph(), 2});
+  configs.push_back({"GraphLab", algorithms::make_graphlab(false), 0});
+
+  harness::Table table(
+      "Ablation: checkpoint overhead vs recovery cost (CONN on KGS, one "
+      "worker crash at 50% of the fault-free time)");
+  table.set_header({"Platform", "Fault-free", "Ckpt overhead", "With crash",
+                    "Recovery cost"});
+
+  for (const auto& config : configs) {
+    const auto baseline =
+        run_with(*config.platform, ds, config.checkpoint_interval, 0.0);
+    std::string crashed = "n/a";
+    std::string recovery = "-";
+    if (baseline.ok()) {
+      const auto with_crash = run_with(*config.platform, ds,
+                                       config.checkpoint_interval,
+                                       baseline.time() * 0.5);
+      crashed = harness::format_measurement(with_crash);
+      if (with_crash.ok()) {
+        recovery =
+            harness::format_seconds(with_crash.time() - baseline.time());
+      }
+    }
+    table.add_row({config.label, harness::format_measurement(baseline),
+                   harness::format_seconds(
+                       baseline.faults.checkpoint_overhead_sec),
+                   crashed, recovery});
+  }
+  bench::write_table(table, "ablation_faults.csv");
+  return 0;
+}

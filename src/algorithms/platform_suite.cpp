@@ -111,6 +111,7 @@ class GiraphPlatform final : public Platform {
     const Graph& g = dataset.graph;
     PhaseRecorder rec(cluster);
     platforms::pregel::EngineConfig config;
+    config.checkpoint_interval = params.checkpoint_interval;
     if (gps_) {
       // GPS = Pregel + LALP (large-adjacency-list partitioning).
       config.lalp_threshold = 100;
@@ -170,6 +171,9 @@ class GiraphPlatform final : public Platform {
         const double partition = platforms::pregel::charge_setup_and_load(
             g, cluster, rec, config);
         const auto& cost = cluster.cost();
+        // The EVO accounting loop writes no checkpoints, so a recovery
+        // replays from job start.
+        SimTime last_checkpoint = 0.0;
         std::size_t step = 0;
         for (const auto& iter : trace.iterations) {
           const double units = cluster.scale_units(
@@ -193,6 +197,9 @@ class GiraphPlatform final : public Platform {
                     PhaseUsage{.worker_cpu_cores = 0.1,
                                .worker_mem_bytes = partition,
                                .master_cpu_cores = 0.03});
+          platforms::pregel::handle_worker_loss(cluster, rec, config,
+                                                partition, partition,
+                                                last_checkpoint, label);
         }
         platforms::pregel::charge_write(g, cluster, rec, partition);
         out = evo_output(g, trace);
@@ -310,8 +317,12 @@ class MapReducePlatform final : public Platform {
         volume.compute_units = volumes.intersect_units;
         // Crash (scratch overflow) and cost checks happen before the
         // quadratic kernel ever runs.
+        const SimTime stats_begin = rec.now();
         platforms::mapreduce::detail::charge_iteration(
             g, cluster, rec, config, hdfs, volume, "stats");
+        std::vector<std::uint32_t> attempts;
+        platforms::mapreduce::detail::recover_from_faults(
+            cluster, rec, config, stats_begin, "stats", attempts);
         if (rec.now() > params.time_limit) {
           throw PlatformError(
               PlatformError::Kind::kTimeout,
@@ -327,8 +338,10 @@ class MapReducePlatform final : public Platform {
       case Algorithm::kEvo: {
         const storage::Hdfs hdfs(cluster.cost());
         const EvoTrace trace = forest_fire_evolve(g, evo_params_from(params));
+        std::vector<std::uint32_t> attempts;
         std::size_t step = 0;
         for (const auto& iter : trace.iterations) {
+          const SimTime iter_begin = rec.now();
           platforms::mapreduce::detail::IterationVolume volume;
           volume.map_output_records =
               static_cast<double>(g.num_vertices()) +
@@ -345,6 +358,8 @@ class MapReducePlatform final : public Platform {
               g, cluster, rec, config, hdfs, volume, label + "_select");
           platforms::mapreduce::detail::charge_iteration(
               g, cluster, rec, config, hdfs, volume, label + "_burn");
+          platforms::mapreduce::detail::recover_from_faults(
+              cluster, rec, config, iter_begin, label, attempts);
         }
         out = evo_output(g, trace);
         break;
@@ -612,6 +627,8 @@ class GraphLabPlatform final : public Platform {
                     false,
                     PhaseUsage{.worker_cpu_cores = 0.1,
                                .worker_mem_bytes = partition});
+          platforms::gas::abort_on_worker_loss(
+              cluster, rec, "EVO iteration " + std::to_string(step - 1));
         }
         platforms::gas::charge_write(g, cluster, rec, partition);
         out = evo_output(g, trace);
@@ -706,6 +723,21 @@ class Neo4jPlatform final : public Platform {
     rec.phase("setup", setup, false, PhaseUsage{.worker_mem_bytes = mem});
     rec.phase("query", std::max(0.0, db.elapsed() - setup), true,
               PhaseUsage{.worker_cpu_cores = 1.0, .worker_mem_bytes = mem});
+    // Neo4j recovery: a fault kills the embedded JVM mid-query. On restart
+    // the store replays its transaction log (ACID — committed writes
+    // survive, the in-flight transaction rolls back) and the query re-runs
+    // from scratch: a traversal has no partial progress to salvage.
+    while (const sim::FaultEvent* event =
+               cluster.faults().take_before(rec.now())) {
+      auto& fstats = cluster.faults().stats();
+      const SimTime lost = std::clamp<SimTime>(event->time, 0.0, rec.now());
+      const SimTime restart = db.config().query_setup_sec * 2.0;
+      ++fstats.task_retries;
+      fstats.recomputed_sec += lost;
+      fstats.recovery_sec += restart + lost;
+      rec.phase("recovery", restart + lost, false,
+                PhaseUsage{.worker_cpu_cores = 1.0, .worker_mem_bytes = mem});
+    }
     if (rec.now() > params.time_limit) {
       throw PlatformError(PlatformError::Kind::kTimeout,
                           "Neo4j exceeded the experiment time budget");

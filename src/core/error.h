@@ -24,7 +24,16 @@ class FormatError : public Error {
 /// (crash or forced termination), not as a bug in the harness.
 class PlatformError : public Error {
  public:
-  enum class Kind { kOutOfMemory, kDiskFull, kTimeout, kUnsupported };
+  enum class Kind {
+    kOutOfMemory,
+    kDiskFull,
+    kTimeout,
+    kUnsupported,
+    /// A computing node was lost and the platform cannot recover the run
+    /// (GraphLab's MPI abort; Giraph with checkpointing disabled; a
+    /// MapReduce task that exhausted its retry budget).
+    kWorkerLost,
+  };
 
   PlatformError(Kind kind, const std::string& what) : Error(what), kind_(kind) {}
   Kind kind() const { return kind_; }

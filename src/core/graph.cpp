@@ -31,6 +31,7 @@ Bytes Graph::text_size_bytes() const {
 namespace {
 
 constexpr std::uint64_t kBinaryMagic = 0x6762475246313030ULL;  // "gbGRF100"
+constexpr std::uint8_t kBinaryVersion = 1;
 
 template <typename T>
 void write_vec(std::ofstream& out, const std::vector<T>& v) {
@@ -40,10 +41,22 @@ void write_vec(std::ofstream& out, const std::vector<T>& v) {
             static_cast<std::streamsize>(n * sizeof(T)));
 }
 
+/// Reads a length-prefixed vector, validating the on-disk length against
+/// the bytes actually left in the file: a truncated or corrupt cache must
+/// fail with FormatError, not resize() to a bogus multi-gigabyte length.
 template <typename T>
-void read_vec(std::ifstream& in, std::vector<T>& v) {
+void read_vec(std::ifstream& in, std::vector<T>& v, std::uint64_t file_size,
+              const std::string& path) {
   std::uint64_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) throw FormatError("short read from '" + path + "'");
+  const auto pos = static_cast<std::uint64_t>(in.tellg());
+  const std::uint64_t remaining = file_size > pos ? file_size - pos : 0;
+  if (n > remaining / sizeof(T)) {
+    throw FormatError("'" + path + "' is truncated or corrupt: vector of " +
+                      std::to_string(n) + " elements exceeds the " +
+                      std::to_string(remaining) + " bytes left in the file");
+  }
   v.resize(n);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(n * sizeof(T)));
@@ -55,6 +68,7 @@ void Graph::save_binary(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw FormatError("cannot open '" + path + "' for writing");
   out.write(reinterpret_cast<const char*>(&kBinaryMagic), sizeof(kBinaryMagic));
+  out.write(reinterpret_cast<const char*>(&kBinaryVersion), sizeof(kBinaryVersion));
   const std::uint8_t directed = directed_ ? 1 : 0;
   out.write(reinterpret_cast<const char*>(&directed), sizeof(directed));
   out.write(reinterpret_cast<const char*>(&num_vertices_), sizeof(num_vertices_));
@@ -67,12 +81,21 @@ void Graph::save_binary(const std::string& path) const {
 }
 
 Graph Graph::load_binary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw FormatError("cannot open '" + path + "' for reading");
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
   std::uint64_t magic = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (magic != kBinaryMagic) {
+  if (!in || magic != kBinaryMagic) {
     throw FormatError("'" + path + "' is not a graphbench binary graph");
+  }
+  std::uint8_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kBinaryVersion) {
+    throw FormatError("'" + path + "' has unsupported format version " +
+                      std::to_string(version) + " (expected " +
+                      std::to_string(kBinaryVersion) + ")");
   }
   Graph g;
   std::uint8_t directed = 0;
@@ -80,10 +103,10 @@ Graph Graph::load_binary(const std::string& path) {
   g.directed_ = directed != 0;
   in.read(reinterpret_cast<char*>(&g.num_vertices_), sizeof(g.num_vertices_));
   in.read(reinterpret_cast<char*>(&g.num_edges_), sizeof(g.num_edges_));
-  read_vec(in, g.out_offsets_);
-  read_vec(in, g.out_adj_);
-  read_vec(in, g.in_offsets_);
-  read_vec(in, g.in_adj_);
+  read_vec(in, g.out_offsets_, file_size, path);
+  read_vec(in, g.out_adj_, file_size, path);
+  read_vec(in, g.in_offsets_, file_size, path);
+  read_vec(in, g.in_adj_, file_size, path);
   if (!in) throw FormatError("short read from '" + path + "'");
   return g;
 }

@@ -1,9 +1,14 @@
 #include "datasets/catalog.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "core/error.h"
 #include "core/graph_stats.h"
@@ -91,6 +96,30 @@ std::string cache_path(const DatasetInfo& meta, double scale,
   return (std::filesystem::path(dir) / name.str()).string();
 }
 
+// Publishes the cache file atomically: writers dump to a unique temp name
+// in the same directory and rename() it into place, so a concurrent reader
+// never observes a half-written file. POSIX rename is atomic; the last
+// writer wins, and every winner wrote identical bytes (same id/scale/seed).
+void publish_cache(const Graph& graph, const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+#ifndef _WIN32
+  const auto pid = static_cast<std::uint64_t>(::getpid());
+#else
+  const std::uint64_t pid = 0;
+#endif
+  const std::string tmp = path + ".tmp." + std::to_string(pid) + "." +
+                          std::to_string(counter.fetch_add(1));
+  graph.save_binary(tmp);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    // Another process may have published first (e.g. on filesystems where
+    // rename-over-existing fails); the cache is valid either way — just
+    // drop our temp copy.
+    std::filesystem::remove(tmp, ec);
+  }
+}
+
 }  // namespace
 
 const std::vector<DatasetId>& all_datasets() {
@@ -134,17 +163,22 @@ Dataset load_or_generate(DatasetId id, double scale, std::uint64_t seed,
   if (scale <= 0.0) scale = meta.default_scale;
   const std::string path = cache_path(meta, scale, seed, cache_dir);
   if (std::filesystem::exists(path)) {
-    Dataset ds;
-    ds.id = id;
-    ds.name = meta.name;
-    ds.scale = scale;
-    ds.graph = Graph::load_binary(path);
-    return ds;
+    try {
+      Dataset ds;
+      ds.id = id;
+      ds.name = meta.name;
+      ds.scale = scale;
+      ds.graph = Graph::load_binary(path);
+      return ds;
+    } catch (const FormatError&) {
+      // Truncated, corrupt, or stale-format cache: treat as a miss and
+      // regenerate rather than propagating the error to the caller.
+    }
   }
   Dataset ds = generate(id, scale, seed);
   std::filesystem::create_directories(
       std::filesystem::path(path).parent_path());
-  ds.graph.save_binary(path);
+  publish_cache(ds.graph, path);
   return ds;
 }
 

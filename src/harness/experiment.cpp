@@ -19,6 +19,8 @@ const char* outcome_label(Outcome outcome) {
       return "timeout";
     case Outcome::kUnsupported:
       return "n/a";
+    case Outcome::kWorkerLost:
+      return "crash(node)";
     case Outcome::kError:
       return "error";
   }
@@ -50,9 +52,15 @@ Measurement run_cell(const platforms::Platform& platform,
       case PlatformError::Kind::kUnsupported:
         m.outcome = Outcome::kUnsupported;
         break;
+      case PlatformError::Kind::kWorkerLost:
+        m.outcome = Outcome::kWorkerLost;
+        break;
     }
     m.message = e.what();
   }
+  // Captured for failed runs too: an aborted job still reports what was
+  // injected before it died.
+  m.faults = cluster.faults().stats();
   m.host_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

@@ -12,7 +12,15 @@
 
 namespace gb::harness {
 
-enum class Outcome { kOk, kOutOfMemory, kDiskFull, kTimeout, kUnsupported, kError };
+enum class Outcome {
+  kOk,
+  kOutOfMemory,
+  kDiskFull,
+  kTimeout,
+  kUnsupported,
+  kWorkerLost,
+  kError,
+};
 
 const char* outcome_label(Outcome outcome);
 
@@ -20,6 +28,10 @@ struct Measurement {
   Outcome outcome = Outcome::kError;
   platforms::RunResult result;
   std::string message;
+  /// What fault injection did to this run (all-zero without a fault
+  /// plan). Captured even for failed runs — an aborted GraphLab job still
+  /// reports the crash that killed it.
+  sim::FaultStats faults;
   /// Host-side observability (not part of the simulated result): how many
   /// pool threads drove the engines and how long the run took on the
   /// wall. Deterministic replays must ignore host_wall_seconds.

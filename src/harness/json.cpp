@@ -150,6 +150,29 @@ std::string measurement_to_json(const std::string& platform,
   json.value(static_cast<std::uint64_t>(measurement.host_threads));
   json.key("host_wall_sec");
   json.value(measurement.host_wall_seconds);
+  json.key("faults");
+  json.begin_object();
+  json.key("injected");
+  json.value(measurement.faults.injected);
+  json.key("worker_crashes");
+  json.value(measurement.faults.worker_crashes);
+  json.key("transient_failures");
+  json.value(measurement.faults.transient_failures);
+  json.key("stragglers");
+  json.value(measurement.faults.stragglers);
+  json.key("task_retries");
+  json.value(measurement.faults.task_retries);
+  json.key("checkpoint_restarts");
+  json.value(measurement.faults.checkpoint_restarts);
+  json.key("recomputed_sec");
+  json.value(measurement.faults.recomputed_sec);
+  json.key("checkpoint_overhead_sec");
+  json.value(measurement.faults.checkpoint_overhead_sec);
+  json.key("straggler_delay_sec");
+  json.value(measurement.faults.straggler_delay_sec);
+  json.key("recovery_sec");
+  json.value(measurement.faults.recovery_sec);
+  json.end_object();
   if (measurement.ok()) {
     json.key("total_time_sec");
     json.value(measurement.result.total_time);

@@ -30,11 +30,14 @@ class PhaseRecorder {
 
   /// Append a phase of `duration` seconds. Zero-duration phases are
   /// dropped. `computation` marks time spent making algorithmic progress
-  /// (the paper's Tc); everything else is overhead.
+  /// (the paper's Tc); everything else is overhead. Injected straggler
+  /// windows stretch the phase: one slow node holds up the whole
+  /// bulk-synchronous step.
   void phase(const std::string& name, SimTime duration, bool computation,
              const PhaseUsage& usage) {
     if (duration <= 0) return;
     const SimTime begin = result_.total_time;
+    duration = cluster_.faults().stretched(begin, duration);
     result_.add_phase(name, duration, computation);
     const SimTime end = result_.total_time;
 

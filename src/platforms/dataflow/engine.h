@@ -16,6 +16,7 @@
 // and Stratosphere need to traverse all vertices").
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -59,6 +60,7 @@ inline void charge_plan_iteration(const Graph& graph, const JobGraph& dag,
   const auto& cost = cluster.cost();
   const std::uint32_t workers = cluster.num_workers();
   const std::uint32_t slots = cluster.total_slots();
+  const SimTime stage_begin = recorder.now();
 
   const double vertex_records =
       cluster.scale_units(static_cast<double>(graph.num_vertices()));
@@ -143,6 +145,29 @@ inline void charge_plan_iteration(const Graph& graph, const JobGraph& dag,
                             .worker_net_out_bps = cost.net_bps * 0.9});
   recorder.phase(label + "/write", write_time, false,
                  PhaseUsage{.worker_cpu_cores = 0.2, .worker_mem_bytes = mem});
+
+  // Nephele recovery: intermediates are channel-resident, so a lost
+  // TaskManager discards the running PACT stage — the JobManager redeploys
+  // the stage and re-runs it from its HDFS inputs. A transient task
+  // failure only re-runs that task's slice of the stage.
+  auto& faults = cluster.faults();
+  while (const sim::FaultEvent* event = faults.take_before(recorder.now())) {
+    auto& stats = faults.stats();
+    const bool crash = event->kind == sim::FaultKind::kWorkerCrash;
+    const SimTime span = std::max<SimTime>(0.0, recorder.now() - stage_begin);
+    const SimTime progress =
+        std::clamp<SimTime>(event->time - stage_begin, 0.0, span);
+    const SimTime lost = crash ? progress : progress / std::max(1u, slots);
+    const SimTime rerun =
+        (crash ? cost.failure_detection_sec : 0.0) + deploy + lost;
+    ++stats.task_retries;
+    stats.recomputed_sec += lost;
+    stats.recovery_sec += rerun;
+    recorder.phase(label + (crash ? "/restage" : "/task_retry"), rerun, false,
+                   PhaseUsage{.worker_cpu_cores = 0.8,
+                              .worker_mem_bytes = mem,
+                              .master_cpu_cores = 0.05});
+  }
 }
 
 }  // namespace detail

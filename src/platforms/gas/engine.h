@@ -142,6 +142,26 @@ inline void charge_write(const Graph& graph, sim::Cluster& cluster,
       PhaseUsage{.worker_cpu_cores = 0.2, .worker_mem_bytes = partition_bytes});
 }
 
+/// GraphLab recovery semantics: there is none in the deployed
+/// configuration. A lost MPI process aborts the whole job — distributed
+/// GraphLab 2.1's snapshot mechanism exists but the paper (like most
+/// deployments) runs without it, so the run ends in a crash outcome.
+/// The accounted recovery cost is only the detection window before the
+/// abort propagates.
+inline void abort_on_worker_loss(sim::Cluster& cluster,
+                                 PhaseRecorder& recorder,
+                                 const std::string& where) {
+  if (const sim::FaultEvent* event =
+          cluster.faults().take_before(recorder.now())) {
+    cluster.faults().stats().recovery_sec +=
+        cluster.cost().failure_detection_sec;
+    throw PlatformError(
+        PlatformError::Kind::kWorkerLost,
+        "GraphLab worker " + std::to_string(event->worker) + " lost during " +
+            where + ": MPI aborts the whole job (no snapshots configured)");
+  }
+}
+
 template <typename Program>
 GasStats run_sync(const Graph& graph, const Program& program,
                   std::vector<typename Program::VData>& data,
@@ -317,6 +337,8 @@ GasStats run_sync(const Graph& graph, const Program& program,
                               .worker_mem_bytes = partition_bytes,
                               .worker_net_in_bps = cost.net_bps * 0.4,
                               .worker_net_out_bps = cost.net_bps * 0.4});
+    abort_on_worker_loss(cluster, recorder,
+                         "iteration " + std::to_string(iter));
     ++stats.iterations;
     run_chunks(pool, n, [&](std::size_t, std::size_t begin, std::size_t end) {
       for (std::size_t v = begin; v < end; ++v) {
@@ -439,6 +461,7 @@ GasStats run_async(const Graph& graph, const Program& program,
                             .worker_net_in_bps = cost.net_bps * 0.2,
                             .worker_net_out_bps = cost.net_bps * 0.2});
   charge_write(graph, cluster, recorder, partition_bytes);
+  abort_on_worker_loss(cluster, recorder, "the async run");
 
   stats.iterations = static_cast<std::uint64_t>(
       updates / std::max<double>(1.0, static_cast<double>(n)));

@@ -64,6 +64,12 @@ struct MRConfig {
   /// Maximum streams merged at once (the paper configures 80). A reducer
   /// pulling more map outputs than this needs extra on-disk merge passes.
   std::uint32_t io_sort_factor = 80;
+  /// mapred.map.max.attempts: once a node has failed this many task
+  /// attempts the JobTracker gives up and kills the job.
+  std::uint32_t max_task_attempts = 4;
+  /// Speculative execution: a backup copy of re-scheduled work starts
+  /// immediately on a free slot, halving the serial re-execution tail.
+  bool speculative = true;
   std::uint32_t max_iterations = 10'000;
 };
 
@@ -257,6 +263,55 @@ inline void charge_convergence_job(const Graph& graph, sim::Cluster& cluster,
   recorder.phase(label + "/convergence", setup + scan, false, usage);
 }
 
+/// Drain injected faults that fired during [span_begin, now) and charge
+/// Hadoop's recovery for them. A dead TaskTracker is noticed after the
+/// heartbeat timeout and its tasks re-run on the surviving nodes; a
+/// transient task failure just re-launches that one attempt. `attempts`
+/// counts failures per node — past max_task_attempts the job is killed
+/// (mapred.map.max.attempts semantics).
+inline void recover_from_faults(sim::Cluster& cluster, PhaseRecorder& recorder,
+                                const MRConfig& config, SimTime span_begin,
+                                const std::string& label,
+                                std::vector<std::uint32_t>& attempts) {
+  auto& faults = cluster.faults();
+  if (!faults.enabled()) return;
+  const auto& cost = cluster.cost();
+  const std::uint32_t workers = std::max(1u, cluster.num_workers());
+  const std::uint32_t slots = std::max(1u, cluster.total_slots());
+  if (attempts.size() < workers) attempts.resize(workers, 0);
+  while (const sim::FaultEvent* event = faults.take_before(recorder.now())) {
+    auto& stats = faults.stats();
+    const std::uint32_t node = event->worker % workers;
+    if (++attempts[node] >= config.max_task_attempts) {
+      throw PlatformError(
+          PlatformError::Kind::kWorkerLost,
+          (config.yarn ? "YARN" : "Hadoop") + std::string(" job killed: node ") +
+              std::to_string(node) + " exhausted its " +
+              std::to_string(config.max_task_attempts) + " task attempts");
+    }
+    const bool crash = event->kind == sim::FaultKind::kWorkerCrash;
+    // Lost work. A dead node takes its completed map outputs with it, so
+    // all its tasks for the current job re-run; each task spans a full
+    // wave (tasks == slots), so the re-execution wave adds roughly the
+    // elapsed span back onto the critical path. A transient failure only
+    // re-runs the one attempt: a single slot's share.
+    const SimTime span = std::max<SimTime>(0.0, recorder.now() - span_begin);
+    const SimTime progress =
+        std::clamp<SimTime>(event->time - span_begin, 0.0, span);
+    const SimTime lost = crash ? progress : progress / slots;
+    const SimTime rerun = (crash ? cost.failure_detection_sec : 0.0) +
+                          cost.jvm_startup_sec +
+                          (config.speculative ? lost * 0.5 : lost);
+    stats.task_retries += crash ? cluster.cores_per_worker() : 1;
+    stats.recomputed_sec += lost;
+    stats.recovery_sec += rerun;
+    recorder.phase(label + (crash ? "/task_reexec" : "/task_retry"), rerun,
+                   false,
+                   PhaseUsage{.worker_cpu_cores = 1.0,
+                              .master_cpu_cores = 0.05});
+  }
+}
+
 }  // namespace detail
 
 template <typename Job>
@@ -280,8 +335,10 @@ MRStats run_iterative(const Graph& graph, Job& job,
   const std::size_t chunks = ThreadPool::plan_chunks(n);
   std::vector<std::vector<std::pair<VertexId, Msg>>> chunk_outbox(chunks);
   std::vector<std::uint64_t> chunk_changed(chunks, 0);
+  std::vector<std::uint32_t> attempts;  // per-node task failures
 
   for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
+    const SimTime iter_begin = recorder.now();
     if (recorder.now() > time_limit) {
       throw PlatformError(PlatformError::Kind::kTimeout,
                           "MapReduce job exceeded the experiment time budget");
@@ -355,6 +412,8 @@ MRStats run_iterative(const Graph& graph, Job& job,
     if (config.convergence_job && !config.haloop) {
       detail::charge_convergence_job(graph, cluster, recorder, config, label);
     }
+    detail::recover_from_faults(cluster, recorder, config, iter_begin, label,
+                                attempts);
     ++stats.iterations;
     if (changed == 0) break;
   }

@@ -49,6 +49,11 @@ struct AlgorithmParams {
 
   std::uint64_t seed = 1;
 
+  /// Giraph fault tolerance: write a checkpoint every N supersteps
+  /// (0 = disabled, the paper's effective configuration). Platforms
+  /// without checkpointing ignore it.
+  std::uint32_t checkpoint_interval = 0;
+
   /// Simulated-time budget after which the harness terminates the job,
   /// like the paper did with Stratosphere STATS (~4 h) and Neo4j (20 h).
   SimTime time_limit = 20.0 * 3600.0;

@@ -219,6 +219,46 @@ inline void charge_write(const Graph& graph, sim::Cluster& cluster,
       false, write_usage);
 }
 
+/// Giraph recovery semantics: any lost worker (a dead node or a failed
+/// task attempt — Giraph workers are Hadoop map tasks) triggers a restart
+/// from the last checkpoint. Every surviving worker re-reads its
+/// checkpointed partition from HDFS and the lost supersteps re-run; with
+/// checkpointing disabled (the paper's configuration) the job simply
+/// fails. `last_checkpoint` is the simulated time of the newest completed
+/// checkpoint; 0 means recovery replays from job start (setup + load
+/// included). Shared by run_bsp and the EVO accounting path.
+inline void handle_worker_loss(sim::Cluster& cluster, PhaseRecorder& recorder,
+                               const EngineConfig& config,
+                               double checkpoint_bytes, double partition_bytes,
+                               SimTime& last_checkpoint,
+                               const std::string& label) {
+  auto& faults = cluster.faults();
+  if (!faults.enabled()) return;
+  const auto& cost = cluster.cost();
+  while (const sim::FaultEvent* event = faults.take_before(recorder.now())) {
+    if (config.checkpoint_interval == 0) {
+      throw PlatformError(
+          PlatformError::Kind::kWorkerLost,
+          "Giraph worker " + std::to_string(event->worker) +
+              " lost with checkpointing disabled; the job cannot recover");
+    }
+    auto& stats = faults.stats();
+    const SimTime redo =
+        std::max<SimTime>(0.0, recorder.now() - last_checkpoint);
+    const SimTime restore =
+        cost.failure_detection_sec + cost.jvm_startup_sec +
+        cost.disk_read_time(static_cast<Bytes>(checkpoint_bytes)) +
+        cost.bsp_barrier_sec;
+    ++stats.checkpoint_restarts;
+    stats.recomputed_sec += redo;
+    stats.recovery_sec += restore + redo;
+    recorder.phase(label + "/restart", restore + redo, false,
+                   PhaseUsage{.worker_cpu_cores = 0.5,
+                              .worker_mem_bytes = partition_bytes,
+                              .master_cpu_cores = 0.05});
+  }
+}
+
 template <typename V, typename M, typename Program>
 BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
                          sim::Cluster& cluster, PhaseRecorder& recorder,
@@ -271,6 +311,7 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
   bool adjacency_pending = false;
   double aggregate_prev = 0.0;
   std::uint64_t supersteps = 0;
+  SimTime last_checkpoint = 0.0;  // 0: recovery replays from job start
 
   BspOutcome<V, M> outcome;
 
@@ -458,20 +499,24 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
     recorder.phase(label + "/sync", net_time + cost.bsp_barrier_sec, false,
                    comm_usage);
 
+    const double checkpoint_bytes =
+        cluster.scale_bytes(static_cast<double>(n) * 16.0 + max_inbox) /
+        workers;
     if (config.checkpoint_interval > 0 &&
         (step + 1) % config.checkpoint_interval == 0) {
       // Checkpoint: every worker writes its vertex values + pending
       // messages to HDFS, behind a barrier.
-      const double checkpoint_bytes =
-          cluster.scale_bytes(static_cast<double>(n) * 16.0 + max_inbox) /
-          workers;
-      recorder.phase(label + "/checkpoint",
-                     cost.disk_write_time(static_cast<Bytes>(checkpoint_bytes)) +
-                         cost.bsp_barrier_sec,
-                     false,
+      const SimTime checkpoint_time =
+          cost.disk_write_time(static_cast<Bytes>(checkpoint_bytes)) +
+          cost.bsp_barrier_sec;
+      recorder.phase(label + "/checkpoint", checkpoint_time, false,
                      PhaseUsage{.worker_cpu_cores = 0.3,
                                 .worker_mem_bytes = partition_bytes});
+      cluster.faults().stats().checkpoint_overhead_sec += checkpoint_time;
+      last_checkpoint = recorder.now();
     }
+    handle_worker_loss(cluster, recorder, config, checkpoint_bytes,
+                       partition_bytes, last_checkpoint, label);
 
     ++supersteps;
     aggregate_prev = aggregate_next;

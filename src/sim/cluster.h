@@ -20,6 +20,7 @@
 #include "core/thread_pool.h"
 #include "core/types.h"
 #include "sim/cost_model.h"
+#include "sim/faults.h"
 #include "sim/monitor.h"
 
 namespace gb::sim {
@@ -33,11 +34,15 @@ struct ClusterConfig {
   /// 1 = serial, N = a dedicated pool of N. Affects wall-clock only —
   /// results and simulated times are bit-identical at every setting.
   std::uint32_t parallelism = 0;
+  /// Faults to inject at simulated times (empty = none). Keyed to
+  /// simulated time, so the schedule is bit-identical at any parallelism.
+  FaultPlan faults;
 };
 
 class Cluster {
  public:
-  explicit Cluster(const ClusterConfig& config) : config_(config) {
+  explicit Cluster(const ClusterConfig& config)
+      : config_(config), faults_(config.faults) {
     worker_traces_.resize(config.num_workers);
   }
 
@@ -56,6 +61,11 @@ class Cluster {
   /// order-sensitive work through run_chunks so that this is a pure
   /// wall-clock knob (see DESIGN.md, "Parallel execution & determinism").
   ThreadPool& pool() const;
+
+  /// Fault schedule for this run: engines poll it at their recovery
+  /// boundaries and charge their platform's recovery semantics.
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
 
   /// Extrapolate a count of work units (ops, records) to full-size work.
   double scale_units(double units) const { return units * config_.work_scale; }
@@ -98,6 +108,7 @@ class Cluster {
 
  private:
   ClusterConfig config_;
+  FaultInjector faults_;
   UsageTrace master_trace_;
   std::vector<UsageTrace> worker_traces_;
   // Lazily created when parallelism names an explicit size (> 1); the

@@ -33,6 +33,7 @@ constexpr Param kDoubleParams[] = {
     {"bsp_barrier_sec", &CostModel::bsp_barrier_sec},
     {"mpi_startup_sec", &CostModel::mpi_startup_sec},
     {"dataflow_deploy_sec", &CostModel::dataflow_deploy_sec},
+    {"failure_detection_sec", &CostModel::failure_detection_sec},
 };
 
 constexpr BytesParam kByteParams[] = {

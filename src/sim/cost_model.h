@@ -44,6 +44,12 @@ struct CostModel {
   double mpi_startup_sec = 1.0;       // GraphLab mpiexec launch
   double dataflow_deploy_sec = 2.0;   // Nephele DAG deployment
 
+  // --- fault tolerance -----------------------------------------------------
+  /// Time before the master notices a dead or failed worker and acts
+  /// (missed heartbeats / ZooKeeper session expiry; Hadoop's default task
+  /// timeout is far longer, but the paper-era clusters tuned it down).
+  double failure_detection_sec = 30.0;
+
   /// Time to ship `bytes` over the network fabric when `nodes` NICs move
   /// data concurrently (all-to-all shuffle / message exchange).
   double network_time(Bytes bytes, std::uint32_t nodes) const {

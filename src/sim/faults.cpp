@@ -1,0 +1,165 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace gb::sim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kWorkerCrash:
+      return "worker_crash";
+    case FaultKind::kStraggler:
+      return "straggler";
+    case FaultKind::kTransientTask:
+      return "transient_task";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& spec, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream in(spec);
+  std::string part;
+  while (std::getline(in, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+double parse_number(const std::string& text, const std::string& spec) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw Error("");
+    return v;
+  } catch (...) {
+    throw Error("malformed fault spec '" + spec + "': bad number '" + text +
+                "'");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::add_spec(const std::string& spec) {
+  const auto parts = split(spec, ':');
+  if (parts.empty()) throw Error("empty fault spec");
+  FaultEvent event;
+  const std::string& kind = parts.front();
+  if (kind == "worker" || kind == "task") {
+    event.kind = kind == "worker" ? FaultKind::kWorkerCrash
+                                  : FaultKind::kTransientTask;
+    if (parts.size() < 2 || parts.size() > 3) {
+      throw Error("malformed fault spec '" + spec + "': expected " + kind +
+                  ":<t>[:<worker>]");
+    }
+    event.time = parse_number(parts[1], spec);
+    if (parts.size() == 3) {
+      event.worker = static_cast<std::uint32_t>(parse_number(parts[2], spec));
+    }
+  } else if (kind == "straggler") {
+    event.kind = FaultKind::kStraggler;
+    if (parts.size() < 4 || parts.size() > 5) {
+      throw Error("malformed fault spec '" + spec +
+                  "': expected straggler:<t>:<factor>:<dur>[:<worker>]");
+    }
+    event.time = parse_number(parts[1], spec);
+    event.slowdown = parse_number(parts[2], spec);
+    event.duration = parse_number(parts[3], spec);
+    if (event.slowdown < 1.0) {
+      throw Error("straggler slowdown must be >= 1 in '" + spec + "'");
+    }
+    if (parts.size() == 5) {
+      event.worker = static_cast<std::uint32_t>(parse_number(parts[4], spec));
+    }
+  } else {
+    throw Error("unknown fault kind '" + kind + "' in '" + spec +
+                "' (expected worker|task|straggler)");
+  }
+  if (event.time < 0.0) {
+    throw Error("fault time must be >= 0 in '" + spec + "'");
+  }
+  add(event);
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::uint32_t num_workers,
+                            SimTime horizon, std::uint32_t events) {
+  FaultPlan plan;
+  Xoshiro256 rng(seed);
+  for (std::uint32_t i = 0; i < events; ++i) {
+    FaultEvent event;
+    const std::uint64_t kind = rng.next_below(3);
+    event.kind = kind == 0   ? FaultKind::kWorkerCrash
+                 : kind == 1 ? FaultKind::kStraggler
+                             : FaultKind::kTransientTask;
+    event.time = rng.next_double() * horizon;
+    event.worker = num_workers > 0
+                       ? static_cast<std::uint32_t>(rng.next_below(num_workers))
+                       : 0;
+    if (event.kind == FaultKind::kStraggler) {
+      event.slowdown = 1.5 + rng.next_double() * 2.5;
+      event.duration = horizon * (0.05 + rng.next_double() * 0.15);
+    }
+    plan.add(event);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events()) {
+    if (event.kind == FaultKind::kStraggler) {
+      stragglers_.push_back(event);
+    } else {
+      events_.push_back(event);
+    }
+  }
+  const auto by_time = [](const FaultEvent& a, const FaultEvent& b) {
+    return a.time < b.time;
+  };
+  std::stable_sort(events_.begin(), events_.end(), by_time);
+  std::stable_sort(stragglers_.begin(), stragglers_.end(), by_time);
+  straggler_seen_.assign(stragglers_.size(), 0);
+}
+
+const FaultEvent* FaultInjector::take_before(SimTime now) {
+  if (next_ >= events_.size() || events_[next_].time >= now) return nullptr;
+  const FaultEvent* event = &events_[next_++];
+  ++stats_.injected;
+  if (event->kind == FaultKind::kWorkerCrash) {
+    ++stats_.worker_crashes;
+  } else {
+    ++stats_.transient_failures;
+  }
+  return event;
+}
+
+const FaultEvent* FaultInjector::peek_before(SimTime now) const {
+  if (next_ >= events_.size() || events_[next_].time >= now) return nullptr;
+  return &events_[next_];
+}
+
+SimTime FaultInjector::stretched(SimTime begin, SimTime duration) {
+  if (stragglers_.empty() || duration <= 0.0) return duration;
+  const SimTime end = begin + duration;
+  SimTime extra = 0.0;
+  for (std::size_t i = 0; i < stragglers_.size(); ++i) {
+    const FaultEvent& s = stragglers_[i];
+    if (s.time >= end) break;  // sorted by time
+    const SimTime overlap =
+        std::min(end, s.time + s.duration) - std::max(begin, s.time);
+    if (overlap <= 0.0) continue;
+    extra += overlap * (s.slowdown - 1.0);
+    if (!straggler_seen_[i]) {
+      straggler_seen_[i] = 1;
+      ++stats_.injected;
+      ++stats_.stragglers;
+    }
+  }
+  stats_.straggler_delay_sec += extra;
+  return duration + extra;
+}
+
+}  // namespace gb::sim

@@ -1,0 +1,121 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// The paper's platform survey (Table 3) ranks fault-tolerance mechanisms
+// — Hadoop task re-execution, Giraph checkpoint/restart, GraphLab
+// snapshots, Neo4j transactional recovery — but its evaluation only ever
+// *observes* crashes. This subsystem makes failure behaviour a measurable
+// axis: a FaultPlan schedules faults at simulated times (worker crash,
+// straggler slowdown, transient task failure), the Cluster hands engines a
+// FaultInjector over that plan, and each engine applies its platform's
+// recovery semantics, accounting the recovery cost like any other phase.
+//
+// Everything is keyed to *simulated* time, so the same plan produces a
+// bit-identical fault schedule — and bit-identical reports — at every host
+// `parallelism` setting (the PR 1 determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace gb::sim {
+
+enum class FaultKind {
+  kWorkerCrash,    // a computing node dies and does not come back
+  kStraggler,      // a node runs slower than its peers for a while
+  kTransientTask,  // one task attempt fails; the task itself is retryable
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kWorkerCrash;
+  SimTime time = 0.0;          // simulated time at which the fault fires
+  std::uint32_t worker = 0;    // affected computing node
+  double slowdown = 2.0;       // straggler only: relative slowdown factor
+  SimTime duration = 300.0;    // straggler only: length of the slow window
+};
+
+/// An immutable, ordered schedule of faults. Built explicitly (tests,
+/// benches), parsed from CLI specs (gb_run --fault), or drawn
+/// deterministically from a seed.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void add(const FaultEvent& event) { events_.push_back(event); }
+  bool empty() const { return events_.empty(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Parse one CLI spec and append it:
+  ///   worker:<t>[:<worker>]            crash node <worker> at time t
+  ///   task:<t>[:<worker>]              transient task failure at time t
+  ///   straggler:<t>:<factor>:<dur>[:<worker>]
+  /// Throws gb::Error on malformed specs.
+  void add_spec(const std::string& spec);
+
+  /// Seed-driven schedule: `events` faults drawn uniformly over
+  /// (0, horizon) with kinds and workers derived from the seed. The same
+  /// seed always yields the same plan (Xoshiro256**, no host state).
+  static FaultPlan random(std::uint64_t seed, std::uint32_t num_workers,
+                          SimTime horizon, std::uint32_t events);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// What fault handling did to a run; serialized as the report's `faults`
+/// section. All-zero for a run with an empty plan.
+struct FaultStats {
+  std::uint64_t injected = 0;          // events that actually fired
+  std::uint64_t worker_crashes = 0;
+  std::uint64_t transient_failures = 0;
+  std::uint64_t stragglers = 0;
+  std::uint64_t task_retries = 0;      // re-executed tasks/stages
+  std::uint64_t checkpoint_restarts = 0;
+  SimTime recomputed_sec = 0.0;        // work redone after a failure
+  SimTime checkpoint_overhead_sec = 0.0;  // steady-state checkpoint writes
+  SimTime straggler_delay_sec = 0.0;   // phase stretch from slow nodes
+  SimTime recovery_sec = 0.0;          // total recovery phase time
+};
+
+/// Per-run consumption state over a FaultPlan. Engines poll it at their
+/// recovery boundaries (job / superstep / stage / query): `take_before`
+/// hands out each crash or task fault exactly once, in schedule order, as
+/// simulated time passes it. Stragglers are not consumed; they stretch
+/// phases through `stretched`.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultPlan& plan);
+
+  bool enabled() const { return !events_.empty(); }
+
+  /// Next unconsumed crash/transient event with time < now, or nullptr.
+  /// Consumes the event and counts it in stats().
+  const FaultEvent* take_before(SimTime now);
+
+  /// Same, without consuming.
+  const FaultEvent* peek_before(SimTime now) const;
+
+  /// Stretch a phase spanning [begin, begin + duration) by the straggler
+  /// windows it overlaps: in a bulk-synchronous phase one slow node holds
+  /// up the barrier, so overlap seconds are multiplied by the slowdown
+  /// factor (first order: overlap is measured against the unstretched
+  /// window). Counts the added seconds in stats().
+  SimTime stretched(SimTime begin, SimTime duration);
+
+  FaultStats& stats() { return stats_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  std::vector<FaultEvent> events_;  // crash + transient, sorted by time
+  std::vector<FaultEvent> stragglers_;
+  std::size_t next_ = 0;
+  std::vector<std::uint8_t> straggler_seen_;
+  FaultStats stats_;
+};
+
+}  // namespace gb::sim

@@ -7,19 +7,65 @@ namespace gb::sim {
 void UsageTrace::add(const UsageSegment& segment) {
   if (segment.end <= segment.begin) return;  // zero-length: nothing to record
   segments_.push_back(segment);
+  boundaries_valid_ = false;
+}
+
+void UsageTrace::build_boundaries() const {
+  boundaries_.clear();
+  if (!segments_.empty()) {
+    // Signed deltas at every segment edge; a prefix sum in time order
+    // yields the cumulative cover of each interval between boundaries.
+    struct Event {
+      SimTime time;
+      double cpu_cores, mem_bytes, net_in_bps, net_out_bps;
+    };
+    std::vector<Event> events;
+    events.reserve(segments_.size() * 2);
+    for (const auto& seg : segments_) {
+      events.push_back({seg.begin, seg.cpu_cores, seg.mem_bytes,
+                        seg.net_in_bps, seg.net_out_bps});
+      events.push_back({seg.end, -seg.cpu_cores, -seg.mem_bytes,
+                        -seg.net_in_bps, -seg.net_out_bps});
+    }
+    // Stable: ties keep insertion order, so the float summation order —
+    // and with it the samples — is independent of how std::sort breaks
+    // ties on this toolchain.
+    std::stable_sort(
+        events.begin(), events.end(),
+        [](const Event& a, const Event& b) { return a.time < b.time; });
+
+    Boundary running;
+    for (const Event& e : events) {
+      running.cpu_cores += e.cpu_cores;
+      running.mem_bytes += e.mem_bytes;
+      running.net_in_bps += e.net_in_bps;
+      running.net_out_bps += e.net_out_bps;
+      running.time = e.time;
+      if (!boundaries_.empty() && boundaries_.back().time == e.time) {
+        boundaries_.back() = running;
+      } else {
+        boundaries_.push_back(running);
+      }
+    }
+  }
+  boundaries_valid_ = true;
 }
 
 UsageSample UsageTrace::at(SimTime t) const {
   UsageSample s;
   s.time = t;
-  for (const auto& seg : segments_) {
-    if (t >= seg.begin && t < seg.end) {
-      s.cpu_cores += seg.cpu_cores;
-      s.mem_bytes += seg.mem_bytes;
-      s.net_in_bps += seg.net_in_bps;
-      s.net_out_bps += seg.net_out_bps;
-    }
-  }
+  if (!boundaries_valid_) build_boundaries();
+  // The covering boundary is the last one with time <= t; segments are
+  // half-open [begin, end), which the begin/end deltas encode exactly.
+  const auto it = std::upper_bound(
+      boundaries_.begin(), boundaries_.end(), t,
+      [](SimTime time, const Boundary& b) { return time < b.time; });
+  if (it == boundaries_.begin()) return s;
+  const Boundary& b = *(it - 1);
+  s.cpu_cores = b.cpu_cores;
+  s.mem_bytes = b.mem_bytes;
+  s.net_in_bps = b.net_in_bps;
+  s.net_out_bps = b.net_out_bps;
   return s;
 }
 
@@ -28,7 +74,12 @@ std::vector<UsageSample> UsageTrace::sample(SimTime horizon,
   std::vector<UsageSample> samples;
   if (horizon <= 0 || interval <= 0) return samples;
   samples.reserve(static_cast<std::size_t>(horizon / interval) + 1);
-  for (SimTime t = 0; t <= horizon; t += interval) {
+  // t = i * interval, not t += interval: the accumulated rounding of
+  // repeated addition drifts the sample grid off the segment boundaries
+  // on long traces.
+  for (std::size_t i = 0;; ++i) {
+    const SimTime t = static_cast<SimTime>(i) * interval;
+    if (t > horizon) break;
     samples.push_back(at(t));
   }
   return samples;

@@ -51,7 +51,23 @@ class UsageTrace {
   const std::vector<UsageSegment>& segments() const { return segments_; }
 
  private:
+  /// Cumulative usage on the half-open interval [time, next boundary).
+  struct Boundary {
+    SimTime time = 0;
+    double cpu_cores = 0;
+    double mem_bytes = 0;
+    double net_in_bps = 0;
+    double net_out_bps = 0;
+  };
+
+  void build_boundaries() const;
+
   std::vector<UsageSegment> segments_;
+  /// Lazily built sorted boundary sweep over the segment soup: queries
+  /// binary-search it instead of scanning every segment. Invalidated by
+  /// add(); rebuilding costs O(S log S) once per query burst.
+  mutable std::vector<Boundary> boundaries_;
+  mutable bool boundaries_valid_ = false;
 };
 
 }  // namespace gb::sim

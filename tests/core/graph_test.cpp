@@ -177,5 +177,58 @@ TEST(Graph, LoadBinaryRejectsGarbage) {
   std::filesystem::remove(path);
 }
 
+TEST(Graph, LoadBinaryRejectsTruncatedFile) {
+  const Graph g = test::barbell_graph();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gb_graph_truncated.bin")
+          .string();
+  g.save_binary(path);
+  const auto full = std::filesystem::file_size(path);
+  // Every proper prefix must be rejected cleanly — never a crash, never a
+  // silently wrong graph. Cover a spread of cut points including mid-header.
+  for (const std::uintmax_t size :
+       {full - 1, full / 2, std::uintmax_t{22}, std::uintmax_t{9},
+        std::uintmax_t{4}}) {
+    std::filesystem::resize_file(path, size);
+    EXPECT_THROW(Graph::load_binary(path), FormatError) << "size " << size;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Graph, LoadBinaryRejectsOversizedVectorLength) {
+  const Graph g = test::barbell_graph();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gb_graph_oversized.bin")
+          .string();
+  g.save_binary(path);
+  {
+    // Corrupt the first vector's length field (offset 22: after magic,
+    // version, directed flag, vertex and edge counts) to a huge value. A
+    // trusting reader would resize() to ~2^64 elements and die.
+    std::fstream out(path, std::ios::binary | std::ios::in | std::ios::out);
+    out.seekp(22);
+    const std::uint64_t bogus = ~std::uint64_t{0} / 2;
+    out.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  EXPECT_THROW(Graph::load_binary(path), FormatError);
+  std::filesystem::remove(path);
+}
+
+TEST(Graph, LoadBinaryRejectsUnknownFormatVersion) {
+  const Graph g = test::barbell_graph();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gb_graph_badversion.bin")
+          .string();
+  g.save_binary(path);
+  {
+    std::fstream out(path, std::ios::binary | std::ios::in | std::ios::out);
+    out.seekp(8);  // version byte sits right after the magic
+    const char version = 99;
+    out.write(&version, 1);
+  }
+  EXPECT_THROW(Graph::load_binary(path), FormatError);
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace gb

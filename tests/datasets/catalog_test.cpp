@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "core/graph_stats.h"
 
@@ -80,6 +81,87 @@ TEST(Catalog, CacheRoundTrip) {
   const Dataset cached = load_or_generate(DatasetId::kKGS, 0.02, 5, dir);
   EXPECT_EQ(cached.graph.num_vertices(), generated.graph.num_vertices());
   EXPECT_EQ(cached.graph.num_edges(), generated.graph.num_edges());
+  std::filesystem::remove_all(dir);
+}
+
+// The cache file for a cell, located without reaching into catalog
+// internals: after a cold load_or_generate the directory holds exactly
+// one .gbin file.
+std::filesystem::path only_cache_file(const std::string& dir) {
+  std::filesystem::path found;
+  int count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".gbin") {
+      found = entry.path();
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 1) << "expected exactly one cache file in " << dir;
+  return found;
+}
+
+TEST(Catalog, TruncatedCacheIsTreatedAsAMiss) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gb_cache_truncated").string();
+  std::filesystem::remove_all(dir);
+  const Dataset generated = load_or_generate(DatasetId::kKGS, 0.02, 5, dir);
+  const auto cache = only_cache_file(dir);
+  std::filesystem::resize_file(cache, std::filesystem::file_size(cache) / 2);
+
+  // Never a FormatError, never a crash: regenerate and repair the cache.
+  const Dataset repaired = load_or_generate(DatasetId::kKGS, 0.02, 5, dir);
+  EXPECT_EQ(repaired.graph.num_vertices(), generated.graph.num_vertices());
+  EXPECT_EQ(repaired.graph.num_edges(), generated.graph.num_edges());
+  const Dataset reloaded = load_or_generate(DatasetId::kKGS, 0.02, 5, dir);
+  EXPECT_EQ(reloaded.graph.num_edges(), generated.graph.num_edges());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Catalog, OversizedLengthCacheIsTreatedAsAMiss) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gb_cache_oversized").string();
+  std::filesystem::remove_all(dir);
+  const Dataset generated = load_or_generate(DatasetId::kKGS, 0.02, 5, dir);
+  const auto cache = only_cache_file(dir);
+  {
+    // Corrupt the first vector length (offset 22, after the header) to a
+    // value far larger than the file: the reader must notice, not
+    // allocate terabytes.
+    std::fstream out(cache, std::ios::binary | std::ios::in | std::ios::out);
+    out.seekp(22);
+    const std::uint64_t bogus = ~std::uint64_t{0} / 2;
+    out.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  const Dataset repaired = load_or_generate(DatasetId::kKGS, 0.02, 5, dir);
+  EXPECT_EQ(repaired.graph.num_vertices(), generated.graph.num_vertices());
+  EXPECT_EQ(repaired.graph.num_edges(), generated.graph.num_edges());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Catalog, GarbageCacheIsTreatedAsAMiss) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gb_cache_garbage").string();
+  std::filesystem::remove_all(dir);
+  const Dataset generated = load_or_generate(DatasetId::kKGS, 0.02, 5, dir);
+  const auto cache = only_cache_file(dir);
+  {
+    std::ofstream out(cache, std::ios::binary | std::ios::trunc);
+    out << "definitely not a graph";
+  }
+  const Dataset repaired = load_or_generate(DatasetId::kKGS, 0.02, 5, dir);
+  EXPECT_EQ(repaired.graph.num_edges(), generated.graph.num_edges());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Catalog, PublishLeavesNoTempFilesBehind) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gb_cache_tmpfiles").string();
+  std::filesystem::remove_all(dir);
+  load_or_generate(DatasetId::kKGS, 0.02, 5, dir);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".gbin")
+        << "stray file " << entry.path();
+  }
   std::filesystem::remove_all(dir);
 }
 

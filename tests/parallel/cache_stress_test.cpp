@@ -1,0 +1,96 @@
+// Concurrency stress for the dataset cache: N threads race
+// load_or_generate on the same (dataset, scale, seed) cell with a shared
+// cache directory. The atomic temp-file + rename publish means every
+// thread must come back with the same graph and no thread may ever see a
+// half-written cache file. Runs under TSAN in CI.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datasets/catalog.h"
+
+namespace gb::datasets {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(CacheStress, ConcurrentLoadOrGenerateSameCell) {
+  const std::string dir = fresh_dir("gb_cache_stress_same");
+  constexpr int kThreads = 8;
+  std::vector<Dataset> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&results, &dir, i] {
+        results[static_cast<std::size_t>(i)] =
+            load_or_generate(DatasetId::kKGS, 0.01, 5, dir);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const Dataset reference = generate(DatasetId::kKGS, 0.01, 5);
+  for (const auto& ds : results) {
+    EXPECT_EQ(ds.graph.num_vertices(), reference.graph.num_vertices());
+    EXPECT_EQ(ds.graph.num_edges(), reference.graph.num_edges());
+  }
+  // The published cache is valid — no temp debris left behind counts as
+  // the cell (a later run must hit it, not regenerate garbage).
+  const Dataset cached = load_or_generate(DatasetId::kKGS, 0.01, 5, dir);
+  EXPECT_EQ(cached.graph.num_edges(), reference.graph.num_edges());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheStress, ConcurrentLoadOrGenerateMixedCells) {
+  // Different cells sharing one directory must not cross-contaminate.
+  const std::string dir = fresh_dir("gb_cache_stress_mixed");
+  struct Cell {
+    DatasetId id;
+    double scale;
+    std::uint64_t seed;
+  };
+  const std::vector<Cell> cells = {
+      {DatasetId::kKGS, 0.01, 5},
+      {DatasetId::kKGS, 0.01, 6},
+      {DatasetId::kAmazon, 0.02, 5},
+      {DatasetId::kWikiTalk, 0.01, 5},
+  };
+  constexpr int kRounds = 2;
+  std::vector<Dataset> results(cells.size() * kRounds);
+  {
+    std::vector<std::thread> threads;
+    for (int round = 0; round < kRounds; ++round) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        const std::size_t slot = static_cast<std::size_t>(round) * cells.size() + c;
+        threads.emplace_back([&results, &cells, &dir, slot, c] {
+          results[slot] = load_or_generate(cells[c].id, cells[c].scale,
+                                           cells[c].seed, dir);
+        });
+      }
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const Dataset reference =
+        generate(cells[c].id, cells[c].scale, cells[c].seed);
+    for (int round = 0; round < kRounds; ++round) {
+      const auto& ds =
+          results[static_cast<std::size_t>(round) * cells.size() + c];
+      EXPECT_EQ(ds.graph.num_vertices(), reference.graph.num_vertices())
+          << ds.name << " round " << round;
+      EXPECT_EQ(ds.graph.num_edges(), reference.graph.num_edges())
+          << ds.name << " round " << round;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace gb::datasets

@@ -1,0 +1,109 @@
+// Fault injection must not weaken the PR 1 determinism contract: the same
+// fault plan produces a bit-identical fault schedule — and a bit-identical
+// report — at every host `parallelism`. Only host_threads (varies with the
+// setting by definition) and host_wall_sec (real wall-clock) are stripped
+// before comparison.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "algorithms/platform_suite.h"
+#include "datasets/catalog.h"
+#include "harness/experiment.h"
+#include "harness/json.h"
+#include "sim/faults.h"
+
+namespace gb::algorithms {
+namespace {
+
+using platforms::Algorithm;
+
+/// Remove one "key":value member (and its separator) from compact JSON.
+std::string strip_member(std::string json, const std::string& name) {
+  const std::string key = "\"" + name + "\":";
+  const auto start = json.find(key);
+  if (start == std::string::npos) return json;
+  auto end = start + key.size();
+  while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+  if (end < json.size() && json[end] == ',') ++end;
+  json.erase(start, end - start);
+  return json;
+}
+
+std::string strip_host_fields(std::string json) {
+  return strip_member(strip_member(std::move(json), "host_wall_sec"),
+                      "host_threads");
+}
+
+std::string run_report(const platforms::Platform& platform,
+                       const datasets::Dataset& ds, Algorithm algorithm,
+                       const sim::FaultPlan& faults,
+                       std::uint32_t parallelism,
+                       std::uint32_t checkpoint_interval = 0) {
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 8;
+  cfg.parallelism = parallelism;
+  cfg.faults = faults;
+  auto params = harness::default_params(ds);
+  params.checkpoint_interval = checkpoint_interval;
+  const auto m = harness::run_cell(platform, ds, algorithm, params, cfg);
+  return harness::measurement_to_json(platform.name(), ds.name,
+                                      platforms::algorithm_name(algorithm), m);
+}
+
+TEST(FaultDeterminism, SameSeedSameScheduleAtEveryParallelism) {
+  const auto ds = datasets::generate(datasets::DatasetId::kKGS, 0.01, 7);
+  sim::FaultPlan plan = sim::FaultPlan::random(1234, 8, 600.0, 6);
+  plan.add_spec("straggler:50:2.5:100");
+
+  const struct {
+    std::unique_ptr<platforms::Platform> platform;
+    Algorithm algorithm;
+    std::uint32_t checkpoint_interval;
+  } cells[] = {
+      {make_hadoop(), Algorithm::kConn, 0},
+      {make_giraph(), Algorithm::kBfs, 2},
+      {make_stratosphere(), Algorithm::kConn, 0},
+  };
+  for (const auto& cell : cells) {
+    SCOPED_TRACE(cell.platform->name());
+    const std::string serial = strip_host_fields(
+        run_report(*cell.platform, ds, cell.algorithm, plan, 1,
+                   cell.checkpoint_interval));
+    EXPECT_NE(serial.find("\"faults\""), std::string::npos);
+    for (const std::uint32_t parallelism : {2u, 0u}) {
+      const std::string parallel = strip_host_fields(
+          run_report(*cell.platform, ds, cell.algorithm, plan, parallelism,
+                     cell.checkpoint_interval));
+      EXPECT_EQ(parallel, serial) << "parallelism " << parallelism;
+    }
+  }
+}
+
+TEST(FaultDeterminism, AbortedRunsAreDeterministicToo) {
+  // GraphLab aborts on a worker loss; the failure report — outcome,
+  // message, fault stats — must also be parallelism-independent.
+  const auto ds = datasets::generate(datasets::DatasetId::kKGS, 0.01, 7);
+  sim::FaultPlan plan;
+  plan.add_spec("worker:100:2");
+  const auto graphlab = make_graphlab();
+  const std::string serial =
+      strip_host_fields(run_report(*graphlab, ds, Algorithm::kConn, plan, 1));
+  EXPECT_NE(serial.find("crash"), std::string::npos);
+  const std::string parallel =
+      strip_host_fields(run_report(*graphlab, ds, Algorithm::kConn, plan, 0));
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(FaultDeterminism, NoFaultPlanReportsAllZeroFaultSection) {
+  const auto ds = datasets::generate(datasets::DatasetId::kKGS, 0.01, 7);
+  const auto giraph = make_giraph();
+  const std::string report =
+      run_report(*giraph, ds, Algorithm::kBfs, sim::FaultPlan{}, 0);
+  EXPECT_NE(report.find("\"faults\":{\"injected\":0,"), std::string::npos);
+  EXPECT_NE(report.find("\"recovery_sec\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gb::algorithms

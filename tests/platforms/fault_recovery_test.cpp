@@ -1,0 +1,199 @@
+// Per-platform recovery semantics under injected faults, exercised through
+// the full harness: Hadoop re-executes tasks, Giraph restarts from a
+// checkpoint (and dies without one), GraphLab aborts, Stratosphere re-runs
+// the failed stage, Neo4j replays the query after a transaction-log
+// restart. All faults are scheduled in simulated time, so every assertion
+// here is exact and repeatable.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algorithms/platform_suite.h"
+#include "datasets/catalog.h"
+#include "harness/experiment.h"
+#include "sim/faults.h"
+#include "../test_util.h"
+
+namespace gb::platforms {
+namespace {
+
+using harness::Measurement;
+using harness::Outcome;
+
+datasets::Dataset small_dataset() {
+  // Big enough that every platform's run comfortably spans the fault
+  // times used below (hundreds of simulated seconds).
+  static const datasets::Dataset ds =
+      datasets::generate(datasets::DatasetId::kKGS, 0.01, 7);
+  return ds;
+}
+
+Measurement run(const Platform& platform, Algorithm algorithm,
+                const sim::FaultPlan& faults,
+                std::uint32_t checkpoint_interval = 0) {
+  const auto ds = small_dataset();
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 8;
+  cfg.faults = faults;
+  auto params = harness::default_params(ds);
+  params.checkpoint_interval = checkpoint_interval;
+  return harness::run_cell(platform, ds, algorithm, params, cfg);
+}
+
+sim::FaultPlan crash_at(SimTime t, std::uint32_t worker = 3) {
+  sim::FaultPlan plan;
+  plan.add({.kind = sim::FaultKind::kWorkerCrash, .time = t, .worker = worker});
+  return plan;
+}
+
+TEST(FaultRecovery, HadoopReexecutesAndFinishes) {
+  const auto hadoop = algorithms::make_hadoop();
+  const Measurement clean = run(*hadoop, Algorithm::kConn, {});
+  ASSERT_TRUE(clean.ok());
+  const Measurement faulty =
+      run(*hadoop, Algorithm::kConn, crash_at(clean.time() * 0.5));
+  ASSERT_TRUE(faulty.ok()) << faulty.message;
+  EXPECT_EQ(faulty.faults.injected, 1u);
+  EXPECT_EQ(faulty.faults.worker_crashes, 1u);
+  EXPECT_GT(faulty.faults.task_retries, 0u);
+  EXPECT_GT(faulty.faults.recovery_sec, 0.0);
+  // Recovery costs simulated time: the faulty run is strictly slower.
+  EXPECT_GT(faulty.time(), clean.time());
+}
+
+TEST(FaultRecovery, HadoopTransientTaskIsCheaperThanCrash) {
+  const auto hadoop = algorithms::make_hadoop();
+  const Measurement clean = run(*hadoop, Algorithm::kConn, {});
+  ASSERT_TRUE(clean.ok());
+  sim::FaultPlan transient;
+  transient.add({.kind = sim::FaultKind::kTransientTask,
+                 .time = clean.time() * 0.3,
+                 .worker = 3});
+  const Measurement task_fail = run(*hadoop, Algorithm::kConn, transient);
+  const Measurement crash =
+      run(*hadoop, Algorithm::kConn, crash_at(clean.time() * 0.3));
+  ASSERT_TRUE(task_fail.ok());
+  ASSERT_TRUE(crash.ok());
+  // One lost attempt out of many slots redoes far less work than a lost
+  // node's whole task wave (<= because a fault landing right on an
+  // iteration boundary legitimately loses ~nothing either way), and a
+  // crash additionally pays the 30 s failure-detection window.
+  EXPECT_LE(task_fail.faults.recomputed_sec, crash.faults.recomputed_sec);
+  EXPECT_LT(task_fail.faults.recovery_sec, crash.faults.recovery_sec);
+  EXPECT_LT(task_fail.time(), crash.time());
+}
+
+TEST(FaultRecovery, HadoopJobDiesWhenANodeExhaustsItsAttempts) {
+  const auto hadoop = algorithms::make_hadoop();
+  const Measurement clean = run(*hadoop, Algorithm::kConn, {});
+  ASSERT_TRUE(clean.ok());
+  sim::FaultPlan plan;
+  for (int i = 0; i < 6; ++i) {
+    // Same node fails repeatedly early in the run; default
+    // max_task_attempts is 4, so the job must be killed.
+    plan.add({.kind = sim::FaultKind::kTransientTask,
+              .time = clean.time() * 0.1 + static_cast<SimTime>(i),
+              .worker = 5});
+  }
+  const Measurement m = run(*hadoop, Algorithm::kConn, plan);
+  EXPECT_EQ(m.outcome, Outcome::kWorkerLost);
+  // The failure still reports what was injected before the job died.
+  EXPECT_GT(m.faults.injected, 0u);
+}
+
+TEST(FaultRecovery, GiraphWithoutCheckpointsCannotRecover) {
+  const auto giraph = algorithms::make_giraph();
+  const Measurement clean = run(*giraph, Algorithm::kConn, {});
+  ASSERT_TRUE(clean.ok());
+  const Measurement m =
+      run(*giraph, Algorithm::kConn, crash_at(clean.time() * 0.5));
+  EXPECT_EQ(m.outcome, Outcome::kWorkerLost);
+  EXPECT_EQ(m.faults.worker_crashes, 1u);
+}
+
+TEST(FaultRecovery, GiraphCheckpointingTradesOverheadForRecovery) {
+  const auto giraph = algorithms::make_giraph();
+  const Measurement clean = run(*giraph, Algorithm::kConn, {});
+  ASSERT_TRUE(clean.ok());
+
+  // Checkpointing without faults: pure overhead, still succeeds.
+  const Measurement ckpt = run(*giraph, Algorithm::kConn, {}, 2);
+  ASSERT_TRUE(ckpt.ok());
+  EXPECT_GT(ckpt.faults.checkpoint_overhead_sec, 0.0);
+  EXPECT_GT(ckpt.time(), clean.time());
+
+  // Checkpointing with a crash: restart from the last checkpoint and
+  // finish anyway.
+  const Measurement recovered =
+      run(*giraph, Algorithm::kConn, crash_at(clean.time() * 0.5), 2);
+  ASSERT_TRUE(recovered.ok()) << recovered.message;
+  EXPECT_EQ(recovered.faults.checkpoint_restarts, 1u);
+  EXPECT_GT(recovered.faults.recovery_sec, 0.0);
+  EXPECT_GT(recovered.time(), ckpt.time());
+}
+
+TEST(FaultRecovery, GraphLabAbortsTheWholeJob) {
+  const auto graphlab = algorithms::make_graphlab();
+  const Measurement clean = run(*graphlab, Algorithm::kConn, {});
+  ASSERT_TRUE(clean.ok());
+  const Measurement m =
+      run(*graphlab, Algorithm::kConn, crash_at(clean.time() * 0.5));
+  EXPECT_EQ(m.outcome, Outcome::kWorkerLost);
+  EXPECT_EQ(m.faults.worker_crashes, 1u);
+  EXPECT_GT(m.faults.recovery_sec, 0.0);  // failure detection was charged
+}
+
+TEST(FaultRecovery, StratosphereRerunsTheFailedStage) {
+  const auto stratosphere = algorithms::make_stratosphere();
+  const Measurement clean = run(*stratosphere, Algorithm::kConn, {});
+  ASSERT_TRUE(clean.ok());
+  const Measurement m =
+      run(*stratosphere, Algorithm::kConn, crash_at(clean.time() * 0.5));
+  ASSERT_TRUE(m.ok()) << m.message;
+  EXPECT_GT(m.faults.task_retries, 0u);
+  EXPECT_GT(m.time(), clean.time());
+}
+
+TEST(FaultRecovery, Neo4jReplaysTheQueryAfterRestart) {
+  const auto neo4j = algorithms::make_neo4j();
+  const Measurement clean = run(*neo4j, Algorithm::kStats, {});
+  ASSERT_TRUE(clean.ok());
+  const Measurement m =
+      run(*neo4j, Algorithm::kStats, crash_at(clean.time() * 0.5, 0));
+  ASSERT_TRUE(m.ok()) << m.message;
+  EXPECT_GT(m.faults.task_retries, 0u);
+  EXPECT_GT(m.faults.recomputed_sec, 0.0);
+  EXPECT_GT(m.time(), clean.time());
+}
+
+TEST(FaultRecovery, StragglerSlowsTheRunWithoutFailingIt) {
+  const auto giraph = algorithms::make_giraph();
+  const Measurement clean = run(*giraph, Algorithm::kConn, {});
+  ASSERT_TRUE(clean.ok());
+  sim::FaultPlan plan;
+  plan.add({.kind = sim::FaultKind::kStraggler,
+            .time = clean.time() * 0.25,
+            .worker = 1,
+            .slowdown = 3.0,
+            .duration = clean.time() * 0.5});
+  const Measurement m = run(*giraph, Algorithm::kConn, plan);
+  ASSERT_TRUE(m.ok()) << m.message;
+  EXPECT_EQ(m.faults.stragglers, 1u);
+  EXPECT_GT(m.faults.straggler_delay_sec, 0.0);
+  EXPECT_GT(m.time(), clean.time());
+  EXPECT_EQ(m.faults.checkpoint_restarts, 0u);
+}
+
+TEST(FaultRecovery, FaultAfterCompletionNeverFires) {
+  const auto giraph = algorithms::make_giraph();
+  const Measurement clean = run(*giraph, Algorithm::kConn, {});
+  ASSERT_TRUE(clean.ok());
+  const Measurement m =
+      run(*giraph, Algorithm::kConn, crash_at(clean.time() * 10.0));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.faults.injected, 0u);
+  EXPECT_DOUBLE_EQ(m.time(), clean.time());
+}
+
+}  // namespace
+}  // namespace gb::platforms

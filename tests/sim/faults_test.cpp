@@ -1,0 +1,134 @@
+#include "sim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace gb::sim {
+namespace {
+
+TEST(FaultPlan, AddSpecParsesAllKinds) {
+  FaultPlan plan;
+  plan.add_spec("worker:120");
+  plan.add_spec("task:30.5:7");
+  plan.add_spec("straggler:60:3.0:200:2");
+  ASSERT_EQ(plan.events().size(), 3u);
+
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kWorkerCrash);
+  EXPECT_DOUBLE_EQ(plan.events()[0].time, 120.0);
+
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kTransientTask);
+  EXPECT_DOUBLE_EQ(plan.events()[1].time, 30.5);
+  EXPECT_EQ(plan.events()[1].worker, 7u);
+
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kStraggler);
+  EXPECT_DOUBLE_EQ(plan.events()[2].slowdown, 3.0);
+  EXPECT_DOUBLE_EQ(plan.events()[2].duration, 200.0);
+  EXPECT_EQ(plan.events()[2].worker, 2u);
+}
+
+TEST(FaultPlan, AddSpecRejectsMalformedSpecs) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.add_spec(""), Error);
+  EXPECT_THROW(plan.add_spec("worker"), Error);
+  EXPECT_THROW(plan.add_spec("worker:abc"), Error);
+  EXPECT_THROW(plan.add_spec("meteor:10"), Error);
+  EXPECT_THROW(plan.add_spec("straggler:10:2"), Error);  // missing duration
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, RandomIsAPureFunctionOfTheSeed) {
+  const FaultPlan a = FaultPlan::random(99, 20, 3600.0, 16);
+  const FaultPlan b = FaultPlan::random(99, 20, 3600.0, 16);
+  ASSERT_EQ(a.events().size(), 16u);
+  ASSERT_EQ(b.events().size(), 16u);
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind) << i;
+    EXPECT_DOUBLE_EQ(a.events()[i].time, b.events()[i].time) << i;
+    EXPECT_EQ(a.events()[i].worker, b.events()[i].worker) << i;
+  }
+  // A different seed perturbs the schedule.
+  const FaultPlan c = FaultPlan::random(100, 20, 3600.0, 16);
+  bool any_different = false;
+  for (std::size_t i = 0; i < c.events().size(); ++i) {
+    if (c.events()[i].time != a.events()[i].time) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(FaultPlan, RandomStaysInsideTheHorizon) {
+  const FaultPlan plan = FaultPlan::random(7, 10, 100.0, 64);
+  for (const auto& event : plan.events()) {
+    EXPECT_GT(event.time, 0.0);
+    EXPECT_LT(event.time, 100.0);
+    EXPECT_LT(event.worker, 10u);
+  }
+}
+
+TEST(FaultInjector, TakeBeforeHandsOutEventsOnceInTimeOrder) {
+  FaultPlan plan;
+  plan.add({.kind = FaultKind::kTransientTask, .time = 50.0, .worker = 1});
+  plan.add({.kind = FaultKind::kWorkerCrash, .time = 10.0, .worker = 2});
+  FaultInjector injector(plan);
+  EXPECT_TRUE(injector.enabled());
+
+  // Nothing before the first event's time (strict <).
+  EXPECT_EQ(injector.take_before(10.0), nullptr);
+
+  const FaultEvent* first = injector.take_before(60.0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->kind, FaultKind::kWorkerCrash);  // sorted by time
+  const FaultEvent* second = injector.take_before(60.0);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->kind, FaultKind::kTransientTask);
+  EXPECT_EQ(injector.take_before(60.0), nullptr);  // each fires once
+
+  EXPECT_EQ(injector.stats().injected, 2u);
+  EXPECT_EQ(injector.stats().worker_crashes, 1u);
+  EXPECT_EQ(injector.stats().transient_failures, 1u);
+}
+
+TEST(FaultInjector, PeekDoesNotConsume) {
+  FaultPlan plan;
+  plan.add({.kind = FaultKind::kWorkerCrash, .time = 5.0});
+  FaultInjector injector(plan);
+  EXPECT_NE(injector.peek_before(10.0), nullptr);
+  EXPECT_NE(injector.peek_before(10.0), nullptr);
+  EXPECT_EQ(injector.stats().injected, 0u);
+  EXPECT_NE(injector.take_before(10.0), nullptr);
+  EXPECT_EQ(injector.peek_before(10.0), nullptr);
+}
+
+TEST(FaultInjector, StragglerStretchesOverlapOnly) {
+  FaultPlan plan;
+  plan.add({.kind = FaultKind::kStraggler,
+            .time = 100.0,
+            .worker = 0,
+            .slowdown = 2.0,
+            .duration = 50.0});
+  FaultInjector injector(plan);
+
+  // Entirely before the slow window: unchanged.
+  EXPECT_DOUBLE_EQ(injector.stretched(0.0, 50.0), 50.0);
+  // Fully inside: doubled (slowdown 2 => +overlap).
+  EXPECT_DOUBLE_EQ(injector.stretched(100.0, 50.0), 100.0);
+  // Half overlap at the front edge.
+  EXPECT_DOUBLE_EQ(injector.stretched(75.0, 50.0), 75.0);
+  // Entirely after: unchanged.
+  EXPECT_DOUBLE_EQ(injector.stretched(200.0, 10.0), 10.0);
+
+  EXPECT_EQ(injector.stats().stragglers, 1u);
+  EXPECT_DOUBLE_EQ(injector.stats().straggler_delay_sec, 75.0);
+}
+
+TEST(FaultInjector, EmptyPlanIsDisabledAndFree) {
+  FaultInjector injector{FaultPlan{}};
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_EQ(injector.take_before(1e9), nullptr);
+  EXPECT_DOUBLE_EQ(injector.stretched(0.0, 123.0), 123.0);
+  EXPECT_EQ(injector.stats().injected, 0u);
+  EXPECT_DOUBLE_EQ(injector.stats().straggler_delay_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace gb::sim

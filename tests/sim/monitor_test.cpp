@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 namespace gb::sim {
 namespace {
 
@@ -60,6 +62,102 @@ TEST(UsageTrace, NetworkRatesTracked) {
   trace.add({.begin = 0, .end = 5, .net_in_bps = 1000, .net_out_bps = 500});
   EXPECT_DOUBLE_EQ(trace.at(1.0).net_in_bps, 1000.0);
   EXPECT_DOUBLE_EQ(trace.at(1.0).net_out_bps, 500.0);
+}
+
+/// Reference implementation: sum every covering segment directly, the
+/// O(segments) way the trace used to answer queries.
+UsageSample naive_at(const UsageTrace& trace, SimTime t) {
+  UsageSample s;
+  s.time = t;
+  for (const auto& seg : trace.segments()) {
+    if (t < seg.begin || t >= seg.end) continue;
+    s.cpu_cores += seg.cpu_cores;
+    s.mem_bytes += seg.mem_bytes;
+    s.net_in_bps += seg.net_in_bps;
+    s.net_out_bps += seg.net_out_bps;
+  }
+  return s;
+}
+
+TEST(UsageTrace, SweepMatchesNaiveScanOnRandomSegmentSoups) {
+  std::mt19937_64 rng(20140604);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  for (int soup = 0; soup < 20; ++soup) {
+    UsageTrace trace;
+    const int segments = 1 + static_cast<int>(uniform(rng) * 200);
+    for (int i = 0; i < segments; ++i) {
+      UsageSegment seg;
+      seg.begin = uniform(rng) * 1000.0;
+      seg.end = seg.begin + uniform(rng) * 300.0;
+      seg.cpu_cores = uniform(rng) * 16.0;
+      seg.mem_bytes = uniform(rng) * 1e9;
+      seg.net_in_bps = uniform(rng) * 1e8;
+      seg.net_out_bps = uniform(rng) * 1e8;
+      trace.add(seg);
+    }
+    // Tolerance scale: the sweep's prefix sum cancels +x with -x in a
+    // different order than the naive scan adds them, so residuals are
+    // relative to the total magnitude pushed through the sum — not to
+    // the (possibly ~zero) query result.
+    UsageSample scale;
+    for (const auto& seg : trace.segments()) {
+      scale.cpu_cores += seg.cpu_cores;
+      scale.mem_bytes += seg.mem_bytes;
+      scale.net_in_bps += seg.net_in_bps;
+      scale.net_out_bps += seg.net_out_bps;
+    }
+    for (int q = 0; q < 200; ++q) {
+      // Mix arbitrary times with exact segment edges, where the half-open
+      // semantics are easiest to get wrong.
+      SimTime t;
+      if (q % 3 == 0 && !trace.segments().empty()) {
+        const auto& seg =
+            trace.segments()[static_cast<std::size_t>(q) %
+                             trace.segments().size()];
+        t = (q % 2 == 0) ? seg.begin : seg.end;
+      } else {
+        t = uniform(rng) * 1400.0 - 50.0;
+      }
+      const UsageSample fast = trace.at(t);
+      const UsageSample slow = naive_at(trace, t);
+      // The sweep sums in boundary order, the scan in insertion order:
+      // identical values up to float associativity, hence the relative
+      // tolerance instead of exact equality.
+      EXPECT_NEAR(fast.cpu_cores, slow.cpu_cores,
+                  1e-12 * (1.0 + scale.cpu_cores));
+      EXPECT_NEAR(fast.mem_bytes, slow.mem_bytes,
+                  1e-12 * (1.0 + scale.mem_bytes));
+      EXPECT_NEAR(fast.net_in_bps, slow.net_in_bps,
+                  1e-12 * (1.0 + scale.net_in_bps));
+      EXPECT_NEAR(fast.net_out_bps, slow.net_out_bps,
+                  1e-12 * (1.0 + scale.net_out_bps));
+    }
+  }
+}
+
+TEST(UsageTrace, AddAfterQueryInvalidatesTheSweep) {
+  UsageTrace trace;
+  trace.add({.begin = 0, .end = 10, .cpu_cores = 1.0});
+  EXPECT_DOUBLE_EQ(trace.at(5.0).cpu_cores, 1.0);  // builds the sweep
+  trace.add({.begin = 0, .end = 10, .cpu_cores = 2.0});
+  EXPECT_DOUBLE_EQ(trace.at(5.0).cpu_cores, 3.0);  // rebuilt, not stale
+}
+
+TEST(UsageTrace, SampleGridDoesNotDriftOnLongHorizons) {
+  // 0.1 is not exactly representable: accumulating t += 0.1 drifts the
+  // grid by ~1e-10 per step, which is off by >1e-6 after 100k samples.
+  // The contract is that sample i sits at exactly i * interval (one
+  // rounding, not i of them).
+  UsageTrace trace;
+  trace.add({.begin = 0.0, .end = 20000.0, .cpu_cores = 1.0});
+  const auto samples = trace.sample(10000.0, 0.1);
+  ASSERT_GE(samples.size(), 100000u);
+  ASSERT_LE(samples.size(), 100001u);
+  for (const std::size_t i :
+       {std::size_t{0}, std::size_t{1}, std::size_t{12345},
+        samples.size() - 1}) {
+    EXPECT_DOUBLE_EQ(samples[i].time, static_cast<SimTime>(i) * 0.1) << i;
+  }
 }
 
 }  // namespace

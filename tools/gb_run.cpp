@@ -18,6 +18,7 @@
 #include "harness/json.h"
 #include "harness/report.h"
 #include "sim/cost_config.h"
+#include "sim/faults.h"
 
 namespace {
 
@@ -34,7 +35,13 @@ using namespace gb;
                "[--seed S] [--breakdown] [--json]\n"
                "              [--parallelism N]   (host threads: 0 = "
                "hardware, 1 = serial)\n"
-               "              [--cost name=value]...   (see --list-costs)\n";
+               "              [--cost name=value]...   (see --list-costs)\n"
+               "              [--fault worker:<t>[:<w>] | task:<t>[:<w>] | "
+               "straggler:<t>:<factor>:<dur>[:<w>]]...\n"
+               "              [--fault-seed S:N]   (N random faults from "
+               "seed S)\n"
+               "              [--checkpoint-interval N]   (Giraph: "
+               "checkpoint every N supersteps, 0 = off)\n";
   std::exit(2);
 }
 
@@ -76,6 +83,12 @@ int main(int argc, char** argv) {
   bool breakdown = false;
   bool json = false;
   sim::CostModel cost;
+  sim::FaultPlan faults;
+  std::uint32_t checkpoint_interval = 0;
+  bool have_fault_seed = false;
+  std::uint64_t fault_seed = 0;
+  std::uint32_t fault_events = 0;
+  double fault_horizon = 3600.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -105,6 +118,34 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--cost") {
       sim::apply_cost_override(cost, value());
+    } else if (arg == "--fault") {
+      try {
+        faults.add_spec(value());
+      } catch (const std::exception& e) {
+        usage(e.what());
+      }
+    } else if (arg == "--fault-seed") {
+      // S:N[:horizon] — N seed-driven faults over (0, horizon) seconds.
+      const std::string spec = value();
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos) {
+        usage("--fault-seed expects S:N[:horizon]");
+      }
+      try {
+        fault_seed = std::stoull(spec.substr(0, colon));
+        std::string rest = spec.substr(colon + 1);
+        const auto colon2 = rest.find(':');
+        if (colon2 != std::string::npos) {
+          fault_horizon = std::stod(rest.substr(colon2 + 1));
+          rest.resize(colon2);
+        }
+        fault_events = static_cast<std::uint32_t>(std::stoul(rest));
+      } catch (...) {
+        usage("--fault-seed expects S:N[:horizon]");
+      }
+      have_fault_seed = true;
+    } else if (arg == "--checkpoint-interval") {
+      checkpoint_interval = static_cast<std::uint32_t>(std::stoul(value()));
     } else if (arg == "--list-costs") {
       for (const auto& name : sim::cost_parameter_names()) {
         std::cout << name << "=" << sim::cost_parameter(cost, name) << "\n";
@@ -132,7 +173,14 @@ int main(int argc, char** argv) {
   cfg.cores_per_worker = cores;
   cfg.cost = cost;
   cfg.parallelism = parallelism;
-  const auto params = harness::default_params(ds);
+  if (have_fault_seed) {
+    const auto random = sim::FaultPlan::random(fault_seed, workers,
+                                               fault_horizon, fault_events);
+    for (const auto& event : random.events()) faults.add(event);
+  }
+  cfg.faults = faults;
+  auto params = harness::default_params(ds);
+  params.checkpoint_interval = checkpoint_interval;
   const auto m = harness::run_cell(*platform, ds, algorithm, params, cfg);
 
   if (json) {
@@ -148,6 +196,15 @@ int main(int argc, char** argv) {
   std::cout << "  outcome:     " << harness::format_measurement(m);
   if (!m.ok()) std::cout << "  (" << m.message << ")";
   std::cout << "\n";
+  if (m.faults.injected > 0) {
+    std::cout << "  faults:      " << m.faults.injected << " injected ("
+              << m.faults.worker_crashes << " crash, "
+              << m.faults.transient_failures << " task, "
+              << m.faults.stragglers << " straggler); "
+              << m.faults.task_retries << " retries, "
+              << m.faults.checkpoint_restarts << " restarts, recovery "
+              << harness::format_seconds(m.faults.recovery_sec) << "\n";
+  }
   if (m.ok()) {
     std::cout << "  computation: "
               << harness::format_seconds(m.result.computation_time) << "\n";
