@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks of the observability layer: span and
+// metric recording sit on every engine phase boundary, and trace export
+// runs once per traced cell, so their host-side cost must stay noise.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_json.h"
+#include "sim/cluster.h"
+
+namespace {
+
+using namespace gb;
+
+void BM_MetricsIncr(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  for (auto _ : state) {
+    reg.incr("tasks.scheduled");
+    reg.add("shuffle.bytes", 4096.0);
+  }
+  benchmark::DoNotOptimize(reg.counter("tasks.scheduled"));
+}
+BENCHMARK(BM_MetricsIncr);
+
+void BM_MetricsSnapshot(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  const auto metrics = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < metrics; ++i) {
+    reg.incr("counter." + std::to_string(i), i);
+    reg.add("gauge." + std::to_string(i), static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.snapshot());
+  }
+}
+BENCHMARK(BM_MetricsSnapshot)->Arg(16)->Arg(64);
+
+void BM_TraceSpanRecord(benchmark::State& state) {
+  obs::TraceRecorder rec;
+  double t = 0.0;
+  for (auto _ : state) {
+    rec.add_span("superstep", "computation", t, t + 1.0, true, 20);
+    t += 1.0;
+    if (rec.spans().size() >= 1u << 20) rec.clear();
+  }
+  benchmark::DoNotOptimize(rec.spans().size());
+}
+BENCHMARK(BM_TraceSpanRecord);
+
+void BM_TraceExport(benchmark::State& state) {
+  const auto spans = static_cast<std::size_t>(state.range(0));
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 8;
+  sim::Cluster cluster(cfg);
+  for (std::size_t i = 0; i < spans; ++i) {
+    const double t = static_cast<double>(i);
+    cluster.trace().add_span("phase " + std::to_string(i % 16), "computation",
+                             t, t + 1.0, i % 2 == 0, 8);
+  }
+  cluster.metrics().incr("tasks.scheduled", spans);
+  cluster.add_baselines(static_cast<double>(spans), Bytes{1} << 30,
+                        Bytes{1} << 30);
+  obs::TraceMeta meta;
+  meta.platform = "Giraph";
+  meta.dataset = "bench";
+  meta.algorithm = "BFS";
+  meta.outcome = "ok";
+  meta.total_time = static_cast<double>(spans);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::trace_to_json(cluster, meta));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(spans));
+}
+BENCHMARK(BM_TraceExport)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -716,6 +716,11 @@ class Neo4jPlatform final : public Platform {
     }
 
     // Single-machine accounting: setup is overhead, the rest computation.
+    const auto& db_stats = db.access_stats();
+    cluster.metrics().incr("db.node_expansions", db_stats.node_expansions);
+    cluster.metrics().incr("db.relationship_accesses",
+                           db_stats.relationship_accesses);
+    cluster.metrics().add("db.property_accesses", db_stats.property_accesses);
     const SimTime setup = db.config().query_setup_sec;
     const double mem = std::min(
         static_cast<double>(db.store().object_cache_demand()),
@@ -735,8 +740,10 @@ class Neo4jPlatform final : public Platform {
       ++fstats.task_retries;
       fstats.recomputed_sec += lost;
       fstats.recovery_sec += restart + lost;
+      cluster.metrics().incr("tasks.retried");
       rec.phase("recovery", restart + lost, false,
-                PhaseUsage{.worker_cpu_cores = 1.0, .worker_mem_bytes = mem});
+                PhaseUsage{.worker_cpu_cores = 1.0, .worker_mem_bytes = mem},
+                "recovery");
     }
     if (rec.now() > params.time_limit) {
       throw PlatformError(PlatformError::Kind::kTimeout,

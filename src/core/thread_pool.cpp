@@ -10,6 +10,7 @@ namespace {
 // Set for the duration of worker_loop so nested parallel calls from a
 // worker onto its own pool can be detected and run inline.
 thread_local const ThreadPool* tl_worker_pool = nullptr;
+thread_local std::size_t tl_worker_index = 0;
 
 }  // namespace
 
@@ -21,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (size_ == 1) return;  // inline mode: no worker threads
   workers_.reserve(size_);
   for (std::size_t i = 0; i < size_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -34,8 +35,9 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
   tl_worker_pool = this;
+  tl_worker_index = index;
   for (;;) {
     std::function<void()> task;
     {
@@ -111,14 +113,40 @@ std::pair<std::size_t, std::size_t> ThreadPool::chunk_range(std::size_t n,
   return {begin, end};
 }
 
+void ThreadPool::set_profile_sink(ChunkProfileSink* sink) {
+  profile_epoch_ = std::chrono::steady_clock::now();
+  profile_sink_.store(sink, std::memory_order_release);
+}
+
 void ThreadPool::parallel_chunks(
     std::size_t n, std::size_t chunks,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (n == 0 || chunks == 0) return;
-  if (size_ == 1 || chunks == 1 || on_worker_thread()) {
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const auto [begin, end] = chunk_range(n, chunks, c);
+  // Wall-clock profiling wrapper; a null sink costs one atomic load per
+  // parallel_chunks call and nothing per chunk.
+  ChunkProfileSink* const sink =
+      profile_sink_.load(std::memory_order_acquire);
+  const auto epoch = profile_epoch_;
+  const auto run_one = [&fn, sink, epoch, n, chunks](std::size_t c,
+                                                     std::size_t thread,
+                                                     std::size_t pending) {
+    const auto [begin, end] = chunk_range(n, chunks, c);
+    if (sink == nullptr) {
       fn(c, begin, end);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    fn(c, begin, end);
+    const auto t1 = std::chrono::steady_clock::now();
+    sink->on_chunk(c, thread,
+                   std::chrono::duration<double>(t0 - epoch).count(),
+                   std::chrono::duration<double>(t1 - t0).count(), pending);
+  };
+  if (size_ == 1 || chunks == 1 || on_worker_thread()) {
+    const std::size_t caller =
+        on_worker_thread() ? tl_worker_index : size_;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      run_one(c, caller, chunks - c - 1);
     }
     return;
   }
@@ -135,13 +163,12 @@ void ThreadPool::parallel_chunks(
   std::mutex done_mutex;
 
   for (std::size_t t = 0; t < tasks; ++t) {
-    auto task = [&, cursor, n, chunks] {
+    auto task = [&, cursor, chunks] {
       try {
         for (;;) {
           const std::size_t c = cursor->fetch_add(1);
           if (c >= chunks) break;
-          const auto [begin, end] = chunk_range(n, chunks, c);
-          fn(c, begin, end);
+          run_one(c, tl_worker_index, chunks - std::min(chunks, c + 1));
         }
       } catch (...) {
         cursor->store(chunks);  // fail fast: stop handing out chunks
@@ -181,7 +208,10 @@ void run_chunks(
     std::size_t grain) {
   const std::size_t chunks = ThreadPool::plan_chunks(n, grain);
   if (chunks == 0) return;
-  if (pool != nullptr && pool->size() > 1) {
+  if (pool != nullptr) {
+    // Route even size-1 pools through parallel_chunks: it executes the
+    // same plan inline, in the same ascending order, and honours any
+    // attached profile sink.
     pool->parallel_chunks(n, chunks, fn);
     return;
   }

@@ -22,6 +22,8 @@
 // blocks waiting for tasks nobody is free to run).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -32,6 +34,23 @@
 #include <vector>
 
 namespace gb {
+
+/// Host-side wall-clock profiling hook. When a sink is attached to a
+/// pool, every chunk executed through parallel_chunks (and run_chunks
+/// routed over that pool) reports: its index in the deterministic chunk
+/// plan, the executing thread (pool workers are 0..size-1; the calling
+/// thread reports the pool size), seconds since the sink was attached,
+/// its wall-clock duration, and how many chunks were still unclaimed
+/// when it was picked up (queue depth). Implementations must be
+/// thread-safe; obs::HostProfiler is the standard collector. Profiling
+/// observes wall-clock only — it never changes chunk plans or results.
+class ChunkProfileSink {
+ public:
+  virtual ~ChunkProfileSink() = default;
+  virtual void on_chunk(std::size_t chunk, std::size_t thread,
+                        double start_sec, double duration_sec,
+                        std::size_t pending) = 0;
+};
 
 class ThreadPool {
  public:
@@ -85,8 +104,13 @@ class ThreadPool {
   /// Process-wide pool of size 1 — the `parallelism=1` serial baseline.
   static ThreadPool& serial();
 
+  /// Attach a wall-clock profile sink (nullptr detaches). The sink's
+  /// clock starts at attach time. The sink must outlive any
+  /// parallel_chunks call issued while it is attached.
+  void set_profile_sink(ChunkProfileSink* sink);
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
   /// True when the calling thread is one of this pool's workers.
   bool on_worker_thread() const;
 
@@ -96,6 +120,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::atomic<ChunkProfileSink*> profile_sink_{nullptr};
+  std::chrono::steady_clock::time_point profile_epoch_{};
 };
 
 /// Deterministically chunked loop: executes the plan_chunks(n, grain) plan

@@ -61,6 +61,7 @@ Measurement run_cell(const platforms::Platform& platform,
   // Captured for failed runs too: an aborted job still reports what was
   // injected before it died.
   m.faults = cluster.faults().stats();
+  m.metrics = cluster.metrics().snapshot();
   m.host_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "datasets/catalog.h"
+#include "obs/metrics.h"
 #include "platforms/platform.h"
 #include "sim/cluster.h"
 
@@ -32,6 +33,11 @@ struct Measurement {
   /// plan). Captured even for failed runs — an aborted GraphLab job still
   /// reports the crash that killed it.
   sim::FaultStats faults;
+  /// Named counters/gauges the engines recorded on the cluster during the
+  /// run (tasks scheduled, shuffle bytes, retries, checkpoints...). Like
+  /// `faults`, captured even when the run fails. All values derive from
+  /// simulated quantities, so they are identical at every parallelism.
+  obs::MetricsSnapshot metrics;
   /// Host-side observability (not part of the simulated result): how many
   /// pool threads drove the engines and how long the run took on the
   /// wall. Deterministic replays must ignore host_wall_seconds.

@@ -1,5 +1,6 @@
 #include "harness/json.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "core/error.h"
@@ -71,6 +72,12 @@ void JsonWriter::value(const std::string& text) {
 void JsonWriter::value(const char* text) { value(std::string(text)); }
 
 void JsonWriter::value(double number) {
+  // JSON has no nan/inf literals; "%.17g" would emit them verbatim and
+  // corrupt the document. null is the conventional stand-in.
+  if (!std::isfinite(number)) {
+    null();
+    return;
+  }
   comma_if_needed();
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%.17g", number);
@@ -172,6 +179,23 @@ std::string measurement_to_json(const std::string& platform,
   json.value(measurement.faults.straggler_delay_sec);
   json.key("recovery_sec");
   json.value(measurement.faults.recovery_sec);
+  json.end_object();
+  json.key("metrics");
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, value] : measurement.metrics.counters) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, value] : measurement.metrics.gauges) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
   json.end_object();
   if (measurement.ok()) {
     json.key("total_time_sec");

@@ -39,13 +39,33 @@ void Table::print(std::ostream& out) const {
   out << '\n';
 }
 
+namespace {
+
+// RFC 4180: cells containing the separator, quotes or line breaks are
+// double-quoted, with embedded quotes doubled. Everything else passes
+// through verbatim so existing plain-cell CSVs keep their bytes.
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string quoted;
+  quoted.reserve(cell.size() + 2);
+  quoted += '"';
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
 void Table::write_csv(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw Error("cannot open '" + path + "' for writing");
   const auto write_row = [&out](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i != 0) out << ',';
-      out << row[i];
+      out << csv_escape(row[i]);
     }
     out << '\n';
   };
@@ -69,16 +89,18 @@ std::string format_seconds(SimTime t) {
 }
 
 std::string format_si(double value) {
+  // Two decimals in every branch — the giga range used to round to whole
+  // units ("2G" for 1.5e9), inconsistent with "1.50M"/"1.50k" below.
   std::ostringstream out;
-  out << std::fixed << std::setprecision(value >= 100 ? 0 : 2);
+  out << std::fixed << std::setprecision(2);
   if (value >= 1e9) {
     out << value / 1e9 << "G";
   } else if (value >= 1e6) {
-    out << std::setprecision(2) << value / 1e6 << "M";
+    out << value / 1e6 << "M";
   } else if (value >= 1e3) {
-    out << std::setprecision(2) << value / 1e3 << "k";
+    out << value / 1e3 << "k";
   } else {
-    out << std::setprecision(2) << value;
+    out << value;
   }
   return out.str();
 }
@@ -86,6 +108,16 @@ std::string format_si(double value) {
 std::string format_measurement(const Measurement& m) {
   if (m.ok()) return format_seconds(m.time());
   return outcome_label(m.outcome);
+}
+
+void print_metrics(std::ostream& out, const obs::MetricsSnapshot& metrics,
+                   const std::string& indent) {
+  for (const auto& [name, value] : metrics.counters) {
+    out << indent << name << ": " << value << '\n';
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    out << indent << name << ": " << format_si(value) << '\n';
+  }
 }
 
 }  // namespace gb::harness

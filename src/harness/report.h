@@ -44,4 +44,10 @@ std::string format_si(double value);
 /// A measurement cell: time when ok, the failure label otherwise.
 std::string format_measurement(const Measurement& m);
 
+/// Text rendering of a metrics snapshot, one "<indent><name>: <value>"
+/// line per metric (counters first, then gauges via format_si). Writes
+/// nothing for an empty snapshot.
+void print_metrics(std::ostream& out, const obs::MetricsSnapshot& metrics,
+                   const std::string& indent = "  ");
+
 }  // namespace gb::harness

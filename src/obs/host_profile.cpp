@@ -1,0 +1,33 @@
+#include "obs/host_profile.h"
+
+namespace gb::obs {
+
+void HostProfiler::on_chunk(std::size_t chunk, std::size_t thread,
+                            double start_sec, double duration_sec,
+                            std::size_t pending) {
+  std::lock_guard lock(mutex_);
+  Sample sample;
+  sample.chunk = chunk;
+  sample.thread = thread;
+  sample.start_sec = start_sec;
+  sample.duration_sec = duration_sec;
+  sample.pending = pending;
+  samples_.push_back(sample);
+}
+
+std::vector<HostProfiler::Sample> HostProfiler::samples() const {
+  std::lock_guard lock(mutex_);
+  return samples_;
+}
+
+std::size_t HostProfiler::size() const {
+  std::lock_guard lock(mutex_);
+  return samples_.size();
+}
+
+void HostProfiler::clear() {
+  std::lock_guard lock(mutex_);
+  samples_.clear();
+}
+
+}  // namespace gb::obs

@@ -1,0 +1,44 @@
+// HostProfiler: wall-clock profiling of the host thread pool.
+//
+// Collects the per-chunk samples a ThreadPool emits when a profile sink
+// is attached (core/thread_pool.h): which chunk ran, on which pool
+// thread, when it started, how long it took and how many chunks were
+// still unclaimed. This is *host-side* observability — the numbers vary
+// run to run and across `parallelism` settings — so exporters keep it in
+// a clearly separated section (trace_json's "hostProfile"), never mixed
+// into the deterministic simulated timeline or the metrics registry.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace gb::obs {
+
+class HostProfiler final : public ChunkProfileSink {
+ public:
+  struct Sample {
+    std::size_t chunk = 0;         // index in the deterministic chunk plan
+    std::size_t thread = 0;        // pool worker, or pool size for the caller
+    double start_sec = 0.0;        // wall-clock, relative to sink attach
+    double duration_sec = 0.0;     // wall-clock chunk execution time
+    std::size_t pending = 0;       // chunks still unclaimed at pickup
+  };
+
+  void on_chunk(std::size_t chunk, std::size_t thread, double start_sec,
+                double duration_sec, std::size_t pending) override;
+
+  /// Copy of all samples collected so far (thread-safe).
+  std::vector<Sample> samples() const;
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace gb::obs

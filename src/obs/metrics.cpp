@@ -1,0 +1,67 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace gb::obs {
+
+namespace {
+
+template <typename Pairs>
+auto find_pair(const Pairs& pairs, const std::string& name)
+    -> decltype(pairs.begin()) {
+  return std::find_if(pairs.begin(), pairs.end(),
+                      [&name](const auto& p) { return p.first == name; });
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = find_pair(counters, name);
+  return it != counters.end() ? it->second : 0;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  const auto it = find_pair(gauges, name);
+  return it != gauges.end() ? it->second : 0.0;
+}
+
+void MetricsRegistry::incr(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  gauges_[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::max_gauge(const std::string& name, double value) {
+  auto [it, inserted] = gauges_.try_emplace(name, value);
+  if (!inserted && value > it->second) it->second = value;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0.0;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.assign(counters_.begin(), counters_.end());
+  snap.gauges.assign(gauges_.begin(), gauges_.end());
+  return snap;
+}
+
+}  // namespace gb::obs

@@ -1,0 +1,64 @@
+// MetricsRegistry: named counters and gauges for the observability layer.
+//
+// Engines, the fault injector and the host-pool plumbing increment
+// counters (integral event counts: tasks scheduled, retries, checkpoints)
+// and accumulate gauges (continuous quantities: shuffle bytes, straggler
+// delay seconds) while a run executes. Everything recorded here must be
+// derived from *simulated* quantities so that a run reports identical
+// metrics at every host `parallelism` setting — host-side wall-clock
+// observations belong in obs::HostProfiler, never in this registry.
+//
+// Iteration order is deterministic (sorted by name), so snapshots can be
+// serialized into byte-stable reports and trace files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gb::obs {
+
+/// Point-in-time copy of a registry, sorted by metric name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+
+  bool empty() const { return counters.empty() && gauges.empty(); }
+
+  /// Counter value by exact name; 0 when absent.
+  std::uint64_t counter(const std::string& name) const;
+  /// Gauge value by exact name; 0.0 when absent.
+  double gauge(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Add `delta` to the named counter (created at 0).
+  void incr(const std::string& name, std::uint64_t delta = 1);
+
+  /// Accumulate `delta` into the named gauge (created at 0.0).
+  void add(const std::string& name, double delta);
+
+  /// Overwrite the named gauge.
+  void set_gauge(const std::string& name, double value);
+
+  /// Raise the named gauge to `value` if it is larger (peak tracking).
+  void max_gauge(const std::string& name, double value);
+
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+
+  bool empty() const { return counters_.empty() && gauges_.empty(); }
+  void clear();
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  // std::map: sorted, deterministic iteration for serialization.
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace gb::obs

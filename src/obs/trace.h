@@ -1,0 +1,78 @@
+// TraceRecorder: a per-run timeline of engine phases keyed to simulated
+// time.
+//
+// Every phase a platform engine accounts through PhaseRecorder lands here
+// as a span (name, category, computation/overhead flag, worker count);
+// fault injections land as instant events pinned to the affected node.
+// Because span times come from the cost model — never from the host
+// clock — the recorded timeline is bit-identical at every host
+// `parallelism` setting, which is what makes the exported trace files
+// (obs/trace_json.h) byte-stable and diffable across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace gb::obs {
+
+/// One engine phase on the simulated timeline (half-open [begin, end)).
+struct TraceSpan {
+  std::string name;
+  std::string category;  // "computation", "overhead", "recovery", ...
+  SimTime begin = 0.0;
+  SimTime end = 0.0;
+  bool computation = false;   // the paper's Tc / To split
+  std::uint32_t workers = 0;  // computing nodes participating
+};
+
+/// A point event on the timeline (e.g. an injected fault firing).
+struct TraceInstant {
+  std::string name;
+  std::string category;  // "fault", ...
+  SimTime time = 0.0;
+  std::uint32_t worker = 0;  // affected computing node
+};
+
+class TraceRecorder {
+ public:
+  void add_span(std::string name, std::string category, SimTime begin,
+                SimTime end, bool computation, std::uint32_t workers) {
+    TraceSpan span;
+    span.name = std::move(name);
+    span.category = std::move(category);
+    span.begin = begin;
+    span.end = end;
+    span.computation = computation;
+    span.workers = workers;
+    spans_.push_back(std::move(span));
+  }
+
+  void add_instant(std::string name, std::string category, SimTime time,
+                   std::uint32_t worker) {
+    TraceInstant instant;
+    instant.name = std::move(name);
+    instant.category = std::move(category);
+    instant.time = time;
+    instant.worker = worker;
+    instants_.push_back(std::move(instant));
+  }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<TraceInstant>& instants() const { return instants_; }
+
+  bool empty() const { return spans_.empty() && instants_.empty(); }
+
+  void clear() {
+    spans_.clear();
+    instants_.clear();
+  }
+
+ private:
+  std::vector<TraceSpan> spans_;      // in recording (= simulated) order
+  std::vector<TraceInstant> instants_;
+};
+
+}  // namespace gb::obs

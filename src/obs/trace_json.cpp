@@ -1,0 +1,211 @@
+#include "obs/trace_json.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "core/error.h"
+#include "harness/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/cluster.h"
+#include "sim/monitor.h"
+
+namespace gb::obs {
+
+namespace {
+
+using harness::JsonWriter;
+
+constexpr double kMicros = 1e6;  // trace-event timestamps are in µs
+
+void write_event_header(JsonWriter& json, const char* ph, std::uint64_t pid) {
+  json.key("ph");
+  json.value(ph);
+  json.key("pid");
+  json.value(pid);
+  json.key("tid");
+  json.value(std::uint64_t{0});
+}
+
+void write_process_name(JsonWriter& json, std::uint64_t pid,
+                        const std::string& name) {
+  json.begin_object();
+  json.key("name");
+  json.value("process_name");
+  write_event_header(json, "M", pid);
+  json.key("args");
+  json.begin_object();
+  json.key("name");
+  json.value(name);
+  json.end_object();
+  json.end_object();
+}
+
+/// Counter ("C") track sampled from one node's usage trace at the bucket
+/// midpoints the paper's figures use. All sampled values come from the
+/// simulated timeline, so the track is parallelism-independent.
+void write_counter_track(JsonWriter& json, const sim::UsageTrace& trace,
+                         std::uint64_t pid, const TraceMeta& meta) {
+  if (meta.total_time <= 0.0 || meta.counter_points <= 0 || trace.empty()) {
+    return;
+  }
+  for (int i = 0; i < meta.counter_points; ++i) {
+    const SimTime t = meta.total_time * (static_cast<double>(i) + 0.5) /
+                      static_cast<double>(meta.counter_points);
+    const sim::UsageSample sample = trace.at(t);
+    json.begin_object();
+    json.key("name");
+    json.value("usage");
+    write_event_header(json, "C", pid);
+    json.key("ts");
+    json.value(t * kMicros);
+    json.key("args");
+    json.begin_object();
+    json.key("cpu_cores");
+    json.value(sample.cpu_cores);
+    json.key("mem_bytes");
+    json.value(sample.mem_bytes);
+    json.key("net_bps");
+    json.value(sample.net_in_bps + sample.net_out_bps);
+    json.end_object();
+    json.end_object();
+  }
+}
+
+}  // namespace
+
+std::string trace_to_json(const sim::Cluster& cluster, const TraceMeta& meta,
+                          const HostProfiler* host_profile) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit");
+  json.value("ms");
+
+  json.key("otherData");
+  json.begin_object();
+  json.key("platform");
+  json.value(meta.platform);
+  json.key("dataset");
+  json.value(meta.dataset);
+  json.key("algorithm");
+  json.value(meta.algorithm);
+  json.key("outcome");
+  json.value(meta.outcome);
+  json.key("total_time_sec");
+  json.value(meta.total_time);
+  json.key("num_workers");
+  json.value(std::uint64_t{cluster.num_workers()});
+  json.key("cores_per_worker");
+  json.value(std::uint64_t{cluster.cores_per_worker()});
+  json.end_object();
+
+  json.key("traceEvents");
+  json.begin_array();
+
+  // One trace-event "process" per simulated node.
+  write_process_name(json, 0, "master");
+  for (std::uint32_t w = 0; w < cluster.num_workers(); ++w) {
+    write_process_name(json, w + 1, "worker-" + std::to_string(w));
+  }
+
+  // Engine phases: the whole cluster advances through them in lockstep
+  // (bulk-synchronous semantics), so spans live on the master timeline
+  // with the participating worker count in args.
+  for (const TraceSpan& span : cluster.trace().spans()) {
+    json.begin_object();
+    json.key("name");
+    json.value(span.name);
+    json.key("cat");
+    json.value(span.category);
+    write_event_header(json, "X", 0);
+    json.key("ts");
+    json.value(span.begin * kMicros);
+    json.key("dur");
+    json.value((span.end - span.begin) * kMicros);
+    json.key("args");
+    json.begin_object();
+    json.key("computation");
+    json.value(span.computation);
+    json.key("workers");
+    json.value(std::uint64_t{span.workers});
+    json.end_object();
+    json.end_object();
+  }
+
+  // Fault injections: instants pinned to the affected node.
+  for (const TraceInstant& instant : cluster.trace().instants()) {
+    json.begin_object();
+    json.key("name");
+    json.value(instant.name);
+    json.key("cat");
+    json.value(instant.category);
+    write_event_header(json, "i", std::uint64_t{instant.worker} + 1);
+    json.key("ts");
+    json.value(instant.time * kMicros);
+    json.key("s");
+    json.value("g");
+    json.end_object();
+  }
+
+  // Resource-usage counter tracks per node.
+  write_counter_track(json, cluster.master_trace(), 0, meta);
+  for (std::uint32_t w = 0; w < cluster.num_workers(); ++w) {
+    write_counter_track(json, cluster.worker_trace(w), w + 1, meta);
+  }
+
+  json.end_array();
+
+  const MetricsSnapshot metrics = cluster.metrics().snapshot();
+  json.key("metrics");
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, value] : metrics.counters) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, value] : metrics.gauges) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  json.end_object();
+
+  // Host wall-clock samples: opt-in and clearly separated, because they
+  // vary run to run and across parallelism settings.
+  if (host_profile != nullptr) {
+    json.key("hostProfile");
+    json.begin_array();
+    for (const HostProfiler::Sample& s : host_profile->samples()) {
+      json.begin_object();
+      json.key("chunk");
+      json.value(std::uint64_t{s.chunk});
+      json.key("thread");
+      json.value(std::uint64_t{s.thread});
+      json.key("start_sec");
+      json.value(s.start_sec);
+      json.key("duration_sec");
+      json.value(s.duration_sec);
+      json.key("pending");
+      json.value(std::uint64_t{s.pending});
+      json.end_object();
+    }
+    json.end_array();
+  }
+
+  json.end_object();
+  return json.str();
+}
+
+void write_trace_file(const std::string& path, const sim::Cluster& cluster,
+                      const TraceMeta& meta, const HostProfiler* host_profile) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open trace file '" + path + "' for writing");
+  out << trace_to_json(cluster, meta, host_profile) << '\n';
+  if (!out) throw Error("failed writing trace file '" + path + "'");
+}
+
+}  // namespace gb::obs

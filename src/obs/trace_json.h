@@ -1,0 +1,49 @@
+// Chrome trace-event JSON export of a run's observability data.
+//
+// Serializes the Cluster's TraceRecorder spans/instants, resource-usage
+// counter tracks and metrics snapshot into the trace-event format that
+// chrome://tracing and Perfetto load directly: one "process" per
+// simulated node (pid 0 = master, pid i+1 = worker i), engine phases as
+// complete ("X") spans, fault injections as instant ("i") events pinned
+// to the affected node, and cpu/memory/network counter ("C") tracks
+// sampled from each node's UsageTrace.
+//
+// Every value is derived from simulated quantities, so the emitted bytes
+// are identical at every host `parallelism` setting. Host wall-clock
+// profiling (obs::HostProfiler) is the one exception: it is only folded
+// in — under a separate top-level "hostProfile" key — when the caller
+// explicitly passes a profiler, keeping the default output byte-stable.
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+#include "obs/host_profile.h"
+
+namespace gb::sim {
+class Cluster;
+}  // namespace gb::sim
+
+namespace gb::obs {
+
+/// Run identification stamped into the trace's "otherData" section.
+struct TraceMeta {
+  std::string platform;
+  std::string dataset;
+  std::string algorithm;
+  std::string outcome;       // outcome_label() of the run's Measurement
+  SimTime total_time = 0.0;  // simulated seconds; 0 skips counter tracks
+  int counter_points = 100;  // samples per usage counter track
+};
+
+/// The full trace document as a compact JSON string.
+std::string trace_to_json(const sim::Cluster& cluster, const TraceMeta& meta,
+                          const HostProfiler* host_profile = nullptr);
+
+/// trace_to_json written to `path`; throws gb::Error when the file
+/// cannot be written.
+void write_trace_file(const std::string& path, const sim::Cluster& cluster,
+                      const TraceMeta& meta,
+                      const HostProfiler* host_profile = nullptr);
+
+}  // namespace gb::obs

@@ -33,13 +33,23 @@ class PhaseRecorder {
   /// (the paper's Tc); everything else is overhead. Injected straggler
   /// windows stretch the phase: one slow node holds up the whole
   /// bulk-synchronous step.
+  ///
+  /// `category` labels the span in the exported trace; when null it
+  /// defaults to "computation"/"overhead" from the flag. Recovery work
+  /// (task re-execution, checkpoint restarts) passes "recovery" so fault
+  /// cost is visually separable on the timeline.
   void phase(const std::string& name, SimTime duration, bool computation,
-             const PhaseUsage& usage) {
+             const PhaseUsage& usage, const char* category = nullptr) {
     if (duration <= 0) return;
     const SimTime begin = result_.total_time;
     duration = cluster_.faults().stretched(begin, duration);
     result_.add_phase(name, duration, computation);
     const SimTime end = result_.total_time;
+
+    cluster_.trace().add_span(
+        name, category != nullptr ? category
+                                  : (computation ? "computation" : "overhead"),
+        begin, end, computation, cluster_.num_workers());
 
     sim::UsageSegment seg;
     seg.begin = begin;
@@ -69,6 +79,10 @@ class PhaseRecorder {
   }
 
   const RunResult& result() const { return result_; }
+
+  /// The cluster's metrics registry, for engines to count tasks,
+  /// messages, retries, checkpoints etc. Simulated quantities only.
+  obs::MetricsRegistry& metrics() { return cluster_.metrics(); }
 
  private:
   sim::Cluster& cluster_;

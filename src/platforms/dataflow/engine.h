@@ -146,6 +146,9 @@ inline void charge_plan_iteration(const Graph& graph, const JobGraph& dag,
   recorder.phase(label + "/write", write_time, false,
                  PhaseUsage{.worker_cpu_cores = 0.2, .worker_mem_bytes = mem});
 
+  cluster.metrics().incr("tasks.scheduled", dag.tasks.size());
+  cluster.metrics().add("shuffle.bytes", network_bytes);
+
   // Nephele recovery: intermediates are channel-resident, so a lost
   // TaskManager discards the running PACT stage — the JobManager redeploys
   // the stage and re-runs it from its HDFS inputs. A transient task
@@ -163,10 +166,12 @@ inline void charge_plan_iteration(const Graph& graph, const JobGraph& dag,
     ++stats.task_retries;
     stats.recomputed_sec += lost;
     stats.recovery_sec += rerun;
+    cluster.metrics().incr("tasks.retried");
     recorder.phase(label + (crash ? "/restage" : "/task_retry"), rerun, false,
                    PhaseUsage{.worker_cpu_cores = 0.8,
                               .worker_mem_bytes = mem,
-                              .master_cpu_cores = 0.05});
+                              .master_cpu_cores = 0.05},
+                   "recovery");
   }
 }
 
@@ -203,7 +208,6 @@ DataflowStats run_iterative(const Graph& graph, Job& job,
   // Host-parallel PACT waves, chunked like the MapReduce engine: private
   // per-chunk outboxes concatenated in chunk order, disjoint reduce ranges
   // with chunk-local changed counters.
-  ThreadPool* const pool = &cluster.pool();
   const std::size_t chunks = ThreadPool::plan_chunks(n);
   std::vector<std::vector<std::pair<VertexId, Msg>>> chunk_outbox(chunks);
   std::vector<std::uint64_t> chunk_changed(chunks, 0);
@@ -215,8 +219,8 @@ DataflowStats run_iterative(const Graph& graph, Job& job,
     }
     job.iteration = iter;
     outbox.clear();
-    run_chunks(pool, n, [&](std::size_t c, std::size_t begin,
-                            std::size_t end) {
+    cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
+                              std::size_t end) {
       auto& out = chunk_outbox[c];
       out.clear();
       Emitter emitter(out);
@@ -230,8 +234,8 @@ DataflowStats run_iterative(const Graph& graph, Job& job,
     group_by_destination(outbox, n, grouped);
 
     std::uint64_t changed = 0;
-    run_chunks(pool, n, [&](std::size_t c, std::size_t begin,
-                            std::size_t end) {
+    cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
+                              std::size_t end) {
       std::uint64_t count = 0;
       for (std::size_t v = begin; v < end; ++v) {
         if (job.reduce(static_cast<VertexId>(v), state[v], graph,

@@ -155,6 +155,7 @@ inline void abort_on_worker_loss(sim::Cluster& cluster,
           cluster.faults().take_before(recorder.now())) {
     cluster.faults().stats().recovery_sec +=
         cluster.cost().failure_detection_sec;
+    cluster.metrics().incr("job.aborts");
     throw PlatformError(
         PlatformError::Kind::kWorkerLost,
         "GraphLab worker " + std::to_string(event->worker) + " lost during " +
@@ -221,7 +222,6 @@ GasStats run_sync(const Graph& graph, const Program& program,
   // Scatter activation is the one cross-chunk write; it goes through a
   // relaxed atomic flag array — only the constant 1 is ever stored, so the
   // resulting active set is schedule-independent.
-  ThreadPool* const pool = &cluster.pool();
   const std::size_t chunks = ThreadPool::plan_chunks(n);
   struct ChunkState {
     std::uint64_t active_count = 0;
@@ -242,7 +242,7 @@ GasStats run_sync(const Graph& graph, const Program& program,
     double edge_work = 0.0;
     double extra = 0.0;
     double sync_bytes = 0.0;
-    run_chunks(pool, n, [&](std::size_t, std::size_t begin, std::size_t end) {
+    cluster.run_chunks(n, [&](std::size_t, std::size_t begin, std::size_t end) {
       for (std::size_t v = begin; v < end; ++v) {
         next_active[v].store(0, std::memory_order_relaxed);
       }
@@ -252,8 +252,8 @@ GasStats run_sync(const Graph& graph, const Program& program,
     // previous iteration, exactly like GraphLab's sync mode snapshots.
     const std::vector<typename Program::VData> snapshot = data;
 
-    run_chunks(pool, n, [&](std::size_t c, std::size_t begin,
-                            std::size_t end) {
+    cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
+                              std::size_t end) {
       ChunkState& cs = chunk_states[c];
       cs = ChunkState{};
       for (std::size_t i = begin; i < end; ++i) {
@@ -337,10 +337,13 @@ GasStats run_sync(const Graph& graph, const Program& program,
                               .worker_mem_bytes = partition_bytes,
                               .worker_net_in_bps = cost.net_bps * 0.4,
                               .worker_net_out_bps = cost.net_bps * 0.4});
+    cluster.metrics().incr("gas.iterations");
+    cluster.metrics().add("mirror.sync_bytes",
+                          cluster.scale_bytes(sync_bytes * sync_factor));
     abort_on_worker_loss(cluster, recorder,
                          "iteration " + std::to_string(iter));
     ++stats.iterations;
-    run_chunks(pool, n, [&](std::size_t, std::size_t begin, std::size_t end) {
+    cluster.run_chunks(n, [&](std::size_t, std::size_t begin, std::size_t end) {
       for (std::size_t v = begin; v < end; ++v) {
         active[v] = next_active[v].load(std::memory_order_relaxed);
       }

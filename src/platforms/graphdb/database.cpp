@@ -40,6 +40,8 @@ std::span<const VertexId> Database::expand_in(VertexId v) {
 
 void Database::charge_expansion(VertexId v,
                                 std::span<const VertexId> neighbors) {
+  ++access_stats_.node_expansions;
+  access_stats_.relationship_accesses += neighbors.size();
   const double scale = work_scale_;
   const double accesses = 1.0 + static_cast<double>(neighbors.size());
   if (cache_ == CacheState::kHot) {
@@ -82,6 +84,7 @@ void Database::charge_expansion(VertexId v,
 }
 
 void Database::access_properties(double count) {
+  access_stats_.property_accesses += count;
   elapsed_ += count * work_scale_ *
               (config_.property_access_sec +
                store_.object_miss_fraction() * config_.store.page_fault_sec);

@@ -39,6 +39,15 @@ struct DatabaseConfig {
 
 enum class CacheState { kCold, kHot };
 
+/// Running totals of the traversal-API traffic a Database has served,
+/// accumulated across queries for the observability layer. Counted from
+/// real traversals, so identical at every host parallelism.
+struct AccessStats {
+  std::uint64_t node_expansions = 0;        // expand/expand_in calls
+  std::uint64_t relationship_accesses = 0;  // neighbor records charged
+  double property_accesses = 0.0;           // Core-API property reads/writes
+};
+
 class Database {
  public:
   Database(const Graph& graph, const sim::CostModel& cost, double work_scale,
@@ -76,6 +85,8 @@ class Database {
 
   SimTime ingest_time() const { return store_.ingest_time(); }
 
+  const AccessStats& access_stats() const { return access_stats_; }
+
  private:
   void charge_expansion(VertexId v, std::span<const VertexId> neighbors);
 
@@ -84,6 +95,7 @@ class Database {
   DatabaseConfig config_;
   storage::RecordStoreModel store_;
   CacheState cache_ = CacheState::kHot;
+  AccessStats access_stats_;
   SimTime elapsed_ = 0.0;
   std::vector<std::uint8_t> touched_;
   /// Remaining store pages that can still fault during a cold run: once

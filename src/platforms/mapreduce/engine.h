@@ -210,6 +210,9 @@ inline void charge_iteration(const Graph& graph, sim::Cluster& cluster,
   shuffle_usage.worker_net_out_bps = cost.net_bps * 0.8;
   recorder.phase(label + "/shuffle", shuffle_time, false, shuffle_usage);
 
+  cluster.metrics().incr("tasks.scheduled", std::uint64_t{slots} * 2);
+  cluster.metrics().add("shuffle.bytes", map_out_bytes * cross);
+
   // Reduce wave: merge, run user reduce, write the graph back to HDFS.
   // Each reducer merges one stream per map task; beyond io.sort.factor
   // streams it needs additional on-disk merge passes over its full input.
@@ -305,10 +308,13 @@ inline void recover_from_faults(sim::Cluster& cluster, PhaseRecorder& recorder,
     stats.task_retries += crash ? cluster.cores_per_worker() : 1;
     stats.recomputed_sec += lost;
     stats.recovery_sec += rerun;
+    cluster.metrics().incr("tasks.retried",
+                           crash ? cluster.cores_per_worker() : 1);
     recorder.phase(label + (crash ? "/task_reexec" : "/task_retry"), rerun,
                    false,
                    PhaseUsage{.worker_cpu_cores = 1.0,
-                              .master_cpu_cores = 0.05});
+                              .master_cpu_cores = 0.05},
+                   "recovery");
   }
 }
 
@@ -331,7 +337,6 @@ MRStats run_iterative(const Graph& graph, Job& job,
   // Host-parallel map/reduce waves over the fixed plan_chunks(n) plan:
   // each chunk maps into a private outbox (concatenated in chunk order =
   // the serial emission order) and reduces its own disjoint state range.
-  ThreadPool* const pool = &cluster.pool();
   const std::size_t chunks = ThreadPool::plan_chunks(n);
   std::vector<std::vector<std::pair<VertexId, Msg>>> chunk_outbox(chunks);
   std::vector<std::uint64_t> chunk_changed(chunks, 0);
@@ -345,8 +350,8 @@ MRStats run_iterative(const Graph& graph, Job& job,
     }
     job.iteration = iter;
     outbox.clear();
-    run_chunks(pool, n, [&](std::size_t c, std::size_t begin,
-                            std::size_t end) {
+    cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
+                              std::size_t end) {
       auto& out = chunk_outbox[c];
       out.clear();
       MapEmitter<Msg> emitter(out);
@@ -362,8 +367,8 @@ MRStats run_iterative(const Graph& graph, Job& job,
     group_by_destination(outbox, n, grouped);
 
     std::uint64_t changed = 0;
-    run_chunks(pool, n, [&](std::size_t c, std::size_t begin,
-                            std::size_t end) {
+    cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
+                              std::size_t end) {
       std::uint64_t count = 0;
       for (std::size_t v = begin; v < end; ++v) {
         if (job.reduce(static_cast<VertexId>(v), state[v], graph,

@@ -252,10 +252,12 @@ inline void handle_worker_loss(sim::Cluster& cluster, PhaseRecorder& recorder,
     ++stats.checkpoint_restarts;
     stats.recomputed_sec += redo;
     stats.recovery_sec += restore + redo;
+    cluster.metrics().incr("checkpoints.restarts");
     recorder.phase(label + "/restart", restore + redo, false,
                    PhaseUsage{.worker_cpu_cores = 0.5,
                               .worker_mem_bytes = partition_bytes,
-                              .master_cpu_cores = 0.05});
+                              .master_cpu_cores = 0.05},
+                   "recovery");
   }
 }
 
@@ -284,7 +286,6 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
   // outbox and accumulator set, merged below in ascending chunk order so
   // every output — including the outbox message order — matches a serial
   // sweep bit for bit.
-  ThreadPool* const pool = &cluster.pool();
   const std::size_t chunks = ThreadPool::plan_chunks(n);
   struct ChunkState {
     std::vector<std::pair<VertexId, M>> outbox;
@@ -328,8 +329,8 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
     std::uint64_t active = 0;
     std::uint64_t received = 0;
 
-    run_chunks(pool, n, [&](std::size_t c, std::size_t begin,
-                            std::size_t end) {
+    cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
+                              std::size_t end) {
       ChunkState& cs = chunk_states[c];
       cs.outbox.clear();
       cs.aggregate = 0.0;
@@ -499,6 +500,11 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
     recorder.phase(label + "/sync", net_time + cost.bsp_barrier_sec, false,
                    comm_usage);
 
+    cluster.metrics().incr("pregel.supersteps");
+    cluster.metrics().incr("messages.sent", outbox.size());
+    cluster.metrics().add("messages.cross_worker_bytes",
+                          cluster.scale_bytes(cross_bytes));
+
     const double checkpoint_bytes =
         cluster.scale_bytes(static_cast<double>(n) * 16.0 + max_inbox) /
         workers;
@@ -513,6 +519,7 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
                      PhaseUsage{.worker_cpu_cores = 0.3,
                                 .worker_mem_bytes = partition_bytes});
       cluster.faults().stats().checkpoint_overhead_sec += checkpoint_time;
+      cluster.metrics().incr("checkpoints.written");
       last_checkpoint = recorder.now();
     }
     handle_worker_loss(cluster, recorder, config, checkpoint_bytes,

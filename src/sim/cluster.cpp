@@ -1,5 +1,6 @@
 #include "sim/cluster.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/error.h"
@@ -13,6 +14,14 @@ ThreadPool& Cluster::pool() const {
     own_pool_ = std::make_unique<ThreadPool>(config_.parallelism);
   }
   return *own_pool_;
+}
+
+void Cluster::run_chunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  metrics_.incr("host.chunks_executed", ThreadPool::plan_chunks(n, grain));
+  gb::run_chunks(&pool(), n, fn, grain);
 }
 
 void Cluster::check_heap(double scaled_bytes, const std::string& what) const {
@@ -44,6 +53,21 @@ void Cluster::add_baselines(SimTime total_time, Bytes master_extra_mem,
   worker.mem_bytes =
       static_cast<double>(cost().os_baseline_worker + worker_extra_mem);
   record_all_workers(worker);
+
+  // With baselines applied the traces are final: publish per-node peaks.
+  const UsageSample master_peak = master_trace_.peak();
+  metrics_.max_gauge("master.peak_mem_bytes", master_peak.mem_bytes);
+  metrics_.max_gauge("master.peak_cpu_cores", master_peak.cpu_cores);
+  double worker_mem = 0.0, worker_cpu = 0.0, worker_net = 0.0;
+  for (const UsageTrace& trace : worker_traces_) {
+    const UsageSample p = trace.peak();
+    worker_mem = std::max(worker_mem, p.mem_bytes);
+    worker_cpu = std::max(worker_cpu, p.cpu_cores);
+    worker_net = std::max(worker_net, p.net_in_bps + p.net_out_bps);
+  }
+  metrics_.max_gauge("worker.peak_mem_bytes", worker_mem);
+  metrics_.max_gauge("worker.peak_cpu_cores", worker_cpu);
+  metrics_.max_gauge("worker.peak_net_bps", worker_net);
 }
 
 }  // namespace gb::sim

@@ -19,6 +19,8 @@
 
 #include "core/thread_pool.h"
 #include "core/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/faults.h"
 #include "sim/monitor.h"
@@ -44,6 +46,7 @@ class Cluster {
   explicit Cluster(const ClusterConfig& config)
       : config_(config), faults_(config.faults) {
     worker_traces_.resize(config.num_workers);
+    faults_.bind_observers(&trace_, &metrics_);
   }
 
   const ClusterConfig& config() const { return config_; }
@@ -66,6 +69,25 @@ class Cluster {
   /// boundaries and charge their platform's recovery semantics.
   FaultInjector& faults() { return faults_; }
   const FaultInjector& faults() const { return faults_; }
+
+  /// Per-run span/instant timeline, filled by PhaseRecorder and the
+  /// fault injector; exported by obs/trace_json.h. Keyed to simulated
+  /// time, so identical at every host parallelism.
+  obs::TraceRecorder& trace() { return trace_; }
+  const obs::TraceRecorder& trace() const { return trace_; }
+
+  /// Per-run named counters/gauges. Engines record only simulated
+  /// quantities here (see obs/metrics.h); snapshots go into reports.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Deterministically chunked loop over this cluster's host pool; same
+  /// contract as gb::run_chunks. Engines call this instead of the free
+  /// function so the host-pool chunk count lands in metrics().
+  void run_chunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+      std::size_t grain = ThreadPool::kDefaultGrain);
 
   /// Extrapolate a count of work units (ops, records) to full-size work.
   double scale_units(double units) const { return units * config_.work_scale; }
@@ -109,6 +131,8 @@ class Cluster {
  private:
   ClusterConfig config_;
   FaultInjector faults_;
+  obs::TraceRecorder trace_;
+  obs::MetricsRegistry metrics_;
   UsageTrace master_trace_;
   std::vector<UsageTrace> worker_traces_;
   // Lazily created when parallelism names an explicit size (> 1); the

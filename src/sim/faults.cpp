@@ -5,6 +5,8 @@
 
 #include "core/error.h"
 #include "core/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gb::sim {
 
@@ -133,6 +135,16 @@ const FaultEvent* FaultInjector::take_before(SimTime now) {
   } else {
     ++stats_.transient_failures;
   }
+  if (trace_ != nullptr) {
+    trace_->add_instant(fault_kind_name(event->kind), "fault", event->time,
+                        event->worker);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->incr("faults.injected");
+    metrics_->incr(event->kind == FaultKind::kWorkerCrash
+                       ? "faults.worker_crashes"
+                       : "faults.transient_failures");
+  }
   return event;
 }
 
@@ -156,9 +168,19 @@ SimTime FaultInjector::stretched(SimTime begin, SimTime duration) {
       straggler_seen_[i] = 1;
       ++stats_.injected;
       ++stats_.stragglers;
+      if (trace_ != nullptr) {
+        trace_->add_instant(fault_kind_name(s.kind), "fault", s.time, s.worker);
+      }
+      if (metrics_ != nullptr) {
+        metrics_->incr("faults.injected");
+        metrics_->incr("faults.stragglers");
+      }
     }
   }
   stats_.straggler_delay_sec += extra;
+  if (metrics_ != nullptr && extra > 0.0) {
+    metrics_->add("faults.straggler_delay_sec", extra);
+  }
   return duration + extra;
 }
 

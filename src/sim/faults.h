@@ -20,6 +20,11 @@
 
 #include "core/types.h"
 
+namespace gb::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace gb::obs
+
 namespace gb::sim {
 
 enum class FaultKind {
@@ -91,6 +96,16 @@ class FaultInjector {
   FaultInjector() = default;
   explicit FaultInjector(const FaultPlan& plan);
 
+  /// Attach observability sinks (owned by the Cluster): every consumed
+  /// fault and first-seen straggler window is mirrored as a trace instant
+  /// and a `faults.*` metric. Either pointer may be null. All emitted
+  /// data is keyed to simulated time, preserving the determinism
+  /// contract.
+  void bind_observers(obs::TraceRecorder* trace, obs::MetricsRegistry* metrics) {
+    trace_ = trace;
+    metrics_ = metrics;
+  }
+
   bool enabled() const { return !events_.empty(); }
 
   /// Next unconsumed crash/transient event with time < now, or nullptr.
@@ -116,6 +131,8 @@ class FaultInjector {
   std::size_t next_ = 0;
   std::vector<std::uint8_t> straggler_seen_;
   FaultStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace gb::sim

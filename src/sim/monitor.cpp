@@ -85,6 +85,21 @@ std::vector<UsageSample> UsageTrace::sample(SimTime horizon,
   return samples;
 }
 
+UsageSample UsageTrace::peak() const {
+  UsageSample s;
+  if (!boundaries_valid_) build_boundaries();
+  for (const Boundary& b : boundaries_) {
+    if (b.cpu_cores > s.cpu_cores) {
+      s.cpu_cores = b.cpu_cores;
+      s.time = b.time;
+    }
+    s.mem_bytes = std::max(s.mem_bytes, b.mem_bytes);
+    s.net_in_bps = std::max(s.net_in_bps, b.net_in_bps);
+    s.net_out_bps = std::max(s.net_out_bps, b.net_out_bps);
+  }
+  return s;
+}
+
 std::vector<UsageSample> UsageTrace::normalized(SimTime total_time,
                                                 int points) const {
   std::vector<UsageSample> samples;

@@ -47,6 +47,11 @@ class UsageTrace {
   /// full execution, x expressed in percent of total time.
   std::vector<UsageSample> normalized(SimTime total_time, int points = 100) const;
 
+  /// Per-channel maxima over the whole trace (each channel peaks
+  /// independently; the returned time is the cpu peak's). Zero sample
+  /// for an empty trace.
+  UsageSample peak() const;
+
   bool empty() const { return segments_.empty(); }
   const std::vector<UsageSegment>& segments() const { return segments_; }
 

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/error.h"
+#include "../obs/json_check.h"
 
 namespace gb::harness {
 namespace {
@@ -58,6 +62,47 @@ TEST(JsonWriter, DoublesRoundTrippable) {
   json.value(0.1);
   json.end_array();
   EXPECT_EQ(json.str(), "[0.10000000000000001]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  // JSON has no nan/inf tokens; emitting them used to produce documents
+  // every spec-compliant parser rejects. They now degrade to null.
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(-std::numeric_limits<double>::infinity());
+  json.value(1.5);
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null,null,null,1.5]");
+  EXPECT_TRUE(test::is_valid_json(json.str()));
+}
+
+TEST(MeasurementJson, NonFiniteFieldsStillYieldValidJson) {
+  Measurement m;
+  m.outcome = Outcome::kOk;
+  m.result.add_phase("compute", 3.0, true);
+  // A pathological stat must not poison the whole document.
+  m.faults.recomputed_sec = std::numeric_limits<double>::quiet_NaN();
+  m.host_wall_seconds = std::numeric_limits<double>::infinity();
+  const std::string json = measurement_to_json("Giraph", "KGS", "BFS", m);
+  test::JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << checker.error();
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(MeasurementJson, CarriesMetricsSection) {
+  Measurement m;
+  m.outcome = Outcome::kOk;
+  m.result.add_phase("compute", 3.0, true);
+  m.metrics.counters.emplace_back("tasks.scheduled", 128);
+  m.metrics.gauges.emplace_back("shuffle.bytes", 1.5e9);
+  const std::string json = measurement_to_json("Hadoop", "KGS", "CONN", m);
+  EXPECT_TRUE(test::is_valid_json(json));
+  EXPECT_NE(json.find(R"("metrics")"), std::string::npos);
+  EXPECT_NE(json.find(R"("tasks.scheduled":128)"), std::string::npos);
+  EXPECT_NE(json.find(R"("shuffle.bytes")"), std::string::npos);
 }
 
 TEST(MeasurementJson, SuccessfulRun) {

@@ -38,6 +38,85 @@ TEST(Report, CsvRoundTrip) {
   std::filesystem::remove(path);
 }
 
+// Tiny RFC 4180 reader: enough to round-trip what write_csv emits.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(cell);
+      cell.clear();
+    } else if (c == '\n') {
+      row.push_back(cell);
+      cell.clear();
+      rows.push_back(row);
+      row.clear();
+    } else {
+      cell += c;
+    }
+  }
+  return rows;
+}
+
+TEST(Report, CsvEscapesSpecialCells) {
+  Table t("demo");
+  t.set_header({"name", "note"});
+  t.add_row({"comma,inside", "quote \"q\" here"});
+  t.add_row({"new\nline", "plain"});
+  t.add_row({"carriage\rreturn", "trailing"});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gb_report_escape_test.csv")
+          .string();
+  t.write_csv(path);
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::filesystem::remove(path);
+  const std::string text = buf.str();
+
+  // Special cells are double-quoted with embedded quotes doubled...
+  EXPECT_NE(text.find("\"comma,inside\""), std::string::npos);
+  EXPECT_NE(text.find("\"quote \"\"q\"\" here\""), std::string::npos);
+  EXPECT_NE(text.find("\"new\nline\""), std::string::npos);
+  // ...while plain cells keep their exact prior bytes.
+  EXPECT_NE(text.find("name,note\n"), std::string::npos);
+  EXPECT_NE(text.find(",plain\n"), std::string::npos);
+
+  // And a conforming reader recovers the original cells exactly.
+  const auto rows = parse_csv(text);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[1][0], "comma,inside");
+  EXPECT_EQ(rows[1][1], "quote \"q\" here");
+  EXPECT_EQ(rows[2][0], "new\nline");
+  EXPECT_EQ(rows[3][0], "carriage\rreturn");
+}
+
+TEST(Report, PrintMetricsListsCountersThenGauges) {
+  obs::MetricsSnapshot snap;
+  snap.counters.emplace_back("tasks.scheduled", 64);
+  snap.gauges.emplace_back("shuffle.bytes", 1.5e9);
+  std::ostringstream out;
+  print_metrics(out, snap, "  ");
+  EXPECT_EQ(out.str(),
+            "  tasks.scheduled: 64\n  shuffle.bytes: 1.50G\n");
+}
+
 TEST(Report, FormatSeconds) {
   EXPECT_EQ(format_seconds(0.5), "500.0 ms");
   EXPECT_EQ(format_seconds(12.34), "12.3 s");
@@ -46,10 +125,16 @@ TEST(Report, FormatSeconds) {
 }
 
 TEST(Report, FormatSi) {
-  EXPECT_EQ(format_si(1.5e9), "2G");
+  // Every branch keeps two decimals; the giga range used to round to
+  // whole units ("2G" for 1.5e9).
+  EXPECT_EQ(format_si(1.5e9), "1.50G");
+  EXPECT_EQ(format_si(2.0e9), "2.00G");
   EXPECT_EQ(format_si(3.4e6), "3.40M");
   EXPECT_EQ(format_si(870.0e3), "870.00k");
+  EXPECT_EQ(format_si(1.0e3), "1.00k");
+  EXPECT_EQ(format_si(999.0), "999.00");
   EXPECT_EQ(format_si(12.0), "12.00");
+  EXPECT_EQ(format_si(0.0), "0.00");
 }
 
 TEST(Report, FormatMeasurementOutcomes) {

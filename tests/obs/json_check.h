@@ -1,0 +1,184 @@
+// Minimal strict JSON validator for the observability tests.
+//
+// A hand-rolled recursive-descent checker over RFC 8259: it accepts
+// exactly the JSON grammar and nothing else, so it rejects the lenient
+// extensions many parsers allow — bare `nan`/`inf`/`Infinity` tokens,
+// trailing commas, unquoted keys, single quotes. That strictness is the
+// point: the trace exporter and measurement_to_json must never emit a
+// document a spec-compliant consumer would choke on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gb::test {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  /// True iff the whole input is one valid JSON value.
+  bool valid() {
+    pos_ = 0;
+    error_.clear();
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing garbage");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+  /// Byte offset of the first error (meaningful after valid() == false).
+  std::size_t error_pos() const { return pos_; }
+
+ private:
+  bool fail(const char* what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (eof() || peek() != expected) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (eof() || peek() != *p) return fail("bad literal");
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return fail("expected object key");
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (true) {
+      if (eof()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) return fail("dangling escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !is_hex(text_[pos_])) return fail("bad \\u escape");
+            ++pos_;
+          }
+          continue;
+        }
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+    }
+  }
+
+  static bool is_hex(char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+           (c >= 'A' && c <= 'F');
+  }
+  static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+  // number = [-] int [frac] [exp] — notably NOT nan/inf/+1/leading zeros.
+  bool number() {
+    if (consume('-') && eof()) return fail("lone minus");
+    if (eof() || !is_digit(peek())) return fail("expected digit");
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && is_digit(peek())) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !is_digit(peek())) return fail("expected fraction digits");
+      while (!eof() && is_digit(peek())) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !is_digit(peek())) return fail("expected exponent digits");
+      while (!eof() && is_digit(peek())) ++pos_;
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+inline bool is_valid_json(const std::string& text) {
+  return JsonChecker(text).valid();
+}
+
+}  // namespace gb::test

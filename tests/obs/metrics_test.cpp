@@ -1,0 +1,77 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace gb::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulate) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("tasks.scheduled"), 0u);
+
+  reg.incr("tasks.scheduled");
+  reg.incr("tasks.scheduled", 4);
+  reg.incr("tasks.retried");
+  EXPECT_EQ(reg.counter("tasks.scheduled"), 5u);
+  EXPECT_EQ(reg.counter("tasks.retried"), 1u);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(MetricsRegistry, GaugeAddSetMax) {
+  MetricsRegistry reg;
+  reg.add("shuffle.bytes", 100.0);
+  reg.add("shuffle.bytes", 23.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("shuffle.bytes"), 123.5);
+
+  reg.set_gauge("peak", 7.0);
+  reg.set_gauge("peak", 3.0);  // set overwrites, even downward
+  EXPECT_DOUBLE_EQ(reg.gauge("peak"), 3.0);
+
+  reg.max_gauge("peak", 9.0);
+  reg.max_gauge("peak", 5.0);  // max only raises
+  EXPECT_DOUBLE_EQ(reg.gauge("peak"), 9.0);
+
+  EXPECT_DOUBLE_EQ(reg.gauge("absent"), 0.0);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName) {
+  MetricsRegistry reg;
+  reg.incr("zeta");
+  reg.incr("alpha");
+  reg.incr("mid");
+  reg.add("z.gauge", 1.0);
+  reg.add("a.gauge", 2.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mid");
+  EXPECT_EQ(snap.counters[2].first, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].first, "a.gauge");
+  EXPECT_EQ(snap.gauges[1].first, "z.gauge");
+}
+
+TEST(MetricsRegistry, SnapshotIsADetachedCopy) {
+  MetricsRegistry reg;
+  reg.incr("n", 2);
+  const MetricsSnapshot snap = reg.snapshot();
+  reg.incr("n", 40);
+  EXPECT_EQ(snap.counter("n"), 2u);
+  EXPECT_EQ(reg.counter("n"), 42u);
+  EXPECT_EQ(snap.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("missing"), 0.0);
+}
+
+TEST(MetricsRegistry, ClearEmptiesEverything) {
+  MetricsRegistry reg;
+  reg.incr("c");
+  reg.add("g", 1.0);
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace gb::obs

@@ -1,0 +1,297 @@
+// The tentpole observability path end to end: engines record spans and
+// metrics on the Cluster while a cell runs, the fault injector mirrors
+// its events into the same timeline, and trace_json serializes it all as
+// strictly valid Chrome trace-event JSON.
+#include "obs/trace_json.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algorithms/platform_suite.h"
+#include "core/thread_pool.h"
+#include "datasets/catalog.h"
+#include "harness/experiment.h"
+#include "harness/json.h"
+#include "obs/host_profile.h"
+#include "obs/trace.h"
+#include "sim/cluster.h"
+#include "sim/faults.h"
+#include "../test_util.h"
+#include "json_check.h"
+
+namespace gb::obs {
+namespace {
+
+using harness::Measurement;
+using platforms::Algorithm;
+using test::JsonChecker;
+
+// Big enough that mid-run fault times land inside every platform's
+// simulated span (same fixture as fault_recovery_test).
+const datasets::Dataset& small_kgs() {
+  static const datasets::Dataset ds =
+      datasets::generate(datasets::DatasetId::kKGS, 0.01, 7);
+  return ds;
+}
+
+TEST(TraceRecorder, RecordsSpansAndInstantsInOrder) {
+  TraceRecorder rec;
+  EXPECT_TRUE(rec.empty());
+  rec.add_span("setup", "overhead", 0.0, 2.0, false, 4);
+  rec.add_span("superstep 0", "computation", 2.0, 5.0, true, 4);
+  rec.add_instant("worker crash", "fault", 3.5, 2);
+  ASSERT_EQ(rec.spans().size(), 2u);
+  ASSERT_EQ(rec.instants().size(), 1u);
+  EXPECT_EQ(rec.spans()[0].name, "setup");
+  EXPECT_FALSE(rec.spans()[0].computation);
+  EXPECT_EQ(rec.spans()[1].category, "computation");
+  EXPECT_DOUBLE_EQ(rec.spans()[1].begin, 2.0);
+  EXPECT_DOUBLE_EQ(rec.spans()[1].end, 5.0);
+  EXPECT_EQ(rec.instants()[0].worker, 2u);
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+}
+
+TEST(JsonChecker, AcceptsJsonAndRejectsLenientExtensions) {
+  // Sanity-check the validator itself so the suite's "is valid JSON"
+  // assertions mean something.
+  EXPECT_TRUE(test::is_valid_json(R"({"a":[1,2.5,-3e2,"x\n",true,null]})"));
+  EXPECT_TRUE(test::is_valid_json("[]"));
+  EXPECT_FALSE(test::is_valid_json(""));
+  EXPECT_FALSE(test::is_valid_json("{\"a\":nan}"));
+  EXPECT_FALSE(test::is_valid_json("{\"a\":inf}"));
+  EXPECT_FALSE(test::is_valid_json("{\"a\":Infinity}"));
+  EXPECT_FALSE(test::is_valid_json("[1,]"));
+  EXPECT_FALSE(test::is_valid_json("{\"a\":1} extra"));
+  EXPECT_FALSE(test::is_valid_json("{'a':1}"));
+  EXPECT_FALSE(test::is_valid_json("[+1]"));
+  EXPECT_FALSE(test::is_valid_json("[01]"));
+}
+
+TEST(TraceJson, GiraphCellExportsAValidTrace) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto giraph = algorithms::make_giraph();
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 4;
+  sim::Cluster cluster(cfg);
+  const Measurement m = harness::run_cell(
+      *giraph, ds, Algorithm::kBfs, harness::default_params(ds), cluster);
+  ASSERT_TRUE(m.ok()) << m.message;
+
+  TraceMeta meta;
+  meta.platform = "Giraph";
+  meta.dataset = "test";
+  meta.algorithm = "BFS";
+  meta.outcome = "ok";
+  meta.total_time = m.result.total_time;
+  const std::string json = trace_to_json(cluster, meta);
+
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << checker.error() << " at byte "
+                               << checker.error_pos();
+  // One process per simulated node, phases as complete spans, usage as
+  // counter tracks, and the metrics fold-in.
+  EXPECT_NE(json.find(R"("displayTimeUnit":"ms")"), std::string::npos);
+  EXPECT_NE(json.find(R"("platform":"Giraph")"), std::string::npos);
+  EXPECT_NE(json.find(R"("process_name")"), std::string::npos);
+  EXPECT_NE(json.find(R"("worker-3")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"C")"), std::string::npos);
+  EXPECT_NE(json.find(R"("metrics")"), std::string::npos);
+  EXPECT_NE(json.find(R"("pregel.supersteps")"), std::string::npos);
+  // Host profiling is opt-in; the default export must not mention it.
+  EXPECT_EQ(json.find("hostProfile"), std::string::npos);
+}
+
+TEST(TraceJson, FaultAnnotationsAppearAsInstants) {
+  const auto& ds = small_kgs();
+  const auto hadoop = algorithms::make_hadoop();
+
+  sim::ClusterConfig clean_cfg;
+  clean_cfg.num_workers = 8;
+  clean_cfg.work_scale = ds.extrapolation();
+  sim::Cluster clean(clean_cfg);
+  const Measurement base = harness::run_cell(
+      *hadoop, ds, Algorithm::kConn, harness::default_params(ds), clean);
+  ASSERT_TRUE(base.ok()) << base.message;
+
+  sim::ClusterConfig cfg = clean_cfg;
+  cfg.faults.add({.kind = sim::FaultKind::kWorkerCrash,
+                  .time = base.time() * 0.5,
+                  .worker = 3});
+  sim::Cluster cluster(cfg);
+  const Measurement m = harness::run_cell(
+      *hadoop, ds, Algorithm::kConn, harness::default_params(ds), cluster);
+  ASSERT_TRUE(m.ok()) << m.message;
+
+  // The injector mirrored the consumed crash into the trace...
+  bool found = false;
+  for (const auto& instant : cluster.trace().instants()) {
+    if (instant.category == "fault" && instant.worker == 3) found = true;
+  }
+  EXPECT_TRUE(found);
+  // ...and the recovery phase carries its own span category.
+  bool recovery_span = false;
+  for (const auto& span : cluster.trace().spans()) {
+    if (span.category == "recovery") recovery_span = true;
+  }
+  EXPECT_TRUE(recovery_span);
+
+  TraceMeta meta;
+  meta.platform = "Hadoop";
+  meta.dataset = "KGS";
+  meta.algorithm = "CONN";
+  meta.outcome = "ok";
+  meta.total_time = m.result.total_time;
+  const std::string json = trace_to_json(cluster, meta);
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << checker.error();
+  EXPECT_NE(json.find(R"("ph":"i")"), std::string::npos);
+  EXPECT_NE(json.find("worker_crash"), std::string::npos);
+}
+
+TEST(Metrics, HadoopCountsTaskRetriesUnderFaults) {
+  const auto& ds = small_kgs();
+  const auto hadoop = algorithms::make_hadoop();
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 8;
+  const Measurement clean = harness::run_cell(
+      *hadoop, ds, Algorithm::kConn, harness::default_params(ds), cfg);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_GT(clean.metrics.counter("tasks.scheduled"), 0u);
+  EXPECT_GT(clean.metrics.gauge("shuffle.bytes"), 0.0);
+  EXPECT_EQ(clean.metrics.counter("tasks.retried"), 0u);
+
+  cfg.faults.add({.kind = sim::FaultKind::kWorkerCrash,
+                  .time = clean.time() * 0.5,
+                  .worker = 3});
+  const Measurement faulty = harness::run_cell(
+      *hadoop, ds, Algorithm::kConn, harness::default_params(ds), cfg);
+  ASSERT_TRUE(faulty.ok()) << faulty.message;
+  EXPECT_GE(faulty.metrics.counter("tasks.retried"), 1u);
+  EXPECT_EQ(faulty.metrics.counter("faults.injected"), 1u);
+  EXPECT_EQ(faulty.metrics.counter("faults.worker_crashes"), 1u);
+  // The metrics view agrees with the FaultStats the harness already keeps.
+  EXPECT_EQ(faulty.metrics.counter("faults.injected"), faulty.faults.injected);
+}
+
+TEST(Metrics, GiraphCountsCheckpointsAndRestarts) {
+  const auto& ds = small_kgs();
+  const auto giraph = algorithms::make_giraph();
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 8;
+  auto params = harness::default_params(ds);
+  const Measurement clean =
+      harness::run_cell(*giraph, ds, Algorithm::kConn, params, cfg);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_GT(clean.metrics.counter("pregel.supersteps"), 0u);
+  EXPECT_GT(clean.metrics.counter("messages.sent"), 0u);
+  EXPECT_EQ(clean.metrics.counter("checkpoints.written"), 0u);
+
+  params.checkpoint_interval = 2;
+  cfg.faults.add({.kind = sim::FaultKind::kWorkerCrash,
+                  .time = clean.time() * 0.5,
+                  .worker = 3});
+  const Measurement recovered =
+      harness::run_cell(*giraph, ds, Algorithm::kConn, params, cfg);
+  ASSERT_TRUE(recovered.ok()) << recovered.message;
+  EXPECT_GE(recovered.metrics.counter("checkpoints.written"), 1u);
+  EXPECT_EQ(recovered.metrics.counter("checkpoints.restarts"), 1u);
+}
+
+TEST(Metrics, HostChunksAreCountedButHostTimeIsNot) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto giraph = algorithms::make_giraph();
+  const Measurement m = harness::run_cell(
+      *giraph, ds, Algorithm::kBfs, harness::default_params(ds));
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m.metrics.counter("host.chunks_executed"), 0u);
+  // Nothing wall-clock-derived may leak into the registry.
+  for (const auto& [name, value] : m.metrics.gauges) {
+    EXPECT_EQ(name.find("wall"), std::string::npos) << name;
+  }
+}
+
+TEST(MeasurementJson, CarriesMetricsAndValidates) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto giraph = algorithms::make_giraph();
+  const Measurement m = harness::run_cell(
+      *giraph, ds, Algorithm::kBfs, harness::default_params(ds));
+  ASSERT_TRUE(m.ok());
+  const std::string json =
+      harness::measurement_to_json("Giraph", "test", "BFS", m);
+  test::JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << checker.error();
+  EXPECT_NE(json.find(R"("metrics")"), std::string::npos);
+  EXPECT_NE(json.find(R"("pregel.supersteps")"), std::string::npos);
+}
+
+TEST(HostProfiler, CapturesEveryChunkWithPoolThreadIds) {
+  ThreadPool pool(2);
+  HostProfiler profiler;
+  pool.set_profile_sink(&profiler);
+
+  const std::size_t n = 10'000;
+  const std::size_t chunks = ThreadPool::plan_chunks(n);
+  std::vector<int> touched(chunks, 0);
+  pool.parallel_chunks(n, chunks,
+                       [&touched](std::size_t c, std::size_t, std::size_t) {
+                         touched[c] = 1;
+                       });
+  pool.set_profile_sink(nullptr);
+
+  const auto samples = profiler.samples();
+  ASSERT_EQ(samples.size(), chunks);
+  std::vector<int> seen(chunks, 0);
+  for (const auto& s : samples) {
+    ASSERT_LT(s.chunk, chunks);
+    seen[s.chunk] += 1;
+    // Pool workers are 0..1; the caller thread reports the pool size.
+    EXPECT_LE(s.thread, pool.size());
+    EXPECT_GE(s.duration_sec, 0.0);
+    EXPECT_LT(s.pending, chunks);
+  }
+  for (std::size_t c = 0; c < chunks; ++c) {
+    EXPECT_EQ(seen[c], 1) << "chunk " << c;
+    EXPECT_EQ(touched[c], 1) << "chunk " << c;
+  }
+
+  // Detached sink: no further samples.
+  profiler.clear();
+  pool.parallel_chunks(n, chunks,
+                       [](std::size_t, std::size_t, std::size_t) {});
+  EXPECT_EQ(profiler.size(), 0u);
+}
+
+TEST(TraceJson, HostProfileSectionIsOptIn) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  const auto giraph = algorithms::make_giraph();
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 2;
+  sim::Cluster cluster(cfg);
+  HostProfiler profiler;
+  cluster.pool().set_profile_sink(&profiler);
+  const Measurement m = harness::run_cell(
+      *giraph, ds, Algorithm::kBfs, harness::default_params(ds), cluster);
+  cluster.pool().set_profile_sink(nullptr);
+  ASSERT_TRUE(m.ok());
+
+  TraceMeta meta;
+  meta.platform = "Giraph";
+  meta.dataset = "test";
+  meta.algorithm = "BFS";
+  meta.outcome = "ok";
+  meta.total_time = m.result.total_time;
+
+  const std::string without = trace_to_json(cluster, meta);
+  EXPECT_EQ(without.find("hostProfile"), std::string::npos);
+
+  const std::string with = trace_to_json(cluster, meta, &profiler);
+  test::JsonChecker checker(with);
+  EXPECT_TRUE(checker.valid()) << checker.error();
+  EXPECT_NE(with.find("hostProfile"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gb::obs

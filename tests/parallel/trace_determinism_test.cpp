@@ -1,0 +1,121 @@
+// PR contract for the observability layer: the exported trace document
+// and the metrics snapshot derive only from simulated quantities, so the
+// same cell must produce byte-identical bytes at every host
+// `parallelism` setting — serial, a fixed pool, or hardware concurrency.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algorithms/platform_suite.h"
+#include "datasets/catalog.h"
+#include "harness/experiment.h"
+#include "obs/trace_json.h"
+#include "sim/cluster.h"
+#include "sim/faults.h"
+#include "../test_util.h"
+
+namespace gb {
+namespace {
+
+using harness::Measurement;
+using platforms::Algorithm;
+
+struct TracedRun {
+  std::string json;
+  obs::MetricsSnapshot metrics;
+  harness::Outcome outcome = harness::Outcome::kError;
+};
+
+TracedRun traced_run(const platforms::Platform& platform,
+                     const datasets::Dataset& ds, Algorithm algorithm,
+                     std::uint32_t parallelism, const sim::FaultPlan& faults,
+                     std::uint32_t checkpoint_interval = 0) {
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 8;
+  cfg.parallelism = parallelism;
+  cfg.work_scale = ds.extrapolation();
+  cfg.faults = faults;
+  sim::Cluster cluster(cfg);
+  auto params = harness::default_params(ds);
+  params.checkpoint_interval = checkpoint_interval;
+  const Measurement m =
+      harness::run_cell(platform, ds, algorithm, params, cluster);
+
+  obs::TraceMeta meta;
+  meta.platform = platform.name();
+  meta.dataset = ds.name;
+  meta.algorithm = "cell";
+  meta.outcome = harness::outcome_label(m.outcome);
+  meta.total_time = m.result.total_time;
+
+  TracedRun run;
+  run.json = obs::trace_to_json(cluster, meta);
+  run.metrics = m.metrics;
+  run.outcome = m.outcome;
+  return run;
+}
+
+void expect_identical(const TracedRun& a, const TracedRun& b,
+                      const char* label) {
+  EXPECT_EQ(a.outcome, b.outcome) << label;
+  EXPECT_EQ(a.json, b.json) << label;
+  EXPECT_EQ(a.metrics.counters, b.metrics.counters) << label;
+  EXPECT_EQ(a.metrics.gauges, b.metrics.gauges) << label;
+}
+
+TEST(TraceDeterminism, CleanRunIsByteIdenticalAcrossParallelism) {
+  const auto ds = test::as_dataset(test::barbell_graph());
+  for (const auto& platform : algorithms::make_all_platforms()) {
+    // parallelism: 1 = serial, 2 = dedicated pool, 0 = hardware.
+    const TracedRun serial = traced_run(*platform, ds, Algorithm::kBfs, 1, {});
+    const TracedRun pool2 = traced_run(*platform, ds, Algorithm::kBfs, 2, {});
+    const TracedRun hw = traced_run(*platform, ds, Algorithm::kBfs, 0, {});
+    expect_identical(serial, pool2, platform->name().c_str());
+    expect_identical(serial, hw, platform->name().c_str());
+    EXPECT_FALSE(serial.json.empty());
+    // Host wall-clock data must never leak into the default export.
+    EXPECT_EQ(serial.json.find("hostProfile"), std::string::npos);
+  }
+}
+
+TEST(TraceDeterminism, FaultedRunIsByteIdenticalAcrossParallelism) {
+  const auto ds = datasets::generate(datasets::DatasetId::kKGS, 0.01, 7);
+  const auto hadoop = algorithms::make_hadoop();
+  const TracedRun clean = traced_run(*hadoop, ds, Algorithm::kConn, 1, {});
+  ASSERT_EQ(clean.outcome, harness::Outcome::kOk);
+  // Reconstruct the clean run's simulated span to place faults mid-run.
+  sim::FaultPlan plan;
+  plan.add({.kind = sim::FaultKind::kWorkerCrash, .time = 100.0, .worker = 3});
+  plan.add({.kind = sim::FaultKind::kStraggler,
+            .time = 50.0,
+            .worker = 1,
+            .slowdown = 2.5,
+            .duration = 100.0});
+
+  const TracedRun serial = traced_run(*hadoop, ds, Algorithm::kConn, 1, plan);
+  const TracedRun pool2 = traced_run(*hadoop, ds, Algorithm::kConn, 2, plan);
+  const TracedRun hw = traced_run(*hadoop, ds, Algorithm::kConn, 0, plan);
+  expect_identical(serial, pool2, "hadoop faulted");
+  expect_identical(serial, hw, "hadoop faulted");
+  // The fault schedule itself is parallelism-independent too.
+  EXPECT_EQ(serial.metrics.counter("faults.injected"),
+            hw.metrics.counter("faults.injected"));
+}
+
+TEST(TraceDeterminism, CheckpointedGiraphRecoveryIsByteIdentical) {
+  const auto ds = datasets::generate(datasets::DatasetId::kKGS, 0.01, 7);
+  const auto giraph = algorithms::make_giraph();
+  const TracedRun clean = traced_run(*giraph, ds, Algorithm::kConn, 1, {});
+  ASSERT_EQ(clean.outcome, harness::Outcome::kOk);
+  sim::FaultPlan plan;
+  plan.add({.kind = sim::FaultKind::kWorkerCrash, .time = 100.0, .worker = 2});
+
+  const TracedRun serial =
+      traced_run(*giraph, ds, Algorithm::kConn, 1, plan, 2);
+  const TracedRun hw = traced_run(*giraph, ds, Algorithm::kConn, 0, plan, 2);
+  expect_identical(serial, hw, "giraph checkpointed");
+  EXPECT_GE(serial.metrics.counter("checkpoints.written"), 1u);
+}
+
+}  // namespace
+}  // namespace gb

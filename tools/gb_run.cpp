@@ -3,12 +3,15 @@
 //   gb_run [--platform NAME] [--dataset NAME] [--algorithm NAME]
 //          [--workers N] [--cores N] [--scale S] [--seed S] [--breakdown]
 //          [--parallelism N]   (host threads: 0 = hardware, 1 = serial)
+//          [--trace-out FILE]  (Chrome trace-event JSON of the run)
 //
 // Example:
 //   gb_run --platform Giraph --dataset KGS --algorithm CONN --workers 30
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "algorithms/platform_suite.h"
@@ -17,6 +20,8 @@
 #include "harness/metrics.h"
 #include "harness/json.h"
 #include "harness/report.h"
+#include "obs/host_profile.h"
+#include "obs/trace_json.h"
 #include "sim/cost_config.h"
 #include "sim/faults.h"
 
@@ -38,11 +43,71 @@ using namespace gb;
                "              [--cost name=value]...   (see --list-costs)\n"
                "              [--fault worker:<t>[:<w>] | task:<t>[:<w>] | "
                "straggler:<t>:<factor>:<dur>[:<w>]]...\n"
-               "              [--fault-seed S:N]   (N random faults from "
-               "seed S)\n"
+               "              [--fault-seed S:N[:horizon]]   (N random "
+               "faults from seed S)\n"
                "              [--checkpoint-interval N]   (Giraph: "
-               "checkpoint every N supersteps, 0 = off)\n";
+               "checkpoint every N supersteps, 0 = off)\n"
+               "              [--trace-out FILE]   (write a Chrome "
+               "trace-event JSON timeline of the run)\n"
+               "              [--trace-host-profile]   (include host-pool "
+               "wall-clock samples in the trace;\n"
+               "               makes the file parallelism-dependent)\n";
   std::exit(2);
+}
+
+// Strict numeric flag parsing: std::stoul and friends accept partial
+// garbage ("12abc"), silently wrap negatives into huge unsigneds, and
+// throw uncaught exceptions on overflow. Each helper routes every bad
+// input — malformed, out of range, below the minimum — through usage().
+std::uint64_t parse_u64(const std::string& text, const char* flag,
+                        std::uint64_t min_value = 0) {
+  const auto fail = [&]() {
+    usage((std::string(flag) + " expects an unsigned integer" +
+           (min_value > 0 ? " >= " + std::to_string(min_value) : "") +
+           ", got '" + text + "'")
+              .c_str());
+  };
+  if (text.empty() || text[0] == '-' || text[0] == '+') fail();
+  std::uint64_t parsed = 0;
+  try {
+    std::size_t pos = 0;
+    parsed = std::stoull(text, &pos);
+    if (pos != text.size()) fail();
+  } catch (...) {
+    fail();
+  }
+  if (parsed < min_value) fail();
+  return parsed;
+}
+
+std::uint32_t parse_u32(const std::string& text, const char* flag,
+                        std::uint32_t min_value = 0) {
+  const std::uint64_t parsed = parse_u64(text, flag, min_value);
+  if (parsed > std::numeric_limits<std::uint32_t>::max()) {
+    usage((std::string(flag) + " value '" + text + "' is out of range")
+              .c_str());
+  }
+  return static_cast<std::uint32_t>(parsed);
+}
+
+double parse_double(const std::string& text, const char* flag,
+                    double min_value) {
+  const auto fail = [&]() {
+    usage((std::string(flag) + " expects a finite number >= " +
+           std::to_string(min_value) + ", got '" + text + "'")
+              .c_str());
+  };
+  if (text.empty()) fail();
+  double parsed = 0.0;
+  try {
+    std::size_t pos = 0;
+    parsed = std::stod(text, &pos);
+    if (pos != text.size()) fail();
+  } catch (...) {
+    fail();
+  }
+  if (!std::isfinite(parsed) || parsed < min_value) fail();
+  return parsed;
 }
 
 std::unique_ptr<platforms::Platform> make_platform(const std::string& name) {
@@ -89,6 +154,8 @@ int main(int argc, char** argv) {
   std::uint64_t fault_seed = 0;
   std::uint32_t fault_events = 0;
   double fault_horizon = 3600.0;
+  std::string trace_path;
+  bool trace_host_profile = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -103,15 +170,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--algorithm") {
       algorithm_name = value();
     } else if (arg == "--workers") {
-      workers = static_cast<std::uint32_t>(std::stoul(value()));
+      // Zero workers would make every per-worker division meaningless;
+      // the cap keeps total_slots and the usage-trace vector sane.
+      workers = parse_u32(value(), "--workers", 1);
+      if (workers > 1'000'000) usage("--workers must be <= 1000000");
     } else if (arg == "--cores") {
-      cores = static_cast<std::uint32_t>(std::stoul(value()));
+      cores = parse_u32(value(), "--cores", 1);
     } else if (arg == "--scale") {
-      scale = std::stod(value());
+      scale = parse_double(value(), "--scale", 0.0);
     } else if (arg == "--seed") {
-      seed = std::stoull(value());
+      seed = parse_u64(value(), "--seed");
     } else if (arg == "--parallelism") {
-      parallelism = static_cast<std::uint32_t>(std::stoul(value()));
+      parallelism = parse_u32(value(), "--parallelism");
     } else if (arg == "--breakdown") {
       breakdown = true;
     } else if (arg == "--json") {
@@ -131,21 +201,22 @@ int main(int argc, char** argv) {
       if (colon == std::string::npos) {
         usage("--fault-seed expects S:N[:horizon]");
       }
-      try {
-        fault_seed = std::stoull(spec.substr(0, colon));
-        std::string rest = spec.substr(colon + 1);
-        const auto colon2 = rest.find(':');
-        if (colon2 != std::string::npos) {
-          fault_horizon = std::stod(rest.substr(colon2 + 1));
-          rest.resize(colon2);
-        }
-        fault_events = static_cast<std::uint32_t>(std::stoul(rest));
-      } catch (...) {
-        usage("--fault-seed expects S:N[:horizon]");
+      fault_seed = parse_u64(spec.substr(0, colon), "--fault-seed");
+      std::string rest = spec.substr(colon + 1);
+      const auto colon2 = rest.find(':');
+      if (colon2 != std::string::npos) {
+        fault_horizon =
+            parse_double(rest.substr(colon2 + 1), "--fault-seed", 0.0);
+        rest.resize(colon2);
       }
+      fault_events = parse_u32(rest, "--fault-seed");
       have_fault_seed = true;
     } else if (arg == "--checkpoint-interval") {
-      checkpoint_interval = static_cast<std::uint32_t>(std::stoul(value()));
+      checkpoint_interval = parse_u32(value(), "--checkpoint-interval");
+    } else if (arg == "--trace-out") {
+      trace_path = value();
+    } else if (arg == "--trace-host-profile") {
+      trace_host_profile = true;
     } else if (arg == "--list-costs") {
       for (const auto& name : sim::cost_parameter_names()) {
         std::cout << name << "=" << sim::cost_parameter(cost, name) << "\n";
@@ -181,7 +252,29 @@ int main(int argc, char** argv) {
   cfg.faults = faults;
   auto params = harness::default_params(ds);
   params.checkpoint_interval = checkpoint_interval;
-  const auto m = harness::run_cell(*platform, ds, algorithm, params, cfg);
+
+  // Build the cluster explicitly (rather than through the convenience
+  // run_cell overload) so its trace, metrics and usage data remain
+  // inspectable for --trace-out after the run.
+  cfg.work_scale = ds.extrapolation();
+  if (!platform->distributed()) cfg.num_workers = 1;
+  sim::Cluster cluster(cfg);
+  obs::HostProfiler profiler;
+  if (trace_host_profile) cluster.pool().set_profile_sink(&profiler);
+  const auto m = harness::run_cell(*platform, ds, algorithm, params, cluster);
+  if (trace_host_profile) cluster.pool().set_profile_sink(nullptr);
+
+  if (!trace_path.empty()) {
+    obs::TraceMeta meta;
+    meta.platform = platform->name();
+    meta.dataset = dataset_name;
+    meta.algorithm = algorithm_name;
+    meta.outcome = harness::outcome_label(m.outcome);
+    meta.total_time = m.result.total_time;
+    obs::write_trace_file(trace_path, cluster, meta,
+                          trace_host_profile ? &profiler : nullptr);
+    std::cerr << "trace written to " << trace_path << "\n";
+  }
 
   if (json) {
     std::cout << harness::measurement_to_json(platform->name(), dataset_name,
@@ -227,6 +320,10 @@ int main(int argc, char** argv) {
                   << harness::format_seconds(duration) << "\n";
       }
     }
+  }
+  if (!m.metrics.empty()) {
+    std::cout << "  metrics:\n";
+    harness::print_metrics(std::cout, m.metrics, "    ");
   }
   return m.ok() ? 0 : 1;
 }
