@@ -11,7 +11,10 @@
 #include <vector>
 
 #include "algorithms/platform_suite.h"
+#include "campaign/campaign.h"
+#include "campaign/runner.h"
 #include "datasets/catalog.h"
+#include "datasets/dataset_cache.h"
 #include "harness/experiment.h"
 #include "harness/metrics.h"
 #include "harness/report.h"
@@ -63,6 +66,26 @@ inline harness::Measurement run(const platforms::Platform& platform,
   return harness::run_cell(platform, ds, algorithm,
                            harness::default_params(ds),
                            paper_cluster(workers, cores));
+}
+
+/// Run a campaign grid with cells sharded over the hardware pool and a
+/// shared dataset cache (each graph loads once per figure, not once per
+/// cell). Results come back in grid-expansion order — platform innermost,
+/// then cores, then workers — so figure tables can consume them
+/// sequentially. Cell outcomes are bit-identical to the serial per-cell
+/// loop the figures used before; only wall-clock changes.
+inline campaign::CampaignResult run_grid(const campaign::GridSpec& grid,
+                                         datasets::DatasetCache& cache) {
+  campaign::RunnerOptions options;
+  options.parallelism = 0;  // hardware concurrency, one cell per thread
+  return campaign::run_campaign(grid, options, cache);
+}
+
+/// A figure cell: the simulated time when ok, the outcome label otherwise
+/// (the campaign equivalent of harness::format_measurement).
+inline std::string cell_text(const harness::CellResult& cell) {
+  return cell.ok() ? harness::format_seconds(cell.makespan_sec)
+                   : cell.outcome;
 }
 
 /// Where CSV copies of every table land.

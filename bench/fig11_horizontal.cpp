@@ -1,30 +1,34 @@
 // Figure 11: horizontal scalability — BFS execution time on Friendster
 // (left) and DotaLeague (right) while growing the cluster from 20 to 50
 // machines in steps of 5, one core each. Includes GraphLab(mp).
+//
+// Declared as a campaign grid: the 7 cluster sizes x 6 platforms run as
+// independent cells sharded over the host pool, and both datasets load
+// exactly once through the shared cache.
 #include "bench_common.h"
 
 namespace {
 
-void run_dataset(const gb::datasets::Dataset& ds, const std::string& csv) {
+void run_dataset(gb::datasets::DatasetId id, const std::string& csv,
+                 gb::datasets::DatasetCache& cache) {
   using namespace gb;
-  std::vector<std::unique_ptr<platforms::Platform>> list;
-  list.push_back(algorithms::make_hadoop());
-  list.push_back(algorithms::make_yarn());
-  list.push_back(algorithms::make_stratosphere());
-  list.push_back(algorithms::make_giraph());
-  list.push_back(algorithms::make_graphlab(false));
-  list.push_back(algorithms::make_graphlab(true));
+  const double scale = bench::dataset_scale(id);
+  const auto grid = campaign::horizontal_scalability_grid(id, scale);
+  const auto result = bench::run_grid(grid, cache);
+  const auto ds = cache.get(id, scale);
 
-  harness::Table table("Figure 11: horizontal scalability, BFS on " + ds.name);
+  harness::Table table("Figure 11: horizontal scalability, BFS on " +
+                       ds->name);
   std::vector<std::string> header{"#machines"};
-  for (const auto& p : list) header.push_back(p->name());
+  for (const auto& name : grid.platforms) header.push_back(name);
   table.set_header(header);
 
-  for (std::uint32_t machines = 20; machines <= 50; machines += 5) {
+  // Grid order is workers-outer, platform-inner: exactly row-major here.
+  std::size_t cell = 0;
+  for (const std::uint32_t machines : grid.workers) {
     std::vector<std::string> row{std::to_string(machines)};
-    for (const auto& p : list) {
-      const auto m = bench::run(*p, ds, platforms::Algorithm::kBfs, machines);
-      row.push_back(harness::format_measurement(m));
+    for (std::size_t p = 0; p < grid.platforms.size(); ++p) {
+      row.push_back(bench::cell_text(result.cells[cell++]));
     }
     table.add_row(row);
   }
@@ -35,9 +39,10 @@ void run_dataset(const gb::datasets::Dataset& ds, const std::string& csv) {
 
 int main() {
   using namespace gb;
-  run_dataset(bench::load(datasets::DatasetId::kFriendster),
-              "fig11_horizontal_friendster.csv");
-  run_dataset(bench::load(datasets::DatasetId::kDotaLeague),
-              "fig11_horizontal_dotaleague.csv");
+  datasets::DatasetCache cache;
+  run_dataset(datasets::DatasetId::kFriendster,
+              "fig11_horizontal_friendster.csv", cache);
+  run_dataset(datasets::DatasetId::kDotaLeague,
+              "fig11_horizontal_dotaleague.csv", cache);
   return 0;
 }

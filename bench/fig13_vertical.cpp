@@ -1,30 +1,30 @@
 // Figure 13: vertical scalability — BFS execution time on Friendster and
 // DotaLeague on 20 machines with 1 to 7 computing cores per machine.
+// Declared as a campaign grid (7 core counts x 6 platforms per dataset),
+// cells sharded over the host pool with a shared dataset cache.
 #include "bench_common.h"
 
 namespace {
 
-void run_dataset(const gb::datasets::Dataset& ds, const std::string& csv) {
+void run_dataset(gb::datasets::DatasetId id, const std::string& csv,
+                 gb::datasets::DatasetCache& cache) {
   using namespace gb;
-  std::vector<std::unique_ptr<platforms::Platform>> list;
-  list.push_back(algorithms::make_hadoop());
-  list.push_back(algorithms::make_yarn());
-  list.push_back(algorithms::make_stratosphere());
-  list.push_back(algorithms::make_giraph());
-  list.push_back(algorithms::make_graphlab(false));
-  list.push_back(algorithms::make_graphlab(true));
+  const double scale = bench::dataset_scale(id);
+  const auto grid = campaign::vertical_scalability_grid(id, scale);
+  const auto result = bench::run_grid(grid, cache);
+  const auto ds = cache.get(id, scale);
 
-  harness::Table table("Figure 13: vertical scalability, BFS on " + ds.name);
+  harness::Table table("Figure 13: vertical scalability, BFS on " + ds->name);
   std::vector<std::string> header{"#cores"};
-  for (const auto& p : list) header.push_back(p->name());
+  for (const auto& name : grid.platforms) header.push_back(name);
   table.set_header(header);
 
-  for (std::uint32_t cores = 1; cores <= 7; ++cores) {
+  // Grid order is cores-outer, platform-inner: row-major for this table.
+  std::size_t cell = 0;
+  for (const std::uint32_t cores : grid.cores) {
     std::vector<std::string> row{std::to_string(cores)};
-    for (const auto& p : list) {
-      const auto m =
-          bench::run(*p, ds, platforms::Algorithm::kBfs, 20, cores);
-      row.push_back(harness::format_measurement(m));
+    for (std::size_t p = 0; p < grid.platforms.size(); ++p) {
+      row.push_back(bench::cell_text(result.cells[cell++]));
     }
     table.add_row(row);
   }
@@ -35,9 +35,10 @@ void run_dataset(const gb::datasets::Dataset& ds, const std::string& csv) {
 
 int main() {
   using namespace gb;
-  run_dataset(bench::load(datasets::DatasetId::kFriendster),
-              "fig13_vertical_friendster.csv");
-  run_dataset(bench::load(datasets::DatasetId::kDotaLeague),
-              "fig13_vertical_dotaleague.csv");
+  datasets::DatasetCache cache;
+  run_dataset(datasets::DatasetId::kFriendster,
+              "fig13_vertical_friendster.csv", cache);
+  run_dataset(datasets::DatasetId::kDotaLeague,
+              "fig13_vertical_dotaleague.csv", cache);
   return 0;
 }

@@ -1,32 +1,31 @@
 // Figure 14: NEPS (per core) of BFS on Friendster and DotaLeague in the
-// vertical-scalability configuration (20 machines, 1-7 cores).
+// vertical-scalability configuration (20 machines, 1-7 cores). Same
+// campaign grid as figure 13, rendered as per-core throughput.
 #include "bench_common.h"
 
 namespace {
 
-void run_dataset(const gb::datasets::Dataset& ds, const std::string& csv) {
+void run_dataset(gb::datasets::DatasetId id, const std::string& csv,
+                 gb::datasets::DatasetCache& cache) {
   using namespace gb;
-  std::vector<std::unique_ptr<platforms::Platform>> list;
-  list.push_back(algorithms::make_hadoop());
-  list.push_back(algorithms::make_yarn());
-  list.push_back(algorithms::make_stratosphere());
-  list.push_back(algorithms::make_giraph());
-  list.push_back(algorithms::make_graphlab(false));
-  list.push_back(algorithms::make_graphlab(true));
+  const double scale = bench::dataset_scale(id);
+  const auto grid = campaign::vertical_scalability_grid(id, scale);
+  const auto result = bench::run_grid(grid, cache);
+  const auto ds = cache.get(id, scale);
 
-  harness::Table table("Figure 14: NEPS per core, BFS on " + ds.name);
+  harness::Table table("Figure 14: NEPS per core, BFS on " + ds->name);
   std::vector<std::string> header{"#cores"};
-  for (const auto& p : list) header.push_back(p->name());
+  for (const auto& name : grid.platforms) header.push_back(name);
   table.set_header(header);
 
-  for (std::uint32_t cores = 1; cores <= 7; ++cores) {
+  std::size_t cell = 0;
+  for (const std::uint32_t cores : grid.cores) {
     std::vector<std::string> row{std::to_string(cores)};
-    for (const auto& p : list) {
-      const auto m =
-          bench::run(*p, ds, platforms::Algorithm::kBfs, 20, cores);
-      row.push_back(m.ok() ? harness::format_si(harness::neps(
-                                 ds, m.time(), 20, cores))
-                           : harness::outcome_label(m.outcome));
+    for (std::size_t p = 0; p < grid.platforms.size(); ++p) {
+      const auto& c = result.cells[cell++];
+      row.push_back(c.ok() ? harness::format_si(harness::neps(
+                                 *ds, c.makespan_sec, 20, cores))
+                           : c.outcome);
     }
     table.add_row(row);
   }
@@ -37,9 +36,10 @@ void run_dataset(const gb::datasets::Dataset& ds, const std::string& csv) {
 
 int main() {
   using namespace gb;
-  run_dataset(bench::load(datasets::DatasetId::kFriendster),
-              "fig14_neps_friendster.csv");
-  run_dataset(bench::load(datasets::DatasetId::kDotaLeague),
-              "fig14_neps_dotaleague.csv");
+  datasets::DatasetCache cache;
+  run_dataset(datasets::DatasetId::kFriendster, "fig14_neps_friendster.csv",
+              cache);
+  run_dataset(datasets::DatasetId::kDotaLeague, "fig14_neps_dotaleague.csv",
+              cache);
   return 0;
 }

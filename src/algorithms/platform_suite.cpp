@@ -794,4 +794,25 @@ std::vector<std::unique_ptr<Platform>> make_all_platforms() {
   return platforms;
 }
 
+std::unique_ptr<Platform> make_platform(const std::string& name) {
+  if (name == "Hadoop") return make_hadoop();
+  if (name == "YARN") return make_yarn();
+  if (name == "HaLoop") return make_haloop();
+  if (name == "PEGASUS") return make_pegasus();
+  if (name == "GPS") return make_gps();
+  if (name == "Stratosphere") return make_stratosphere();
+  if (name == "Giraph") return make_giraph();
+  if (name == "GraphLab") return make_graphlab(false);
+  if (name == "GraphLab(mp)") return make_graphlab(true);
+  if (name == "Neo4j") return make_neo4j();
+  return nullptr;
+}
+
+const std::vector<std::string>& platform_names() {
+  static const std::vector<std::string> names = {
+      "Hadoop", "YARN",     "HaLoop",        "PEGASUS", "GPS",
+      "Stratosphere", "Giraph", "GraphLab", "GraphLab(mp)", "Neo4j"};
+  return names;
+}
+
 }  // namespace gb::algorithms

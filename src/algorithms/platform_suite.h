@@ -37,4 +37,13 @@ std::unique_ptr<platforms::Platform> make_gps();
 /// single-file loading mode).
 std::vector<std::unique_ptr<platforms::Platform>> make_all_platforms();
 
+/// Factory by CLI / campaign-spec name ("Hadoop", "GraphLab(mp)", ...).
+/// Returns nullptr for unknown names; platform_names() lists the valid
+/// ones. Shared by gb_run, gb_campaign and the campaign runner so the
+/// cell-spec vocabulary cannot drift between entry points.
+std::unique_ptr<platforms::Platform> make_platform(const std::string& name);
+
+/// Every name make_platform accepts, in presentation order.
+const std::vector<std::string>& platform_names();
+
 }  // namespace gb::algorithms

@@ -1,0 +1,138 @@
+#include "campaign/baseline.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "core/error.h"
+
+namespace gb::campaign {
+namespace {
+
+std::string format_drift(double baseline, double current) {
+  char buffer[96];
+  const double rel =
+      baseline != 0.0 ? (current - baseline) / baseline * 100.0 : 0.0;
+  std::snprintf(buffer, sizeof(buffer), "%.6g s -> %.6g s (%+.1f%%)",
+                baseline, current, rel);
+  return buffer;
+}
+
+}  // namespace
+
+std::string BaselineDiff::to_string() const {
+  std::string out;
+  for (const auto& finding : findings) {
+    if (!out.empty()) out += '\n';
+    out += finding;
+  }
+  return out;
+}
+
+void save_baseline(const std::string& path,
+                   const std::vector<harness::CellResult>& cells) {
+  const std::filesystem::path target(path);
+  if (!target.parent_path().empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  const std::filesystem::path temp = target.string() + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    if (!out) throw Error("baseline: cannot write '" + temp.string() + "'");
+    for (const auto& cell : cells) {
+      out << harness::cell_result_to_json(cell) << '\n';
+    }
+    out.flush();
+    if (!out) throw Error("baseline: write to '" + temp.string() + "' failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, target, ec);
+  if (ec) {
+    throw Error("baseline: cannot rename '" + temp.string() + "' to '" + path +
+                "': " + ec.message());
+  }
+}
+
+std::vector<harness::CellResult> load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("baseline: cannot read '" + path + "'");
+  std::vector<harness::CellResult> cells;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    try {
+      cells.push_back(harness::cell_result_from_json(line));
+    } catch (const FormatError& e) {
+      throw FormatError("baseline: '" + path + "' line " +
+                        std::to_string(line_number) + ": " + e.what());
+    }
+  }
+  return cells;
+}
+
+BaselineDiff check_baseline(const std::vector<harness::CellResult>& baseline,
+                            const std::vector<harness::CellResult>& current,
+                            const BaselineTolerance& tolerance) {
+  BaselineDiff diff;
+  std::map<std::string, const harness::CellResult*> current_by_key;
+  for (const auto& cell : current) current_by_key[cell.key] = &cell;
+
+  for (const auto& base : baseline) {
+    const auto it = current_by_key.find(base.key);
+    if (it == current_by_key.end()) {
+      diff.findings.push_back(base.key + ": in baseline but not in this run");
+      continue;
+    }
+    const harness::CellResult& now = *it->second;
+    current_by_key.erase(it);
+
+    const std::string base_class = harness::outcome_class(base.outcome);
+    const std::string now_class = harness::outcome_class(now.outcome);
+    if (base_class != now_class) {
+      diff.findings.push_back(base.key + ": outcome changed " + base_class +
+                              " (" + base.outcome + ") -> " + now_class +
+                              " (" + now.outcome + ")");
+      continue;  // timing/output checks are meaningless across classes
+    }
+    if (!base.ok()) continue;  // both failed the same way: shape preserved
+
+    if (base.makespan_sec > 0.0) {
+      const double rel =
+          std::fabs(now.makespan_sec - base.makespan_sec) / base.makespan_sec;
+      if (rel > tolerance.makespan_rel) {
+        diff.findings.push_back(
+            base.key + ": makespan drift " +
+            format_drift(base.makespan_sec, now.makespan_sec) +
+            " exceeds tolerance");
+      }
+    }
+    if (tolerance.check_iterations && base.iterations != now.iterations) {
+      diff.findings.push_back(base.key + ": iterations changed " +
+                              std::to_string(base.iterations) + " -> " +
+                              std::to_string(now.iterations));
+    }
+    if (tolerance.check_output_hash && base.output_hash != now.output_hash) {
+      diff.findings.push_back(base.key + ": output hash changed");
+    }
+  }
+  for (const auto& [key, cell] : current_by_key) {
+    (void)cell;
+    diff.findings.push_back(key +
+                            ": in this run but not in baseline "
+                            "(re-save the baseline to accept new cells)");
+  }
+  return diff;
+}
+
+BaselineDiff check_baseline_file(const std::string& path,
+                                 const std::vector<harness::CellResult>& current,
+                                 const BaselineTolerance& tolerance) {
+  return check_baseline(load_baseline(path), current, tolerance);
+}
+
+}  // namespace gb::campaign

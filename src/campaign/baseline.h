@@ -1,0 +1,64 @@
+// Baseline regression store.
+//
+// A baseline is a saved campaign: one journal-schema record per cell, one
+// line per record, in grid order. check_baseline() diffs a fresh campaign
+// against it and reports *shape* regressions — the things the paper's
+// figures claim: which cells succeed, which crash or time out, and
+// roughly how long successful cells take. Makespans are simulated and
+// deterministic, so the default tolerance exists to absorb intentional
+// cost-model retuning, not measurement noise; outcome-class changes and
+// output-hash changes are never tolerated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/cell_result.h"
+
+namespace gb::campaign {
+
+struct BaselineTolerance {
+  /// Allowed relative makespan drift for cells that are ok in both runs:
+  /// |current - baseline| / baseline must not exceed this.
+  double makespan_rel = 0.05;
+
+  /// Require bit-identical algorithm output (FNV digest) per cell.
+  bool check_output_hash = true;
+
+  /// Require identical iteration counts per cell.
+  bool check_iterations = true;
+};
+
+/// Diff between a current campaign and a baseline. Empty findings = pass.
+struct BaselineDiff {
+  std::vector<std::string> findings;  // one human-readable line each
+
+  bool ok() const { return findings.empty(); }
+  std::string to_string() const;  // findings joined by newlines
+};
+
+/// Write `cells` (grid order) as a baseline file: one JSON record per
+/// line, exactly the journal schema. Atomic: written to a temp file and
+/// renamed. Throws gb::Error on I/O failure.
+void save_baseline(const std::string& path,
+                   const std::vector<harness::CellResult>& cells);
+
+/// Read a baseline file. Unlike the journal reader this is strict: a
+/// missing file or any malformed line throws (a baseline is a committed
+/// artifact; damage to it must be loud, not silently tolerated).
+std::vector<harness::CellResult> load_baseline(const std::string& path);
+
+/// Diff `current` against `baseline`, matching cells by key. Reports
+/// cells missing from the run, cells absent from the baseline, outcome
+/// *class* changes, makespan drift beyond tolerance, and (per the
+/// tolerance flags) iteration-count and output-hash mismatches.
+BaselineDiff check_baseline(const std::vector<harness::CellResult>& baseline,
+                            const std::vector<harness::CellResult>& current,
+                            const BaselineTolerance& tolerance = {});
+
+/// load_baseline() + check_baseline().
+BaselineDiff check_baseline_file(
+    const std::string& path, const std::vector<harness::CellResult>& current,
+    const BaselineTolerance& tolerance = {});
+
+}  // namespace gb::campaign

@@ -1,0 +1,126 @@
+#include "campaign/campaign.h"
+
+#include <cstdio>
+#include <set>
+
+#include "algorithms/platform_suite.h"
+#include "core/error.h"
+
+namespace gb::campaign {
+namespace {
+
+// Compact, locale-independent scale rendering: "0" for the catalog
+// default, otherwise a shortest-form decimal ("0.01", "1").
+std::string format_scale(double scale) {
+  if (scale <= 0.0) return "0";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", scale);
+  return buffer;
+}
+
+}  // namespace
+
+std::string CellSpec::key() const {
+  std::string k = platform;
+  k += '/';
+  k += dataset_name();
+  k += '/';
+  k += algorithm_name();
+  k += "/w" + std::to_string(workers);
+  k += "/c" + std::to_string(cores);
+  k += "/x" + format_scale(scale);
+  k += "/r" + std::to_string(seed);
+  for (const auto& fault : faults) k += "/f" + fault;
+  if (checkpoint_interval > 0) {
+    k += "/k" + std::to_string(checkpoint_interval);
+  }
+  return k;
+}
+
+std::vector<CellSpec> GridSpec::expand() const {
+  if (platforms.empty()) throw Error("grid: no platforms");
+  if (datasets.empty()) throw Error("grid: no datasets");
+  if (algorithms.empty()) throw Error("grid: no algorithms");
+  if (workers.empty()) throw Error("grid: no worker counts");
+  if (cores.empty()) throw Error("grid: no core counts");
+  for (const auto& name : platforms) {
+    if (algorithms::make_platform(name) == nullptr) {
+      throw Error("grid: unknown platform '" + name + "'");
+    }
+  }
+  for (const auto& w : workers) {
+    if (w == 0) throw Error("grid: zero workers");
+  }
+  for (const auto& c : cores) {
+    if (c == 0) throw Error("grid: zero cores");
+  }
+
+  std::vector<CellSpec> cells;
+  cells.reserve(platforms.size() * datasets.size() * algorithms.size() *
+                workers.size() * cores.size());
+  for (const auto& dataset : datasets) {
+    for (const auto& algorithm : algorithms) {
+      for (const auto& w : workers) {
+        for (const auto& c : cores) {
+          for (const auto& platform : platforms) {
+            CellSpec cell;
+            cell.platform = platform;
+            cell.dataset = dataset;
+            cell.algorithm = algorithm;
+            cell.workers = w;
+            cell.cores = c;
+            cell.scale = scale;
+            cell.seed = seed;
+            cell.faults = faults;
+            cell.checkpoint_interval = checkpoint_interval;
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+
+  std::set<std::string> seen;
+  for (const auto& cell : cells) {
+    if (!seen.insert(cell.key()).second) {
+      throw Error("grid: duplicate cell key '" + cell.key() + "'");
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+GridSpec scalability_base(datasets::DatasetId dataset, double scale) {
+  GridSpec grid;
+  grid.platforms = {"Hadoop",  "YARN",     "Stratosphere",
+                    "Giraph",  "GraphLab", "GraphLab(mp)"};
+  grid.datasets = {dataset};
+  grid.algorithms = {platforms::Algorithm::kBfs};
+  grid.scale = scale;
+  return grid;
+}
+
+}  // namespace
+
+GridSpec horizontal_scalability_grid(datasets::DatasetId dataset,
+                                     double scale) {
+  GridSpec grid = scalability_base(dataset, scale);
+  grid.workers.clear();
+  for (std::uint32_t machines = 20; machines <= 50; machines += 5) {
+    grid.workers.push_back(machines);
+  }
+  return grid;
+}
+
+GridSpec vertical_scalability_grid(datasets::DatasetId dataset, double scale) {
+  GridSpec grid = scalability_base(dataset, scale);
+  grid.workers = {20};
+  grid.cores.clear();
+  for (std::uint32_t cores = 1; cores <= 7; ++cores) {
+    grid.cores.push_back(cores);
+  }
+  return grid;
+}
+
+}  // namespace gb::campaign

@@ -1,0 +1,76 @@
+// Declarative campaign grids.
+//
+// The paper's result is not one measurement but a *campaign*: a grid of
+// (platform × algorithm × dataset × cluster-size) cells whose shape — who
+// wins, where crossovers and crashes fall — is the claim. A GridSpec
+// declares the axes; expand() produces the concrete cells in a fixed,
+// documented order (the "grid order" every report and rollup uses); each
+// cell has a canonical key that names it in the journal and the baseline
+// store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datasets/catalog.h"
+#include "platforms/platform.h"
+
+namespace gb::campaign {
+
+/// One fully-specified cell. The paper's defaults (20 workers, 1 core,
+/// catalog dataset scale, seed 42) mirror gb_run's.
+struct CellSpec {
+  std::string platform;  // make_platform() name
+  datasets::DatasetId dataset = datasets::DatasetId::kKGS;
+  platforms::Algorithm algorithm = platforms::Algorithm::kBfs;
+  std::uint32_t workers = 20;
+  std::uint32_t cores = 1;
+  double scale = 0.0;          // dataset scale; 0 = catalog default
+  std::uint64_t seed = 42;     // dataset generation seed
+  std::vector<std::string> faults;  // FaultPlan::add_spec strings
+  std::uint32_t checkpoint_interval = 0;
+
+  /// Canonical identity, e.g. "Giraph/KGS/BFS/w20/c1/x0.01/r42" with a
+  /// "/f<spec>" suffix per fault and "/k<N>" when checkpointing is on.
+  /// Two cells with equal keys would produce identical journal records,
+  /// so expand() rejects duplicate keys.
+  std::string key() const;
+
+  std::string dataset_name() const { return datasets::info(dataset).name; }
+  const char* algorithm_name() const {
+    return platforms::algorithm_name(algorithm);
+  }
+};
+
+/// Axes of a campaign. expand() is the cross product in row-major order:
+/// dataset (outermost) → algorithm → workers → cores → platform
+/// (innermost). Dataset outermost groups cells that share a graph, which
+/// is what lets a small runner window still hit the shared cache.
+struct GridSpec {
+  std::vector<std::string> platforms;
+  std::vector<datasets::DatasetId> datasets;
+  std::vector<platforms::Algorithm> algorithms;
+  std::vector<std::uint32_t> workers = {20};
+  std::vector<std::uint32_t> cores = {1};
+  double scale = 0.0;
+  std::uint64_t seed = 42;
+  std::vector<std::string> faults;  // applied to every cell
+  std::uint32_t checkpoint_interval = 0;
+
+  /// All cells in grid order. Throws gb::Error on an empty axis, an
+  /// unknown platform/dataset name, or duplicate cell keys.
+  std::vector<CellSpec> expand() const;
+};
+
+/// The fig11/fig12 horizontal-scalability grid: BFS on the given dataset,
+/// the six scalability platforms, 20 → 50 machines in steps of 5.
+GridSpec horizontal_scalability_grid(datasets::DatasetId dataset,
+                                     double scale = 0.0);
+
+/// The fig13/fig14 vertical-scalability grid: BFS on the given dataset,
+/// the six scalability platforms, 20 machines with 1-7 cores each.
+GridSpec vertical_scalability_grid(datasets::DatasetId dataset,
+                                   double scale = 0.0);
+
+}  // namespace gb::campaign

@@ -1,0 +1,93 @@
+#include "campaign/journal.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "core/error.h"
+
+namespace gb::campaign {
+
+Journal::Journal(const std::string& path) : path_(path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  // A campaign killed mid-append leaves a torn final line. It must be cut
+  // off *before* reopening for append — otherwise the first new record is
+  // glued onto the torn bytes, turning a recoverable tail into a corrupt
+  // middle line that poisons every later read.
+  {
+    std::ifstream existing(path, std::ios::binary);
+    if (existing) {
+      std::string contents((std::istreambuf_iterator<char>(existing)),
+                           std::istreambuf_iterator<char>());
+      if (!contents.empty() && contents.back() != '\n') {
+        const auto last_newline = contents.find_last_of('\n');
+        const std::uintmax_t keep =
+            last_newline == std::string::npos ? 0 : last_newline + 1;
+        std::error_code ec;
+        std::filesystem::resize_file(path, keep, ec);
+        if (ec) {
+          throw Error("journal: cannot truncate torn record in '" + path +
+                      "': " + ec.message());
+        }
+      }
+    }
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw Error("journal: cannot open '" + path + "' for appending");
+  }
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void Journal::append(const harness::CellResult& result) {
+  const std::string line = harness::cell_result_to_json(result) + "\n";
+  std::lock_guard lock(mutex_);
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    throw Error("journal: write to '" + path_ + "' failed");
+  }
+}
+
+std::vector<harness::CellResult> Journal::read(const std::string& path) {
+  std::vector<harness::CellResult> records;
+  std::ifstream in(path);
+  if (!in) return records;  // no journal yet: nothing done
+
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    try {
+      records.push_back(harness::cell_result_from_json(lines[i]));
+    } catch (const FormatError&) {
+      if (i + 1 == lines.size()) {
+        // Torn final append from an interrupted campaign — drop it; the
+        // cell is simply not done and will re-run.
+        break;
+      }
+      throw FormatError("journal: corrupt record at line " +
+                        std::to_string(i + 1) + " of '" + path + "'");
+    }
+  }
+  return records;
+}
+
+std::map<std::string, harness::CellResult> Journal::read_latest(
+    const std::string& path) {
+  std::map<std::string, harness::CellResult> latest;
+  for (auto& record : read(path)) {
+    latest.insert_or_assign(record.key, std::move(record));
+  }
+  return latest;
+}
+
+}  // namespace gb::campaign

@@ -1,0 +1,55 @@
+// Resumable on-disk campaign journal.
+//
+// One JSON object per line (JSONL), appended as cells finish. A campaign
+// that is interrupted — killed mid-grid, or mid-append — leaves a valid
+// journal: read() tolerates a truncated final line (the signature of a
+// crash during append) by dropping it, so the interrupted cell simply
+// re-runs on resume. Appends are serialized by a mutex and flushed per
+// line; a record is either fully present or dropped, never half-applied.
+// When the same key appears twice (a cell re-run after a transient host
+// failure) the later record wins.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/cell_result.h"
+
+namespace gb::campaign {
+
+class Journal {
+ public:
+  /// Opens `path` for appending (creating parent directories and the file
+  /// as needed). Throws gb::Error when the file cannot be opened.
+  explicit Journal(const std::string& path);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Append one record and flush. Thread-safe.
+  void append(const harness::CellResult& result);
+
+  const std::string& path() const { return path_; }
+
+  /// All complete records in `path`, in file order; later duplicates of a
+  /// key override earlier ones in read_latest(). A missing file reads as
+  /// empty. A line that does not parse is skipped when it is the final
+  /// line (torn append); anywhere else it throws FormatError, because a
+  /// corrupt middle line means the journal cannot be trusted.
+  static std::vector<harness::CellResult> read(const std::string& path);
+
+  /// read(), reduced to the newest record per key.
+  static std::map<std::string, harness::CellResult> read_latest(
+      const std::string& path);
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+};
+
+}  // namespace gb::campaign

@@ -1,0 +1,181 @@
+#include "campaign/runner.h"
+
+#include <exception>
+#include <memory>
+
+#include "algorithms/platform_suite.h"
+#include "campaign/journal.h"
+#include "core/thread_pool.h"
+#include "harness/json.h"
+#include "obs/rollup.h"
+#include "sim/cluster.h"
+#include "sim/faults.h"
+
+namespace gb::campaign {
+namespace {
+
+harness::CellResult error_result(const CellSpec& spec,
+                                 const std::string& message) {
+  harness::Measurement m;
+  m.outcome = harness::Outcome::kError;
+  m.message = message;
+  return harness::make_cell_result(spec.key(), spec.platform,
+                                   spec.dataset_name(), spec.algorithm_name(),
+                                   spec.workers, spec.cores, spec.scale,
+                                   spec.seed, m);
+}
+
+harness::CellResult run_once(const CellSpec& spec,
+                             const datasets::Dataset& dataset,
+                             std::uint32_t cell_parallelism) {
+  const auto platform = algorithms::make_platform(spec.platform);
+  if (platform == nullptr) {
+    return error_result(spec, "unknown platform '" + spec.platform + "'");
+  }
+  sim::ClusterConfig config;
+  config.num_workers = spec.workers;
+  config.cores_per_worker = spec.cores;
+  config.parallelism = cell_parallelism;
+  sim::FaultPlan faults;
+  for (const auto& fault_spec : spec.faults) faults.add_spec(fault_spec);
+  config.faults = faults;
+  auto params = harness::default_params(dataset);
+  params.checkpoint_interval = spec.checkpoint_interval;
+  const auto measurement = harness::run_cell(*platform, dataset,
+                                             spec.algorithm, params, config);
+  return harness::make_cell_result(spec.key(), spec.platform,
+                                   spec.dataset_name(), spec.algorithm_name(),
+                                   spec.workers, spec.cores, spec.scale,
+                                   spec.seed, measurement);
+}
+
+}  // namespace
+
+const harness::CellResult* CampaignResult::find(const std::string& key) const {
+  for (const auto& cell : cells) {
+    if (cell.key == key) return &cell;
+  }
+  return nullptr;
+}
+
+harness::CellResult run_cell_spec(const CellSpec& spec,
+                                  datasets::DatasetCache& cache,
+                                  std::uint32_t cell_parallelism,
+                                  std::uint32_t max_attempts) {
+  if (max_attempts == 0) max_attempts = 1;
+  try {
+    const auto dataset = cache.get(spec.dataset, spec.scale, spec.seed);
+    harness::CellResult result;
+    std::uint32_t attempt = 0;
+    do {
+      ++attempt;
+      result = run_once(spec, *dataset, cell_parallelism);
+      result.attempts = attempt;
+      // Retry is only meaningful when the failure came from injected
+      // faults; a fault-free crash or timeout is the paper's result.
+    } while (!result.ok() && !spec.faults.empty() && attempt < max_attempts);
+    return result;
+  } catch (const std::exception& e) {
+    // Dataset generation failures, bad fault specs, engine invariant
+    // violations: record the cell as "error" rather than losing the
+    // whole campaign to one bad cell.
+    return error_result(spec, e.what());
+  }
+}
+
+CampaignResult run_campaign(const GridSpec& grid,
+                            const RunnerOptions& options) {
+  datasets::DatasetCache cache(options.cache_dir);
+  return run_campaign(grid, options, cache);
+}
+
+CampaignResult run_campaign(const GridSpec& grid, const RunnerOptions& options,
+                            datasets::DatasetCache& cache) {
+  const std::vector<CellSpec> specs = grid.expand();
+
+  // Resume: anything already journaled under its key is done.
+  std::map<std::string, harness::CellResult> done;
+  std::unique_ptr<Journal> journal;
+  if (!options.journal_path.empty()) {
+    done = Journal::read_latest(options.journal_path);
+    journal = std::make_unique<Journal>(options.journal_path);
+  }
+
+  CampaignResult result;
+  result.cells.resize(specs.size());
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (auto it = done.find(specs[i].key()); it != done.end()) {
+      result.cells[i] = it->second;
+      ++result.resumed;
+    } else {
+      todo.push_back(i);
+    }
+  }
+
+  // Shard the missing cells over the campaign pool, one chunk per cell so
+  // idle threads steal work as slow cells run long. Cells are mutually
+  // independent and each is bit-identical at any host parallelism, so the
+  // sharding affects wall-clock only; results land at their grid index.
+  const auto run_one = [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t t = begin; t < end; ++t) {
+      const std::size_t i = todo[t];
+      harness::CellResult cell = run_cell_spec(
+          specs[i], cache, options.cell_parallelism, options.max_attempts);
+      if (journal) journal->append(cell);
+      result.cells[i] = std::move(cell);
+    }
+  };
+  if (!todo.empty()) {
+    if (options.parallelism == 1) {
+      run_one(0, 0, todo.size());
+    } else {
+      ThreadPool pool(options.parallelism);
+      pool.parallel_chunks(todo.size(), todo.size(), run_one);
+    }
+  }
+  result.executed = todo.size();
+  result.dataset_loads = cache.loads();
+  result.dataset_hits = cache.hits();
+
+  // Roll metrics up in grid order — never completion order — so the
+  // floating-point gauge sums are byte-stable across runs and resumes.
+  obs::MetricsRollup rollup;
+  for (const auto& cell : result.cells) rollup.add(cell.metrics);
+  result.metrics = rollup.total();
+  return result;
+}
+
+std::string campaign_report_json(const CampaignResult& result) {
+  harness::JsonWriter json;
+  json.begin_object();
+  json.key("cells");
+  json.begin_array();
+  for (const auto& cell : result.cells) {
+    harness::write_cell_result(json, cell);
+  }
+  json.end_array();
+  json.key("rollup");
+  json.begin_object();
+  json.key("cells");
+  json.value(static_cast<std::uint64_t>(result.cells.size()));
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, value] : result.metrics.counters) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, value] : result.metrics.gauges) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace gb::campaign

@@ -1,0 +1,95 @@
+// Campaign orchestrator.
+//
+// Expands a GridSpec, skips cells already recorded in the journal
+// (resume), shards the remaining independent cells across a host thread
+// pool, loads each dataset once per campaign through a shared
+// DatasetCache, and journals every finished cell so an interrupted
+// campaign re-runs only what is missing. The merged result — and the JSON
+// report built from it — is assembled in grid order from journal-schema
+// records, so it is byte-identical at every `parallelism` and regardless
+// of how many interruptions preceded it.
+//
+// Determinism: each cell's simulated outcome is bit-identical at every
+// host parallelism (the engine contract since PR 1), cells are mutually
+// independent, and per-cell results are keyed — so sharding cells over
+// threads changes wall-clock only. Cells run with their own serial inner
+// pool by default (cell_parallelism = 1): campaign-level sharding is the
+// better use of the cores, and nesting pools would oversubscribe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "datasets/dataset_cache.h"
+#include "harness/cell_result.h"
+#include "obs/metrics.h"
+
+namespace gb::campaign {
+
+struct RunnerOptions {
+  /// Cells in flight: 0 = hardware concurrency, 1 = serial (in grid
+  /// order), N = a dedicated pool of N threads.
+  std::uint32_t parallelism = 1;
+
+  /// Host threads *inside* each cell (ClusterConfig::parallelism).
+  /// Default 1: the campaign shards across cells instead.
+  std::uint32_t cell_parallelism = 1;
+
+  /// JSONL journal path; empty disables journaling (no resume).
+  std::string journal_path;
+
+  /// Bounded retry for cells that die on injected faults: a cell with a
+  /// non-empty fault plan and a failed outcome re-runs until it succeeds
+  /// or `max_attempts` runs are spent; the final record carries the
+  /// attempt count. 1 = no retry. Fault-free failures (the paper's
+  /// crashes and timeouts) are results, never retried.
+  std::uint32_t max_attempts = 1;
+
+  /// Disk cache directory for dataset generation (DatasetCache /
+  /// load_or_generate); empty = $GB_CACHE_DIR or the default.
+  std::string cache_dir;
+};
+
+struct CampaignResult {
+  /// One record per grid cell, in grid-expansion order.
+  std::vector<harness::CellResult> cells;
+
+  /// Metrics rollup over all cells, merged in grid order.
+  obs::MetricsSnapshot metrics;
+
+  // Invocation statistics (not part of the report JSON: they differ
+  // between an uninterrupted run and a resumed one by design).
+  std::uint64_t executed = 0;       // cells run in this invocation
+  std::uint64_t resumed = 0;        // cells taken from the journal
+  std::uint64_t dataset_loads = 0;  // distinct datasets loaded
+  std::uint64_t dataset_hits = 0;   // cache-served dataset requests
+
+  /// Record by cell key; nullptr when absent.
+  const harness::CellResult* find(const std::string& key) const;
+};
+
+/// Run one cell to completion (including bounded fault retries) and
+/// package the journal-schema record. Does not journal; run_campaign
+/// does. Exposed for gb_run-style single-cell reuse and tests.
+harness::CellResult run_cell_spec(const CellSpec& spec,
+                                  datasets::DatasetCache& cache,
+                                  std::uint32_t cell_parallelism = 1,
+                                  std::uint32_t max_attempts = 1);
+
+/// Run the whole grid with a private DatasetCache.
+CampaignResult run_campaign(const GridSpec& grid,
+                            const RunnerOptions& options = {});
+
+/// Same, sharing a caller-owned DatasetCache (benches reuse graphs across
+/// several grids).
+CampaignResult run_campaign(const GridSpec& grid, const RunnerOptions& options,
+                            datasets::DatasetCache& cache);
+
+/// The campaign report: {"cells": [...], "rollup": {...}}. Contains only
+/// run-independent data, so an interrupted-and-resumed campaign produces
+/// byte-identical bytes to an uninterrupted one at any parallelism.
+std::string campaign_report_json(const CampaignResult& result);
+
+}  // namespace gb::campaign

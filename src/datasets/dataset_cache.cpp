@@ -1,0 +1,58 @@
+#include "datasets/dataset_cache.h"
+
+namespace gb::datasets {
+
+std::shared_ptr<const Dataset> DatasetCache::get(DatasetId id, double scale,
+                                                 std::uint64_t seed) {
+  // Normalize the key the way load_or_generate does, so scale=0 and the
+  // explicit catalog default share one slot.
+  if (scale <= 0.0) scale = info(id).default_scale;
+  const Key key{id, scale, seed};
+
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    auto [it, inserted] = slots_.try_emplace(key);
+    Slot& slot = it->second;
+    if (slot.dataset != nullptr) {
+      ++hits_;
+      return slot.dataset;
+    }
+    if (!inserted && slot.loading) {
+      // Another thread is loading this key; wait for it to publish or
+      // fail (failure erases the slot, and we retry as the new loader).
+      ready_cv_.wait(lock);
+      continue;
+    }
+    slot.loading = true;
+    lock.unlock();
+    std::shared_ptr<const Dataset> loaded;
+    try {
+      loaded = std::make_shared<const Dataset>(
+          load_or_generate(id, scale, seed, cache_dir_));
+    } catch (...) {
+      lock.lock();
+      slots_.erase(key);
+      ready_cv_.notify_all();
+      throw;
+    }
+    lock.lock();
+    Slot& publish = slots_[key];
+    publish.dataset = std::move(loaded);
+    publish.loading = false;
+    ++loads_;
+    ready_cv_.notify_all();
+    return publish.dataset;
+  }
+}
+
+std::uint64_t DatasetCache::loads() const {
+  std::lock_guard lock(mutex_);
+  return loads_;
+}
+
+std::uint64_t DatasetCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+}  // namespace gb::datasets

@@ -1,0 +1,67 @@
+// Cross-cell in-memory dataset cache.
+//
+// A campaign grid reuses the same few graphs across dozens of cells; the
+// on-disk cache (load_or_generate) already avoids re-*generating* them,
+// but each cell would still re-read and re-allocate its own copy — for
+// Friendster-class graphs that is seconds of deserialization and gigabytes
+// of duplicate memory per cell. DatasetCache memoizes per (id, scale,
+// seed): the first requester loads (through the disk cache), every other
+// requester — including concurrent ones on other campaign threads — shares
+// the same immutable Dataset. Engines never mutate their input graph, so
+// sharing is safe by construction.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "datasets/catalog.h"
+
+namespace gb::datasets {
+
+class DatasetCache {
+ public:
+  /// cache_dir is forwarded to load_or_generate (empty = $GB_CACHE_DIR or
+  /// the default directory).
+  explicit DatasetCache(std::string cache_dir = "")
+      : cache_dir_(std::move(cache_dir)) {}
+
+  DatasetCache(const DatasetCache&) = delete;
+  DatasetCache& operator=(const DatasetCache&) = delete;
+
+  /// Shared handle to the requested dataset; loads it on first use.
+  /// Thread-safe: concurrent requests for the same key block until the
+  /// single loader finishes (a failed load rethrows on every waiter and
+  /// clears the slot so a later call may retry). scale <= 0 selects the
+  /// catalog default, exactly like load_or_generate.
+  std::shared_ptr<const Dataset> get(DatasetId id, double scale = 0.0,
+                                     std::uint64_t seed = 42);
+
+  /// Distinct loads actually performed (== distinct keys requested when
+  /// nothing failed).
+  std::uint64_t loads() const;
+
+  /// Requests served from memory without loading.
+  std::uint64_t hits() const;
+
+ private:
+  using Key = std::tuple<DatasetId, double, std::uint64_t>;
+
+  struct Slot {
+    std::shared_ptr<const Dataset> dataset;  // set once ready
+    bool loading = false;
+  };
+
+  std::string cache_dir_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::map<Key, Slot> slots_;
+  std::uint64_t loads_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace gb::datasets

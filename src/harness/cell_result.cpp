@@ -1,0 +1,207 @@
+#include "harness/cell_result.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/error.h"
+#include "harness/json.h"
+#include "harness/json_read.h"
+
+namespace gb::harness {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h = (h ^ bytes[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::uint64_t parse_hex64(const std::string& text) {
+  if (text.empty() || text.size() > 16) {
+    throw FormatError("cell result: bad hash '" + text + "'");
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw FormatError("cell result: bad hash '" + text + "'");
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string outcome_class(const std::string& outcome_label) {
+  if (outcome_label == "ok") return "ok";
+  if (outcome_label.rfind("crash", 0) == 0) return "crash";
+  if (outcome_label == "timeout") return "timeout";
+  if (outcome_label == "n/a") return "n/a";
+  return "error";
+}
+
+std::uint64_t hash_output(const platforms::AlgorithmOutput& output) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, output.vertex_values.data(),
+            output.vertex_values.size() * sizeof(std::uint64_t));
+  // Hash the scalar's bit pattern, not its value: the digest certifies
+  // bit-identity, and distinct bit patterns (e.g. -0.0 vs 0.0) differ.
+  std::uint64_t scalar_bits = 0;
+  static_assert(sizeof(scalar_bits) == sizeof(output.scalar));
+  std::memcpy(&scalar_bits, &output.scalar, sizeof(scalar_bits));
+  h = fnv1a(h, &scalar_bits, sizeof(scalar_bits));
+  h = fnv1a(h, &output.vertices, sizeof(output.vertices));
+  h = fnv1a(h, &output.edges, sizeof(output.edges));
+  h = fnv1a(h, &output.iterations, sizeof(output.iterations));
+  return h;
+}
+
+CellResult make_cell_result(std::string key, std::string platform,
+                            std::string dataset, std::string algorithm,
+                            std::uint32_t workers, std::uint32_t cores,
+                            double scale, std::uint64_t seed,
+                            const Measurement& measurement) {
+  CellResult r;
+  r.key = std::move(key);
+  r.platform = std::move(platform);
+  r.dataset = std::move(dataset);
+  r.algorithm = std::move(algorithm);
+  r.workers = workers;
+  r.cores = cores;
+  r.scale = scale;
+  r.seed = seed;
+  r.outcome = outcome_label(measurement.outcome);
+  r.message = measurement.message;
+  if (measurement.ok()) {
+    r.makespan_sec = measurement.result.total_time;
+    r.computation_sec = measurement.result.computation_time;
+    r.iterations = measurement.result.output.iterations;
+  }
+  r.output_hash = hash_output(measurement.result.output);
+  r.metrics = measurement.metrics;
+  return r;
+}
+
+void write_cell_result(JsonWriter& json, const CellResult& result) {
+  json.begin_object();
+  json.key("key");
+  json.value(result.key);
+  json.key("platform");
+  json.value(result.platform);
+  json.key("dataset");
+  json.value(result.dataset);
+  json.key("algorithm");
+  json.value(result.algorithm);
+  json.key("workers");
+  json.value(static_cast<std::uint64_t>(result.workers));
+  json.key("cores");
+  json.value(static_cast<std::uint64_t>(result.cores));
+  json.key("scale");
+  json.value(result.scale);
+  json.key("seed");
+  // Seeds are user-chosen 64-bit values; hex strings round-trip exactly
+  // where a JSON double would lose bits above 2^53.
+  json.value(hex64(result.seed));
+  json.key("outcome");
+  json.value(result.outcome);
+  json.key("message");
+  json.value(result.message);
+  json.key("makespan_sec");
+  json.value(result.makespan_sec);
+  json.key("computation_sec");
+  json.value(result.computation_sec);
+  json.key("iterations");
+  json.value(result.iterations);
+  json.key("attempts");
+  json.value(static_cast<std::uint64_t>(result.attempts));
+  json.key("output_hash");
+  json.value(hex64(result.output_hash));
+  json.key("metrics");
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, value] : result.metrics.counters) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, value] : result.metrics.gauges) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  json.end_object();
+  json.end_object();
+}
+
+std::string cell_result_to_json(const CellResult& result) {
+  JsonWriter json;
+  write_cell_result(json, result);
+  return json.str();
+}
+
+CellResult cell_result_from_json(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  if (!doc.is_object()) throw FormatError("cell result: not an object");
+  CellResult r;
+  r.key = doc.string_or("key", "");
+  if (r.key.empty()) throw FormatError("cell result: missing key");
+  r.platform = doc.string_or("platform", "");
+  r.dataset = doc.string_or("dataset", "");
+  r.algorithm = doc.string_or("algorithm", "");
+  r.workers = static_cast<std::uint32_t>(doc.u64_or("workers", 0));
+  r.cores = static_cast<std::uint32_t>(doc.u64_or("cores", 0));
+  r.scale = doc.number_or("scale", 0.0);
+  r.seed = parse_hex64(doc.string_or("seed", "0"));
+  r.outcome = doc.string_or("outcome", "error");
+  r.message = doc.string_or("message", "");
+  r.makespan_sec = doc.number_or("makespan_sec", 0.0);
+  r.computation_sec = doc.number_or("computation_sec", 0.0);
+  r.iterations = doc.u64_or("iterations", 0);
+  r.attempts = static_cast<std::uint32_t>(doc.u64_or("attempts", 1));
+  r.output_hash = parse_hex64(doc.string_or("output_hash", "0"));
+  if (const JsonValue* metrics = doc.find("metrics")) {
+    if (const JsonValue* counters = metrics->find("counters")) {
+      for (const auto& [name, value] : counters->object) {
+        if (value.kind != JsonValue::Kind::kNumber) {
+          throw FormatError("cell result: counter '" + name +
+                            "' is not a number");
+        }
+        r.metrics.counters.emplace_back(
+            name, static_cast<std::uint64_t>(value.number));
+      }
+    }
+    if (const JsonValue* gauges = metrics->find("gauges")) {
+      for (const auto& [name, value] : gauges->object) {
+        if (value.kind != JsonValue::Kind::kNumber &&
+            !value.is_null()) {
+          throw FormatError("cell result: gauge '" + name +
+                            "' is not a number");
+        }
+        r.metrics.gauges.emplace_back(name,
+                                      value.is_null() ? 0.0 : value.number);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace gb::harness

@@ -1,0 +1,88 @@
+// Per-cell campaign result schema.
+//
+// One CellResult is the durable record of one (platform, dataset,
+// algorithm, cluster-size) cell: the identity axes, the outcome the paper
+// would print, the simulated makespan, a digest of the algorithm output,
+// and the cell's metrics snapshot. It is what the campaign journal appends
+// per completed cell, what resume reads back, and what the baseline store
+// diffs — so serialization must round-trip exactly: parsing a serialized
+// record and re-serializing it yields identical bytes. All fields derive
+// from simulated quantities; host wall-clock never enters this schema
+// (it would break resumed-vs-uninterrupted report identity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "harness/experiment.h"
+#include "obs/metrics.h"
+
+namespace gb::harness {
+
+struct CellResult {
+  /// Canonical cell key (see campaign::CellSpec::key()); unique per grid.
+  std::string key;
+
+  // Identity axes.
+  std::string platform;
+  std::string dataset;
+  std::string algorithm;
+  std::uint32_t workers = 0;
+  std::uint32_t cores = 0;
+  double scale = 0.0;        // dataset scale (0 = catalog default)
+  std::uint64_t seed = 0;    // dataset generation seed
+
+  // Outcome.
+  std::string outcome;       // outcome_label() string, e.g. "crash(OOM)"
+  std::string message;       // failure detail, empty when ok
+  double makespan_sec = 0.0;        // simulated T (0 unless ok)
+  double computation_sec = 0.0;     // simulated Tc (0 unless ok)
+  std::uint64_t iterations = 0;
+  std::uint32_t attempts = 1;       // runs including bounded fault retries
+
+  /// FNV-1a digest of the algorithm output (vertex values, scalar,
+  /// counts). Pins bit-identity of results across parallelism settings
+  /// and baseline generations without storing the full output.
+  std::uint64_t output_hash = 0;
+
+  /// Per-cell metrics snapshot (journaled so a resumed campaign's rollup
+  /// matches an uninterrupted one).
+  obs::MetricsSnapshot metrics;
+
+  bool ok() const { return outcome == "ok"; }
+};
+
+/// Coarse outcome classes for baseline shape checks: "ok", "crash",
+/// "timeout", "n/a", "error". All crash flavours (OOM, disk, lost node)
+/// collapse into "crash" — the paper's figures distinguish *that* a cell
+/// crashed, the flavour is diagnostic detail.
+std::string outcome_class(const std::string& outcome_label);
+
+/// Assemble a CellResult from a finished measurement (identity axes are
+/// the caller's; attempts defaults to 1).
+CellResult make_cell_result(std::string key, std::string platform,
+                            std::string dataset, std::string algorithm,
+                            std::uint32_t workers, std::uint32_t cores,
+                            double scale, std::uint64_t seed,
+                            const Measurement& measurement);
+
+/// Digest of an algorithm output (FNV-1a over values, scalar bits and
+/// counts). Exposed so tests can compute expected digests directly.
+std::uint64_t hash_output(const platforms::AlgorithmOutput& output);
+
+class JsonWriter;
+
+/// Emit the record as one JSON object into an open writer. The campaign
+/// report embeds cells through this same function, so a journal line and
+/// a report entry for the same cell are byte-identical.
+void write_cell_result(JsonWriter& json, const CellResult& result);
+
+/// One compact JSON object (single line, no trailing newline).
+std::string cell_result_to_json(const CellResult& result);
+
+/// Parse a serialized record. Throws FormatError on malformed input.
+/// Guaranteed: cell_result_to_json(cell_result_from_json(s)) == s for any
+/// s this library wrote.
+CellResult cell_result_from_json(const std::string& text);
+
+}  // namespace gb::harness

@@ -1,0 +1,51 @@
+// Minimal JSON parser — the reading counterpart of json.h's JsonWriter.
+//
+// The harness stayed writer-only until the campaign layer needed to read
+// back its own artifacts: the per-cell journal (resume) and the committed
+// baseline store (--check-baseline). This parser exists for exactly that
+// round-trip — ingesting documents this library itself emitted — so it is
+// strict (throws FormatError on anything malformed) and small: no
+// streaming, no comments, no extensions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gb::harness {
+
+/// A parsed JSON value. Object member order is preserved as written, so a
+/// parse → re-serialize round trip of our own documents is byte-stable.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Member lookup (objects only); nullptr when absent.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Typed member accessors with defaults: the campaign journal tolerates
+  /// records written by older schema versions, so absent keys fall back
+  /// instead of throwing. Type *mismatches* still throw FormatError.
+  double number_or(const std::string& key, double fallback) const;
+  std::uint64_t u64_or(const std::string& key, std::uint64_t fallback) const;
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+};
+
+/// Parse one complete JSON document. Trailing garbage after the document,
+/// and any syntax error, throws FormatError.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace gb::harness

@@ -1,0 +1,47 @@
+#include "obs/rollup.h"
+
+namespace gb::obs {
+namespace {
+
+/// Merge two name-sorted (name, value) lists by summing values of equal
+/// names. Classic sorted-merge, so the output stays sorted.
+template <typename T>
+std::vector<std::pair<std::string, T>> merge_sorted(
+    const std::vector<std::pair<std::string, T>>& a,
+    const std::vector<std::pair<std::string, T>>& b) {
+  std::vector<std::pair<std::string, T>> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      out.push_back(a[i++]);
+    } else if (b[j].first < a[i].first) {
+      out.push_back(b[j++]);
+    } else {
+      out.emplace_back(a[i].first, a[i].second + b[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  while (i < a.size()) out.push_back(a[i++]);
+  while (j < b.size()) out.push_back(b[j++]);
+  return out;
+}
+
+}  // namespace
+
+MetricsSnapshot merge_snapshots(const MetricsSnapshot& a,
+                                const MetricsSnapshot& b) {
+  MetricsSnapshot merged;
+  merged.counters = merge_sorted(a.counters, b.counters);
+  merged.gauges = merge_sorted(a.gauges, b.gauges);
+  return merged;
+}
+
+void MetricsRollup::add(const MetricsSnapshot& snapshot) {
+  total_ = merge_snapshots(total_, snapshot);
+  ++cells_;
+}
+
+}  // namespace gb::obs

@@ -1,0 +1,33 @@
+// Campaign-level metrics rollup: merges per-cell MetricsSnapshots into one
+// aggregate snapshot (counters and gauges sum by name). Counter sums are
+// exact; gauge sums are floating-point and therefore order-sensitive in
+// the last ulp, so callers that need byte-stable rollups (the campaign
+// report does) must add cells in a deterministic order — the runner uses
+// grid-expansion order, never completion order.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/metrics.h"
+
+namespace gb::obs {
+
+/// Name-wise sum of two snapshots; the result is sorted by name like any
+/// registry snapshot.
+MetricsSnapshot merge_snapshots(const MetricsSnapshot& a,
+                                const MetricsSnapshot& b);
+
+/// Accumulator over many cells; add() order fixes the gauge-sum order.
+class MetricsRollup {
+ public:
+  void add(const MetricsSnapshot& snapshot);
+
+  const MetricsSnapshot& total() const { return total_; }
+  std::size_t cells() const { return cells_; }
+
+ private:
+  MetricsSnapshot total_;
+  std::size_t cells_ = 0;
+};
+
+}  // namespace gb::obs

@@ -20,4 +20,14 @@ const char* algorithm_name(Algorithm a) {
   return "?";
 }
 
+std::optional<Algorithm> parse_algorithm(const std::string& name) {
+  if (name == "STATS") return Algorithm::kStats;
+  if (name == "BFS") return Algorithm::kBfs;
+  if (name == "CONN") return Algorithm::kConn;
+  if (name == "CD") return Algorithm::kCd;
+  if (name == "EVO") return Algorithm::kEvo;
+  if (name == "PAGERANK") return Algorithm::kPageRank;
+  return std::nullopt;
+}
+
 }  // namespace gb::platforms

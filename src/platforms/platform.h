@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,6 +22,10 @@ namespace gb::platforms {
 enum class Algorithm { kStats, kBfs, kConn, kCd, kEvo, kPageRank };
 
 const char* algorithm_name(Algorithm a);
+
+/// Inverse of algorithm_name ("BFS" -> kBfs); nullopt for unknown names.
+/// Shared spec vocabulary for gb_run, gb_campaign and campaign grids.
+std::optional<Algorithm> parse_algorithm(const std::string& name);
 
 /// Parameters exactly as fixed in the paper's Section 3.2.
 struct AlgorithmParams {

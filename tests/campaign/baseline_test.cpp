@@ -1,0 +1,148 @@
+// Baseline regression store: save/load fidelity and the drift checks —
+// outcome-class changes, makespan drift beyond tolerance, iteration and
+// output-hash mismatches, missing/new cells.
+#include "campaign/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace gb::campaign {
+namespace {
+
+harness::CellResult cell(const std::string& key, const std::string& outcome,
+                         double makespan, std::uint64_t iterations = 10,
+                         std::uint64_t hash = 0x1234) {
+  harness::CellResult r;
+  r.key = key;
+  r.platform = "Giraph";
+  r.dataset = "Amazon";
+  r.algorithm = "BFS";
+  r.workers = 4;
+  r.cores = 1;
+  r.scale = 0.01;
+  r.seed = 42;
+  r.outcome = outcome;
+  r.makespan_sec = outcome == "ok" ? makespan : 0.0;
+  r.iterations = outcome == "ok" ? iterations : 0;
+  r.output_hash = hash;
+  return r;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(Baseline, SaveLoadRoundTrip) {
+  const auto path = temp_path("baseline_roundtrip.jsonl");
+  const std::vector<harness::CellResult> cells = {
+      cell("a", "ok", 10.0), cell("b", "crash(OOM)", 0.0)};
+  save_baseline(path, cells);
+  const auto loaded = load_baseline(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].key, "a");
+  EXPECT_EQ(loaded[1].outcome, "crash(OOM)");
+  EXPECT_EQ(harness::cell_result_to_json(loaded[0]),
+            harness::cell_result_to_json(cells[0]));
+}
+
+TEST(Baseline, LoadMissingFileThrows) {
+  EXPECT_THROW(load_baseline(temp_path("baseline_missing.jsonl")), Error);
+}
+
+TEST(Baseline, IdenticalRunPasses) {
+  const std::vector<harness::CellResult> cells = {
+      cell("a", "ok", 10.0), cell("b", "timeout", 0.0)};
+  EXPECT_TRUE(check_baseline(cells, cells).ok());
+}
+
+TEST(Baseline, DriftWithinTolerancePasses) {
+  const std::vector<harness::CellResult> base = {cell("a", "ok", 100.0)};
+  const std::vector<harness::CellResult> now = {cell("a", "ok", 104.0)};
+  EXPECT_TRUE(check_baseline(base, now).ok());  // 4% < default 5%
+}
+
+TEST(Baseline, MakespanDriftBeyondToleranceFails) {
+  const std::vector<harness::CellResult> base = {cell("a", "ok", 100.0)};
+  const std::vector<harness::CellResult> now = {cell("a", "ok", 120.0)};
+  const auto diff = check_baseline(base, now);
+  ASSERT_EQ(diff.findings.size(), 1u);
+  EXPECT_NE(diff.findings[0].find("makespan drift"), std::string::npos);
+
+  BaselineTolerance loose;
+  loose.makespan_rel = 0.5;
+  EXPECT_TRUE(check_baseline(base, now, loose).ok());
+}
+
+TEST(Baseline, OutcomeClassChangeFails) {
+  const std::vector<harness::CellResult> base = {cell("a", "ok", 10.0)};
+  const std::vector<harness::CellResult> now = {cell("a", "crash(OOM)", 0.0)};
+  const auto diff = check_baseline(base, now);
+  ASSERT_EQ(diff.findings.size(), 1u);
+  EXPECT_NE(diff.findings[0].find("outcome changed"), std::string::npos);
+}
+
+TEST(Baseline, CrashFlavourChangeWithinClassPasses) {
+  // crash(OOM) -> crash(disk) is the same outcome *class*; the figures
+  // only claim that the cell crashes.
+  const std::vector<harness::CellResult> base = {
+      cell("a", "crash(OOM)", 0.0)};
+  const std::vector<harness::CellResult> now = {
+      cell("a", "crash(disk)", 0.0)};
+  EXPECT_TRUE(check_baseline(base, now).ok());
+}
+
+TEST(Baseline, IterationChangeFails) {
+  const std::vector<harness::CellResult> base = {cell("a", "ok", 10.0, 10)};
+  const std::vector<harness::CellResult> now = {cell("a", "ok", 10.0, 11)};
+  const auto diff = check_baseline(base, now);
+  ASSERT_EQ(diff.findings.size(), 1u);
+  EXPECT_NE(diff.findings[0].find("iterations"), std::string::npos);
+
+  BaselineTolerance tolerance;
+  tolerance.check_iterations = false;
+  EXPECT_TRUE(check_baseline(base, now, tolerance).ok());
+}
+
+TEST(Baseline, OutputHashChangeFails) {
+  const std::vector<harness::CellResult> base = {
+      cell("a", "ok", 10.0, 10, 0x1)};
+  const std::vector<harness::CellResult> now = {
+      cell("a", "ok", 10.0, 10, 0x2)};
+  const auto diff = check_baseline(base, now);
+  ASSERT_EQ(diff.findings.size(), 1u);
+  EXPECT_NE(diff.findings[0].find("output hash"), std::string::npos);
+
+  BaselineTolerance tolerance;
+  tolerance.check_output_hash = false;
+  EXPECT_TRUE(check_baseline(base, now, tolerance).ok());
+}
+
+TEST(Baseline, MissingAndNewCellsAreReported) {
+  const std::vector<harness::CellResult> base = {cell("a", "ok", 10.0),
+                                                 cell("b", "ok", 10.0)};
+  const std::vector<harness::CellResult> now = {cell("b", "ok", 10.0),
+                                                cell("c", "ok", 10.0)};
+  const auto diff = check_baseline(base, now);
+  ASSERT_EQ(diff.findings.size(), 2u);
+  EXPECT_NE(diff.to_string().find("a: in baseline but not in this run"),
+            std::string::npos);
+  EXPECT_NE(diff.to_string().find("c: in this run but not in baseline"),
+            std::string::npos);
+}
+
+TEST(Baseline, FailedCellTimingIsNotCompared) {
+  // Both timed out: makespans are 0/meaningless, no findings expected.
+  auto base = cell("a", "timeout", 0.0);
+  auto now = cell("a", "timeout", 0.0);
+  base.message = "exceeded 3600s";
+  now.message = "exceeded 7200s";  // detail may differ freely
+  EXPECT_TRUE(check_baseline({base}, {now}).ok());
+}
+
+}  // namespace
+}  // namespace gb::campaign

@@ -1,0 +1,130 @@
+// GridSpec expansion: cell keys, the documented grid order, validation.
+#include "campaign/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/error.h"
+
+namespace gb::campaign {
+namespace {
+
+using datasets::DatasetId;
+using platforms::Algorithm;
+
+TEST(CellSpec, KeyNamesEveryAxis) {
+  CellSpec spec;
+  spec.platform = "Giraph";
+  spec.dataset = DatasetId::kKGS;
+  spec.algorithm = Algorithm::kBfs;
+  spec.workers = 20;
+  spec.cores = 1;
+  spec.scale = 0.01;
+  spec.seed = 42;
+  EXPECT_EQ(spec.key(), "Giraph/KGS/BFS/w20/c1/x0.01/r42");
+}
+
+TEST(CellSpec, KeyIncludesFaultsAndCheckpointing) {
+  CellSpec spec;
+  spec.platform = "Giraph";
+  spec.dataset = DatasetId::kAmazon;
+  spec.algorithm = Algorithm::kConn;
+  spec.faults = {"worker:120", "straggler:60:3.0:200:2"};
+  spec.checkpoint_interval = 4;
+  const std::string key = spec.key();
+  EXPECT_NE(key.find("/fworker:120"), std::string::npos) << key;
+  EXPECT_NE(key.find("/fstraggler:60:3.0:200:2"), std::string::npos) << key;
+  EXPECT_NE(key.find("/k4"), std::string::npos) << key;
+}
+
+TEST(GridSpec, ExpandsInDocumentedRowMajorOrder) {
+  GridSpec grid;
+  grid.platforms = {"Giraph", "Neo4j"};
+  grid.datasets = {DatasetId::kAmazon, DatasetId::kKGS};
+  grid.algorithms = {Algorithm::kBfs, Algorithm::kConn};
+  grid.workers = {4, 8};
+  grid.scale = 0.01;
+  const auto cells = grid.expand();
+  ASSERT_EQ(cells.size(), 16u);
+  // dataset outermost, then algorithm, then workers, platform innermost.
+  EXPECT_EQ(cells[0].key(), "Giraph/Amazon/BFS/w4/c1/x0.01/r42");
+  EXPECT_EQ(cells[1].key(), "Neo4j/Amazon/BFS/w4/c1/x0.01/r42");
+  EXPECT_EQ(cells[2].key(), "Giraph/Amazon/BFS/w8/c1/x0.01/r42");
+  EXPECT_EQ(cells[4].key(), "Giraph/Amazon/CONN/w4/c1/x0.01/r42");
+  EXPECT_EQ(cells[8].key(), "Giraph/KGS/BFS/w4/c1/x0.01/r42");
+  EXPECT_EQ(cells[15].key(), "Neo4j/KGS/CONN/w8/c1/x0.01/r42");
+}
+
+TEST(GridSpec, AllKeysDistinct) {
+  GridSpec grid;
+  grid.platforms = {"Hadoop", "Giraph"};
+  grid.datasets = {DatasetId::kAmazon};
+  grid.algorithms = {Algorithm::kBfs};
+  grid.workers = {4, 8};
+  grid.cores = {1, 2};
+  const auto cells = grid.expand();
+  std::set<std::string> keys;
+  for (const auto& cell : cells) keys.insert(cell.key());
+  EXPECT_EQ(keys.size(), cells.size());
+}
+
+TEST(GridSpec, RejectsEmptyAxes) {
+  GridSpec grid;
+  grid.datasets = {DatasetId::kAmazon};
+  grid.algorithms = {Algorithm::kBfs};
+  EXPECT_THROW(grid.expand(), Error);  // no platforms
+  grid.platforms = {"Giraph"};
+  grid.workers.clear();
+  EXPECT_THROW(grid.expand(), Error);
+}
+
+TEST(GridSpec, RejectsUnknownPlatform) {
+  GridSpec grid;
+  grid.platforms = {"Sparkle"};
+  grid.datasets = {DatasetId::kAmazon};
+  grid.algorithms = {Algorithm::kBfs};
+  EXPECT_THROW(grid.expand(), Error);
+}
+
+TEST(GridSpec, RejectsDuplicateCells) {
+  GridSpec grid;
+  grid.platforms = {"Giraph"};
+  grid.datasets = {DatasetId::kAmazon};
+  grid.algorithms = {Algorithm::kBfs};
+  grid.workers = {4, 4};  // same cell twice
+  EXPECT_THROW(grid.expand(), Error);
+}
+
+TEST(GridSpec, RejectsZeroWorkers) {
+  GridSpec grid;
+  grid.platforms = {"Giraph"};
+  grid.datasets = {DatasetId::kAmazon};
+  grid.algorithms = {Algorithm::kBfs};
+  grid.workers = {0};
+  EXPECT_THROW(grid.expand(), Error);
+}
+
+TEST(PresetGrids, HorizontalScalabilityShape) {
+  const auto grid = horizontal_scalability_grid(DatasetId::kDotaLeague, 0.05);
+  const auto cells = grid.expand();
+  // 7 cluster sizes (20..50 step 5) x 6 platforms.
+  EXPECT_EQ(cells.size(), 42u);
+  EXPECT_EQ(grid.workers.front(), 20u);
+  EXPECT_EQ(grid.workers.back(), 50u);
+  EXPECT_EQ(grid.platforms.size(), 6u);
+}
+
+TEST(PresetGrids, VerticalScalabilityShape) {
+  const auto grid = vertical_scalability_grid(DatasetId::kDotaLeague, 0.05);
+  const auto cells = grid.expand();
+  // 7 core counts (1..7) x 6 platforms on 20 machines.
+  EXPECT_EQ(cells.size(), 42u);
+  EXPECT_EQ(grid.cores.front(), 1u);
+  EXPECT_EQ(grid.cores.back(), 7u);
+  for (const auto& cell : cells) EXPECT_EQ(cell.workers, 20u);
+}
+
+}  // namespace
+}  // namespace gb::campaign

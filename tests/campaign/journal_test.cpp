@@ -1,0 +1,161 @@
+// Journal durability: round-trip fidelity, last-record-wins, and the
+// interrupted-append (torn final line) recovery path that resume relies
+// on.
+#include "campaign/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/error.h"
+
+namespace gb::campaign {
+namespace {
+
+harness::CellResult sample(const std::string& key, double makespan = 12.5) {
+  harness::CellResult r;
+  r.key = key;
+  r.platform = "Giraph";
+  r.dataset = "Amazon";
+  r.algorithm = "BFS";
+  r.workers = 4;
+  r.cores = 1;
+  r.scale = 0.01;
+  r.seed = 42;
+  r.outcome = "ok";
+  r.makespan_sec = makespan;
+  r.computation_sec = makespan / 3.0;
+  r.iterations = 17;
+  r.output_hash = 0xdeadbeefcafef00dULL;
+  r.metrics.counters.emplace_back("messages.sent", 123);
+  r.metrics.gauges.emplace_back("shuffle.bytes", 4096.5);
+  return r;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(CellResultJson, RoundTripsByteIdentically) {
+  const auto r = sample("Giraph/Amazon/BFS/w4/c1/x0.01/r42");
+  const std::string text = harness::cell_result_to_json(r);
+  const auto back = harness::cell_result_from_json(text);
+  EXPECT_EQ(harness::cell_result_to_json(back), text);
+  EXPECT_EQ(back.key, r.key);
+  EXPECT_EQ(back.seed, r.seed);
+  EXPECT_EQ(back.output_hash, r.output_hash);
+  EXPECT_EQ(back.makespan_sec, r.makespan_sec);
+  EXPECT_EQ(back.metrics.counters, r.metrics.counters);
+  EXPECT_EQ(back.metrics.gauges, r.metrics.gauges);
+}
+
+TEST(CellResultJson, SixtyFourBitValuesSurvive) {
+  // Values above 2^53 would be mangled by a JSON double; the hex-string
+  // encoding must carry every bit.
+  auto r = sample("k");
+  r.seed = 0xffffffffffffffffULL;
+  r.output_hash = 0x8000000000000001ULL;
+  const auto back = harness::cell_result_from_json(
+      harness::cell_result_to_json(r));
+  EXPECT_EQ(back.seed, r.seed);
+  EXPECT_EQ(back.output_hash, r.output_hash);
+}
+
+TEST(Journal, AppendThenReadBack) {
+  const auto path = temp_path("journal_roundtrip.jsonl");
+  std::filesystem::remove(path);
+  {
+    Journal journal(path);
+    journal.append(sample("a"));
+    journal.append(sample("b", 99.0));
+  }
+  const auto records = Journal::read(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, "a");
+  EXPECT_EQ(records[1].key, "b");
+  EXPECT_EQ(records[1].makespan_sec, 99.0);
+}
+
+TEST(Journal, MissingFileReadsEmpty) {
+  EXPECT_TRUE(Journal::read(temp_path("journal_nonexistent.jsonl")).empty());
+}
+
+TEST(Journal, LastRecordWinsPerKey) {
+  const auto path = temp_path("journal_lastwins.jsonl");
+  std::filesystem::remove(path);
+  {
+    Journal journal(path);
+    journal.append(sample("a", 1.0));
+    journal.append(sample("b", 2.0));
+    journal.append(sample("a", 3.0));  // re-run of cell "a"
+  }
+  const auto latest = Journal::read_latest(path);
+  ASSERT_EQ(latest.size(), 2u);
+  EXPECT_EQ(latest.at("a").makespan_sec, 3.0);
+  EXPECT_EQ(latest.at("b").makespan_sec, 2.0);
+}
+
+TEST(Journal, TornFinalLineIsDropped) {
+  const auto path = temp_path("journal_torn.jsonl");
+  std::filesystem::remove(path);
+  {
+    Journal journal(path);
+    journal.append(sample("a"));
+    journal.append(sample("b"));
+  }
+  // Simulate a crash mid-append: half of record "c" hits the disk.
+  {
+    const std::string partial =
+        harness::cell_result_to_json(sample("c")).substr(0, 40);
+    std::ofstream out(path, std::ios::app);
+    out << partial;  // no newline, incomplete JSON
+  }
+  const auto records = Journal::read(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, "a");
+  EXPECT_EQ(records[1].key, "b");
+}
+
+TEST(Journal, CorruptMiddleLineThrows) {
+  const auto path = temp_path("journal_corrupt.jsonl");
+  std::filesystem::remove(path);
+  {
+    std::ofstream out(path);
+    out << harness::cell_result_to_json(sample("a")) << "\n";
+    out << "{this is not json\n";
+    out << harness::cell_result_to_json(sample("b")) << "\n";
+  }
+  EXPECT_THROW(Journal::read(path), FormatError);
+}
+
+TEST(Journal, CreatesParentDirectories) {
+  const auto dir = temp_path("journal_subdir");
+  std::filesystem::remove_all(dir);
+  const auto path =
+      (std::filesystem::path(dir) / "deep" / "run.jsonl").string();
+  {
+    Journal journal(path);
+    journal.append(sample("a"));
+  }
+  EXPECT_EQ(Journal::read(path).size(), 1u);
+}
+
+TEST(Journal, AppendingToExistingJournalPreservesRecords) {
+  const auto path = temp_path("journal_append.jsonl");
+  std::filesystem::remove(path);
+  {
+    Journal journal(path);
+    journal.append(sample("a"));
+  }
+  {
+    Journal journal(path);  // reopen, as a resumed campaign does
+    journal.append(sample("b"));
+  }
+  EXPECT_EQ(Journal::read(path).size(), 2u);
+}
+
+}  // namespace
+}  // namespace gb::campaign

@@ -1,0 +1,232 @@
+// Campaign runner: grid execution with the shared dataset cache, report
+// byte-identity at every parallelism, crash-resume from a truncated
+// journal, bounded fault retry, and per-cell error containment.
+#include "campaign/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/journal.h"
+#include "datasets/dataset_cache.h"
+
+namespace gb::campaign {
+namespace {
+
+using datasets::DatasetId;
+using platforms::Algorithm;
+
+// One small grid reused across the tests: 2 platforms x 2 algorithms on
+// a 1%-scale Amazon graph, 4 workers. Cheap enough to run many times.
+GridSpec small_grid() {
+  GridSpec grid;
+  grid.platforms = {"Giraph", "Neo4j"};
+  grid.datasets = {DatasetId::kAmazon};
+  grid.algorithms = {Algorithm::kBfs, Algorithm::kConn};
+  grid.workers = {4};
+  grid.scale = 0.01;
+  return grid;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+// All tests share one disk cache directory so the Amazon graph is
+// generated once for the whole binary.
+std::string disk_cache_dir() {
+  static const std::string dir = temp_path("runner_test_dataset_cache");
+  return dir;
+}
+
+RunnerOptions options_with(std::uint32_t parallelism,
+                           const std::string& journal = "") {
+  RunnerOptions options;
+  options.parallelism = parallelism;
+  options.journal_path = journal;
+  options.cache_dir = disk_cache_dir();
+  return options;
+}
+
+TEST(Runner, RunsGridInGridOrder) {
+  const auto grid = small_grid();
+  const auto specs = grid.expand();
+  const auto result = run_campaign(grid, options_with(1));
+  ASSERT_EQ(result.cells.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(result.cells[i].key, specs[i].key());
+    EXPECT_TRUE(result.cells[i].ok()) << result.cells[i].key << ": "
+                                      << result.cells[i].message;
+    EXPECT_GT(result.cells[i].makespan_sec, 0.0);
+    EXPECT_NE(result.cells[i].output_hash, 0u);
+  }
+  EXPECT_EQ(result.executed, specs.size());
+  EXPECT_EQ(result.resumed, 0u);
+  EXPECT_NE(result.find(specs[0].key()), nullptr);
+  EXPECT_EQ(result.find("no/such/cell"), nullptr);
+}
+
+TEST(Runner, SharedCacheLoadsEachDatasetOnce) {
+  datasets::DatasetCache cache(disk_cache_dir());
+  const auto result = run_campaign(small_grid(), options_with(0), cache);
+  EXPECT_EQ(result.dataset_loads, 1u);  // one dataset in the grid
+  EXPECT_EQ(result.dataset_hits, result.cells.size() - 1);
+}
+
+TEST(Runner, ReportIsByteIdenticalAtEveryParallelism) {
+  const auto grid = small_grid();
+  const std::string serial =
+      campaign_report_json(run_campaign(grid, options_with(1)));
+  for (const std::uint32_t parallelism : {2u, 4u, 0u}) {
+    const std::string parallel =
+        campaign_report_json(run_campaign(grid, options_with(parallelism)));
+    EXPECT_EQ(parallel, serial) << "parallelism " << parallelism;
+  }
+}
+
+TEST(Runner, CellParallelismDoesNotChangeResults) {
+  const auto grid = small_grid();
+  auto serial_cells = options_with(2);
+  serial_cells.cell_parallelism = 1;
+  auto parallel_cells = options_with(2);
+  parallel_cells.cell_parallelism = 0;  // hardware pool inside each cell
+  EXPECT_EQ(campaign_report_json(run_campaign(grid, serial_cells)),
+            campaign_report_json(run_campaign(grid, parallel_cells)));
+}
+
+TEST(Runner, SecondRunResumesEverythingFromJournal) {
+  const auto grid = small_grid();
+  const auto journal = temp_path("runner_resume_full.jsonl");
+  std::filesystem::remove(journal);
+
+  const auto first = run_campaign(grid, options_with(1, journal));
+  EXPECT_EQ(first.executed, first.cells.size());
+
+  const auto second = run_campaign(grid, options_with(1, journal));
+  EXPECT_EQ(second.executed, 0u);
+  EXPECT_EQ(second.resumed, second.cells.size());
+  EXPECT_EQ(second.dataset_loads, 0u);  // nothing ran, nothing loaded
+  EXPECT_EQ(campaign_report_json(second), campaign_report_json(first));
+}
+
+TEST(Runner, ResumesFromTruncatedJournalAtEveryParallelism) {
+  // The crash-resume contract: kill a campaign mid-grid (here: keep only
+  // the first k journal lines plus a torn partial line), restart, and
+  // only the unfinished cells re-run — and the merged report is
+  // byte-identical to the uninterrupted run's, at every parallelism.
+  const auto grid = small_grid();
+  const std::string reference =
+      campaign_report_json(run_campaign(grid, options_with(1)));
+
+  const auto full_journal = temp_path("runner_crash_full.jsonl");
+  std::filesystem::remove(full_journal);
+  run_campaign(grid, options_with(1, full_journal));
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(full_journal);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4u);
+
+  for (const std::uint32_t parallelism : {1u, 2u, 4u}) {
+    const auto journal = temp_path(
+        "runner_crash_p" + std::to_string(parallelism) + ".jsonl");
+    std::filesystem::remove(journal);
+    {
+      // 2 complete cells + half of the third: the torn-append signature.
+      std::ofstream out(journal);
+      out << lines[0] << "\n" << lines[1] << "\n"
+          << lines[2].substr(0, lines[2].size() / 2);
+    }
+    const auto resumed = run_campaign(grid, options_with(parallelism, journal));
+    EXPECT_EQ(resumed.resumed, 2u) << "parallelism " << parallelism;
+    EXPECT_EQ(resumed.executed, 2u) << "parallelism " << parallelism;
+    EXPECT_EQ(campaign_report_json(resumed), reference)
+        << "parallelism " << parallelism;
+    // The journal now covers the whole grid: a further resume runs nothing.
+    const auto again = run_campaign(grid, options_with(1, journal));
+    EXPECT_EQ(again.executed, 0u);
+    EXPECT_EQ(campaign_report_json(again), reference);
+  }
+}
+
+TEST(Runner, FaultedCellRetriesUpToMaxAttempts) {
+  // A mid-run worker crash kills Giraph without checkpoints — and the
+  // simulation is deterministic, so every retry fails identically. The
+  // runner must spend exactly max_attempts and record them.
+  CellSpec spec;
+  spec.platform = "Giraph";
+  spec.dataset = DatasetId::kAmazon;
+  spec.algorithm = Algorithm::kBfs;
+  spec.workers = 4;
+  spec.scale = 0.01;
+  spec.faults = {"worker:5"};  // makespan is ~10 simulated seconds
+  datasets::DatasetCache cache(disk_cache_dir());
+  const auto result = run_cell_spec(spec, cache, 1, 3);
+  EXPECT_EQ(result.outcome, "crash(node)");
+  EXPECT_EQ(result.attempts, 3u);
+}
+
+TEST(Runner, FaultFreeFailureIsNotRetried) {
+  // Without injected faults a failure is the paper's result; retrying
+  // would be wasted work, so attempts stays 1 even with max_attempts 3.
+  CellSpec spec;
+  spec.platform = "Giraph";
+  spec.dataset = DatasetId::kAmazon;
+  spec.algorithm = Algorithm::kBfs;
+  spec.workers = 4;
+  spec.scale = 0.01;
+  datasets::DatasetCache cache(disk_cache_dir());
+  const auto result = run_cell_spec(spec, cache, 1, 3);
+  EXPECT_EQ(result.attempts, 1u);
+}
+
+TEST(Runner, SuccessfulFaultedCellStopsRetrying) {
+  // With checkpointing on, Giraph survives the same crash: one attempt.
+  CellSpec spec;
+  spec.platform = "Giraph";
+  spec.dataset = DatasetId::kAmazon;
+  spec.algorithm = Algorithm::kBfs;
+  spec.workers = 4;
+  spec.scale = 0.01;
+  spec.faults = {"worker:5"};
+  spec.checkpoint_interval = 4;
+  datasets::DatasetCache cache(disk_cache_dir());
+  const auto result = run_cell_spec(spec, cache, 1, 3);
+  EXPECT_EQ(result.outcome, "ok") << result.message;
+  EXPECT_EQ(result.attempts, 1u);
+}
+
+TEST(Runner, BadCellSpecBecomesErrorResultNotACrash) {
+  CellSpec spec;
+  spec.platform = "Giraph";
+  spec.dataset = DatasetId::kAmazon;
+  spec.algorithm = Algorithm::kBfs;
+  spec.scale = 0.01;
+  spec.faults = {"meteor:10"};  // unknown fault kind
+  datasets::DatasetCache cache(disk_cache_dir());
+  const auto result = run_cell_spec(spec, cache);
+  EXPECT_EQ(result.outcome, "error");
+  EXPECT_FALSE(result.message.empty());
+}
+
+TEST(Runner, JournalRecordsMatchReportCells) {
+  const auto grid = small_grid();
+  const auto journal = temp_path("runner_journal_schema.jsonl");
+  std::filesystem::remove(journal);
+  const auto result = run_campaign(grid, options_with(1, journal));
+  const auto latest = Journal::read_latest(journal);
+  ASSERT_EQ(latest.size(), result.cells.size());
+  for (const auto& cell : result.cells) {
+    // A journal line and the report entry share one serialization.
+    EXPECT_EQ(harness::cell_result_to_json(latest.at(cell.key)),
+              harness::cell_result_to_json(cell));
+  }
+}
+
+}  // namespace
+}  // namespace gb::campaign

@@ -1,0 +1,69 @@
+// DatasetCache: load-once memoization, key normalization, and
+// concurrent-request coalescing.
+#include "datasets/dataset_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+namespace gb::datasets {
+namespace {
+
+std::string disk_dir() {
+  return (std::filesystem::path(::testing::TempDir()) /
+          "dataset_cache_test_disk")
+      .string();
+}
+
+TEST(DatasetCache, SameKeyReturnsTheSameInstance) {
+  DatasetCache cache(disk_dir());
+  const auto a = cache.get(DatasetId::kAmazon, 0.01);
+  const auto b = cache.get(DatasetId::kAmazon, 0.01);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.loads(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_GT(a->graph.num_vertices(), 0u);
+}
+
+TEST(DatasetCache, DistinctKeysLoadSeparately) {
+  DatasetCache cache(disk_dir());
+  const auto a = cache.get(DatasetId::kAmazon, 0.01);
+  const auto b = cache.get(DatasetId::kAmazon, 0.02);
+  const auto c = cache.get(DatasetId::kAmazon, 0.01, 7);  // other seed
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.loads(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(DatasetCache, DefaultScaleAliasesTheCatalogScale) {
+  // scale <= 0 means "catalog default", exactly like load_or_generate —
+  // both spellings must hit the same slot.
+  DatasetCache cache(disk_dir());
+  const auto by_default = cache.get(DatasetId::kAmazon);
+  const auto by_value =
+      cache.get(DatasetId::kAmazon, info(DatasetId::kAmazon).default_scale);
+  EXPECT_EQ(by_default.get(), by_value.get());
+  EXPECT_EQ(cache.loads(), 1u);
+}
+
+TEST(DatasetCache, ConcurrentRequestsCoalesceIntoOneLoad) {
+  DatasetCache cache(disk_dir());
+  std::vector<std::shared_ptr<const Dataset>> results(8);
+  std::vector<std::thread> threads;
+  for (auto& result : results) {
+    threads.emplace_back(
+        [&cache, &result] { result = cache.get(DatasetId::kAmazon, 0.015); });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& result : results) {
+    EXPECT_EQ(result.get(), results[0].get());
+  }
+  EXPECT_EQ(cache.loads(), 1u);
+  EXPECT_EQ(cache.hits(), 7u);
+}
+
+}  // namespace
+}  // namespace gb::datasets

@@ -1,0 +1,90 @@
+// The minimal JSON reader that backs the campaign journal and baseline
+// store: parse correctness, escape handling, typed accessors, and the
+// write -> parse -> rewrite identity on JsonWriter output.
+#include "harness/json_read.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "harness/json.h"
+
+namespace gb::harness {
+namespace {
+
+TEST(JsonRead, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").boolean, true);
+  EXPECT_EQ(parse_json("false").boolean, false);
+  EXPECT_DOUBLE_EQ(parse_json("3.25").number, 3.25);
+  EXPECT_DOUBLE_EQ(parse_json("-17").number, -17.0);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").number, 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").string, "hi");
+}
+
+TEST(JsonRead, ParsesContainers) {
+  const auto doc = parse_json(R"({"a":[1,2,3],"b":{"c":"d"},"e":null})");
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.0);
+  const JsonValue* b = doc.find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->string_or("c", ""), "d");
+  EXPECT_TRUE(doc.find("e")->is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonRead, ObjectPreservesKeyOrder) {
+  const auto doc = parse_json(R"({"z":1,"a":2,"m":3})");
+  ASSERT_EQ(doc.object.size(), 3u);
+  EXPECT_EQ(doc.object[0].first, "z");
+  EXPECT_EQ(doc.object[1].first, "a");
+  EXPECT_EQ(doc.object[2].first, "m");
+}
+
+TEST(JsonRead, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t")").string, "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse_json(R"("Aé")").string, "A\xc3\xa9");
+}
+
+TEST(JsonRead, TypedAccessorsFallBackWhenAbsentThrowOnMismatch) {
+  const auto doc = parse_json(R"({"n":4.5,"s":"x","b":true})");
+  EXPECT_DOUBLE_EQ(doc.number_or("n", 0.0), 4.5);
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", 9.0), 9.0);
+  EXPECT_EQ(doc.string_or("s", ""), "x");
+  EXPECT_EQ(doc.bool_or("b", false), true);
+  EXPECT_THROW(doc.number_or("s", 0.0), FormatError);
+  EXPECT_THROW(doc.string_or("n", ""), FormatError);
+}
+
+TEST(JsonRead, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), FormatError);
+  EXPECT_THROW(parse_json("{"), FormatError);
+  EXPECT_THROW(parse_json("[1,]"), FormatError);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), FormatError);
+  EXPECT_THROW(parse_json("\"unterminated"), FormatError);
+  EXPECT_THROW(parse_json("nul"), FormatError);
+  EXPECT_THROW(parse_json("{} trailing"), FormatError);
+  EXPECT_THROW(parse_json("Infinity"), FormatError);
+}
+
+TEST(JsonRead, RoundTripsJsonWriterOutput) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("pi");
+  writer.value(3.141592653589793);
+  writer.key("big");
+  writer.value(static_cast<std::uint64_t>(9007199254740992ULL));  // 2^53
+  writer.key("text");
+  writer.value(std::string("line\nbreak \"quoted\""));
+  writer.end_object();
+  const auto doc = parse_json(writer.str());
+  // %.17g doubles round-trip exactly through the parser.
+  EXPECT_EQ(doc.number_or("pi", 0.0), 3.141592653589793);
+  EXPECT_EQ(doc.u64_or("big", 0), 9007199254740992ULL);
+  EXPECT_EQ(doc.string_or("text", ""), "line\nbreak \"quoted\"");
+}
+
+}  // namespace
+}  // namespace gb::harness

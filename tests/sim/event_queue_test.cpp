@@ -60,6 +60,88 @@ TEST(EventQueue, RunUntilLeavesLaterEvents) {
   EXPECT_DOUBLE_EQ(q.now(), 5.0);
 }
 
+TEST(EventQueue, RunUntilExecutesEventExactlyAtHorizon) {
+  // The horizon is inclusive: an event at exactly t == horizon fires, so
+  // splitting a run at a phase boundary never drops the boundary event.
+  EventQueue q;
+  int fired = 0;
+  q.schedule(5.0, [&] { ++fired; });
+  q.schedule(5.0 + 1e-9, [&] { ++fired; });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockToHorizonWhenIdle) {
+  // Even with nothing to execute, run_until moves the clock forward to
+  // the horizon — and never backwards on a later, earlier horizon.
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.run_until(7.0), 7.0);
+  EXPECT_DOUBLE_EQ(q.run_until(3.0), 7.0);
+  EXPECT_DOUBLE_EQ(q.now(), 7.0);
+}
+
+TEST(EventQueue, RunUntilResumesAcrossHorizons) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.run_until(1.5);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoPreservedForEventsScheduledFromCallbacks) {
+  // An event scheduled from inside a callback at an already-occupied
+  // timestamp queues *behind* the events that were there first.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] {
+    order.push_back(1);
+    q.schedule(2.0, [&] { order.push_back(4); });  // behind the two below
+  });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(2.0, [&] { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbackCanRescheduleAtCurrentTime) {
+  // Rescheduling at now() from inside a callback is legal (not "the
+  // past") and runs within the same drain.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] {
+    order.push_back(1);
+    q.schedule(q.now(), [&] { order.push_back(2); });
+  });
+  const SimTime end = q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(end, 1.0);
+}
+
+TEST(EventQueue, CallbackRescheduleBeyondHorizonStaysQueued) {
+  // A callback at the horizon that schedules follow-up work past the
+  // horizon leaves that work pending for the next run_until window.
+  EventQueue q;
+  int fired = 0;
+  q.schedule(5.0, [&] {
+    ++fired;
+    q.schedule(6.0, [&] { ++fired; });
+  });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(6.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(ScheduleTasks, SingleWave) {
   const auto r = schedule_tasks({2.0, 2.0, 2.0}, 3);
   EXPECT_DOUBLE_EQ(r.makespan, 2.0);

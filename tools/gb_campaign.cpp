@@ -1,0 +1,355 @@
+// gb_campaign: run a whole benchmark campaign — a grid of
+// (platform x dataset x algorithm x cluster-size) cells — with a shared
+// per-dataset cache, cell-level host parallelism, a resumable journal,
+// and a baseline regression store.
+//
+//   gb_campaign --platforms Giraph,Hadoop --datasets KGS,Amazon
+//               --algorithms BFS,CONN --workers 20,50 --scale 0.01
+//               --parallelism 0 --journal runs/kgs.jsonl --out report.json
+//
+//   gb_campaign --grid fig11 --datasets DotaLeague     # preset grids
+//   gb_campaign ... --save-baseline baselines/smoke.jsonl
+//   gb_campaign ... --check-baseline baselines/smoke.jsonl   # exit 1 on drift
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/baseline.h"
+#include "campaign/campaign.h"
+#include "campaign/runner.h"
+#include "datasets/catalog.h"
+#include "harness/report.h"
+#include "platforms/platform.h"
+
+namespace {
+
+using namespace gb;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::cerr << "error: " << msg << "\n\n";
+  std::cerr
+      << "usage: gb_campaign [axes] [execution] [output] [baseline]\n"
+         "axes:\n"
+         "  --platforms A,B,...    platform names (default: all six "
+         "scalability platforms)\n"
+         "  --datasets A,B,...     dataset names (default: KGS)\n"
+         "  --algorithms A,B,...   STATS|BFS|CONN|CD|EVO|PAGERANK "
+         "(default: BFS)\n"
+         "  --workers N,N,...      machines per cell (default: 20)\n"
+         "  --cores N,N,...        cores per machine (default: 1)\n"
+         "  --scale S              dataset scale, 0 = catalog default\n"
+         "  --seed S               dataset generation seed (default 42)\n"
+         "  --fault SPEC           fault injected into every cell "
+         "(repeatable; gb_run syntax)\n"
+         "  --checkpoint-interval N\n"
+         "  --grid fig11|fig13    preset grid (uses first --datasets "
+         "entry; other axes ignored)\n"
+         "execution:\n"
+         "  --parallelism N        cells in flight (0 = hardware, "
+         "default 1)\n"
+         "  --cell-parallelism N   host threads inside each cell "
+         "(default 1)\n"
+         "  --max-attempts N       bounded retry for faulted cells "
+         "(default 1)\n"
+         "  --journal FILE         resumable JSONL journal; already-done "
+         "cells are skipped\n"
+         "  --cache-dir DIR        dataset disk cache directory\n"
+         "output:\n"
+         "  --list                 print the cell keys and exit\n"
+         "  --out FILE             campaign report JSON ('-' = stdout)\n"
+         "  --csv FILE             per-cell summary CSV\n"
+         "baseline:\n"
+         "  --save-baseline FILE   persist this campaign as the baseline\n"
+         "  --check-baseline FILE  diff against a baseline; exit 1 on "
+         "drift\n"
+         "  --tolerance R          relative makespan tolerance "
+         "(default 0.05)\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* flag,
+                        std::uint64_t min_value = 0) {
+  const auto fail = [&]() {
+    usage((std::string(flag) + " expects an unsigned integer" +
+           (min_value > 0 ? " >= " + std::to_string(min_value) : "") +
+           ", got '" + text + "'")
+              .c_str());
+  };
+  if (text.empty() || text[0] == '-' || text[0] == '+') fail();
+  std::uint64_t parsed = 0;
+  try {
+    std::size_t pos = 0;
+    parsed = std::stoull(text, &pos);
+    if (pos != text.size()) fail();
+  } catch (...) {
+    fail();
+  }
+  if (parsed < min_value) fail();
+  return parsed;
+}
+
+std::uint32_t parse_u32(const std::string& text, const char* flag,
+                        std::uint32_t min_value = 0) {
+  const std::uint64_t parsed = parse_u64(text, flag, min_value);
+  if (parsed > std::numeric_limits<std::uint32_t>::max()) {
+    usage((std::string(flag) + " value '" + text + "' is out of range")
+              .c_str());
+  }
+  return static_cast<std::uint32_t>(parsed);
+}
+
+double parse_double(const std::string& text, const char* flag,
+                    double min_value) {
+  const auto fail = [&]() {
+    usage((std::string(flag) + " expects a finite number >= " +
+           std::to_string(min_value) + ", got '" + text + "'")
+              .c_str());
+  };
+  if (text.empty()) fail();
+  double parsed = 0.0;
+  try {
+    std::size_t pos = 0;
+    parsed = std::stod(text, &pos);
+    if (pos != text.size()) fail();
+  } catch (...) {
+    fail();
+  }
+  if (!std::isfinite(parsed) || parsed < min_value) fail();
+  return parsed;
+}
+
+std::vector<std::string> split_list(const std::string& text,
+                                    const char* flag) {
+  std::vector<std::string> items;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  if (items.empty()) {
+    usage((std::string(flag) + " expects a non-empty comma list").c_str());
+  }
+  return items;
+}
+
+void write_cells_csv(const std::string& path,
+                     const std::vector<harness::CellResult>& cells) {
+  harness::Table table("campaign");
+  table.set_header({"key", "platform", "dataset", "algorithm", "workers",
+                    "cores", "outcome", "makespan_sec", "computation_sec",
+                    "iterations", "attempts"});
+  for (const auto& cell : cells) {
+    char makespan[32];
+    char computation[32];
+    std::snprintf(makespan, sizeof(makespan), "%.6f", cell.makespan_sec);
+    std::snprintf(computation, sizeof(computation), "%.6f",
+                  cell.computation_sec);
+    table.add_row({cell.key, cell.platform, cell.dataset, cell.algorithm,
+                   std::to_string(cell.workers), std::to_string(cell.cores),
+                   cell.outcome, makespan, computation,
+                   std::to_string(cell.iterations),
+                   std::to_string(cell.attempts)});
+  }
+  table.write_csv(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  campaign::GridSpec grid;
+  grid.platforms = {"Hadoop", "YARN",   "Stratosphere",
+                    "Giraph", "GraphLab", "GraphLab(mp)"};
+  grid.datasets = {datasets::DatasetId::kKGS};
+  grid.algorithms = {platforms::Algorithm::kBfs};
+
+  campaign::RunnerOptions options;
+  campaign::BaselineTolerance tolerance;
+  std::string preset;
+  std::string out_path;
+  std::string csv_path;
+  std::string save_baseline_path;
+  std::string check_baseline_path;
+  bool list_only = false;
+  bool datasets_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--platforms") {
+      grid.platforms = split_list(value(), "--platforms");
+    } else if (arg == "--datasets") {
+      grid.datasets.clear();
+      for (const auto& name : split_list(value(), "--datasets")) {
+        const auto* meta = datasets::find_info(name);
+        if (meta == nullptr) {
+          usage(("unknown dataset '" + name + "'").c_str());
+        }
+        grid.datasets.push_back(meta->id);
+      }
+      datasets_set = true;
+    } else if (arg == "--algorithms") {
+      grid.algorithms.clear();
+      for (const auto& name : split_list(value(), "--algorithms")) {
+        const auto algorithm = platforms::parse_algorithm(name);
+        if (!algorithm) usage(("unknown algorithm '" + name + "'").c_str());
+        grid.algorithms.push_back(*algorithm);
+      }
+    } else if (arg == "--workers") {
+      grid.workers.clear();
+      for (const auto& item : split_list(value(), "--workers")) {
+        const auto workers = parse_u32(item, "--workers", 1);
+        if (workers > 1'000'000) usage("--workers must be <= 1000000");
+        grid.workers.push_back(workers);
+      }
+    } else if (arg == "--cores") {
+      grid.cores.clear();
+      for (const auto& item : split_list(value(), "--cores")) {
+        grid.cores.push_back(parse_u32(item, "--cores", 1));
+      }
+    } else if (arg == "--scale") {
+      grid.scale = parse_double(value(), "--scale", 0.0);
+    } else if (arg == "--seed") {
+      grid.seed = parse_u64(value(), "--seed");
+    } else if (arg == "--fault") {
+      grid.faults.push_back(value());
+    } else if (arg == "--checkpoint-interval") {
+      grid.checkpoint_interval = parse_u32(value(), "--checkpoint-interval");
+    } else if (arg == "--grid") {
+      preset = value();
+    } else if (arg == "--parallelism") {
+      options.parallelism = parse_u32(value(), "--parallelism");
+    } else if (arg == "--cell-parallelism") {
+      options.cell_parallelism = parse_u32(value(), "--cell-parallelism");
+    } else if (arg == "--max-attempts") {
+      options.max_attempts = parse_u32(value(), "--max-attempts", 1);
+    } else if (arg == "--journal") {
+      options.journal_path = value();
+    } else if (arg == "--cache-dir") {
+      options.cache_dir = value();
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--csv") {
+      csv_path = value();
+    } else if (arg == "--save-baseline") {
+      save_baseline_path = value();
+    } else if (arg == "--check-baseline") {
+      check_baseline_path = value();
+    } else if (arg == "--tolerance") {
+      tolerance.makespan_rel = parse_double(value(), "--tolerance", 0.0);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage(("unknown option '" + arg + "'").c_str());
+    }
+  }
+
+  if (!preset.empty()) {
+    // Presets replace the axes wholesale; the dataset (and scale) still
+    // come from the command line so small smoke grids stay cheap.
+    const auto dataset = grid.datasets.front();
+    if (!datasets_set) {
+      std::cerr << "note: --grid " << preset << " defaults to "
+                << datasets::info(dataset).name
+                << "; pass --datasets to override\n";
+    }
+    if (preset == "fig11") {
+      grid = campaign::horizontal_scalability_grid(dataset, grid.scale);
+    } else if (preset == "fig13") {
+      grid = campaign::vertical_scalability_grid(dataset, grid.scale);
+    } else {
+      usage(("unknown preset '" + preset + "' (fig11 or fig13)").c_str());
+    }
+  }
+
+  std::vector<campaign::CellSpec> specs;
+  try {
+    specs = grid.expand();
+  } catch (const std::exception& e) {
+    usage(e.what());
+  }
+  if (list_only) {
+    for (const auto& spec : specs) std::cout << spec.key() << "\n";
+    return 0;
+  }
+
+  std::cerr << "campaign: " << specs.size() << " cells, parallelism "
+            << options.parallelism << " (cells) x " << options.cell_parallelism
+            << " (host threads per cell)\n";
+
+  campaign::CampaignResult result;
+  try {
+    result = campaign::run_campaign(grid, options);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::size_t failed = 0;
+  for (const auto& cell : result.cells) {
+    if (!cell.ok() && cell.outcome != "n/a") ++failed;
+  }
+  std::cerr << "campaign: " << result.executed << " cells executed, "
+            << result.resumed << " resumed from journal; " << failed
+            << " failed\n";
+  std::cerr << "datasets: " << result.dataset_loads << " loaded, "
+            << result.dataset_hits << " cache hits\n";
+
+  if (!out_path.empty()) {
+    const std::string report = campaign::campaign_report_json(result);
+    if (out_path == "-") {
+      std::cout << report << "\n";
+    } else {
+      FILE* out = std::fopen(out_path.c_str(), "wb");
+      if (out == nullptr) {
+        std::cerr << "error: cannot write '" << out_path << "'\n";
+        return 2;
+      }
+      std::fwrite(report.data(), 1, report.size(), out);
+      std::fputc('\n', out);
+      std::fclose(out);
+      std::cerr << "report written to " << out_path << "\n";
+    }
+  }
+  if (!csv_path.empty()) {
+    write_cells_csv(csv_path, result.cells);
+    std::cerr << "csv written to " << csv_path << "\n";
+  }
+
+  if (!save_baseline_path.empty()) {
+    try {
+      campaign::save_baseline(save_baseline_path, result.cells);
+      std::cerr << "baseline saved to " << save_baseline_path << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (!check_baseline_path.empty()) {
+    campaign::BaselineDiff diff;
+    try {
+      diff = campaign::check_baseline_file(check_baseline_path, result.cells,
+                                           tolerance);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+    if (!diff.ok()) {
+      std::cerr << "baseline check FAILED (" << diff.findings.size()
+                << " finding(s)) against " << check_baseline_path << ":\n"
+                << diff.to_string() << "\n";
+      return 1;
+    }
+    std::cerr << "baseline check passed (" << result.cells.size()
+              << " cells) against " << check_baseline_path << "\n";
+  }
+  return 0;
+}

@@ -110,30 +110,6 @@ double parse_double(const std::string& text, const char* flag,
   return parsed;
 }
 
-std::unique_ptr<platforms::Platform> make_platform(const std::string& name) {
-  if (name == "Hadoop") return algorithms::make_hadoop();
-  if (name == "YARN") return algorithms::make_yarn();
-  if (name == "HaLoop") return algorithms::make_haloop();
-  if (name == "PEGASUS") return algorithms::make_pegasus();
-  if (name == "GPS") return algorithms::make_gps();
-  if (name == "Stratosphere") return algorithms::make_stratosphere();
-  if (name == "Giraph") return algorithms::make_giraph();
-  if (name == "GraphLab") return algorithms::make_graphlab(false);
-  if (name == "GraphLab(mp)") return algorithms::make_graphlab(true);
-  if (name == "Neo4j") return algorithms::make_neo4j();
-  usage(("unknown platform '" + name + "'").c_str());
-}
-
-platforms::Algorithm parse_algorithm(const std::string& name) {
-  if (name == "STATS") return platforms::Algorithm::kStats;
-  if (name == "BFS") return platforms::Algorithm::kBfs;
-  if (name == "CONN") return platforms::Algorithm::kConn;
-  if (name == "CD") return platforms::Algorithm::kCd;
-  if (name == "EVO") return platforms::Algorithm::kEvo;
-  if (name == "PAGERANK") return platforms::Algorithm::kPageRank;
-  usage(("unknown algorithm '" + name + "'").c_str());
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -231,8 +207,15 @@ int main(int argc, char** argv) {
 
   const auto* meta = datasets::find_info(dataset_name);
   if (meta == nullptr) usage(("unknown dataset '" + dataset_name + "'").c_str());
-  const auto platform = make_platform(platform_name);
-  const auto algorithm = parse_algorithm(algorithm_name);
+  const auto platform = algorithms::make_platform(platform_name);
+  if (platform == nullptr) {
+    usage(("unknown platform '" + platform_name + "'").c_str());
+  }
+  const auto parsed_algorithm = platforms::parse_algorithm(algorithm_name);
+  if (!parsed_algorithm) {
+    usage(("unknown algorithm '" + algorithm_name + "'").c_str());
+  }
+  const auto algorithm = *parsed_algorithm;
 
   std::cerr << "generating " << dataset_name << "...\n";
   const auto ds = datasets::load_or_generate(meta->id, scale, seed);
