@@ -1,0 +1,112 @@
+// Ablation: the shared partitioning subsystem across strategies and
+// datasets — Giraph BFS under hash, range, degree-balanced and greedy
+// vertex-cut placement, on the hub-skewed WikiTalk graph and the denser,
+// flatter KGS graph. Surfaces the partition-quality gauges next to the
+// makespan so the skew story is visible: degree-balanced trades nothing
+// for a lower imbalance factor, and the barrier waits for the most loaded
+// worker (DESIGN.md §11).
+//
+// With --check the binary exits non-zero unless degree-balanced placement
+// is at least as fast as hash on WikiTalk — the regression guard CI runs.
+#include "bench_common.h"
+
+#include <cstring>
+
+#include "partition/strategy.h"
+
+namespace {
+
+using namespace gb;
+
+double find_gauge(const obs::MetricsSnapshot& metrics, const char* name) {
+  for (const auto& [key, value] : metrics.gauges) {
+    if (key == name) return value;
+  }
+  return 0.0;
+}
+
+std::string format3(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+struct Cell {
+  std::string dataset;
+  partition::Strategy strategy = partition::Strategy::kHash;
+  harness::CellResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gb;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+
+  datasets::DatasetCache cache;
+  std::vector<Cell> cells;
+  for (const auto id :
+       {datasets::DatasetId::kWikiTalk, datasets::DatasetId::kKGS}) {
+    campaign::GridSpec grid;
+    grid.platforms = {"Giraph"};
+    grid.datasets = {id};
+    grid.algorithms = {platforms::Algorithm::kBfs};
+    grid.scale = bench::dataset_scale(id);
+    grid.partitioners.assign(std::begin(partition::kAllStrategies),
+                             std::end(partition::kAllStrategies));
+    const auto result = bench::run_grid(grid, cache);
+    // Grid order: one dataset, one platform — cells land in partitioner
+    // declaration order.
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+      cells.push_back({datasets::info(id).name, partition::kAllStrategies[i],
+                       result.cells[i]});
+    }
+  }
+
+  harness::Table table(
+      "Ablation: partitioning strategy x dataset (Giraph BFS, 20 workers; "
+      "barrier waits for the most loaded worker)");
+  table.set_header({"Dataset", "Partitioner", "Makespan", "Edge-cut",
+                    "Replication", "Imbalance"});
+  for (const auto& cell : cells) {
+    table.add_row(
+        {cell.dataset, partition::strategy_name(cell.strategy),
+         bench::cell_text(cell.result),
+         format3(find_gauge(cell.result.metrics, "partition.edge_cut_fraction")),
+         format3(
+             find_gauge(cell.result.metrics, "partition.replication_factor")),
+         format3(find_gauge(cell.result.metrics, "partition.imbalance"))});
+  }
+  bench::write_table(table, "ablation_partition.csv");
+
+  if (check) {
+    const Cell* hash = nullptr;
+    const Cell* degree = nullptr;
+    for (const auto& cell : cells) {
+      if (cell.dataset != "WikiTalk") continue;
+      if (cell.strategy == partition::Strategy::kHash) hash = &cell;
+      if (cell.strategy == partition::Strategy::kDegreeBalanced) {
+        degree = &cell;
+      }
+    }
+    if (hash == nullptr || degree == nullptr || !hash->result.ok() ||
+        !degree->result.ok()) {
+      std::cerr << "[check] FAILED: WikiTalk hash/degree cells missing or "
+                   "not ok\n";
+      return 1;
+    }
+    if (degree->result.makespan_sec > hash->result.makespan_sec) {
+      std::cerr << "[check] FAILED: degree-balanced ("
+                << degree->result.makespan_sec << "s) slower than hash ("
+                << hash->result.makespan_sec << "s) on WikiTalk\n";
+      return 1;
+    }
+    std::cerr << "[check] ok: degree-balanced "
+              << degree->result.makespan_sec << "s <= hash "
+              << hash->result.makespan_sec << "s on WikiTalk\n";
+  }
+  return 0;
+}

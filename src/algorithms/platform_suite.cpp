@@ -12,6 +12,7 @@
 #include "core/error.h"
 #include "platforms/dataflow/engine.h"
 #include "platforms/mapreduce/engine.h"
+#include "platforms/partitioning.h"
 
 namespace gb::algorithms {
 namespace {
@@ -170,6 +171,8 @@ class GiraphPlatform final : public Platform {
         const EvoTrace trace = forest_fire_evolve(g, evo_params_from(params));
         const double partition = platforms::pregel::charge_setup_and_load(
             g, cluster, rec, config);
+        const double imbalance =
+            platforms::partition_graph(g, cluster, rec).quality.imbalance;
         const auto& cost = cluster.cost();
         // The EVO accounting loop writes no checkpoints, so a recovery
         // replays from job start.
@@ -184,7 +187,8 @@ class GiraphPlatform final : public Platform {
               (8.0 + static_cast<double>(config.message_overhead)));
           const std::string label = "superstep_" + std::to_string(step++);
           rec.phase(label + "/compute",
-                    cluster.jvm_compute_time(units) / cluster.total_slots(),
+                    cluster.jvm_compute_time(units) * imbalance /
+                        cluster.total_slots(),
                     true,
                     PhaseUsage{.worker_cpu_cores = static_cast<double>(
                                    cluster.cores_per_worker()),
@@ -308,6 +312,7 @@ class MapReducePlatform final : public Platform {
       }
       case Algorithm::kStats: {
         const storage::Hdfs hdfs(cluster.cost());
+        const auto assignment = platforms::partition_graph(g, cluster, rec);
         const StatsVolumes volumes = stats_volumes(g, &cluster.pool());
         platforms::mapreduce::detail::IterationVolume volume;
         volume.map_output_records =
@@ -319,7 +324,7 @@ class MapReducePlatform final : public Platform {
         // quadratic kernel ever runs.
         const SimTime stats_begin = rec.now();
         platforms::mapreduce::detail::charge_iteration(
-            g, cluster, rec, config, hdfs, volume, "stats");
+            g, cluster, rec, config, hdfs, volume, "stats", &assignment);
         std::vector<std::uint32_t> attempts;
         platforms::mapreduce::detail::recover_from_faults(
             cluster, rec, config, stats_begin, "stats", attempts);
@@ -337,6 +342,7 @@ class MapReducePlatform final : public Platform {
       }
       case Algorithm::kEvo: {
         const storage::Hdfs hdfs(cluster.cost());
+        const auto assignment = platforms::partition_graph(g, cluster, rec);
         const EvoTrace trace = forest_fire_evolve(g, evo_params_from(params));
         std::vector<std::uint32_t> attempts;
         std::size_t step = 0;
@@ -355,9 +361,11 @@ class MapReducePlatform final : public Platform {
           // Hadoop needs two MapReduce jobs per EVO iteration
           // (Section 4.1.3): ambassador selection + burn propagation.
           platforms::mapreduce::detail::charge_iteration(
-              g, cluster, rec, config, hdfs, volume, label + "_select");
+              g, cluster, rec, config, hdfs, volume, label + "_select",
+              &assignment);
           platforms::mapreduce::detail::charge_iteration(
-              g, cluster, rec, config, hdfs, volume, label + "_burn");
+              g, cluster, rec, config, hdfs, volume, label + "_burn",
+              &assignment);
           platforms::mapreduce::detail::recover_from_faults(
               cluster, rec, config, iter_begin, label, attempts);
         }
@@ -460,12 +468,14 @@ class StratospherePlatform final : public Platform {
         plan.add_sink("out", lcc);
 
         const storage::Hdfs hdfs(cluster.cost());
+        const auto assignment = platforms::partition_graph(g, cluster, rec);
         const StatsVolumes volumes = stats_volumes(g, &cluster.pool());
         // The Match's probe side materializes one candidate record per
         // shipped adjacency id — sum(deg^2) records flow through the plan.
         platforms::dataflow::detail::charge_plan_iteration(
             g, platforms::dataflow::compile(plan), cluster, rec, config, hdfs,
-            volumes.exchange_bytes / 8.0, volumes.intersect_units, "stats");
+            volumes.exchange_bytes / 8.0, volumes.intersect_units, "stats",
+            &assignment);
         // The paper's operators terminated this configuration after ~4
         // hours without success; reproduce that patience threshold before
         // attempting the quadratic kernel.
@@ -496,6 +506,7 @@ class StratospherePlatform final : public Platform {
         const auto dag = platforms::dataflow::compile(plan);
 
         const storage::Hdfs hdfs(cluster.cost());
+        const auto assignment = platforms::partition_graph(g, cluster, rec);
         const EvoTrace trace = forest_fire_evolve(g, evo_params_from(params));
         std::size_t step = 0;
         for (const auto& iter : trace.iterations) {
@@ -503,7 +514,7 @@ class StratospherePlatform final : public Platform {
               g, dag, cluster, rec, config, hdfs,
               static_cast<double>(iter.burned_vertices + iter.new_edges),
               static_cast<double>(iter.burned_vertices),
-              "iter_" + std::to_string(step++));
+              "iter_" + std::to_string(step++), &assignment);
         }
         out = evo_output(g, trace);
         break;
@@ -603,6 +614,8 @@ class GraphLabPlatform final : public Platform {
       }
       case Algorithm::kEvo: {
         const EvoTrace trace = forest_fire_evolve(g, evo_params_from(params));
+        const double imbalance =
+            platforms::partition_graph(g, cluster, rec).quality.imbalance;
         const double partition = platforms::gas::charge_startup_and_load(
             g, static_cast<double>(g.num_vertices()), cluster, rec, config);
         const auto& cost = cluster.cost();
@@ -615,7 +628,8 @@ class GraphLabPlatform final : public Platform {
               (config.vertex_data_bytes + config.mirror_header_bytes));
           const std::string label = "iter_" + std::to_string(step++);
           rec.phase(label + "/compute",
-                    cluster.native_compute_time(units) / cluster.total_slots(),
+                    cluster.native_compute_time(units) * imbalance /
+                        cluster.total_slots(),
                     true,
                     PhaseUsage{.worker_cpu_cores = static_cast<double>(
                                    cluster.cores_per_worker()),
@@ -654,6 +668,9 @@ class Neo4jPlatform final : public Platform {
                 sim::Cluster& cluster) const override {
     const Graph& g = dataset.graph;
     PhaseRecorder rec(cluster);
+    // Neo4j is a single node: the assignment degenerates to one part
+    // (edge-cut 0, imbalance 1), reported for cross-platform consistency.
+    platforms::partition_graph(g, cluster, rec);
     platforms::graphdb::Database db(g, cluster.cost(),
                                     cluster.config().work_scale);
     db.begin(platforms::graphdb::CacheState::kHot);

@@ -34,6 +34,9 @@ std::string CellSpec::key() const {
   if (checkpoint_interval > 0) {
     k += "/k" + std::to_string(checkpoint_interval);
   }
+  if (partitioner != partition::Strategy::kHash) {
+    k += std::string("/p") + partition::strategy_name(partitioner);
+  }
   return k;
 }
 
@@ -43,6 +46,7 @@ std::vector<CellSpec> GridSpec::expand() const {
   if (algorithms.empty()) throw Error("grid: no algorithms");
   if (workers.empty()) throw Error("grid: no worker counts");
   if (cores.empty()) throw Error("grid: no core counts");
+  if (partitioners.empty()) throw Error("grid: no partitioners");
   for (const auto& name : platforms) {
     if (algorithms::make_platform(name) == nullptr) {
       throw Error("grid: unknown platform '" + name + "'");
@@ -57,23 +61,26 @@ std::vector<CellSpec> GridSpec::expand() const {
 
   std::vector<CellSpec> cells;
   cells.reserve(platforms.size() * datasets.size() * algorithms.size() *
-                workers.size() * cores.size());
+                workers.size() * cores.size() * partitioners.size());
   for (const auto& dataset : datasets) {
     for (const auto& algorithm : algorithms) {
       for (const auto& w : workers) {
         for (const auto& c : cores) {
-          for (const auto& platform : platforms) {
-            CellSpec cell;
-            cell.platform = platform;
-            cell.dataset = dataset;
-            cell.algorithm = algorithm;
-            cell.workers = w;
-            cell.cores = c;
-            cell.scale = scale;
-            cell.seed = seed;
-            cell.faults = faults;
-            cell.checkpoint_interval = checkpoint_interval;
-            cells.push_back(std::move(cell));
+          for (const auto& strategy : partitioners) {
+            for (const auto& platform : platforms) {
+              CellSpec cell;
+              cell.platform = platform;
+              cell.dataset = dataset;
+              cell.algorithm = algorithm;
+              cell.workers = w;
+              cell.cores = c;
+              cell.scale = scale;
+              cell.seed = seed;
+              cell.faults = faults;
+              cell.checkpoint_interval = checkpoint_interval;
+              cell.partitioner = strategy;
+              cells.push_back(std::move(cell));
+            }
           }
         }
       }

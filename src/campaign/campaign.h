@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "datasets/catalog.h"
+#include "partition/strategy.h"
 #include "platforms/platform.h"
 
 namespace gb::campaign {
@@ -30,9 +31,12 @@ struct CellSpec {
   std::uint64_t seed = 42;     // dataset generation seed
   std::vector<std::string> faults;  // FaultPlan::add_spec strings
   std::uint32_t checkpoint_interval = 0;
+  partition::Strategy partitioner = partition::Strategy::kHash;
 
   /// Canonical identity, e.g. "Giraph/KGS/BFS/w20/c1/x0.01/r42" with a
-  /// "/f<spec>" suffix per fault and "/k<N>" when checkpointing is on.
+  /// "/f<spec>" suffix per fault, "/k<N>" when checkpointing is on, and
+  /// "/p<name>" for a non-default partitioner (omitted for hash so
+  /// pre-existing journals and baselines keep their keys).
   /// Two cells with equal keys would produce identical journal records,
   /// so expand() rejects duplicate keys.
   std::string key() const;
@@ -44,15 +48,17 @@ struct CellSpec {
 };
 
 /// Axes of a campaign. expand() is the cross product in row-major order:
-/// dataset (outermost) → algorithm → workers → cores → platform
-/// (innermost). Dataset outermost groups cells that share a graph, which
-/// is what lets a small runner window still hit the shared cache.
+/// dataset (outermost) → algorithm → workers → cores → partitioner →
+/// platform (innermost). Dataset outermost groups cells that share a
+/// graph, which is what lets a small runner window still hit the shared
+/// cache.
 struct GridSpec {
   std::vector<std::string> platforms;
   std::vector<datasets::DatasetId> datasets;
   std::vector<platforms::Algorithm> algorithms;
   std::vector<std::uint32_t> workers = {20};
   std::vector<std::uint32_t> cores = {1};
+  std::vector<partition::Strategy> partitioners = {partition::Strategy::kHash};
   double scale = 0.0;
   std::uint64_t seed = 42;
   std::vector<std::string> faults;  // applied to every cell

@@ -36,6 +36,7 @@ harness::CellResult run_once(const CellSpec& spec,
   config.num_workers = spec.workers;
   config.cores_per_worker = spec.cores;
   config.parallelism = cell_parallelism;
+  config.partitioner = spec.partitioner;
   sim::FaultPlan faults;
   for (const auto& fault_spec : spec.faults) faults.add_spec(fault_spec);
   config.faults = faults;

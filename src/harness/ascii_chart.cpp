@@ -48,12 +48,19 @@ std::vector<double> downsample(std::span<const double> values,
                                std::size_t columns) {
   std::vector<double> result;
   if (values.empty() || columns == 0) return result;
-  columns = std::min(columns, values.size());
   result.reserve(columns);
   for (std::size_t c = 0; c < columns; ++c) {
     const std::size_t begin = c * values.size() / columns;
-    const std::size_t end =
-        std::max(begin + 1, (c + 1) * values.size() / columns);
+    const std::size_t end = (c + 1) * values.size() / columns;
+    if (begin == end) {
+      // More columns than samples: this bucket received no sample.
+      // values[begin] is the sample whose span covers this column, so
+      // pushing it holds the series at its current level (step
+      // interpolation) rather than averaging zero samples or collapsing
+      // the chart to values.size() columns.
+      result.push_back(values[begin]);
+      continue;
+    }
     double sum = 0;
     for (std::size_t i = begin; i < end; ++i) sum += values[i];
     result.push_back(sum / static_cast<double>(end - begin));

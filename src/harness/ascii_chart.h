@@ -22,8 +22,13 @@ struct ChartOptions {
 std::string ascii_chart(std::span<const double> values,
                         const ChartOptions& options = {});
 
-/// Downsample a series to `columns` points by bucket-averaging (so a
-/// 100-point normalized trace fits a terminal row).
+/// Resample a series to exactly `columns` points by bucket-averaging (so
+/// a 100-point normalized trace fits a terminal row). When the series is
+/// shorter than `columns`, buckets that receive no sample hold the value
+/// of the sample whose span covers them (step interpolation), stretching
+/// the series across the full chart width instead of squeezing it into
+/// the first few columns. Empty input or zero columns yields an empty
+/// vector.
 std::vector<double> downsample(std::span<const double> values,
                                std::size_t columns);
 

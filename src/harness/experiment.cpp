@@ -62,6 +62,7 @@ Measurement run_cell(const platforms::Platform& platform,
   // injected before it died.
   m.faults = cluster.faults().stats();
   m.metrics = cluster.metrics().snapshot();
+  m.partition = cluster.partition_summary();
   m.host_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

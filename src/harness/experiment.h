@@ -8,6 +8,7 @@
 
 #include "datasets/catalog.h"
 #include "obs/metrics.h"
+#include "partition/strategy.h"
 #include "platforms/platform.h"
 #include "sim/cluster.h"
 
@@ -38,6 +39,10 @@ struct Measurement {
   /// `faults`, captured even when the run fails. All values derive from
   /// simulated quantities, so they are identical at every parallelism.
   obs::MetricsSnapshot metrics;
+  /// Quality of the partition the engine used (edge-cut, replication,
+  /// load imbalance). `partition.valid` is false when the run failed
+  /// before the engine fixed data placement.
+  partition::PartitionSummary partition;
   /// Host-side observability (not part of the simulated result): how many
   /// pool threads drove the engines and how long the run took on the
   /// wall. Deterministic replays must ignore host_wall_seconds.

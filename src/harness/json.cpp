@@ -180,6 +180,26 @@ std::string measurement_to_json(const std::string& platform,
   json.key("recovery_sec");
   json.value(measurement.faults.recovery_sec);
   json.end_object();
+  if (measurement.partition.valid) {
+    const auto& part = measurement.partition;
+    json.key("partition");
+    json.begin_object();
+    json.key("strategy");
+    json.value(partition::strategy_name(part.strategy));
+    json.key("parts");
+    json.value(static_cast<std::uint64_t>(part.parts));
+    json.key("edge_cut_fraction");
+    json.value(part.edge_cut_fraction);
+    json.key("replication_factor");
+    json.value(part.replication_factor);
+    json.key("imbalance");
+    json.value(part.imbalance);
+    json.key("max_load");
+    json.value(part.max_load);
+    json.key("mean_load");
+    json.value(part.mean_load);
+    json.end_object();
+  }
   json.key("metrics");
   json.begin_object();
   json.key("counters");

@@ -1,0 +1,309 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <numeric>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace gb::partition {
+namespace {
+
+// A vertex's share of a worker's bulk-synchronous step: itself plus every
+// adjacency entry it must scan (out + in for directed graphs; undirected
+// rows already hold all incident edges).
+double vertex_weight(const Graph& graph, VertexId v) {
+  double w = 1.0 + static_cast<double>(graph.out_degree(v));
+  if (graph.directed()) w += static_cast<double>(graph.in_degree(v));
+  return w;
+}
+
+// Lazy min-heap over (load, part): loads only grow, so stale entries are
+// popped on sight. Loads are integer-valued doubles — comparisons are
+// exact and the argmin (ties broken toward the lowest part id) is
+// deterministic.
+class LoadHeap {
+ public:
+  explicit LoadHeap(std::uint32_t parts) {
+    for (std::uint32_t p = 0; p < parts; ++p) heap_.emplace(0.0, p);
+  }
+
+  std::uint32_t least_loaded(const std::vector<double>& loads) {
+    // Lazy deletion: a stale entry (its part's load grew since the push,
+    // so update() has already pushed a fresher one) is discarded, never
+    // re-pushed — re-pushing would accumulate duplicates and turn the
+    // scan quadratic in the number of placements.
+    while (heap_.top().first != loads[heap_.top().second]) heap_.pop();
+    return heap_.top().second;
+  }
+
+  void update(std::uint32_t part, double load) { heap_.emplace(load, part); }
+
+ private:
+  using Entry = std::pair<double, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+};
+
+void fill_hash(std::vector<std::uint32_t>& owner, std::uint32_t parts,
+               ThreadPool* pool) {
+  run_chunks(pool, owner.size(), [&](std::size_t, std::size_t begin,
+                                     std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      owner[v] = static_cast<std::uint32_t>(v % parts);
+    }
+  });
+}
+
+void fill_range(std::vector<std::uint32_t>& owner, std::uint32_t parts,
+                ThreadPool* pool) {
+  const std::uint64_t n = owner.size();
+  run_chunks(pool, owner.size(), [&](std::size_t, std::size_t begin,
+                                     std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      owner[v] = static_cast<std::uint32_t>(v * parts / n);
+    }
+  });
+}
+
+// Greedy LPT: vertices in descending weight order each go to the
+// currently least-loaded part. Inherently sequential (each placement
+// depends on every earlier one), so it runs serially; the sort key
+// (weight desc, id asc) is a strict total order, making the placement a
+// pure function of the graph.
+void fill_degree_balanced(const Graph& graph,
+                          std::vector<std::uint32_t>& owner,
+                          std::vector<double>& loads) {
+  const std::uint32_t parts = static_cast<std::uint32_t>(loads.size());
+  std::vector<VertexId> order(owner.size());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::vector<double> weight(owner.size());
+  for (VertexId v = 0; v < owner.size(); ++v) {
+    weight[v] = vertex_weight(graph, v);
+  }
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (weight[a] != weight[b]) return weight[a] > weight[b];
+    return a < b;
+  });
+  LoadHeap heap(parts);
+  for (const VertexId v : order) {
+    const std::uint32_t part = heap.least_loaded(loads);
+    owner[v] = part;
+    loads[part] += weight[v];
+    heap.update(part, loads[part]);
+  }
+}
+
+// PowerGraph-style greedy vertex-cut: edges are placed one at a time in
+// adjacency order (each undirected pair once, v < u). The replica set of
+// each endpoint is a per-vertex part bitmask; placement prefers a part
+// both endpoints already occupy, then one either occupies, then the
+// globally least-loaded part — always breaking load ties toward the
+// lowest part id. Sequential by construction, hence serial.
+struct VertexCutResult {
+  std::vector<std::uint32_t> mirrors;
+  double placed_edges = 0.0;
+};
+
+VertexCutResult fill_vertex_cut(const Graph& graph,
+                                std::vector<std::uint32_t>& owner,
+                                std::vector<double>& loads) {
+  const std::uint32_t parts = static_cast<std::uint32_t>(loads.size());
+  const VertexId n = graph.num_vertices();
+  const std::size_t words = (static_cast<std::size_t>(parts) + 63) / 64;
+  std::vector<std::uint64_t> mask(static_cast<std::size_t>(n) * words, 0);
+  const auto mask_of = [&](VertexId v) { return mask.data() + v * words; };
+  const auto set_bit = [&](VertexId v, std::uint32_t p) {
+    mask_of(v)[p / 64] |= std::uint64_t{1} << (p % 64);
+  };
+  // Least-loaded part among the set bits of `bits` (words-long); returns
+  // parts when the mask is empty.
+  const auto best_in = [&](const std::uint64_t* bits) {
+    std::uint32_t best = parts;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t word = bits[w];
+      while (word != 0) {
+        const std::uint32_t p = static_cast<std::uint32_t>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(word)));
+        word &= word - 1;
+        if (best == parts || loads[p] < loads[best]) best = p;
+      }
+    }
+    return best;
+  };
+
+  LoadHeap heap(parts);
+  VertexCutResult result;
+  std::vector<std::uint64_t> both(words);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : graph.out_neighbors(v)) {
+      if (!graph.directed() && u < v) continue;  // each pair once
+      for (std::size_t w = 0; w < words; ++w) {
+        both[w] = mask_of(v)[w] & mask_of(u)[w];
+      }
+      std::uint32_t part = best_in(both.data());
+      if (part == parts) {
+        for (std::size_t w = 0; w < words; ++w) {
+          both[w] = mask_of(v)[w] | mask_of(u)[w];
+        }
+        part = best_in(both.data());
+        if (part != parts) {
+          // Balance guard: without it a hub's part absorbs every edge the
+          // hub touches (a star graph collapses onto one worker with no
+          // replication at all). When the candidate is more than one
+          // average part-load heavier than the lightest part, spend an
+          // extra replica to rebalance.
+          const std::uint32_t lightest = heap.least_loaded(loads);
+          if (loads[part] > loads[lightest] + 1.0 +
+                                result.placed_edges /
+                                    static_cast<double>(parts)) {
+            part = lightest;
+          }
+        }
+      }
+      if (part == parts) part = heap.least_loaded(loads);
+      set_bit(v, part);
+      set_bit(u, part);
+      loads[part] += 1.0;
+      heap.update(part, loads[part]);
+      result.placed_edges += 1.0;
+    }
+  }
+
+  result.mirrors.assign(n, 1);
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint32_t replicas = 0;
+    std::uint32_t master = parts;
+    for (std::size_t w = 0; w < words; ++w) {
+      replicas += static_cast<std::uint32_t>(std::popcount(mask_of(v)[w]));
+      if (master == parts && mask_of(v)[w] != 0) {
+        master = static_cast<std::uint32_t>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(mask_of(v)[w])));
+      }
+    }
+    // Isolated vertices have no replicas yet; give them a single one at
+    // their hash slot so owner_of stays total.
+    owner[v] = master != parts ? master : static_cast<std::uint32_t>(v % parts);
+    result.mirrors[v] = std::max(replicas, 1u);
+  }
+  return result;
+}
+
+// Sum of vertex_weight over owned vertices, per part. Chunked with
+// per-chunk partial vectors merged in ascending chunk order; falls back
+// to one serial pass when the per-chunk partials would be large.
+void accumulate_vertex_loads(const Graph& graph,
+                             const std::vector<std::uint32_t>& owner,
+                             std::vector<double>& loads, ThreadPool* pool) {
+  const std::size_t parts = loads.size();
+  const std::size_t chunks = ThreadPool::plan_chunks(owner.size());
+  if (parts > 4096 || chunks <= 1) {
+    for (VertexId v = 0; v < owner.size(); ++v) {
+      loads[owner[v]] += vertex_weight(graph, v);
+    }
+    return;
+  }
+  std::vector<std::vector<double>> partial(chunks,
+                                           std::vector<double>(parts, 0.0));
+  run_chunks(pool, owner.size(),
+             [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+               auto& local = partial[chunk];
+               for (std::size_t v = begin; v < end; ++v) {
+                 local[owner[v]] +=
+                     vertex_weight(graph, static_cast<VertexId>(v));
+               }
+             });
+  for (const auto& local : partial) {
+    for (std::size_t p = 0; p < parts; ++p) loads[p] += local[p];
+  }
+}
+
+// Adjacency entries whose endpoints live on different parts. Integer
+// per-chunk counts merged in chunk order: exact and order-independent.
+double count_cut_entries(const Graph& graph,
+                         const std::vector<std::uint32_t>& owner,
+                         ThreadPool* pool) {
+  const std::size_t chunks = ThreadPool::plan_chunks(owner.size());
+  std::vector<std::uint64_t> cut(std::max<std::size_t>(chunks, 1), 0);
+  run_chunks(pool, owner.size(),
+             [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+               std::uint64_t local = 0;
+               for (std::size_t v = begin; v < end; ++v) {
+                 for (const VertexId u :
+                      graph.out_neighbors(static_cast<VertexId>(v))) {
+                   local += owner[v] != owner[u];
+                 }
+               }
+               cut[chunk] = local;
+             });
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : cut) total += c;
+  return static_cast<double>(total);
+}
+
+}  // namespace
+
+PartitionSummary PartitionAssignment::summary() const {
+  PartitionSummary s;
+  s.valid = true;
+  s.strategy = strategy;
+  s.parts = num_parts;
+  s.edge_cut_fraction = quality.edge_cut_fraction;
+  s.replication_factor = quality.replication_factor;
+  s.imbalance = quality.imbalance;
+  s.max_load = quality.max_load;
+  s.mean_load = quality.mean_load;
+  return s;
+}
+
+PartitionAssignment compute_partition(const Graph& graph, Strategy strategy,
+                                      std::uint32_t num_parts,
+                                      ThreadPool* pool) {
+  PartitionAssignment a;
+  a.strategy = strategy;
+  a.num_parts = std::max<std::uint32_t>(num_parts, 1);
+  const VertexId n = graph.num_vertices();
+  a.owner.assign(n, 0);
+  a.mirrors.assign(n, 1);
+  a.loads.assign(a.num_parts, 0.0);
+  if (n == 0) return a;
+
+  double total_mirrors = static_cast<double>(n);
+  switch (strategy) {
+    case Strategy::kHash:
+      fill_hash(a.owner, a.num_parts, pool);
+      accumulate_vertex_loads(graph, a.owner, a.loads, pool);
+      break;
+    case Strategy::kRange:
+      fill_range(a.owner, a.num_parts, pool);
+      accumulate_vertex_loads(graph, a.owner, a.loads, pool);
+      break;
+    case Strategy::kDegreeBalanced:
+      fill_degree_balanced(graph, a.owner, a.loads);
+      break;
+    case Strategy::kVertexCut: {
+      auto cut = fill_vertex_cut(graph, a.owner, a.loads);
+      a.mirrors = std::move(cut.mirrors);
+      total_mirrors = 0.0;
+      for (const std::uint32_t m : a.mirrors) {
+        total_mirrors += static_cast<double>(m);
+      }
+      break;
+    }
+  }
+
+  auto& q = a.quality;
+  const double entries = static_cast<double>(graph.num_adjacency_entries());
+  q.edge_cut_fraction =
+      entries > 0 ? count_cut_entries(graph, a.owner, pool) / entries : 0.0;
+  q.replication_factor = total_mirrors / static_cast<double>(n);
+  q.max_load = *std::max_element(a.loads.begin(), a.loads.end());
+  double total_load = 0.0;
+  for (const double load : a.loads) total_load += load;
+  q.mean_load = total_load / static_cast<double>(a.num_parts);
+  q.imbalance = q.mean_load > 0 ? q.max_load / q.mean_load : 1.0;
+  return a;
+}
+
+}  // namespace gb::partition

@@ -1,0 +1,70 @@
+// Pluggable graph partitioning: one shared implementation that every
+// engine consumes (DESIGN.md §11).
+//
+// compute_partition is a pure function of (graph, strategy, num_parts):
+// the hash/range strategies and all quality metrics run chunked on the
+// host thread pool with per-chunk accumulators merged in ascending chunk
+// order, while the two greedy strategies are inherently sequential
+// heuristics and run serially — either way the result is bit-identical
+// at any --parallelism, which the campaign/journal layer depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/thread_pool.h"
+#include "partition/strategy.h"
+
+namespace gb::partition {
+
+/// Quality of an assignment, computed once from the placement.
+struct PartitionQuality {
+  /// Fraction of stored adjacency entries (v, u) with
+  /// owner[v] != owner[u]; in [0, 1]. For the vertex-cut strategy this is
+  /// still measured on the master placement, giving engines that route
+  /// traffic by vertex owner (shuffles, message delivery) a consistent
+  /// cross-worker fraction.
+  double edge_cut_fraction = 0.0;
+  /// Mean mirrors per vertex: exactly 1 for vertex partitioners, >= 1
+  /// for the vertex-cut.
+  double replication_factor = 1.0;
+  double max_load = 0.0;
+  double mean_load = 0.0;
+  /// max_load / mean_load (1.0 when the graph is empty). The
+  /// bulk-synchronous skew factor: a barrier waits for the most loaded
+  /// worker, so engines multiply per-slot compute time by this.
+  double imbalance = 1.0;
+};
+
+/// A concrete placement of one graph over `num_parts` workers.
+struct PartitionAssignment {
+  Strategy strategy = Strategy::kHash;
+  std::uint32_t num_parts = 1;
+  /// Owning part per vertex (the master replica for the vertex-cut).
+  /// Empty iff the graph has no vertices.
+  std::vector<std::uint32_t> owner;
+  /// Replica count per vertex (all 1 except under kVertexCut).
+  std::vector<std::uint32_t> mirrors;
+  /// Load per part. Vertex strategies: sum over owned vertices of
+  /// 1 + adjacency entries (out + in for directed graphs). Vertex-cut:
+  /// edges placed on the part. Integer-valued, so sums are exact in
+  /// double and independent of accumulation order.
+  std::vector<double> loads;
+  PartitionQuality quality;
+
+  std::uint32_t owner_of(VertexId v) const {
+    return v < owner.size() ? owner[v] : 0;
+  }
+
+  /// The summary stored on the cluster and surfaced in reports.
+  PartitionSummary summary() const;
+};
+
+/// Partition `graph` into `num_parts` parts (clamped to >= 1) with the
+/// given strategy. `pool` drives the chunked passes; nullptr = serial.
+PartitionAssignment compute_partition(const Graph& graph, Strategy strategy,
+                                      std::uint32_t num_parts,
+                                      ThreadPool* pool);
+
+}  // namespace gb::partition

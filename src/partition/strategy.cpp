@@ -1,0 +1,26 @@
+#include "partition/strategy.h"
+
+namespace gb::partition {
+
+const char* strategy_name(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kHash:
+      return "hash";
+    case Strategy::kRange:
+      return "range";
+    case Strategy::kDegreeBalanced:
+      return "degree";
+    case Strategy::kVertexCut:
+      return "vertexcut";
+  }
+  return "hash";
+}
+
+std::optional<Strategy> parse_strategy(const std::string& name) {
+  for (const Strategy strategy : kAllStrategies) {
+    if (name == strategy_name(strategy)) return strategy;
+  }
+  return std::nullopt;
+}
+
+}  // namespace gb::partition

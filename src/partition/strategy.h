@@ -1,0 +1,71 @@
+// Partitioning strategies and the report-facing quality summary.
+//
+// This header is deliberately tiny: sim::ClusterConfig and the campaign
+// CellSpec embed a Strategy, and harness::Measurement embeds a
+// PartitionSummary, so it must pull in nothing beyond <cstdint>/<string>.
+// The heavyweight machinery (the assignment itself) lives in partition.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gb::partition {
+
+/// How vertices (or, for kVertexCut, edges) are distributed over workers.
+/// All four strategies are pure functions of (graph, num_parts): no RNG,
+/// no host-thread dependence, bit-identical at any --parallelism.
+enum class Strategy : std::uint8_t {
+  /// owner(v) = v mod W. The engines' historical hardwired scheme and
+  /// the default; oblivious to both structure and skew.
+  kHash,
+  /// Contiguous vertex ranges of ~equal cardinality. Matches on-disk
+  /// order, so locality-friendly loaders use it; degree skew lands
+  /// wherever the hubs happen to sit.
+  kRange,
+  /// Greedy LPT over vertices sorted by descending degree: each vertex
+  /// goes to the currently least-loaded part, weighting a vertex by
+  /// 1 + its adjacency entries. Balances per-worker load on skewed
+  /// graphs at hash-like edge-cut cost.
+  kDegreeBalanced,
+  /// PowerGraph-style greedy vertex-cut: edges are placed one at a time
+  /// on the part that minimises new replicas, then load. Vertices
+  /// spanning several parts get mirrors (replication factor > 1).
+  kVertexCut,
+};
+
+/// Canonical lowercase name, stable across releases: used in CLI flags,
+/// campaign cell keys, JSON reports and trace span names.
+const char* strategy_name(Strategy strategy);
+
+/// Inverse of strategy_name; nullopt for unknown names.
+std::optional<Strategy> parse_strategy(const std::string& name);
+
+/// All strategies in declaration order (for --partitioners axes, usage
+/// text and exhaustive tests).
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::kHash, Strategy::kRange, Strategy::kDegreeBalanced,
+    Strategy::kVertexCut};
+
+/// Partition quality as it appears in reports. `valid` is false until an
+/// engine actually partitioned a graph (e.g. a run that crashed in
+/// setup never gets one).
+struct PartitionSummary {
+  bool valid = false;
+  Strategy strategy = Strategy::kHash;
+  std::uint32_t parts = 0;
+  /// Fraction of adjacency entries whose endpoints live on different
+  /// workers; in [0, 1]. Drives simulated network volume.
+  double edge_cut_fraction = 0.0;
+  /// Mean replicas per vertex; 1.0 exactly for the vertex partitioners,
+  /// >= 1 for the vertex-cut.
+  double replication_factor = 1.0;
+  /// max worker load / mean worker load, >= 1. Multiplies
+  /// bulk-synchronous compute time: the barrier waits for the most
+  /// loaded worker (DESIGN.md §11).
+  double imbalance = 1.0;
+  double max_load = 0.0;
+  double mean_load = 0.0;
+};
+
+}  // namespace gb::partition

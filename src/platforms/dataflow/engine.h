@@ -24,9 +24,11 @@
 
 #include "core/error.h"
 #include "core/graph.h"
+#include "partition/partition.h"
 #include "platforms/accounting.h"
 #include "platforms/dataflow/pact.h"
 #include "platforms/grouping.h"
+#include "platforms/partitioning.h"
 #include "sim/cluster.h"
 #include "storage/hdfs.h"
 
@@ -56,7 +58,9 @@ inline void charge_plan_iteration(const Graph& graph, const JobGraph& dag,
                                   const DataflowConfig& config,
                                   const storage::Hdfs& hdfs,
                                   double message_records, double extra_units,
-                                  const std::string& label) {
+                                  const std::string& label,
+                                  const partition::PartitionAssignment* part =
+                                      nullptr) {
   const auto& cost = cluster.cost();
   const std::uint32_t workers = cluster.num_workers();
   const std::uint32_t slots = cluster.total_slots();
@@ -88,6 +92,14 @@ inline void charge_plan_iteration(const Graph& graph, const JobGraph& dag,
   }
 
   // The message stream rides on the channels that re-partition data.
+  // Network channels route records to their key's owner, so the fraction
+  // leaving the producing TaskManager is the assignment's measured
+  // edge-cut (the historical (W-1)/W when no assignment is supplied).
+  const double cross =
+      workers > 1 ? (part != nullptr
+                         ? part->quality.edge_cut_fraction
+                         : static_cast<double>(workers - 1) / workers)
+                  : 0.0;
   double network_bytes = 0.0;
   double sort_records = 0.0;
   double file_bytes = 0.0;
@@ -96,10 +108,7 @@ inline void charge_plan_iteration(const Graph& graph, const JobGraph& dag,
     const double bytes = records * config.message_record_bytes;
     switch (ch.type) {
       case ChannelType::kNetwork:
-        network_bytes += bytes * (workers > 1
-                                      ? static_cast<double>(workers - 1) /
-                                            workers
-                                      : 0.0);
+        network_bytes += bytes * cross;
         break;
       case ChannelType::kFile:
         file_bytes += bytes;
@@ -115,7 +124,11 @@ inline void charge_plan_iteration(const Graph& graph, const JobGraph& dag,
       hdfs.parallel_read_time(static_cast<Bytes>(graph_bytes), workers);
   const double compute_units = vertex_records + adjacency + messages +
                                cluster.scale_units(extra_units);
-  const double compute_time = cluster.jvm_compute_time(compute_units) / slots;
+  // Skew-aware: a PACT stage completes when its most loaded TaskManager
+  // drains its channel inputs, so per-slot compute stretches by max/mean.
+  const double imbalance = part != nullptr ? part->quality.imbalance : 1.0;
+  const double compute_time =
+      cluster.jvm_compute_time(compute_units) * imbalance / slots;
   const double per_slot_sorted = std::max(sort_records / slots, 1.0);
   const double sort_time = cluster.jvm_compute_time(
       per_slot_sorted * std::log2(per_slot_sorted + 2.0));
@@ -191,6 +204,9 @@ DataflowStats run_iterative(const Graph& graph, Job& job,
   const storage::Hdfs hdfs(cluster.cost());
   const JobGraph dag = compile(plan);
   DataflowStats stats;
+  // Channel routing keys records by the configured assignment's owners.
+  const partition::PartitionAssignment assignment =
+      partition_graph(graph, cluster, recorder);
 
   std::vector<std::pair<VertexId, Msg>> outbox;
   GroupedMessages<Msg> grouped;
@@ -250,7 +266,7 @@ DataflowStats run_iterative(const Graph& graph, Job& job,
     detail::charge_plan_iteration(graph, dag, cluster, recorder, config, hdfs,
                                   static_cast<double>(outbox.size()),
                                   static_cast<double>(outbox.size()),
-                                  "iter_" + std::to_string(iter));
+                                  "iter_" + std::to_string(iter), &assignment);
     ++stats.iterations;
     if (changed == 0) break;
   }

@@ -24,7 +24,9 @@
 
 #include "core/error.h"
 #include "core/graph.h"
+#include "partition/partition.h"
 #include "platforms/accounting.h"
+#include "platforms/partitioning.h"
 #include "sim/cluster.h"
 
 namespace gb::platforms::gas {
@@ -173,14 +175,24 @@ GasStats run_sync(const Graph& graph, const Program& program,
   const std::uint32_t workers = cluster.num_workers();
   const VertexId n = graph.num_vertices();
 
-  // Partitioning. Vertex-cut (GraphLab's): edges hashed to workers, a
-  // vertex mirrored on every worker holding one of its edges — per-vertex
-  // sync traffic. Edge-cut: vertices hashed to workers — per-cut-edge
-  // message traffic. Both are counted exactly on the real graph.
+  // Partitioning. Under the default hash strategy the engine keeps its
+  // native scheme (GasConfig.partitioning): GraphLab's hashed vertex-cut
+  // — edges hashed to workers, a vertex mirrored on every worker holding
+  // one of its edges — or the classic hashed edge-cut. Any other cluster
+  // strategy comes from the shared subsystem: kVertexCut supplies real
+  // greedy mirror sets, the vertex partitioners run as edge-cuts with
+  // exactly counted cut edges per the assignment's owners.
+  const partition::PartitionAssignment assignment =
+      partition_graph(graph, cluster, recorder);
+  const double imbalance = assignment.quality.imbalance;
+  const partition::Strategy strategy = cluster.config().partitioner;
   std::vector<std::uint8_t> mirrors(n, 1);
   std::vector<float> cut_degree(n, 0.0f);
   double total_mirrors = static_cast<double>(n);
-  if (config.partitioning == Partitioning::kVertexCut) {
+  bool vertex_cut_mode = false;
+  if (strategy == partition::Strategy::kHash &&
+      config.partitioning == Partitioning::kVertexCut) {
+    vertex_cut_mode = true;
     std::vector<std::uint64_t> worker_mask(n, 0);
     for (VertexId v = 0; v < n; ++v) {
       for (const VertexId u : graph.out_neighbors(v)) {
@@ -198,11 +210,19 @@ GasStats run_sync(const Graph& graph, const Program& program,
       mirrors[v] = static_cast<std::uint8_t>(std::min(m, 255));
       total_mirrors += m;
     }
+  } else if (strategy == partition::Strategy::kVertexCut) {
+    vertex_cut_mode = true;
+    total_mirrors = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      const std::uint32_t m = assignment.mirrors[v];
+      mirrors[v] = static_cast<std::uint8_t>(std::min<std::uint32_t>(m, 255));
+      total_mirrors += static_cast<double>(m);
+    }
   } else {
     for (VertexId v = 0; v < n; ++v) {
       float cut = 0.0f;
       for (const VertexId u : graph.out_neighbors(v)) {
-        if (u % workers != v % workers) cut += 1.0f;
+        if (assignment.owner_of(u) != assignment.owner_of(v)) cut += 1.0f;
       }
       cut_degree[v] = cut;
     }
@@ -277,7 +297,7 @@ GasStats run_sync(const Graph& graph, const Program& program,
         }
         cs.extra += program.extra_units(v);
         const bool changed = program.apply(v, data[v], acc, iter);
-        if (config.partitioning == Partitioning::kVertexCut) {
+        if (vertex_cut_mode) {
           cs.sync_bytes +=
               (mirrors[v] - 1) *
               (config.vertex_data_bytes + config.mirror_header_bytes);
@@ -316,12 +336,14 @@ GasStats run_sync(const Graph& graph, const Program& program,
     const double compute_units =
         cluster.scale_units(static_cast<double>(active_count) + edge_work +
                             extra);
+    // Skew-aware: the synchronous barrier waits for the worker with the
+    // most assigned load, stretching per-slot compute by max/mean.
     const double compute_time =
-        cluster.native_compute_time(compute_units) / cluster.total_slots();
+        cluster.native_compute_time(compute_units) * imbalance /
+        cluster.total_slots();
     // Vertex-cut: mirror synchronization happens twice per step (gather
     // partials up, updated values down). Edge-cut messages flow once.
-    const double sync_factor =
-        config.partitioning == Partitioning::kVertexCut ? 2.0 : 1.0;
+    const double sync_factor = vertex_cut_mode ? 2.0 : 1.0;
     const double net_time = cost.network_time(
         static_cast<Bytes>(cluster.scale_bytes(sync_bytes * sync_factor)),
         workers);
@@ -380,6 +402,9 @@ GasStats run_async(const Graph& graph, const Program& program,
   const std::uint32_t workers = cluster.num_workers();
   const VertexId n = graph.num_vertices();
 
+  // Record placement quality for the report; async execution has no
+  // barriers, so the max-over-workers stretch does not apply here.
+  partition_graph(graph, cluster, recorder);
   const double partition_bytes = charge_startup_and_load(
       graph, static_cast<double>(n), cluster, recorder, config);
 

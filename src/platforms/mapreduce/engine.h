@@ -26,8 +26,10 @@
 
 #include "core/error.h"
 #include "core/graph.h"
+#include "partition/partition.h"
 #include "platforms/accounting.h"
 #include "platforms/grouping.h"
+#include "platforms/partitioning.h"
 #include "sim/cluster.h"
 #include "sim/event_queue.h"
 #include "storage/hdfs.h"
@@ -116,11 +118,25 @@ struct IterationVolume {
   double compute_units = 0;  // user map/reduce work beyond record handling
 };
 
+/// Relative load of `worker` under the assignment (1.0 = perfectly
+/// balanced). Reducer w serves partition w, so its task duration scales
+/// with the partition's share of the total load.
+inline double worker_share(const partition::PartitionAssignment* part,
+                           std::uint32_t worker) {
+  if (part == nullptr || part->quality.mean_load <= 0 ||
+      worker >= part->loads.size()) {
+    return 1.0;
+  }
+  return part->loads[worker] / part->quality.mean_load;
+}
+
 inline void charge_iteration(const Graph& graph, sim::Cluster& cluster,
                              PhaseRecorder& recorder, const MRConfig& config,
                              const storage::Hdfs& hdfs,
                              const IterationVolume& volume,
-                             const std::string& label) {
+                             const std::string& label,
+                             const partition::PartitionAssignment* part =
+                                 nullptr) {
   const auto& cost = cluster.cost();
   const std::uint32_t workers = cluster.num_workers();
   const std::uint32_t slots = cluster.total_slots();
@@ -196,10 +212,16 @@ inline void charge_iteration(const Graph& graph, sim::Cluster& cluster,
                  PhaseUsage{.master_cpu_cores = 0.05});
   recorder.phase(label + "/map", map_wave.makespan, true, map_usage);
 
-  // Shuffle: (W-1)/W of map output crosses the network; the serving side
-  // re-reads spills from disk.
+  // Shuffle: the serving side re-reads spills from disk. Stock Hadoop's
+  // map tasks read location-agnostic HDFS splits, so (W-1)/W of their
+  // output crosses the network whatever the reduce partitioner; HaLoop's
+  // loop-aware scheduler pins map tasks to the reducer holding the cached
+  // partition, so crossing traffic follows the assignment's edge-cut.
   const double cross =
-      workers > 1 ? static_cast<double>(workers - 1) / workers : 0.0;
+      workers > 1 ? (config.haloop && part != nullptr
+                         ? part->quality.edge_cut_fraction
+                         : static_cast<double>(workers - 1) / workers)
+                  : 0.0;
   const double shuffle_time =
       cost.network_time(static_cast<Bytes>(map_out_bytes * cross), workers) +
       map_out_bytes / (cost.disk_read_bps * workers);
@@ -238,8 +260,20 @@ inline void charge_iteration(const Graph& graph, sim::Cluster& cluster,
   const double write_time = hdfs.parallel_write_time(
       static_cast<Bytes>(write_bytes), workers) / cores +
       disk_contention_seeks;
-  std::vector<SimTime> reduce_tasks(
-      slots, merge_cpu + extra_merge_io / cores + reduce_cpu + write_time);
+  // Skew-aware reduce wave: reducer w serves exactly partition w, so its
+  // merge, reduce and write work scale with that partition's load share.
+  // schedule_tasks then makes the wave as long as the slowest reducer —
+  // the max-over-workers rule of DESIGN.md §11.
+  const double reduce_base =
+      merge_cpu + extra_merge_io / cores + reduce_cpu + write_time;
+  std::vector<SimTime> reduce_tasks;
+  reduce_tasks.reserve(slots);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    const double share = worker_share(part, w);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+      reduce_tasks.push_back(reduce_base * share);
+    }
+  }
   const auto reduce_wave =
       sim::schedule_tasks(reduce_tasks, slots, cost.jvm_startup_sec);
 
@@ -330,6 +364,10 @@ MRStats run_iterative(const Graph& graph, Job& job,
   const VertexId n = graph.num_vertices();
   const storage::Hdfs hdfs(cluster.cost());
   MRStats stats;
+  // Shuffle keying: reducer w serves partition w of the configured
+  // assignment; its quality drives shuffle crossing and reduce-wave skew.
+  const partition::PartitionAssignment assignment =
+      partition_graph(graph, cluster, recorder);
 
   std::vector<std::pair<VertexId, Msg>> outbox;
   GroupedMessages<Msg> grouped;
@@ -410,7 +448,8 @@ MRStats run_iterative(const Graph& graph, Job& job,
       detail::charge_iteration(graph, cluster, recorder, config, hdfs, volume,
                                config.jobs_per_iteration > 1
                                    ? label + "_job" + std::to_string(j)
-                                   : label);
+                                   : label,
+                               &assignment);
     }
     // HaLoop evaluates the fixpoint inside the job; stock Hadoop needs
     // the extra convergence-check job (Section 3.1).

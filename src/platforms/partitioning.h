@@ -1,0 +1,69 @@
+// Shared engine entry point into the partitioning subsystem.
+//
+// Every engine calls partition_graph once per run, right where its real
+// counterpart fixes data placement (Giraph ingress, GraphLab finalize,
+// the first MapReduce job's shuffle keying, Stratosphere channel
+// routing). The hook computes the cluster's configured assignment on the
+// host pool, publishes the partition.* gauges plus the report summary,
+// and charges the preprocessing pass: the greedy strategies do real work
+// during ingress, while hash/range fall out of the load path for free
+// and only leave a zero-length marker span on the timeline.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "core/graph.h"
+#include "partition/partition.h"
+#include "platforms/accounting.h"
+#include "sim/cluster.h"
+
+namespace gb::platforms {
+
+inline partition::PartitionAssignment partition_graph(const Graph& graph,
+                                                      sim::Cluster& cluster,
+                                                      PhaseRecorder& recorder) {
+  const partition::Strategy strategy = cluster.config().partitioner;
+  partition::PartitionAssignment assignment = partition::compute_partition(
+      graph, strategy, cluster.num_workers(), &cluster.pool());
+  const partition::PartitionQuality& q = assignment.quality;
+
+  // Preprocessing cost, in simulated time. Degree-balanced sorts the
+  // vertex list by degree; the vertex-cut places every edge once. Both
+  // run during parallel ingress, so the pass divides across the slots.
+  double duration = 0.0;
+  if (strategy == partition::Strategy::kDegreeBalanced) {
+    const double n = static_cast<double>(graph.num_vertices());
+    duration = cluster.native_compute_time(
+                   cluster.scale_units(n * std::log2(n + 2.0))) /
+               cluster.total_slots();
+  } else if (strategy == partition::Strategy::kVertexCut) {
+    duration = cluster.native_compute_time(cluster.scale_units(
+                   static_cast<double>(graph.num_adjacency_entries()))) /
+               cluster.total_slots();
+  }
+
+  const std::string span_name =
+      std::string("partition/") + partition::strategy_name(strategy);
+  if (duration > 0) {
+    PhaseUsage usage;
+    usage.worker_cpu_cores = cluster.cores_per_worker();
+    recorder.phase(span_name, duration, false, usage, "partition");
+  } else {
+    // PhaseRecorder drops zero-duration phases; record the marker span
+    // directly so the timeline still shows where placement was fixed.
+    cluster.trace().add_span(span_name, "partition", recorder.now(),
+                             recorder.now(), false, cluster.num_workers());
+  }
+
+  obs::MetricsRegistry& metrics = cluster.metrics();
+  metrics.set_gauge("partition.parts",
+                    static_cast<double>(assignment.num_parts));
+  metrics.set_gauge("partition.edge_cut_fraction", q.edge_cut_fraction);
+  metrics.set_gauge("partition.replication_factor", q.replication_factor);
+  metrics.set_gauge("partition.imbalance", q.imbalance);
+  cluster.set_partition_summary(assignment.summary());
+  return assignment;
+}
+
+}  // namespace gb::platforms

@@ -22,7 +22,9 @@
 
 #include "core/error.h"
 #include "core/graph.h"
+#include "partition/partition.h"
 #include "platforms/accounting.h"
+#include "platforms/partitioning.h"
 #include "sim/cluster.h"
 
 namespace gb::platforms::pregel {
@@ -269,10 +271,16 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
   const auto& cost = cluster.cost();
   const std::uint32_t workers = cluster.num_workers();
   const VertexId n = graph.num_vertices();
-  const auto owner = [workers](VertexId v) { return v % workers; };
 
   const double partition_bytes =
       charge_setup_and_load(graph, cluster, recorder, config);
+  // Vertex ownership and the cross-worker traffic fraction come from the
+  // pluggable assignment; the barrier waits for the most loaded worker,
+  // so per-slot compute stretches by the assignment's imbalance.
+  const partition::PartitionAssignment assignment =
+      partition_graph(graph, cluster, recorder);
+  const auto owner = [&assignment](VertexId v) { return assignment.owner_of(v); };
+  const double imbalance = assignment.quality.imbalance;
 
   // ---- superstep loop ----------------------------------------------------
   std::vector<V> values(n, initial_value);
@@ -418,12 +426,11 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
       (void)msg;
       inbox_bytes[owner(dst)] += envelope;
     }
-    // Cross-worker fraction: with hash partitioning (W-1)/W of messages
-    // cross the network. Exact per-pair counting is not needed for time.
+    // Cross-worker fraction: messages travel along edges, so the measured
+    // edge-cut of the assignment is the fraction that crosses the wire
+    // (for hash partitioning this lands near the old (W-1)/W estimate).
     const double cross_fraction =
-        workers > 1 ? static_cast<double>(workers - 1) /
-                          static_cast<double>(workers)
-                    : 0.0;
+        workers > 1 ? assignment.quality.edge_cut_fraction : 0.0;
     double cross_bytes =
         std::max(0.0, static_cast<double>(outbox.size()) - lalp_saved) *
         payload * cross_fraction;
@@ -479,8 +486,11 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
     const double compute_units =
         cluster.scale_units(static_cast<double>(active) + message_units +
                             extra_units);
+    // Skew-aware: a superstep ends when the most loaded worker finishes,
+    // so the balanced per-slot time stretches by max/mean load.
     const double compute_time =
-        cluster.jvm_compute_time(compute_units) / cluster.total_slots();
+        cluster.jvm_compute_time(compute_units) * imbalance /
+        cluster.total_slots();
     const double net_time =
         cost.network_time(static_cast<Bytes>(cluster.scale_bytes(cross_bytes)),
                           workers);

@@ -21,6 +21,7 @@
 #include "core/types.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "partition/strategy.h"
 #include "sim/cost_model.h"
 #include "sim/faults.h"
 #include "sim/monitor.h"
@@ -39,6 +40,9 @@ struct ClusterConfig {
   /// Faults to inject at simulated times (empty = none). Keyed to
   /// simulated time, so the schedule is bit-identical at any parallelism.
   FaultPlan faults;
+  /// How engines distribute the graph over the workers (DESIGN.md §11).
+  /// kHash reproduces the historical hardwired v % W placement.
+  partition::Strategy partitioner = partition::Strategy::kHash;
 };
 
 class Cluster {
@@ -128,6 +132,16 @@ class Cluster {
   void add_baselines(SimTime total_time, Bytes master_extra_mem,
                      Bytes worker_extra_mem);
 
+  /// Quality summary of the partition the engine actually used, recorded
+  /// by platforms::partition_graph; `.valid` stays false when the run
+  /// never reached the partitioning step.
+  const partition::PartitionSummary& partition_summary() const {
+    return partition_summary_;
+  }
+  void set_partition_summary(const partition::PartitionSummary& summary) {
+    partition_summary_ = summary;
+  }
+
  private:
   ClusterConfig config_;
   FaultInjector faults_;
@@ -135,6 +149,7 @@ class Cluster {
   obs::MetricsRegistry metrics_;
   UsageTrace master_trace_;
   std::vector<UsageTrace> worker_traces_;
+  partition::PartitionSummary partition_summary_;
   // Lazily created when parallelism names an explicit size (> 1); the
   // 0 / 1 settings use the shared global() / serial() pools instead.
   mutable std::unique_ptr<ThreadPool> own_pool_;

@@ -1,6 +1,8 @@
 #include "sim/faults.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "core/error.h"
@@ -29,6 +31,10 @@ std::vector<std::string> split(const std::string& spec, char sep) {
   std::istringstream in(spec);
   std::string part;
   while (std::getline(in, part, sep)) parts.push_back(part);
+  // getline drops a trailing empty field — "worker:10:" would otherwise
+  // parse as a complete two-field spec. Keep the empty field so it fails
+  // validation like any other malformed field.
+  if (!spec.empty() && spec.back() == sep) parts.emplace_back();
   return parts;
 }
 
@@ -36,12 +42,34 @@ double parse_number(const std::string& text, const std::string& spec) {
   try {
     std::size_t used = 0;
     const double v = std::stod(text, &used);
-    if (used != text.size()) throw Error("");
+    // Reject partial parses ("1.5x"), and the non-finite spellings stod
+    // accepts without throwing ("inf", "nan"): no fault time, slowdown
+    // or duration is meaningfully infinite. Out-of-range literals like
+    // "1e999" make stod throw and land here too.
+    if (used != text.size() || !std::isfinite(v)) throw Error("");
     return v;
   } catch (...) {
     throw Error("malformed fault spec '" + spec + "': bad number '" + text +
                 "'");
   }
+}
+
+// Worker indices are digit strings, not doubles: routing them through
+// parse_number and casting would silently truncate "2.5" to worker 2 and
+// wrap "-1" into a huge index that matches no worker.
+std::uint32_t parse_worker(const std::string& text, const std::string& spec) {
+  const auto fail = [&]() {
+    throw Error("malformed fault spec '" + spec + "': bad worker index '" +
+                text + "'");
+  };
+  if (text.empty()) fail();
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') fail();
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > std::numeric_limits<std::uint32_t>::max()) fail();
+  }
+  return static_cast<std::uint32_t>(value);
 }
 
 }  // namespace
@@ -60,7 +88,7 @@ void FaultPlan::add_spec(const std::string& spec) {
     }
     event.time = parse_number(parts[1], spec);
     if (parts.size() == 3) {
-      event.worker = static_cast<std::uint32_t>(parse_number(parts[2], spec));
+      event.worker = parse_worker(parts[2], spec);
     }
   } else if (kind == "straggler") {
     event.kind = FaultKind::kStraggler;
@@ -75,7 +103,7 @@ void FaultPlan::add_spec(const std::string& spec) {
       throw Error("straggler slowdown must be >= 1 in '" + spec + "'");
     }
     if (parts.size() == 5) {
-      event.worker = static_cast<std::uint32_t>(parse_number(parts[4], spec));
+      event.worker = parse_worker(parts[4], spec);
     }
   } else {
     throw Error("unknown fault kind '" + kind + "' in '" + spec +

@@ -56,9 +56,34 @@ TEST(Downsample, AveragesBuckets) {
   EXPECT_DOUBLE_EQ(down[1], 3.0);
 }
 
-TEST(Downsample, NoUpsampling) {
+TEST(Downsample, StretchesShortSeriesToRequestedWidth) {
   const std::vector<double> values{1, 2};
-  EXPECT_EQ(downsample(values, 10).size(), 2u);
+  const auto down = downsample(values, 10);
+  ASSERT_EQ(down.size(), 10u);
+  // The two samples split the width in half; empty buckets hold the
+  // previous level, so the result is a step function, not zeros.
+  for (std::size_t c = 0; c < 5; ++c) EXPECT_DOUBLE_EQ(down[c], 1.0);
+  for (std::size_t c = 5; c < 10; ++c) EXPECT_DOUBLE_EQ(down[c], 2.0);
+}
+
+TEST(Downsample, ThreeSamplesEightyColumns) {
+  // Regression: a 3-sample trace rendered at terminal width used to
+  // collapse to 3 columns; it must now fill all 80, carrying each
+  // sample's value until the next sample's bucket begins.
+  const std::vector<double> values{4.0, 8.0, 2.0};
+  const auto down = downsample(values, 80);
+  ASSERT_EQ(down.size(), 80u);
+  EXPECT_DOUBLE_EQ(down.front(), 4.0);
+  EXPECT_DOUBLE_EQ(down.back(), 2.0);
+  // Only the three input levels may appear, in order.
+  double previous = down.front();
+  std::size_t transitions = 0;
+  for (const double v : down) {
+    EXPECT_TRUE(v == 4.0 || v == 8.0 || v == 2.0);
+    if (v != previous) ++transitions;
+    previous = v;
+  }
+  EXPECT_EQ(transitions, 2u);
 }
 
 TEST(Downsample, EmptyAndZero) {

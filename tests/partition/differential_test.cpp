@@ -1,0 +1,120 @@
+// Partitioning must never change answers, only placement and cost: every
+// engine, run under each of the four strategies, must produce outputs
+// bit-identical to its hash-partitioned run — and a cell run under any
+// strategy must be bit-identical at every host parallelism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "algorithms/platform_suite.h"
+#include "core/graph.h"
+#include "core/rng.h"
+#include "harness/cell_result.h"
+#include "harness/experiment.h"
+#include "partition/strategy.h"
+#include "../test_util.h"
+
+namespace gb::partition {
+namespace {
+
+using platforms::Algorithm;
+
+struct EngineCase {
+  const char* label;  // gtest-safe name (no parentheses)
+  std::unique_ptr<platforms::Platform> (*factory)();
+};
+
+std::unique_ptr<platforms::Platform> make_graphlab_stock() {
+  return algorithms::make_graphlab(false);
+}
+
+const EngineCase kEngines[] = {
+    {"Hadoop", &algorithms::make_hadoop},
+    {"Stratosphere", &algorithms::make_stratosphere},
+    {"Giraph", &algorithms::make_giraph},
+    {"GraphLab", &make_graphlab_stock},
+    {"Neo4j", &algorithms::make_neo4j},
+};
+
+Graph random_graph(std::uint64_t seed, bool directed) {
+  Xoshiro256 rng(seed);
+  const VertexId n = 40 + rng.next_below(41);
+  const std::size_t m = 2 * n + rng.next_below(3 * n);
+  GraphBuilder b(n, directed);
+  for (std::size_t i = 0; i < m; ++i) {
+    b.add_edge(rng.next_below(n), rng.next_below(n));
+  }
+  return b.build();
+}
+
+class PartitionDifferential : public ::testing::TestWithParam<EngineCase> {
+ protected:
+  harness::Measurement run(const datasets::Dataset& ds, Algorithm algorithm,
+                           Strategy strategy, std::uint32_t parallelism = 1) {
+    const auto platform = GetParam().factory();
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 4;
+    cfg.partitioner = strategy;
+    cfg.parallelism = parallelism;
+    return harness::run_cell(*platform, ds, algorithm,
+                             harness::default_params(ds), cfg);
+  }
+};
+
+TEST_P(PartitionDifferential, OutputIdenticalUnderEveryStrategy) {
+  for (const bool directed : {false, true}) {
+    const auto ds = test::as_dataset(random_graph(11, directed));
+    for (const Algorithm algorithm : {Algorithm::kBfs, Algorithm::kConn}) {
+      const auto baseline = run(ds, algorithm, Strategy::kHash);
+      ASSERT_TRUE(baseline.ok())
+          << GetParam().label << ": " << baseline.message;
+      const std::uint64_t expected =
+          harness::hash_output(baseline.result.output);
+      for (const Strategy strategy : kAllStrategies) {
+        if (strategy == Strategy::kHash) continue;
+        const auto m = run(ds, algorithm, strategy);
+        ASSERT_TRUE(m.ok()) << GetParam().label << " "
+                            << strategy_name(strategy) << ": " << m.message;
+        EXPECT_EQ(harness::hash_output(m.result.output), expected)
+            << GetParam().label << " " << strategy_name(strategy)
+            << (directed ? " directed" : " undirected");
+        EXPECT_TRUE(m.partition.valid) << GetParam().label;
+        EXPECT_EQ(m.partition.strategy, strategy) << GetParam().label;
+      }
+    }
+  }
+}
+
+TEST_P(PartitionDifferential, CellIsBitIdenticalAcrossHostParallelism) {
+  const auto ds = test::as_dataset(random_graph(23, true));
+  for (const Strategy strategy :
+       {Strategy::kDegreeBalanced, Strategy::kVertexCut}) {
+    const auto serial = run(ds, Algorithm::kBfs, strategy, 1);
+    const auto threaded = run(ds, Algorithm::kBfs, strategy, 4);
+    ASSERT_TRUE(serial.ok()) << GetParam().label << ": " << serial.message;
+    ASSERT_TRUE(threaded.ok()) << GetParam().label << ": "
+                               << threaded.message;
+    EXPECT_EQ(harness::hash_output(serial.result.output),
+              harness::hash_output(threaded.result.output))
+        << GetParam().label << " " << strategy_name(strategy);
+    // The simulated makespan and the partition summary are part of the
+    // determinism contract, not just the algorithm output.
+    EXPECT_EQ(serial.result.total_time, threaded.result.total_time)
+        << GetParam().label << " " << strategy_name(strategy);
+    EXPECT_EQ(serial.partition.edge_cut_fraction,
+              threaded.partition.edge_cut_fraction);
+    EXPECT_EQ(serial.partition.replication_factor,
+              threaded.partition.replication_factor);
+    EXPECT_EQ(serial.partition.imbalance, threaded.partition.imbalance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, PartitionDifferential,
+                         ::testing::ValuesIn(kEngines),
+                         [](const auto& info) {
+                           return std::string(info.param.label);
+                         });
+
+}  // namespace
+}  // namespace gb::partition

@@ -1,0 +1,242 @@
+// Partition subsystem contracts (DESIGN.md §11): every strategy is a
+// pure function of (graph, num_parts) — bit-identical at any host
+// parallelism — and its quality metrics obey the invariants the engines'
+// cost accounting relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "partition/partition.h"
+#include "partition/strategy.h"
+#include "../test_util.h"
+
+namespace gb::partition {
+namespace {
+
+// Irregular multigraph (duplicates/self-loops canonicalized away by the
+// builder) so the strategies see skewed degrees and isolated vertices.
+Graph random_graph(std::uint64_t seed, bool directed) {
+  Xoshiro256 rng(seed);
+  const VertexId n = 40 + rng.next_below(41);
+  const std::size_t m = 2 * n + rng.next_below(3 * n);
+  GraphBuilder b(n, directed);
+  for (std::size_t i = 0; i < m; ++i) {
+    b.add_edge(rng.next_below(n), rng.next_below(n));
+  }
+  return b.build();
+}
+
+// Hub-and-spoke: vertex 0 touches every other vertex. The most skewed
+// shape a partitioner can face.
+Graph star_graph(VertexId n) {
+  GraphBuilder b(n, false);
+  for (VertexId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+std::vector<Graph> fixture_graphs() {
+  std::vector<Graph> graphs;
+  graphs.push_back(test::barbell_graph());
+  graphs.push_back(star_graph(33));
+  graphs.push_back(random_graph(7, false));
+  graphs.push_back(random_graph(7, true));
+  graphs.push_back(random_graph(19, true));
+  return graphs;
+}
+
+void expect_identical(const PartitionAssignment& a,
+                      const PartitionAssignment& b, const std::string& what) {
+  EXPECT_EQ(a.owner, b.owner) << what;
+  EXPECT_EQ(a.mirrors, b.mirrors) << what;
+  EXPECT_EQ(a.loads, b.loads) << what;
+  EXPECT_EQ(a.quality.edge_cut_fraction, b.quality.edge_cut_fraction) << what;
+  EXPECT_EQ(a.quality.replication_factor, b.quality.replication_factor)
+      << what;
+  EXPECT_EQ(a.quality.max_load, b.quality.max_load) << what;
+  EXPECT_EQ(a.quality.mean_load, b.quality.mean_load) << what;
+  EXPECT_EQ(a.quality.imbalance, b.quality.imbalance) << what;
+}
+
+TEST(Partition, BitIdenticalAtEveryParallelism) {
+  for (const auto& graph : fixture_graphs()) {
+    for (const Strategy strategy : kAllStrategies) {
+      for (const std::uint32_t parts : {1u, 4u, 20u}) {
+        const auto reference =
+            compute_partition(graph, strategy, parts, nullptr);
+        for (const std::size_t threads : {1u, 2u, 5u}) {
+          ThreadPool pool(threads);
+          const auto parallel =
+              compute_partition(graph, strategy, parts, &pool);
+          expect_identical(reference, parallel,
+                           std::string(strategy_name(strategy)) + " parts=" +
+                               std::to_string(parts) + " threads=" +
+                               std::to_string(threads));
+        }
+      }
+    }
+  }
+}
+
+TEST(Partition, QualityInvariantsHoldForEveryStrategy) {
+  for (const auto& graph : fixture_graphs()) {
+    for (const Strategy strategy : kAllStrategies) {
+      for (const std::uint32_t parts : {1u, 3u, 16u}) {
+        const auto a = compute_partition(graph, strategy, parts, nullptr);
+        const std::string what = std::string(strategy_name(strategy)) +
+                                 " parts=" + std::to_string(parts);
+        ASSERT_EQ(a.owner.size(), graph.num_vertices()) << what;
+        ASSERT_EQ(a.mirrors.size(), graph.num_vertices()) << what;
+        ASSERT_EQ(a.loads.size(), parts) << what;
+        for (const std::uint32_t part : a.owner) {
+          ASSERT_LT(part, parts) << what;
+        }
+        for (const std::uint32_t replicas : a.mirrors) {
+          ASSERT_GE(replicas, 1u) << what;
+          if (strategy != Strategy::kVertexCut) ASSERT_EQ(replicas, 1u);
+        }
+        EXPECT_GE(a.quality.replication_factor, 1.0) << what;
+        if (strategy != Strategy::kVertexCut) {
+          EXPECT_EQ(a.quality.replication_factor, 1.0) << what;
+        }
+        EXPECT_GE(a.quality.edge_cut_fraction, 0.0) << what;
+        EXPECT_LE(a.quality.edge_cut_fraction, 1.0) << what;
+        EXPECT_GE(a.quality.imbalance, 1.0) << what;
+
+        // Loads account for exactly the partitioned work: vertex
+        // strategies distribute each vertex's 1 + adjacency-entry
+        // weight; the vertex-cut places each logical edge once. Loads
+        // are integer-valued, so the sums are exact.
+        double total_load = 0.0;
+        for (const double load : a.loads) {
+          EXPECT_GE(load, 0.0) << what;
+          total_load += load;
+        }
+        if (strategy == Strategy::kVertexCut) {
+          EXPECT_EQ(total_load, static_cast<double>(graph.num_edges()))
+              << what;
+        } else {
+          double expected = 0.0;
+          for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+            expected += 1.0 + static_cast<double>(graph.out_degree(v));
+            if (graph.directed()) {
+              expected += static_cast<double>(graph.in_degree(v));
+            }
+          }
+          EXPECT_EQ(total_load, expected) << what;
+        }
+        EXPECT_EQ(a.quality.max_load,
+                  *std::max_element(a.loads.begin(), a.loads.end()))
+            << what;
+        EXPECT_EQ(a.quality.mean_load,
+                  total_load / static_cast<double>(parts))
+            << what;
+        if (a.quality.mean_load > 0.0) {
+          EXPECT_EQ(a.quality.imbalance,
+                    a.quality.max_load / a.quality.mean_load)
+              << what;
+        }
+      }
+    }
+  }
+}
+
+TEST(Partition, HashMatchesModuloAndRangeIsContiguous) {
+  const auto graph = random_graph(3, false);
+  const std::uint32_t parts = 5;
+  const auto hash = compute_partition(graph, Strategy::kHash, parts, nullptr);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_EQ(hash.owner[v], v % parts);
+  }
+  const auto range =
+      compute_partition(graph, Strategy::kRange, parts, nullptr);
+  for (VertexId v = 1; v < graph.num_vertices(); ++v) {
+    EXPECT_LE(range.owner[v - 1], range.owner[v]);  // monotone in id
+  }
+  EXPECT_EQ(range.owner.front(), 0u);
+  EXPECT_EQ(range.owner.back(), parts - 1);
+}
+
+TEST(Partition, SinglePartIsTrivial) {
+  for (const Strategy strategy : kAllStrategies) {
+    const auto a =
+        compute_partition(test::barbell_graph(), strategy, 1, nullptr);
+    EXPECT_EQ(a.quality.edge_cut_fraction, 0.0);
+    EXPECT_EQ(a.quality.imbalance, 1.0);
+    for (const std::uint32_t part : a.owner) EXPECT_EQ(part, 0u);
+  }
+}
+
+TEST(Partition, EmptyGraphAndMorePartsThanVertices) {
+  GraphBuilder empty(0, false);
+  const Graph none = empty.build();
+  for (const Strategy strategy : kAllStrategies) {
+    const auto a = compute_partition(none, strategy, 8, nullptr);
+    EXPECT_TRUE(a.owner.empty());
+    EXPECT_EQ(a.loads.size(), 8u);
+    EXPECT_EQ(a.quality.imbalance, 1.0);
+
+    const auto small =
+        compute_partition(test::two_components(), strategy, 16, nullptr);
+    for (const std::uint32_t part : small.owner) EXPECT_LT(part, 16u);
+    EXPECT_EQ(small.loads.size(), 16u);
+  }
+  // num_parts = 0 clamps to one part instead of dividing by zero.
+  const auto clamped =
+      compute_partition(test::barbell_graph(), Strategy::kHash, 0, nullptr);
+  EXPECT_EQ(clamped.num_parts, 1u);
+}
+
+TEST(Partition, DegreeBalancedBeatsHashOnSkew) {
+  // A hub graph is hash's worst case: the hub's weight lands on part 0 on
+  // top of its share of leaves. LPT places the hub alone first.
+  const auto graph = star_graph(64);
+  const auto hash = compute_partition(graph, Strategy::kHash, 4, nullptr);
+  const auto lpt =
+      compute_partition(graph, Strategy::kDegreeBalanced, 4, nullptr);
+  EXPECT_LT(lpt.quality.imbalance, hash.quality.imbalance);
+}
+
+TEST(Partition, VertexCutReplicatesHubs) {
+  const auto graph = star_graph(64);
+  const auto a = compute_partition(graph, Strategy::kVertexCut, 4, nullptr);
+  // The hub must appear on every part (each part holds some of its
+  // edges); leaves stay single-replica.
+  EXPECT_EQ(a.mirrors[0], 4u);
+  for (VertexId v = 1; v < graph.num_vertices(); ++v) {
+    EXPECT_EQ(a.mirrors[v], 1u);
+  }
+  EXPECT_GT(a.quality.replication_factor, 1.0);
+}
+
+TEST(Strategy, NamesRoundTrip) {
+  for (const Strategy strategy : kAllStrategies) {
+    const auto parsed = parse_strategy(strategy_name(strategy));
+    ASSERT_TRUE(parsed.has_value()) << strategy_name(strategy);
+    EXPECT_EQ(*parsed, strategy);
+  }
+  EXPECT_FALSE(parse_strategy("").has_value());
+  EXPECT_FALSE(parse_strategy("HASH").has_value());
+  EXPECT_FALSE(parse_strategy("metis").has_value());
+}
+
+TEST(Partition, SummaryMirrorsQuality) {
+  const auto a = compute_partition(test::barbell_graph(),
+                                   Strategy::kVertexCut, 3, nullptr);
+  const PartitionSummary s = a.summary();
+  EXPECT_TRUE(s.valid);
+  EXPECT_EQ(s.strategy, Strategy::kVertexCut);
+  EXPECT_EQ(s.parts, 3u);
+  EXPECT_EQ(s.edge_cut_fraction, a.quality.edge_cut_fraction);
+  EXPECT_EQ(s.replication_factor, a.quality.replication_factor);
+  EXPECT_EQ(s.imbalance, a.quality.imbalance);
+  EXPECT_EQ(s.max_load, a.quality.max_load);
+  EXPECT_EQ(s.mean_load, a.quality.mean_load);
+}
+
+}  // namespace
+}  // namespace gb::partition

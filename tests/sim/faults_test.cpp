@@ -37,6 +37,40 @@ TEST(FaultPlan, AddSpecRejectsMalformedSpecs) {
   EXPECT_TRUE(plan.empty());
 }
 
+TEST(FaultPlan, AddSpecRejectsMalformedNumbers) {
+  FaultPlan plan;
+  // Empty field: "worker:" splits into a present-but-empty time.
+  EXPECT_THROW(plan.add_spec("worker:"), Error);
+  // Out-of-range literal overflows double.
+  EXPECT_THROW(plan.add_spec("worker:1e999"), Error);
+  // Trailing junk after a valid prefix.
+  EXPECT_THROW(plan.add_spec("worker:12x"), Error);
+  EXPECT_THROW(plan.add_spec("straggler:10:2.5y:60"), Error);
+  // Non-finite spellings stod accepts without throwing.
+  EXPECT_THROW(plan.add_spec("worker:nan"), Error);
+  EXPECT_THROW(plan.add_spec("worker:inf"), Error);
+  EXPECT_THROW(plan.add_spec("straggler:inf:2:60"), Error);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, AddSpecRejectsMalformedWorkerIndices) {
+  FaultPlan plan;
+  // Fractional index would silently truncate to worker 2.
+  EXPECT_THROW(plan.add_spec("task:30:2.5"), Error);
+  // Negative index would wrap into a huge unsigned.
+  EXPECT_THROW(plan.add_spec("task:30:-1"), Error);
+  // Larger than any representable worker id.
+  EXPECT_THROW(plan.add_spec("task:30:4294967296"), Error);
+  EXPECT_THROW(plan.add_spec("worker:10:"), Error);
+  EXPECT_THROW(plan.add_spec("straggler:60:3.0:200:1e2"), Error);
+  EXPECT_TRUE(plan.empty());
+
+  // Boundary: the largest representable index still parses.
+  plan.add_spec("task:30:4294967295");
+  ASSERT_EQ(plan.events().size(), 1u);
+  EXPECT_EQ(plan.events()[0].worker, 4294967295u);
+}
+
 TEST(FaultPlan, RandomIsAPureFunctionOfTheSeed) {
   const FaultPlan a = FaultPlan::random(99, 20, 3600.0, 16);
   const FaultPlan b = FaultPlan::random(99, 20, 3600.0, 16);

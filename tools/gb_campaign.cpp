@@ -10,10 +10,9 @@
 //   gb_campaign --grid fig11 --datasets DotaLeague     # preset grids
 //   gb_campaign ... --save-baseline baselines/smoke.jsonl
 //   gb_campaign ... --check-baseline baselines/smoke.jsonl   # exit 1 on drift
-#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,7 +22,10 @@
 #include "campaign/runner.h"
 #include "datasets/catalog.h"
 #include "harness/report.h"
+#include "partition/strategy.h"
 #include "platforms/platform.h"
+
+#include "flag_parse.h"
 
 namespace {
 
@@ -41,6 +43,8 @@ using namespace gb;
          "(default: BFS)\n"
          "  --workers N,N,...      machines per cell (default: 20)\n"
          "  --cores N,N,...        cores per machine (default: 1)\n"
+         "  --partitioners A,B,... hash|range|degree|vertexcut "
+         "(default: hash)\n"
          "  --scale S              dataset scale, 0 = catalog default\n"
          "  --seed S               dataset generation seed (default 42)\n"
          "  --fault SPEC           fault injected into every cell "
@@ -71,55 +75,42 @@ using namespace gb;
   std::exit(2);
 }
 
+// Strict numeric flag parsing (shared helpers in flag_parse.h): every
+// bad input — malformed, out of range, below the minimum — routes
+// through usage() with the offending flag named.
 std::uint64_t parse_u64(const std::string& text, const char* flag,
                         std::uint64_t min_value = 0) {
-  const auto fail = [&]() {
+  const auto parsed = tools::parse_u64(text, min_value);
+  if (!parsed) {
     usage((std::string(flag) + " expects an unsigned integer" +
            (min_value > 0 ? " >= " + std::to_string(min_value) : "") +
            ", got '" + text + "'")
               .c_str());
-  };
-  if (text.empty() || text[0] == '-' || text[0] == '+') fail();
-  std::uint64_t parsed = 0;
-  try {
-    std::size_t pos = 0;
-    parsed = std::stoull(text, &pos);
-    if (pos != text.size()) fail();
-  } catch (...) {
-    fail();
   }
-  if (parsed < min_value) fail();
-  return parsed;
+  return *parsed;
 }
 
 std::uint32_t parse_u32(const std::string& text, const char* flag,
                         std::uint32_t min_value = 0) {
-  const std::uint64_t parsed = parse_u64(text, flag, min_value);
-  if (parsed > std::numeric_limits<std::uint32_t>::max()) {
-    usage((std::string(flag) + " value '" + text + "' is out of range")
+  const auto parsed = tools::parse_u32(text, min_value);
+  if (!parsed) {
+    usage((std::string(flag) + " expects an unsigned 32-bit integer" +
+           (min_value > 0 ? " >= " + std::to_string(min_value) : "") +
+           ", got '" + text + "'")
               .c_str());
   }
-  return static_cast<std::uint32_t>(parsed);
+  return *parsed;
 }
 
 double parse_double(const std::string& text, const char* flag,
                     double min_value) {
-  const auto fail = [&]() {
+  const auto parsed = tools::parse_double(text, min_value);
+  if (!parsed) {
     usage((std::string(flag) + " expects a finite number >= " +
            std::to_string(min_value) + ", got '" + text + "'")
               .c_str());
-  };
-  if (text.empty()) fail();
-  double parsed = 0.0;
-  try {
-    std::size_t pos = 0;
-    parsed = std::stod(text, &pos);
-    if (pos != text.size()) fail();
-  } catch (...) {
-    fail();
   }
-  if (!std::isfinite(parsed) || parsed < min_value) fail();
-  return parsed;
+  return *parsed;
 }
 
 std::vector<std::string> split_list(const std::string& text,
@@ -212,6 +203,17 @@ int main(int argc, char** argv) {
       grid.cores.clear();
       for (const auto& item : split_list(value(), "--cores")) {
         grid.cores.push_back(parse_u32(item, "--cores", 1));
+      }
+    } else if (arg == "--partitioners") {
+      grid.partitioners.clear();
+      for (const auto& name : split_list(value(), "--partitioners")) {
+        const auto strategy = partition::parse_strategy(name);
+        if (!strategy) {
+          usage(("unknown partitioner '" + name +
+                 "' (hash|range|degree|vertexcut)")
+                    .c_str());
+        }
+        grid.partitioners.push_back(*strategy);
       }
     } else if (arg == "--scale") {
       grid.scale = parse_double(value(), "--scale", 0.0);

@@ -11,6 +11,8 @@
 #include "core/graph_stats.h"
 #include "datasets/catalog.h"
 
+#include "flag_parse.h"
+
 #include <fstream>
 
 namespace {
@@ -21,6 +23,30 @@ namespace {
                "                  [--text FILE] [--snap FILE] "
                "[--binary FILE] [--degrees]\n";
   std::exit(2);
+}
+
+// Strict numeric flag parsing (shared helpers in flag_parse.h): raw
+// std::stod/std::stoull would accept trailing garbage ("0.5x"), wrap
+// negative seeds, and abort with an uncaught exception on overflow.
+double parse_double(const std::string& text, const char* flag,
+                    double min_value) {
+  const auto parsed = gb::tools::parse_double(text, min_value);
+  if (!parsed) {
+    usage((std::string(flag) + " expects a finite number >= " +
+           std::to_string(min_value) + ", got '" + text + "'")
+              .c_str());
+  }
+  return *parsed;
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* flag) {
+  const auto parsed = gb::tools::parse_u64(text);
+  if (!parsed) {
+    usage((std::string(flag) + " expects an unsigned integer, got '" + text +
+           "'")
+              .c_str());
+  }
+  return *parsed;
 }
 
 }  // namespace
@@ -44,9 +70,9 @@ int main(int argc, char** argv) {
     if (arg == "--dataset") {
       dataset_name = value();
     } else if (arg == "--scale") {
-      scale = std::stod(value());
+      scale = parse_double(value(), "--scale", 0.0);
     } else if (arg == "--seed") {
-      seed = std::stoull(value());
+      seed = parse_u64(value(), "--seed");
     } else if (arg == "--text") {
       text_path = value();
     } else if (arg == "--snap") {

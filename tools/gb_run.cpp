@@ -7,11 +7,10 @@
 //
 // Example:
 //   gb_run --platform Giraph --dataset KGS --algorithm CONN --workers 30
-#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <limits>
 #include <string>
 
 #include "algorithms/platform_suite.h"
@@ -22,8 +21,11 @@
 #include "harness/report.h"
 #include "obs/host_profile.h"
 #include "obs/trace_json.h"
+#include "partition/strategy.h"
 #include "sim/cost_config.h"
 #include "sim/faults.h"
+
+#include "flag_parse.h"
 
 namespace {
 
@@ -40,6 +42,8 @@ using namespace gb;
                "[--seed S] [--breakdown] [--json]\n"
                "              [--parallelism N]   (host threads: 0 = "
                "hardware, 1 = serial)\n"
+               "              [--partitioner hash|range|degree|vertexcut]"
+               "   (graph partitioning strategy)\n"
                "              [--cost name=value]...   (see --list-costs)\n"
                "              [--fault worker:<t>[:<w>] | task:<t>[:<w>] | "
                "straggler:<t>:<factor>:<dur>[:<w>]]...\n"
@@ -55,59 +59,42 @@ using namespace gb;
   std::exit(2);
 }
 
-// Strict numeric flag parsing: std::stoul and friends accept partial
-// garbage ("12abc"), silently wrap negatives into huge unsigneds, and
-// throw uncaught exceptions on overflow. Each helper routes every bad
-// input — malformed, out of range, below the minimum — through usage().
+// Strict numeric flag parsing (shared helpers in flag_parse.h): every
+// bad input — malformed, out of range, below the minimum — routes
+// through usage() with the offending flag named.
 std::uint64_t parse_u64(const std::string& text, const char* flag,
                         std::uint64_t min_value = 0) {
-  const auto fail = [&]() {
+  const auto parsed = tools::parse_u64(text, min_value);
+  if (!parsed) {
     usage((std::string(flag) + " expects an unsigned integer" +
            (min_value > 0 ? " >= " + std::to_string(min_value) : "") +
            ", got '" + text + "'")
               .c_str());
-  };
-  if (text.empty() || text[0] == '-' || text[0] == '+') fail();
-  std::uint64_t parsed = 0;
-  try {
-    std::size_t pos = 0;
-    parsed = std::stoull(text, &pos);
-    if (pos != text.size()) fail();
-  } catch (...) {
-    fail();
   }
-  if (parsed < min_value) fail();
-  return parsed;
+  return *parsed;
 }
 
 std::uint32_t parse_u32(const std::string& text, const char* flag,
                         std::uint32_t min_value = 0) {
-  const std::uint64_t parsed = parse_u64(text, flag, min_value);
-  if (parsed > std::numeric_limits<std::uint32_t>::max()) {
-    usage((std::string(flag) + " value '" + text + "' is out of range")
+  const auto parsed = tools::parse_u32(text, min_value);
+  if (!parsed) {
+    usage((std::string(flag) + " expects an unsigned 32-bit integer" +
+           (min_value > 0 ? " >= " + std::to_string(min_value) : "") +
+           ", got '" + text + "'")
               .c_str());
   }
-  return static_cast<std::uint32_t>(parsed);
+  return *parsed;
 }
 
 double parse_double(const std::string& text, const char* flag,
                     double min_value) {
-  const auto fail = [&]() {
+  const auto parsed = tools::parse_double(text, min_value);
+  if (!parsed) {
     usage((std::string(flag) + " expects a finite number >= " +
            std::to_string(min_value) + ", got '" + text + "'")
               .c_str());
-  };
-  if (text.empty()) fail();
-  double parsed = 0.0;
-  try {
-    std::size_t pos = 0;
-    parsed = std::stod(text, &pos);
-    if (pos != text.size()) fail();
-  } catch (...) {
-    fail();
   }
-  if (!std::isfinite(parsed) || parsed < min_value) fail();
-  return parsed;
+  return *parsed;
 }
 
 }  // namespace
@@ -121,6 +108,7 @@ int main(int argc, char** argv) {
   double scale = 0.0;  // catalog default
   std::uint64_t seed = 42;
   std::uint32_t parallelism = 0;
+  partition::Strategy partitioner = partition::Strategy::kHash;
   bool breakdown = false;
   bool json = false;
   sim::CostModel cost;
@@ -158,6 +146,15 @@ int main(int argc, char** argv) {
       seed = parse_u64(value(), "--seed");
     } else if (arg == "--parallelism") {
       parallelism = parse_u32(value(), "--parallelism");
+    } else if (arg == "--partitioner") {
+      const std::string name = value();
+      const auto parsed = partition::parse_strategy(name);
+      if (!parsed) {
+        usage(("unknown partitioner '" + name +
+               "' (hash|range|degree|vertexcut)")
+                  .c_str());
+      }
+      partitioner = *parsed;
     } else if (arg == "--breakdown") {
       breakdown = true;
     } else if (arg == "--json") {
@@ -227,6 +224,7 @@ int main(int argc, char** argv) {
   cfg.cores_per_worker = cores;
   cfg.cost = cost;
   cfg.parallelism = parallelism;
+  cfg.partitioner = partitioner;
   if (have_fault_seed) {
     const auto random = sim::FaultPlan::random(fault_seed, workers,
                                                fault_horizon, fault_events);
@@ -280,6 +278,16 @@ int main(int argc, char** argv) {
               << m.faults.task_retries << " retries, "
               << m.faults.checkpoint_restarts << " restarts, recovery "
               << harness::format_seconds(m.faults.recovery_sec) << "\n";
+  }
+  if (m.partition.valid) {
+    char quality[96];
+    std::snprintf(quality, sizeof(quality),
+                  "edge-cut %.3f, replication %.2f, imbalance %.2f",
+                  m.partition.edge_cut_fraction,
+                  m.partition.replication_factor, m.partition.imbalance);
+    std::cout << "  partition:   "
+              << partition::strategy_name(m.partition.strategy) << " ("
+              << m.partition.parts << " parts): " << quality << "\n";
   }
   if (m.ok()) {
     std::cout << "  computation: "
