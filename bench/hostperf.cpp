@@ -1,0 +1,510 @@
+// Host-performance trajectory: wall-clock before/after pairs for the
+// direction-optimizing BFS and flat message-buffer hot paths, on the
+// Table 2 datasets. "Before" runs the pre-optimization host code, which
+// is kept callable behind AlgorithmParams/EngineConfig switches
+// (direction_optimizing=false, legacy_host_buffers=true); "after" runs
+// the shipped defaults. Both sides produce bit-identical simulated
+// results — the bench asserts that on every pair — so the only thing
+// measured here is host execution speed.
+//
+// Without flags the binary measures every pair at the current
+// GB_BENCH_SCALE and writes the committed artifact BENCH_hostperf.json
+// (mean/sd host ms per side, speedup, and a conservative per-entry
+// floor), preserving any existing headline block. With --headline it
+// re-measures ONLY reference BFS on WikiTalk at the current scale and
+// merges the result into the artifact as the "headline" object — the
+// full-scale measurement backing the trajectory's >=1.5x claim. The
+// committed entries are measured at the SAME smoke scale CI re-runs, so
+// the regression floors compare like with like; the headline records
+// its own scale separately.
+//
+// With --check it re-measures the entries at the current GB_BENCH_SCALE
+// and exits non-zero when an optimistic (noise-favoring, +/-2 sd)
+// estimate of any speedup still falls below the committed floor, or
+// when the committed headline no longer shows the >=1.5x reference-BFS
+// speedup on WikiTalk this trajectory promises (the headline is a
+// static claim — full scale is too slow for CI to re-measure).
+#include "bench_common.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "algorithms/reference.h"
+#include "core/thread_pool.h"
+#include "core/traversal.h"
+#include "harness/cell_result.h"
+#include "harness/json.h"
+#include "harness/json_read.h"
+
+namespace {
+
+using namespace gb;
+
+constexpr const char* kDefaultFile = "BENCH_hostperf.json";
+/// The committed trajectory claim (ISSUE 6): reference BFS on WikiTalk.
+constexpr double kWikiTalkReferenceFloor = 1.5;
+
+int reps_from_env() {
+  if (const char* env = std::getenv("GB_HOSTPERF_REPS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 3;
+}
+
+struct Sample {
+  double mean_ms = 0.0;
+  double sd_ms = 0.0;
+};
+
+/// Wall-clock of one warmup + `reps` timed runs of fn.
+Sample measure(const std::function<void()>& fn, int reps) {
+  fn();  // warmup: faults in caches and the allocator
+  std::vector<double> times_ms;
+  times_ms.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    times_ms.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  Sample s;
+  for (const double t : times_ms) s.mean_ms += t;
+  s.mean_ms /= times_ms.size();
+  double var = 0.0;
+  for (const double t : times_ms) var += (t - s.mean_ms) * (t - s.mean_ms);
+  s.sd_ms = times_ms.size() > 1
+                ? std::sqrt(var / (times_ms.size() - 1))
+                : 0.0;
+  return s;
+}
+
+struct Entry {
+  std::string dataset;
+  std::string engine;
+  std::string algorithm;
+  Sample before;
+  Sample after;
+  std::uint64_t pull_levels = 0;   // BFS entries: direction trace
+  std::uint64_t push_levels = 0;
+
+  double speedup() const {
+    return after.mean_ms > 0.0 ? before.mean_ms / after.mean_ms : 0.0;
+  }
+
+  /// Speedup granting the noise the benefit of the doubt on both sides.
+  /// The denominator is clamped to a quarter of the mean so a wild sd
+  /// from a tiny rep count cannot make the estimate infinite.
+  double optimistic_speedup() const {
+    const double hi_before = before.mean_ms + 2.0 * before.sd_ms;
+    const double lo_after = std::max(after.mean_ms - 2.0 * after.sd_ms,
+                                     0.25 * after.mean_ms);
+    return lo_after > 0.0 ? hi_before / lo_after : 0.0;
+  }
+
+  /// Committed regression floor: never demand more than a quarter of the
+  /// pessimistic measured gain (speedups shift with dataset scale and
+  /// host), capped so smoke-scale CI runs on other machines keep margin,
+  /// and never below break-even. An entry whose committed speedup is
+  /// itself below 1.0 is a documented trade-off (e.g. Beamer's
+  /// heuristic faithfully overstays pull on KGS's stall-shaped
+  /// frontier); the gate only guards it against collapsing further.
+  double check_floor() const {
+    if (speedup() < 1.0) return 0.75 * speedup();
+    const double lo_before = std::max(before.mean_ms - 2.0 * before.sd_ms,
+                                      0.25 * before.mean_ms);
+    const double hi_after = after.mean_ms + 2.0 * after.sd_ms;
+    const double pessimistic = hi_after > 0.0 ? lo_before / hi_after : 1.0;
+    return std::max(1.0, std::min(1.25, 1.0 + 0.25 * (pessimistic - 1.0)));
+  }
+
+  std::string label() const {
+    return engine + "/" + algorithm + " on " + dataset;
+  }
+};
+
+/// The full-scale reference-BFS WikiTalk measurement backing the
+/// trajectory claim; carried through artifact rewrites verbatim.
+struct Headline {
+  Entry entry;
+  double scale = 1.0;
+  bool present = false;
+};
+
+Entry entry_from_json(const harness::JsonValue& e) {
+  Entry out;
+  out.dataset = e.string_or("dataset", "");
+  out.engine = e.string_or("engine", "");
+  out.algorithm = e.string_or("algorithm", "");
+  out.before.mean_ms = e.number_or("before_ms", 0.0);
+  out.before.sd_ms = e.number_or("before_sd_ms", 0.0);
+  out.after.mean_ms = e.number_or("after_ms", 0.0);
+  out.after.sd_ms = e.number_or("after_sd_ms", 0.0);
+  out.pull_levels = e.u64_or("pull_levels", 0);
+  out.push_levels = e.u64_or("push_levels", 0);
+  return out;
+}
+
+/// A previously written artifact, parsed back into measurement structs
+/// (derived fields like speedup/floor are recomputed from the stored
+/// means, so a rewrite round-trips).
+struct Artifact {
+  std::vector<Entry> entries;
+  Headline headline;
+  double scale = 0.0;
+  bool loaded = false;
+};
+
+Artifact load_artifact(const std::string& file) {
+  Artifact art;
+  std::ifstream in(file);
+  if (!in) return art;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = harness::parse_json(buf.str());
+  art.scale = doc.number_or("scale", 0.0);
+  if (const auto* entries = doc.find("entries");
+      entries != nullptr && entries->is_array()) {
+    for (const auto& e : entries->array) {
+      art.entries.push_back(entry_from_json(e));
+    }
+    art.loaded = true;
+  }
+  if (const auto* h = doc.find("headline"); h != nullptr) {
+    art.headline.entry = entry_from_json(*h);
+    art.headline.scale = h->number_or("scale", 1.0);
+    art.headline.present = true;
+  }
+  return art;
+}
+
+/// The generic engines' host path as it stood before this trajectory:
+/// per-superstep outbox concatenation, no direction optimization.
+platforms::AlgorithmParams before_params(const datasets::Dataset& ds) {
+  auto params = harness::default_params(ds);
+  params.direction_optimizing = false;
+  params.legacy_host_buffers = true;
+  return params;
+}
+
+platforms::AlgorithmParams after_params(const datasets::Dataset& ds) {
+  return harness::default_params(ds);
+}
+
+void die(const std::string& why) {
+  std::cerr << "[hostperf] FATAL: " << why << "\n";
+  std::exit(2);
+}
+
+/// Measure one engine cell pair and assert the simulated results match.
+Entry measure_cell(const platforms::Platform& platform,
+                   const datasets::Dataset& ds,
+                   platforms::Algorithm algorithm, int reps) {
+  const sim::ClusterConfig cfg = bench::paper_cluster();
+  std::uint64_t hash_before = 0, hash_after = 0;
+  const auto run_once = [&](const platforms::AlgorithmParams& params,
+                            std::uint64_t& hash) {
+    const auto m = harness::run_cell(platform, ds, algorithm, params, cfg);
+    if (!m.ok()) die(platform.name() + " failed on " + ds.name + ": " +
+                     m.message);
+    hash = harness::hash_output(m.result.output);
+  };
+
+  Entry e;
+  e.dataset = ds.name;
+  e.engine = platform.name();
+  e.algorithm = platforms::algorithm_name(algorithm);
+  e.before = measure([&] { run_once(before_params(ds), hash_before); }, reps);
+  e.after = measure([&] { run_once(after_params(ds), hash_after); }, reps);
+  if (hash_before != hash_after) {
+    die(e.label() + ": before/after outputs diverge (" +
+        std::to_string(hash_before) + " vs " + std::to_string(hash_after) +
+        ") — the host optimization changed simulated results");
+  }
+  return e;
+}
+
+Entry measure_reference_bfs(const datasets::Dataset& ds, int reps) {
+  const VertexId source = harness::default_params(ds).bfs_source;
+  Entry e;
+  e.dataset = ds.name;
+  e.engine = "reference";
+  e.algorithm = "BFS";
+  e.before = measure(
+      [&] { algorithms::reference_bfs_topdown(ds.graph, source); }, reps);
+  BfsTraversalTrace trace;
+  e.after = measure(
+      [&] {
+        trace.levels.clear();
+        algorithms::reference_bfs(ds.graph, source, nullptr,
+                                  TraversalMode::kAuto, &trace);
+      },
+      reps);
+  e.pull_levels = trace.pull_levels();
+  e.push_levels = trace.push_levels();
+  const auto expected = algorithms::reference_bfs_topdown(ds.graph, source);
+  const auto got = algorithms::reference_bfs(ds.graph, source);
+  if (got.levels != expected.levels) {
+    die(e.label() + ": direction-optimizing levels diverge from top-down");
+  }
+  return e;
+}
+
+/// Datasets this trajectory tracks (the Table 2 single-host set).
+const datasets::DatasetId kTrackedDatasets[] = {
+    datasets::DatasetId::kAmazon, datasets::DatasetId::kWikiTalk,
+    datasets::DatasetId::kKGS, datasets::DatasetId::kCitation,
+    datasets::DatasetId::kDotaLeague};
+
+std::vector<Entry> measure_all(int reps, const std::string& only) {
+  const auto giraph = algorithms::make_giraph();
+  const auto graphlab = algorithms::make_graphlab(false);
+
+  std::vector<Entry> entries;
+  for (const auto id : kTrackedDatasets) {
+    if (!only.empty() &&
+        ("," + only + ",").find("," + datasets::info(id).name + ",") ==
+            std::string::npos) {
+      continue;
+    }
+    const auto ds = bench::load(id);
+    entries.push_back(measure_reference_bfs(ds, reps));
+    entries.push_back(
+        measure_cell(*giraph, ds, platforms::Algorithm::kBfs, reps));
+    entries.push_back(
+        measure_cell(*graphlab, ds, platforms::Algorithm::kBfs, reps));
+    entries.push_back(
+        measure_cell(*giraph, ds, platforms::Algorithm::kConn, reps));
+    std::cerr << "[hostperf] " << ds.name << " done\n";
+  }
+  return entries;
+}
+
+void write_entry_fields(harness::JsonWriter& w, const Entry& e) {
+  w.key("dataset");
+  w.value(e.dataset);
+  w.key("engine");
+  w.value(e.engine);
+  w.key("algorithm");
+  w.value(e.algorithm);
+  w.key("before_ms");
+  w.value(e.before.mean_ms);
+  w.key("before_sd_ms");
+  w.value(e.before.sd_ms);
+  w.key("after_ms");
+  w.value(e.after.mean_ms);
+  w.key("after_sd_ms");
+  w.value(e.after.sd_ms);
+  w.key("speedup");
+  w.value(e.speedup());
+  if (e.algorithm == "BFS") {
+    w.key("pull_levels");
+    w.value(e.pull_levels);
+    w.key("push_levels");
+    w.value(e.push_levels);
+  }
+}
+
+std::string to_json(const std::vector<Entry>& entries, double scale,
+                    int reps, const Headline& headline) {
+  harness::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("hostperf-v1");
+  w.key("scale");
+  w.value(scale);
+  w.key("reps");
+  w.value(static_cast<std::uint64_t>(reps));
+  if (headline.present) {
+    w.key("headline");
+    w.begin_object();
+    w.key("scale");
+    w.value(headline.scale);
+    write_entry_fields(w, headline.entry);
+    w.end_object();
+  }
+  w.key("entries");
+  w.begin_array();
+  for (const auto& e : entries) {
+    w.begin_object();
+    write_entry_fields(w, e);
+    w.key("check_floor");
+    w.value(e.check_floor());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void print_table(const std::vector<Entry>& entries) {
+  harness::Table table(
+      "Host wall-clock: pre-optimization path vs shipped path "
+      "(simulated results bit-identical; mean of timed reps)");
+  table.set_header({"Dataset", "Engine", "Algorithm", "Before(ms)",
+                    "After(ms)", "Speedup", "Floor", "Pull/Push"});
+  const auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return std::string(buf);
+  };
+  for (const auto& e : entries) {
+    table.add_row({e.dataset, e.engine, e.algorithm, fmt(e.before.mean_ms),
+                   fmt(e.after.mean_ms), fmt(e.speedup()),
+                   fmt(e.check_floor()),
+                   e.algorithm == "BFS"
+                       ? std::to_string(e.pull_levels) + "/" +
+                             std::to_string(e.push_levels)
+                       : "-"});
+  }
+  bench::write_table(table, "hostperf.csv");
+}
+
+int run_check(const std::string& file, int reps, const std::string& only) {
+  std::ifstream in(file);
+  if (!in) {
+    std::cerr << "[check] FAILED: cannot open " << file << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = harness::parse_json(buf.str());
+  const auto* committed = doc.find("entries");
+  if (committed == nullptr || !committed->is_array() ||
+      committed->array.empty()) {
+    std::cerr << "[check] FAILED: " << file << " has no entries\n";
+    return 1;
+  }
+
+  // The trajectory promise must hold in the committed artifact itself:
+  // the headline block records the full-scale reference-BFS WikiTalk
+  // run. It is a static claim — full scale is too slow to re-measure in
+  // CI — but a regression in the underlying code would show up in the
+  // smoke-scale WikiTalk reference entry gated below.
+  const auto* headline = doc.find("headline");
+  if (headline == nullptr ||
+      headline->string_or("dataset", "") != "WikiTalk" ||
+      headline->string_or("engine", "") != "reference" ||
+      headline->number_or("speedup", 0.0) < kWikiTalkReferenceFloor) {
+    std::cerr << "[check] FAILED: committed " << file
+              << " lacks a reference/BFS WikiTalk headline with speedup >= "
+              << kWikiTalkReferenceFloor << "\n";
+    return 1;
+  }
+  std::cerr << "[check] headline: reference BFS on WikiTalk "
+            << headline->number_or("speedup", 0.0) << "x at scale "
+            << headline->number_or("scale", 1.0) << "\n";
+
+  const auto measured = measure_all(reps, only);
+  print_table(measured);
+  int failures = 0;
+  for (const auto& c : committed->array) {
+    // A --datasets filter narrows the re-measured gate (CI smoke runs a
+    // subset); committed entries outside it are skipped, not failed.
+    if (!only.empty() &&
+        ("," + only + ",").find("," + c.string_or("dataset", "") + ",") ==
+            std::string::npos) {
+      continue;
+    }
+    const Entry* match = nullptr;
+    for (const auto& m : measured) {
+      if (m.dataset == c.string_or("dataset", "") &&
+          m.engine == c.string_or("engine", "") &&
+          m.algorithm == c.string_or("algorithm", "")) {
+        match = &m;
+        break;
+      }
+    }
+    const std::string label = c.string_or("engine", "?") + "/" +
+                              c.string_or("algorithm", "?") + " on " +
+                              c.string_or("dataset", "?");
+    if (match == nullptr) {
+      std::cerr << "[check] FAILED: committed entry " << label
+                << " was not re-measured\n";
+      ++failures;
+      continue;
+    }
+    const double floor = c.number_or("check_floor", 1.0);
+    const double optimistic = match->optimistic_speedup();
+    if (optimistic < floor) {
+      std::cerr << "[check] FAILED: " << label << " optimistic speedup "
+                << optimistic << " < committed floor " << floor << " (before "
+                << match->before.mean_ms << "ms +/- " << match->before.sd_ms
+                << ", after " << match->after.mean_ms << "ms +/- "
+                << match->after.sd_ms << ")\n";
+      ++failures;
+    } else {
+      std::cerr << "[check] ok: " << label << " optimistic speedup "
+                << optimistic << " >= floor " << floor << "\n";
+    }
+  }
+  if (failures > 0) {
+    std::cerr << "[check] FAILED: " << failures << " regressed pair(s)\n";
+    return 1;
+  }
+  std::cerr << "[check] ok: all re-measured host-perf pairs within "
+               "committed floors\n";
+  return 0;
+}
+
+}  // namespace
+
+int write_artifact(const std::string& file, const std::vector<Entry>& entries,
+                   double scale, int reps, const Headline& headline) {
+  std::ofstream out(file);
+  out << to_json(entries, scale, reps, headline) << "\n";
+  if (!out) {
+    std::cerr << "[hostperf] FAILED to write " << file << "\n";
+    return 1;
+  }
+  std::cerr << "[hostperf] wrote " << file << " (" << entries.size()
+            << " entries" << (headline.present ? ", headline" : "") << ")\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  bool check = false;
+  bool headline_mode = false;
+  std::string file = kDefaultFile;
+  std::string only;  // comma-separated dataset names; empty = all
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--headline") == 0) {
+      headline_mode = true;
+    } else if (std::strcmp(argv[i], "--file") == 0 && i + 1 < argc) {
+      file = argv[++i];
+    } else if (std::strcmp(argv[i], "--datasets") == 0 && i + 1 < argc) {
+      only = argv[++i];
+    }
+  }
+  const int reps = reps_from_env();
+  if (check) return run_check(file, reps, only);
+
+  if (headline_mode) {
+    // Re-measure only the headline pair at the current scale and merge
+    // it into the existing artifact; the entries stay as committed.
+    const Artifact art = load_artifact(file);
+    Headline h;
+    h.entry =
+        measure_reference_bfs(bench::load(datasets::DatasetId::kWikiTalk),
+                              reps);
+    h.scale = bench::bench_scale();
+    h.present = true;
+    std::cerr << "[hostperf] headline: reference BFS on WikiTalk "
+              << h.entry.speedup() << "x at scale " << h.scale << "\n";
+    return write_artifact(file, art.entries, art.scale, reps, h);
+  }
+
+  const auto entries = measure_all(reps, only);
+  print_table(entries);
+  // A full (unfiltered) re-measure replaces the entries but keeps the
+  // committed headline, which is produced separately at full scale.
+  return write_artifact(file, entries, bench::bench_scale(), reps,
+                        load_artifact(file).headline);
+}

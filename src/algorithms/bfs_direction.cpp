@@ -1,0 +1,141 @@
+// Direction-optimizing BFS (Beamer, Asanović & Patterson, SC'12).
+//
+// Push levels expand the frontier's out-edges and claim newly reached
+// vertices through an atomic dense bitset (one fetch_or per discovery —
+// no duplicate candidate queues, no serial dedup pass). Pull levels scan
+// the unvisited vertices' in-adjacency for a frontier parent and stop at
+// the first hit; they write only their own disjoint chunk range, so they
+// need no atomics at all. The DirectionPolicy picks the direction per
+// level from exact frontier statistics.
+//
+// Determinism: the set of vertices discovered at each depth — and hence
+// levels, the visit count and the depth — is a property of the graph, not
+// of the schedule. The only schedule-dependent artifact is which chunk
+// claims a contended vertex, which can permute the *order* of the next
+// frontier; no output quantity depends on that order. All counters are
+// integer sums merged in ascending chunk order.
+
+#include <cstddef>
+#include <vector>
+
+#include "algorithms/reference.h"
+#include "core/bitset.h"
+#include "core/traversal.h"
+
+namespace gb::algorithms {
+
+BfsResult reference_bfs(const Graph& g, VertexId source, ThreadPool* pool,
+                        TraversalMode mode, BfsTraversalTrace* trace) {
+  BfsResult result;
+  const VertexId n = g.num_vertices();
+  result.levels.assign(n, kUnreached);
+  if (trace != nullptr) trace->levels.clear();
+  if (source >= n) return result;
+
+  result.levels[source] = 0;
+  result.visited = 1;
+
+  DenseBitset visited(n);
+  visited.set(source);
+  DenseBitset frontier_bits(n);
+  frontier_bits.set(source);
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+
+  const std::uint64_t total_out_edges = g.num_adjacency_entries();
+  std::uint64_t frontier_edges = g.out_degree(source);
+  std::uint64_t unexplored_edges = total_out_edges - frontier_edges;
+  std::uint64_t depth = 0;
+  bool pull = false;
+
+  const DirectionPolicy policy;
+  std::vector<std::vector<VertexId>> chunk_found;
+  std::vector<std::uint64_t> chunk_edges;
+
+  while (!frontier.empty()) {
+    pull = policy.pull_for(mode, pull, frontier.size(), frontier_edges,
+                           unexplored_edges, n);
+    if (trace != nullptr) {
+      trace->levels.push_back(
+          {depth, frontier.size(), frontier_edges, pull});
+    }
+
+    next.clear();
+    std::uint64_t next_edges = 0;
+    if (pull) {
+      // Bottom-up: each chunk owns a disjoint vertex range; it reads and
+      // writes levels only inside that range and marks discoveries in the
+      // shared visited bitset with atomic ORs (word boundaries are shared
+      // between adjacent chunks).
+      const std::size_t chunks = ThreadPool::plan_chunks(n);
+      chunk_found.resize(chunks);
+      chunk_edges.assign(chunks, 0);
+      run_chunks(pool, n,
+                 [&](std::size_t c, std::size_t begin, std::size_t end) {
+                   auto& found = chunk_found[c];
+                   found.clear();
+                   std::uint64_t edges = 0;
+                   for (std::size_t i = begin; i < end; ++i) {
+                     const VertexId v = static_cast<VertexId>(i);
+                     if (result.levels[v] != kUnreached) continue;
+                     for (const VertexId u : g.in_neighbors(v)) {
+                       if (!frontier_bits.test(u)) continue;
+                       result.levels[v] = depth + 1;
+                       visited.set_atomic(v);
+                       found.push_back(v);
+                       edges += g.out_degree(v);
+                       break;
+                     }
+                   }
+                   chunk_edges[c] = edges;
+                 });
+      for (std::size_t c = 0; c < chunks; ++c) {
+        next.insert(next.end(), chunk_found[c].begin(), chunk_found[c].end());
+        next_edges += chunk_edges[c];
+      }
+    } else {
+      // Top-down: expand the frontier's out-edges; the first fetch_or
+      // claims the vertex, and only the claimant writes its level.
+      const std::size_t chunks = ThreadPool::plan_chunks(frontier.size());
+      chunk_found.resize(chunks);
+      chunk_edges.assign(chunks, 0);
+      run_chunks(pool, frontier.size(),
+                 [&](std::size_t c, std::size_t begin, std::size_t end) {
+                   auto& found = chunk_found[c];
+                   found.clear();
+                   std::uint64_t edges = 0;
+                   for (std::size_t i = begin; i < end; ++i) {
+                     for (const VertexId w : g.out_neighbors(frontier[i])) {
+                       if (visited.test_atomic(w)) continue;
+                       if (!visited.set_atomic(w)) continue;
+                       result.levels[w] = depth + 1;
+                       found.push_back(w);
+                       edges += g.out_degree(w);
+                     }
+                   }
+                   chunk_edges[c] = edges;
+                 });
+      for (std::size_t c = 0; c < chunks; ++c) {
+        next.insert(next.end(), chunk_found[c].begin(), chunk_found[c].end());
+        next_edges += chunk_edges[c];
+      }
+    }
+
+    // Maintain the frontier membership bitset incrementally — resetting
+    // only the outgoing frontier's bits keeps the whole run O(V) instead
+    // of O(V * depth) on deep graphs.
+    for (const VertexId u : frontier) frontier_bits.reset(u);
+    for (const VertexId u : next) frontier_bits.set(u);
+
+    result.visited += next.size();
+    unexplored_edges -= next_edges;
+    if (next.empty()) break;
+    ++depth;
+    frontier.swap(next);
+    frontier_edges = next_edges;
+  }
+  result.iterations = depth;
+  return result;
+}
+
+}  // namespace gb::algorithms

@@ -11,8 +11,10 @@
 #include "algorithms/reference.h"
 #include "core/error.h"
 #include "platforms/dataflow/engine.h"
+#include "platforms/gas/bfs.h"
 #include "platforms/mapreduce/engine.h"
 #include "platforms/partitioning.h"
+#include "platforms/pregel/bfs.h"
 
 namespace gb::algorithms {
 namespace {
@@ -113,6 +115,7 @@ class GiraphPlatform final : public Platform {
     PhaseRecorder rec(cluster);
     platforms::pregel::EngineConfig config;
     config.checkpoint_interval = params.checkpoint_interval;
+    config.legacy_message_buffers = params.legacy_host_buffers;
     if (gps_) {
       // GPS = Pregel + LALP (large-adjacency-list partitioning).
       config.lalp_threshold = 100;
@@ -121,6 +124,15 @@ class GiraphPlatform final : public Platform {
 
     switch (algorithm) {
       case Algorithm::kBfs: {
+        if (params.direction_optimizing) {
+          // Direction-optimizing frontier specialization — bit-identical
+          // simulated results, much less host work (no message objects).
+          auto bsp = platforms::pregel::run_bsp_bfs(
+              g, params.bfs_source, cluster, rec, params.time_limit, config);
+          out.vertex_values = std::move(bsp.values);
+          out.iterations = bsp.supersteps;
+          break;
+        }
         pregel::BfsProgram prog{params.bfs_source};
         auto bsp = platforms::pregel::run_bsp<std::uint64_t, std::uint64_t>(
             g, prog, cluster, rec, params.time_limit, kUnreached, config);
@@ -546,8 +558,16 @@ class GraphLabPlatform final : public Platform {
 
     switch (algorithm) {
       case Algorithm::kBfs: {
-        gas::BfsProgram prog{params.bfs_source};
         std::vector<std::uint64_t> data(g.num_vertices(), kUnreached);
+        if (params.direction_optimizing) {
+          const auto stats = platforms::gas::run_gas_bfs(
+              g, params.bfs_source, data, cluster, rec, config,
+              params.time_limit);
+          out.vertex_values = std::move(data);
+          out.iterations = stats.iterations;
+          break;
+        }
+        gas::BfsProgram prog{params.bfs_source};
         std::vector<std::uint8_t> active(g.num_vertices(), 0);
         if (params.bfs_source < g.num_vertices()) {
           active[params.bfs_source] = 1;

@@ -9,7 +9,8 @@
 
 namespace gb::algorithms {
 
-BfsResult reference_bfs(const Graph& g, VertexId source, ThreadPool* pool) {
+BfsResult reference_bfs_topdown(const Graph& g, VertexId source,
+                                ThreadPool* pool) {
   BfsResult result;
   result.levels.assign(g.num_vertices(), kUnreached);
   if (source >= g.num_vertices()) return result;

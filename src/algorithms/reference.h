@@ -33,6 +33,7 @@
 
 #include "core/graph.h"
 #include "core/thread_pool.h"
+#include "core/traversal.h"
 
 namespace gb::algorithms {
 
@@ -49,8 +50,28 @@ struct BfsResult {
   }
 };
 
+// BfsLevelTrace / BfsTraversalTrace live in core/traversal.h (the engines
+// record them too); re-exported here for the reference API's callers.
+using gb::BfsLevelTrace;
+using gb::BfsTraversalTrace;
+
+/// Direction-optimizing (push/pull-switching, Beamer-style) BFS over the
+/// CSR: top-down expansion claims vertices through an atomic bitset;
+/// bottom-up scans unvisited vertices' in-adjacency for a frontier
+/// parent. The result — levels, depth, visit count — is bit-identical to
+/// reference_bfs_topdown at every pool size and under every `mode`
+/// (levels are unique whatever the traversal order).
 BfsResult reference_bfs(const Graph& g, VertexId source,
-                        ThreadPool* pool = nullptr);
+                        ThreadPool* pool = nullptr,
+                        TraversalMode mode = TraversalMode::kAuto,
+                        BfsTraversalTrace* trace = nullptr);
+
+/// The pre-direction-optimizing top-down implementation (per-chunk
+/// candidate queues, serial first-claim-wins merge). Kept as the
+/// bench_hostperf "before" baseline and the oracle the property suite
+/// compares against.
+BfsResult reference_bfs_topdown(const Graph& g, VertexId source,
+                                ThreadPool* pool = nullptr);
 
 struct ConnResult {
   std::vector<std::uint64_t> labels;

@@ -1,0 +1,120 @@
+// Dense bitset over vertex ids — the frontier representation for
+// direction-optimizing traversal.
+//
+// Two write paths with one determinism story:
+//  * `set` / `reset` are plain word writes, for use from a single thread
+//    or over disjoint chunk ranges (chunk c owns bits [begin, end), and
+//    word boundaries are handled by the caller owning whole ranges —
+//    see `clear_range`).
+//  * `set_atomic` claims a bit with a relaxed fetch_or and reports
+//    whether this caller set it first. OR is commutative and idempotent,
+//    so the resulting bit pattern is independent of thread schedule; the
+//    *claim winner* may vary between runs, which is safe exactly when
+//    every winner would write the same value (BFS: every claimant
+//    proposes the same level for the same depth).
+//
+// Word storage is plain std::uint64_t; atomic access goes through
+// std::atomic_ref, so the same buffer serves both phases without copies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace gb {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(std::size_t bits) { grow_to(bits); }
+
+  std::size_t size() const { return bits_; }
+  std::size_t num_words() const { return words_.size(); }
+
+  /// Grow to at least `bits` positions. Existing bits keep their values;
+  /// new positions start cleared (matches GraphBuilder::grow_to, which
+  /// the evolution algorithm uses mid-run).
+  void grow_to(std::size_t bits) {
+    if (bits <= bits_) return;
+    bits_ = bits;
+    words_.resize((bits + 63) / 64, 0);
+  }
+
+  /// Clear every bit, keeping the size.
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Clear the bits of whole words covering [begin, end) — callers
+  /// splitting the clear across chunks must pass word-aligned ranges
+  /// (begin % 64 == 0) so no word is shared between chunks. `end` may be
+  /// the bitset size.
+  void clear_words(std::size_t begin, std::size_t end) {
+    const std::size_t first = begin / 64;
+    const std::size_t last = (end + 63) / 64;
+    for (std::size_t w = first; w < last; ++w) words_[w] = 0;
+  }
+
+  void set(std::size_t i) { words_[i / 64] |= std::uint64_t{1} << (i % 64); }
+
+  void reset(std::size_t i) {
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+
+  bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  /// Read bit i with a relaxed atomic load — the race-free companion to
+  /// concurrent set_atomic on the same word (a plain `test` next to a
+  /// racing fetch_or is a data race under the memory model even though
+  /// the hardware would tolerate it).
+  bool test_atomic(std::size_t i) const {
+    std::atomic_ref<const std::uint64_t> word(words_[i / 64]);
+    return (word.load(std::memory_order_relaxed) >> (i % 64)) & 1u;
+  }
+
+  /// Atomically set bit i; returns true when this call flipped it 0 -> 1
+  /// (the claim). Relaxed ordering is sufficient: claims only gate
+  /// idempotent writes, and the phase ends with a pool join (a full
+  /// synchronization point) before any bit is read back.
+  bool set_atomic(std::size_t i) {
+    std::atomic_ref<std::uint64_t> word(words_[i / 64]);
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    return (word.fetch_or(mask, std::memory_order_relaxed) & mask) == 0;
+  }
+
+  /// Population count — a pure function of the bit pattern, so it is
+  /// deterministic even when the bits were set by racing set_atomic.
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t w : words_) {
+      total += static_cast<std::uint64_t>(__builtin_popcountll(w));
+    }
+    return total;
+  }
+
+  bool any() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Visit every set bit in ascending order: fn(index).
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace gb

@@ -1,0 +1,90 @@
+// Direction-optimizing traversal policy (Beamer, Asanović & Patterson,
+// SC'12), shared by the reference BFS and the engines whose execution
+// models permit a pull phase (platforms/gas, platforms/pregel).
+//
+// The decision is a pure function of deterministic frontier statistics
+// (vertex and edge counts are exact integers merged in chunk order), so
+// the chosen direction — and therefore every downstream quantity — is
+// identical at every host parallelism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gb {
+
+/// Traversal direction for one BFS level. kAuto applies the heuristic;
+/// the forced modes exist for tests and ablation benches.
+enum class TraversalMode { kAuto, kPush, kPull };
+
+/// One frontier expansion of a direction-optimizing BFS: the frontier
+/// being expanded (its depth, size and out-edge count) and the direction
+/// the policy chose for it. The per-dataset push/pull crossover tables in
+/// EXPERIMENTS.md come from this trace.
+struct BfsLevelTrace {
+  std::uint64_t depth = 0;
+  std::uint64_t frontier_verts = 0;
+  std::uint64_t frontier_edges = 0;
+  bool pull = false;
+};
+
+struct BfsTraversalTrace {
+  std::vector<BfsLevelTrace> levels;
+
+  std::uint64_t pull_levels() const {
+    std::uint64_t n = 0;
+    for (const auto& l : levels) n += l.pull ? 1 : 0;
+    return n;
+  }
+  std::uint64_t push_levels() const { return levels.size() - pull_levels(); }
+};
+
+/// The standard frontier-size / unexplored-edges switching heuristic.
+///
+/// Push (top-down) examines the out-edges of the frontier; pull
+/// (bottom-up) scans candidate vertices' in-edges looking for a frontier
+/// parent. Pull wins when the frontier's edge count approaches the count
+/// of edges still unexplored (alpha), and loses again once the frontier
+/// has shrunk to a sliver of the vertex set (beta). Beamer's published
+/// constants (14, 24) carry over unchanged.
+struct DirectionPolicy {
+  std::uint64_t alpha = 14;
+  std::uint64_t beta = 24;
+
+  /// Decide the direction for the next level.
+  ///  frontier_verts / frontier_edges: size and out-edge count of the
+  ///    current frontier;
+  ///  unexplored_edges: out-edges of vertices not yet visited;
+  ///  num_vertices: |V|.
+  bool should_pull(bool currently_pull, std::uint64_t frontier_verts,
+                   std::uint64_t frontier_edges,
+                   std::uint64_t unexplored_edges,
+                   std::uint64_t num_vertices) const {
+    if (currently_pull) {
+      // Stay bottom-up until the frontier shrinks below |V| / beta.
+      return frontier_verts * beta >= num_vertices;
+    }
+    // Go bottom-up when the frontier's edges outnumber a 1/alpha share
+    // of the unexplored edges.
+    return frontier_edges * alpha > unexplored_edges;
+  }
+
+  /// Resolve a (possibly forced) mode into the direction for this level.
+  bool pull_for(TraversalMode mode, bool currently_pull,
+                std::uint64_t frontier_verts, std::uint64_t frontier_edges,
+                std::uint64_t unexplored_edges,
+                std::uint64_t num_vertices) const {
+    switch (mode) {
+      case TraversalMode::kPush:
+        return false;
+      case TraversalMode::kPull:
+        return true;
+      case TraversalMode::kAuto:
+        break;
+    }
+    return should_pull(currently_pull, frontier_verts, frontier_edges,
+                       unexplored_edges, num_vertices);
+  }
+};
+
+}  // namespace gb

@@ -28,6 +28,7 @@
 #include "platforms/accounting.h"
 #include "platforms/dataflow/pact.h"
 #include "platforms/grouping.h"
+#include "platforms/message_buffer.h"
 #include "platforms/partitioning.h"
 #include "sim/cluster.h"
 #include "storage/hdfs.h"
@@ -208,7 +209,7 @@ DataflowStats run_iterative(const Graph& graph, Job& job,
   const partition::PartitionAssignment assignment =
       partition_graph(graph, cluster, recorder);
 
-  std::vector<std::pair<VertexId, Msg>> outbox;
+  FlatMessageBuffer<Msg> outbox;
   GroupedMessages<Msg> grouped;
   class Emitter {
    public:
@@ -222,10 +223,9 @@ DataflowStats run_iterative(const Graph& graph, Job& job,
   };
 
   // Host-parallel PACT waves, chunked like the MapReduce engine: private
-  // per-chunk outboxes concatenated in chunk order, disjoint reduce ranges
-  // with chunk-local changed counters.
+  // per-chunk outbox segments (read in chunk order = the serial emission
+  // order), disjoint reduce ranges with chunk-local changed counters.
   const std::size_t chunks = ThreadPool::plan_chunks(n);
-  std::vector<std::vector<std::pair<VertexId, Msg>>> chunk_outbox(chunks);
   std::vector<std::uint64_t> chunk_changed(chunks, 0);
 
   for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
@@ -234,20 +234,16 @@ DataflowStats run_iterative(const Graph& graph, Job& job,
                           "Stratosphere job exceeded the experiment time budget");
     }
     job.iteration = iter;
-    outbox.clear();
+    outbox.reset(chunks);
     cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
                               std::size_t end) {
-      auto& out = chunk_outbox[c];
-      out.clear();
-      Emitter emitter(out);
+      Emitter emitter(outbox.segment(c));
       for (std::size_t v = begin; v < end; ++v) {
         job.map(static_cast<VertexId>(v), state[v], graph, emitter);
       }
     });
-    for (auto& out : chunk_outbox) {
-      outbox.insert(outbox.end(), out.begin(), out.end());
-    }
     group_by_destination(outbox, n, grouped);
+    const auto sent = static_cast<double>(outbox.count());
 
     std::uint64_t changed = 0;
     cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
@@ -264,8 +260,7 @@ DataflowStats run_iterative(const Graph& graph, Job& job,
     for (const std::uint64_t count : chunk_changed) changed += count;
 
     detail::charge_plan_iteration(graph, dag, cluster, recorder, config, hdfs,
-                                  static_cast<double>(outbox.size()),
-                                  static_cast<double>(outbox.size()),
+                                  sent, sent,
                                   "iter_" + std::to_string(iter), &assignment);
     ++stats.iterations;
     if (changed == 0) break;

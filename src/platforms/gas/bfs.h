@@ -1,0 +1,258 @@
+// Direction-optimizing BFS specialization of the GAS engine.
+//
+// run_sync executing BfsProgram is a frontier computation: iteration t
+// activates exactly the out-neighbor union of the vertices that changed
+// at t-1 (under scatter-out that is "has an in-neighbor that changed"),
+// and the changed set is the unvisited subset of the active set. Every
+// simulated quantity — active counts, gather/scatter edge work, mirror
+// sync bytes — is a per-vertex function of those sets, so this path
+// computes them with dense bitset frontiers (push claims through an
+// atomic bitset; pull scans candidates' CSR in-adjacency with early exit)
+// and never copies an O(V) snapshot, clears an O(V) activation array, or
+// gathers over a vertex's full in-adjacency per iteration.
+//
+// All charges, phases, metrics and heap checks replicate run_sync bit for
+// bit. The per-vertex sync and work terms are integer-valued doubles
+// (GasConfig's byte constants are whole bytes; cut degrees and degrees
+// are counts), so the sums are exact in any order — which makes the push
+// phase's varying claim order unobservable. Only the host-side metric
+// `host.chunks_executed` differs from the generic path.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bitset.h"
+#include "core/traversal.h"
+#include "platforms/gas/engine.h"
+
+namespace gb::platforms::gas {
+
+inline constexpr std::uint64_t kGasBfsUnreached = ~std::uint64_t{0};
+
+/// Specialized run_sync for BfsProgram. `data` must arrive filled with
+/// kGasBfsUnreached (as the platform suite initializes it); it leaves
+/// holding BFS levels. Returns the same GasStats as the generic engine.
+inline GasStats run_gas_bfs(const Graph& graph, VertexId source,
+                            std::vector<std::uint64_t>& data,
+                            sim::Cluster& cluster, PhaseRecorder& recorder,
+                            const GasConfig& config, SimTime time_limit,
+                            TraversalMode mode = TraversalMode::kAuto,
+                            BfsTraversalTrace* trace = nullptr) {
+  const auto& cost = cluster.cost();
+  const std::uint32_t workers = cluster.num_workers();
+  const VertexId n = graph.num_vertices();
+  if (trace != nullptr) trace->levels.clear();
+
+  const partition::PartitionAssignment assignment =
+      partition_graph(graph, cluster, recorder);
+  const double imbalance = assignment.quality.imbalance;
+  const Placement placement =
+      compute_placement(graph, cluster, assignment, config);
+  const double partition_bytes = charge_startup_and_load(
+      graph, placement.total_mirrors, cluster, recorder, config);
+
+  GasStats stats;
+  stats.replication_factor = n > 0 ? placement.total_mirrors / n : 1.0;
+
+  // Per-active-vertex mirror-sync bytes: (mirrors - 1) updates under a
+  // vertex cut, one message per cut edge otherwise. Integer-valued, so
+  // summing over the active set in any order matches the generic engine's
+  // vertex-order chunk sums exactly.
+  const double sync_unit =
+      config.vertex_data_bytes + config.mirror_header_bytes;
+  const auto sync_of = [&](VertexId v) {
+    return placement.vertex_cut_mode
+               ? (placement.mirrors[v] - 1) * sync_unit
+               : placement.cut_degree[v] * sync_unit;
+  };
+
+  std::vector<VertexId> frontier;  // changed_{t-1}: scatter sources
+  std::vector<VertexId> next;
+  DenseBitset frontier_bits(n);
+  DenseBitset touched(n);  // distinct activations, push passes
+
+  const DirectionPolicy policy;
+  bool pull = false;
+  std::uint64_t scatter_edges = 0;  // sum out_degree(frontier)
+  // Pull-cost proxy fed to the direction policy. Unlike the reference
+  // BFS, the GAS pull phase can never skip visited vertices — activation
+  // includes re-activations, so every vertex scans its in-adjacency until
+  // a frontier hit — which means the bottom-up cost does NOT shrink as
+  // the traversal progresses. The static edge total is the honest stand-in
+  // for "edges a pull sweep may touch"; pull engages only when the
+  // frontier's own edge mass approaches it (the peak level, where early
+  // exits are immediate and push would pay an atomic per edge).
+  const std::uint64_t pull_cost_edges = graph.num_adjacency_entries();
+
+  const std::size_t max_chunks = ThreadPool::plan_chunks(n);
+  struct ChunkState {
+    std::uint64_t active = 0;
+    std::uint64_t in_work = 0;
+    std::uint64_t out_work = 0;
+    double sync_bytes = 0.0;
+  };
+  std::vector<ChunkState> chunk_states(max_chunks);
+  std::vector<std::vector<VertexId>> chunk_found(max_chunks);
+
+  for (std::uint32_t iter = 0; iter < config.max_iterations; ++iter) {
+    if (recorder.now() > time_limit) {
+      throw PlatformError(PlatformError::Kind::kTimeout,
+                          "GraphLab exceeded the experiment time budget");
+    }
+    std::uint64_t active_count = 0;
+    std::uint64_t in_work = 0;
+    std::uint64_t out_work = 0;
+    double sync_bytes = 0.0;
+    next.clear();
+
+    if (iter == 0) {
+      // The caller activates only the source; apply() sets its level
+      // unconditionally on iteration 0.
+      if (source < n) {
+        active_count = 1;
+        in_work = graph.in_degree(source);
+        sync_bytes = sync_of(source);
+        data[source] = 0;
+        next.push_back(source);
+        out_work = graph.out_degree(source);
+      }
+    } else {
+      // Activation from changed_{t-1}: active = has a changed in-neighbor
+      // (scatter-out delivered a signal); changed = the unvisited subset,
+      // which adopts level t. Direction chosen by the standard heuristic
+      // from exact frontier statistics.
+      // currently_pull is pinned false: the hysteresis band exists for a
+      // shrinking bottom-up scan, but here pull cost is static, so each
+      // level is decided fresh by the edge-mass comparison.
+      pull = policy.pull_for(mode, /*currently_pull=*/false, frontier.size(),
+                             scatter_edges, pull_cost_edges, n);
+      if (trace != nullptr) {
+        trace->levels.push_back(
+            {iter - 1, frontier.size(), scatter_edges, pull});
+      }
+      if (pull) {
+        // Disjoint vertex ranges, no atomics; the in-adjacency scan stops
+        // at the first changed parent.
+        const std::size_t chunks = ThreadPool::plan_chunks(n);
+        cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
+                                  std::size_t end) {
+          ChunkState& cs = chunk_states[c];
+          cs = ChunkState{};
+          auto& found = chunk_found[c];
+          found.clear();
+          for (std::size_t i = begin; i < end; ++i) {
+            const VertexId v = static_cast<VertexId>(i);
+            for (const VertexId u : graph.in_neighbors(v)) {
+              if (!frontier_bits.test(u)) continue;
+              ++cs.active;
+              cs.in_work += graph.in_degree(v);
+              cs.sync_bytes += sync_of(v);
+              if (data[v] == kGasBfsUnreached) {
+                data[v] = iter;
+                found.push_back(v);
+                cs.out_work += graph.out_degree(v);
+              }
+              break;
+            }
+          }
+        });
+        for (std::size_t c = 0; c < chunks; ++c) {
+          const ChunkState& cs = chunk_states[c];
+          active_count += cs.active;
+          in_work += cs.in_work;
+          out_work += cs.out_work;
+          sync_bytes += cs.sync_bytes;
+          next.insert(next.end(), chunk_found[c].begin(),
+                      chunk_found[c].end());
+        }
+      } else {
+        // Push: the first atomic claim of `touched` owns the activation;
+        // it alone accounts the vertex and, if unvisited, writes its
+        // level. All accounted terms are commutative-exact integers, so
+        // the varying claim order never shows in any output.
+        touched.clear();
+        const std::size_t chunks = ThreadPool::plan_chunks(frontier.size());
+        cluster.run_chunks(
+            frontier.size(),
+            [&](std::size_t c, std::size_t begin, std::size_t end) {
+              ChunkState& cs = chunk_states[c];
+              cs = ChunkState{};
+              auto& found = chunk_found[c];
+              found.clear();
+              for (std::size_t i = begin; i < end; ++i) {
+                for (const VertexId w : graph.out_neighbors(frontier[i])) {
+                  // Cheap relaxed-load pre-test: most edges point at an
+                  // already-claimed vertex, and a plain load dodges the
+                  // RMW that would otherwise dominate dense frontiers.
+                  if (touched.test_atomic(w)) continue;
+                  if (!touched.set_atomic(w)) continue;
+                  ++cs.active;
+                  cs.in_work += graph.in_degree(w);
+                  cs.sync_bytes += sync_of(w);
+                  if (data[w] == kGasBfsUnreached) {
+                    data[w] = iter;
+                    found.push_back(w);
+                    cs.out_work += graph.out_degree(w);
+                  }
+                }
+              }
+            });
+        for (std::size_t c = 0; c < chunks; ++c) {
+          const ChunkState& cs = chunk_states[c];
+          active_count += cs.active;
+          in_work += cs.in_work;
+          out_work += cs.out_work;
+          sync_bytes += cs.sync_bytes;
+          next.insert(next.end(), chunk_found[c].begin(),
+                      chunk_found[c].end());
+        }
+      }
+    }
+
+    // The generic engine breaks before charging the empty iteration.
+    if (active_count == 0) break;
+
+    for (const VertexId u : frontier) frontier_bits.reset(u);
+    for (const VertexId u : next) frontier_bits.set(u);
+    frontier.swap(next);
+    scatter_edges = out_work;
+
+    const double edge_work =
+        static_cast<double>(in_work) + static_cast<double>(out_work);
+    const double compute_units = cluster.scale_units(
+        static_cast<double>(active_count) + edge_work);
+    const double compute_time =
+        cluster.native_compute_time(compute_units) * imbalance /
+        cluster.total_slots();
+    const double sync_factor = placement.vertex_cut_mode ? 2.0 : 1.0;
+    const double net_time = cost.network_time(
+        static_cast<Bytes>(cluster.scale_bytes(sync_bytes * sync_factor)),
+        workers);
+
+    const std::string label = "iter_" + std::to_string(iter);
+    recorder.phase(label + "/compute", compute_time, true,
+                   PhaseUsage{.worker_cpu_cores = static_cast<double>(
+                                  cluster.cores_per_worker()),
+                              .worker_mem_bytes = partition_bytes});
+    recorder.phase(label + "/sync", net_time + cost.net_latency_sec * 4.0,
+                   false,
+                   PhaseUsage{.worker_cpu_cores = 0.1,
+                              .worker_mem_bytes = partition_bytes,
+                              .worker_net_in_bps = cost.net_bps * 0.4,
+                              .worker_net_out_bps = cost.net_bps * 0.4});
+    cluster.metrics().incr("gas.iterations");
+    cluster.metrics().add("mirror.sync_bytes",
+                          cluster.scale_bytes(sync_bytes * sync_factor));
+    abort_on_worker_loss(cluster, recorder,
+                         "iteration " + std::to_string(iter));
+    ++stats.iterations;
+  }
+
+  charge_write(graph, cluster, recorder, partition_bytes);
+  return stats;
+}
+
+}  // namespace gb::platforms::gas

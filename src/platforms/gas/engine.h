@@ -165,34 +165,36 @@ inline void abort_on_worker_loss(sim::Cluster& cluster,
   }
 }
 
-template <typename Program>
-GasStats run_sync(const Graph& graph, const Program& program,
-                  std::vector<typename Program::VData>& data,
-                  std::vector<std::uint8_t>& active, sim::Cluster& cluster,
-                  PhaseRecorder& recorder, const GasConfig& config,
-                  SimTime time_limit) {
-  const auto& cost = cluster.cost();
+/// Mirror placement derived from the cluster's partitioning strategy.
+/// Under the default hash strategy the engine keeps its native scheme
+/// (GasConfig.partitioning): GraphLab's hashed vertex-cut — edges hashed
+/// to workers, a vertex mirrored on every worker holding one of its edges
+/// — or the classic hashed edge-cut. Any other cluster strategy comes
+/// from the shared subsystem: kVertexCut supplies real greedy mirror
+/// sets, the vertex partitioners run as edge-cuts with exactly counted
+/// cut edges per the assignment's owners. Shared by run_sync and the
+/// specialized BFS path so the two charge identical placement bytes.
+struct Placement {
+  std::vector<std::uint8_t> mirrors;
+  std::vector<float> cut_degree;
+  double total_mirrors = 0.0;
+  bool vertex_cut_mode = false;
+};
+
+inline Placement compute_placement(
+    const Graph& graph, sim::Cluster& cluster,
+    const partition::PartitionAssignment& assignment,
+    const GasConfig& config) {
   const std::uint32_t workers = cluster.num_workers();
   const VertexId n = graph.num_vertices();
-
-  // Partitioning. Under the default hash strategy the engine keeps its
-  // native scheme (GasConfig.partitioning): GraphLab's hashed vertex-cut
-  // — edges hashed to workers, a vertex mirrored on every worker holding
-  // one of its edges — or the classic hashed edge-cut. Any other cluster
-  // strategy comes from the shared subsystem: kVertexCut supplies real
-  // greedy mirror sets, the vertex partitioners run as edge-cuts with
-  // exactly counted cut edges per the assignment's owners.
-  const partition::PartitionAssignment assignment =
-      partition_graph(graph, cluster, recorder);
-  const double imbalance = assignment.quality.imbalance;
   const partition::Strategy strategy = cluster.config().partitioner;
-  std::vector<std::uint8_t> mirrors(n, 1);
-  std::vector<float> cut_degree(n, 0.0f);
-  double total_mirrors = static_cast<double>(n);
-  bool vertex_cut_mode = false;
+  Placement p;
+  p.mirrors.assign(n, 1);
+  p.cut_degree.assign(n, 0.0f);
+  p.total_mirrors = static_cast<double>(n);
   if (strategy == partition::Strategy::kHash &&
       config.partitioning == Partitioning::kVertexCut) {
-    vertex_cut_mode = true;
+    p.vertex_cut_mode = true;
     std::vector<std::uint64_t> worker_mask(n, 0);
     for (VertexId v = 0; v < n; ++v) {
       for (const VertexId u : graph.out_neighbors(v)) {
@@ -204,19 +206,19 @@ GasStats run_sync(const Graph& graph, const Program& program,
         worker_mask[u] |= std::uint64_t{1} << (w % 64);
       }
     }
-    total_mirrors = 0.0;
+    p.total_mirrors = 0.0;
     for (VertexId v = 0; v < n; ++v) {
       const int m = std::max(1, __builtin_popcountll(worker_mask[v]));
-      mirrors[v] = static_cast<std::uint8_t>(std::min(m, 255));
-      total_mirrors += m;
+      p.mirrors[v] = static_cast<std::uint8_t>(std::min(m, 255));
+      p.total_mirrors += m;
     }
   } else if (strategy == partition::Strategy::kVertexCut) {
-    vertex_cut_mode = true;
-    total_mirrors = 0.0;
+    p.vertex_cut_mode = true;
+    p.total_mirrors = 0.0;
     for (VertexId v = 0; v < n; ++v) {
       const std::uint32_t m = assignment.mirrors[v];
-      mirrors[v] = static_cast<std::uint8_t>(std::min<std::uint32_t>(m, 255));
-      total_mirrors += static_cast<double>(m);
+      p.mirrors[v] = static_cast<std::uint8_t>(std::min<std::uint32_t>(m, 255));
+      p.total_mirrors += static_cast<double>(m);
     }
   } else {
     for (VertexId v = 0; v < n; ++v) {
@@ -224,9 +226,31 @@ GasStats run_sync(const Graph& graph, const Program& program,
       for (const VertexId u : graph.out_neighbors(v)) {
         if (assignment.owner_of(u) != assignment.owner_of(v)) cut += 1.0f;
       }
-      cut_degree[v] = cut;
+      p.cut_degree[v] = cut;
     }
   }
+  return p;
+}
+
+template <typename Program>
+GasStats run_sync(const Graph& graph, const Program& program,
+                  std::vector<typename Program::VData>& data,
+                  std::vector<std::uint8_t>& active, sim::Cluster& cluster,
+                  PhaseRecorder& recorder, const GasConfig& config,
+                  SimTime time_limit) {
+  const auto& cost = cluster.cost();
+  const std::uint32_t workers = cluster.num_workers();
+  const VertexId n = graph.num_vertices();
+
+  const partition::PartitionAssignment assignment =
+      partition_graph(graph, cluster, recorder);
+  const double imbalance = assignment.quality.imbalance;
+  const Placement placement =
+      compute_placement(graph, cluster, assignment, config);
+  const std::vector<std::uint8_t>& mirrors = placement.mirrors;
+  const std::vector<float>& cut_degree = placement.cut_degree;
+  const double total_mirrors = placement.total_mirrors;
+  const bool vertex_cut_mode = placement.vertex_cut_mode;
 
   const double partition_bytes =
       charge_startup_and_load(graph, total_mirrors, cluster, recorder, config);

@@ -29,6 +29,7 @@
 #include "partition/partition.h"
 #include "platforms/accounting.h"
 #include "platforms/grouping.h"
+#include "platforms/message_buffer.h"
 #include "platforms/partitioning.h"
 #include "sim/cluster.h"
 #include "sim/event_queue.h"
@@ -369,14 +370,14 @@ MRStats run_iterative(const Graph& graph, Job& job,
   const partition::PartitionAssignment assignment =
       partition_graph(graph, cluster, recorder);
 
-  std::vector<std::pair<VertexId, Msg>> outbox;
+  FlatMessageBuffer<Msg> outbox;
   GroupedMessages<Msg> grouped;
 
   // Host-parallel map/reduce waves over the fixed plan_chunks(n) plan:
-  // each chunk maps into a private outbox (concatenated in chunk order =
-  // the serial emission order) and reduces its own disjoint state range.
+  // each chunk maps into a private outbox segment (segments in chunk
+  // order = the serial emission order) and reduces its own disjoint state
+  // range.
   const std::size_t chunks = ThreadPool::plan_chunks(n);
-  std::vector<std::vector<std::pair<VertexId, Msg>>> chunk_outbox(chunks);
   std::vector<std::uint64_t> chunk_changed(chunks, 0);
   std::vector<std::uint32_t> attempts;  // per-node task failures
 
@@ -387,22 +388,19 @@ MRStats run_iterative(const Graph& graph, Job& job,
                           "MapReduce job exceeded the experiment time budget");
     }
     job.iteration = iter;
-    outbox.clear();
+    outbox.reset(chunks);
     cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
                               std::size_t end) {
-      auto& out = chunk_outbox[c];
-      out.clear();
-      MapEmitter<Msg> emitter(out);
+      MapEmitter<Msg> emitter(outbox.segment(c));
       for (std::size_t v = begin; v < end; ++v) {
         job.map(static_cast<VertexId>(v), state[v], graph, emitter);
       }
     });
-    for (auto& out : chunk_outbox) {
-      outbox.insert(outbox.end(), out.begin(), out.end());
-    }
 
-    // Group messages by destination (the shuffle, executed for real).
+    // Group messages by destination (the shuffle, executed for real) —
+    // straight from the chunk segments, no concatenation pass.
     group_by_destination(outbox, n, grouped);
+    const auto sent = static_cast<double>(outbox.count());
 
     std::uint64_t changed = 0;
     cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
@@ -424,13 +422,11 @@ MRStats run_iterative(const Graph& graph, Job& job,
         std::max(1.0, config.block_compression);
     volume.input_bytes = structure_bytes;
     volume.output_bytes = structure_bytes;
-    volume.map_output_records =
-        static_cast<double>(n) + static_cast<double>(outbox.size());
+    volume.map_output_records = static_cast<double>(n) + sent;
     volume.map_output_bytes =
-        structure_bytes +
-        static_cast<double>(outbox.size()) * config.message_record_bytes /
-            std::max(1.0, config.block_compression);
-    volume.compute_units = static_cast<double>(outbox.size());
+        structure_bytes + sent * config.message_record_bytes /
+                              std::max(1.0, config.block_compression);
+    volume.compute_units = sent;
     if (config.haloop && iter > 0) {
       // Loop-invariant graph structure is served from the reducer-local
       // cache: only mutable vertex state is read, shuffled and written.
@@ -439,8 +435,7 @@ MRStats run_iterative(const Graph& graph, Job& job,
       volume.input_bytes = state_bytes;
       volume.output_bytes = state_bytes;
       volume.map_output_bytes =
-          state_bytes +
-          static_cast<double>(outbox.size()) * config.message_record_bytes;
+          state_bytes + sent * config.message_record_bytes;
     }
     const std::string label = "iter_" + std::to_string(iter);
     for (std::uint32_t j = 0;

@@ -1,0 +1,105 @@
+// Flat, chunk-partitioned message buffer — the hot-path replacement for
+// the engines' merge-into-one-vector message staging.
+//
+// Each compute chunk appends (destination, message) pairs to its own
+// segment; the segments, read in ascending chunk order, ARE the message
+// stream a serial vertex sweep would have produced, so no concatenation
+// pass is needed before grouping or accounting. The host profiler
+// (`--trace-host-profile`) showed the per-superstep concatenation of all
+// chunk outboxes dominating the non-compute host time on message-heavy
+// rounds; this buffer removes that copy entirely while keeping every
+// observable byte identical (same entries, same order).
+//
+// Determinism: segment count comes from ThreadPool::plan_chunks (a pure
+// function of the vertex count), each segment's append order is the serial
+// order of its chunk's vertex range, and every consumer iterates segments
+// in ascending index order — so the logical stream never depends on the
+// thread schedule.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "platforms/grouping.h"
+
+namespace gb::platforms {
+
+template <typename Msg>
+class FlatMessageBuffer {
+ public:
+  using Entry = std::pair<VertexId, Msg>;
+
+  /// Start a new round with `chunks` segments. Segment storage (and its
+  /// capacity) is reused across rounds; only the logical contents reset.
+  void reset(std::size_t chunks) {
+    if (segments_.size() < chunks) segments_.resize(chunks);
+    active_ = chunks;
+    for (std::size_t c = 0; c < chunks; ++c) segments_[c].clear();
+  }
+
+  /// Chunk c's private segment — the only one chunk c may touch while a
+  /// parallel region is running.
+  std::vector<Entry>& segment(std::size_t c) { return segments_[c]; }
+  const std::vector<Entry>& segment(std::size_t c) const {
+    return segments_[c];
+  }
+
+  std::size_t num_segments() const { return active_; }
+
+  /// Total messages across all segments (replaces `outbox.size()` in the
+  /// engines' accounting — an O(chunks) sum instead of a materialized
+  /// vector).
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (std::size_t c = 0; c < active_; ++c) total += segments_[c].size();
+    return total;
+  }
+
+  bool empty() const {
+    for (std::size_t c = 0; c < active_; ++c) {
+      if (!segments_[c].empty()) return false;
+    }
+    return true;
+  }
+
+  /// Visit every entry as fn(destination, message) in the canonical order:
+  /// ascending segment, then append order within the segment.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t c = 0; c < active_; ++c) {
+      for (const Entry& e : segments_[c]) fn(e.first, e.second);
+    }
+  }
+
+  /// Collapse to a single segment holding `entries` (used after a
+  /// sender-side combiner pass rewrote the stream). Swaps storage, so the
+  /// caller's vector becomes reusable scratch.
+  void adopt(std::vector<Entry>& entries) {
+    reset(1);
+    segments_[0].swap(entries);
+  }
+
+ private:
+  std::vector<std::vector<Entry>> segments_;
+  std::size_t active_ = 0;
+};
+
+/// Segmented counting sort into per-destination spans — bit-identical to
+/// concatenating the segments in ascending order and calling the flat
+/// group_by_destination overload, without ever materializing the
+/// concatenation.
+template <typename Msg>
+void group_by_destination(const FlatMessageBuffer<Msg>& buffer, VertexId n,
+                          GroupedMessages<Msg>& out) {
+  out.offsets.assign(n + 1, 0);
+  buffer.for_each([&](VertexId dst, const Msg&) { ++out.offsets[dst + 1]; });
+  for (VertexId v = 0; v < n; ++v) out.offsets[v + 1] += out.offsets[v];
+  out.messages.resize(buffer.count());
+  std::vector<EdgeId> cursor(out.offsets.begin(), out.offsets.end() - 1);
+  buffer.for_each(
+      [&](VertexId dst, const Msg& msg) { out.messages[cursor[dst]++] = msg; });
+}
+
+}  // namespace gb::platforms

@@ -59,6 +59,17 @@ struct AlgorithmParams {
   /// without checkpointing ignore it.
   std::uint32_t checkpoint_interval = 0;
 
+  /// Route BFS through the engines' direction-optimizing (push/pull)
+  /// specializations where the execution model permits one (Pregel, GAS).
+  /// Simulated results are bit-identical either way; false forces the
+  /// generic vertex-program path (bench_hostperf's "before" side).
+  bool direction_optimizing = true;
+
+  /// Restore the engines' pre-flat-buffer host message staging (one
+  /// concatenated outbox per superstep). Simulated results are
+  /// bit-identical; only host wall-clock changes (bench_hostperf).
+  bool legacy_host_buffers = false;
+
   /// Simulated-time budget after which the harness terminates the job,
   /// like the paper did with Stratosphere STATS (~4 h) and Neo4j (20 h).
   SimTime time_limit = 20.0 * 3600.0;

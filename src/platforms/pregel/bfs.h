@@ -1,0 +1,327 @@
+// Direction-optimizing BFS specialization of the Pregel engine.
+//
+// run_bsp running BfsProgram is a pure frontier computation: superstep t
+// activates exactly the vertices with an in-neighbor at level t-1, the
+// new frontier is the unvisited subset, and every simulated quantity —
+// active counts, message counts, per-worker inbox bytes, LALP savings —
+// is a function of those sets. This path computes the sets with dense
+// bitset frontiers (push claims through an atomic bitset; pull scans
+// candidates' CSR in-adjacency with early exit) and derives the
+// accounting directly, without materializing, concatenating or
+// counting-sorting a single message object.
+//
+// Every charge, phase, metric and heap check replicates run_bsp +
+// BfsProgram (no combiner) bit for bit: all sums are integer-valued
+// doubles merged in a fixed order, so levels, supersteps, phase times and
+// crash behaviour are identical at every host parallelism and under every
+// partitioner. Only the host-side metric `host.chunks_executed` (a count
+// of planned work chunks) differs, because the specialized path plans
+// fewer chunked passes per superstep.
+//
+// The direction heuristic affects frontier *discovery* only. The
+// per-worker inbox accounting always walks the new frontier's out-edges
+// (the cost model observes each message's destination owner), so that
+// pass is shared by both directions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bitset.h"
+#include "core/traversal.h"
+#include "platforms/pregel/engine.h"
+
+namespace gb::platforms::pregel {
+
+inline constexpr std::uint64_t kBfsUnreached = ~std::uint64_t{0};
+
+/// Specialized run_bsp for BfsProgram (levels from `source`, no
+/// combiner). Returns the same BspOutcome as the generic engine: values
+/// are BFS levels (kBfsUnreached where unreachable) and `supersteps`
+/// counts every charged superstep, including the final empty one.
+inline BspOutcome<std::uint64_t, std::uint64_t> run_bsp_bfs(
+    const Graph& graph, VertexId source, sim::Cluster& cluster,
+    PhaseRecorder& recorder, SimTime time_limit, EngineConfig config = {},
+    TraversalMode mode = TraversalMode::kAuto,
+    BfsTraversalTrace* trace = nullptr) {
+  const auto& cost = cluster.cost();
+  const std::uint32_t workers = cluster.num_workers();
+  const VertexId n = graph.num_vertices();
+  if (trace != nullptr) trace->levels.clear();
+
+  const double partition_bytes =
+      charge_setup_and_load(graph, cluster, recorder, config);
+  const partition::PartitionAssignment assignment =
+      partition_graph(graph, cluster, recorder);
+  const auto owner = [&assignment](VertexId v) {
+    return assignment.owner_of(v);
+  };
+  const double imbalance = assignment.quality.imbalance;
+
+  std::vector<std::uint64_t> values(n, kBfsUnreached);
+  DenseBitset frontier_bits(n);  // F_{t-1}, the senders being expanded
+  DenseBitset touched(n);        // distinct destinations, push passes
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next;
+
+  const DirectionPolicy policy;
+  bool pull = false;
+  // Pull-cost proxy for the direction policy. The delivery pull can never
+  // skip visited vertices (the active set includes re-activations), so
+  // bottom-up cost does not shrink as the traversal progresses; the
+  // static edge total is the honest stand-in, engaging pull only on
+  // peak-frontier supersteps where early exits are immediate.
+  const std::uint64_t pull_cost_edges = graph.num_adjacency_entries();
+
+  // Per-chunk scratch, merged in ascending chunk order. Owner counts are
+  // integers; inbox bytes become count * envelope, which equals the
+  // generic engine's per-message double accumulation exactly (every
+  // partial sum is an integer below 2^53).
+  const std::size_t max_chunks = ThreadPool::plan_chunks(n);
+  std::vector<std::vector<VertexId>> chunk_found(max_chunks);
+  std::vector<std::uint64_t> chunk_active(max_chunks, 0);
+  std::vector<std::uint64_t> chunk_edges(max_chunks, 0);
+  std::vector<std::uint64_t> chunk_lalp(max_chunks, 0);
+  std::vector<std::uint64_t> owner_counts(max_chunks * workers, 0);
+
+  std::uint64_t outbox_count = 0;  // messages sent by the current step
+  std::uint64_t supersteps = 0;
+  SimTime last_checkpoint = 0.0;  // 0: recovery replays from job start
+
+  for (std::uint32_t step = 0; step < config.max_supersteps; ++step) {
+    if (recorder.now() > time_limit) {
+      throw PlatformError(PlatformError::Kind::kTimeout,
+                          "Giraph exceeded the experiment time budget");
+    }
+    std::uint64_t active = 0;
+    const std::uint64_t received = outbox_count;
+    next.clear();
+
+    if (step == 0) {
+      // Superstep 0: every vertex computes (none halted yet); only the
+      // source joins the frontier and broadcasts level 1.
+      active = n;
+      if (source < n) {
+        values[source] = 0;
+        next.push_back(source);
+      }
+    } else {
+      // Delivery of last step's messages: the active set is the distinct
+      // destinations of F_{t-1}'s out-edges; the unvisited ones adopt
+      // level t and form F_t. Direction chosen by the standard heuristic
+      // from exact frontier statistics (deterministic inputs).
+      // currently_pull is pinned false: the hysteresis band exists for a
+      // shrinking bottom-up scan, but here pull cost is static, so each
+      // level is decided fresh by the edge-mass comparison.
+      pull = policy.pull_for(mode, /*currently_pull=*/false, frontier.size(),
+                             outbox_count, pull_cost_edges, n);
+      if (trace != nullptr) {
+        trace->levels.push_back(
+            {step - 1, frontier.size(), outbox_count, pull});
+      }
+      if (pull) {
+        // Each chunk owns a disjoint vertex range: no atomics, and the
+        // in-adjacency scan stops at the first frontier parent for
+        // visited and unvisited candidates alike.
+        const std::size_t chunks = ThreadPool::plan_chunks(n);
+        cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
+                                  std::size_t end) {
+          auto& found = chunk_found[c];
+          found.clear();
+          std::uint64_t act = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            const VertexId v = static_cast<VertexId>(i);
+            for (const VertexId u : graph.in_neighbors(v)) {
+              if (!frontier_bits.test(u)) continue;
+              ++act;
+              if (values[v] == kBfsUnreached) {
+                values[v] = step;
+                found.push_back(v);
+              }
+              break;
+            }
+          }
+          chunk_active[c] = act;
+        });
+        for (std::size_t c = 0; c < chunks; ++c) {
+          active += chunk_active[c];
+          next.insert(next.end(), chunk_found[c].begin(),
+                      chunk_found[c].end());
+        }
+      } else {
+        // Push: the first atomic claim of `touched` owns the destination
+        // — it alone counts the vertex as active and, if unvisited,
+        // writes its level. Claim winners may vary between runs, but
+        // every winner writes the same level, so outputs do not.
+        touched.clear();
+        const std::size_t chunks = ThreadPool::plan_chunks(frontier.size());
+        cluster.run_chunks(
+            frontier.size(),
+            [&](std::size_t c, std::size_t begin, std::size_t end) {
+              auto& found = chunk_found[c];
+              found.clear();
+              std::uint64_t act = 0;
+              for (std::size_t i = begin; i < end; ++i) {
+                for (const VertexId w : graph.out_neighbors(frontier[i])) {
+                  // Relaxed-load pre-test before the claim: duplicate
+                  // destinations (the common case on dense frontiers)
+                  // skip the fetch_or entirely.
+                  if (touched.test_atomic(w)) continue;
+                  if (!touched.set_atomic(w)) continue;
+                  ++act;
+                  if (values[w] == kBfsUnreached) {
+                    values[w] = step;
+                    found.push_back(w);
+                  }
+                }
+              }
+              chunk_active[c] = act;
+            });
+        for (std::size_t c = 0; c < chunks; ++c) {
+          active += chunk_active[c];
+          next.insert(next.end(), chunk_found[c].begin(),
+                      chunk_found[c].end());
+        }
+      }
+    }
+
+    // Frontier handoff: `next` (F_t) sends this superstep.
+    for (const VertexId u : frontier) frontier_bits.reset(u);
+    for (const VertexId u : next) frontier_bits.set(u);
+    frontier.swap(next);
+
+    // Sending pass over F_t: message count, LALP savings and the
+    // per-worker destination histogram — the one inherently per-edge
+    // quantity the cost model observes.
+    outbox_count = 0;
+    std::uint64_t lalp_saved_msgs = 0;
+    std::vector<double> inbox_bytes(workers, 0.0);
+    const double payload = static_cast<double>(sizeof(std::uint64_t));
+    const double envelope =
+        payload + static_cast<double>(config.message_overhead);
+    {
+      const std::size_t chunks = ThreadPool::plan_chunks(frontier.size());
+      std::fill(owner_counts.begin(),
+                owner_counts.begin() +
+                    static_cast<std::ptrdiff_t>(chunks * workers),
+                0);
+      cluster.run_chunks(
+          frontier.size(),
+          [&](std::size_t c, std::size_t begin, std::size_t end) {
+            std::uint64_t* counts = owner_counts.data() + c * workers;
+            std::uint64_t edges = 0;
+            std::uint64_t lalp = 0;
+            for (std::size_t i = begin; i < end; ++i) {
+              const VertexId u = frontier[i];
+              const auto neighbors = graph.out_neighbors(u);
+              edges += neighbors.size();
+              if (config.lalp_threshold > 0 &&
+                  neighbors.size() > config.lalp_threshold &&
+                  neighbors.size() > workers) {
+                lalp += neighbors.size() - workers;
+              }
+              for (const VertexId v : neighbors) ++counts[owner(v)];
+            }
+            chunk_edges[c] = edges;
+            chunk_lalp[c] = lalp;
+          });
+      for (std::size_t c = 0; c < chunks; ++c) {
+        outbox_count += chunk_edges[c];
+        lalp_saved_msgs += chunk_lalp[c];
+        const std::uint64_t* counts = owner_counts.data() + c * workers;
+        for (std::uint32_t w = 0; w < workers; ++w) {
+          inbox_bytes[w] += static_cast<double>(counts[w]) * envelope;
+        }
+      }
+    }
+    const double lalp_saved = static_cast<double>(lalp_saved_msgs);
+
+    // ---- accounting: replicated from run_bsp (no combiner, no
+    // adjacency broadcast, no extra units) ---------------------------------
+    const double cross_fraction =
+        workers > 1 ? assignment.quality.edge_cut_fraction : 0.0;
+    const double cross_bytes =
+        std::max(0.0, static_cast<double>(outbox_count) - lalp_saved) *
+        payload * cross_fraction;
+    if (lalp_saved > 0) {
+      const double saved_per_worker = lalp_saved * envelope / workers;
+      for (auto& b : inbox_bytes) b = std::max(0.0, b - saved_per_worker);
+    }
+    double max_inbox = 0.0;
+    for (const double b : inbox_bytes) max_inbox = std::max(max_inbox, b);
+    const double outbox_bytes = static_cast<double>(outbox_count) * envelope /
+                                std::max<std::uint32_t>(workers, 1);
+    const double scaled_inbox =
+        cluster.scale_bytes(max_inbox + outbox_bytes) * config.buffer_factor;
+    cluster.check_heap(partition_bytes + scaled_inbox,
+                       "Giraph superstep message buffers");
+
+    const double message_units =
+        (static_cast<double>(outbox_count) + static_cast<double>(received)) *
+        config.units_per_message;
+    const double compute_units =
+        cluster.scale_units(static_cast<double>(active) + message_units);
+    const double compute_time =
+        cluster.jvm_compute_time(compute_units) * imbalance /
+        cluster.total_slots();
+    const double net_time =
+        cost.network_time(static_cast<Bytes>(cluster.scale_bytes(cross_bytes)),
+                          workers);
+
+    const std::string label = "superstep_" + std::to_string(step);
+    PhaseUsage compute_usage;
+    compute_usage.worker_cpu_cores = cluster.cores_per_worker();
+    compute_usage.worker_mem_bytes = partition_bytes + scaled_inbox;
+    recorder.phase(label + "/compute", compute_time, true, compute_usage);
+
+    PhaseUsage comm_usage;
+    comm_usage.worker_cpu_cores = 0.15;
+    comm_usage.worker_mem_bytes = partition_bytes + scaled_inbox;
+    comm_usage.worker_net_in_bps = cost.net_bps * 0.5;
+    comm_usage.worker_net_out_bps = cost.net_bps * 0.5;
+    comm_usage.master_cpu_cores = 0.03;  // ZooKeeper barrier coordination
+    recorder.phase(label + "/sync", net_time + cost.bsp_barrier_sec, false,
+                   comm_usage);
+
+    cluster.metrics().incr("pregel.supersteps");
+    cluster.metrics().incr("messages.sent", outbox_count);
+    cluster.metrics().add("messages.cross_worker_bytes",
+                          cluster.scale_bytes(cross_bytes));
+
+    const double checkpoint_bytes =
+        cluster.scale_bytes(static_cast<double>(n) * 16.0 + max_inbox) /
+        workers;
+    if (config.checkpoint_interval > 0 &&
+        (step + 1) % config.checkpoint_interval == 0) {
+      const SimTime checkpoint_time =
+          cost.disk_write_time(static_cast<Bytes>(checkpoint_bytes)) +
+          cost.bsp_barrier_sec;
+      recorder.phase(label + "/checkpoint", checkpoint_time, false,
+                     PhaseUsage{.worker_cpu_cores = 0.3,
+                                .worker_mem_bytes = partition_bytes});
+      cluster.faults().stats().checkpoint_overhead_sec += checkpoint_time;
+      cluster.metrics().incr("checkpoints.written");
+      last_checkpoint = recorder.now();
+    }
+    handle_worker_loss(cluster, recorder, config, checkpoint_bytes,
+                       partition_bytes, last_checkpoint, label);
+
+    ++supersteps;
+    // Every computing vertex votes to halt each superstep, so once the
+    // frontier stops producing messages the generic engine's all-halted
+    // test is necessarily true and the job ends on this superstep.
+    if (outbox_count == 0) break;
+  }
+
+  charge_write(graph, cluster, recorder, partition_bytes);
+
+  BspOutcome<std::uint64_t, std::uint64_t> outcome;
+  outcome.values = std::move(values);
+  outcome.supersteps = supersteps;
+  outcome.aggregate = 0.0;
+  return outcome;
+}
+
+}  // namespace gb::platforms::pregel

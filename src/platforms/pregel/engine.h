@@ -24,6 +24,7 @@
 #include "core/graph.h"
 #include "partition/partition.h"
 #include "platforms/accounting.h"
+#include "platforms/message_buffer.h"
 #include "platforms/partitioning.h"
 #include "sim/cluster.h"
 
@@ -43,6 +44,11 @@ struct EngineConfig {
   /// Giraph's Combiner interface: per destination only one combined
   /// message survives, shrinking both network traffic and inbox heap.
   bool use_combiner = false;
+  /// Re-enable the pre-flat-buffer host path: concatenate every chunk's
+  /// outbox into one vector before accounting and grouping. Simulated
+  /// output is bit-identical either way; this only restores the host-side
+  /// copy so bench_hostperf can measure before/after in one process.
+  bool legacy_message_buffers = false;
   /// Fault-tolerance checkpoints (paper Section 3.1: "Giraph uses
   /// periodic checkpoints"): every N supersteps each worker writes its
   /// partition state to HDFS. 0 disables checkpointing (the paper's
@@ -285,18 +291,18 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
   // ---- superstep loop ----------------------------------------------------
   std::vector<V> values(n, initial_value);
   std::vector<std::uint8_t> halted(n, 0);
-  std::vector<std::pair<VertexId, M>> outbox;
+  FlatMessageBuffer<M> outbox_buf;
+  std::vector<std::pair<VertexId, M>> legacy_outbox;
   std::vector<M> inbox;                   // grouped by destination
   std::vector<EdgeId> inbox_offsets(n + 1, 0);
 
   // Host-parallel vertex compute: the vertex range is split by the fixed
   // plan_chunks(n) plan (never by pool size); each chunk owns a private
-  // outbox and accumulator set, merged below in ascending chunk order so
-  // every output — including the outbox message order — matches a serial
-  // sweep bit for bit.
+  // outbox segment and accumulator set, merged below in ascending chunk
+  // order so every output — including the logical message order — matches
+  // a serial sweep bit for bit.
   const std::size_t chunks = ThreadPool::plan_chunks(n);
   struct ChunkState {
-    std::vector<std::pair<VertexId, M>> outbox;
     double aggregate = 0.0;
     double extra_units = 0.0;
     double lalp_saved = 0.0;
@@ -329,7 +335,7 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
       throw PlatformError(PlatformError::Kind::kTimeout,
                           "Giraph exceeded the experiment time budget");
     }
-    outbox.clear();
+    outbox_buf.reset(chunks);
     bool adjacency_broadcast = false;
     double aggregate_next = 0.0;
     double extra_units = 0.0;
@@ -340,7 +346,6 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
     cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
                               std::size_t end) {
       ChunkState& cs = chunk_states[c];
-      cs.outbox.clear();
       cs.aggregate = 0.0;
       cs.extra_units = 0.0;
       cs.lalp_saved = 0.0;
@@ -354,7 +359,7 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
       ctx.adjacency_delivered_ = adjacency_pending;
       ctx.lalp_threshold_ = config.lalp_threshold;
       ctx.num_workers_ = workers;
-      ctx.outbox_ = &cs.outbox;
+      ctx.outbox_ = &outbox_buf.segment(c);
       ctx.adjacency_broadcast_ = &cs.adjacency_broadcast;
       ctx.extra_units_ = &cs.extra_units;
       ctx.lalp_saved_messages_ = &cs.lalp_saved;
@@ -382,10 +387,10 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
       }
     });
 
-    // Fixed-order merge: chunk outboxes concatenate to exactly the message
-    // order a serial vertex sweep would have produced.
+    // Fixed-order merge of the scalar accumulators (ascending chunk
+    // order). The message stream itself stays segmented — chunk segments
+    // read in ascending order already ARE the serial sweep's order.
     for (ChunkState& cs : chunk_states) {
-      outbox.insert(outbox.end(), cs.outbox.begin(), cs.outbox.end());
       aggregate_next += cs.aggregate;
       extra_units += cs.extra_units;
       lalp_saved += cs.lalp_saved;
@@ -393,16 +398,26 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
       received += cs.received;
       adjacency_broadcast |= cs.adjacency_broadcast;
     }
+    if (config.legacy_message_buffers) {
+      // Pre-flat-buffer host path: materialize the concatenation, then
+      // hand it back as a single segment so the shared code below sees
+      // the identical logical stream.
+      legacy_outbox.clear();
+      outbox_buf.for_each([&](VertexId dst, const M& msg) {
+        legacy_outbox.emplace_back(dst, msg);
+      });
+      outbox_buf.adopt(legacy_outbox);
+    }
 
     // ---- combiner --------------------------------------------------------
     // Collapse messages per destination before they are buffered or
     // shipped (approximates Giraph's sender-side combiner; combining here
     // is global, an upper bound on the per-worker benefit).
     if constexpr (HasCombiner<Program, M>) {
-      if (config.use_combiner && !outbox.empty()) {
+      if (config.use_combiner && !outbox_buf.empty()) {
         combined.clear();
         const auto epoch = static_cast<std::uint32_t>(step + 1);
-        for (const auto& [dst, msg] : outbox) {
+        outbox_buf.for_each([&](VertexId dst, const M& msg) {
           if (combine_epoch[dst] != epoch) {
             combine_epoch[dst] = epoch;
             combine_slot[dst] = static_cast<std::uint32_t>(combined.size());
@@ -411,10 +426,11 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
             auto& slot = combined[combine_slot[dst]].second;
             slot = Program::combine(slot, msg);
           }
-        }
-        outbox.swap(combined);
+        });
+        outbox_buf.adopt(combined);
       }
     }
+    const std::uint64_t outbox_count = outbox_buf.count();
 
     // ---- accounting ------------------------------------------------------
     // Message volume and cross-worker bytes; inbox heap demand per worker.
@@ -422,17 +438,16 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
     const double envelope =
         payload + static_cast<double>(config.message_overhead);
     std::vector<double> inbox_bytes(workers, 0.0);
-    for (const auto& [dst, msg] : outbox) {
-      (void)msg;
+    outbox_buf.for_each([&](VertexId dst, const M&) {
       inbox_bytes[owner(dst)] += envelope;
-    }
+    });
     // Cross-worker fraction: messages travel along edges, so the measured
     // edge-cut of the assignment is the fraction that crosses the wire
     // (for hash partitioning this lands near the old (W-1)/W estimate).
     const double cross_fraction =
         workers > 1 ? assignment.quality.edge_cut_fraction : 0.0;
     double cross_bytes =
-        std::max(0.0, static_cast<double>(outbox.size()) - lalp_saved) *
+        std::max(0.0, static_cast<double>(outbox_count) - lalp_saved) *
         payload * cross_fraction;
     // LALP also spares the receivers' buffers: replicas materialize from
     // one wire message per worker.
@@ -472,7 +487,7 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
     const double outbox_bytes =
         adjacency_broadcast
             ? 0.0
-            : static_cast<double>(outbox.size()) * envelope /
+            : static_cast<double>(outbox_count) * envelope /
                   std::max<std::uint32_t>(workers, 1);
     const double scaled_inbox =
         cluster.scale_bytes(max_inbox + outbox_bytes) * config.buffer_factor;
@@ -480,7 +495,7 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
                        "Giraph superstep message buffers");
 
     const double message_units =
-        (static_cast<double>(outbox.size()) + static_cast<double>(received)) *
+        (static_cast<double>(outbox_count) + static_cast<double>(received)) *
             config.units_per_message +
         adjacency_units * 2.0;
     const double compute_units =
@@ -511,7 +526,7 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
                    comm_usage);
 
     cluster.metrics().incr("pregel.supersteps");
-    cluster.metrics().incr("messages.sent", outbox.size());
+    cluster.metrics().incr("messages.sent", outbox_count);
     cluster.metrics().add("messages.cross_worker_bytes",
                           cluster.scale_bytes(cross_bytes));
 
@@ -540,7 +555,7 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
     adjacency_pending = adjacency_broadcast;
 
     // ---- build next inbox --------------------------------------------------
-    if (outbox.empty() && !adjacency_broadcast) {
+    if (outbox_count == 0 && !adjacency_broadcast) {
       const bool all_halted =
           std::all_of(halted.begin(), halted.end(),
                       [](std::uint8_t h) { return h != 0; });
@@ -550,20 +565,19 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
       continue;
     }
 
-    // Counting sort of outbox into per-destination spans.
+    // Segmented counting sort of the outbox into per-destination spans —
+    // chunk segments visited in ascending order reproduce the serial
+    // message order, so the inbox is byte-identical to the merged path.
     std::fill(inbox_offsets.begin(), inbox_offsets.end(), 0);
-    for (const auto& [dst, msg] : outbox) {
-      (void)msg;
-      ++inbox_offsets[dst + 1];
-    }
+    outbox_buf.for_each(
+        [&](VertexId dst, const M&) { ++inbox_offsets[dst + 1]; });
     for (VertexId v = 0; v < n; ++v) inbox_offsets[v + 1] += inbox_offsets[v];
-    inbox.resize(outbox.size());
+    inbox.resize(outbox_count);
     {
       std::vector<EdgeId> cursor(inbox_offsets.begin(),
                                  inbox_offsets.end() - 1);
-      for (const auto& [dst, msg] : outbox) {
-        inbox[cursor[dst]++] = msg;
-      }
+      outbox_buf.for_each(
+          [&](VertexId dst, const M& msg) { inbox[cursor[dst]++] = msg; });
     }
     have_inbox = true;
   }

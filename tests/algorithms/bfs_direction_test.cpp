@@ -1,0 +1,178 @@
+// Direction-optimizing BFS must be a pure host-side optimization: level
+// arrays bit-identical to the top-down reference on every graph shape, in
+// every forced direction mode, at every pool size — and Graph500-valid.
+#include "algorithms/reference.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "algorithms/graph500.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "core/traversal.h"
+#include "../test_util.h"
+
+namespace gb::algorithms {
+namespace {
+
+Graph random_graph(std::uint64_t seed, bool directed) {
+  Xoshiro256 rng(seed);
+  const VertexId n = 30 + rng.next_below(71);
+  const std::size_t m = n + rng.next_below(5 * n);
+  GraphBuilder b(n, directed);
+  for (std::size_t i = 0; i < m; ++i) {
+    b.add_edge(rng.next_below(n), rng.next_below(n));
+  }
+  return b.build();
+}
+
+/// Star with the hub at 0: a one-level pull-friendly frontier explosion.
+Graph star_graph(VertexId leaves, bool directed) {
+  GraphBuilder b(leaves + 1, directed);
+  for (VertexId v = 1; v <= leaves; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+void expect_matches_topdown(const Graph& g, VertexId source,
+                            ThreadPool* pool, TraversalMode mode,
+                            const char* label) {
+  const auto expected = reference_bfs_topdown(g, source, pool);
+  const auto got = reference_bfs(g, source, pool, mode);
+  EXPECT_EQ(got.levels, expected.levels) << label;
+  EXPECT_EQ(got.iterations, expected.iterations) << label;
+  EXPECT_EQ(got.visited, expected.visited) << label;
+  if (source < g.num_vertices()) {
+    const auto v = validate_bfs_levels(g, source, got.levels);
+    EXPECT_TRUE(v.valid) << label << ": " << v.error;
+  }
+}
+
+void expect_matches_everywhere(const Graph& g, VertexId source,
+                               const char* label) {
+  const std::size_t pool_sizes[] = {1, 2, 4};
+  for (const TraversalMode mode :
+       {TraversalMode::kAuto, TraversalMode::kPush, TraversalMode::kPull}) {
+    expect_matches_topdown(g, source, nullptr, mode, label);
+    for (const std::size_t threads : pool_sizes) {
+      ThreadPool pool(threads);
+      expect_matches_topdown(g, source, &pool, mode, label);
+    }
+  }
+}
+
+TEST(BfsDirection, PathGraph) {
+  expect_matches_everywhere(test::path_graph(17), 0, "path undirected");
+  expect_matches_everywhere(test::path_graph(17, true), 0, "path directed");
+  expect_matches_everywhere(test::path_graph(17), 8, "path mid-source");
+}
+
+TEST(BfsDirection, StarGraph) {
+  for (const bool directed : {false, true}) {
+    const Graph g = star_graph(50, directed);
+    expect_matches_everywhere(g, 0, "star from hub");
+    if (!directed) expect_matches_everywhere(g, 7, "star from leaf");
+  }
+}
+
+TEST(BfsDirection, DisconnectedComponents) {
+  expect_matches_everywhere(test::two_components(), 0, "from triangle");
+  expect_matches_everywhere(test::two_components(), 3, "from edge pair");
+}
+
+TEST(BfsDirection, SingleVertexAndEmptySource) {
+  GraphBuilder b(1, false);
+  expect_matches_everywhere(b.build(), 0, "single vertex");
+}
+
+TEST(BfsDirection, SourceOutOfRange) {
+  const Graph g = test::path_graph(5);
+  const auto r = reference_bfs(g, 99);
+  EXPECT_EQ(r.visited, 0u);
+  for (const auto level : r.levels) EXPECT_EQ(level, kUnreached);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(BfsDirection, IsolatedSource) {
+  GraphBuilder b(4, false);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  expect_matches_everywhere(g, 0, "isolated source");
+  const auto r = reference_bfs(g, 0);
+  EXPECT_EQ(r.visited, 1u);
+  EXPECT_EQ(r.levels[0], 0u);
+}
+
+TEST(BfsDirection, RandomGraphsMatchTopDown) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const bool directed : {false, true}) {
+      const Graph g = random_graph(seed, directed);
+      expect_matches_everywhere(
+          g, 0, directed ? "random directed" : "random undirected");
+    }
+  }
+}
+
+TEST(BfsDirection, AutoModeActuallyPullsOnDenseFrontiers) {
+  // A complete graph reaches everyone at depth 1; after the source
+  // expands, the unexplored-edge mass collapses and auto must switch.
+  const Graph g = test::complete_graph(60);
+  BfsTraversalTrace trace;
+  const auto r =
+      reference_bfs(g, 0, nullptr, TraversalMode::kAuto, &trace);
+  EXPECT_EQ(r.visited, 60u);
+  ASSERT_FALSE(trace.levels.empty());
+  EXPECT_GT(trace.pull_levels(), 0u);
+}
+
+TEST(BfsDirection, ForcedModesRecordTheirDirection) {
+  const Graph g = random_graph(3, false);
+  BfsTraversalTrace push_trace, pull_trace;
+  reference_bfs(g, 0, nullptr, TraversalMode::kPush, &push_trace);
+  reference_bfs(g, 0, nullptr, TraversalMode::kPull, &pull_trace);
+  EXPECT_EQ(push_trace.pull_levels(), 0u);
+  EXPECT_EQ(pull_trace.push_levels(), 0u);
+  EXPECT_EQ(push_trace.levels.size(), pull_trace.levels.size());
+  // The per-level frontier statistics are direction-independent facts.
+  for (std::size_t i = 0; i < push_trace.levels.size(); ++i) {
+    EXPECT_EQ(push_trace.levels[i].frontier_verts,
+              pull_trace.levels[i].frontier_verts);
+    EXPECT_EQ(push_trace.levels[i].frontier_edges,
+              pull_trace.levels[i].frontier_edges);
+  }
+}
+
+TEST(BfsDirection, TraceIsIdenticalAcrossPoolSizes) {
+  const Graph g = random_graph(5, true);
+  BfsTraversalTrace serial, threaded;
+  ThreadPool pool(4);
+  reference_bfs(g, 0, nullptr, TraversalMode::kAuto, &serial);
+  reference_bfs(g, 0, &pool, TraversalMode::kAuto, &threaded);
+  ASSERT_EQ(serial.levels.size(), threaded.levels.size());
+  for (std::size_t i = 0; i < serial.levels.size(); ++i) {
+    EXPECT_EQ(serial.levels[i].pull, threaded.levels[i].pull);
+    EXPECT_EQ(serial.levels[i].frontier_verts,
+              threaded.levels[i].frontier_verts);
+    EXPECT_EQ(serial.levels[i].frontier_edges,
+              threaded.levels[i].frontier_edges);
+  }
+}
+
+TEST(DirectionPolicy, SwitchesAtTheStandardThresholds) {
+  const DirectionPolicy policy;
+  // Tiny frontier relative to unexplored edges: stay push.
+  EXPECT_FALSE(policy.pull_for(TraversalMode::kAuto, false, 4, 10, 100'000,
+                               1'000));
+  // Frontier edge mass dwarfs the unexplored region: switch to pull.
+  EXPECT_TRUE(policy.pull_for(TraversalMode::kAuto, false, 400, 5'000, 100,
+                              1'000));
+  // Forced modes ignore the heuristic entirely.
+  EXPECT_TRUE(policy.pull_for(TraversalMode::kPull, false, 1, 1, 1'000'000,
+                              1'000));
+  EXPECT_FALSE(policy.pull_for(TraversalMode::kPush, true, 400, 5'000, 100,
+                               1'000));
+}
+
+}  // namespace
+}  // namespace gb::algorithms

@@ -1,0 +1,115 @@
+// DenseBitset is the frontier representation for direction-optimizing
+// traversal; its claim semantics and word-boundary behavior carry the
+// determinism contract, so they get exact unit coverage here.
+#include "core/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace gb {
+namespace {
+
+TEST(DenseBitset, StartsEmpty) {
+  DenseBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.any());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DenseBitset, FullBitsetCountsEveryPosition) {
+  DenseBitset b(130);
+  for (std::size_t i = 0; i < 130; ++i) b.set(i);
+  EXPECT_EQ(b.count(), 130u);
+  EXPECT_TRUE(b.any());
+  std::vector<std::size_t> seen;
+  b.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  ASSERT_EQ(seen.size(), 130u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(DenseBitset, WordBoundaryBits) {
+  // 63, 64, 65 straddle the first word boundary; each must be
+  // independent of its neighbors.
+  DenseBitset b(128);
+  for (const std::size_t i : {63, 64, 65}) {
+    b.set(i);
+    EXPECT_TRUE(b.test(i));
+    EXPECT_TRUE(b.test_atomic(i));
+  }
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_FALSE(b.test(64));
+  EXPECT_TRUE(b.test(65));
+}
+
+TEST(DenseBitset, GrowAfterGrowToPreservesBits) {
+  DenseBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(69);
+  b.grow_to(200);
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(69));
+  for (std::size_t i = 70; i < 200; ++i) EXPECT_FALSE(b.test(i));
+  // Shrinking is a no-op; the bits stay.
+  b.grow_to(10);
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DenseBitset, SetAtomicReportsTheClaim) {
+  DenseBitset b(64);
+  EXPECT_TRUE(b.set_atomic(7));   // first claim flips 0 -> 1
+  EXPECT_FALSE(b.set_atomic(7));  // second claim loses
+  EXPECT_TRUE(b.test(7));
+  EXPECT_TRUE(b.test_atomic(7));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DenseBitset, ConcurrentClaimsProduceExactlyOneWinnerPerBit) {
+  constexpr std::size_t kBits = 1000;
+  DenseBitset b(kBits);
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> winners(kBits);
+  // Every task claims every bit; OR-idempotence guarantees exactly one
+  // winner per bit regardless of schedule.
+  pool.parallel_for(4 * kBits, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t bit = i % kBits;
+      if (b.set_atomic(bit)) winners[bit].fetch_add(1);
+    }
+  });
+  EXPECT_EQ(b.count(), kBits);
+  for (std::size_t i = 0; i < kBits; ++i) EXPECT_EQ(winners[i].load(), 1);
+}
+
+TEST(DenseBitset, ClearWordsZeroesWholeWords) {
+  DenseBitset b(192);
+  for (std::size_t i = 0; i < 192; ++i) b.set(i);
+  b.clear_words(64, 128);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_TRUE(b.test(i));
+  for (std::size_t i = 64; i < 128; ++i) EXPECT_FALSE(b.test(i));
+  for (std::size_t i = 128; i < 192; ++i) EXPECT_TRUE(b.test(i));
+  b.clear();
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.size(), 192u);
+}
+
+TEST(DenseBitset, ForEachSetVisitsAscending) {
+  DenseBitset b(300);
+  const std::vector<std::size_t> expected{0, 1, 63, 64, 127, 128, 250, 299};
+  for (auto i : expected) b.set(i);
+  std::vector<std::size_t> seen;
+  b.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+}  // namespace
+}  // namespace gb

@@ -116,5 +116,93 @@ INSTANTIATE_TEST_SUITE_P(Engines, PartitionDifferential,
                            return std::string(info.param.label);
                          });
 
+// The direction-optimizing BFS specializations (platforms/pregel/bfs.h,
+// platforms/gas/bfs.h) must be pure host-side rewrites: under every
+// partitioner and at every host parallelism, a cell run with
+// direction_optimizing on is bit-identical — output hash, simulated
+// makespan, iteration count — to the generic vertex-program path.
+TEST(DirectionOptimizingDifferential, MatchesGenericPathEverywhere) {
+  struct DoEngine {
+    const char* label;
+    std::unique_ptr<platforms::Platform> (*factory)();
+  };
+  const DoEngine kDoEngines[] = {
+      {"Giraph", &algorithms::make_giraph},
+      {"GPS", &algorithms::make_gps},
+      {"GraphLab", &make_graphlab_stock},
+  };
+  for (const auto& engine : kDoEngines) {
+    const auto platform = engine.factory();
+    for (const bool directed : {false, true}) {
+      const auto ds = test::as_dataset(random_graph(31, directed));
+      for (const Strategy strategy : kAllStrategies) {
+        for (const std::uint32_t parallelism : {1u, 4u}) {
+          sim::ClusterConfig cfg;
+          cfg.num_workers = 4;
+          cfg.partitioner = strategy;
+          cfg.parallelism = parallelism;
+          auto params = harness::default_params(ds);
+          params.direction_optimizing = false;
+          const auto generic = harness::run_cell(*platform, ds,
+                                                 Algorithm::kBfs, params, cfg);
+          params.direction_optimizing = true;
+          const auto optimized = harness::run_cell(
+              *platform, ds, Algorithm::kBfs, params, cfg);
+          const std::string where =
+              std::string(engine.label) + " " + strategy_name(strategy) +
+              (directed ? " directed" : " undirected") + " p" +
+              std::to_string(parallelism);
+          ASSERT_TRUE(generic.ok()) << where << ": " << generic.message;
+          ASSERT_TRUE(optimized.ok()) << where << ": " << optimized.message;
+          EXPECT_EQ(harness::hash_output(optimized.result.output),
+                    harness::hash_output(generic.result.output))
+              << where;
+          EXPECT_EQ(optimized.result.total_time, generic.result.total_time)
+              << where;
+          EXPECT_EQ(optimized.result.computation_time,
+                    generic.result.computation_time)
+              << where;
+          EXPECT_EQ(optimized.result.output.iterations,
+                    generic.result.output.iterations)
+              << where;
+          ASSERT_EQ(optimized.result.phases.size(),
+                    generic.result.phases.size())
+              << where;
+          for (std::size_t i = 0; i < generic.result.phases.size(); ++i) {
+            EXPECT_EQ(optimized.result.phases[i].first,
+                      generic.result.phases[i].first)
+                << where;
+            EXPECT_EQ(optimized.result.phases[i].second,
+                      generic.result.phases[i].second)
+                << where;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Flipping the legacy host-buffer staging must never move a simulated
+// number either: the flat segments are the same message stream.
+TEST(DirectionOptimizingDifferential, LegacyHostBuffersAreBitIdentical) {
+  const auto platform = algorithms::make_giraph();
+  const auto ds = test::as_dataset(random_graph(37, true));
+  for (const Algorithm algorithm : {Algorithm::kBfs, Algorithm::kConn}) {
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 4;
+    auto params = harness::default_params(ds);
+    params.legacy_host_buffers = true;
+    const auto legacy =
+        harness::run_cell(*platform, ds, algorithm, params, cfg);
+    params.legacy_host_buffers = false;
+    const auto flat = harness::run_cell(*platform, ds, algorithm, params, cfg);
+    ASSERT_TRUE(legacy.ok()) << legacy.message;
+    ASSERT_TRUE(flat.ok()) << flat.message;
+    EXPECT_EQ(harness::hash_output(flat.result.output),
+              harness::hash_output(legacy.result.output));
+    EXPECT_EQ(flat.result.total_time, legacy.result.total_time);
+  }
+}
+
 }  // namespace
 }  // namespace gb::partition

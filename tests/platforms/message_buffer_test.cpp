@@ -1,0 +1,124 @@
+// FlatMessageBuffer replaces the engines' concatenate-all-chunk-outboxes
+// staging; its canonical order (ascending segment, append order within)
+// and its segmented grouping must match the flat path entry for entry.
+#include "platforms/message_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gb::platforms {
+namespace {
+
+using Entry = std::pair<VertexId, std::uint64_t>;
+
+TEST(FlatMessageBuffer, StartsAndResetsEmpty) {
+  FlatMessageBuffer<std::uint64_t> buf;
+  EXPECT_EQ(buf.count(), 0u);
+  EXPECT_TRUE(buf.empty());
+  buf.reset(4);
+  EXPECT_EQ(buf.num_segments(), 4u);
+  EXPECT_EQ(buf.count(), 0u);
+  EXPECT_TRUE(buf.empty());
+  buf.for_each([](VertexId, std::uint64_t) { FAIL() << "empty buffer"; });
+}
+
+TEST(FlatMessageBuffer, ForEachVisitsSegmentsInAscendingOrder) {
+  FlatMessageBuffer<std::uint64_t> buf;
+  buf.reset(3);
+  buf.segment(1).push_back({5, 10});
+  buf.segment(0).push_back({3, 30});
+  buf.segment(0).push_back({7, 31});
+  buf.segment(2).push_back({1, 20});
+  EXPECT_EQ(buf.count(), 4u);
+  EXPECT_FALSE(buf.empty());
+  std::vector<Entry> seen;
+  buf.for_each([&](VertexId dst, std::uint64_t m) {
+    seen.push_back({dst, m});
+  });
+  const std::vector<Entry> expected{{3, 30}, {7, 31}, {5, 10}, {1, 20}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(FlatMessageBuffer, ResetReusesStorageAndDropsStaleSegments) {
+  FlatMessageBuffer<std::uint64_t> buf;
+  buf.reset(4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    buf.segment(c).push_back({static_cast<VertexId>(c), c});
+  }
+  EXPECT_EQ(buf.count(), 4u);
+  // Shrinking the active segment count must hide the stale tail segments
+  // from every accessor, not just clear the active ones.
+  buf.reset(2);
+  EXPECT_EQ(buf.num_segments(), 2u);
+  EXPECT_EQ(buf.count(), 0u);
+  EXPECT_TRUE(buf.empty());
+  buf.segment(0).push_back({9, 99});
+  std::vector<Entry> seen;
+  buf.for_each([&](VertexId dst, std::uint64_t m) {
+    seen.push_back({dst, m});
+  });
+  EXPECT_EQ(seen, (std::vector<Entry>{{9, 99}}));
+}
+
+TEST(FlatMessageBuffer, AdoptCollapsesToOneSegment) {
+  FlatMessageBuffer<std::uint64_t> buf;
+  buf.reset(3);
+  buf.segment(2).push_back({1, 1});
+  std::vector<Entry> combined{{4, 40}, {2, 20}};
+  buf.adopt(combined);
+  EXPECT_EQ(buf.num_segments(), 1u);
+  EXPECT_EQ(buf.count(), 2u);
+  std::vector<Entry> seen;
+  buf.for_each([&](VertexId dst, std::uint64_t m) {
+    seen.push_back({dst, m});
+  });
+  EXPECT_EQ(seen, (std::vector<Entry>{{4, 40}, {2, 20}}));
+}
+
+TEST(FlatMessageBuffer, SegmentedGroupingMatchesFlatGrouping) {
+  // Entries scattered across segments with duplicate destinations,
+  // chunk-boundary-style runs, and an untargeted vertex.
+  constexpr VertexId kN = 6;
+  FlatMessageBuffer<std::uint64_t> buf;
+  buf.reset(4);
+  buf.segment(0).push_back({2, 100});
+  buf.segment(0).push_back({0, 101});
+  buf.segment(1).push_back({2, 102});
+  buf.segment(1).push_back({5, 103});
+  // segment 2 stays empty (a chunk that emitted nothing)
+  buf.segment(3).push_back({2, 104});
+  buf.segment(3).push_back({0, 105});
+
+  std::vector<Entry> flat;
+  buf.for_each([&](VertexId dst, std::uint64_t m) { flat.push_back({dst, m}); });
+
+  GroupedMessages<std::uint64_t> from_segments, from_flat;
+  group_by_destination(buf, kN, from_segments);
+  group_by_destination(flat, kN, from_flat);
+
+  EXPECT_EQ(from_segments.offsets, from_flat.offsets);
+  EXPECT_EQ(from_segments.messages, from_flat.messages);
+  // Stable per-destination order: vertex 2 receives in canonical order.
+  const auto span = from_segments.for_vertex(2);
+  ASSERT_EQ(span.size(), 3u);
+  EXPECT_EQ(span[0], 100u);
+  EXPECT_EQ(span[1], 102u);
+  EXPECT_EQ(span[2], 104u);
+  EXPECT_TRUE(from_segments.for_vertex(3).empty());
+}
+
+TEST(FlatMessageBuffer, GroupingEmptyBuffer) {
+  FlatMessageBuffer<std::uint64_t> buf;
+  buf.reset(2);
+  GroupedMessages<std::uint64_t> grouped;
+  group_by_destination(buf, 3, grouped);
+  EXPECT_TRUE(grouped.messages.empty());
+  ASSERT_EQ(grouped.offsets.size(), 4u);
+  for (const auto off : grouped.offsets) EXPECT_EQ(off, 0u);
+}
+
+}  // namespace
+}  // namespace gb::platforms
