@@ -1,0 +1,162 @@
+// Ablation: simulated RAM per node versus graceful degradation — BFS on
+// Friendster (the one Table 2 graph that overflows every platform's
+// memory somewhere) across the five engine families, shrinking the
+// per-node budget from the 20 GiB default down to 1 GiB. Each reduced
+// budget runs twice: with the paged storage layer disabled (the seed
+// behaviour — the run either fits or dies) and enabled (DESIGN.md §12 —
+// over-budget state pages against the disk model and the run completes
+// with a degraded makespan and nonzero page-fault counters).
+//
+// With --check the binary exits non-zero unless, for every platform,
+// some budget exists where the unpaged run hard-fails while the paged
+// run completes with page-cache misses, and the paged makespan at the
+// smallest surviving budget is no faster than the platform's best run —
+// paging must degrade, never accelerate.
+#include "bench_common.h"
+
+#include <cstring>
+
+namespace {
+
+using namespace gb;
+
+/// Per-node budgets in GiB; 0 = the default 20 GiB heap. Chosen to
+/// straddle every platform's Friendster working set (Giraph ~9.3 GB per
+/// worker, GraphLab ~3.3 GB, Hadoop task JVM ~3 GB, Stratosphere
+/// TaskManager ~1.6 GB, Neo4j's single-node store ~60 GB).
+constexpr double kBudgetsGb[] = {0.0, 8.0, 4.0, 2.0, 1.0};
+
+struct Cell {
+  std::string platform;
+  double budget_gb = 0.0;  // 0 = default heap
+  bool paged = false;
+  harness::Measurement m;
+
+  bool hard_failure() const {
+    return m.outcome == harness::Outcome::kOutOfMemory ||
+           m.outcome == harness::Outcome::kTimeout;
+  }
+};
+
+std::string budget_text(double gb) {
+  if (gb <= 0.0) return "default";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g GiB", gb);
+  return buffer;
+}
+
+std::string count_text(std::uint64_t value) {
+  return value == 0 ? "-" : harness::format_si(static_cast<double>(value));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gb;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+
+  const auto ds = bench::load(datasets::DatasetId::kFriendster);
+  const auto params = harness::default_params(ds);
+
+  std::vector<Cell> cells;
+  for (const char* name :
+       {"Giraph", "GraphLab", "Hadoop", "Stratosphere", "Neo4j"}) {
+    const auto platform = algorithms::make_platform(name);
+    // The default budget runs once: with budget_per_node = 0 the paged
+    // layer is off either way, so "paged" and "unpaged" are one cell.
+    for (const double gb : kBudgetsGb) {
+      for (const bool paged : {false, true}) {
+        if (gb <= 0.0 && paged) continue;
+        sim::ClusterConfig config = bench::paper_cluster();
+        if (gb > 0.0) {
+          const auto budget = static_cast<Bytes>(gb * (1ull << 30));
+          config.cost.heap_limit = budget;
+          if (paged) config.page_cache.budget_per_node = budget;
+        }
+        Cell cell;
+        cell.platform = name;
+        cell.budget_gb = gb;
+        cell.paged = paged;
+        cell.m = harness::run_cell(*platform, ds, platforms::Algorithm::kBfs,
+                                   params, config);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  harness::Table table(
+      "Ablation: per-node memory budget x platform (Friendster BFS, 20 "
+      "workers; paged = out-of-core storage enabled)");
+  table.set_header({"Platform", "Budget", "Paging", "Result", "Page misses",
+                    "Evictions"});
+  for (const auto& cell : cells) {
+    harness::Measurement m = cell.m;
+    harness::CellResult as_cell;  // reuse cell_text's ok/label logic
+    as_cell.outcome = harness::outcome_label(m.outcome);
+    as_cell.makespan_sec = m.ok() ? m.time() : 0.0;
+    table.add_row({cell.platform, budget_text(cell.budget_gb),
+                   cell.budget_gb <= 0.0 ? "-" : (cell.paged ? "on" : "off"),
+                   bench::cell_text(as_cell),
+                   count_text(m.metrics.counter("page_cache.misses")),
+                   count_text(m.metrics.counter("page_cache.evictions"))});
+  }
+  bench::write_table(table, "ablation_memory.csv");
+
+  if (check) {
+    bool failed = false;
+    for (const char* name :
+         {"Giraph", "GraphLab", "Hadoop", "Stratosphere", "Neo4j"}) {
+      // 1. Graceful degradation exists: some budget where unpaged dies
+      //    and paged survives with real page traffic.
+      const Cell* rescue = nullptr;
+      for (const auto& cell : cells) {
+        if (cell.platform != name || !cell.paged || !cell.m.ok()) continue;
+        if (cell.m.metrics.counter("page_cache.misses") == 0) continue;
+        for (const auto& other : cells) {
+          if (other.platform == name && !other.paged &&
+              other.budget_gb == cell.budget_gb && other.hard_failure()) {
+            rescue = &cell;
+            break;
+          }
+        }
+        if (rescue != nullptr) break;
+      }
+      if (rescue == nullptr) {
+        std::cerr << "[check] FAILED: " << name
+                  << ": no budget where paging rescues a hard failure with "
+                     "nonzero page misses\n";
+        failed = true;
+        continue;
+      }
+      // 2. Paging degrades: the smallest surviving paged budget must not
+      //    beat the platform's fastest completed run.
+      const Cell* smallest = nullptr;
+      double best_sec = -1.0;
+      for (const auto& cell : cells) {
+        if (cell.platform != name || !cell.m.ok()) continue;
+        if (best_sec < 0.0 || cell.m.time() < best_sec) best_sec = cell.m.time();
+        if (cell.paged && cell.budget_gb > 0.0 &&
+            (smallest == nullptr || cell.budget_gb < smallest->budget_gb)) {
+          smallest = &cell;
+        }
+      }
+      if (smallest != nullptr && smallest->m.time() < best_sec) {
+        std::cerr << "[check] FAILED: " << name << ": paged run at "
+                  << budget_text(smallest->budget_gb) << " ("
+                  << smallest->m.time() << "s) is faster than the best run ("
+                  << best_sec << "s)\n";
+        failed = true;
+        continue;
+      }
+      std::cerr << "[check] ok: " << name << " rescued at "
+                << budget_text(rescue->budget_gb) << " with "
+                << rescue->m.metrics.counter("page_cache.misses")
+                << " page misses\n";
+    }
+    if (failed) return 1;
+  }
+  return 0;
+}

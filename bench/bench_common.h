@@ -15,6 +15,7 @@
 #include "campaign/runner.h"
 #include "datasets/catalog.h"
 #include "datasets/dataset_cache.h"
+#include "flag_parse.h"
 #include "harness/experiment.h"
 #include "harness/metrics.h"
 #include "harness/report.h"
@@ -29,8 +30,13 @@ namespace gb::bench {
 /// full size either way, at the cost of structural fidelity.
 inline double bench_scale() {
   if (const char* env = std::getenv("GB_BENCH_SCALE")) {
-    const double v = std::atof(env);
-    if (v > 0) return v;
+    // Strict parse: atof would turn "0.05x" into 0.05 and a typo like
+    // "o.05" into a silent full-scale run. Reject anything that is not a
+    // complete positive literal instead of guessing.
+    const auto v = tools::parse_double(env, 0.0);
+    if (v && *v > 0.0) return *v;
+    std::cerr << "[bench] ignoring invalid GB_BENCH_SCALE='" << env
+              << "' (want a positive number); using 1.0\n";
   }
   return 1.0;
 }

@@ -50,8 +50,12 @@ constexpr double kWikiTalkReferenceFloor = 1.5;
 
 int reps_from_env() {
   if (const char* env = std::getenv("GB_HOSTPERF_REPS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
+    // atoi accepted "7;rm" as 7 and overflow was UB; parse strictly and
+    // loudly skip anything that is not a small positive integer.
+    const auto v = tools::parse_u32(env, 1);
+    if (v && *v <= 1000) return static_cast<int>(*v);
+    std::cerr << "[bench] ignoring invalid GB_HOSTPERF_REPS='" << env
+              << "' (want 1..1000); using 3\n";
   }
   return 3;
 }

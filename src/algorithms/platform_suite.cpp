@@ -691,8 +691,10 @@ class Neo4jPlatform final : public Platform {
     // Neo4j is a single node: the assignment degenerates to one part
     // (edge-cut 0, imbalance 1), reported for cross-platform consistency.
     platforms::partition_graph(g, cluster, rec);
+    platforms::graphdb::DatabaseConfig db_config;
+    db_config.paging = cluster.config().page_cache;
     platforms::graphdb::Database db(g, cluster.cost(),
-                                    cluster.config().work_scale);
+                                    cluster.config().work_scale, db_config);
     db.begin(platforms::graphdb::CacheState::kHot);
     AlgorithmOutput out;
 
@@ -758,6 +760,16 @@ class Neo4jPlatform final : public Platform {
     cluster.metrics().incr("db.relationship_accesses",
                            db_stats.relationship_accesses);
     cluster.metrics().add("db.property_accesses", db_stats.property_accesses);
+    if (db.paged()) {
+      const auto& pages = db.page_stats();
+      if (pages.hits > 0) cluster.metrics().incr("page_cache.hits", pages.hits);
+      if (pages.misses > 0) {
+        cluster.metrics().incr("page_cache.misses", pages.misses);
+      }
+      if (pages.evictions > 0) {
+        cluster.metrics().incr("page_cache.evictions", pages.evictions);
+      }
+    }
     const SimTime setup = db.config().query_setup_sec;
     const double mem = std::min(
         static_cast<double>(db.store().object_cache_demand()),

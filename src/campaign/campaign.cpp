@@ -37,6 +37,9 @@ std::string CellSpec::key() const {
   if (partitioner != partition::Strategy::kHash) {
     k += std::string("/p") + partition::strategy_name(partitioner);
   }
+  if (mem_budget_gb > 0.0) {
+    k += "/m" + format_scale(mem_budget_gb);
+  }
   return k;
 }
 
@@ -47,6 +50,10 @@ std::vector<CellSpec> GridSpec::expand() const {
   if (workers.empty()) throw Error("grid: no worker counts");
   if (cores.empty()) throw Error("grid: no core counts");
   if (partitioners.empty()) throw Error("grid: no partitioners");
+  if (mem_budgets.empty()) throw Error("grid: no memory budgets");
+  for (const auto& budget : mem_budgets) {
+    if (budget < 0.0) throw Error("grid: negative memory budget");
+  }
   for (const auto& name : platforms) {
     if (algorithms::make_platform(name) == nullptr) {
       throw Error("grid: unknown platform '" + name + "'");
@@ -61,25 +68,29 @@ std::vector<CellSpec> GridSpec::expand() const {
 
   std::vector<CellSpec> cells;
   cells.reserve(platforms.size() * datasets.size() * algorithms.size() *
-                workers.size() * cores.size() * partitioners.size());
+                workers.size() * cores.size() * mem_budgets.size() *
+                partitioners.size());
   for (const auto& dataset : datasets) {
     for (const auto& algorithm : algorithms) {
       for (const auto& w : workers) {
         for (const auto& c : cores) {
-          for (const auto& strategy : partitioners) {
-            for (const auto& platform : platforms) {
-              CellSpec cell;
-              cell.platform = platform;
-              cell.dataset = dataset;
-              cell.algorithm = algorithm;
-              cell.workers = w;
-              cell.cores = c;
-              cell.scale = scale;
-              cell.seed = seed;
-              cell.faults = faults;
-              cell.checkpoint_interval = checkpoint_interval;
-              cell.partitioner = strategy;
-              cells.push_back(std::move(cell));
+          for (const auto& budget : mem_budgets) {
+            for (const auto& strategy : partitioners) {
+              for (const auto& platform : platforms) {
+                CellSpec cell;
+                cell.platform = platform;
+                cell.dataset = dataset;
+                cell.algorithm = algorithm;
+                cell.workers = w;
+                cell.cores = c;
+                cell.scale = scale;
+                cell.seed = seed;
+                cell.faults = faults;
+                cell.checkpoint_interval = checkpoint_interval;
+                cell.partitioner = strategy;
+                cell.mem_budget_gb = budget;
+                cells.push_back(std::move(cell));
+              }
             }
           }
         }

@@ -32,10 +32,14 @@ struct CellSpec {
   std::vector<std::string> faults;  // FaultPlan::add_spec strings
   std::uint32_t checkpoint_interval = 0;
   partition::Strategy partitioner = partition::Strategy::kHash;
+  /// Simulated RAM per node in GiB (DESIGN.md §12): sets the heap limit
+  /// and enables the paged storage budget. 0 = default heap, paging off.
+  double mem_budget_gb = 0.0;
 
   /// Canonical identity, e.g. "Giraph/KGS/BFS/w20/c1/x0.01/r42" with a
-  /// "/f<spec>" suffix per fault, "/k<N>" when checkpointing is on, and
-  /// "/p<name>" for a non-default partitioner (omitted for hash so
+  /// "/f<spec>" suffix per fault, "/k<N>" when checkpointing is on,
+  /// "/p<name>" for a non-default partitioner, and "/m<GiB>" for a
+  /// non-default memory budget (all omitted at their defaults so
   /// pre-existing journals and baselines keep their keys).
   /// Two cells with equal keys would produce identical journal records,
   /// so expand() rejects duplicate keys.
@@ -48,10 +52,10 @@ struct CellSpec {
 };
 
 /// Axes of a campaign. expand() is the cross product in row-major order:
-/// dataset (outermost) → algorithm → workers → cores → partitioner →
-/// platform (innermost). Dataset outermost groups cells that share a
-/// graph, which is what lets a small runner window still hit the shared
-/// cache.
+/// dataset (outermost) → algorithm → workers → cores → mem-budget →
+/// partitioner → platform (innermost). Dataset outermost groups cells
+/// that share a graph, which is what lets a small runner window still hit
+/// the shared cache.
 struct GridSpec {
   std::vector<std::string> platforms;
   std::vector<datasets::DatasetId> datasets;
@@ -59,6 +63,8 @@ struct GridSpec {
   std::vector<std::uint32_t> workers = {20};
   std::vector<std::uint32_t> cores = {1};
   std::vector<partition::Strategy> partitioners = {partition::Strategy::kHash};
+  /// Memory-budget axis in GiB per node; 0 = default heap, paging off.
+  std::vector<double> mem_budgets = {0.0};
   double scale = 0.0;
   std::uint64_t seed = 42;
   std::vector<std::string> faults;  // applied to every cell

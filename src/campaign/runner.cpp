@@ -37,6 +37,11 @@ harness::CellResult run_once(const CellSpec& spec,
   config.cores_per_worker = spec.cores;
   config.parallelism = cell_parallelism;
   config.partitioner = spec.partitioner;
+  if (spec.mem_budget_gb > 0.0) {
+    const auto budget = static_cast<Bytes>(spec.mem_budget_gb * (1ull << 30));
+    config.cost.heap_limit = budget;
+    config.page_cache.budget_per_node = budget;
+  }
   sim::FaultPlan faults;
   for (const auto& fault_spec : spec.faults) faults.add_spec(fault_spec);
   config.faults = faults;

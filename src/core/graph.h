@@ -56,6 +56,16 @@ class Graph {
   /// out-degree (the paper propagates along out-edges only).
   EdgeId degree(VertexId v) const { return out_degree(v); }
 
+  /// Position of v's adjacency in the flat CSR arrays (valid for
+  /// v <= num_vertices(); the last offset is the total entry count).
+  /// Byte-addressed consumers — the paged storage layer — map these to
+  /// page coordinates. For undirected graphs in_offset aliases out_offset,
+  /// like the adjacency itself.
+  EdgeId out_offset(VertexId v) const { return out_offsets_[v]; }
+  EdgeId in_offset(VertexId v) const {
+    return directed_ ? in_offsets_[v] : out_offsets_[v];
+  }
+
   /// Binary search in the (sorted) out-adjacency.
   bool has_edge(VertexId u, VertexId v) const;
 

@@ -1,6 +1,7 @@
 #include "core/graph_stats.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 namespace gb {
@@ -107,7 +108,11 @@ DegreeDistribution degree_distribution(const Graph& g) {
   d.max_degree = degrees.back();
   d.mean = total / static_cast<double>(n);
   const auto percentile = [&](double p) {
-    const auto idx = static_cast<std::size_t>(p * (n - 1));
+    // Nearest-rank on the sorted degrees. Truncation used to pull every
+    // percentile toward the floor (p99 of 11 ranks landed on rank 9, not
+    // the rounded rank 10), so round to the nearest index instead.
+    const auto idx = static_cast<std::size_t>(
+        std::llround(p * static_cast<double>(n - 1)));
     return degrees[idx];
   };
   d.p50 = percentile(0.50);

@@ -91,13 +91,16 @@ std::string format_seconds(SimTime t) {
 std::string format_si(double value) {
   // Two decimals in every branch — the giga range used to round to whole
   // units ("2G" for 1.5e9), inconsistent with "1.50M"/"1.50k" below.
+  // Scale by magnitude so negative values pick the same unit as their
+  // positive counterparts ("-1.50M", not "-1500000.00").
+  const double magnitude = std::abs(value);
   std::ostringstream out;
   out << std::fixed << std::setprecision(2);
-  if (value >= 1e9) {
+  if (magnitude >= 1e9) {
     out << value / 1e9 << "G";
-  } else if (value >= 1e6) {
+  } else if (magnitude >= 1e6) {
     out << value / 1e6 << "M";
-  } else if (value >= 1e3) {
+  } else if (magnitude >= 1e3) {
     out << value / 1e3 << "k";
   } else {
     out << value;

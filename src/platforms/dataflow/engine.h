@@ -29,6 +29,7 @@
 #include "platforms/dataflow/pact.h"
 #include "platforms/grouping.h"
 #include "platforms/message_buffer.h"
+#include "platforms/paging.h"
 #include "platforms/partitioning.h"
 #include "sim/cluster.h"
 #include "storage/hdfs.h"
@@ -104,6 +105,7 @@ inline void charge_plan_iteration(const Graph& graph, const JobGraph& dag,
   double network_bytes = 0.0;
   double sort_records = 0.0;
   double file_bytes = 0.0;
+  double inmem_bytes = 0.0;
   for (const Channel& ch : dag.channels) {
     const double records = task_output[ch.from] + messages;
     const double bytes = records * config.message_record_bytes;
@@ -115,10 +117,23 @@ inline void charge_plan_iteration(const Graph& graph, const JobGraph& dag,
         file_bytes += bytes;
         break;
       case ChannelType::kInMemory:
+        inmem_bytes += bytes;
         break;
     }
     if (ch.requires_sort) sort_records += records;
   }
+
+  // TaskManager residency: the iteration's vertex state (the solution
+  // set) plus the JVM base cannot be spilled by Stratosphere 0.2's memory
+  // manager — a preallocation too small for it aborts the job. With the
+  // paged budget enabled the shortfall instead streams through disk, and
+  // in-memory channels that no longer fit the leftover preallocation
+  // degrade to file channels at the same sequential cost.
+  const double solution_bytes =
+      vertex_records * config.vertex_record_bytes / workers;
+  const double tm_resident = 1.5e9 + solution_bytes;
+  const double tm_overflow = cluster.admit_resident(
+      tm_resident, "Stratosphere TaskManager solution set");
 
   const double deploy = cost.dataflow_deploy_sec;
   const double read_time =
@@ -142,7 +157,13 @@ inline void charge_plan_iteration(const Graph& graph, const JobGraph& dag,
   const double write_time =
       hdfs.parallel_write_time(static_cast<Bytes>(graph_bytes), workers);
 
-  const double mem = static_cast<double>(config.preallocated_memory);
+  const double mem = std::min(static_cast<double>(config.preallocated_memory),
+                              static_cast<double>(cost.heap_limit));
+  double spill_per_node = tm_overflow;
+  if (cluster.paging_enabled()) {
+    const double leftover = std::max(0.0, mem - tm_resident);
+    spill_per_node += std::max(0.0, inmem_bytes / workers - leftover);
+  }
   recorder.phase(label + "/deploy", deploy, false,
                  PhaseUsage{.worker_mem_bytes = mem, .master_cpu_cores = 0.05});
   recorder.phase(label + "/read", read_time, false,
@@ -159,6 +180,7 @@ inline void charge_plan_iteration(const Graph& graph, const JobGraph& dag,
                             .worker_net_out_bps = cost.net_bps * 0.9});
   recorder.phase(label + "/write", write_time, false,
                  PhaseUsage{.worker_cpu_cores = 0.2, .worker_mem_bytes = mem});
+  paging::charge_spill(cluster, recorder, label, spill_per_node * workers, mem);
 
   cluster.metrics().incr("tasks.scheduled", dag.tasks.size());
   cluster.metrics().add("shuffle.bytes", network_bytes);

@@ -57,6 +57,19 @@ inline GasStats run_gas_bfs(const Graph& graph, VertexId source,
   GasStats stats;
   stats.replication_factor = n > 0 ? placement.total_mirrors / n : 1.0;
 
+  // Paged view matching the generic engine's: vertex records inflated by
+  // the replication factor, warm-up sweep discarded (the load phase
+  // charged the initial read).
+  const double rep = n > 0 ? placement.total_mirrors / static_cast<double>(n)
+                           : 1.0;
+  const auto paged = paging::make_view(
+      graph, cluster, static_cast<double>(config.vertex_mem) * rep,
+      static_cast<double>(config.edge_mem));
+  if (paged) {
+    paged->touch_all();
+    paged->take_stats();
+  }
+
   // Per-active-vertex mirror-sync bytes: (mirrors - 1) updates under a
   // vertex cut, one message per cut edge otherwise. Integer-valued, so
   // summing over the active set in any order matches the generic engine's
@@ -107,6 +120,33 @@ inline GasStats run_gas_bfs(const Graph& graph, VertexId source,
     std::uint64_t out_work = 0;
     double sync_bytes = 0.0;
     next.clear();
+
+    // Serial replay of the generic engine's gather-side page accesses
+    // (BfsProgram gathers over in-edges): the active set at iteration t is
+    // exactly "has a changed_{t-1} in-neighbor", which frontier_bits holds
+    // until the post-iteration swap. Same vertices, same ascending order,
+    // so miss counts match the generic path bit for bit.
+    if (paged) {
+      if (iter == 0) {
+        if (source < n) {
+          paged->touch_vertex(source);
+          paged->touch_in_adjacency(source);
+        }
+      } else {
+        for (VertexId v = 0; v < n; ++v) {
+          bool act = false;
+          for (const VertexId u : graph.in_neighbors(v)) {
+            if (frontier_bits.test(u)) {
+              act = true;
+              break;
+            }
+          }
+          if (!act) continue;
+          paged->touch_vertex(v);
+          paged->touch_in_adjacency(v);
+        }
+      }
+    }
 
     if (iter == 0) {
       // The caller activates only the source; apply() sets its level
@@ -243,6 +283,8 @@ inline GasStats run_gas_bfs(const Graph& graph, VertexId source,
                               .worker_mem_bytes = partition_bytes,
                               .worker_net_in_bps = cost.net_bps * 0.4,
                               .worker_net_out_bps = cost.net_bps * 0.4});
+    paging::charge_page_faults(cluster, recorder, label, paged.get(),
+                               partition_bytes);
     cluster.metrics().incr("gas.iterations");
     cluster.metrics().add("mirror.sync_bytes",
                           cluster.scale_bytes(sync_bytes * sync_factor));

@@ -26,6 +26,7 @@
 #include "core/graph.h"
 #include "partition/partition.h"
 #include "platforms/accounting.h"
+#include "platforms/paging.h"
 #include "platforms/partitioning.h"
 #include "sim/cluster.h"
 
@@ -107,15 +108,21 @@ inline double charge_startup_and_load(const Graph& graph, double total_mirrors,
           static_cast<double>(graph.num_adjacency_entries()) *
               static_cast<double>(config.edge_mem)) /
       workers;
-  cluster.check_heap(partition_bytes, "GraphLab graph partition");
+  const double overflow =
+      cluster.admit_resident(partition_bytes, "GraphLab graph partition");
+  const double resident_bytes = partition_bytes - overflow;
 
   recorder.phase("mpi_startup", cost.mpi_startup_sec, false,
                  PhaseUsage{.master_cpu_cores = 0.01});
   recorder.phase("load", load_time, false,
                  PhaseUsage{.worker_cpu_cores = 0.6,
-                            .worker_mem_bytes = partition_bytes,
+                            .worker_mem_bytes = resident_bytes,
                             .worker_net_in_bps = cost.net_bps * 0.5,
                             .worker_net_out_bps = cost.net_bps * 0.5});
+  // The slice beyond the budget streams straight to each node's local
+  // spill files during finalize; iteration gathers page it back in.
+  paging::charge_spill(cluster, recorder, "load", overflow * workers,
+                       resident_bytes, /*read_back=*/false);
   const double finalize_units = cluster.scale_units(
       static_cast<double>(graph.num_adjacency_entries()));
   recorder.phase("finalize", cluster.native_compute_time(finalize_units) /
@@ -123,8 +130,8 @@ inline double charge_startup_and_load(const Graph& graph, double total_mirrors,
                  false,
                  PhaseUsage{.worker_cpu_cores =
                                 static_cast<double>(cluster.cores_per_worker()),
-                            .worker_mem_bytes = partition_bytes});
-  return partition_bytes;
+                            .worker_mem_bytes = resident_bytes});
+  return resident_bytes;
 }
 
 /// Charge gathering the distributed results and writing them out. Shared
@@ -255,6 +262,18 @@ GasStats run_sync(const Graph& graph, const Program& program,
   const double partition_bytes =
       charge_startup_and_load(graph, total_mirrors, cluster, recorder, config);
 
+  // Paged view in GraphLab's native layout; mirrors inflate the vertex
+  // records by the replication factor. Warm-up sweep discarded: the load
+  // phase already charged the initial sequential read.
+  const double rep = n > 0 ? total_mirrors / static_cast<double>(n) : 1.0;
+  const auto paged = paging::make_view(
+      graph, cluster, static_cast<double>(config.vertex_mem) * rep,
+      static_cast<double>(config.edge_mem));
+  if (paged) {
+    paged->touch_all();
+    paged->take_stats();
+  }
+
   // ---- synchronous GAS iterations ------------------------------------------
   GasStats stats;
   stats.replication_factor = n > 0 ? total_mirrors / n : 1.0;
@@ -295,6 +314,23 @@ GasStats run_sync(const Graph& graph, const Program& program,
     // Synchronous engine semantics: gathers observe the values from the
     // previous iteration, exactly like GraphLab's sync mode snapshots.
     const std::vector<typename Program::VData> snapshot = data;
+
+    // Serial page-access replay of the gather side before the parallel
+    // pass, so miss counts are identical at every host parallelism.
+    if (paged) {
+      for (VertexId v = 0; v < n; ++v) {
+        if (!active[v]) continue;
+        paged->touch_vertex(v);
+        if constexpr (Program::kGatherDir != EdgeDir::kOut) {
+          paged->touch_in_adjacency(v);
+        }
+        if constexpr (Program::kGatherDir != EdgeDir::kIn) {
+          if (graph.directed() || Program::kGatherDir == EdgeDir::kOut) {
+            paged->touch_out_adjacency(v);
+          }
+        }
+      }
+    }
 
     cluster.run_chunks(n, [&](std::size_t c, std::size_t begin,
                               std::size_t end) {
@@ -383,6 +419,8 @@ GasStats run_sync(const Graph& graph, const Program& program,
                               .worker_mem_bytes = partition_bytes,
                               .worker_net_in_bps = cost.net_bps * 0.4,
                               .worker_net_out_bps = cost.net_bps * 0.4});
+    paging::charge_page_faults(cluster, recorder, label, paged.get(),
+                               partition_bytes);
     cluster.metrics().incr("gas.iterations");
     cluster.metrics().add("mirror.sync_bytes",
                           cluster.scale_bytes(sync_bytes * sync_factor));
@@ -431,6 +469,13 @@ GasStats run_async(const Graph& graph, const Program& program,
   partition_graph(graph, cluster, recorder);
   const double partition_bytes = charge_startup_and_load(
       graph, static_cast<double>(n), cluster, recorder, config);
+  const auto paged =
+      paging::make_view(graph, cluster, static_cast<double>(config.vertex_mem),
+                        static_cast<double>(config.edge_mem));
+  if (paged) {
+    paged->touch_all();
+    paged->take_stats();
+  }
 
   GasStats stats;
   std::vector<VertexId> queue;
@@ -454,6 +499,20 @@ GasStats run_async(const Graph& graph, const Program& program,
     const VertexId v = queue[cursor++];
     active[v] = 0;
     ++updates;
+
+    // The async engine is host-serial by design, so page touches can sit
+    // inline with the gathers they model.
+    if (paged) {
+      paged->touch_vertex(v);
+      if constexpr (Program::kGatherDir != EdgeDir::kOut) {
+        paged->touch_in_adjacency(v);
+      }
+      if constexpr (Program::kGatherDir != EdgeDir::kIn) {
+        if (graph.directed() || Program::kGatherDir == EdgeDir::kOut) {
+          paged->touch_out_adjacency(v);
+        }
+      }
+    }
 
     auto acc = program.gather_init();
     if constexpr (Program::kGatherDir != EdgeDir::kOut) {
@@ -512,6 +571,8 @@ GasStats run_async(const Graph& graph, const Program& program,
                             .worker_mem_bytes = partition_bytes,
                             .worker_net_in_bps = cost.net_bps * 0.2,
                             .worker_net_out_bps = cost.net_bps * 0.2});
+  paging::charge_page_faults(cluster, recorder, "async", paged.get(),
+                             partition_bytes);
   charge_write(graph, cluster, recorder, partition_bytes);
   abort_on_worker_loss(cluster, recorder, "the async run");
 

@@ -9,7 +9,43 @@ Database::Database(const Graph& graph, const sim::CostModel& cost,
     : graph_(&graph),
       work_scale_(work_scale),
       config_(config),
-      store_(graph, cost, work_scale, config.store) {}
+      store_(graph, cost, work_scale, config.store) {
+  if (config_.paging.enabled()) {
+    paged_ = std::make_unique<storage::PageCache>(
+        config_.paging.budget_per_node / config_.paging.page_size,
+        config_.paging.policy);
+    page_fault_sec_ =
+        cost.disk_seek_sec +
+        static_cast<double>(config_.paging.page_size) / cost.disk_read_bps;
+  }
+}
+
+void Database::touch_node_page(VertexId v) {
+  paged_->touch(static_cast<std::uint64_t>(
+      store_.node_coordinate(v) /
+      static_cast<double>(config_.paging.page_size)));
+}
+
+void Database::touch_out_chain(VertexId v) {
+  const double page = static_cast<double>(config_.paging.page_size);
+  const EdgeId begin = graph_->out_offset(v);
+  const EdgeId end = graph_->out_offset(v + 1);
+  if (begin >= end) return;
+  paged_->touch_range(
+      static_cast<std::uint64_t>(store_.relationship_coordinate(begin) / page),
+      static_cast<std::uint64_t>(
+          store_.relationship_coordinate(end - 1) / page));
+}
+
+void Database::touch_in_chain(std::span<const VertexId> neighbors) {
+  // A vertex's incoming chain threads through relationship records stored
+  // at their source's out-chain position — scattered single-record reads.
+  const double page = static_cast<double>(config_.paging.page_size);
+  for (const VertexId u : neighbors) {
+    paged_->touch(static_cast<std::uint64_t>(
+        store_.relationship_coordinate(graph_->out_offset(u)) / page));
+  }
+}
 
 void Database::begin(CacheState cache) {
   cache_ = cache;
@@ -28,12 +64,20 @@ void Database::begin(CacheState cache) {
 
 std::span<const VertexId> Database::expand(VertexId v) {
   const auto neighbors = graph_->out_neighbors(v);
+  if (paged_) {
+    touch_node_page(v);
+    touch_out_chain(v);
+  }
   charge_expansion(v, neighbors);
   return neighbors;
 }
 
 std::span<const VertexId> Database::expand_in(VertexId v) {
   const auto neighbors = graph_->in_neighbors(v);
+  if (paged_) {
+    touch_node_page(v);
+    touch_in_chain(neighbors);
+  }
   charge_expansion(v, neighbors);
   return neighbors;
 }
@@ -44,6 +88,21 @@ void Database::charge_expansion(VertexId v,
   access_stats_.relationship_accesses += neighbors.size();
   const double scale = work_scale_;
   const double accesses = 1.0 + static_cast<double>(neighbors.size());
+  if (paged_) {
+    // Unified paged accounting: the caller already touched this
+    // expansion's store pages; hits parse from the buffer, misses pay a
+    // real sequential-page fault. Miss counts live in the full-size page
+    // space (coordinates are work_scale-stretched), so they are not
+    // extrapolated again.
+    const auto delta = paged_->take_stats();
+    page_stats_.hits += delta.hits;
+    page_stats_.misses += delta.misses;
+    page_stats_.evictions += delta.evictions;
+    elapsed_ += static_cast<double>(delta.hits) * config_.store.buffer_hit_sec +
+                static_cast<double>(delta.misses) * page_fault_sec_ +
+                accesses * scale * config_.traversal_access_sec;
+    return;
+  }
   if (cache_ == CacheState::kHot) {
     // In the hot regime all records are object-cache residents — unless
     // the object footprint exceeds the heap, in which case the cyclic
@@ -85,9 +144,14 @@ void Database::charge_expansion(VertexId v,
 
 void Database::access_properties(double count) {
   access_stats_.property_accesses += count;
+  // Paged mode has no object cache to thrash: property records ride on
+  // pages the expansion path already accounts, so only the Core-API cost
+  // remains.
+  const double miss_penalty =
+      paged_ ? 0.0
+             : store_.object_miss_fraction() * config_.store.page_fault_sec;
   elapsed_ += count * work_scale_ *
-              (config_.property_access_sec +
-               store_.object_miss_fraction() * config_.store.page_fault_sec);
+              (config_.property_access_sec + miss_penalty);
 }
 
 void Database::charge_user_compute(double units) {

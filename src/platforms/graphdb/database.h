@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/graph.h"
 #include "sim/cost_model.h"
+#include "storage/page_cache.h"
 #include "storage/record_store.h"
 
 namespace gb::platforms::graphdb {
@@ -35,6 +37,12 @@ struct DatabaseConfig {
   double chain_locality = 0.05;
   /// Building a heap object from a buffered record (deserialization).
   double object_build_sec = 4e-6;
+  /// Unified paged storage (DESIGN.md §12). When enabled, the two-level
+  /// cache collapses onto one page cache over the store files: the object
+  /// cache is bypassed, every traversal access touches store pages, and
+  /// misses pay a real page fault instead of the hot-regime LRU-thrash
+  /// penalty. Disabled (budget 0) keeps the historical model bit for bit.
+  storage::PageCacheConfig paging;
 };
 
 enum class CacheState { kCold, kHot };
@@ -87,8 +95,19 @@ class Database {
 
   const AccessStats& access_stats() const { return access_stats_; }
 
+  /// True when the unified page cache is standing in for the two-level
+  /// cache model.
+  bool paged() const { return paged_ != nullptr; }
+
+  /// Cumulative page-cache traffic across all queries (empty when not
+  /// paged); published into the cluster metrics by the platform glue.
+  const storage::PageCacheStats& page_stats() const { return page_stats_; }
+
  private:
   void charge_expansion(VertexId v, std::span<const VertexId> neighbors);
+  void touch_node_page(VertexId v);
+  void touch_out_chain(VertexId v);
+  void touch_in_chain(std::span<const VertexId> neighbors);
 
   const Graph* graph_;
   double work_scale_;
@@ -98,6 +117,11 @@ class Database {
   AccessStats access_stats_;
   SimTime elapsed_ = 0.0;
   std::vector<std::uint8_t> touched_;
+  /// Unified page cache (non-null only when config.paging is enabled);
+  /// Neo4j is a single node, so its capacity is one node's budget.
+  std::unique_ptr<storage::PageCache> paged_;
+  storage::PageCacheStats page_stats_;
+  double page_fault_sec_ = 0.0;
   /// Remaining store pages that can still fault during a cold run: once
   /// the whole store has been pulled through the file buffer, further
   /// first touches only pay deserialization.

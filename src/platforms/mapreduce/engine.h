@@ -30,6 +30,7 @@
 #include "platforms/accounting.h"
 #include "platforms/grouping.h"
 #include "platforms/message_buffer.h"
+#include "platforms/paging.h"
 #include "platforms/partitioning.h"
 #include "sim/cluster.h"
 #include "sim/event_queue.h"
@@ -173,6 +174,19 @@ inline void charge_iteration(const Graph& graph, sim::Cluster& cluster,
             " GiB/node exceeds local scratch space");
   }
 
+  // Task-JVM residency. Hadoop is out-of-core by design — map output
+  // beyond the sort buffer already streams through the scratch disks
+  // (spill_time below) — so the resident demand is the JVM base plus the
+  // sort buffer, bounded regardless of dataset size. It only trips when
+  // the simulated per-node memory budget shrinks below the task
+  // footprint; with paging enabled the sort buffer shrinks instead and
+  // the displaced slice takes extra spill passes.
+  const double sort_buffer = std::min(map_out_bytes / workers, 2.0e9);
+  const double jvm_resident = 1.5e9 + sort_buffer;
+  const double jvm_overflow = cluster.admit_resident(
+      jvm_resident, (config.yarn ? "YARN" : "Hadoop") +
+                        std::string(" task JVM working set"));
+
   // Job setup + task JVMs. Concurrent tasks per node contend for the one
   // local disk: streaming bandwidth is shared, seeks multiply.
   const double setup =
@@ -212,6 +226,8 @@ inline void charge_iteration(const Graph& graph, sim::Cluster& cluster,
   recorder.phase(label + "/setup", setup, false,
                  PhaseUsage{.master_cpu_cores = 0.05});
   recorder.phase(label + "/map", map_wave.makespan, true, map_usage);
+  paging::charge_spill(cluster, recorder, label, jvm_overflow * workers,
+                       jvm_resident - jvm_overflow);
 
   // Shuffle: the serving side re-reads spills from disk. Stock Hadoop's
   // map tasks read location-agnostic HDFS splits, so (W-1)/W of their

@@ -1,0 +1,112 @@
+// Shared glue between the engines and the paged storage layer
+// (storage/page_cache.h, DESIGN.md §12).
+//
+// Two degradation shapes cover all five engines:
+//   - structure paging: the engine's graph partition exceeds the heap, so
+//     a PagedGraphView (in the engine's own byte layout) replays the
+//     access pattern and every miss charges one page fault;
+//   - buffer spilling: a transient structure (message buffers, shuffle
+//     intermediates, channel volume) overflows, and the overflow streams
+//     through disk at sequential write+read cost.
+// Both publish into the shared page_cache.* metrics so reports and the
+// memory-ablation bench see one accounting scheme.
+//
+// Views must be touched from serial replay loops only (before any
+// run_chunks over the same data) so miss counts — and therefore simulated
+// time — stay bit-identical at every host parallelism.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "platforms/accounting.h"
+#include "sim/cluster.h"
+#include "storage/page_cache.h"
+
+namespace gb::platforms::paging {
+
+/// Aggregate frame budget across the cluster: each node keeps
+/// budget_per_node resident, and the engines' partitions together form
+/// one paged address space.
+inline std::uint64_t capacity_pages(const sim::Cluster& cluster) {
+  const auto& pc = cluster.config().page_cache;
+  if (pc.page_size == 0) return 0;
+  return pc.budget_per_node / pc.page_size * cluster.num_workers();
+}
+
+/// A paged view of the graph in the engine's memory layout, or nullptr
+/// when paging is off (the engine then skips all replay work).
+inline std::unique_ptr<storage::PagedGraphView> make_view(
+    const Graph& graph, const sim::Cluster& cluster, double vertex_bytes,
+    double edge_bytes) {
+  if (!cluster.paging_enabled()) return nullptr;
+  return std::make_unique<storage::PagedGraphView>(
+      graph, cluster.config().page_cache, cluster.config().work_scale,
+      capacity_pages(cluster), vertex_bytes, edge_bytes);
+}
+
+/// Simulated cost of one page fault: a seek plus one page of sequential
+/// read. Faults across the cluster happen on different nodes' disks, so
+/// aggregate fault time divides by the worker count.
+inline double fault_time(const sim::Cluster& cluster, std::uint64_t misses) {
+  if (misses == 0) return 0.0;
+  const auto& cost = cluster.cost();
+  const double per_fault =
+      cost.disk_seek_sec +
+      static_cast<double>(cluster.config().page_cache.page_size) /
+          cost.disk_read_bps;
+  return static_cast<double>(misses) * per_fault /
+         static_cast<double>(cluster.num_workers());
+}
+
+/// Drain the view's counters into metrics and charge the fault time as a
+/// "<label>/page_faults" phase. No-op (and no phase) when nothing missed.
+inline void charge_page_faults(sim::Cluster& cluster, PhaseRecorder& rec,
+                               const std::string& label,
+                               storage::PagedGraphView* view,
+                               double resident_mem_bytes) {
+  if (view == nullptr) return;
+  const auto delta = view->take_stats();
+  auto& metrics = cluster.metrics();
+  if (delta.hits > 0) metrics.incr("page_cache.hits", delta.hits);
+  if (delta.misses > 0) metrics.incr("page_cache.misses", delta.misses);
+  if (delta.evictions > 0) {
+    metrics.incr("page_cache.evictions", delta.evictions);
+  }
+  const double duration = fault_time(cluster, delta.misses);
+  if (duration <= 0.0) return;
+  PhaseUsage usage;
+  usage.worker_cpu_cores = 0.05;  // fault handling is I/O-bound
+  usage.worker_mem_bytes = resident_mem_bytes;
+  rec.phase(label + "/page_faults", duration, false, usage, "paging");
+}
+
+/// Charge streaming an overflow of `spilled_bytes` (aggregate, full-size)
+/// out to disk and back in as a "<label>/spill" phase; counts the pages
+/// moved as misses so the shared accounting sees one unit. `read_back` is
+/// false for write-only spills (initial load of an over-budget partition).
+inline double charge_spill(sim::Cluster& cluster, PhaseRecorder& rec,
+                           const std::string& label, double spilled_bytes,
+                           double resident_mem_bytes, bool read_back = true) {
+  if (spilled_bytes <= 0.0) return 0.0;
+  const auto& cost = cluster.cost();
+  const double workers = static_cast<double>(cluster.num_workers());
+  double duration = spilled_bytes / (cost.disk_write_bps * workers);
+  if (read_back) duration += spilled_bytes / (cost.disk_read_bps * workers);
+  auto& metrics = cluster.metrics();
+  metrics.incr("page_cache.spilled_bytes",
+               static_cast<std::uint64_t>(spilled_bytes));
+  const auto page_size =
+      static_cast<double>(cluster.config().page_cache.page_size);
+  if (page_size > 0) {
+    metrics.incr("page_cache.misses",
+                 static_cast<std::uint64_t>(spilled_bytes / page_size) + 1);
+  }
+  PhaseUsage usage;
+  usage.worker_cpu_cores = 0.05;
+  usage.worker_mem_bytes = resident_mem_bytes;
+  rec.phase(label + "/spill", duration, false, usage, "paging");
+  return duration;
+}
+
+}  // namespace gb::platforms::paging

@@ -53,6 +53,15 @@ inline BspOutcome<std::uint64_t, std::uint64_t> run_bsp_bfs(
 
   const double partition_bytes =
       charge_setup_and_load(graph, cluster, recorder, config);
+  // Paged view in the same JVM layout as the generic engine; the warm-up
+  // sweep mirrors run_bsp so fault counts replicate bit for bit.
+  const auto paged = paging::make_view(
+      graph, cluster, static_cast<double>(config.vertex_overhead),
+      static_cast<double>(config.edge_entry));
+  if (paged) {
+    paged->touch_all();
+    paged->take_stats();
+  }
   const partition::PartitionAssignment assignment =
       partition_graph(graph, cluster, recorder);
   const auto owner = [&assignment](VertexId v) {
@@ -98,6 +107,27 @@ inline BspOutcome<std::uint64_t, std::uint64_t> run_bsp_bfs(
     std::uint64_t active = 0;
     const std::uint64_t received = outbox_count;
     next.clear();
+
+    // Serial paged replay of the generic engine's active set: at step 0
+    // every vertex computes; afterwards exactly the vertices with an
+    // in-neighbor in F_{t-1} (the message receivers) re-activate. Same
+    // ascending order as run_bsp's replay, so fault counts match it.
+    if (paged) {
+      for (VertexId v = 0; v < n; ++v) {
+        if (step > 0) {
+          bool act = false;
+          for (const VertexId u : graph.in_neighbors(v)) {
+            if (frontier_bits.test(u)) {
+              act = true;
+              break;
+            }
+          }
+          if (!act) continue;
+        }
+        paged->touch_vertex(v);
+        paged->touch_out_adjacency(v);
+      }
+    }
 
     if (step == 0) {
       // Superstep 0: every vertex computes (none halted yet); only the
@@ -255,8 +285,17 @@ inline BspOutcome<std::uint64_t, std::uint64_t> run_bsp_bfs(
                                 std::max<std::uint32_t>(workers, 1);
     const double scaled_inbox =
         cluster.scale_bytes(max_inbox + outbox_bytes) * config.buffer_factor;
-    cluster.check_heap(partition_bytes + scaled_inbox,
-                       "Giraph superstep message buffers");
+    cluster.admit_resident(partition_bytes + scaled_inbox,
+                           "Giraph superstep message buffers");
+    const double heap = static_cast<double>(cost.heap_limit);
+    const double resident_mem =
+        std::min(partition_bytes + scaled_inbox, heap);
+    const double buffer_spill =
+        cluster.paging_enabled()
+            ? std::max(0.0, scaled_inbox -
+                                std::max(0.0, heap - std::min(partition_bytes,
+                                                              heap)))
+            : 0.0;
 
     const double message_units =
         (static_cast<double>(outbox_count) + static_cast<double>(received)) *
@@ -273,17 +312,22 @@ inline BspOutcome<std::uint64_t, std::uint64_t> run_bsp_bfs(
     const std::string label = "superstep_" + std::to_string(step);
     PhaseUsage compute_usage;
     compute_usage.worker_cpu_cores = cluster.cores_per_worker();
-    compute_usage.worker_mem_bytes = partition_bytes + scaled_inbox;
+    compute_usage.worker_mem_bytes = resident_mem;
     recorder.phase(label + "/compute", compute_time, true, compute_usage);
 
     PhaseUsage comm_usage;
     comm_usage.worker_cpu_cores = 0.15;
-    comm_usage.worker_mem_bytes = partition_bytes + scaled_inbox;
+    comm_usage.worker_mem_bytes = resident_mem;
     comm_usage.worker_net_in_bps = cost.net_bps * 0.5;
     comm_usage.worker_net_out_bps = cost.net_bps * 0.5;
     comm_usage.master_cpu_cores = 0.03;  // ZooKeeper barrier coordination
     recorder.phase(label + "/sync", net_time + cost.bsp_barrier_sec, false,
                    comm_usage);
+
+    paging::charge_page_faults(cluster, recorder, label, paged.get(),
+                               resident_mem);
+    paging::charge_spill(cluster, recorder, label, buffer_spill * workers,
+                         resident_mem);
 
     cluster.metrics().incr("pregel.supersteps");
     cluster.metrics().incr("messages.sent", outbox_count);

@@ -25,6 +25,7 @@
 #include "partition/partition.h"
 #include "platforms/accounting.h"
 #include "platforms/message_buffer.h"
+#include "platforms/paging.h"
 #include "platforms/partitioning.h"
 #include "sim/cluster.h"
 
@@ -196,18 +197,26 @@ inline double charge_setup_and_load(const Graph& graph, sim::Cluster& cluster,
                           static_cast<double>(graph.num_adjacency_entries()) *
                               static_cast<double>(config.edge_entry)) /
       workers;
-  cluster.check_heap(partition_bytes, "Giraph graph partition");
+  // With paging off an over-heap partition crashes here (the paper's
+  // behaviour); with paging on the overflow lives on disk pages instead.
+  const double overflow =
+      cluster.admit_resident(partition_bytes, "Giraph graph partition");
+  const double resident_bytes = partition_bytes - overflow;
 
   PhaseUsage load_usage;
   load_usage.worker_cpu_cores = cluster.cores_per_worker();
-  load_usage.worker_mem_bytes = partition_bytes;
+  load_usage.worker_mem_bytes = resident_bytes;
   load_usage.worker_net_in_bps = cost.net_bps * 0.6;
   load_usage.worker_net_out_bps = cost.net_bps * 0.6;
   load_usage.master_cpu_cores = 0.02;
   recorder.phase("setup", cost.jvm_startup_sec + cost.bsp_barrier_sec, false,
-                 PhaseUsage{.worker_mem_bytes = partition_bytes * 0.05,
+                 PhaseUsage{.worker_mem_bytes = resident_bytes * 0.05,
                             .master_cpu_cores = 0.05});
   recorder.phase("load", load_read + load_parse + load_ship, false, load_usage);
+  // The overflow never fit in heap: it streams straight out to the page
+  // store during load (write-only; re-reads are charged as faults later).
+  paging::charge_spill(cluster, recorder, "load", overflow * workers,
+                       resident_bytes, /*read_back=*/false);
   return partition_bytes;
 }
 
@@ -280,6 +289,17 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
 
   const double partition_bytes =
       charge_setup_and_load(graph, cluster, recorder, config);
+  // Paged storage (DESIGN.md §12): the partition in JVM layout, viewed
+  // through the page cache. The initial sequential load warms the cache
+  // without charging faults (the load phase already paid for the read);
+  // superstep replays below charge real thrash.
+  const auto paged = paging::make_view(
+      graph, cluster, static_cast<double>(config.vertex_overhead),
+      static_cast<double>(config.edge_entry));
+  if (paged) {
+    paged->touch_all();
+    paged->take_stats();
+  }
   // Vertex ownership and the cross-worker traffic fraction come from the
   // pluggable assignment; the barrier waits for the most loaded worker,
   // so per-slot compute stretches by the assignment's imbalance.
@@ -335,6 +355,20 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
       throw PlatformError(PlatformError::Kind::kTimeout,
                           "Giraph exceeded the experiment time budget");
     }
+    // Serial replay of this superstep's structure accesses against the
+    // paged view, using the same active predicate as the compute loop
+    // below (evaluated before run_chunks mutates halted/values). Serial,
+    // so fault counts are bit-identical at every host parallelism.
+    if (paged) {
+      for (VertexId v = 0; v < n; ++v) {
+        const bool has_msgs =
+            have_inbox && inbox_offsets[v] != inbox_offsets[v + 1];
+        if (halted[v] && !has_msgs && !adjacency_pending) continue;
+        paged->touch_vertex(v);
+        paged->touch_out_adjacency(v);
+      }
+    }
+
     outbox_buf.reset(chunks);
     bool adjacency_broadcast = false;
     double aggregate_next = 0.0;
@@ -491,8 +525,20 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
                   std::max<std::uint32_t>(workers, 1);
     const double scaled_inbox =
         cluster.scale_bytes(max_inbox + outbox_bytes) * config.buffer_factor;
-    cluster.check_heap(partition_bytes + scaled_inbox,
-                       "Giraph superstep message buffers");
+    cluster.admit_resident(partition_bytes + scaled_inbox,
+                           "Giraph superstep message buffers");
+    // Message buffers beyond the heap headroom left by the (resident part
+    // of the) partition spill through disk this superstep. Structure
+    // re-reads are charged separately via the paged view's fault count.
+    const double heap = static_cast<double>(cost.heap_limit);
+    const double resident_mem =
+        std::min(partition_bytes + scaled_inbox, heap);
+    const double buffer_spill =
+        cluster.paging_enabled()
+            ? std::max(0.0, scaled_inbox -
+                                std::max(0.0, heap - std::min(partition_bytes,
+                                                              heap)))
+            : 0.0;
 
     const double message_units =
         (static_cast<double>(outbox_count) + static_cast<double>(received)) *
@@ -513,17 +559,22 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
     const std::string label = "superstep_" + std::to_string(step);
     PhaseUsage compute_usage;
     compute_usage.worker_cpu_cores = cluster.cores_per_worker();
-    compute_usage.worker_mem_bytes = partition_bytes + scaled_inbox;
+    compute_usage.worker_mem_bytes = resident_mem;
     recorder.phase(label + "/compute", compute_time, true, compute_usage);
 
     PhaseUsage comm_usage;
     comm_usage.worker_cpu_cores = 0.15;
-    comm_usage.worker_mem_bytes = partition_bytes + scaled_inbox;
+    comm_usage.worker_mem_bytes = resident_mem;
     comm_usage.worker_net_in_bps = cost.net_bps * 0.5;
     comm_usage.worker_net_out_bps = cost.net_bps * 0.5;
     comm_usage.master_cpu_cores = 0.03;  // ZooKeeper barrier coordination
     recorder.phase(label + "/sync", net_time + cost.bsp_barrier_sec, false,
                    comm_usage);
+
+    paging::charge_page_faults(cluster, recorder, label, paged.get(),
+                               resident_mem);
+    paging::charge_spill(cluster, recorder, label, buffer_spill * workers,
+                         resident_mem);
 
     cluster.metrics().incr("pregel.supersteps");
     cluster.metrics().incr("messages.sent", outbox_count);

@@ -33,6 +33,15 @@ void Cluster::check_heap(double scaled_bytes, const std::string& what) const {
   throw PlatformError(PlatformError::Kind::kOutOfMemory, msg.str());
 }
 
+double Cluster::admit_resident(double scaled_bytes, const std::string& what) {
+  const double heap = static_cast<double>(cost().heap_limit);
+  if (scaled_bytes <= heap) return 0.0;
+  if (!paging_enabled()) check_heap(scaled_bytes, what);  // throws
+  const double overflow = scaled_bytes - heap;
+  metrics_.max_gauge("page_cache.overcommit_bytes", overflow);
+  return overflow;
+}
+
 void Cluster::add_baselines(SimTime total_time, Bytes master_extra_mem,
                             Bytes worker_extra_mem) {
   if (total_time <= 0) return;

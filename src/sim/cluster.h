@@ -25,6 +25,7 @@
 #include "sim/cost_model.h"
 #include "sim/faults.h"
 #include "sim/monitor.h"
+#include "storage/page_cache.h"
 
 namespace gb::sim {
 
@@ -43,6 +44,11 @@ struct ClusterConfig {
   /// How engines distribute the graph over the workers (DESIGN.md §11).
   /// kHash reproduces the historical hardwired v % W placement.
   partition::Strategy partitioner = partition::Strategy::kHash;
+  /// Paged out-of-core storage (DESIGN.md §12). When budget_per_node > 0
+  /// the engines admit over-heap structures through a page cache and
+  /// charge fault/spill time; when 0 (the default) an over-heap structure
+  /// crashes with kOutOfMemory exactly as before.
+  storage::PageCacheConfig page_cache;
 };
 
 class Cluster {
@@ -112,6 +118,16 @@ class Cluster {
   /// bytes exceed the configured heap. `what` names the allocation in the
   /// crash report, e.g. "Giraph superstep message buffers".
   void check_heap(double scaled_bytes, const std::string& what) const;
+
+  /// True when the paged-storage budget is set and over-heap structures
+  /// degrade instead of crashing.
+  bool paging_enabled() const { return config_.page_cache.enabled(); }
+
+  /// Admit a node's (scaled) resident bytes against the heap. Returns the
+  /// per-node overflow beyond the heap (0 when it fits); callers charge
+  /// page-fault or spill time for the overflow. With paging disabled an
+  /// overflow throws kOutOfMemory exactly like check_heap.
+  double admit_resident(double scaled_bytes, const std::string& what);
 
   UsageTrace& master_trace() { return master_trace_; }
   UsageTrace& worker_trace(std::uint32_t worker) {

@@ -1,0 +1,151 @@
+#include "storage/page_cache.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace gb::storage {
+
+PageCache::PageCache(std::uint64_t capacity_pages, ReplacementPolicy policy)
+    : capacity_(capacity_pages), policy_(policy) {
+  frames_.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(capacity_pages, 1u << 20)));
+}
+
+bool PageCache::touch(std::uint64_t page) {
+  if (capacity_ == 0) {
+    // Degenerate budget: nothing stays resident, every access faults.
+    ++stats_.misses;
+    return false;
+  }
+  if (const auto it = table_.find(page); it != table_.end()) {
+    ++stats_.hits;
+    Frame& frame = frames_[it->second];
+    frame.referenced = true;
+    if (policy_ == ReplacementPolicy::kLru && lru_head_ != it->second) {
+      lru_unlink(it->second);
+      lru_push_front(it->second);
+    }
+    return true;
+  }
+
+  ++stats_.misses;
+  std::uint32_t frame_id;
+  if (frames_.size() < capacity_) {
+    frame_id = static_cast<std::uint32_t>(frames_.size());
+    frames_.emplace_back();
+  } else {
+    frame_id = pick_victim();
+    ++stats_.evictions;
+    table_.erase(frames_[frame_id].page);
+    if (policy_ == ReplacementPolicy::kLru) lru_unlink(frame_id);
+  }
+  Frame& frame = frames_[frame_id];
+  frame.page = page;
+  frame.referenced = true;
+  table_.emplace(page, frame_id);
+  if (policy_ == ReplacementPolicy::kLru) lru_push_front(frame_id);
+  return false;
+}
+
+void PageCache::touch_range(std::uint64_t first_page,
+                            std::uint64_t last_page) {
+  for (std::uint64_t page = first_page; page <= last_page; ++page) {
+    touch(page);
+  }
+}
+
+PageCacheStats PageCache::take_stats() {
+  PageCacheStats delta;
+  delta.hits = stats_.hits - taken_.hits;
+  delta.misses = stats_.misses - taken_.misses;
+  delta.evictions = stats_.evictions - taken_.evictions;
+  taken_ = stats_;
+  return delta;
+}
+
+std::uint32_t PageCache::pick_victim() {
+  if (policy_ == ReplacementPolicy::kLru) return lru_tail_;
+  // CLOCK: sweep the hand, clearing reference bits; the first frame found
+  // unreferenced since its last sweep is the victim. Terminates within
+  // two passes because the first pass clears every bit it crosses.
+  for (;;) {
+    Frame& frame = frames_[hand_];
+    const std::uint32_t current = hand_;
+    hand_ = (hand_ + 1 == frames_.size()) ? 0 : hand_ + 1;
+    if (!frame.referenced) return current;
+    frame.referenced = false;
+  }
+}
+
+void PageCache::lru_unlink(std::uint32_t frame) {
+  Frame& f = frames_[frame];
+  if (f.prev != kNoFrame) frames_[f.prev].next = f.next;
+  if (f.next != kNoFrame) frames_[f.next].prev = f.prev;
+  if (lru_head_ == frame) lru_head_ = f.next;
+  if (lru_tail_ == frame) lru_tail_ = f.prev;
+  f.prev = f.next = kNoFrame;
+}
+
+void PageCache::lru_push_front(std::uint32_t frame) {
+  Frame& f = frames_[frame];
+  f.prev = kNoFrame;
+  f.next = lru_head_;
+  if (lru_head_ != kNoFrame) frames_[lru_head_].prev = frame;
+  lru_head_ = frame;
+  if (lru_tail_ == kNoFrame) lru_tail_ = frame;
+}
+
+PagedGraphView::PagedGraphView(const Graph& graph,
+                               const PageCacheConfig& config,
+                               double work_scale,
+                               std::uint64_t capacity_pages,
+                               double vertex_bytes, double edge_bytes)
+    : graph_(graph),
+      work_scale_(work_scale),
+      vertex_bytes_(vertex_bytes),
+      edge_bytes_(edge_bytes),
+      page_size_(static_cast<double>(config.page_size)),
+      cache_(capacity_pages, config.policy) {
+  if (config.page_size == 0) throw Error("page cache: zero page size");
+  const double n = static_cast<double>(graph.num_vertices());
+  const double entries = static_cast<double>(graph.num_adjacency_entries());
+  out_base_ = n * vertex_bytes_;
+  // Undirected graphs alias in- onto out-adjacency (same as the CSR).
+  in_base_ = out_base_ + entries * edge_bytes_;
+  total_bytes_ = (in_base_ + (graph.directed() ? entries * edge_bytes_ : 0.0)) *
+                 work_scale_;
+}
+
+std::uint64_t PagedGraphView::page_of(double coord) const {
+  return static_cast<std::uint64_t>(coord * work_scale_ / page_size_);
+}
+
+void PagedGraphView::touch_vertex(VertexId v) {
+  cache_.touch(page_of(static_cast<double>(v) * vertex_bytes_));
+}
+
+void PagedGraphView::touch_out_adjacency(VertexId v) {
+  const auto begin = graph_.out_offset(v);
+  const auto end = graph_.out_offset(v + 1);
+  if (begin == end) return;
+  cache_.touch_range(
+      page_of(out_base_ + static_cast<double>(begin) * edge_bytes_),
+      page_of(out_base_ + static_cast<double>(end - 1) * edge_bytes_));
+}
+
+void PagedGraphView::touch_in_adjacency(VertexId v) {
+  const double base = graph_.directed() ? in_base_ : out_base_;
+  const auto begin = graph_.in_offset(v);
+  const auto end = graph_.in_offset(v + 1);
+  if (begin == end) return;
+  cache_.touch_range(page_of(base + static_cast<double>(begin) * edge_bytes_),
+                     page_of(base + static_cast<double>(end - 1) * edge_bytes_));
+}
+
+void PagedGraphView::touch_all() {
+  if (total_bytes_ <= 0.0) return;
+  cache_.touch_range(0, page_of(total_bytes_ / work_scale_ - 1.0));
+}
+
+}  // namespace gb::storage

@@ -1,0 +1,162 @@
+// Paged out-of-core storage in front of the CSR core.
+//
+// The engines hold their partition of the graph in simulated RAM; a
+// dataset whose in-memory representation exceeds the per-node heap used
+// to be a hard kOutOfMemory crash. PageCache models the alternative the
+// TriCache line of work takes: the structure lives on fixed-size pages,
+// a bounded number of frames stay resident, and every access outside the
+// resident set charges a page-fault (seek + one page of sequential read)
+// instead of aborting. Replacement is pluggable — CLOCK (the default,
+// matching TriCache's second-chance eviction) or strict LRU.
+//
+// Everything here is deterministic: page ids derive from simulated byte
+// coordinates, and callers touch pages from serial replay loops only, so
+// hit/miss/eviction counts are bit-identical at every host parallelism.
+//
+// Layering: PageCacheConfig is header-only (core/types.h only) so
+// sim::ClusterConfig can embed it without linking gp_storage; the cache
+// and view implementations live in page_cache.cpp (gp_storage).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/types.h"
+
+namespace gb::storage {
+
+enum class ReplacementPolicy {
+  kClock,  // second-chance: evict the first frame the hand finds unref'd
+  kLru,    // strict least-recently-used
+};
+
+inline const char* replacement_policy_name(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kClock: return "clock";
+    case ReplacementPolicy::kLru: return "lru";
+  }
+  return "?";
+}
+
+inline std::optional<ReplacementPolicy> parse_replacement_policy(
+    const std::string& name) {
+  if (name == "clock") return ReplacementPolicy::kClock;
+  if (name == "lru") return ReplacementPolicy::kLru;
+  return std::nullopt;
+}
+
+/// Paging knobs carried by the cluster config. budget_per_node == 0 means
+/// paging is off and over-heap structures crash exactly as before.
+struct PageCacheConfig {
+  Bytes page_size = Bytes{1} << 20;  // simulated page granularity
+  Bytes budget_per_node = 0;         // resident bytes per node; 0 = off
+  ReplacementPolicy policy = ReplacementPolicy::kClock;
+
+  bool enabled() const { return budget_per_node > 0; }
+};
+
+struct PageCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Fixed-capacity page cache: a page table mapping page id -> frame and a
+/// replacement policy over the frames. Pages are abstract ids; the caller
+/// decides what byte range a page covers.
+class PageCache {
+ public:
+  PageCache(std::uint64_t capacity_pages, ReplacementPolicy policy);
+
+  /// Access one page; returns true on hit. Misses install the page,
+  /// evicting a victim when all frames are occupied.
+  bool touch(std::uint64_t page);
+
+  /// Access every page in [first_page, last_page] in ascending order.
+  void touch_range(std::uint64_t first_page, std::uint64_t last_page);
+
+  std::uint64_t capacity_pages() const { return capacity_; }
+  std::uint64_t resident_pages() const { return frames_.size(); }
+  ReplacementPolicy policy() const { return policy_; }
+
+  /// Cumulative counters since construction.
+  const PageCacheStats& stats() const { return stats_; }
+
+  /// Counters accumulated since the previous take_stats() call (engines
+  /// drain this per phase to charge fault time where it occurred).
+  PageCacheStats take_stats();
+
+ private:
+  static constexpr std::uint32_t kNoFrame = ~std::uint32_t{0};
+
+  std::uint32_t pick_victim();  // frame to evict (cache is full)
+
+  struct Frame {
+    std::uint64_t page = 0;
+    bool referenced = false;  // clock second-chance bit
+    std::uint32_t prev = kNoFrame;  // LRU intrusive list
+    std::uint32_t next = kNoFrame;
+  };
+
+  void lru_unlink(std::uint32_t frame);
+  void lru_push_front(std::uint32_t frame);
+
+  std::uint64_t capacity_;
+  ReplacementPolicy policy_;
+  std::vector<Frame> frames_;
+  // Page table: page id -> frame. Never iterated, so the unordered
+  // container costs nothing in determinism.
+  std::unordered_map<std::uint64_t, std::uint32_t> table_;
+  std::uint32_t hand_ = 0;            // clock position
+  std::uint32_t lru_head_ = kNoFrame;  // most recent
+  std::uint32_t lru_tail_ = kNoFrame;  // least recent
+  PageCacheStats stats_;
+  PageCacheStats taken_;  // snapshot at last take_stats()
+};
+
+/// The CSR graph seen through a page cache, in the *engine's* memory
+/// layout: per-vertex records of `vertex_bytes` and adjacency entries of
+/// `edge_bytes`, laid out as [vertex records][out-adjacency][in-adjacency]
+/// in full-size simulated byte space (scaled-down indices are multiplied
+/// by work_scale before paging, so the paged footprint matches what the
+/// heap check sees). Engines replay their access pattern against this
+/// view from a serial prepass and charge the resulting miss count as
+/// page-fault time.
+class PagedGraphView {
+ public:
+  PagedGraphView(const Graph& graph, const PageCacheConfig& config,
+                 double work_scale, std::uint64_t capacity_pages,
+                 double vertex_bytes, double edge_bytes);
+
+  void touch_vertex(VertexId v);
+  void touch_out_adjacency(VertexId v);
+  void touch_in_adjacency(VertexId v);
+
+  /// Sequential sweep of every region (initial load / full scans).
+  void touch_all();
+
+  /// Total full-size bytes the paged structure spans.
+  double footprint_bytes() const { return total_bytes_; }
+
+  const PageCache& cache() const { return cache_; }
+  PageCacheStats take_stats() { return cache_.take_stats(); }
+
+ private:
+  std::uint64_t page_of(double coord) const;
+
+  const Graph& graph_;
+  double work_scale_;
+  double vertex_bytes_;
+  double edge_bytes_;
+  double page_size_;
+  double out_base_;    // byte offset of the out-adjacency region
+  double in_base_;     // byte offset of the in-adjacency region
+  double total_bytes_;
+  PageCache cache_;
+};
+
+}  // namespace gb::storage

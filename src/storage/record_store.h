@@ -69,6 +69,20 @@ class RecordStoreModel {
   /// factor in [0,1]; 1 = perfectly clustered chains, 0 = fully random).
   double cold_access_sec(double locality) const;
 
+  /// Full-size byte coordinates in the paged store layout
+  /// [node records][relationship records] (DESIGN.md §12). Scaled-graph
+  /// indices are stretched by work_scale so the address space — and the
+  /// page-cache behaviour over it — matches the full-size store.
+  double node_coordinate(VertexId v) const {
+    return static_cast<double>(v) * work_scale_ *
+           static_cast<double>(config_.node_record);
+  }
+  double relationship_coordinate(EdgeId slot) const {
+    return node_records_ * static_cast<double>(config_.node_record) +
+           static_cast<double>(slot) * work_scale_ *
+               static_cast<double>(config_.relationship_record);
+  }
+
   /// Table 6: batch-transaction import of the whole graph.
   SimTime ingest_time() const;
 

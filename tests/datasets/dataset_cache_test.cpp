@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -47,6 +49,55 @@ TEST(DatasetCache, DefaultScaleAliasesTheCatalogScale) {
       cache.get(DatasetId::kAmazon, info(DatasetId::kAmazon).default_scale);
   EXPECT_EQ(by_default.get(), by_value.get());
   EXPECT_EQ(cache.loads(), 1u);
+}
+
+TEST(DatasetCache, FailedLoadClearsTheSlotSoALaterCallRetries) {
+  // Block the cache directory path with a regular file: generation
+  // succeeds but publishing throws, which must erase the slot (the
+  // header's promise) instead of leaving a forever-"loading" entry.
+  const auto blocker = std::filesystem::path(::testing::TempDir()) /
+                       "dataset_cache_test_blocker";
+  std::filesystem::remove_all(blocker);
+  { std::ofstream out(blocker.string()); out << "not a directory"; }
+
+  DatasetCache cache(blocker.string());
+  EXPECT_THROW(cache.get(DatasetId::kAmazon, 0.01), std::exception);
+  EXPECT_EQ(cache.loads(), 0u);
+
+  // Clear the obstruction; the same key must retry and succeed.
+  std::filesystem::remove(blocker);
+  const auto ds = cache.get(DatasetId::kAmazon, 0.01);
+  ASSERT_NE(ds, nullptr);
+  EXPECT_GT(ds->graph.num_vertices(), 0u);
+  EXPECT_EQ(cache.loads(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  std::filesystem::remove_all(blocker);
+}
+
+TEST(DatasetCache, ConcurrentWaitersAllSeeTheFailure) {
+  // Every thread asking for a failing key gets the exception — whether it
+  // was the loader or a waiter that retried after the slot cleared.
+  const auto blocker = std::filesystem::path(::testing::TempDir()) /
+                       "dataset_cache_test_blocker2";
+  std::filesystem::remove_all(blocker);
+  { std::ofstream out(blocker.string()); out << "not a directory"; }
+
+  DatasetCache cache(blocker.string());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&cache, &failures] {
+      try {
+        cache.get(DatasetId::kAmazon, 0.015);
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 8);
+  EXPECT_EQ(cache.loads(), 0u);
+  std::filesystem::remove(blocker);
 }
 
 TEST(DatasetCache, ConcurrentRequestsCoalesceIntoOneLoad) {

@@ -137,6 +137,18 @@ TEST(Report, FormatSi) {
   EXPECT_EQ(format_si(0.0), "0.00");
 }
 
+TEST(Report, FormatSiNegativeValuesScale) {
+  // Unit selection goes by magnitude, so a negative gauge (a delta, a
+  // regression) picks the same unit as its positive twin instead of
+  // falling through every branch unscaled ("-1500000000.00").
+  EXPECT_EQ(format_si(-1.5e9), "-1.50G");
+  EXPECT_EQ(format_si(-2.0e9), "-2.00G");
+  EXPECT_EQ(format_si(-3.4e6), "-3.40M");
+  EXPECT_EQ(format_si(-1.0e3), "-1.00k");
+  EXPECT_EQ(format_si(-999.0), "-999.00");
+  EXPECT_EQ(format_si(-12.0), "-12.00");
+}
+
 TEST(Report, FormatMeasurementOutcomes) {
   Measurement ok;
   ok.outcome = Outcome::kOk;

@@ -1,0 +1,264 @@
+// PageCache: replacement determinism and accounting, the paged CSR view's
+// byte-coordinate mapping, and the end-to-end contract — a paged run is
+// bit-identical at every host parallelism and produces the same algorithm
+// output as the unpaged run.
+#include "storage/page_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../test_util.h"
+#include "algorithms/platform_suite.h"
+#include "core/error.h"
+#include "core/graph.h"
+#include "datasets/catalog.h"
+#include "harness/cell_result.h"
+#include "harness/experiment.h"
+#include "harness/json.h"
+
+namespace gb::storage {
+namespace {
+
+TEST(PageCache, ClockSecondChanceEvictsTheFirstUnreferencedFrame) {
+  PageCache cache(2, ReplacementPolicy::kClock);
+  EXPECT_FALSE(cache.touch(1));
+  EXPECT_FALSE(cache.touch(2));
+  EXPECT_TRUE(cache.touch(1));
+  // Full, every bit set: the hand clears both bits on its first pass and
+  // takes frame 0 (page 1) on the second.
+  EXPECT_FALSE(cache.touch(3));
+  EXPECT_TRUE(cache.touch(2));
+  // Hand resumed at frame 1: clears 2 and 3, evicts page 2 (frame 1).
+  EXPECT_FALSE(cache.touch(1));
+  EXPECT_TRUE(cache.touch(3));
+  EXPECT_EQ(cache.stats().hits, 3u);
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.resident_pages(), 2u);
+}
+
+TEST(PageCache, LruEvictsTheLeastRecentlyUsedPage) {
+  PageCache cache(2, ReplacementPolicy::kLru);
+  EXPECT_FALSE(cache.touch(1));
+  EXPECT_FALSE(cache.touch(2));
+  EXPECT_TRUE(cache.touch(1));  // 1 becomes most recent
+  EXPECT_FALSE(cache.touch(3));  // evicts 2, the LRU page
+  EXPECT_TRUE(cache.touch(1));
+  EXPECT_TRUE(cache.touch(3));
+  EXPECT_FALSE(cache.touch(2));  // evicts 1 this time
+  EXPECT_FALSE(cache.touch(1));
+  EXPECT_EQ(cache.stats().hits, 3u);
+  EXPECT_EQ(cache.stats().misses, 5u);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+}
+
+TEST(PageCache, ZeroCapacityAlwaysMisses) {
+  PageCache cache(0, ReplacementPolicy::kClock);
+  EXPECT_FALSE(cache.touch(7));
+  EXPECT_FALSE(cache.touch(7));
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.resident_pages(), 0u);
+}
+
+TEST(PageCache, TouchRangeIsInclusive) {
+  PageCache cache(8, ReplacementPolicy::kClock);
+  cache.touch_range(5, 7);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  cache.touch_range(5, 5);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(PageCache, TakeStatsReturnsOnlyTheDeltaSinceLastCall) {
+  PageCache cache(2, ReplacementPolicy::kClock);
+  cache.touch(1);
+  cache.touch(1);
+  const auto first = cache.take_stats();
+  EXPECT_EQ(first.hits, 1u);
+  EXPECT_EQ(first.misses, 1u);
+  const auto empty = cache.take_stats();
+  EXPECT_EQ(empty.hits, 0u);
+  EXPECT_EQ(empty.misses, 0u);
+  cache.touch(2);
+  const auto second = cache.take_stats();
+  EXPECT_EQ(second.hits, 0u);
+  EXPECT_EQ(second.misses, 1u);
+  // Cumulative stats() keep the full history.
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(PageCache, ReplaySequencesAreDeterministic) {
+  // Same touch sequence, same counters — run it twice per policy.
+  for (const auto policy :
+       {ReplacementPolicy::kClock, ReplacementPolicy::kLru}) {
+    PageCacheStats reference;
+    for (int run = 0; run < 2; ++run) {
+      PageCache cache(3, policy);
+      for (std::uint64_t i = 0; i < 100; ++i) cache.touch((i * 7) % 11);
+      if (run == 0) {
+        reference = cache.stats();
+      } else {
+        EXPECT_EQ(cache.stats().hits, reference.hits);
+        EXPECT_EQ(cache.stats().misses, reference.misses);
+        EXPECT_EQ(cache.stats().evictions, reference.evictions);
+      }
+    }
+  }
+}
+
+// A 3-vertex directed graph whose byte layout is easy to enumerate with
+// 1-byte records and 1-byte pages: [v0 v1 v2][out: 0->1 0->2 1->2][in...].
+Graph tiny_directed() {
+  GraphBuilder b(3, true);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  return b.build();
+}
+
+PageCacheConfig byte_pages() {
+  PageCacheConfig config;
+  config.page_size = 1;
+  return config;
+}
+
+TEST(PagedGraphView, MapsRegionsToDistinctPages) {
+  const Graph g = tiny_directed();
+  PagedGraphView view(g, byte_pages(), /*work_scale=*/1.0,
+                      /*capacity_pages=*/100, /*vertex_bytes=*/1.0,
+                      /*edge_bytes=*/1.0);
+  EXPECT_DOUBLE_EQ(view.footprint_bytes(), 9.0);  // 3 + 3 out + 3 in
+
+  view.touch_vertex(0);        // page 0
+  view.touch_out_adjacency(0); // pages 3,4 (two out-edges)
+  view.touch_in_adjacency(2);  // pages 7,8 (in-region slots 1,2)
+  auto delta = view.take_stats();
+  EXPECT_EQ(delta.misses, 5u);
+  EXPECT_EQ(delta.hits, 0u);
+
+  // Re-touching the same structure hits every page.
+  view.touch_vertex(0);
+  view.touch_out_adjacency(0);
+  view.touch_in_adjacency(2);
+  delta = view.take_stats();
+  EXPECT_EQ(delta.hits, 5u);
+  EXPECT_EQ(delta.misses, 0u);
+
+  // touch_all sweeps exactly the remaining pages of the 9-byte span.
+  view.touch_all();
+  delta = view.take_stats();
+  EXPECT_EQ(delta.hits + delta.misses, 9u);
+  EXPECT_EQ(delta.misses, 4u);  // pages 1,2,5,6 were never touched
+}
+
+TEST(PagedGraphView, EmptyAdjacencyTouchesNothing) {
+  const Graph g = tiny_directed();
+  PagedGraphView view(g, byte_pages(), 1.0, 100, 1.0, 1.0);
+  view.touch_out_adjacency(2);  // vertex 2 has no out-edges
+  view.touch_in_adjacency(0);   // vertex 0 has no in-edges
+  const auto delta = view.take_stats();
+  EXPECT_EQ(delta.hits + delta.misses, 0u);
+}
+
+TEST(PagedGraphView, UndirectedAliasesInOntoOutAdjacency) {
+  const Graph g = test::barbell_graph();  // undirected
+  ASSERT_FALSE(g.directed());
+  PagedGraphView view(g, byte_pages(), 1.0, 1000, 1.0, 1.0);
+  view.touch_out_adjacency(0);
+  view.take_stats();
+  view.touch_in_adjacency(0);  // same CSR region, so every page hits
+  const auto delta = view.take_stats();
+  EXPECT_GT(delta.hits, 0u);
+  EXPECT_EQ(delta.misses, 0u);
+}
+
+TEST(PagedGraphView, WorkScaleExpandsTheSimulatedByteSpace) {
+  // One scaled vertex stands for work_scale full-size vertices: with
+  // 64-byte pages and scale 100, vertices 0 and 1 land 100 bytes apart —
+  // different pages — while at scale 1 they would share page 0.
+  const Graph g = tiny_directed();
+  PageCacheConfig config;
+  config.page_size = 64;
+  PagedGraphView view(g, config, /*work_scale=*/100.0, 100, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(view.footprint_bytes(), 900.0);
+  view.touch_vertex(0);
+  view.touch_vertex(1);
+  const auto delta = view.take_stats();
+  EXPECT_EQ(delta.misses, 2u);
+}
+
+TEST(PagedGraphView, ZeroPageSizeIsRejected) {
+  const Graph g = tiny_directed();
+  PageCacheConfig config;
+  config.page_size = 0;
+  EXPECT_THROW(PagedGraphView(g, config, 1.0, 1, 1.0, 1.0), Error);
+}
+
+/// Strip the host-side members ("host_threads", "host_wall_sec") — host
+/// observability is explicitly excluded from the determinism contract.
+std::string strip_host_observability(std::string json) {
+  for (const char* name : {"\"host_threads\":", "\"host_wall_sec\":"}) {
+    const std::string key = name;
+    const auto start = json.find(key);
+    if (start == std::string::npos) continue;
+    auto end = start + key.size();
+    while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+    if (end < json.size() && json[end] == ',') ++end;
+    json.erase(start, end - start);
+  }
+  return json;
+}
+
+harness::Measurement paged_run(const datasets::Dataset& ds,
+                               std::uint32_t parallelism) {
+  const auto platform = algorithms::make_giraph();
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.parallelism = parallelism;
+  cfg.cost.heap_limit = Bytes{32} << 20;  // 32 MiB: far below the partition
+  cfg.page_cache.budget_per_node = Bytes{32} << 20;
+  cfg.page_cache.page_size = Bytes{256} << 10;
+  return harness::run_cell(*platform, ds, platforms::Algorithm::kBfs,
+                           harness::default_params(ds), cfg);
+}
+
+TEST(PageCacheIntegration, PagedRunsAreBitIdenticalAtEveryParallelism) {
+  const auto ds = datasets::generate(datasets::DatasetId::kKGS, 0.01, 7);
+  const auto serial = paged_run(ds, 1);
+  ASSERT_TRUE(serial.ok()) << serial.message;
+  EXPECT_GT(serial.metrics.counter("page_cache.misses"), 0u);
+
+  const auto reference = strip_host_observability(
+      harness::measurement_to_json("Giraph", ds.name, "BFS", serial));
+  for (const std::uint32_t parallelism : {2u, 0u}) {
+    const auto m = paged_run(ds, parallelism);
+    EXPECT_EQ(strip_host_observability(
+                  harness::measurement_to_json("Giraph", ds.name, "BFS", m)),
+              reference)
+        << "parallelism=" << parallelism;
+  }
+}
+
+TEST(PageCacheIntegration, PagingDegradesTimeButNotResults) {
+  const auto ds = datasets::generate(datasets::DatasetId::kKGS, 0.01, 7);
+  const auto platform = algorithms::make_giraph();
+  sim::ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.parallelism = 1;
+  const auto unpaged = harness::run_cell(
+      *platform, ds, platforms::Algorithm::kBfs, harness::default_params(ds),
+      cfg);
+  ASSERT_TRUE(unpaged.ok()) << unpaged.message;
+
+  const auto paged = paged_run(ds, 1);
+  ASSERT_TRUE(paged.ok()) << paged.message;
+  // Same algorithm output, strictly slower wall-clock: page faults only
+  // add time, they never change what the engine computes.
+  EXPECT_EQ(harness::hash_output(paged.result.output),
+            harness::hash_output(unpaged.result.output));
+  EXPECT_GT(paged.result.total_time, unpaged.result.total_time);
+}
+
+}  // namespace
+}  // namespace gb::storage

@@ -45,6 +45,10 @@ using namespace gb;
          "  --cores N,N,...        cores per machine (default: 1)\n"
          "  --partitioners A,B,... hash|range|degree|vertexcut "
          "(default: hash)\n"
+         "  --mem-budgets G,G,...  simulated RAM per node in GiB; 0 = "
+         "default heap,\n"
+         "                         >0 shrinks the heap and enables paged "
+         "storage (default: 0)\n"
          "  --scale S              dataset scale, 0 = catalog default\n"
          "  --seed S               dataset generation seed (default 42)\n"
          "  --fault SPEC           fault injected into every cell "
@@ -214,6 +218,11 @@ int main(int argc, char** argv) {
                     .c_str());
         }
         grid.partitioners.push_back(*strategy);
+      }
+    } else if (arg == "--mem-budgets") {
+      grid.mem_budgets.clear();
+      for (const auto& item : split_list(value(), "--mem-budgets")) {
+        grid.mem_budgets.push_back(parse_double(item, "--mem-budgets", 0.0));
       }
     } else if (arg == "--scale") {
       grid.scale = parse_double(value(), "--scale", 0.0);

@@ -24,6 +24,7 @@
 #include "partition/strategy.h"
 #include "sim/cost_config.h"
 #include "sim/faults.h"
+#include "storage/page_cache.h"
 
 #include "flag_parse.h"
 
@@ -51,6 +52,16 @@ using namespace gb;
                "faults from seed S)\n"
                "              [--checkpoint-interval N]   (Giraph: "
                "checkpoint every N supersteps, 0 = off)\n"
+               "              [--mem-budget GIB]   (simulated RAM per node: "
+               "sets the heap limit AND enables\n"
+               "               paged out-of-core storage at that budget; "
+               "over-budget runs degrade, not crash)\n"
+               "              [--page-size BYTES]  (page-cache granularity, "
+               "default 1 MiB)\n"
+               "              [--page-policy clock|lru]   (page replacement "
+               "policy)\n"
+               "              [--no-paging]   (with --mem-budget: shrink the "
+               "heap only — over-budget runs crash)\n"
                "              [--trace-out FILE]   (write a Chrome "
                "trace-event JSON timeline of the run)\n"
                "              [--trace-host-profile]   (include host-pool "
@@ -120,6 +131,10 @@ int main(int argc, char** argv) {
   double fault_horizon = 3600.0;
   std::string trace_path;
   bool trace_host_profile = false;
+  double mem_budget_gb = 0.0;  // 0 = default heap, paging off
+  Bytes page_size = Bytes{1} << 20;
+  storage::ReplacementPolicy page_policy = storage::ReplacementPolicy::kClock;
+  bool no_paging = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -186,6 +201,19 @@ int main(int argc, char** argv) {
       have_fault_seed = true;
     } else if (arg == "--checkpoint-interval") {
       checkpoint_interval = parse_u32(value(), "--checkpoint-interval");
+    } else if (arg == "--mem-budget") {
+      mem_budget_gb = parse_double(value(), "--mem-budget", 0.001);
+    } else if (arg == "--page-size") {
+      page_size = parse_u64(value(), "--page-size", 1);
+    } else if (arg == "--page-policy") {
+      const std::string name = value();
+      const auto parsed = storage::parse_replacement_policy(name);
+      if (!parsed) {
+        usage(("unknown page policy '" + name + "' (clock|lru)").c_str());
+      }
+      page_policy = *parsed;
+    } else if (arg == "--no-paging") {
+      no_paging = true;
     } else if (arg == "--trace-out") {
       trace_path = value();
     } else if (arg == "--trace-host-profile") {
@@ -231,6 +259,13 @@ int main(int argc, char** argv) {
     for (const auto& event : random.events()) faults.add(event);
   }
   cfg.faults = faults;
+  if (mem_budget_gb > 0.0) {
+    const auto budget = static_cast<Bytes>(mem_budget_gb * (1ull << 30));
+    cfg.cost.heap_limit = budget;
+    if (!no_paging) cfg.page_cache.budget_per_node = budget;
+  }
+  cfg.page_cache.page_size = page_size;
+  cfg.page_cache.policy = page_policy;
   auto params = harness::default_params(ds);
   params.checkpoint_interval = checkpoint_interval;
 
