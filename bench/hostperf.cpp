@@ -259,6 +259,32 @@ Entry measure_reference_bfs(const datasets::Dataset& ds, int reps) {
   return e;
 }
 
+/// SSSP host pair: "before" is the serial binary-heap Dijkstra the SSSP
+/// work shipped as its oracle; "after" is the bucketed delta-stepping
+/// frontier run over the host pool. Both produce the exact min-plus
+/// distances, asserted on every measurement.
+Entry measure_reference_sssp(const datasets::Dataset& ds, int reps) {
+  algorithms::SsspParams params;
+  const auto cell = harness::default_params(ds);
+  params.source = cell.bfs_source;
+  params.weight_seed = cell.seed;
+  Entry e;
+  e.dataset = ds.name;
+  e.engine = "reference";
+  e.algorithm = "SSSP";
+  e.before = measure(
+      [&] { algorithms::reference_sssp_dijkstra(ds.graph, params); }, reps);
+  ThreadPool pool;
+  e.after = measure(
+      [&] { algorithms::reference_sssp(ds.graph, params, &pool); }, reps);
+  const auto expected = algorithms::reference_sssp_dijkstra(ds.graph, params);
+  const auto got = algorithms::reference_sssp(ds.graph, params, &pool);
+  if (got.dist != expected.dist) {
+    die(e.label() + ": delta-stepping distances diverge from Dijkstra");
+  }
+  return e;
+}
+
 /// Datasets this trajectory tracks (the Table 2 single-host set).
 const datasets::DatasetId kTrackedDatasets[] = {
     datasets::DatasetId::kAmazon, datasets::DatasetId::kWikiTalk,
@@ -278,6 +304,7 @@ std::vector<Entry> measure_all(int reps, const std::string& only) {
     }
     const auto ds = bench::load(id);
     entries.push_back(measure_reference_bfs(ds, reps));
+    entries.push_back(measure_reference_sssp(ds, reps));
     entries.push_back(
         measure_cell(*giraph, ds, platforms::Algorithm::kBfs, reps));
     entries.push_back(

@@ -135,14 +135,52 @@ struct PageRankProgram {
   double extra_units(VertexId) const { return 0; }
 };
 
-// ---- STATS ------------------------------------------------------------------
-// GraphLab's CONN and triangle-count toolkits exist natively; STATS uses a
-// gather over out-neighbors with full neighborhood intersection, charged
-// via extra_units.
+// ---- SSSP (Graphalytics extension) ------------------------------------------
+// Gather: minimum of in-neighbor distance + that edge's weight; apply:
+// adopt when smaller; scatter along out-edges on improvement. Weights
+// come through the EdgeWeights view (stored or seed-derived), identical
+// on every engine.
+struct SsspProgram {
+  using VData = std::uint64_t;  // distance
+  using Gather = std::uint64_t;
+  static constexpr EdgeDir kGatherDir = EdgeDir::kIn;
+  static constexpr EdgeDir kScatterDir = EdgeDir::kOut;
+
+  VertexId source;
+  EdgeWeights weights;
+
+  Gather gather_init() const { return kUnreached; }
+  void gather(VertexId v, VertexId nbr, const VData& nbr_data,
+              Gather& acc) const {
+    if (nbr_data == kUnreached) return;
+    acc = std::min(acc, nbr_data + weights.weight(nbr, v));
+  }
+  bool apply(VertexId v, VData& data, const Gather& acc,
+             std::uint32_t iteration) const {
+    if (iteration == 0 && v == source) {
+      data = 0;
+      return true;
+    }
+    if (acc < data) {
+      data = acc;
+      return true;
+    }
+    return false;
+  }
+  double extra_units(VertexId) const { return 0; }
+};
+
+// ---- STATS / LCC ------------------------------------------------------------
+// GraphLab's CONN and triangle-count toolkits exist natively; the gather
+// pass models the neighborhood exchange over both edge directions while
+// the apply computes the vertex's LCC with the shared kernel
+// (core/graph_stats.h: in/out union neighborhood for directed graphs),
+// charged via extra_units. The per-vertex values double as the LCC
+// algorithm's output; STATS reduces them to an average.
 struct StatsProgram {
   using VData = double;  // local clustering coefficient
   using Gather = EdgeId;
-  static constexpr EdgeDir kGatherDir = EdgeDir::kOut;
+  static constexpr EdgeDir kGatherDir = EdgeDir::kBoth;
   static constexpr EdgeDir kScatterDir = EdgeDir::kOut;
 
   const Graph* graph = nullptr;
@@ -150,24 +188,27 @@ struct StatsProgram {
   Gather gather_init() const { return 0; }
   void gather(VertexId v, VertexId nbr, const VData& nbr_data,
               Gather& acc) const {
+    // The exchange itself is charged by the engine per gathered edge; the
+    // intersections happen in apply over the full union neighborhood.
+    (void)v;
+    (void)nbr;
     (void)nbr_data;
-    acc += sorted_intersection_count(graph->out_neighbors(v),
-                                     graph->out_neighbors(nbr), v);
+    (void)acc;
   }
   bool apply(VertexId v, VData& data, const Gather& acc,
              std::uint32_t iteration) const {
+    (void)acc;
     (void)iteration;
-    const double deg = static_cast<double>(graph->out_degree(v));
-    data = deg >= 2 ? static_cast<double>(acc) / (deg * (deg - 1.0)) : 0.0;
+    std::vector<VertexId> scratch;
+    const auto nbrs = lcc_neighborhood(*graph, v, scratch);
+    data = lcc_from_counts(lcc_links(*graph, nbrs, v), nbrs.size());
     return false;  // single round, nothing to scatter
   }
   double extra_units(VertexId v) const {
-    // Merge-intersection touches both sorted lists per neighbor pair.
-    double units = 0;
-    for (const VertexId u : graph->out_neighbors(v)) {
-      units += static_cast<double>(graph->out_degree(v) + graph->out_degree(u));
-    }
-    return units;
+    // Merge-intersection touches the neighborhood and each member's list.
+    std::vector<VertexId> scratch;
+    return static_cast<double>(
+        lcc_work_units(*graph, lcc_neighborhood(*graph, v, scratch)));
   }
 };
 

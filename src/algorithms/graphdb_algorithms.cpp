@@ -81,6 +81,44 @@ TraversalResult db_conn(Database& db, SimTime time_limit) {
   return result;
 }
 
+TraversalResult db_sssp(Database& db, VertexId source,
+                        std::uint64_t weight_seed, SimTime time_limit) {
+  const Graph& g = db.graph();
+  const VertexId n = g.num_vertices();
+  TraversalResult result;
+  result.values.assign(n, kUnreached);
+  if (source >= n) {
+    result.elapsed = db.elapsed();
+    return result;
+  }
+  const EdgeWeights weights(g, weight_seed);
+  result.values[source] = 0;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.iterations;
+    for (VertexId v = 0; v < n; ++v) {
+      const auto senders = db.expand_in(v);
+      // One relationship-property read per in-edge: the weight.
+      db.access_properties(static_cast<double>(senders.size()));
+      std::uint64_t best = result.values[v];
+      for (std::size_t k = 0; k < senders.size(); ++k) {
+        const std::uint64_t du = result.values[senders[k]];
+        if (du == kUnreached) continue;
+        best = std::min(best, du + weights.in_weight(v, k));
+      }
+      if (best < result.values[v]) {
+        result.values[v] = best;
+        changed = true;
+      }
+    }
+    check_limit(db, time_limit, "SSSP");
+  }
+  result.elapsed = db.elapsed();
+  return result;
+}
+
 TraversalResult db_cd(Database& db, const CdParams& params, SimTime time_limit,
                       ThreadPool* pool) {
   const Graph& g = db.graph();
@@ -173,19 +211,26 @@ DbPageRankResult db_pagerank(Database& db, const PageRankParams& params,
   return result;
 }
 
-DbStatsResult db_stats(Database& db, SimTime time_limit, ThreadPool* pool) {
+namespace {
+
+// Preflight shared by STATS and LCC: the neighborhood re-fetch volume is
+// sum(|N(v)|^2) over the Graphalytics union neighborhoods (plain out-lists
+// for undirected graphs); if charging it alone blows the budget, abort
+// before executing the quadratic kernel. The per-vertex terms are
+// integer-valued doubles, so the chunked partial sums merge to exactly the
+// serial total.
+void lcc_preflight(const Database& db, SimTime time_limit, ThreadPool* pool,
+                   const char* what) {
   const Graph& g = db.graph();
   const VertexId n = g.num_vertices();
-  // Preflight: the neighborhood-exchange volume is sum(deg^2); if charging
-  // it alone blows the budget, abort before executing the kernel. The
-  // per-vertex terms are integer-valued doubles, so the chunked partial
-  // sums merge to exactly the serial total.
   const std::size_t chunks = ThreadPool::plan_chunks(n);
   std::vector<double> partial(chunks, 0.0);
   run_chunks(pool, n, [&](std::size_t c, std::size_t begin, std::size_t end) {
     double sum = 0.0;
+    std::vector<VertexId> scratch;
     for (std::size_t i = begin; i < end; ++i) {
-      const double d = static_cast<double>(g.out_degree(static_cast<VertexId>(i)));
+      const double d = static_cast<double>(
+          lcc_neighborhood(g, static_cast<VertexId>(i), scratch).size());
       sum += d * d + d + 1.0;
     }
     partial[c] = sum;
@@ -197,28 +242,68 @@ DbStatsResult db_stats(Database& db, SimTime time_limit, ThreadPool* pool) {
       static_cast<double>(n) * db.config().property_access_sec;
   if (predicted > time_limit) {
     throw PlatformError(PlatformError::Kind::kTimeout,
-                        "STATS exceeded the experiment time budget on Neo4j");
+                        std::string(what) +
+                            " exceeded the experiment time budget on Neo4j");
   }
+}
 
-  DbStatsResult result;
-  // Serial charging sweep in vertex order: one expansion per vertex, a
-  // re-fetch per neighbor when a triangle count is needed, one property
-  // write. `elapsed` is bit-identical to the original fused loop because
-  // the compute it interleaved with never charged anything.
+// Serial charging sweep in vertex order: one expansion per vertex (both
+// directions when directed — the union neighborhood needs both lists), a
+// re-fetch per neighborhood member when a triangle count is needed, one
+// property write. For undirected graphs `elapsed` is bit-identical to the
+// original fused loop because the compute it interleaved with never
+// charged anything.
+void lcc_charge_sweep(Database& db, SimTime time_limit, const char* what) {
+  const Graph& g = db.graph();
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> scratch;
   for (VertexId v = 0; v < n; ++v) {
     db.expand(v);
-    if (g.out_degree(v) >= 2) {
-      for (const VertexId u : g.out_neighbors(v)) db.expand(u);
+    if (g.directed()) db.expand_in(v);
+    const auto nbrs = lcc_neighborhood(g, v, scratch);
+    if (nbrs.size() >= 2) {
+      for (const VertexId u : nbrs) db.expand(u);
     }
     db.access_properties(1.0);
-    check_limit(db, time_limit, "STATS");
+    check_limit(db, time_limit, what);
   }
+}
+
+}  // namespace
+
+DbStatsResult db_stats(Database& db, SimTime time_limit, ThreadPool* pool) {
+  const Graph& g = db.graph();
+  lcc_preflight(db, time_limit, pool, "STATS");
+  DbStatsResult result;
+  lcc_charge_sweep(db, time_limit, "STATS");
   // The triangle counting itself is pure compute: reuse the chunked LCC
   // average, which matches the old serial accumulation exactly (vertices
   // with degree < 2 contribute +0.0, which cannot perturb the sum).
-  result.stats.vertices = n;
+  result.stats.vertices = g.num_vertices();
   result.stats.edges = g.num_edges();
   result.stats.average_lcc = average_lcc(g, pool);
+  result.elapsed = db.elapsed();
+  return result;
+}
+
+DbLccResult db_lcc(Database& db, SimTime time_limit, ThreadPool* pool) {
+  const Graph& g = db.graph();
+  const VertexId n = g.num_vertices();
+  lcc_preflight(db, time_limit, pool, "LCC");
+  DbLccResult result;
+  lcc_charge_sweep(db, time_limit, "LCC");
+  // Pure compute over disjoint output ranges with the shared kernel; the
+  // scalar funnels through lcc_average so it matches every other engine.
+  result.values.assign(n, 0.0);
+  run_chunks(pool, n, [&](std::size_t, std::size_t begin, std::size_t end) {
+    std::vector<VertexId> scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto v = static_cast<VertexId>(i);
+      const auto nbrs = lcc_neighborhood(g, v, scratch);
+      result.values[v] = lcc_from_counts(lcc_links(g, nbrs, v), nbrs.size());
+    }
+  });
+  result.average = lcc_average(result.values);
   result.elapsed = db.elapsed();
   return result;
 }

@@ -22,11 +22,20 @@ struct TraversalResult {
   SimTime elapsed = 0;
 };
 
-/// BFS and CONN stay host-serial: their host work is one comparison per
-/// charged expansion, so there is nothing to win by splitting them, and
+/// BFS, CONN and SSSP stay host-serial: their host work is one comparison
+/// per charged expansion, so there is nothing to win by splitting them, and
 /// the traversal-charge sequence must stay in vertex order anyway.
 TraversalResult db_bfs(Database& db, VertexId source, SimTime time_limit);
 TraversalResult db_conn(Database& db, SimTime time_limit);
+
+/// SSSP as synchronous Bellman-Ford rounds over incoming relationships
+/// (db_conn's shape). Each round charges one expansion per vertex plus one
+/// relationship-property read per in-edge (the weight); distances converge
+/// to the unique min-plus fixpoint, so the output matches every other
+/// engine bit for bit. Weights come from the store when the graph is
+/// weighted, otherwise derived from `weight_seed`.
+TraversalResult db_sssp(Database& db, VertexId source,
+                        std::uint64_t weight_seed, SimTime time_limit);
 
 /// CD, PageRank and STATS split their pure compute (tallies, rank sums,
 /// neighborhood intersections) over the pool with the deterministic
@@ -49,11 +58,23 @@ struct DbStatsResult {
   SimTime elapsed = 0;
 };
 
-/// STATS: before touching the store, a cost preflight (O(V)) estimates the
-/// total access volume; if it already exceeds the time limit the run is
-/// aborted without executing the quadratic kernel (the paper's ">20 hours,
-/// not shown" cells).
+/// STATS: before touching the store, a cost preflight estimates the total
+/// access volume over the Graphalytics union neighborhoods; if it already
+/// exceeds the time limit the run is aborted without executing the
+/// quadratic kernel (the paper's ">20 hours, not shown" cells).
 DbStatsResult db_stats(Database& db, SimTime time_limit,
                        ThreadPool* pool = nullptr);
+
+struct DbLccResult {
+  std::vector<double> values;  // per-vertex clustering coefficient
+  double average = 0.0;        // lcc_average(values)
+  SimTime elapsed = 0;
+};
+
+/// LCC: STATS' charging (preflight + per-vertex neighborhood re-fetches)
+/// but the per-vertex coefficients are the output, computed chunked over
+/// the pool with the shared core/graph_stats.h kernel.
+DbLccResult db_lcc(Database& db, SimTime time_limit,
+                   ThreadPool* pool = nullptr);
 
 }  // namespace gb::algorithms::graphdb

@@ -85,6 +85,42 @@ struct ConnJob {
   }
 };
 
+// ---- SSSP (Graphalytics extension) ------------------------------------------
+struct SsspJob {
+  using State = std::uint64_t;  // distance, kUnreached until relaxed
+  using Msg = std::uint64_t;    // proposed distance
+
+  // The driver seeds state[source] = 0 before round 0 (Hadoop carries the
+  // source's distance in the input split, not in a message).
+  EdgeWeights weights;
+  std::uint32_t iteration = 0;  // maintained by the driver
+
+  template <typename Emitter>
+  void map(VertexId v, const State& s, const Graph& g, Emitter& out) {
+    // Unlike BFS, a vertex cannot tell from its distance alone whether it
+    // changed last round, so every reached vertex re-emits each round —
+    // the classic Hadoop SSSP shape (no active set between jobs). The
+    // fixpoint is a min, so re-emission never changes the result.
+    if (s == kUnreached) return;
+    const auto nbrs = g.out_neighbors(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      out.emit(nbrs[k], s + weights.out_weight(v, k));
+    }
+  }
+
+  bool reduce(VertexId v, State& s, const Graph& g, std::span<const Msg> msgs) {
+    (void)v;
+    (void)g;
+    std::uint64_t best = s;
+    for (const Msg m : msgs) best = std::min(best, m);
+    if (best < s) {
+      s = best;
+      return true;
+    }
+    return false;
+  }
+};
+
 // ---- CD ---------------------------------------------------------------------
 struct CdState {
   std::uint64_t label = 0;

@@ -10,6 +10,7 @@
 #include "algorithms/pregel_programs.h"
 #include "algorithms/reference.h"
 #include "core/error.h"
+#include "core/graph_stats.h"
 #include "platforms/dataflow/engine.h"
 #include "platforms/gas/bfs.h"
 #include "platforms/mapreduce/engine.h"
@@ -61,10 +62,14 @@ AlgorithmOutput evo_output(const Graph& g, const EvoTrace& trace) {
   return out;
 }
 
-/// STATS preflight volumes, all O(V + E) to compute: the id-list exchange
-/// and the merge-intersection work the kernel would perform.
+/// STATS/LCC preflight volumes, all O(V + E log d) to compute: the id-list
+/// exchange and the merge-intersection work the kernel would perform over
+/// the Graphalytics union neighborhoods (plain out-lists when undirected —
+/// those totals match the old sender-centric sweep exactly, because every
+/// term is an integer-valued double and addition of exact integers
+/// commutes).
 struct StatsVolumes {
-  double exchange_records = 0;  // one per shipped adjacency list
+  double exchange_records = 0;  // one per received adjacency list
   double exchange_bytes = 0;
   double intersect_units = 0;
 };
@@ -78,16 +83,16 @@ StatsVolumes stats_volumes(const Graph& g, ThreadPool* pool = nullptr) {
   std::vector<StatsVolumes> partial(chunks);
   run_chunks(pool, n, [&](std::size_t c, std::size_t begin, std::size_t end) {
     StatsVolumes p;
+    std::vector<VertexId> scratch;
     for (std::size_t i = begin; i < end; ++i) {
       const auto x = static_cast<VertexId>(i);
-      const double out_deg = static_cast<double>(g.out_degree(x));
-      const double in_deg = static_cast<double>(g.in_degree(x));
-      // x's out-list is shipped once per in-neighbor of x.
-      p.exchange_records += in_deg;
-      p.exchange_bytes += in_deg * (out_deg * 8.0 + 16.0);
-      for (const VertexId u : g.out_neighbors(x)) {
-        p.intersect_units += out_deg + static_cast<double>(g.out_degree(u));
+      const auto nbrs = lcc_neighborhood(g, x, scratch);
+      // x receives the out-list of every neighborhood member.
+      p.exchange_records += static_cast<double>(nbrs.size());
+      for (const VertexId u : nbrs) {
+        p.exchange_bytes += static_cast<double>(g.out_degree(u)) * 8.0 + 16.0;
       }
+      p.intersect_units += static_cast<double>(lcc_work_units(g, nbrs));
     }
     partial[c] = p;
   });
@@ -97,6 +102,15 @@ StatsVolumes stats_volumes(const Graph& g, ThreadPool* pool = nullptr) {
     v.intersect_units += p.intersect_units;
   }
   return v;
+}
+
+/// SSSP's scalar: how many vertices ended up reachable from the source.
+double count_reached(const std::vector<std::uint64_t>& dist) {
+  std::uint64_t reached = 0;
+  for (const std::uint64_t d : dist) {
+    if (d != kUnreached) ++reached;
+  }
+  return static_cast<double>(reached);
 }
 
 // ============================ Giraph =========================================
@@ -176,6 +190,24 @@ class GiraphPlatform final : public Platform {
             g, prog, cluster, rec, params.time_limit, 0.0, config);
         std::vector<double> ranks = std::move(bsp.values);
         out.vertex_values = encode_ranks(ranks);
+        out.iterations = bsp.supersteps;
+        break;
+      }
+      case Algorithm::kSssp: {
+        pregel::SsspProgram prog{params.bfs_source, EdgeWeights(g, params.seed)};
+        auto bsp = platforms::pregel::run_bsp<std::uint64_t, std::uint64_t>(
+            g, prog, cluster, rec, params.time_limit, kUnreached, config);
+        out.scalar = count_reached(bsp.values);
+        out.vertex_values = std::move(bsp.values);
+        out.iterations = bsp.supersteps;
+        break;
+      }
+      case Algorithm::kLcc: {
+        pregel::StatsProgram prog;
+        auto bsp = platforms::pregel::run_bsp<double, std::uint64_t>(
+            g, prog, cluster, rec, params.time_limit, 0.0, config);
+        out.scalar = lcc_average(bsp.values);
+        out.vertex_values = encode_ranks(bsp.values);
         out.iterations = bsp.supersteps;
         break;
       }
@@ -264,11 +296,13 @@ class MapReducePlatform final : public Platform {
       // GIM-V over block-encoded matrices: structure compresses ~4x, and
       // only matrix-vector-shaped algorithms are expressible.
       config.block_compression = 4.0;
+      // SSSP is GIM-V under the min-plus semiring; LCC (like STATS/CD) has
+      // no matrix-vector shape and stays unsupported.
       if (algorithm != Algorithm::kBfs && algorithm != Algorithm::kConn &&
-          algorithm != Algorithm::kPageRank) {
-        throw PlatformError(
-            PlatformError::Kind::kUnsupported,
-            "PEGASUS expresses only GIM-V algorithms (BFS, CONN, PageRank)");
+          algorithm != Algorithm::kPageRank && algorithm != Algorithm::kSssp) {
+        throw PlatformError(PlatformError::Kind::kUnsupported,
+                            "PEGASUS expresses only GIM-V algorithms (BFS, "
+                            "CONN, SSSP, PageRank)");
       }
     }
     AlgorithmOutput out;
@@ -322,7 +356,22 @@ class MapReducePlatform final : public Platform {
         out.iterations = stats.iterations;
         break;
       }
-      case Algorithm::kStats: {
+      case Algorithm::kSssp: {
+        mr::SsspJob job{EdgeWeights(g, params.seed)};
+        std::vector<std::uint64_t> state(g.num_vertices(), kUnreached);
+        if (params.bfs_source < g.num_vertices()) {
+          state[params.bfs_source] = 0;  // source rides in the input split
+        }
+        const auto stats = platforms::mapreduce::run_iterative(
+            g, job, state, cluster, rec, config, config.max_iterations,
+            params.time_limit);
+        out.scalar = count_reached(state);
+        out.vertex_values = std::move(state);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kStats:
+      case Algorithm::kLcc: {
         const storage::Hdfs hdfs(cluster.cost());
         const auto assignment = platforms::partition_graph(g, cluster, rec);
         const StatsVolumes volumes = stats_volumes(g, &cluster.pool());
@@ -334,21 +383,29 @@ class MapReducePlatform final : public Platform {
         volume.compute_units = volumes.intersect_units;
         // Crash (scratch overflow) and cost checks happen before the
         // quadratic kernel ever runs.
+        const char* label = algorithm == Algorithm::kStats ? "stats" : "lcc";
         const SimTime stats_begin = rec.now();
         platforms::mapreduce::detail::charge_iteration(
-            g, cluster, rec, config, hdfs, volume, "stats", &assignment);
+            g, cluster, rec, config, hdfs, volume, label, &assignment);
         std::vector<std::uint32_t> attempts;
         platforms::mapreduce::detail::recover_from_faults(
-            cluster, rec, config, stats_begin, "stats", attempts);
+            cluster, rec, config, stats_begin, label, attempts);
         if (rec.now() > params.time_limit) {
           throw PlatformError(
               PlatformError::Kind::kTimeout,
-              name() + " STATS exceeded the experiment time budget");
+              name() + " " + platforms::algorithm_name(algorithm) +
+                  " exceeded the experiment time budget");
         }
-        const StatsResult stats = reference_stats(g, &cluster.pool());
-        out.scalar = stats.average_lcc;
-        out.vertices = stats.vertices;
-        out.edges = stats.edges;
+        if (algorithm == Algorithm::kLcc) {
+          const LccResult lcc = reference_lcc(g, &cluster.pool());
+          out.scalar = lcc.average;
+          out.vertex_values = encode_ranks(lcc.values);
+        } else {
+          const StatsResult stats = reference_stats(g, &cluster.pool());
+          out.scalar = stats.average_lcc;
+          out.vertices = stats.vertices;
+          out.edges = stats.edges;
+        }
         out.iterations = 1;
         break;
       }
@@ -468,7 +525,22 @@ class StratospherePlatform final : public Platform {
         out.iterations = stats.iterations;
         break;
       }
-      case Algorithm::kStats: {
+      case Algorithm::kSssp: {
+        mr::SsspJob job{EdgeWeights(g, params.seed)};
+        std::vector<std::uint64_t> state(g.num_vertices(), kUnreached);
+        if (params.bfs_source < g.num_vertices()) {
+          state[params.bfs_source] = 0;  // source rides in the input split
+        }
+        const auto stats = platforms::dataflow::run_iterative(
+            g, job, state, iterative_plan(), cluster, rec, config,
+            config.max_iterations, params.time_limit);
+        out.scalar = count_reached(state);
+        out.vertex_values = std::move(state);
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kStats:
+      case Algorithm::kLcc: {
         // Plan: vertices -> Map (key by neighbor) -> Match (adjacency
         // join) -> Reduce (intersect + LCC) -> sink.
         Plan plan;
@@ -486,8 +558,8 @@ class StratospherePlatform final : public Platform {
         // shipped adjacency id — sum(deg^2) records flow through the plan.
         platforms::dataflow::detail::charge_plan_iteration(
             g, platforms::dataflow::compile(plan), cluster, rec, config, hdfs,
-            volumes.exchange_bytes / 8.0, volumes.intersect_units, "stats",
-            &assignment);
+            volumes.exchange_bytes / 8.0, volumes.intersect_units,
+            algorithm == Algorithm::kStats ? "stats" : "lcc", &assignment);
         // The paper's operators terminated this configuration after ~4
         // hours without success; reproduce that patience threshold before
         // attempting the quadratic kernel.
@@ -495,13 +567,21 @@ class StratospherePlatform final : public Platform {
         if (rec.now() > patience) {
           throw PlatformError(
               PlatformError::Kind::kTimeout,
-              "Stratosphere STATS terminated after exceeding the operators' "
-              "patience (paper: ~4 hours without success)");
+              std::string("Stratosphere ") +
+                  platforms::algorithm_name(algorithm) +
+                  " terminated after exceeding the operators' patience "
+                  "(paper: ~4 hours without success)");
         }
-        const StatsResult stats = reference_stats(g, &cluster.pool());
-        out.scalar = stats.average_lcc;
-        out.vertices = stats.vertices;
-        out.edges = stats.edges;
+        if (algorithm == Algorithm::kLcc) {
+          const LccResult lcc = reference_lcc(g, &cluster.pool());
+          out.scalar = lcc.average;
+          out.vertex_values = encode_ranks(lcc.values);
+        } else {
+          const StatsResult stats = reference_stats(g, &cluster.pool());
+          out.scalar = stats.average_lcc;
+          out.vertices = stats.vertices;
+          out.edges = stats.edges;
+        }
         out.iterations = 1;
         break;
       }
@@ -616,6 +696,20 @@ class GraphLabPlatform final : public Platform {
         out.iterations = stats.iterations;
         break;
       }
+      case Algorithm::kSssp: {
+        gas::SsspProgram prog{params.bfs_source, EdgeWeights(g, params.seed)};
+        std::vector<std::uint64_t> data(g.num_vertices(), kUnreached);
+        std::vector<std::uint8_t> active(g.num_vertices(), 0);
+        if (params.bfs_source < g.num_vertices()) {
+          active[params.bfs_source] = 1;
+        }
+        const auto stats = platforms::gas::run_sync(
+            g, prog, data, active, cluster, rec, config, params.time_limit);
+        out.scalar = count_reached(data);
+        out.vertex_values = std::move(data);
+        out.iterations = stats.iterations;
+        break;
+      }
       case Algorithm::kStats: {
         gas::StatsProgram prog{&g};
         std::vector<double> data(g.num_vertices(), 0.0);
@@ -629,6 +723,17 @@ class GraphLabPlatform final : public Platform {
                          : 0.0;
         out.vertices = g.num_vertices();
         out.edges = g.num_edges();
+        out.iterations = stats.iterations;
+        break;
+      }
+      case Algorithm::kLcc: {
+        gas::StatsProgram prog{&g};
+        std::vector<double> data(g.num_vertices(), 0.0);
+        std::vector<std::uint8_t> active(g.num_vertices(), 1);
+        const auto stats = platforms::gas::run_sync(
+            g, prog, data, active, cluster, rec, config, params.time_limit);
+        out.scalar = lcc_average(data);
+        out.vertex_values = encode_ranks(data);
         out.iterations = stats.iterations;
         break;
       }
@@ -725,12 +830,27 @@ class Neo4jPlatform final : public Platform {
         out.iterations = result.iterations;
         break;
       }
+      case Algorithm::kSssp: {
+        auto result = graphdb::db_sssp(db, params.bfs_source, params.seed,
+                                       params.time_limit);
+        out.scalar = count_reached(result.values);
+        out.vertex_values = std::move(result.values);
+        out.iterations = result.iterations;
+        break;
+      }
       case Algorithm::kStats: {
         auto result =
             graphdb::db_stats(db, params.time_limit, &cluster.pool());
         out.scalar = result.stats.average_lcc;
         out.vertices = result.stats.vertices;
         out.edges = result.stats.edges;
+        out.iterations = 1;
+        break;
+      }
+      case Algorithm::kLcc: {
+        auto result = graphdb::db_lcc(db, params.time_limit, &cluster.pool());
+        out.scalar = result.average;
+        out.vertex_values = encode_ranks(result.values);
         out.iterations = 1;
         break;
       }

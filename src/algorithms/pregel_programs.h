@@ -145,10 +145,55 @@ struct PageRankProgram {
   }
 };
 
-// ---- STATS ------------------------------------------------------------------
-// Superstep 0: aggregate vertex/edge counts and broadcast adjacency lists.
-// Superstep 1: intersect each in-neighbor's list with the own list and
-// aggregate the local clustering coefficient.
+// ---- SSSP (Graphalytics extension) ------------------------------------------
+// Value: current distance (kUnreached until relaxed). Message: candidate
+// distance through the sending edge. Each out-neighbor gets a different
+// message (distance + that edge's weight), so there is no LALP broadcast
+// to save — explicit per-edge sends, min-combined like BFS.
+struct SsspProgram {
+  VertexId source;
+  EdgeWeights weights;
+
+  /// Min-combiner: only the smallest proposed distance per target matters.
+  static std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
+    return std::min(a, b);
+  }
+
+  void compute(Context<std::uint64_t, std::uint64_t>& ctx,
+               std::uint64_t& value, std::span<const std::uint64_t> msgs) {
+    if (ctx.superstep() == 0) {
+      if (ctx.id() == source) {
+        value = 0;
+        relax(ctx, value);
+      }
+      ctx.vote_to_halt();
+      return;
+    }
+    std::uint64_t best = value;
+    for (const std::uint64_t m : msgs) best = std::min(best, m);
+    if (best < value) {
+      value = best;
+      relax(ctx, value);
+    }
+    ctx.vote_to_halt();
+  }
+
+ private:
+  void relax(Context<std::uint64_t, std::uint64_t>& ctx, std::uint64_t d) {
+    const auto nbrs = ctx.out_neighbors();
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      ctx.send(nbrs[k], d + weights.out_weight(ctx.id(), k));
+    }
+  }
+};
+
+// ---- STATS / LCC ------------------------------------------------------------
+// Superstep 0: broadcast adjacency lists (the engine charges the full
+// neighborhood-exchange volume — the paper's STATS crash driver).
+// Superstep 1: compute the vertex's LCC with the shared kernel
+// (core/graph_stats.h: in/out union neighborhood for directed graphs) and
+// aggregate it. The per-vertex values double as the LCC algorithm's
+// output; STATS reads only the aggregate.
 struct StatsProgram {
   void compute(Context<double, std::uint64_t>& ctx, double& value,
                std::span<const std::uint64_t> msgs) {
@@ -158,19 +203,14 @@ struct StatsProgram {
       ctx.vote_to_halt();
       return;
     }
-    const auto own = ctx.out_neighbors();
-    EdgeId links = 0;
-    double work = 0;
-    for (const VertexId sender : ctx.adjacency_senders()) {
-      const auto theirs = ctx.adjacency_of(sender);
-      // Charge the platform cost of scanning both received lists even
-      // though the host kernel may shortcut via binary probing.
-      work += static_cast<double>(own.size() + theirs.size());
-      links += sorted_intersection_count(own, theirs, ctx.id());
-    }
-    ctx.charge(work);
-    const double deg = static_cast<double>(own.size());
-    value = deg >= 2 ? static_cast<double>(links) / (deg * (deg - 1.0)) : 0.0;
+    const Graph& g = *ctx.graph();
+    std::vector<VertexId> scratch;
+    const auto nbrs = lcc_neighborhood(g, ctx.id(), scratch);
+    // Charge the platform cost of merging every received list against the
+    // neighborhood even though the host kernel may shortcut via binary
+    // probing.
+    ctx.charge(static_cast<double>(lcc_work_units(g, nbrs)));
+    value = lcc_from_counts(lcc_links(g, nbrs, ctx.id()), nbrs.size());
     ctx.aggregate(value);
     ctx.vote_to_halt();
   }

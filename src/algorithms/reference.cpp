@@ -1,10 +1,14 @@
 #include "algorithms/reference.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <functional>
+#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/bitset.h"
 #include "core/graph_stats.h"
 
 namespace gb::algorithms {
@@ -249,6 +253,162 @@ std::vector<std::uint64_t> encode_ranks(const std::vector<double>& ranks) {
     encoded.push_back(bits);
   }
   return encoded;
+}
+
+namespace {
+
+/// Lock-free min on a plain uint64 slot; true when this call lowered it.
+/// Relaxed ordering suffices: the per-round frontier snapshot is the only
+/// cross-thread read, and run_chunks joins before it is taken.
+bool atomic_fetch_min(std::uint64_t& slot, std::uint64_t value) {
+  std::atomic_ref<std::uint64_t> ref(slot);
+  std::uint64_t current = ref.load(std::memory_order_relaxed);
+  while (value < current) {
+    if (ref.compare_exchange_weak(current, value,
+                                  std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SsspResult reference_sssp(const Graph& g, const SsspParams& params,
+                          ThreadPool* pool) {
+  SsspResult result;
+  const VertexId n = g.num_vertices();
+  result.dist.assign(n, kUnreached);
+  if (params.source >= n) return result;
+  const EdgeWeights weights(g, params.weight_seed);
+  // Auto width: a few weight classes per bucket keeps re-relaxation small
+  // while still batching enough vertices to fill the pool.
+  const std::uint64_t delta =
+      params.delta != 0 ? params.delta : kMaxEdgeWeight / 4;
+
+  result.dist[params.source] = 0;
+  // `active` holds reached-but-unsettled vertices. With positive weights a
+  // relaxation from bucket k can only land in bucket >= k, so settled
+  // vertices (dist below the current bucket) never reactivate.
+  DenseBitset active(n);
+  active.set(params.source);
+  std::uint64_t active_count = 1;
+
+  DenseBitset improved(n);
+  std::vector<VertexId> frontier;
+  std::vector<std::uint64_t> frontier_dist;
+
+  while (active_count > 0) {
+    // Lowest bucket holding an active vertex.
+    std::uint64_t bucket = kUnreached;
+    active.for_each_set([&](std::size_t v) {
+      bucket = std::min(bucket, result.dist[v] / delta);
+    });
+
+    // Drain the bucket with synchronized relaxation rounds: a member whose
+    // distance improves mid-bucket re-enters the frontier next round.
+    while (true) {
+      frontier.clear();
+      active.for_each_set([&](std::size_t v) {
+        if (result.dist[v] / delta == bucket) {
+          frontier.push_back(static_cast<VertexId>(v));
+        }
+      });
+      if (frontier.empty()) break;
+      for (const VertexId v : frontier) active.reset(v);
+      active_count -= frontier.size();
+
+      // Snapshot frontier distances: the relaxation reads only the
+      // snapshot, so a same-round improvement of a frontier member cannot
+      // race the proposals (it is simply reprocessed next round).
+      frontier_dist.resize(frontier.size());
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        frontier_dist[i] = result.dist[frontier[i]];
+      }
+      improved.clear();
+      run_chunks(pool, frontier.size(),
+                 [&](std::size_t, std::size_t begin, std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     const VertexId v = frontier[i];
+                     const std::uint64_t d = frontier_dist[i];
+                     const auto nbrs = g.out_neighbors(v);
+                     for (std::size_t k = 0; k < nbrs.size(); ++k) {
+                       const std::uint64_t nd = d + weights.out_weight(v, k);
+                       if (atomic_fetch_min(result.dist[nbrs[k]], nd)) {
+                         improved.set_atomic(nbrs[k]);
+                       }
+                     }
+                   }
+                 });
+      ++result.iterations;
+      // Membership is an OR of claims and the scan is ascending, so the
+      // next frontier is bit-identical at every pool size.
+      improved.for_each_set([&](std::size_t v) {
+        if (!active.test(v)) {
+          active.set(v);
+          ++active_count;
+        }
+      });
+    }
+  }
+
+  for (const std::uint64_t d : result.dist) {
+    if (d != kUnreached) ++result.reached;
+  }
+  return result;
+}
+
+SsspResult reference_sssp_dijkstra(const Graph& g, const SsspParams& params) {
+  SsspResult result;
+  const VertexId n = g.num_vertices();
+  result.dist.assign(n, kUnreached);
+  if (params.source >= n) return result;
+  const EdgeWeights weights(g, params.weight_seed);
+
+  using Item = std::pair<std::uint64_t, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  result.dist[params.source] = 0;
+  heap.emplace(0, params.source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d != result.dist[v]) continue;  // stale (lazily deleted) entry
+    ++result.reached;
+    ++result.iterations;  // settle operations, the serial unit of progress
+    const auto nbrs = g.out_neighbors(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const std::uint64_t nd = d + weights.out_weight(v, k);
+      if (nd < result.dist[nbrs[k]]) {
+        result.dist[nbrs[k]] = nd;
+        heap.emplace(nd, nbrs[k]);
+      }
+    }
+  }
+  return result;
+}
+
+LccResult reference_lcc(const Graph& g, ThreadPool* pool) {
+  LccResult result;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return result;
+  result.values.assign(n, 0.0);
+  run_chunks(pool, n, [&](std::size_t, std::size_t begin, std::size_t end) {
+    std::vector<VertexId> scratch;
+    for (std::size_t v = begin; v < end; ++v) {
+      const auto nbrs = lcc_neighborhood(g, static_cast<VertexId>(v), scratch);
+      result.values[v] = lcc_from_counts(
+          lcc_links(g, nbrs, static_cast<VertexId>(v)), nbrs.size());
+    }
+  });
+  result.average = lcc_average(result.values);
+  return result;
+}
+
+double lcc_average(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
 }
 
 }  // namespace gb::algorithms

@@ -180,4 +180,58 @@ inline double pagerank_update(double contribution_sum, VertexId n,
 /// Bit-exact encoding of ranks into AlgorithmOutput::vertex_values.
 std::vector<std::uint64_t> encode_ranks(const std::vector<double>& ranks);
 
+// ---- SSSP (Graphalytics extension) ------------------------------------------
+//
+// Single-source shortest paths over integer edge weights (stored, or
+// seed-derived through the EdgeWeights view — see core/graph.h). Directed
+// graphs relax out-edges only, like BFS. Because distances are uint64
+// min-plus sums, the fixpoint is unique whatever the relaxation order, so
+// every engine, partitioner, and pool size produces bit-identical
+// distances.
+struct SsspParams {
+  VertexId source = 0;
+  /// Seed for derived weights on unweighted graphs (ignored when the
+  /// graph stores weights). Engines take it from AlgorithmParams::seed.
+  std::uint64_t weight_seed = 1;
+  /// Delta-stepping bucket width; 0 picks a width from kMaxEdgeWeight.
+  /// Only affects scheduling (and the round count), never the distances.
+  std::uint64_t delta = 0;
+};
+
+struct SsspResult {
+  std::vector<std::uint64_t> dist;  // kUnreached where not reachable
+  std::uint64_t iterations = 0;     // relaxation rounds across all buckets
+  std::uint64_t reached = 0;
+};
+
+/// Bucketed delta-stepping: vertices are settled in distance buckets of
+/// width delta; inside a bucket, synchronized relaxation rounds run until
+/// the bucket drains (re-relaxing members whose distance improves), with
+/// the frontier tracked in DenseBitsets and relaxations chunked over the
+/// pool (atomic min on the distance array — order-independent).
+SsspResult reference_sssp(const Graph& g, const SsspParams& params,
+                          ThreadPool* pool = nullptr);
+
+/// Serial binary-heap Dijkstra with lazy deletion: the bench_hostperf
+/// "before" baseline and the oracle the property suite compares against.
+SsspResult reference_sssp_dijkstra(const Graph& g, const SsspParams& params);
+
+// ---- LCC (Graphalytics extension) -------------------------------------------
+//
+// Per-vertex local clustering coefficient (core/graph_stats.h semantics:
+// in/out union neighborhood with directed link counting). Integer link
+// counts and a single division make each value bit-identical on every
+// engine; the scalar average is computed by lcc_average — one serial
+// left-to-right sum shared by all engines — so it is too.
+struct LccResult {
+  std::vector<double> values;
+  double average = 0.0;
+};
+
+LccResult reference_lcc(const Graph& g, ThreadPool* pool = nullptr);
+
+/// Serial left-to-right mean of the per-vertex values (0 for an empty
+/// graph). Every engine funnels its scalar through this exact sum.
+double lcc_average(const std::vector<double>& values);
+
 }  // namespace gb::algorithms

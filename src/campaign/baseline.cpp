@@ -1,5 +1,6 @@
 #include "campaign/baseline.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -101,15 +102,16 @@ BaselineDiff check_baseline(const std::vector<harness::CellResult>& baseline,
     }
     if (!base.ok()) continue;  // both failed the same way: shape preserved
 
-    if (base.makespan_sec > 0.0) {
-      const double rel =
-          std::fabs(now.makespan_sec - base.makespan_sec) / base.makespan_sec;
-      if (rel > tolerance.makespan_rel) {
-        diff.findings.push_back(
-            base.key + ": makespan drift " +
-            format_drift(base.makespan_sec, now.makespan_sec) +
-            " exceeds tolerance");
-      }
+    // Interval check: a small absolute floor keeps sub-second cells from
+    // failing on harmless retuning, the relative band scales with the
+    // cell. Old journals carry the same fields, so they stay readable.
+    const double allowed = std::max(
+        tolerance.makespan_abs, tolerance.makespan_rel * base.makespan_sec);
+    if (std::fabs(now.makespan_sec - base.makespan_sec) > allowed) {
+      diff.findings.push_back(
+          base.key + ": makespan drift " +
+          format_drift(base.makespan_sec, now.makespan_sec) +
+          " exceeds tolerance");
     }
     if (tolerance.check_iterations && base.iterations != now.iterations) {
       diff.findings.push_back(base.key + ": iterations changed " +

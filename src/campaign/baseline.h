@@ -18,9 +18,15 @@
 namespace gb::campaign {
 
 struct BaselineTolerance {
-  /// Allowed relative makespan drift for cells that are ok in both runs:
-  /// |current - baseline| / baseline must not exceed this.
+  /// Allowed relative makespan drift for cells that are ok in both runs.
   double makespan_rel = 0.05;
+
+  /// Absolute makespan floor (seconds) under the drift check. The allowed
+  /// interval is max(makespan_abs, makespan_rel * baseline), so
+  /// sub-second cells (where a fixed relative epsilon amplifies harmless
+  /// cost-model retuning into failures) get a small absolute band, and a
+  /// zero-makespan baseline no longer skips the check entirely.
+  double makespan_abs = 0.01;
 
   /// Require bit-identical algorithm output (FNV digest) per cell.
   bool check_output_hash = true;

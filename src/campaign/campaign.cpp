@@ -141,4 +141,15 @@ GridSpec vertical_scalability_grid(datasets::DatasetId dataset, double scale) {
   return grid;
 }
 
+GridSpec graphalytics_grid(datasets::DatasetId dataset, double scale) {
+  GridSpec grid;
+  // One engine per paradigm; PEGASUS sits out (LCC is not GIM-V).
+  grid.platforms = {"Giraph", "Hadoop", "Stratosphere", "GraphLab", "Neo4j"};
+  grid.datasets = {dataset};
+  grid.algorithms = {platforms::Algorithm::kPageRank,
+                     platforms::Algorithm::kSssp, platforms::Algorithm::kLcc};
+  grid.scale = scale;
+  return grid;
+}
+
 }  // namespace gb::campaign

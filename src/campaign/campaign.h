@@ -85,4 +85,9 @@ GridSpec horizontal_scalability_grid(datasets::DatasetId dataset,
 GridSpec vertical_scalability_grid(datasets::DatasetId dataset,
                                    double scale = 0.0);
 
+/// The Graphalytics-extension grid: PAGERANK, SSSP and LCC on the given
+/// dataset across one engine per paradigm (Giraph, Hadoop, Stratosphere,
+/// GraphLab, Neo4j), 20 machines with 1 core each.
+GridSpec graphalytics_grid(datasets::DatasetId dataset, double scale = 0.0);
+
 }  // namespace gb::campaign

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <fstream>
 #include <stdexcept>
+#include <tuple>
+#include <utility>
 
 #include "core/error.h"
 
@@ -28,10 +30,28 @@ Bytes Graph::text_size_bytes() const {
   return entries * kCharsPerId + static_cast<Bytes>(num_vertices_) * kLineOverhead;
 }
 
+EdgeWeight derive_edge_weight(VertexId u, VertexId v, bool directed,
+                              std::uint64_t seed) {
+  if (!directed && u > v) std::swap(u, v);
+  // SplitMix64 finalizer chain over (seed, u, v).
+  auto mix = [](std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  };
+  const std::uint64_t h = mix(mix(mix(seed) ^ u) ^ v);
+  return static_cast<EdgeWeight>(1 + h % kMaxEdgeWeight);
+}
+
 namespace {
 
 constexpr std::uint64_t kBinaryMagic = 0x6762475246313030ULL;  // "gbGRF100"
+// Version 1: unweighted. Version 2 appends the weight arrays and is only
+// written for weighted graphs, so existing unweighted caches stay
+// byte-identical.
 constexpr std::uint8_t kBinaryVersion = 1;
+constexpr std::uint8_t kBinaryVersionWeighted = 2;
 
 template <typename T>
 void write_vec(std::ofstream& out, const std::vector<T>& v) {
@@ -68,7 +88,8 @@ void Graph::save_binary(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw FormatError("cannot open '" + path + "' for writing");
   out.write(reinterpret_cast<const char*>(&kBinaryMagic), sizeof(kBinaryMagic));
-  out.write(reinterpret_cast<const char*>(&kBinaryVersion), sizeof(kBinaryVersion));
+  const std::uint8_t version = weighted_ ? kBinaryVersionWeighted : kBinaryVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
   const std::uint8_t directed = directed_ ? 1 : 0;
   out.write(reinterpret_cast<const char*>(&directed), sizeof(directed));
   out.write(reinterpret_cast<const char*>(&num_vertices_), sizeof(num_vertices_));
@@ -77,6 +98,10 @@ void Graph::save_binary(const std::string& path) const {
   write_vec(out, out_adj_);
   write_vec(out, in_offsets_);
   write_vec(out, in_adj_);
+  if (weighted_) {
+    write_vec(out, out_weights_);
+    write_vec(out, in_weights_);
+  }
   if (!out) throw FormatError("short write to '" + path + "'");
 }
 
@@ -92,10 +117,12 @@ Graph Graph::load_binary(const std::string& path) {
   }
   std::uint8_t version = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || version != kBinaryVersion) {
+  if (!in ||
+      (version != kBinaryVersion && version != kBinaryVersionWeighted)) {
     throw FormatError("'" + path + "' has unsupported format version " +
                       std::to_string(version) + " (expected " +
-                      std::to_string(kBinaryVersion) + ")");
+                      std::to_string(kBinaryVersion) + " or " +
+                      std::to_string(kBinaryVersionWeighted) + ")");
   }
   Graph g;
   std::uint8_t directed = 0;
@@ -107,6 +134,17 @@ Graph Graph::load_binary(const std::string& path) {
   read_vec(in, g.out_adj_, file_size, path);
   read_vec(in, g.in_offsets_, file_size, path);
   read_vec(in, g.in_adj_, file_size, path);
+  if (version == kBinaryVersionWeighted) {
+    g.weighted_ = true;
+    read_vec(in, g.out_weights_, file_size, path);
+    read_vec(in, g.in_weights_, file_size, path);
+    if (g.out_weights_.size() != g.out_adj_.size() ||
+        g.in_weights_.size() != g.in_adj_.size()) {
+      throw FormatError("'" + path +
+                        "' is corrupt: weight arrays do not match the "
+                        "adjacency");
+    }
+  }
   if (!in) throw FormatError("short read from '" + path + "'");
   return g;
 }
@@ -119,6 +157,20 @@ void GraphBuilder::add_edge(VertexId u, VertexId v) {
     throw FormatError("edge endpoint out of range");
   }
   edges_.emplace_back(u, v);
+  if (weighted_) weights_.push_back(1);
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v, EdgeWeight weight) {
+  if (weight == 0) throw FormatError("edge weight must be positive");
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    throw FormatError("edge endpoint out of range");
+  }
+  if (!weighted_) {
+    weighted_ = true;
+    weights_.assign(edges_.size(), 1);
+  }
+  edges_.emplace_back(u, v);
+  weights_.push_back(weight);
 }
 
 void GraphBuilder::grow_to(VertexId num_vertices) {
@@ -129,6 +181,7 @@ void GraphBuilder::grow_to(VertexId num_vertices) {
 }
 
 Graph GraphBuilder::build() {
+  if (weighted_) return build_weighted();
   Graph g;
   g.directed_ = directed_;
   g.num_vertices_ = num_vertices_;
@@ -190,6 +243,102 @@ Graph GraphBuilder::build() {
       auto begin = g.out_adj_.begin() + static_cast<std::ptrdiff_t>(g.out_offsets_[v]);
       auto end = g.out_adj_.begin() + static_cast<std::ptrdiff_t>(g.out_offsets_[v + 1]);
       std::sort(begin, end);
+    }
+  }
+  return g;
+}
+
+Graph GraphBuilder::build_weighted() {
+  Graph g;
+  g.directed_ = directed_;
+  g.weighted_ = true;
+  g.num_vertices_ = num_vertices_;
+
+  // Canonicalize like the unweighted path (self-loops dropped, undirected
+  // endpoints ordered), carrying the weight with each edge. Duplicates
+  // keep the minimum weight: sorting by (u, v, w) puts it first.
+  struct WEdge {
+    VertexId u, v;
+    EdgeWeight w;
+  };
+  std::vector<WEdge> edges;
+  edges.reserve(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    auto [u, v] = edges_[i];
+    if (u == v) continue;
+    if (!directed_ && u > v) std::swap(u, v);
+    edges.push_back({u, v, weights_[i]});
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+  weights_.clear();
+  weights_.shrink_to_fit();
+
+  std::sort(edges.begin(), edges.end(), [](const WEdge& a, const WEdge& b) {
+    return std::tie(a.u, a.v, a.w) < std::tie(b.u, b.v, b.w);
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const WEdge& a, const WEdge& b) {
+                            return a.u == b.u && a.v == b.v;
+                          }),
+              edges.end());
+  g.num_edges_ = edges.size();
+
+  const VertexId n = num_vertices_;
+  std::vector<EdgeId> out_deg(n, 0);
+  for (const auto& e : edges) {
+    ++out_deg[e.u];
+    if (!directed_) ++out_deg[e.v];
+  }
+
+  g.out_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    g.out_offsets_[v + 1] = g.out_offsets_[v] + out_deg[v];
+  }
+  g.out_adj_.resize(g.out_offsets_[n]);
+  g.out_weights_.resize(g.out_offsets_[n]);
+
+  std::vector<EdgeId> cursor(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+  for (const auto& e : edges) {
+    g.out_adj_[cursor[e.u]] = e.v;
+    g.out_weights_[cursor[e.u]++] = e.w;
+    if (!directed_) {
+      g.out_adj_[cursor[e.v]] = e.u;
+      g.out_weights_[cursor[e.v]++] = e.w;
+    }
+  }
+
+  if (directed_) {
+    std::vector<EdgeId> in_deg(n, 0);
+    for (const auto& e : edges) ++in_deg[e.v];
+    g.in_offsets_.assign(n + 1, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      g.in_offsets_[v + 1] = g.in_offsets_[v] + in_deg[v];
+    }
+    g.in_adj_.resize(g.in_offsets_[n]);
+    g.in_weights_.resize(g.in_offsets_[n]);
+    std::vector<EdgeId> in_cursor(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+    for (const auto& e : edges) {
+      g.in_adj_[in_cursor[e.v]] = e.u;
+      g.in_weights_[in_cursor[e.v]++] = e.w;
+    }
+  } else {
+    // Undirected interleaving can break per-vertex ordering; co-sort the
+    // adjacency with its weights.
+    std::vector<std::pair<VertexId, EdgeWeight>> scratch;
+    for (VertexId v = 0; v < n; ++v) {
+      const auto begin = g.out_offsets_[v];
+      const auto end = g.out_offsets_[v + 1];
+      scratch.clear();
+      for (EdgeId i = begin; i < end; ++i) {
+        scratch.emplace_back(g.out_adj_[i], g.out_weights_[i]);
+      }
+      std::sort(scratch.begin(), scratch.end());
+      for (EdgeId i = begin; i < end; ++i) {
+        g.out_adj_[i] = scratch[i - begin].first;
+        g.out_weights_[i] = scratch[i - begin].second;
+      }
     }
   }
   return g;

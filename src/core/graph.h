@@ -5,8 +5,17 @@
 // traverse it. Directed graphs keep both out- and in-adjacency (the paper's
 // text format stores both lists per vertex); undirected graphs store each
 // edge in the adjacency of both endpoints and report the logical edge count.
+//
+// Edge weights are optional. A graph built with weighted add_edge calls
+// stores per-entry weight arrays parallel to the adjacency; unweighted
+// graphs store nothing extra and serialize byte-identically to the
+// pre-weight binary format. Algorithms that need weights on an unweighted
+// graph (Graphalytics SSSP on the paper's datasets) use the EdgeWeights
+// view, which derives a deterministic weight per edge from a seed without
+// materializing anything.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -66,6 +75,26 @@ class Graph {
     return directed_ ? in_offsets_[v] : out_offsets_[v];
   }
 
+  /// True when the graph carries stored per-edge weights.
+  bool weighted() const { return weighted_; }
+
+  /// Stored weights parallel to out_neighbors(v). Empty span per vertex
+  /// when the graph is unweighted (use EdgeWeights for derived weights).
+  std::span<const EdgeWeight> out_weights(VertexId v) const {
+    if (!weighted_) return {};
+    return {out_weights_.data() + out_offsets_[v],
+            out_weights_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Stored weights parallel to in_neighbors(v); for undirected graphs
+  /// they alias out_weights (each edge has one symmetric weight).
+  std::span<const EdgeWeight> in_weights(VertexId v) const {
+    if (!weighted_) return {};
+    if (!directed_) return out_weights(v);
+    return {in_weights_.data() + in_offsets_[v],
+            in_weights_.data() + in_offsets_[v + 1]};
+  }
+
   /// Binary search in the (sorted) out-adjacency.
   bool has_edge(VertexId u, VertexId v) const;
 
@@ -82,12 +111,15 @@ class Graph {
   friend class GraphBuilder;
 
   bool directed_ = false;
+  bool weighted_ = false;
   VertexId num_vertices_ = 0;
   EdgeId num_edges_ = 0;
   std::vector<EdgeId> out_offsets_;
   std::vector<VertexId> out_adj_;
   std::vector<EdgeId> in_offsets_;   // directed only
   std::vector<VertexId> in_adj_;     // directed only
+  std::vector<EdgeWeight> out_weights_;  // weighted only, parallel to out_adj_
+  std::vector<EdgeWeight> in_weights_;   // weighted && directed only
 };
 
 /// Accumulates edges, then produces a canonical Graph: sorted adjacency,
@@ -103,6 +135,15 @@ class GraphBuilder {
   /// edge; either may be added. Self-loops are dropped at build time.
   void add_edge(VertexId u, VertexId v);
 
+  /// Queue a weighted edge. The first weighted add marks the builder
+  /// weighted; unweighted adds mixed in carry weight 1. Duplicate edges
+  /// keep the minimum weight, and undirected edges share one symmetric
+  /// weight regardless of insertion orientation.
+  void add_edge(VertexId u, VertexId v, EdgeWeight weight);
+
+  /// True once any weighted edge was queued; build() then emits weights.
+  bool weighted() const { return weighted_; }
+
   /// Number of queued (pre-dedup) edges.
   std::size_t pending_edges() const { return edges_.size(); }
 
@@ -113,9 +154,63 @@ class GraphBuilder {
   Graph build();
 
  private:
+  Graph build_weighted();
+
   VertexId num_vertices_;
   bool directed_;
+  bool weighted_ = false;
   std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<EdgeWeight> weights_;  // parallel to edges_ once weighted_
+};
+
+/// Largest derived edge weight (inclusive); derived weights span
+/// [1, kMaxEdgeWeight]. Small enough that uint64 min-plus sums can never
+/// overflow, large enough to give delta-stepping distinct buckets.
+inline constexpr EdgeWeight kMaxEdgeWeight = 64;
+
+/// Deterministic per-edge weight drawn from a seed: a pure function of the
+/// (canonicalized) endpoints, so the paper's unweighted datasets stay
+/// byte-identical on disk while every engine sees identical weights. For
+/// undirected graphs the endpoints are ordered first, making the weight
+/// symmetric; directed arcs (u, v) and (v, u) draw independently.
+EdgeWeight derive_edge_weight(VertexId u, VertexId v, bool directed,
+                              std::uint64_t seed);
+
+/// Uniform read view over edge weights: stored weights when the graph has
+/// them, otherwise seed-derived ones. Cheap to construct per run (pointer +
+/// seed), never materializes an array, and indexes parallel to the
+/// adjacency spans so traversal loops pay one hash, not a lookup.
+class EdgeWeights {
+ public:
+  EdgeWeights(const Graph& graph, std::uint64_t seed)
+      : graph_(&graph), seed_(seed), stored_(graph.weighted()) {}
+
+  /// Weight of the k-th out-edge of u (parallel to out_neighbors(u)).
+  EdgeWeight out_weight(VertexId u, std::size_t k) const {
+    if (stored_) return graph_->out_weights(u)[k];
+    return derive_edge_weight(u, graph_->out_neighbors(u)[k],
+                              graph_->directed(), seed_);
+  }
+
+  /// Weight of the k-th in-edge of v (parallel to in_neighbors(v)); for a
+  /// directed graph this is the weight of arc in_neighbors(v)[k] -> v.
+  EdgeWeight in_weight(VertexId v, std::size_t k) const {
+    if (stored_) return graph_->in_weights(v)[k];
+    return derive_edge_weight(graph_->in_neighbors(v)[k], v,
+                              graph_->directed(), seed_);
+  }
+
+  /// Weight of arc u -> v, which must exist (binary search in out(u)).
+  EdgeWeight weight(VertexId u, VertexId v) const {
+    const auto nbrs = graph_->out_neighbors(u);
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+    return out_weight(u, static_cast<std::size_t>(it - nbrs.begin()));
+  }
+
+ private:
+  const Graph* graph_;
+  std::uint64_t seed_;
+  bool stored_;
 };
 
 }  // namespace gb

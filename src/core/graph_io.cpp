@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 #include <string_view>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -124,7 +125,9 @@ Graph read_graph_from_file(const std::string& path, bool directed) {
 }
 
 Graph read_snap_edge_list(std::istream& in, bool directed) {
-  std::vector<std::pair<VertexId, VertexId>> edges;
+  // weight 0 marks "no third column": builder weights are 1-based.
+  std::vector<std::tuple<VertexId, VertexId, EdgeWeight>> edges;
+  bool any_weighted = false;
   std::unordered_map<std::uint64_t, VertexId> remap;
   const auto dense_id = [&remap](std::uint64_t raw) {
     const auto [it, inserted] =
@@ -157,15 +160,32 @@ Graph read_snap_edge_list(std::istream& in, bool directed) {
       throw FormatError("bad destination id at line " +
                         std::to_string(line_no));
     }
+    // Optional third column: an integer edge weight (weighted SNAP
+    // exports). Lines without one build unweighted edges.
+    EdgeWeight weight = 0;
+    while (p2 != end && (*p2 == ' ' || *p2 == '\t')) ++p2;
+    if (p2 != end) {
+      auto [p3, e3] = std::from_chars(p2, end, weight);
+      if (e3 != std::errc{} || p3 != end || weight == 0) {
+        throw FormatError("bad edge weight at line " + std::to_string(line_no));
+      }
+      any_weighted = true;
+    }
     // Sequence the renumbering explicitly: argument evaluation order is
     // unspecified, and ids must be assigned in reading order.
     const VertexId s = dense_id(src);
     const VertexId t = dense_id(dst);
-    edges.emplace_back(s, t);
+    edges.emplace_back(s, t, weight);
   }
 
   GraphBuilder builder(static_cast<VertexId>(remap.size()), directed);
-  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  for (const auto& [u, v, w] : edges) {
+    if (any_weighted) {
+      builder.add_edge(u, v, w == 0 ? 1 : w);
+    } else {
+      builder.add_edge(u, v);
+    }
+  }
   return builder.build();
 }
 
@@ -180,9 +200,14 @@ void write_snap_edge_list(const Graph& g, std::ostream& out) {
       << g.num_edges() << " edges, "
       << (g.directed() ? "directed" : "undirected") << '\n';
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    for (const VertexId u : g.out_neighbors(v)) {
+    const auto nbrs = g.out_neighbors(v);
+    const auto weights = g.out_weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId u = nbrs[k];
       if (!g.directed() && u < v) continue;  // each undirected edge once
-      out << v << '\t' << u << '\n';
+      out << v << '\t' << u;
+      if (g.weighted()) out << '\t' << weights[k];
+      out << '\n';
     }
   }
 }

@@ -22,12 +22,14 @@ Graph read_graph_from_file(const std::string& path, bool directed);
 
 /// SNAP edge-list format (the repositories the paper's datasets come
 /// from): '#'-prefixed comment lines, then one "<src><ws><dst>" pair per
-/// line. Vertex ids need not be dense — they are renumbered densely in
-/// first-appearance order.
+/// line, with an optional third integer column holding an edge weight
+/// (any weighted line makes the whole graph weighted). Vertex ids need
+/// not be dense — they are renumbered densely in first-appearance order.
 Graph read_snap_edge_list(std::istream& in, bool directed);
 Graph read_snap_edge_list_from_file(const std::string& path, bool directed);
 
-/// Serialize as a SNAP edge list (each undirected edge written once).
+/// Serialize as a SNAP edge list (each undirected edge written once,
+/// weights as a third column when the graph is weighted).
 void write_snap_edge_list(const Graph& g, std::ostream& out);
 
 }  // namespace gb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <vector>
 
 namespace gb {
@@ -53,25 +54,53 @@ EdgeId sorted_intersection_count(std::span<const VertexId> a,
   return count;
 }
 
-EdgeId edges_between_neighbors(const Graph& g, VertexId v) {
-  const auto nbrs = g.out_neighbors(v);
+std::span<const VertexId> lcc_neighborhood(const Graph& g, VertexId v,
+                                           std::vector<VertexId>& scratch) {
+  if (!g.directed()) return g.out_neighbors(v);
+  // Directed: Graphalytics defines the neighborhood as everyone v touches
+  // in either direction. Both adjacency lists are sorted and self-loops
+  // never exist, so a set union suffices.
+  const auto out = g.out_neighbors(v);
+  const auto in = g.in_neighbors(v);
+  scratch.clear();
+  scratch.reserve(out.size() + in.size());
+  std::set_union(out.begin(), out.end(), in.begin(), in.end(),
+                 std::back_inserter(scratch));
+  return scratch;
+}
+
+EdgeId lcc_links(const Graph& g, std::span<const VertexId> nbrs, VertexId v) {
   EdgeId count = 0;
-  // For each neighbor u, count how many of v's neighbors appear in u's
-  // adjacency list.
+  // For each neighborhood member u, count how many members u's
+  // out-adjacency reaches.
   for (const VertexId u : nbrs) {
     count += sorted_intersection_count(nbrs, g.out_neighbors(u), v);
   }
   return count;
 }
 
+double lcc_from_counts(EdgeId links, std::size_t neighborhood_size) {
+  if (neighborhood_size < 2) return 0.0;
+  const double k = static_cast<double>(neighborhood_size);
+  return static_cast<double>(links) / (k * (k - 1.0));
+}
+
+EdgeId lcc_work_units(const Graph& g, std::span<const VertexId> nbrs) {
+  EdgeId units = 0;
+  for (const VertexId u : nbrs) units += nbrs.size() + g.out_degree(u);
+  return units;
+}
+
+EdgeId edges_between_neighbors(const Graph& g, VertexId v) {
+  std::vector<VertexId> scratch;
+  return lcc_links(g, lcc_neighborhood(g, v, scratch), v);
+}
+
 double local_clustering_coefficient(const Graph& g, VertexId v) {
-  const EdgeId deg = g.out_degree(v);
-  if (deg < 2) return 0.0;
-  const double links = static_cast<double>(edges_between_neighbors(g, v));
-  const double possible = static_cast<double>(deg) * (static_cast<double>(deg) - 1.0);
-  // Undirected adjacency double-counts each neighbor-neighbor edge (once
-  // from each endpoint), exactly matching the ordered-pair denominator.
-  return links / possible;
+  std::vector<VertexId> scratch;
+  const auto nbrs = lcc_neighborhood(g, v, scratch);
+  if (nbrs.size() < 2) return 0.0;
+  return lcc_from_counts(lcc_links(g, nbrs, v), nbrs.size());
 }
 
 double average_lcc(const Graph& g, ThreadPool* pool) {
@@ -81,8 +110,11 @@ double average_lcc(const Graph& g, ThreadPool* pool) {
   std::vector<double> partial(chunks, 0.0);
   run_chunks(pool, n, [&](std::size_t c, std::size_t begin, std::size_t end) {
     double sum = 0.0;
+    std::vector<VertexId> scratch;
     for (std::size_t v = begin; v < end; ++v) {
-      sum += local_clustering_coefficient(g, static_cast<VertexId>(v));
+      const auto nbrs = lcc_neighborhood(g, static_cast<VertexId>(v), scratch);
+      sum += lcc_from_counts(lcc_links(g, nbrs, static_cast<VertexId>(v)),
+                             nbrs.size());
     }
     partial[c] = sum;
   });

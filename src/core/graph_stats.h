@@ -32,11 +32,36 @@ EdgeId sorted_intersection_count(std::span<const VertexId> a,
                                  std::span<const VertexId> b,
                                  VertexId exclude);
 
-/// Local clustering coefficient of one vertex: fraction of pairs of
-/// neighbors that are themselves connected. Directed graphs use the
-/// union neighborhood and count directed links, matching the STATS
-/// implementations on the tested platforms.
+/// Local clustering coefficient of one vertex: fraction of ordered pairs
+/// of neighbors that are themselves connected. Directed graphs use the
+/// Graphalytics convention — the neighborhood is the union of in- and
+/// out-neighbors and links are counted as directed arcs inside it —
+/// matching the STATS/LCC implementations on the tested platforms.
+/// (Undirected graphs: the adjacency double-counts each neighbor-neighbor
+/// edge, exactly matching the ordered-pair denominator.)
 double local_clustering_coefficient(const Graph& g, VertexId v);
+
+/// The neighborhood the LCC is defined over: the (sorted) out-adjacency
+/// for undirected graphs, the sorted in/out union for directed ones.
+/// Directed results are built in `scratch` (reusable across calls);
+/// undirected graphs return the adjacency span directly, no copy.
+std::span<const VertexId> lcc_neighborhood(const Graph& g, VertexId v,
+                                           std::vector<VertexId>& scratch);
+
+/// Directed links inside a neighborhood of v: for each member u, how many
+/// members u's out-adjacency hits (v itself excluded). The triangle
+/// kernel shared by every engine's STATS/LCC program.
+EdgeId lcc_links(const Graph& g, std::span<const VertexId> nbrs, VertexId v);
+
+/// links / (k * (k - 1)); 0 when the neighborhood has fewer than 2
+/// members. Integer inputs + one division keep the value bit-identical
+/// however the links were counted.
+double lcc_from_counts(EdgeId links, std::size_t neighborhood_size);
+
+/// Simulated intersection work for one vertex's LCC: each neighbor's
+/// out-list is merged against the neighborhood
+/// (sum over u in N(v) of |N(v)| + out_degree(u)).
+EdgeId lcc_work_units(const Graph& g, std::span<const VertexId> nbrs);
 
 /// Average LCC over all vertices (the STATS headline output). The sum is
 /// chunked deterministically (ThreadPool::plan_chunks) and merged in
@@ -44,7 +69,8 @@ double local_clustering_coefficient(const Graph& g, VertexId v);
 /// pool runs the same plan inline.
 double average_lcc(const Graph& g, ThreadPool* pool = nullptr);
 
-/// Number of edges between the neighbors of v (triangle counting kernel).
+/// Number of directed links between the LCC neighborhood members of v
+/// (undirected: each neighbor-neighbor edge counted once per endpoint).
 EdgeId edges_between_neighbors(const Graph& g, VertexId v);
 
 /// Restrict a graph to its largest (weakly) connected component and

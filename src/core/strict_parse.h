@@ -1,0 +1,63 @@
+// One strict numeric parser for the whole tree.
+//
+// std::stoull and friends accept partial garbage ("12abc"), skip leading
+// whitespace, silently wrap negative input into huge unsigned values, and
+// throw uncaught exceptions on overflow. These helpers return
+// std::nullopt for anything that is not a complete, in-range (and for
+// doubles, finite) literal. Callers map nullopt onto their own error
+// channel: the gb_* tools print usage(), sim/faults.cpp throws its
+// malformed-spec Error.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace gb::strict {
+
+inline std::optional<std::uint64_t> parse_u64(const std::string& text,
+                                              std::uint64_t min_value = 0) {
+  // Plain digit strings only: stoull skips whitespace, wraps "-1", and
+  // accepts a leading "+"; requiring a leading digit rejects all three.
+  if (text.empty() || text[0] < '0' || text[0] > '9') return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t parsed = std::stoull(text, &pos);
+    if (pos != text.size() || parsed < min_value) return std::nullopt;
+    return parsed;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+inline std::optional<std::uint32_t> parse_u32(const std::string& text,
+                                              std::uint32_t min_value = 0) {
+  const auto parsed = parse_u64(text, min_value);
+  if (!parsed || *parsed > std::numeric_limits<std::uint32_t>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint32_t>(*parsed);
+}
+
+inline std::optional<double> parse_double(
+    const std::string& text,
+    double min_value = std::numeric_limits<double>::lowest()) {
+  if (text.empty()) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(text, &pos);
+    // Reject partial parses ("1.5x") and the non-finite spellings stod
+    // accepts without throwing ("inf", "nan"). Out-of-range literals like
+    // "1e999" make stod throw and land in the catch.
+    if (pos != text.size() || !std::isfinite(parsed) || parsed < min_value) {
+      return std::nullopt;
+    }
+    return parsed;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace gb::strict

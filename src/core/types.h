@@ -16,6 +16,11 @@ using EdgeId = std::uint64_t;
 /// Sentinel for "no vertex".
 inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
 
+/// Integer edge weight (Graphalytics SSSP). Small positive integers keep
+/// min-plus distances exact in 64 bits, so weighted traversal stays
+/// bit-identical across engines, partitioners, and host parallelism.
+using EdgeWeight = std::uint32_t;
+
 /// Simulated time in seconds. Double keeps the arithmetic simple; the
 /// resolution required by the paper's figures is ~1 ms over hours.
 using SimTime = double;

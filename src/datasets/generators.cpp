@@ -306,4 +306,15 @@ Graph ring_community_graph(VertexId n, VertexId communities, double avg_degree,
   return builder.build();
 }
 
+Graph with_derived_weights(const Graph& g, std::uint64_t seed) {
+  GraphBuilder builder(g.num_vertices(), g.directed());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) {
+      if (!g.directed() && u < v) continue;  // each undirected edge once
+      builder.add_edge(v, u, derive_edge_weight(v, u, g.directed(), seed));
+    }
+  }
+  return builder.build();
+}
+
 }  // namespace gb::datasets

@@ -88,4 +88,10 @@ Graph ring_community_graph(VertexId n, VertexId communities, double avg_degree,
                            double core_fraction, double core_pull,
                            std::uint64_t seed);
 
+/// Materialize seed-derived weights (derive_edge_weight) into a weighted
+/// copy of `g`. The runtime SSSP path reads the same weights lazily
+/// through EdgeWeights — this exists for weighted exports and for tests
+/// pinning stored == derived; the structure is unchanged.
+Graph with_derived_weights(const Graph& g, std::uint64_t seed);
+
 }  // namespace gb::datasets

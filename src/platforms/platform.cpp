@@ -16,6 +16,10 @@ const char* algorithm_name(Algorithm a) {
       return "EVO";
     case Algorithm::kPageRank:
       return "PAGERANK";
+    case Algorithm::kSssp:
+      return "SSSP";
+    case Algorithm::kLcc:
+      return "LCC";
   }
   return "?";
 }
@@ -27,6 +31,8 @@ std::optional<Algorithm> parse_algorithm(const std::string& name) {
   if (name == "CD") return Algorithm::kCd;
   if (name == "EVO") return Algorithm::kEvo;
   if (name == "PAGERANK") return Algorithm::kPageRank;
+  if (name == "SSSP") return Algorithm::kSssp;
+  if (name == "LCC") return Algorithm::kLcc;
   return std::nullopt;
 }
 

@@ -19,7 +19,7 @@
 
 namespace gb::platforms {
 
-enum class Algorithm { kStats, kBfs, kConn, kCd, kEvo, kPageRank };
+enum class Algorithm { kStats, kBfs, kConn, kCd, kEvo, kPageRank, kSssp, kLcc };
 
 const char* algorithm_name(Algorithm a);
 
@@ -52,6 +52,13 @@ struct AlgorithmParams {
   std::uint32_t pagerank_iterations = 10;
   double pagerank_damping = 0.85;
 
+  // SSSP (Graphalytics extension): shares bfs_source; weights come from
+  // the graph when stored, otherwise derived per-edge from `seed`
+  // (core/graph.h EdgeWeights), so every engine sees identical weights.
+  // sssp_delta is the reference delta-stepping bucket width (0 = auto);
+  // it affects scheduling only, never the distances.
+  std::uint64_t sssp_delta = 0;
+
   std::uint64_t seed = 1;
 
   /// Giraph fault tolerance: write a checkpoint every N supersteps
@@ -76,8 +83,9 @@ struct AlgorithmParams {
 };
 
 /// What the algorithm computed. vertex_values carries BFS levels, CONN
-/// component labels or CD community labels; the scalar carries STATS'
-/// average LCC; EVO reports the evolved graph size.
+/// component labels, CD community labels, SSSP distances, or bit-encoded
+/// PageRank/LCC doubles; the scalar carries STATS'/LCC's average LCC and
+/// SSSP's reached count; EVO reports the evolved graph size.
 struct AlgorithmOutput {
   std::vector<std::uint64_t> vertex_values;
   double scalar = 0.0;

@@ -22,6 +22,7 @@
 
 #include "core/error.h"
 #include "core/graph.h"
+#include "core/graph_stats.h"
 #include "partition/partition.h"
 #include "platforms/accounting.h"
 #include "platforms/message_buffer.h"
@@ -501,10 +502,13 @@ BspOutcome<V, M> run_bsp(const Graph& graph, Program& program,
       // Accounted in O(V + E), then checked against the heap — the engine
       // crashes here for the paper's STATS-on-WikiTalk/DotaLeague cases
       // without materializing terabytes of payload.
+      std::vector<VertexId> nbr_scratch;
       for (VertexId v = 0; v < n; ++v) {
-        // v receives the adjacency list of each of its out-neighbors u.
+        // v receives the adjacency list of each LCC-neighborhood member
+        // (in/out union for directed graphs — the text format carries
+        // both lists, so senders know both sides).
         double recv_bytes = 0.0;
-        for (const VertexId u : graph.out_neighbors(v)) {
+        for (const VertexId u : lcc_neighborhood(graph, v, nbr_scratch)) {
           recv_bytes += static_cast<double>(graph.out_degree(u)) * 8.0 + envelope;
         }
         inbox_bytes[owner(v)] += recv_bytes;

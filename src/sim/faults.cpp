@@ -7,6 +7,7 @@
 
 #include "core/error.h"
 #include "core/rng.h"
+#include "core/strict_parse.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -38,38 +39,28 @@ std::vector<std::string> split(const std::string& spec, char sep) {
   return parts;
 }
 
+// Both field parsers wrap the shared strict parsers (core/strict_parse.h)
+// and only add the fault-spec error message: no fault time, slowdown or
+// duration is meaningfully partial ("1.5x") or infinite ("inf", "nan").
 double parse_number(const std::string& text, const std::string& spec) {
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(text, &used);
-    // Reject partial parses ("1.5x"), and the non-finite spellings stod
-    // accepts without throwing ("inf", "nan"): no fault time, slowdown
-    // or duration is meaningfully infinite. Out-of-range literals like
-    // "1e999" make stod throw and land here too.
-    if (used != text.size() || !std::isfinite(v)) throw Error("");
-    return v;
-  } catch (...) {
+  const auto parsed = strict::parse_double(text);
+  if (!parsed) {
     throw Error("malformed fault spec '" + spec + "': bad number '" + text +
                 "'");
   }
+  return *parsed;
 }
 
 // Worker indices are digit strings, not doubles: routing them through
 // parse_number and casting would silently truncate "2.5" to worker 2 and
 // wrap "-1" into a huge index that matches no worker.
 std::uint32_t parse_worker(const std::string& text, const std::string& spec) {
-  const auto fail = [&]() {
+  const auto parsed = strict::parse_u32(text);
+  if (!parsed) {
     throw Error("malformed fault spec '" + spec + "': bad worker index '" +
                 text + "'");
-  };
-  if (text.empty()) fail();
-  std::uint64_t value = 0;
-  for (const char c : text) {
-    if (c < '0' || c > '9') fail();
-    value = value * 10 + static_cast<std::uint64_t>(c - '0');
-    if (value > std::numeric_limits<std::uint32_t>::max()) fail();
   }
-  return static_cast<std::uint32_t>(value);
+  return *parsed;
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+// Reference SSSP (bucketed delta-stepping vs serial Dijkstra) and the
+// per-vertex LCC algorithm.
+#include <gtest/gtest.h>
+
+#include "algorithms/reference.h"
+#include "core/graph_stats.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "datasets/generators.h"
+
+#include "../test_util.h"
+
+namespace gb::algorithms {
+namespace {
+
+Graph random_graph(std::uint64_t seed, bool directed) {
+  Xoshiro256 rng(seed);
+  const VertexId n = 40 + static_cast<VertexId>(rng.next_below(41));
+  const EdgeId m = 2 * n + rng.next_below(3 * n);
+  GraphBuilder b(n, directed);
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u != v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+TEST(ReferenceSssp, HandComputedWeightedPath) {
+  // 0 -2-> 1 -3-> 2 and a heavier shortcut 0 -7-> 2.
+  GraphBuilder b(3, true);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  b.add_edge(0, 2, 7);
+  const Graph g = b.build();
+  SsspParams params;
+  const auto r = reference_sssp(g, params);
+  EXPECT_EQ(r.dist, (std::vector<std::uint64_t>{0, 2, 5}));
+  EXPECT_EQ(r.reached, 3u);
+  const auto d = reference_sssp_dijkstra(g, params);
+  EXPECT_EQ(d.dist, r.dist);
+}
+
+TEST(ReferenceSssp, UnreachableVerticesStayAtInfinity) {
+  const Graph g = test::two_components();
+  SsspParams params;
+  params.source = 0;
+  const auto r = reference_sssp(g, params);
+  EXPECT_EQ(r.dist[3], kUnreached);
+  EXPECT_EQ(r.dist[4], kUnreached);
+  EXPECT_EQ(r.reached, 3u);
+}
+
+TEST(ReferenceSssp, OutOfRangeSourceReachesNothing) {
+  const Graph g = test::path_graph(4);
+  SsspParams params;
+  params.source = 99;
+  const auto r = reference_sssp(g, params);
+  EXPECT_EQ(r.reached, 0u);
+  for (const auto d : r.dist) EXPECT_EQ(d, kUnreached);
+}
+
+TEST(ReferenceSssp, MatchesDijkstraOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const bool directed : {false, true}) {
+      const Graph g = random_graph(seed, directed);
+      SsspParams params;
+      params.source = 0;
+      params.weight_seed = seed * 11;
+      const auto delta = reference_sssp(g, params);
+      const auto dijkstra = reference_sssp_dijkstra(g, params);
+      EXPECT_EQ(delta.dist, dijkstra.dist)
+          << "seed " << seed << " directed " << directed;
+    }
+  }
+}
+
+TEST(ReferenceSssp, DeltaAffectsSchedulingOnly) {
+  const Graph g = random_graph(3, true);
+  SsspParams params;
+  params.weight_seed = 5;
+  const auto baseline = reference_sssp(g, params);
+  for (const std::uint64_t delta : {1ull, 4ull, 64ull, 10'000ull}) {
+    SsspParams p = params;
+    p.delta = delta;
+    EXPECT_EQ(reference_sssp(g, p).dist, baseline.dist) << "delta " << delta;
+  }
+}
+
+TEST(ReferenceSssp, BitIdenticalAcrossPoolSizes) {
+  const Graph g = random_graph(7, false);
+  SsspParams params;
+  params.weight_seed = 42;
+  const auto serial = reference_sssp(g, params);
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    const auto r = reference_sssp(g, params, &pool);
+    EXPECT_EQ(r.dist, serial.dist) << threads << " threads";
+    EXPECT_EQ(r.iterations, serial.iterations) << threads << " threads";
+  }
+}
+
+TEST(ReferenceSssp, StoredWeightsEqualDerivedWeights) {
+  // Materializing the seed-derived weights into the CSR must not change
+  // distances: the EdgeWeights view reads stored and derived identically.
+  const Graph g = random_graph(9, true);
+  SsspParams params;
+  params.weight_seed = 13;
+  const auto derived = reference_sssp(g, params);
+  const Graph stored = datasets::with_derived_weights(g, params.weight_seed);
+  const auto from_store = reference_sssp(stored, params);
+  EXPECT_EQ(from_store.dist, derived.dist);
+}
+
+TEST(ReferenceSssp, UnitWeightsReduceToBfsLevels) {
+  GraphBuilder b(5, false);
+  for (VertexId v = 0; v + 1 < 5; ++v) b.add_edge(v, v + 1, 1);
+  const Graph g = b.build();
+  SsspParams params;
+  const auto r = reference_sssp(g, params);
+  EXPECT_EQ(r.dist, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ReferenceLcc, MatchesPerVertexKernel) {
+  for (const bool directed : {false, true}) {
+    const Graph g = random_graph(4, directed);
+    const auto r = reference_lcc(g);
+    ASSERT_EQ(r.values.size(), g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_DOUBLE_EQ(r.values[v], local_clustering_coefficient(g, v)) << v;
+    }
+    EXPECT_DOUBLE_EQ(r.average, lcc_average(r.values));
+  }
+}
+
+TEST(ReferenceLcc, BitIdenticalAcrossPoolSizes) {
+  const Graph g = random_graph(6, true);
+  const auto serial = reference_lcc(g);
+  for (const std::size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    const auto r = reference_lcc(g, &pool);
+    EXPECT_EQ(r.values, serial.values) << threads << " threads";
+    EXPECT_EQ(r.average, serial.average) << threads << " threads";
+  }
+}
+
+TEST(ReferenceLcc, LccAverageIsSerialLeftToRightMean) {
+  EXPECT_DOUBLE_EQ(lcc_average({}), 0.0);
+  EXPECT_DOUBLE_EQ(lcc_average({0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(lcc_average({1.0, 0.0, 0.5, 0.5}), 0.5);
+}
+
+}  // namespace
+}  // namespace gb::algorithms

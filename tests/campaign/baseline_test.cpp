@@ -78,6 +78,42 @@ TEST(Baseline, MakespanDriftBeyondToleranceFails) {
   EXPECT_TRUE(check_baseline(base, now, loose).ok());
 }
 
+TEST(Baseline, AbsoluteFloorCoversSubSecondCells) {
+  // 20% relative drift on a 20ms cell is still within the 10ms absolute
+  // floor — sub-second smoke cells no longer flap on scheduler noise.
+  const std::vector<harness::CellResult> base = {cell("a", "ok", 0.020)};
+  const std::vector<harness::CellResult> now = {cell("a", "ok", 0.024)};
+  EXPECT_TRUE(check_baseline(base, now).ok());
+}
+
+TEST(Baseline, AbsoluteFloorIsConfigurable) {
+  const std::vector<harness::CellResult> base = {cell("a", "ok", 0.020)};
+  const std::vector<harness::CellResult> now = {cell("a", "ok", 0.024)};
+  BaselineTolerance strict;
+  strict.makespan_abs = 0.001;  // 4ms drift > max(1ms, 5% of 20ms = 1ms)
+  const auto diff = check_baseline(base, now, strict);
+  ASSERT_EQ(diff.findings.size(), 1u);
+  EXPECT_NE(diff.findings[0].find("makespan drift"), std::string::npos);
+}
+
+TEST(Baseline, RelativeBandGovernsLargeCells) {
+  // On a 100s cell the 5% band (5s) dwarfs the 10ms floor: 4s passes,
+  // 20s fails — exactly the old relative behavior.
+  const std::vector<harness::CellResult> base = {cell("a", "ok", 100.0)};
+  EXPECT_TRUE(check_baseline(base, {cell("a", "ok", 104.0)}).ok());
+  EXPECT_FALSE(check_baseline(base, {cell("a", "ok", 120.0)}).ok());
+}
+
+TEST(Baseline, ZeroMakespanBaselineIsStillChecked) {
+  // A 0.0 baseline used to skip the check entirely (the relative band
+  // degenerates to zero width); the absolute floor now bounds it.
+  const std::vector<harness::CellResult> base = {cell("a", "ok", 0.0)};
+  EXPECT_TRUE(check_baseline(base, {cell("a", "ok", 0.005)}).ok());
+  const auto diff = check_baseline(base, {cell("a", "ok", 0.5)});
+  ASSERT_EQ(diff.findings.size(), 1u);
+  EXPECT_NE(diff.findings[0].find("makespan drift"), std::string::npos);
+}
+
 TEST(Baseline, OutcomeClassChangeFails) {
   const std::vector<harness::CellResult> base = {cell("a", "ok", 10.0)};
   const std::vector<harness::CellResult> now = {cell("a", "crash(OOM)", 0.0)};

@@ -126,5 +126,21 @@ TEST(PresetGrids, VerticalScalabilityShape) {
   for (const auto& cell : cells) EXPECT_EQ(cell.workers, 20u);
 }
 
+TEST(PresetGrids, GraphalyticsShape) {
+  const auto grid = graphalytics_grid(DatasetId::kAmazon, 0.01);
+  const auto cells = grid.expand();
+  // 5 engines (PEGASUS sits out: LCC is not GIM-V) x 3 algorithms.
+  EXPECT_EQ(cells.size(), 15u);
+  bool saw_sssp = false;
+  bool saw_lcc = false;
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.dataset, DatasetId::kAmazon);
+    saw_sssp |= cell.key().find("/SSSP/") != std::string::npos;
+    saw_lcc |= cell.key().find("/LCC/") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_sssp);
+  EXPECT_TRUE(saw_lcc);
+}
+
 }  // namespace
 }  // namespace gb::campaign

@@ -141,5 +141,69 @@ TEST(GraphStats, EdgesBetweenNeighborsCountsOrderedPairs) {
   EXPECT_EQ(edges_between_neighbors(g, 0), 6u);
 }
 
+// ---- Graphalytics directed-LCC golden values --------------------------------
+// Directed neighborhoods are the in/out UNION, the numerator counts arcs
+// among neighbors, and the denominator is k(k-1) ordered pairs.
+
+TEST(GraphStats, LccDirectedTriangleCycle) {
+  // 0 -> 1 -> 2 -> 0. Every N(v) is the other two vertices (one reached
+  // by an out-arc, one by an in-arc); exactly one of the two possible
+  // arcs between them exists, so lcc = 1/2 — the out-only convention
+  // would have reported 0 (each out-neighborhood is a single vertex).
+  GraphBuilder b(3, true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  const Graph g = b.build();
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(local_clustering_coefficient(g, v), 0.5) << v;
+  }
+  EXPECT_DOUBLE_EQ(average_lcc(g), 0.5);
+}
+
+TEST(GraphStats, LccDirectedStarIsZero) {
+  // Hub 0 -> leaves 1..4: no arcs among any neighborhood, leaves have a
+  // single neighbor (k < 2), so every coefficient is 0.
+  GraphBuilder b(5, true);
+  for (VertexId leaf = 1; leaf < 5; ++leaf) b.add_edge(0, leaf);
+  const Graph g = b.build();
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(local_clustering_coefficient(g, v), 0.0) << v;
+  }
+  EXPECT_DOUBLE_EQ(average_lcc(g), 0.0);
+}
+
+TEST(GraphStats, LccDirectedCliqueIsOne) {
+  // All ordered pairs present: every neighborhood is fully linked.
+  const Graph g = test::complete_graph(4, /*directed=*/true);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_DOUBLE_EQ(local_clustering_coefficient(g, v), 1.0) << v;
+  }
+  EXPECT_DOUBLE_EQ(average_lcc(g), 1.0);
+}
+
+TEST(GraphStats, LccDirectedUnionMixesInAndOutNeighbors) {
+  // 1 -> 0, 0 -> 2, 1 -> 2: N(0) = {1 (in), 2 (out)}, and the arc 1 -> 2
+  // closes one of the two ordered pairs, so lcc(0) = 1/2.
+  GraphBuilder b(3, true);
+  b.add_edge(1, 0);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  EXPECT_DOUBLE_EQ(local_clustering_coefficient(g, 0), 0.5);
+  std::vector<VertexId> scratch;
+  const auto nbrs = lcc_neighborhood(g, 0, scratch);
+  EXPECT_EQ(std::vector<VertexId>(nbrs.begin(), nbrs.end()),
+            (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(lcc_links(g, nbrs, 0), 1u);
+  EXPECT_DOUBLE_EQ(lcc_from_counts(1, 2), 0.5);
+}
+
+TEST(GraphStats, LccFromCountsDegenerateNeighborhoods) {
+  EXPECT_DOUBLE_EQ(lcc_from_counts(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(lcc_from_counts(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(lcc_from_counts(3, 3), 0.5);
+}
+
 }  // namespace
 }  // namespace gb

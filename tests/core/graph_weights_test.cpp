@@ -1,0 +1,230 @@
+// Weighted-edge support in the CSR core: deterministic derived weights,
+// the weighted GraphBuilder path, the EdgeWeights view, and the binary /
+// SNAP round trips (including the guarantee that unweighted graphs keep
+// the version-1 byte format).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/graph.h"
+#include "core/graph_io.h"
+#include "datasets/generators.h"
+
+#include "../test_util.h"
+
+namespace gb {
+namespace {
+
+/// Temp file that cleans up after itself.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(EdgeWeightDerivation, DeterministicAndInRange) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    for (VertexId u = 0; u < 20; ++u) {
+      for (VertexId v = 0; v < 20; ++v) {
+        const EdgeWeight w = derive_edge_weight(u, v, true, seed);
+        EXPECT_EQ(w, derive_edge_weight(u, v, true, seed));
+        EXPECT_GE(w, 1u);
+        EXPECT_LE(w, kMaxEdgeWeight);
+      }
+    }
+  }
+}
+
+TEST(EdgeWeightDerivation, UndirectedWeightIsSymmetric) {
+  EXPECT_EQ(derive_edge_weight(3, 11, false, 7),
+            derive_edge_weight(11, 3, false, 7));
+}
+
+TEST(EdgeWeightDerivation, SeedChangesWeights) {
+  // Not every pair differs, but across 64 edges at least one must.
+  bool any_differ = false;
+  for (VertexId v = 1; v <= 64 && !any_differ; ++v) {
+    any_differ = derive_edge_weight(0, v, true, 1) !=
+                 derive_edge_weight(0, v, true, 2);
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(GraphWeights, UnweightedGraphHasNoStoredWeights) {
+  const Graph g = test::complete_graph(4);
+  EXPECT_FALSE(g.weighted());
+  EXPECT_TRUE(g.out_weights(0).empty());
+  EXPECT_TRUE(g.in_weights(0).empty());
+}
+
+TEST(GraphWeights, BuilderStoresWeightsParallelToAdjacency) {
+  GraphBuilder b(4, true);
+  b.add_edge(0, 2, 5);
+  b.add_edge(0, 1, 9);
+  b.add_edge(3, 0, 2);
+  const Graph g = b.build();
+  ASSERT_TRUE(g.weighted());
+  const auto nbrs = g.out_neighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  const auto weights = g.out_weights(0);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_EQ(weights[0], 9u);  // 0 -> 1
+  EXPECT_EQ(weights[1], 5u);  // 0 -> 2
+  // In-weights line up with in_neighbors: arc 3 -> 0 carries weight 2.
+  const auto in_nbrs = g.in_neighbors(0);
+  ASSERT_EQ(in_nbrs.size(), 1u);
+  EXPECT_EQ(in_nbrs[0], 3u);
+  EXPECT_EQ(g.in_weights(0)[0], 2u);
+}
+
+TEST(GraphWeights, DuplicateEdgesKeepMinimumWeight) {
+  GraphBuilder b(3, true);
+  b.add_edge(0, 1, 8);
+  b.add_edge(0, 1, 3);
+  b.add_edge(0, 1, 5);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.out_weights(0)[0], 3u);
+}
+
+TEST(GraphWeights, MixedAddsBackfillWeightOne) {
+  GraphBuilder b(3, false);
+  b.add_edge(0, 1);        // unweighted add before the first weighted one
+  b.add_edge(1, 2, 7);
+  const Graph g = b.build();
+  ASSERT_TRUE(g.weighted());
+  EXPECT_EQ(g.out_weights(0)[0], 1u);
+}
+
+TEST(GraphWeights, UndirectedWeightIsSharedByBothDirections) {
+  GraphBuilder b(3, false);
+  b.add_edge(2, 1, 6);  // canonicalized to (1, 2)
+  const Graph g = b.build();
+  EXPECT_EQ(g.out_weights(1)[0], 6u);
+  EXPECT_EQ(g.out_weights(2)[0], 6u);
+}
+
+TEST(GraphWeights, ZeroWeightRejected) {
+  GraphBuilder b(2, true);
+  EXPECT_THROW(b.add_edge(0, 1, 0), FormatError);
+}
+
+TEST(EdgeWeightsView, DerivedMatchesDeriveFunction) {
+  const Graph g = test::complete_graph(5, /*directed=*/true);
+  const EdgeWeights weights(g, 42);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.out_neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      EXPECT_EQ(weights.out_weight(u, k),
+                derive_edge_weight(u, nbrs[k], true, 42));
+      EXPECT_EQ(weights.weight(u, nbrs[k]), weights.out_weight(u, k));
+    }
+  }
+}
+
+TEST(EdgeWeightsView, InWeightMatchesOutWeightOfTheArc) {
+  GraphBuilder b(4, true);
+  b.add_edge(0, 3, 4);
+  b.add_edge(1, 3, 9);
+  b.add_edge(2, 3, 1);
+  const Graph g = b.build();
+  const EdgeWeights weights(g, 1);
+  const auto in_nbrs = g.in_neighbors(3);
+  for (std::size_t k = 0; k < in_nbrs.size(); ++k) {
+    EXPECT_EQ(weights.in_weight(3, k), weights.weight(in_nbrs[k], 3));
+  }
+}
+
+TEST(EdgeWeightsView, MaterializedDerivedWeightsMatchLazyView) {
+  const Graph g = test::complete_graph(6);
+  const Graph weighted = datasets::with_derived_weights(g, 42);
+  ASSERT_TRUE(weighted.weighted());
+  EXPECT_EQ(weighted.num_edges(), g.num_edges());
+  const EdgeWeights lazy(g, 42);
+  const EdgeWeights stored(weighted, 42);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.out_neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      EXPECT_EQ(stored.out_weight(u, k), lazy.out_weight(u, k));
+    }
+  }
+}
+
+TEST(GraphWeights, BinaryRoundTripPreservesWeights) {
+  GraphBuilder b(5, true);
+  b.add_edge(0, 1, 3);
+  b.add_edge(1, 2, 64);
+  b.add_edge(4, 0, 17);
+  const Graph g = b.build();
+  TempFile file("weighted_roundtrip.gb");
+  g.save_binary(file.path);
+  const Graph loaded = Graph::load_binary(file.path);
+  ASSERT_TRUE(loaded.weighted());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto expect = g.out_weights(u);
+    const auto got = loaded.out_weights(u);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      EXPECT_EQ(got[k], expect[k]);
+    }
+  }
+}
+
+TEST(GraphWeights, UnweightedBinaryStaysVersionOne) {
+  // Existing unweighted datasets must stay byte-identical: the format
+  // version after the magic must still read 1.
+  const Graph g = test::barbell_graph();
+  TempFile file("unweighted_version.gb");
+  g.save_binary(file.path);
+  std::ifstream in(file.path, std::ios::binary);
+  std::uint64_t magic = 0;
+  std::uint8_t version = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  ASSERT_TRUE(in.good());
+  EXPECT_EQ(version, 1);
+  const Graph loaded = Graph::load_binary(file.path);
+  EXPECT_FALSE(loaded.weighted());
+}
+
+TEST(GraphIoWeights, SnapRoundTripCarriesThirdColumn) {
+  GraphBuilder b(3, true);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 40);
+  const Graph g = b.build();
+  std::ostringstream out;
+  write_snap_edge_list(g, out);
+  EXPECT_NE(out.str().find("0\t1\t5"), std::string::npos);
+  std::istringstream in(out.str());
+  const Graph loaded = read_snap_edge_list(in, true);
+  ASSERT_TRUE(loaded.weighted());
+  EXPECT_EQ(loaded.out_weights(0)[0], 5u);
+  EXPECT_EQ(loaded.out_weights(1)[0], 40u);
+}
+
+TEST(GraphIoWeights, TwoColumnInputStaysUnweighted) {
+  std::istringstream in("0\t1\n1\t2\n");
+  const Graph g = read_snap_edge_list(in, false);
+  EXPECT_FALSE(g.weighted());
+}
+
+TEST(GraphIoWeights, MalformedWeightRejected) {
+  {
+    std::istringstream in("0\t1\t0\n");  // zero weight
+    EXPECT_THROW(read_snap_edge_list(in, true), FormatError);
+  }
+  {
+    std::istringstream in("0\t1\t2x\n");  // trailing garbage
+    EXPECT_THROW(read_snap_edge_list(in, true), FormatError);
+  }
+}
+
+}  // namespace
+}  // namespace gb

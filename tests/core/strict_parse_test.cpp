@@ -1,0 +1,62 @@
+// The one strict-number rejection matrix: gb::strict is the single
+// parser behind both the gb_* tool flags (tools/flag_parse.h) and the
+// fault-spec fields (sim/faults.cpp), so its edge cases are pinned here
+// once instead of per consumer.
+#include "core/strict_parse.h"
+
+#include <gtest/gtest.h>
+
+namespace gb::strict {
+namespace {
+
+TEST(StrictParse, U64AcceptsPlainDigits) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), ~std::uint64_t{0});
+}
+
+TEST(StrictParse, U64RejectsGarbage) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("12abc"));   // partial parse
+  EXPECT_FALSE(parse_u64("-1"));      // stoull would wrap this
+  EXPECT_FALSE(parse_u64("+1"));      // sign spelling
+  EXPECT_FALSE(parse_u64(" 1"));      // stoull would skip the space
+  EXPECT_FALSE(parse_u64("1 "));      // trailing space
+  EXPECT_FALSE(parse_u64("1.5"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // overflow
+}
+
+TEST(StrictParse, U64HonorsMinimum) {
+  EXPECT_FALSE(parse_u64("0", 1));
+  EXPECT_EQ(parse_u64("1", 1), 1u);
+}
+
+TEST(StrictParse, U32RejectsOverflowAndMinimum) {
+  EXPECT_EQ(parse_u32("4294967295"), 4294967295u);
+  EXPECT_FALSE(parse_u32("4294967296"));
+  EXPECT_FALSE(parse_u32("2", 3));
+  EXPECT_FALSE(parse_u32("2.5"));
+  EXPECT_FALSE(parse_u32("-1"));
+}
+
+TEST(StrictParse, DoubleAcceptsFiniteLiterals) {
+  EXPECT_EQ(parse_double("1.5"), 1.5);
+  EXPECT_EQ(parse_double("-2"), -2.0);
+  EXPECT_EQ(parse_double("1e3"), 1000.0);
+}
+
+TEST(StrictParse, DoubleRejectsPartialAndNonFinite) {
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("1.5x"));   // partial parse
+  EXPECT_FALSE(parse_double("inf"));    // stod accepts, we do not
+  EXPECT_FALSE(parse_double("nan"));
+  EXPECT_FALSE(parse_double("1e999"));  // overflows to out-of-range
+}
+
+TEST(StrictParse, DoubleHonorsMinimum) {
+  EXPECT_FALSE(parse_double("-0.5", 0.0));
+  EXPECT_EQ(parse_double("0.5", 0.0), 0.5);
+}
+
+}  // namespace
+}  // namespace gb::strict

@@ -3,9 +3,10 @@
 // (Pregel), GraphLab (GAS), Neo4j (graph database) — must agree *exactly*
 // with the sequential reference on randomly generated graphs, not just on
 // the handful of hand-built fixtures. Several seeds, directed and
-// undirected, BFS/CONN/STATS. Any divergence is a semantics bug in an
-// engine, never acceptable noise: all five pipelines are integer-exact by
-// construction.
+// undirected, BFS/CONN/STATS/PAGERANK/SSSP/LCC. Any divergence is a
+// semantics bug in an engine, never acceptable noise: all five pipelines
+// are integer-exact by construction (PageRank and LCC pin their float
+// summation orders, SSSP's min-plus fixpoint is unique).
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -16,7 +17,10 @@
 #include "algorithms/reference.h"
 #include "core/graph.h"
 #include "core/rng.h"
+#include "datasets/generators.h"
+#include "harness/cell_result.h"
 #include "harness/experiment.h"
+#include "partition/strategy.h"
 #include "../test_util.h"
 
 namespace gb::algorithms {
@@ -132,10 +136,144 @@ TEST_P(Differential, StatsMatchesReference) {
   }
 }
 
+TEST_P(Differential, PageRankMatchesReference) {
+  for (const bool directed : {false, true}) {
+    for (const std::uint64_t seed : kSeeds) {
+      const auto ds = test::as_dataset(random_graph(seed, directed));
+      const auto m = run(ds, Algorithm::kPageRank, {});
+      ASSERT_TRUE(m.ok()) << GetParam().label << " seed " << seed << ": "
+                          << m.message;
+      const auto ref = reference_pagerank(ds.graph, {});
+      EXPECT_EQ(m.result.output.vertex_values, encode_ranks(ref.ranks))
+          << GetParam().label << " seed " << seed
+          << (directed ? " directed" : " undirected");
+    }
+  }
+}
+
+TEST_P(Differential, SsspMatchesReference) {
+  for (const bool directed : {false, true}) {
+    for (const std::uint64_t seed : kSeeds) {
+      const auto g = random_graph(seed, directed);
+      const auto ds = test::as_dataset(g);
+      platforms::AlgorithmParams params;
+      params.bfs_source =
+          Xoshiro256(seed ^ 0xb5).next_below(g.num_vertices());
+      params.seed = seed * 11;
+      const auto m = run(ds, Algorithm::kSssp, params);
+      ASSERT_TRUE(m.ok()) << GetParam().label << " seed " << seed << ": "
+                          << m.message;
+      SsspParams ref_params;
+      ref_params.source = params.bfs_source;
+      ref_params.weight_seed = params.seed;
+      const auto ref = reference_sssp(ds.graph, ref_params);
+      EXPECT_EQ(ref.dist, reference_sssp_dijkstra(ds.graph, ref_params).dist)
+          << "seed " << seed;  // delta-stepping vs its serial oracle
+      EXPECT_EQ(m.result.output.vertex_values, ref.dist)
+          << GetParam().label << " seed " << seed
+          << (directed ? " directed" : " undirected");
+      EXPECT_EQ(m.result.output.scalar, static_cast<double>(ref.reached))
+          << GetParam().label << " seed " << seed;
+      // Materializing the seed-derived weights into the CSR must not move
+      // a single distance: stored and lazy weights are the same numbers.
+      const auto stored = run(
+          test::as_dataset(datasets::with_derived_weights(g, params.seed)),
+          Algorithm::kSssp, params);
+      ASSERT_TRUE(stored.ok()) << GetParam().label << " seed " << seed << ": "
+                               << stored.message;
+      EXPECT_EQ(stored.result.output.vertex_values, ref.dist)
+          << GetParam().label << " seed " << seed << " (stored weights)";
+    }
+  }
+}
+
+TEST_P(Differential, LccMatchesReference) {
+  for (const bool directed : {false, true}) {
+    for (const std::uint64_t seed : kSeeds) {
+      const auto ds = test::as_dataset(random_graph(seed, directed));
+      const auto m = run(ds, Algorithm::kLcc, {});
+      ASSERT_TRUE(m.ok()) << GetParam().label << " seed " << seed << ": "
+                          << m.message;
+      const auto ref = reference_lcc(ds.graph);
+      EXPECT_EQ(m.result.output.vertex_values, encode_ranks(ref.values))
+          << GetParam().label << " seed " << seed
+          << (directed ? " directed" : " undirected");
+      // Every engine reduces the scalar through the same serial
+      // left-to-right mean, so it is exactly equal, not NEAR.
+      EXPECT_EQ(m.result.output.scalar, ref.average)
+          << GetParam().label << " seed " << seed;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Engines, Differential, ::testing::ValuesIn(kEngines),
                          [](const auto& info) {
                            return std::string(info.param.label);
                          });
+
+// The Graphalytics additions must be bit-identical across the full
+// execution matrix: five engines x four partitioners x paging on/off x
+// host parallelism. Vertex values and the scalar are compared across
+// engines (iteration counts are engine-specific); the full output hash —
+// iterations included — is compared within an engine across partitioner,
+// paging, and parallelism, where it must not move at all.
+TEST(GraphalyticsDifferential, SsspAndLccBitIdenticalAcrossMatrix) {
+  for (const bool directed : {false, true}) {
+    const auto g = random_graph(19, directed);
+    const auto ds = test::as_dataset(g);
+    auto params = harness::default_params(ds);
+    for (const Algorithm algorithm : {Algorithm::kSssp, Algorithm::kLcc}) {
+      std::vector<std::uint64_t> canon_values;
+      double canon_scalar = 0.0;
+      bool have_canon = false;
+      for (const auto& engine : kEngines) {
+        const auto platform = engine.factory();
+        std::uint64_t engine_hash = 0;
+        bool have_engine_hash = false;
+        for (const partition::Strategy strategy : partition::kAllStrategies) {
+          for (const bool paging : {false, true}) {
+            for (const std::uint32_t parallelism : {1u, 4u}) {
+              sim::ClusterConfig cfg;
+              cfg.num_workers = 4;
+              cfg.partitioner = strategy;
+              cfg.parallelism = parallelism;
+              if (paging) {
+                cfg.page_cache.budget_per_node = Bytes{256} << 10;
+                cfg.page_cache.page_size = Bytes{16} << 10;
+              }
+              const auto m =
+                  harness::run_cell(*platform, ds, algorithm, params, cfg);
+              const std::string where =
+                  std::string(engine.label) + " " +
+                  platforms::algorithm_name(algorithm) + " " +
+                  partition::strategy_name(strategy) +
+                  (paging ? " paged" : " in-core") + " p" +
+                  std::to_string(parallelism) +
+                  (directed ? " directed" : " undirected");
+              ASSERT_TRUE(m.ok()) << where << ": " << m.message;
+              if (!have_canon) {
+                canon_values = m.result.output.vertex_values;
+                canon_scalar = m.result.output.scalar;
+                have_canon = true;
+              } else {
+                EXPECT_EQ(m.result.output.vertex_values, canon_values)
+                    << where;
+                EXPECT_EQ(m.result.output.scalar, canon_scalar) << where;
+              }
+              const auto h = harness::hash_output(m.result.output);
+              if (!have_engine_hash) {
+                engine_hash = h;
+                have_engine_hash = true;
+              } else {
+                EXPECT_EQ(h, engine_hash) << where;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace gb::algorithms

@@ -1,58 +1,15 @@
 // Strict numeric parsing for command-line flags, shared by the gb_*
-// tools.
-//
-// std::stoull and friends accept partial garbage ("12abc"), silently
-// wrap negative input into huge unsigned values, and throw uncaught
-// exceptions on overflow. These helpers return std::nullopt for anything
-// that is not a complete, in-range (and for doubles, finite) literal;
-// each tool maps nullopt onto its own usage() message.
+// tools. The actual parsers live in core/strict_parse.h (one parser, one
+// set of rejection tests — sim/faults.cpp uses the same ones); this
+// header keeps the historical gb::tools spelling the tools use.
 #pragma once
 
-#include <cmath>
-#include <cstdint>
-#include <limits>
-#include <optional>
-#include <string>
+#include "core/strict_parse.h"
 
 namespace gb::tools {
 
-inline std::optional<std::uint64_t> parse_u64(const std::string& text,
-                                              std::uint64_t min_value = 0) {
-  // stoull happily parses "-1" (wrapping) and leading "+"; reject both
-  // up front so only plain digit strings get through.
-  if (text.empty() || text[0] == '-' || text[0] == '+') return std::nullopt;
-  try {
-    std::size_t pos = 0;
-    const std::uint64_t parsed = std::stoull(text, &pos);
-    if (pos != text.size() || parsed < min_value) return std::nullopt;
-    return parsed;
-  } catch (...) {
-    return std::nullopt;
-  }
-}
-
-inline std::optional<std::uint32_t> parse_u32(const std::string& text,
-                                              std::uint32_t min_value = 0) {
-  const auto parsed = parse_u64(text, min_value);
-  if (!parsed || *parsed > std::numeric_limits<std::uint32_t>::max()) {
-    return std::nullopt;
-  }
-  return static_cast<std::uint32_t>(*parsed);
-}
-
-inline std::optional<double> parse_double(const std::string& text,
-                                          double min_value) {
-  if (text.empty()) return std::nullopt;
-  try {
-    std::size_t pos = 0;
-    const double parsed = std::stod(text, &pos);
-    if (pos != text.size() || !std::isfinite(parsed) || parsed < min_value) {
-      return std::nullopt;
-    }
-    return parsed;
-  } catch (...) {
-    return std::nullopt;
-  }
-}
+using strict::parse_double;
+using strict::parse_u32;
+using strict::parse_u64;
 
 }  // namespace gb::tools

@@ -39,7 +39,7 @@ using namespace gb;
          "  --platforms A,B,...    platform names (default: all six "
          "scalability platforms)\n"
          "  --datasets A,B,...     dataset names (default: KGS)\n"
-         "  --algorithms A,B,...   STATS|BFS|CONN|CD|EVO|PAGERANK "
+         "  --algorithms A,B,...   STATS|BFS|CONN|CD|EVO|PAGERANK|SSSP|LCC "
          "(default: BFS)\n"
          "  --workers N,N,...      machines per cell (default: 20)\n"
          "  --cores N,N,...        cores per machine (default: 1)\n"
@@ -54,7 +54,8 @@ using namespace gb;
          "  --fault SPEC           fault injected into every cell "
          "(repeatable; gb_run syntax)\n"
          "  --checkpoint-interval N\n"
-         "  --grid fig11|fig13    preset grid (uses first --datasets "
+         "  --grid fig11|fig13|fig_graphalytics\n"
+         "                         preset grid (uses first --datasets "
          "entry; other axes ignored)\n"
          "execution:\n"
          "  --parallelism N        cells in flight (0 = hardware, "
@@ -75,7 +76,10 @@ using namespace gb;
          "  --check-baseline FILE  diff against a baseline; exit 1 on "
          "drift\n"
          "  --tolerance R          relative makespan tolerance "
-         "(default 0.05)\n";
+         "(default 0.05)\n"
+         "  --tolerance-abs S      absolute makespan floor in seconds "
+         "under the\n"
+         "                         relative band (default 0.01)\n";
   std::exit(2);
 }
 
@@ -256,6 +260,8 @@ int main(int argc, char** argv) {
       check_baseline_path = value();
     } else if (arg == "--tolerance") {
       tolerance.makespan_rel = parse_double(value(), "--tolerance", 0.0);
+    } else if (arg == "--tolerance-abs") {
+      tolerance.makespan_abs = parse_double(value(), "--tolerance-abs", 0.0);
     } else if (arg == "--help" || arg == "-h") {
       usage();
     } else {
@@ -276,8 +282,12 @@ int main(int argc, char** argv) {
       grid = campaign::horizontal_scalability_grid(dataset, grid.scale);
     } else if (preset == "fig13") {
       grid = campaign::vertical_scalability_grid(dataset, grid.scale);
+    } else if (preset == "fig_graphalytics") {
+      grid = campaign::graphalytics_grid(dataset, grid.scale);
     } else {
-      usage(("unknown preset '" + preset + "' (fig11 or fig13)").c_str());
+      usage(("unknown preset '" + preset +
+             "' (fig11, fig13 or fig_graphalytics)")
+                .c_str());
     }
   }
 

@@ -38,7 +38,8 @@ using namespace gb;
                "Stratosphere|Giraph|GraphLab|GraphLab(mp)|Neo4j]\n"
                "              [--dataset Amazon|WikiTalk|KGS|Citation|"
                "DotaLeague|Synth|Friendster]\n"
-               "              [--algorithm STATS|BFS|CONN|CD|EVO|PAGERANK]\n"
+               "              [--algorithm "
+               "STATS|BFS|CONN|CD|EVO|PAGERANK|SSSP|LCC]\n"
                "              [--workers N] [--cores N] [--scale S] "
                "[--seed S] [--breakdown] [--json]\n"
                "              [--parallelism N]   (host threads: 0 = "
