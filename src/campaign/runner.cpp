@@ -32,6 +32,21 @@ harness::CellResult run_once(const CellSpec& spec,
   if (platform == nullptr) {
     return error_result(spec, "unknown platform '" + spec.platform + "'");
   }
+  const sim::ClusterConfig config = cluster_config_for(spec, cell_parallelism);
+  auto params = harness::default_params(dataset);
+  params.checkpoint_interval = spec.checkpoint_interval;
+  const auto measurement = harness::run_cell(*platform, dataset,
+                                             spec.algorithm, params, config);
+  return harness::make_cell_result(spec.key(), spec.platform,
+                                   spec.dataset_name(), spec.algorithm_name(),
+                                   spec.workers, spec.cores, spec.scale,
+                                   spec.seed, measurement);
+}
+
+}  // namespace
+
+sim::ClusterConfig cluster_config_for(const CellSpec& spec,
+                                      std::uint32_t cell_parallelism) {
   sim::ClusterConfig config;
   config.num_workers = spec.workers;
   config.cores_per_worker = spec.cores;
@@ -45,17 +60,8 @@ harness::CellResult run_once(const CellSpec& spec,
   sim::FaultPlan faults;
   for (const auto& fault_spec : spec.faults) faults.add_spec(fault_spec);
   config.faults = faults;
-  auto params = harness::default_params(dataset);
-  params.checkpoint_interval = spec.checkpoint_interval;
-  const auto measurement = harness::run_cell(*platform, dataset,
-                                             spec.algorithm, params, config);
-  return harness::make_cell_result(spec.key(), spec.platform,
-                                   spec.dataset_name(), spec.algorithm_name(),
-                                   spec.workers, spec.cores, spec.scale,
-                                   spec.seed, measurement);
+  return config;
 }
-
-}  // namespace
 
 const harness::CellResult* CampaignResult::find(const std::string& key) const {
   for (const auto& cell : cells) {

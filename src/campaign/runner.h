@@ -25,6 +25,7 @@
 #include "datasets/dataset_cache.h"
 #include "harness/cell_result.h"
 #include "obs/metrics.h"
+#include "sim/cluster.h"
 
 namespace gb::campaign {
 
@@ -69,6 +70,13 @@ struct CampaignResult {
   /// Record by cell key; nullptr when absent.
   const harness::CellResult* find(const std::string& key) const;
 };
+
+/// The ClusterConfig a cell spec implies: workers, cores, partitioner,
+/// faults, memory budget / paging, host parallelism. Shared between the
+/// campaign runner and the multi-tenant serving executor (serve/), which
+/// re-sizes the worker count to the scheduler's grant before running.
+sim::ClusterConfig cluster_config_for(const CellSpec& spec,
+                                      std::uint32_t cell_parallelism = 1);
 
 /// Run one cell to completion (including bounded fault retries) and
 /// package the journal-schema record. Does not journal; run_campaign

@@ -2,6 +2,12 @@
 
 namespace gb::datasets {
 
+std::shared_ptr<const Dataset> DatasetCache::load(DatasetId id, double scale,
+                                                  std::uint64_t seed) {
+  return std::make_shared<const Dataset>(
+      load_or_generate(id, scale, seed, cache_dir_));
+}
+
 std::shared_ptr<const Dataset> DatasetCache::get(DatasetId id, double scale,
                                                  std::uint64_t seed) {
   // Normalize the key the way load_or_generate does, so scale=0 and the
@@ -10,38 +16,40 @@ std::shared_ptr<const Dataset> DatasetCache::get(DatasetId id, double scale,
   const Key key{id, scale, seed};
 
   std::unique_lock lock(mutex_);
-  for (;;) {
-    auto [it, inserted] = slots_.try_emplace(key);
-    Slot& slot = it->second;
-    if (slot.dataset != nullptr) {
-      ++hits_;
-      return slot.dataset;
-    }
-    if (!inserted && slot.loading) {
-      // Another thread is loading this key; wait for it to publish or
-      // fail (failure erases the slot, and we retry as the new loader).
-      ready_cv_.wait(lock);
-      continue;
-    }
-    slot.loading = true;
-    lock.unlock();
-    std::shared_ptr<const Dataset> loaded;
-    try {
-      loaded = std::make_shared<const Dataset>(
-          load_or_generate(id, scale, seed, cache_dir_));
-    } catch (...) {
-      lock.lock();
-      slots_.erase(key);
-      ready_cv_.notify_all();
-      throw;
-    }
+  auto it = slots_.find(key);
+  if (it != slots_.end()) {
+    // Join the existing attempt (or the published dataset). Holding the
+    // state by shared_ptr means a failing loader can erase the slot for
+    // future retries without yanking the outcome from under us.
+    const std::shared_ptr<LoadState> state = it->second;
+    ++hits_;
+    ready_cv_.wait(lock, [&] { return state->done; });
+    if (state->error) std::rethrow_exception(state->error);
+    return state->dataset;
+  }
+
+  // First requester for this key: this thread is the attempt's loader.
+  const auto state = std::make_shared<LoadState>();
+  slots_[key] = state;
+  lock.unlock();
+  try {
+    auto loaded = load(id, scale, seed);
     lock.lock();
-    Slot& publish = slots_[key];
-    publish.dataset = std::move(loaded);
-    publish.loading = false;
+    state->dataset = std::move(loaded);
+    state->done = true;
     ++loads_;
     ready_cv_.notify_all();
-    return publish.dataset;
+    return state->dataset;
+  } catch (...) {
+    lock.lock();
+    state->error = std::current_exception();
+    state->done = true;
+    // Clear the slot so a later call retries with a fresh attempt; the
+    // waiters that already joined still hold this state and will rethrow
+    // this attempt's exception.
+    slots_.erase(key);
+    ready_cv_.notify_all();
+    throw;
   }
 }
 

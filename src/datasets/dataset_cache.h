@@ -6,13 +6,14 @@
 // Friendster-class graphs that is seconds of deserialization and gigabytes
 // of duplicate memory per cell. DatasetCache memoizes per (id, scale,
 // seed): the first requester loads (through the disk cache), every other
-// requester — including concurrent ones on other campaign threads — shares
-// the same immutable Dataset. Engines never mutate their input graph, so
-// sharing is safe by construction.
+// requester — including concurrent ones on other campaign or serving
+// threads — shares the same immutable Dataset. Engines never mutate their
+// input graph, so sharing is safe by construction.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,33 +34,51 @@ class DatasetCache {
   DatasetCache(const DatasetCache&) = delete;
   DatasetCache& operator=(const DatasetCache&) = delete;
 
+  virtual ~DatasetCache() = default;
+
   /// Shared handle to the requested dataset; loads it on first use.
-  /// Thread-safe: concurrent requests for the same key block until the
-  /// single loader finishes (a failed load rethrows on every waiter and
-  /// clears the slot so a later call may retry). scale <= 0 selects the
-  /// catalog default, exactly like load_or_generate.
+  /// Thread-safe: concurrent requests for the same key coalesce onto one
+  /// in-flight load — exactly one attempt runs, and every requester that
+  /// joined it observes that attempt's outcome: the same Dataset pointer
+  /// on success, the same exception rethrown on failure. A failed attempt
+  /// clears the slot, so a *later* call starts a fresh attempt (bounded
+  /// retry stays with the caller). scale <= 0 selects the catalog
+  /// default, exactly like load_or_generate.
   std::shared_ptr<const Dataset> get(DatasetId id, double scale = 0.0,
                                      std::uint64_t seed = 42);
 
   /// Distinct loads actually performed (== distinct keys requested when
-  /// nothing failed).
+  /// nothing failed; failed attempts are not counted).
   std::uint64_t loads() const;
 
-  /// Requests served from memory without loading.
+  /// Requests served without starting a load: memory hits plus requests
+  /// that joined an in-flight attempt.
   std::uint64_t hits() const;
+
+ protected:
+  /// The actual load, run outside the cache lock by exactly one thread
+  /// per attempt. Tests override this to count, delay, or fail attempts;
+  /// the default forwards to load_or_generate.
+  virtual std::shared_ptr<const Dataset> load(DatasetId id, double scale,
+                                              std::uint64_t seed);
 
  private:
   using Key = std::tuple<DatasetId, double, std::uint64_t>;
 
-  struct Slot {
-    std::shared_ptr<const Dataset> dataset;  // set once ready
-    bool loading = false;
+  /// One load attempt, shared between its loader and every waiter that
+  /// joined before it resolved. Waiters keep the shared_ptr across the
+  /// slot's erasure on failure, so all of them see this attempt's
+  /// exception rather than racing to become new loaders.
+  struct LoadState {
+    std::shared_ptr<const Dataset> dataset;  // set on success
+    std::exception_ptr error;                // set on failure
+    bool done = false;
   };
 
   std::string cache_dir_;
   mutable std::mutex mutex_;
   std::condition_variable ready_cv_;
-  std::map<Key, Slot> slots_;
+  std::map<Key, std::shared_ptr<LoadState>> slots_;
   std::uint64_t loads_ = 0;
   std::uint64_t hits_ = 0;
 };

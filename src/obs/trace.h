@@ -26,6 +26,10 @@ struct TraceSpan {
   SimTime end = 0.0;
   bool computation = false;   // the paper's Tc / To split
   std::uint32_t workers = 0;  // computing nodes participating
+  /// Serving-layer job this span belongs to (the job key); empty for a
+  /// single-job run. Stamped by the recorder's job tag so every engine
+  /// phase of a multi-tenant run is attributable to its job.
+  std::string job;
 };
 
 /// A point event on the timeline (e.g. an injected fault firing).
@@ -34,10 +38,17 @@ struct TraceInstant {
   std::string category;  // "fault", ...
   SimTime time = 0.0;
   std::uint32_t worker = 0;  // affected computing node
+  std::string job;  // owning serving-layer job; empty for single-job runs
 };
 
 class TraceRecorder {
  public:
+  /// Tag every subsequently recorded span/instant with the given job key
+  /// (multi-tenant runs give each job's cluster its own recorder, so one
+  /// tag per recorder is the common case). Empty disables tagging.
+  void set_job_tag(std::string tag) { job_tag_ = std::move(tag); }
+  const std::string& job_tag() const { return job_tag_; }
+
   void add_span(std::string name, std::string category, SimTime begin,
                 SimTime end, bool computation, std::uint32_t workers) {
     TraceSpan span;
@@ -47,6 +58,7 @@ class TraceRecorder {
     span.end = end;
     span.computation = computation;
     span.workers = workers;
+    span.job = job_tag_;
     spans_.push_back(std::move(span));
   }
 
@@ -57,6 +69,7 @@ class TraceRecorder {
     instant.category = std::move(category);
     instant.time = time;
     instant.worker = worker;
+    instant.job = job_tag_;
     instants_.push_back(std::move(instant));
   }
 
@@ -73,6 +86,7 @@ class TraceRecorder {
  private:
   std::vector<TraceSpan> spans_;      // in recording (= simulated) order
   std::vector<TraceInstant> instants_;
+  std::string job_tag_;
 };
 
 }  // namespace gb::obs

@@ -128,6 +128,12 @@ std::string trace_to_json(const sim::Cluster& cluster, const TraceMeta& meta,
     json.value(span.computation);
     json.key("workers");
     json.value(std::uint64_t{span.workers});
+    // Only multi-tenant runs tag spans; omitting the key otherwise keeps
+    // single-job trace files byte-identical to earlier versions.
+    if (!span.job.empty()) {
+      json.key("job");
+      json.value(span.job);
+    }
     json.end_object();
     json.end_object();
   }
@@ -144,6 +150,13 @@ std::string trace_to_json(const sim::Cluster& cluster, const TraceMeta& meta,
     json.value(instant.time * kMicros);
     json.key("s");
     json.value("g");
+    if (!instant.job.empty()) {
+      json.key("args");
+      json.begin_object();
+      json.key("job");
+      json.value(instant.job);
+      json.end_object();
+    }
     json.end_object();
   }
 

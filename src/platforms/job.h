@@ -1,0 +1,56 @@
+// Job handles: platform execution without exclusive cluster ownership.
+//
+// Engines historically owned their Cluster outright — one run, one
+// cluster, one report. Under multi-tenant serving (serve/serving.h) the
+// physical cluster is a slot ledger owned by a sim::JobScheduler, and
+// each admitted job executes against its own Cluster view sized to the
+// slots it was granted, with the job key stamped on every span/instant
+// the engines record (obs::TraceRecorder job tags). JobHandle is that
+// view plus the job's identity: the engine-facing side of a JobGrant.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "datasets/catalog.h"
+#include "sim/cluster.h"
+
+namespace gb::platforms {
+
+struct JobHandle {
+  std::string key;    // serving job key, e.g. "j03:Giraph/KGS/BFS/..."
+  std::string queue;  // capacity queue the job's slots are billed to
+  std::uint32_t requested_slots = 0;  // what the job asked for
+  std::uint32_t granted_slots = 0;    // what the scheduler allocated
+  /// The job's private execution context, sized to granted_slots. Its
+  /// clock starts at 0 like any single-job run: per-job simulated times
+  /// are relative to the job's own start, which is what makes a job's
+  /// result bit-identical whether it ran alone or under contention.
+  std::unique_ptr<sim::Cluster> cluster;
+};
+
+/// Build the execution context for one admitted job. Applies the same
+/// conventions as harness::run_cell's config overload: work_scale from
+/// the dataset, one node for non-distributed platforms — plus the job
+/// tag that threads the key into every recorded span.
+inline JobHandle make_job_handle(std::string key, std::string queue,
+                                 std::uint32_t requested_slots,
+                                 std::uint32_t granted_slots,
+                                 sim::ClusterConfig config,
+                                 const datasets::Dataset& dataset,
+                                 bool distributed) {
+  JobHandle handle;
+  handle.key = std::move(key);
+  handle.queue = std::move(queue);
+  handle.requested_slots = requested_slots;
+  handle.granted_slots = granted_slots;
+  config.num_workers = distributed ? std::max(granted_slots, 1u) : 1u;
+  config.work_scale = dataset.extrapolation();
+  config.job_tag = handle.key;
+  handle.cluster = std::make_unique<sim::Cluster>(config);
+  return handle;
+}
+
+}  // namespace gb::platforms

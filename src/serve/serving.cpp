@@ -1,0 +1,508 @@
+#include "serve/serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "algorithms/platform_suite.h"
+#include "campaign/journal.h"
+#include "campaign/runner.h"
+#include "core/error.h"
+#include "core/thread_pool.h"
+#include "harness/experiment.h"
+#include "harness/json.h"
+#include "obs/rollup.h"
+#include "platforms/job.h"
+#include "sim/event_queue.h"
+
+namespace gb::serve {
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (q <= 0.0) return values.front();
+  if (q >= 1.0) return values.back();
+  // Nearest-rank: the smallest value with at least q·n of the sample at
+  // or below it.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[std::max<std::size_t>(rank, 1) - 1];
+}
+
+double jain_fairness(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : values) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+LatencyStats latency_stats(const std::vector<double>& values) {
+  LatencyStats stats;
+  if (values.empty()) return stats;
+  stats.p50 = percentile(values, 0.50);
+  stats.p95 = percentile(values, 0.95);
+  stats.p99 = percentile(values, 0.99);
+  double sum = 0.0;
+  for (const double x : values) {
+    sum += x;
+    stats.max = std::max(stats.max, x);
+  }
+  stats.mean = sum / static_cast<double>(values.size());
+  return stats;
+}
+
+namespace {
+
+/// Queue label the job's slots are billed to in the report and metrics.
+/// Mirrors CapacityScheduler's mapping: a configured name sticks, an
+/// unknown or empty one falls back to the first configured queue (or
+/// "default" when no queues are configured).
+std::string resolve_queue(const std::string& name,
+                          const std::vector<sim::CapacityQueueSpec>& queues) {
+  if (queues.empty()) return name.empty() ? "default" : name;
+  for (const auto& queue : queues) {
+    if (queue.name == name) return name;
+  }
+  return queues.front().name;
+}
+
+/// Worker count a grant of `slots` translates into — what the journaled
+/// record must carry for a resume hit. Non-distributed platforms always
+/// run one node, whatever they were granted.
+std::uint32_t expected_workers(const campaign::CellSpec& spec,
+                               std::uint32_t slots) {
+  const auto platform = algorithms::make_platform(spec.platform);
+  const bool distributed = platform == nullptr || platform->distributed();
+  return distributed ? std::max(slots, 1u) : 1u;
+}
+
+struct Executed {
+  harness::CellResult cell;
+  std::vector<obs::TraceSpan> spans;
+};
+
+harness::CellResult error_cell(const std::string& key,
+                               const campaign::CellSpec& spec,
+                               std::uint32_t workers,
+                               const std::string& message) {
+  harness::Measurement m;
+  m.outcome = harness::Outcome::kError;
+  m.message = message;
+  return harness::make_cell_result(key, spec.platform, spec.dataset_name(),
+                                   spec.algorithm_name(), workers, spec.cores,
+                                   spec.scale, spec.seed, m);
+}
+
+/// Run one admitted job on its private cluster, sized to the grant, with
+/// the serve key stamped on every recorded span. Bounded fault retry
+/// mirrors campaign::run_cell_spec; a fresh cluster per attempt, exactly
+/// like an isolated run.
+Executed execute_job(const ServeJob& job, const std::string& key,
+                     std::uint32_t granted, const ServeOptions& options,
+                     datasets::DatasetCache& cache) {
+  const campaign::CellSpec& spec = job.cell;
+  Executed out;
+  try {
+    const auto platform = algorithms::make_platform(spec.platform);
+    if (platform == nullptr) {
+      out.cell = error_cell(key, spec, expected_workers(spec, granted),
+                            "unknown platform '" + spec.platform + "'");
+      return out;
+    }
+    const auto dataset = cache.get(spec.dataset, spec.scale, spec.seed);
+    const sim::ClusterConfig config = campaign::cluster_config_for(spec, 1);
+    auto params = harness::default_params(*dataset);
+    params.checkpoint_interval = spec.checkpoint_interval;
+    const std::uint32_t max_attempts = std::max(options.max_attempts, 1u);
+    harness::Measurement m;
+    std::uint32_t workers_used = 1;
+    std::uint32_t attempt = 0;
+    do {
+      ++attempt;
+      const auto handle = platforms::make_job_handle(
+          key, job.queue, spec.workers, granted, config, *dataset,
+          platform->distributed());
+      workers_used = handle.cluster->num_workers();
+      m = harness::run_cell(*platform, *dataset, spec.algorithm, params,
+                            *handle.cluster);
+      if (options.collect_spans) out.spans = handle.cluster->trace().spans();
+      // Retry only failures caused by injected faults (campaign rule): a
+      // fault-free crash or timeout is the job's result.
+    } while (!m.ok() && !spec.faults.empty() && attempt < max_attempts);
+    out.cell = harness::make_cell_result(key, spec.platform,
+                                         spec.dataset_name(),
+                                         spec.algorithm_name(), workers_used,
+                                         spec.cores, spec.scale, spec.seed, m);
+    out.cell.attempts = attempt;
+  } catch (const std::exception& e) {
+    out.cell = error_cell(key, spec, expected_workers(spec, granted), e.what());
+  }
+  return out;
+}
+
+}  // namespace
+
+ServeReport run_serve(const std::vector<ServeJob>& jobs,
+                      const ServeOptions& options,
+                      datasets::DatasetCache& cache) {
+  auto scheduler = sim::make_scheduler(options.scheduler, options.total_slots,
+                                       options.queues);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    if (jobs[i].arrival < jobs[i - 1].arrival) {
+      throw Error("serve: trace must be sorted by arrival time");
+    }
+  }
+
+  std::map<std::string, harness::CellResult> done;
+  std::unique_ptr<campaign::Journal> journal;
+  if (!options.journal_path.empty()) {
+    done = campaign::Journal::read_latest(options.journal_path);
+    journal = std::make_unique<campaign::Journal>(options.journal_path);
+  }
+
+  // Host pool for admitted batches. Scheduling stays on this thread; only
+  // the (individually bit-identical) engine runs fan out.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = nullptr;
+  if (options.parallelism == 0) {
+    pool = &ThreadPool::global();
+  } else if (options.parallelism > 1) {
+    owned_pool = std::make_unique<ThreadPool>(options.parallelism);
+    pool = owned_pool.get();
+  }
+
+  ServeReport report;
+  report.scheduler = sim::scheduler_policy_name(options.scheduler);
+  report.total_slots = options.total_slots;
+  report.jobs.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    auto& outcome = report.jobs[i];
+    outcome.key = "j" + std::to_string(i) + ":" + jobs[i].cell.key();
+    outcome.queue = resolve_queue(jobs[i].queue, options.queues);
+    outcome.requested_slots = std::max(jobs[i].cell.workers, 1u);
+    outcome.arrival = jobs[i].arrival;
+  }
+
+  obs::MetricsRegistry reg;
+  std::uint32_t free_slots = options.total_slots;
+  std::uint32_t in_use = 0;
+  std::uint32_t peak_in_use = 0;
+  double committed_gb = 0.0;
+  double peak_committed_gb = 0.0;
+  std::map<std::string, std::uint32_t> queue_used;
+  std::map<std::string, std::uint32_t> queue_peak;
+  // Slot-seconds integral for the utilization figure, advanced at every
+  // state change. Serial event loop → deterministic accumulation order.
+  double slot_seconds = 0.0;
+  SimTime last_change = 0.0;
+  const auto advance_to = [&](SimTime now) {
+    slot_seconds += static_cast<double>(in_use) * (now - last_change);
+    last_change = now;
+  };
+
+  sim::EventQueue queue;
+
+  // Admission pump: runs after every arrival and completion. Everything
+  // here is serial and a pure function of the submit/finish history, so
+  // the schedule is bit-identical at every host parallelism.
+  std::function<void()> pump = [&] {
+    const auto grants = scheduler->admit(free_slots);
+    if (grants.empty()) return;
+    const SimTime now = queue.now();
+    advance_to(now);
+
+    struct Admitted {
+      std::size_t job = 0;
+      std::uint32_t slots = 0;
+      std::uint32_t workers = 0;
+    };
+    std::vector<Admitted> batch;
+    batch.reserve(grants.size());
+    for (const auto& grant : grants) {
+      const auto i = static_cast<std::size_t>(grant.id);
+      auto& outcome = report.jobs[i];
+      free_slots -= grant.slots;
+      in_use += grant.slots;
+      outcome.start = now;
+      outcome.granted_slots = grant.slots;
+      if (grant.slots <
+          std::min(outcome.requested_slots, options.total_slots)) {
+        reg.incr("serve.grants_shrunk");
+      }
+      const std::uint32_t workers = expected_workers(jobs[i].cell, grant.slots);
+      auto& used = queue_used[outcome.queue];
+      used += grant.slots;
+      queue_peak[outcome.queue] = std::max(queue_peak[outcome.queue], used);
+      committed_gb += jobs[i].cell.mem_budget_gb * workers;
+      batch.push_back({i, grant.slots, workers});
+    }
+    peak_in_use = std::max(peak_in_use, in_use);
+    peak_committed_gb = std::max(peak_committed_gb, committed_gb);
+
+    // Journal hits skip execution — but only when the journaled record
+    // was produced at the worker count this grant implies, so a resume
+    // under a different scheduler or slot pool re-runs instead of lying.
+    std::vector<std::size_t> to_run;
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      const auto it = done.find(report.jobs[batch[b].job].key);
+      if (it != done.end() && it->second.workers == batch[b].workers) {
+        report.jobs[batch[b].job].cell = it->second;
+        ++report.resumed;
+      } else {
+        to_run.push_back(b);
+      }
+    }
+
+    // Execute the misses host-parallel, one chunk per job. Each engine
+    // run is bit-identical at any thread count, and results land at
+    // their job index, so this is a pure wall-clock knob.
+    std::vector<Executed> results(to_run.size());
+    const auto run_range = [&](std::size_t, std::size_t begin,
+                               std::size_t end) {
+      for (std::size_t t = begin; t < end; ++t) {
+        const Admitted& slot = batch[to_run[t]];
+        results[t] = execute_job(jobs[slot.job], report.jobs[slot.job].key,
+                                 slot.slots, options, cache);
+      }
+    };
+    if (pool != nullptr && to_run.size() > 1) {
+      pool->parallel_chunks(to_run.size(), to_run.size(), run_range);
+    } else {
+      run_range(0, 0, to_run.size());
+    }
+    for (std::size_t t = 0; t < to_run.size(); ++t) {
+      auto& outcome = report.jobs[batch[to_run[t]].job];
+      outcome.cell = std::move(results[t].cell);
+      outcome.spans = std::move(results[t].spans);
+      if (journal) journal->append(outcome.cell);
+      ++report.executed;
+    }
+
+    // Completion events: service time is the job's own simulated
+    // makespan, composed onto the shared clock. Failed runs carry no
+    // makespan and release their slots immediately.
+    for (const Admitted& slot : batch) {
+      auto& outcome = report.jobs[slot.job];
+      const SimTime service = outcome.cell.makespan_sec;
+      const double job_gb = jobs[slot.job].cell.mem_budget_gb *
+                            static_cast<double>(slot.workers);
+      queue.schedule(now + service, [&, i = slot.job, slots = slot.slots,
+                                     job_gb] {
+        advance_to(queue.now());
+        free_slots += slots;
+        in_use -= slots;
+        committed_gb -= job_gb;
+        queue_used[report.jobs[i].queue] -= slots;
+        report.jobs[i].finish = queue.now();
+        scheduler->finish(static_cast<sim::JobId>(i));
+        pump();
+      });
+    }
+  };
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    queue.schedule(jobs[i].arrival, [&, i] {
+      sim::JobRequest request;
+      request.id = static_cast<sim::JobId>(i);
+      request.slots = report.jobs[i].requested_slots;
+      request.queue = jobs[i].queue;
+      scheduler->submit(request);
+      reg.incr("serve.jobs_submitted");
+      pump();
+    });
+  }
+
+  const SimTime end_time = queue.run();
+  if (scheduler->pending() != 0 || scheduler->running() != 0) {
+    throw Error("serve: trace did not drain — scheduler deadlock");
+  }
+  advance_to(end_time);
+  report.makespan = end_time;
+
+  std::vector<double> waits;
+  std::vector<double> latencies;
+  std::vector<double> slowdowns;
+  waits.reserve(report.jobs.size());
+  latencies.reserve(report.jobs.size());
+  double wait_total = 0.0;
+  obs::MetricsRollup rollup;
+  for (const auto& outcome : report.jobs) {
+    waits.push_back(outcome.queue_wait());
+    latencies.push_back(outcome.latency());
+    wait_total += outcome.queue_wait();
+    if (outcome.cell.ok() && outcome.service() > 0.0) {
+      slowdowns.push_back(outcome.latency() / outcome.service());
+    }
+    reg.incr(outcome.cell.ok() ? "serve.jobs_ok" : "serve.jobs_failed");
+    if (outcome.cell.attempts > 1) {
+      reg.incr("serve.retries", outcome.cell.attempts - 1);
+    }
+    rollup.add(outcome.cell.metrics);
+  }
+  report.queue_wait = latency_stats(waits);
+  report.latency = latency_stats(latencies);
+  report.fairness_jain = jain_fairness(slowdowns);
+  report.utilization =
+      (end_time > 0.0 && options.total_slots > 0)
+          ? slot_seconds / (static_cast<double>(options.total_slots) * end_time)
+          : 0.0;
+  reg.set_gauge("serve.slots_peak", peak_in_use);
+  reg.set_gauge("serve.mem_committed_peak_gb", peak_committed_gb);
+  reg.add("serve.queue_wait_sec_total", wait_total);
+  for (const auto& [name, peak] : queue_peak) {
+    reg.set_gauge("serve.queue." + name + ".slots_peak", peak);
+  }
+  report.serve_metrics = reg.snapshot();
+  report.rollup = rollup.total();
+  return report;
+}
+
+namespace {
+
+void write_latency_stats(harness::JsonWriter& json, const LatencyStats& s) {
+  json.begin_object();
+  json.key("p50");
+  json.value(s.p50);
+  json.key("p95");
+  json.value(s.p95);
+  json.key("p99");
+  json.value(s.p99);
+  json.key("mean");
+  json.value(s.mean);
+  json.key("max");
+  json.value(s.max);
+  json.end_object();
+}
+
+void write_snapshot(harness::JsonWriter& json,
+                    const obs::MetricsSnapshot& snapshot) {
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, value] : snapshot.counters) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+std::string serve_report_json(const ServeReport& report) {
+  harness::JsonWriter json;
+  json.begin_object();
+  json.key("scheduler");
+  json.value(report.scheduler);
+  json.key("total_slots");
+  json.value(std::uint64_t{report.total_slots});
+  json.key("jobs");
+  json.begin_array();
+  for (const auto& outcome : report.jobs) {
+    json.begin_object();
+    json.key("key");
+    json.value(outcome.key);
+    json.key("queue");
+    json.value(outcome.queue);
+    json.key("requested_slots");
+    json.value(std::uint64_t{outcome.requested_slots});
+    json.key("granted_slots");
+    json.value(std::uint64_t{outcome.granted_slots});
+    json.key("arrival_sec");
+    json.value(outcome.arrival);
+    json.key("start_sec");
+    json.value(outcome.start);
+    json.key("finish_sec");
+    json.value(outcome.finish);
+    json.key("queue_wait_sec");
+    json.value(outcome.queue_wait());
+    json.key("latency_sec");
+    json.value(outcome.latency());
+    json.key("cell");
+    harness::write_cell_result(json, outcome.cell);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("makespan_sec");
+  json.value(report.makespan);
+  json.key("queue_wait");
+  write_latency_stats(json, report.queue_wait);
+  json.key("latency");
+  write_latency_stats(json, report.latency);
+  json.key("fairness_jain");
+  json.value(report.fairness_jain);
+  json.key("utilization");
+  json.value(report.utilization);
+  json.key("serve");
+  write_snapshot(json, report.serve_metrics);
+  json.key("rollup");
+  write_snapshot(json, report.rollup);
+  json.end_object();
+  return json.str();
+}
+
+std::string serve_report_text(const ServeReport& report, bool per_job) {
+  std::string out;
+  char line[256];
+  const std::uint64_t ok = report.serve_metrics.counter("serve.jobs_ok");
+  const std::uint64_t failed =
+      report.serve_metrics.counter("serve.jobs_failed");
+  std::snprintf(line, sizeof(line),
+                "serve: scheduler=%s slots=%u jobs=%zu ok=%llu failed=%llu\n",
+                report.scheduler.c_str(), report.total_slots,
+                report.jobs.size(), static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(failed));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "makespan %.1f s   utilization %.1f%%   fairness(Jain) %.3f\n",
+                report.makespan, report.utilization * 100.0,
+                report.fairness_jain);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "queue wait  p50 %.1f  p95 %.1f  p99 %.1f  max %.1f s\n",
+                report.queue_wait.p50, report.queue_wait.p95,
+                report.queue_wait.p99, report.queue_wait.max);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "latency     p50 %.1f  p95 %.1f  p99 %.1f  max %.1f s\n",
+                report.latency.p50, report.latency.p95, report.latency.p99,
+                report.latency.max);
+  out += line;
+  for (const auto& [name, value] : report.serve_metrics.gauges) {
+    if (name.rfind("serve.queue.", 0) == 0) {
+      std::snprintf(line, sizeof(line), "%s %.0f\n", name.c_str(), value);
+      out += line;
+    }
+  }
+  if (per_job) {
+    out += "--- per job ---\n";
+    for (const auto& outcome : report.jobs) {
+      std::snprintf(line, sizeof(line),
+                    "%-48s q=%-8s slots=%2u/%2u wait %8.1f  latency %9.1f  "
+                    "%s\n",
+                    outcome.key.c_str(), outcome.queue.c_str(),
+                    outcome.granted_slots, outcome.requested_slots,
+                    outcome.queue_wait(), outcome.latency(),
+                    outcome.cell.outcome.c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace gb::serve

@@ -1,0 +1,142 @@
+// Multi-tenant serving: concurrent jobs on one shared simulated cluster.
+//
+// run_serve() drives an open-loop job trace through a sim::JobScheduler
+// over a fixed pool of worker slots (DESIGN.md §14). A serial
+// discrete-event loop owns every scheduling decision — arrivals submit,
+// completions release, and each event pumps the scheduler for new
+// admissions — while the admitted jobs' engine runs execute host-parallel
+// (one chunk per job). Each admitted job gets its own sim::Cluster sized
+// to its granted slots with a clock starting at zero, so its result is
+// bit-identical to the same cell run alone; the serving layer composes
+// per-job service times (the cell's simulated makespan) onto the shared
+// timeline. Consequences, all tested:
+//
+//   * the whole report is byte-identical at every host `parallelism`;
+//   * per-job outputs (output_hash) match isolated single-job runs under
+//     every scheduler, partitioner and paging setting;
+//   * injected faults delay and retry only the job they hit.
+//
+// Failed runs (crash / timeout / error) release their slots immediately:
+// the harness schema records no partial makespan for them, and the
+// serving metrics count them separately.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "datasets/dataset_cache.h"
+#include "harness/cell_result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/trace.h"
+#include "sim/scheduler.h"
+
+namespace gb::serve {
+
+/// Nearest-rank percentile (q in (0, 1]) of an unsorted sample; 0 when
+/// empty. Exposed for tests and the bench gates.
+double percentile(std::vector<double> values, double q);
+
+/// Jain's fairness index (Σx)² / (n·Σx²) over a non-negative sample:
+/// 1 when all equal, → 1/n under maximal skew. 1.0 for empty input.
+double jain_fairness(const std::vector<double>& values);
+
+struct LatencyStats {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// Stats over a sample of seconds (queue waits, latencies).
+LatencyStats latency_stats(const std::vector<double>& values);
+
+/// One job's fate on the shared cluster.
+struct JobOutcome {
+  std::string key;    // "j<i>:" + cell key — unique per trace position
+  std::string queue;  // capacity queue the slots were billed to
+  std::uint32_t requested_slots = 0;
+  std::uint32_t granted_slots = 0;
+  SimTime arrival = 0.0;
+  SimTime start = 0.0;   // admission (= execution start; no ramp-up)
+  SimTime finish = 0.0;  // completion on the shared clock
+  /// The job's own run record, identical to an isolated run of the same
+  /// cell at the granted worker count (key rewritten to the serve key).
+  harness::CellResult cell;
+  /// Engine phase spans, job-tagged; captured only when
+  /// ServeOptions::collect_spans is set (for the merged timeline export).
+  std::vector<obs::TraceSpan> spans;
+
+  SimTime queue_wait() const { return start - arrival; }
+  SimTime latency() const { return finish - arrival; }
+  SimTime service() const { return finish - start; }
+};
+
+struct ServeOptions {
+  sim::SchedulerPolicy scheduler = sim::SchedulerPolicy::kFifo;
+  /// Capacity-queue configuration (capacity policy only; empty = one
+  /// "default" queue owning the whole cluster).
+  std::vector<sim::CapacityQueueSpec> queues;
+  /// Worker slots shared by every concurrent job.
+  std::uint32_t total_slots = 20;
+  /// Host threads executing admitted batches: 0 = hardware concurrency,
+  /// 1 = serial. Wall-clock only — the report is byte-identical at every
+  /// setting.
+  std::uint32_t parallelism = 1;
+  /// JSONL journal for crash-resume (campaign::Journal schema keyed by
+  /// serve job key); empty disables journaling. A journaled record is
+  /// reused only when its worker count matches the grant this run makes.
+  std::string journal_path;
+  /// Bounded retry for jobs whose cell carries an injected-fault plan,
+  /// exactly like campaign::RunnerOptions::max_attempts.
+  std::uint32_t max_attempts = 1;
+  /// Capture per-job engine spans into JobOutcome::spans (costs memory;
+  /// gb_serve enables it only for --trace-out).
+  bool collect_spans = false;
+};
+
+struct ServeReport {
+  std::string scheduler;
+  std::uint32_t total_slots = 0;
+  /// Outcomes in trace (arrival) order.
+  std::vector<JobOutcome> jobs;
+  /// Final shared-clock time: last completion (0 for an empty trace).
+  SimTime makespan = 0.0;
+  LatencyStats queue_wait;
+  LatencyStats latency;
+  /// Jain index over per-job slowdowns latency/service (ok jobs only).
+  double fairness_jain = 1.0;
+  /// Slot-seconds in use / (total_slots × makespan).
+  double utilization = 0.0;
+  /// serve.* counters and gauges for this run.
+  obs::MetricsSnapshot serve_metrics;
+  /// Rollup of per-job cell metrics, merged in arrival order.
+  obs::MetricsSnapshot rollup;
+
+  // Invocation statistics (excluded from the JSON report: a resumed run
+  // differs from an uninterrupted one here by design).
+  std::uint64_t executed = 0;  // jobs actually run this invocation
+  std::uint64_t resumed = 0;   // jobs served from the journal
+};
+
+/// Run the trace to completion under the configured scheduler. Jobs must
+/// be sorted by arrival time (expand() output is). Throws gb::Error on a
+/// bad configuration; per-job failures land in their outcome record.
+ServeReport run_serve(const std::vector<ServeJob>& jobs,
+                      const ServeOptions& options,
+                      datasets::DatasetCache& cache);
+
+/// The serving report as one compact JSON document. Contains only
+/// run-independent data: byte-identical across reruns, parallelism
+/// settings and journal resumes.
+std::string serve_report_json(const ServeReport& report);
+
+/// Human-readable summary: per-scheduler table plus optional per-job
+/// lines (gb_serve --per-job).
+std::string serve_report_text(const ServeReport& report, bool per_job = false);
+
+}  // namespace gb::serve

@@ -1,0 +1,227 @@
+#include "serve/trace.h"
+
+#include <cmath>
+#include <utility>
+
+#include "algorithms/platform_suite.h"
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/strict_parse.h"
+#include "datasets/catalog.h"
+#include "platforms/platform.h"
+
+namespace gb::serve {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t end = text.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      return parts;
+    }
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+MixEntry parse_mix_entry(const std::string& text, double scale) {
+  const auto fields = split(text, ':');
+  if (fields.size() < 3) {
+    throw Error("trace mix entry '" + text +
+                "': want Platform:Dataset:Algo[:wN][:xW][:qNAME][:mG]");
+  }
+  MixEntry entry;
+  // Validate the platform name eagerly — a typo should fail at parse
+  // time, not as a per-job error record deep into the trace.
+  if (algorithms::make_platform(fields[0]) == nullptr) {
+    throw Error("trace mix entry '" + text + "': unknown platform '" +
+                fields[0] + "'");
+  }
+  entry.cell.platform = fields[0];
+  const datasets::DatasetInfo* dataset = datasets::find_info(fields[1]);
+  if (dataset == nullptr) {
+    throw Error("trace mix entry '" + text + "': unknown dataset '" +
+                fields[1] + "'");
+  }
+  entry.cell.dataset = dataset->id;
+  const auto algorithm = platforms::parse_algorithm(fields[2]);
+  if (!algorithm) {
+    throw Error("trace mix entry '" + text + "': unknown algorithm '" +
+                fields[2] + "'");
+  }
+  entry.cell.algorithm = *algorithm;
+  entry.cell.scale = scale;
+  for (std::size_t i = 3; i < fields.size(); ++i) {
+    const std::string& field = fields[i];
+    if (field.empty()) {
+      throw Error("trace mix entry '" + text + "': empty field");
+    }
+    const std::string value = field.substr(1);
+    switch (field[0]) {
+      case 'w': {
+        const auto workers = strict::parse_u32(value, 1);
+        if (!workers) {
+          throw Error("trace mix entry '" + text + "': bad worker count '" +
+                      field + "'");
+        }
+        entry.cell.workers = *workers;
+        break;
+      }
+      case 'x': {
+        const auto weight = strict::parse_double(value);
+        if (!weight || *weight <= 0.0) {
+          throw Error("trace mix entry '" + text + "': bad weight '" + field +
+                      "'");
+        }
+        entry.weight = *weight;
+        break;
+      }
+      case 'q': {
+        if (value.empty()) {
+          throw Error("trace mix entry '" + text + "': empty queue name");
+        }
+        entry.queue = value;
+        break;
+      }
+      case 'm': {
+        const auto budget = strict::parse_double(value);
+        if (!budget || *budget <= 0.0) {
+          throw Error("trace mix entry '" + text + "': bad memory budget '" +
+                      field + "'");
+        }
+        entry.cell.mem_budget_gb = *budget;
+        break;
+      }
+      default:
+        throw Error("trace mix entry '" + text + "': unknown field '" + field +
+                    "'");
+    }
+  }
+  return entry;
+}
+
+}  // namespace
+
+std::vector<ServeJob> TraceSpec::expand() const {
+  if (mix.empty()) throw Error("trace spec: empty mix");
+  if (!(rate > 0.0)) throw Error("trace spec: rate must be > 0");
+  double weight_sum = 0.0;
+  for (const auto& entry : mix) {
+    if (!(entry.weight > 0.0)) {
+      throw Error("trace spec: mix weight must be > 0");
+    }
+    weight_sum += entry.weight;
+  }
+
+  std::vector<ServeJob> trace;
+  trace.reserve(jobs);
+  Xoshiro256 rng(seed);
+  SimTime clock = 0.0;
+  for (std::uint64_t i = 0; i < jobs; ++i) {
+    // Exponential inter-arrival gap, mean 1/rate: the Poisson process.
+    clock += -std::log(1.0 - rng.next_double()) / rate;
+    double pick = rng.next_double() * weight_sum;
+    const MixEntry* chosen = &mix.back();
+    for (const auto& entry : mix) {
+      pick -= entry.weight;
+      if (pick < 0.0) {
+        chosen = &entry;
+        break;
+      }
+    }
+    ServeJob job;
+    job.cell = chosen->cell;
+    job.arrival = clock;
+    job.queue = chosen->queue;
+    trace.push_back(std::move(job));
+  }
+  return trace;
+}
+
+TraceSpec parse_trace_spec(const std::string& text, double scale) {
+  TraceSpec spec;
+  bool saw_mix = false;
+  for (const std::string& part : split(text, ';')) {
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      throw Error("trace spec: field '" + part + "' is not key=value");
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    if (key == "rate") {
+      const auto rate = strict::parse_double(value);
+      if (!rate || *rate <= 0.0) {
+        throw Error("trace spec: bad rate '" + value + "'");
+      }
+      spec.rate = *rate;
+    } else if (key == "jobs") {
+      const auto jobs = strict::parse_u64(value, 1);
+      if (!jobs) throw Error("trace spec: bad job count '" + value + "'");
+      spec.jobs = *jobs;
+    } else if (key == "seed") {
+      const auto seed = strict::parse_u64(value);
+      if (!seed) throw Error("trace spec: bad seed '" + value + "'");
+      spec.seed = *seed;
+    } else if (key == "mix") {
+      spec.mix.clear();
+      for (const std::string& entry : split(value, ',')) {
+        spec.mix.push_back(parse_mix_entry(entry, scale));
+      }
+      saw_mix = true;
+    } else {
+      throw Error("trace spec: unknown field '" + key + "'");
+    }
+  }
+  if (!saw_mix || spec.mix.empty()) {
+    throw Error("trace spec: missing mix=...");
+  }
+  return spec;
+}
+
+TraceSpec smoke_trace(double scale) {
+  // Skewed on purpose: the heavy 16-slot batch jobs park at the head of a
+  // FIFO line while 2-slot online jobs pile up behind them; fair-share
+  // shrinks the batch grants and keeps the online tail flowing. BFS,
+  // STATS and PAGERANK across Amazon, WikiTalk and KGS.
+  TraceSpec spec;
+  // One arrival per 2 simulated seconds: comparable to the ~10-16 s
+  // service times, so the line actually forms. At this rate FIFO's
+  // head-of-line batch jobs push p99 queue wait an order of magnitude
+  // above fair-share's — the gap bench_serve's --check gates on.
+  spec.rate = 0.5;
+  spec.jobs = 24;
+  spec.seed = 42;
+  const auto entry = [scale](const char* platform, datasets::DatasetId dataset,
+                             platforms::Algorithm algorithm,
+                             std::uint32_t workers, double weight,
+                             const char* queue) {
+    MixEntry e;
+    e.cell.platform = platform;
+    e.cell.dataset = dataset;
+    e.cell.algorithm = algorithm;
+    e.cell.workers = workers;
+    e.cell.scale = scale;
+    e.weight = weight;
+    e.queue = queue;
+    return e;
+  };
+  using datasets::DatasetId;
+  using platforms::Algorithm;
+  spec.mix = {
+      entry("Giraph", DatasetId::kAmazon, Algorithm::kBfs, 2, 4.0, "online"),
+      entry("GraphLab", DatasetId::kWikiTalk, Algorithm::kBfs, 2, 3.0,
+            "online"),
+      entry("Hadoop", DatasetId::kAmazon, Algorithm::kStats, 2, 3.0, "online"),
+      entry("Giraph", DatasetId::kKGS, Algorithm::kPageRank, 16, 1.0, "batch"),
+      entry("GraphLab", DatasetId::kKGS, Algorithm::kPageRank, 16, 1.0,
+            "batch"),
+  };
+  return spec;
+}
+
+}  // namespace gb::serve

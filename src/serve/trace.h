@@ -1,0 +1,71 @@
+// Open-loop serving workloads: seed-derived Poisson arrival traces over a
+// weighted mix of (platform, dataset, algorithm) job templates.
+//
+// A TraceSpec is the declarative form gb_serve accepts on the command
+// line: an arrival rate, a job count, a seed, and a mix of cell templates
+// with relative weights and (optionally) capacity-queue names. expand()
+// materializes it into concrete ServeJobs with exponential inter-arrival
+// gaps drawn from the seed — open-loop, so arrivals never wait for the
+// cluster (the load the paper's shared YARN deployments actually face).
+// The same spec and seed always expand to the identical trace, which is
+// what lets gb_serve promise byte-identical reports across reruns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "core/types.h"
+
+namespace gb::serve {
+
+/// One job of a serving trace: the cell to run, when it arrives on the
+/// simulated clock, and which capacity queue its slots are billed to.
+struct ServeJob {
+  campaign::CellSpec cell;
+  SimTime arrival = 0.0;
+  /// Capacity-scheduler queue; empty means the first configured queue.
+  /// FIFO and fair-share ignore it (it still labels the report).
+  std::string queue;
+};
+
+/// One weighted entry of the workload mix.
+struct MixEntry {
+  campaign::CellSpec cell;
+  double weight = 1.0;
+  std::string queue;
+};
+
+struct TraceSpec {
+  double rate = 0.01;        // mean arrivals per simulated second
+  std::uint64_t jobs = 10;   // trace length
+  std::uint64_t seed = 42;   // drives arrival gaps and mix draws
+  std::vector<MixEntry> mix;
+
+  /// Materialize the trace: job i arrives at the sum of i+1 exponential
+  /// gaps (mean 1/rate) and draws its template from the mix by weight.
+  /// Pure function of the spec — same spec, same trace, every time.
+  std::vector<ServeJob> expand() const;
+};
+
+/// Parse the gb_serve --trace grammar:
+///
+///   rate=R;jobs=N;seed=S;mix=ENTRY,ENTRY,...
+///
+/// where ENTRY is Platform:Dataset:Algo with optional suffix fields in
+/// any order: wN (requested worker slots), xW (mix weight, default 1),
+/// qNAME (capacity queue), mG (per-node memory budget GiB, enables
+/// paging). `scale` applies to every entry's dataset (0 = catalog
+/// default). Throws gb::Error with a field-level message on anything
+/// malformed or unknown.
+TraceSpec parse_trace_spec(const std::string& text, double scale = 0.0);
+
+/// The skewed smoke preset used by bench_serve and CI: many light
+/// "online" jobs (BFS / STATS on the small graphs, 2 slots) punctuated by
+/// heavy "batch" jobs (PAGERANK on KGS, 16 slots) whose full-width
+/// requests block a FIFO line but not a fair-share one. Three algorithms
+/// across three datasets, per the gb_serve acceptance trace.
+TraceSpec smoke_trace(double scale = 0.0);
+
+}  // namespace gb::serve

@@ -49,6 +49,10 @@ struct ClusterConfig {
   /// charge fault/spill time; when 0 (the default) an over-heap structure
   /// crashes with kOutOfMemory exactly as before.
   storage::PageCacheConfig page_cache;
+  /// Serving-layer job this cluster executes (DESIGN.md §14). Every span
+  /// and instant the run records is stamped with it, so a multi-tenant
+  /// timeline stays attributable per job. Empty for single-job runs.
+  std::string job_tag;
 };
 
 class Cluster {
@@ -57,6 +61,7 @@ class Cluster {
       : config_(config), faults_(config.faults) {
     worker_traces_.resize(config.num_workers);
     faults_.bind_observers(&trace_, &metrics_);
+    trace_.set_job_tag(config.job_tag);
   }
 
   const ClusterConfig& config() const { return config_; }

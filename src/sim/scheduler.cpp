@@ -1,0 +1,232 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "core/error.h"
+
+namespace gb::sim {
+
+const char* scheduler_policy_name(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFifo:
+      return "fifo";
+    case SchedulerPolicy::kFair:
+      return "fair";
+    case SchedulerPolicy::kCapacity:
+      return "capacity";
+  }
+  return "?";
+}
+
+std::optional<SchedulerPolicy> parse_scheduler_policy(const std::string& name) {
+  if (name == "fifo") return SchedulerPolicy::kFifo;
+  if (name == "fair") return SchedulerPolicy::kFair;
+  if (name == "capacity") return SchedulerPolicy::kCapacity;
+  return std::nullopt;
+}
+
+namespace {
+
+/// FIFO: strict head-of-line. The oldest pending job is granted its full
+/// request (capped at the cluster size) as soon as that many slots are
+/// free; nothing behind it may jump the queue, so start order always
+/// equals arrival order — YARN's FIFO scheduler without backfill.
+class FifoScheduler final : public JobScheduler {
+ public:
+  explicit FifoScheduler(std::uint32_t total_slots) : total_(total_slots) {}
+
+  const char* name() const override { return "fifo"; }
+
+  void submit(const JobRequest& job) override { pending_.push_back(job); }
+
+  void finish(JobId id) override { running_.erase(id); }
+
+  std::vector<JobGrant> admit(std::uint32_t free_slots) override {
+    std::vector<JobGrant> grants;
+    while (!pending_.empty()) {
+      const std::uint32_t want =
+          std::max(1u, std::min(pending_.front().slots, total_));
+      if (want > free_slots) break;  // head blocks the line
+      grants.push_back({pending_.front().id, want});
+      running_.insert(pending_.front().id);
+      pending_.pop_front();
+      free_slots -= want;
+    }
+    return grants;
+  }
+
+  std::size_t pending() const override { return pending_.size(); }
+  std::size_t running() const override { return running_.size(); }
+
+ private:
+  std::uint32_t total_;
+  std::deque<JobRequest> pending_;
+  std::set<JobId> running_;
+};
+
+/// Fair-share: admissions stay in arrival order, but each grant is capped
+/// at the instantaneous fair share total / demand, where demand counts
+/// every running and pending job (clamped to the cluster size so the
+/// share never rounds below one slot). Under sustained load — pending
+/// alone at or above the cluster size — the share is exactly one slot, so
+/// every concurrently admitted job holds the same allocation and the
+/// max/min allocated-slot ratio is 1. Shrunken grants mean a wide request
+/// never blocks the line: small jobs behind it keep flowing, which is
+/// what buys the p99 win over FIFO on skewed traces.
+class FairShareScheduler final : public JobScheduler {
+ public:
+  explicit FairShareScheduler(std::uint32_t total_slots)
+      : total_(total_slots) {}
+
+  const char* name() const override { return "fair"; }
+
+  void submit(const JobRequest& job) override { pending_.push_back(job); }
+
+  void finish(JobId id) override { running_.erase(id); }
+
+  std::vector<JobGrant> admit(std::uint32_t free_slots) override {
+    std::vector<JobGrant> grants;
+    while (!pending_.empty()) {
+      const std::uint64_t demand = running_.size() + pending_.size();
+      const std::uint32_t share = std::max<std::uint32_t>(
+          1, total_ / static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                          std::max<std::uint64_t>(demand, 1), total_)));
+      const std::uint32_t want =
+          std::max(1u, std::min({pending_.front().slots, share, total_}));
+      if (want > free_slots) break;
+      grants.push_back({pending_.front().id, want});
+      running_.insert(pending_.front().id);
+      pending_.pop_front();
+      free_slots -= want;
+    }
+    return grants;
+  }
+
+  std::size_t pending() const override { return pending_.size(); }
+  std::size_t running() const override { return running_.size(); }
+
+ private:
+  std::uint32_t total_;
+  std::deque<JobRequest> pending_;
+  std::set<JobId> running_;
+};
+
+/// Capacity queues: each named queue owns a hard share of the slots
+/// (max(1, floor(share * total))) and runs FIFO within itself. admit()
+/// sweeps the queues in configured order repeatedly until no queue can
+/// make progress, so one saturated queue never starves the others, and a
+/// queue's in-use slots never exceed its cap — the YARN CapacityScheduler
+/// without elasticity.
+class CapacityScheduler final : public JobScheduler {
+ public:
+  CapacityScheduler(std::uint32_t total_slots,
+                    const std::vector<CapacityQueueSpec>& specs)
+      : total_(total_slots) {
+    std::vector<CapacityQueueSpec> normalized = specs;
+    if (normalized.empty()) normalized.push_back({"default", 1.0});
+    double share_sum = 0.0;
+    for (const auto& spec : normalized) {
+      if (!(spec.share > 0.0)) {
+        throw Error("capacity scheduler: queue '" + spec.name +
+                    "' has non-positive share");
+      }
+      share_sum += spec.share;
+    }
+    for (const auto& spec : normalized) {
+      if (by_name_.count(spec.name) != 0) {
+        throw Error("capacity scheduler: duplicate queue '" + spec.name + "'");
+      }
+      Queue q;
+      q.name = spec.name;
+      q.cap = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(
+                 static_cast<double>(total_) * (spec.share / share_sum)));
+      q.cap = std::min(q.cap, total_);
+      by_name_[spec.name] = queues_.size();
+      queues_.push_back(std::move(q));
+    }
+  }
+
+  const char* name() const override { return "capacity"; }
+
+  void submit(const JobRequest& job) override {
+    const auto it = by_name_.find(job.queue);
+    const std::size_t index = it == by_name_.end() ? 0 : it->second;
+    queues_[index].pending.push_back(job);
+    ++pending_;
+  }
+
+  void finish(JobId id) override {
+    const auto it = running_.find(id);
+    if (it == running_.end()) return;
+    queues_[it->second.queue].used -= it->second.slots;
+    running_.erase(it);
+  }
+
+  std::vector<JobGrant> admit(std::uint32_t free_slots) override {
+    std::vector<JobGrant> grants;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t qi = 0; qi < queues_.size(); ++qi) {
+        Queue& q = queues_[qi];
+        if (q.pending.empty()) continue;
+        const std::uint32_t want =
+            std::max(1u, std::min(q.pending.front().slots, q.cap));
+        if (q.used + want > q.cap) continue;  // queue at its hard share
+        if (want > free_slots) continue;      // other queues may still fit
+        grants.push_back({q.pending.front().id, want});
+        running_[q.pending.front().id] = {qi, want};
+        q.used += want;
+        free_slots -= want;
+        q.pending.pop_front();
+        --pending_;
+        progress = true;
+      }
+    }
+    return grants;
+  }
+
+  std::size_t pending() const override { return pending_; }
+  std::size_t running() const override { return running_.size(); }
+
+ private:
+  struct Queue {
+    std::string name;
+    std::uint32_t cap = 1;
+    std::uint32_t used = 0;
+    std::deque<JobRequest> pending;
+  };
+  struct Placement {
+    std::size_t queue = 0;
+    std::uint32_t slots = 0;
+  };
+
+  std::uint32_t total_;
+  std::vector<Queue> queues_;
+  std::map<std::string, std::size_t> by_name_;
+  std::map<JobId, Placement> running_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<JobScheduler> make_scheduler(
+    SchedulerPolicy policy, std::uint32_t total_slots,
+    const std::vector<CapacityQueueSpec>& queues) {
+  if (total_slots == 0) throw Error("scheduler: total_slots must be >= 1");
+  switch (policy) {
+    case SchedulerPolicy::kFifo:
+      return std::make_unique<FifoScheduler>(total_slots);
+    case SchedulerPolicy::kFair:
+      return std::make_unique<FairShareScheduler>(total_slots);
+    case SchedulerPolicy::kCapacity:
+      return std::make_unique<CapacityScheduler>(total_slots, queues);
+  }
+  throw Error("scheduler: unknown policy");
+}
+
+}  // namespace gb::sim

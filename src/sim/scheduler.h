@@ -1,0 +1,90 @@
+// Pluggable job schedulers for the multi-tenant simulated cluster.
+//
+// A JobScheduler decides which pending jobs get admitted onto a fixed
+// pool of worker slots and how many slots each admission is granted —
+// the three policies YARN actually ships (FIFO, fair-share, capacity
+// queues). The serving layer (serve/serving.h) drives a scheduler from
+// its discrete-event loop: submit() on arrival, admit() after every
+// arrival/completion, finish() when a job's completion event fires.
+//
+// Determinism contract: a scheduler's grant sequence is a pure function
+// of its submit/finish call history — no host state, no randomness —
+// so a replayed trace produces a bit-identical schedule at every host
+// `parallelism` setting. Grants only ever shrink a job's request (never
+// below one slot), which keeps every job admissible on an idle cluster.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gb::sim {
+
+enum class SchedulerPolicy { kFifo, kFair, kCapacity };
+
+/// "fifo", "fair", "capacity" — stable CLI vocabulary.
+const char* scheduler_policy_name(SchedulerPolicy policy);
+
+/// Inverse of scheduler_policy_name; nullopt for unknown names.
+std::optional<SchedulerPolicy> parse_scheduler_policy(const std::string& name);
+
+/// Serving-layer job identity: the index of the job in its trace.
+using JobId = std::uint64_t;
+
+struct JobRequest {
+  JobId id = 0;
+  /// Worker slots the job asks for (>= 1). Grants are capped by policy
+  /// (total slots, fair share, queue capacity) but never below one.
+  std::uint32_t slots = 1;
+  /// Capacity-scheduler queue name; other policies ignore it. Unknown
+  /// or empty names fall back to the first configured queue.
+  std::string queue;
+};
+
+struct JobGrant {
+  JobId id = 0;
+  std::uint32_t slots = 1;  // granted slots, 1..min(request, policy cap)
+};
+
+/// One named capacity queue and its hard share of the cluster. Shares
+/// are normalized over the configured queues; each queue's slot cap is
+/// max(1, floor(normalized_share * total_slots)) and is never exceeded.
+struct CapacityQueueSpec {
+  std::string name;
+  double share = 1.0;
+};
+
+class JobScheduler {
+ public:
+  virtual ~JobScheduler() = default;
+
+  virtual const char* name() const = 0;
+
+  /// A job entered the pending queue. Arrival order is call order; ties
+  /// in simulated arrival time are broken by the caller's event order.
+  virtual void submit(const JobRequest& job) = 0;
+
+  /// A running job completed and released its granted slots.
+  virtual void finish(JobId id) = 0;
+
+  /// Admissions possible right now given `free_slots` currently free on
+  /// the cluster. The caller owns the slot ledger: it subtracts each
+  /// grant from its free count and returns slots via finish(). May
+  /// return empty (nothing pending, or nothing fits).
+  virtual std::vector<JobGrant> admit(std::uint32_t free_slots) = 0;
+
+  virtual std::size_t pending() const = 0;
+  virtual std::size_t running() const = 0;
+};
+
+/// Policy factory. `total_slots` must be >= 1. `queues` configures the
+/// capacity policy (ignored by the others); empty means one "default"
+/// queue owning the whole cluster. Throws gb::Error on a non-positive
+/// share or a duplicate queue name.
+std::unique_ptr<JobScheduler> make_scheduler(
+    SchedulerPolicy policy, std::uint32_t total_slots,
+    const std::vector<CapacityQueueSpec>& queues = {});
+
+}  // namespace gb::sim

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -114,6 +116,87 @@ TEST(DatasetCache, ConcurrentRequestsCoalesceIntoOneLoad) {
   }
   EXPECT_EQ(cache.loads(), 1u);
   EXPECT_EQ(cache.hits(), 7u);
+}
+
+/// Instrumented cache built on the protected load() hook: counts load
+/// attempts, optionally fails the first N, and can hold an attempt open
+/// until a given number of waiters have joined its slot (hits() counts
+/// joiners the moment they join, so this makes the concurrent-miss tests
+/// deterministic instead of sleep-and-hope).
+class HookedCache : public DatasetCache {
+ public:
+  using DatasetCache::DatasetCache;
+
+  std::atomic<int> attempts{0};
+  int fail_attempts = 0;
+  std::uint64_t hold_until_hits = 0;
+
+ protected:
+  std::shared_ptr<const Dataset> load(DatasetId id, double scale,
+                                      std::uint64_t seed) override {
+    attempts.fetch_add(1);
+    for (int spin = 0; hits() < hold_until_hits && spin < 5000; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (attempts.load() <= fail_attempts) {
+      throw std::runtime_error("injected load failure");
+    }
+    return DatasetCache::load(id, scale, seed);
+  }
+};
+
+TEST(DatasetCache, ConcurrentMissesDedupeOntoExactlyOneAttempt) {
+  // Stronger than ConcurrentRequestsCoalesceIntoOneLoad: the load hook
+  // itself must run once. The attempt stays open until all seven waiters
+  // have joined the slot, so none of them can have raced past it.
+  HookedCache cache(disk_dir());
+  cache.hold_until_hits = 7;
+  std::vector<std::shared_ptr<const Dataset>> results(8);
+  std::vector<std::thread> threads;
+  for (auto& result : results) {
+    threads.emplace_back(
+        [&cache, &result] { result = cache.get(DatasetId::kAmazon, 0.025); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.attempts.load(), 1);
+  EXPECT_EQ(cache.loads(), 1u);
+  EXPECT_EQ(cache.hits(), 7u);
+  for (const auto& result : results) {
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result.get(), results[0].get());
+  }
+}
+
+TEST(DatasetCache, ConcurrentJoinersShareOneFailingAttempt) {
+  // All eight threads must observe the *same* failed attempt — one call
+  // into the loader, eight exceptions — because waiters keep the attempt
+  // state across the slot's erasure. A later call starts a fresh attempt
+  // and succeeds.
+  HookedCache cache(disk_dir());
+  cache.fail_attempts = 1;
+  cache.hold_until_hits = 7;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&cache, &failures] {
+      try {
+        cache.get(DatasetId::kAmazon, 0.035);
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "injected load failure");
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 8);
+  EXPECT_EQ(cache.attempts.load(), 1);  // one attempt, not eight
+  EXPECT_EQ(cache.loads(), 0u);         // failed attempts are not loads
+
+  cache.hold_until_hits = 0;
+  const auto ds = cache.get(DatasetId::kAmazon, 0.035);
+  ASSERT_NE(ds, nullptr);
+  EXPECT_EQ(cache.attempts.load(), 2);
+  EXPECT_EQ(cache.loads(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+// Multi-tenant differential suite (DESIGN.md §14): running a job on the
+// shared serving cluster must not change its result, under any scheduler,
+// partitioner or paging setting. For every point of the matrix
+// (3 schedulers x 4 partitioners x paging on/off) each job of a small
+// contended trace is compared — output hash, makespan, iterations —
+// against the same cell run alone at the worker count the scheduler
+// granted. Any divergence means concurrency leaked into an engine.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "datasets/dataset_cache.h"
+#include "partition/strategy.h"
+#include "serve/serving.h"
+#include "serve/trace.h"
+#include "sim/scheduler.h"
+
+namespace gb::serve {
+namespace {
+
+using campaign::CellSpec;
+using sim::SchedulerPolicy;
+
+constexpr double kScale = 0.01;
+constexpr std::uint32_t kSlots = 10;
+
+// Three execution models under contention: Pregel (Giraph), GAS
+// (GraphLab) and MapReduce (Hadoop), with a worker request wide enough
+// that fair-share actually shrinks it.
+std::vector<ServeJob> contended_trace(partition::Strategy strategy,
+                                      bool paging) {
+  auto spec = parse_trace_spec(
+      "rate=0.5;jobs=6;seed=11;"
+      "mix=Giraph:Amazon:BFS:w4:x2:qonline,"
+      "GraphLab:Amazon:PAGERANK:w6:x1:qbatch,"
+      "Hadoop:Amazon:STATS:w2:x2:qonline",
+      kScale);
+  auto trace = spec.expand();
+  for (auto& job : trace) {
+    job.cell.partitioner = strategy;
+    // A modest per-node budget: enables the paged storage path without
+    // starving the simulated heap at 1% scale.
+    if (paging) job.cell.mem_budget_gb = 0.5;
+  }
+  return trace;
+}
+
+TEST(MultiTenantDifferential, JobsMatchIsolatedRunsAcrossTheMatrix) {
+  datasets::DatasetCache cache;
+  // Isolated baselines, memoized by cell key — the key encodes workers,
+  // partitioner and memory budget, so one baseline serves every
+  // scheduler that grants the same worker count.
+  std::map<std::string, harness::CellResult> isolated;
+  const std::vector<sim::CapacityQueueSpec> queues = {{"online", 0.7},
+                                                      {"batch", 0.3}};
+  for (const auto policy :
+       {SchedulerPolicy::kFifo, SchedulerPolicy::kFair,
+        SchedulerPolicy::kCapacity}) {
+    for (const partition::Strategy strategy : partition::kAllStrategies) {
+      for (const bool paging : {false, true}) {
+        const auto trace = contended_trace(strategy, paging);
+        ServeOptions options;
+        options.scheduler = policy;
+        options.total_slots = kSlots;
+        options.parallelism = 0;  // hardware pool; results must not move
+        if (policy == SchedulerPolicy::kCapacity) options.queues = queues;
+        const auto report = run_serve(trace, options, cache);
+        const std::string where =
+            std::string(sim::scheduler_policy_name(policy)) + " " +
+            partition::strategy_name(strategy) +
+            (paging ? " paged" : " in-core");
+        ASSERT_EQ(report.jobs.size(), trace.size()) << where;
+        for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+          const auto& job = report.jobs[i];
+          ASSERT_TRUE(job.cell.ok())
+              << where << " " << job.key << ": " << job.cell.message;
+          CellSpec spec = trace[i].cell;
+          spec.workers = job.cell.workers;
+          const std::string key = spec.key();
+          if (isolated.count(key) == 0) {
+            isolated[key] = campaign::run_cell_spec(spec, cache);
+          }
+          const auto& solo = isolated[key];
+          ASSERT_TRUE(solo.ok()) << key << ": " << solo.message;
+          EXPECT_EQ(job.cell.output_hash, solo.output_hash)
+              << where << " " << job.key;
+          EXPECT_EQ(job.cell.makespan_sec, solo.makespan_sec)
+              << where << " " << job.key;
+          EXPECT_EQ(job.cell.iterations, solo.iterations)
+              << where << " " << job.key;
+          EXPECT_EQ(job.cell.outcome, solo.outcome) << where << " " << job.key;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gb::serve

@@ -1,0 +1,475 @@
+// Serving-layer suite (DESIGN.md §14): the report is byte-identical at
+// every host parallelism and across journal crash-resume; every job's
+// result is bit-identical to the same cell run alone; injected faults
+// delay or retry only the job they hit; concurrent jobs on one dataset
+// trigger exactly one load; and the stat helpers the report is built
+// from (nearest-rank percentiles, Jain fairness) are pinned exactly.
+#include "serve/serving.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "core/error.h"
+#include "datasets/dataset_cache.h"
+#include "serve/trace.h"
+#include "sim/scheduler.h"
+
+namespace gb::serve {
+namespace {
+
+using campaign::CellSpec;
+using sim::SchedulerPolicy;
+
+TEST(ServeStats, NearestRankPercentile) {
+  const std::vector<double> sample = {4.0, 1.0, 3.0, 2.0};  // unsorted input
+  EXPECT_EQ(percentile(sample, 0.50), 2.0);  // ceil(0.5 * 4) = rank 2
+  EXPECT_EQ(percentile(sample, 0.25), 1.0);
+  EXPECT_EQ(percentile(sample, 0.75), 3.0);
+  EXPECT_EQ(percentile(sample, 0.95), 4.0);  // ceil(3.8) = rank 4
+  EXPECT_EQ(percentile(sample, 0.99), 4.0);
+  EXPECT_EQ(percentile(sample, 1.00), 4.0);
+  EXPECT_EQ(percentile(sample, 0.0), 1.0);
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_EQ(percentile({7.5}, 0.5), 7.5);
+  EXPECT_EQ(percentile({7.5}, 0.99), 7.5);
+}
+
+TEST(ServeStats, JainFairnessIndex) {
+  EXPECT_EQ(jain_fairness({3.0, 3.0, 3.0, 3.0}), 1.0);
+  EXPECT_EQ(jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25);  // maximal skew
+  EXPECT_EQ(jain_fairness({}), 1.0);
+  EXPECT_EQ(jain_fairness({0.0, 0.0}), 1.0);  // degenerate: no load at all
+  const double mixed = jain_fairness({1.0, 2.0, 3.0});
+  EXPECT_GT(mixed, 0.85);
+  EXPECT_LT(mixed, 1.0);
+}
+
+TEST(ServeStats, LatencyStatsSummarizeTheSample) {
+  const auto stats = latency_stats({10.0, 20.0, 30.0, 40.0});
+  EXPECT_EQ(stats.p50, 20.0);
+  EXPECT_EQ(stats.p95, 40.0);
+  EXPECT_EQ(stats.p99, 40.0);
+  EXPECT_EQ(stats.mean, 25.0);
+  EXPECT_EQ(stats.max, 40.0);
+  const auto empty = latency_stats({});
+  EXPECT_EQ(empty.p50, 0.0);
+  EXPECT_EQ(empty.mean, 0.0);
+  EXPECT_EQ(empty.max, 0.0);
+}
+
+TEST(TraceSpecParse, RoundTripsEveryField) {
+  const auto spec = parse_trace_spec(
+      "rate=0.25;jobs=6;seed=9;"
+      "mix=Giraph:Amazon:BFS:w4:x2.5:qonline:m0.5,GraphLab:KGS:PAGERANK",
+      0.01);
+  EXPECT_EQ(spec.rate, 0.25);
+  EXPECT_EQ(spec.jobs, 6u);
+  EXPECT_EQ(spec.seed, 9u);
+  ASSERT_EQ(spec.mix.size(), 2u);
+  EXPECT_EQ(spec.mix[0].cell.platform, "Giraph");
+  EXPECT_EQ(spec.mix[0].cell.workers, 4u);
+  EXPECT_EQ(spec.mix[0].weight, 2.5);
+  EXPECT_EQ(spec.mix[0].queue, "online");
+  EXPECT_EQ(spec.mix[0].cell.mem_budget_gb, 0.5);
+  EXPECT_EQ(spec.mix[0].cell.scale, 0.01);
+  EXPECT_EQ(spec.mix[1].cell.platform, "GraphLab");
+  EXPECT_EQ(spec.mix[1].weight, 1.0);
+  EXPECT_TRUE(spec.mix[1].queue.empty());
+}
+
+TEST(TraceSpecParse, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "rate=0.5;jobs=4",                           // missing mix
+      "rate=0;jobs=4;mix=Giraph:Amazon:BFS",       // rate must be > 0
+      "rate=x;jobs=4;mix=Giraph:Amazon:BFS",       // unparsable rate
+      "jobs=0;mix=Giraph:Amazon:BFS",              // jobs must be >= 1
+      "bogus;mix=Giraph:Amazon:BFS",               // not key=value
+      "zzz=1;mix=Giraph:Amazon:BFS",               // unknown field
+      "mix=Nope:Amazon:BFS",                       // unknown platform
+      "mix=Giraph:Nowhere:BFS",                    // unknown dataset
+      "mix=Giraph:Amazon:SORT",                    // unknown algorithm
+      "mix=Giraph:Amazon",                         // too few fields
+      "mix=Giraph:Amazon:BFS:w0",                  // workers must be >= 1
+      "mix=Giraph:Amazon:BFS:x0",                  // weight must be > 0
+      "mix=Giraph:Amazon:BFS:q",                   // empty queue name
+      "mix=Giraph:Amazon:BFS:m-1",                 // bad memory budget
+      "mix=Giraph:Amazon:BFS:z9",                  // unknown entry field
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(parse_trace_spec(text, 0.0), Error) << text;
+  }
+}
+
+TEST(TraceSpecExpand, PoissonTraceIsSortedSeededAndWeighted) {
+  const auto spec = parse_trace_spec(
+      "rate=0.5;jobs=64;seed=5;"
+      "mix=Giraph:Amazon:BFS:x9,GraphLab:Amazon:PAGERANK:x1",
+      0.01);
+  const auto trace = spec.expand();
+  ASSERT_EQ(trace.size(), 64u);
+  std::size_t heavy = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+    }
+    EXPECT_GT(trace[i].arrival, 0.0);
+    if (trace[i].cell.platform == "Giraph") ++heavy;
+  }
+  // The 9:1 weighting must dominate the draw (exact counts are pinned by
+  // the seeded RNG; the bound keeps the test robust to mix edits).
+  EXPECT_GT(heavy, trace.size() / 2);
+  // Same spec, same trace — and a different seed moves the arrivals.
+  const auto replay = spec.expand();
+  ASSERT_EQ(replay.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(replay[i].arrival, trace[i].arrival);
+    EXPECT_EQ(replay[i].cell.key(), trace[i].cell.key());
+  }
+  auto reseeded = spec;
+  reseeded.seed = 6;
+  EXPECT_NE(reseeded.expand()[0].arrival, trace[0].arrival);
+}
+
+TEST(TraceSpecExpand, SmokeTraceIsTheDocumentedWorkload) {
+  const auto spec = smoke_trace(0.01);
+  const auto trace = spec.expand();
+  ASSERT_EQ(trace.size(), 24u);
+  bool has_online = false;
+  bool has_batch = false;
+  for (const auto& job : trace) {
+    has_online |= job.queue == "online";
+    has_batch |= job.queue == "batch";
+  }
+  EXPECT_TRUE(has_online);
+  EXPECT_TRUE(has_batch);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end serving on a real (1%-scale) workload. One small trace is
+// reused everywhere: three platforms (one of them single-node Neo4j),
+// skewed worker requests so grants actually shrink, two queues.
+
+constexpr double kScale = 0.01;
+constexpr std::uint32_t kSlots = 8;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+// One disk cache directory for the whole binary: the Amazon graph is
+// generated once, every later load is a disk hit.
+std::string disk_cache_dir() {
+  static const std::string dir = temp_path("serve_test_dataset_cache");
+  return dir;
+}
+
+std::vector<ServeJob> test_trace() {
+  const auto spec = parse_trace_spec(
+      "rate=0.5;jobs=8;seed=7;"
+      "mix=Giraph:Amazon:BFS:w2:x3:qonline,"
+      "GraphLab:Amazon:PAGERANK:w12:x1:qbatch,"
+      "Neo4j:Amazon:STATS:w2:x2:qonline",
+      kScale);
+  return spec.expand();
+}
+
+ServeOptions options_with(SchedulerPolicy policy,
+                          std::uint32_t parallelism = 1) {
+  ServeOptions options;
+  options.scheduler = policy;
+  options.total_slots = kSlots;
+  options.parallelism = parallelism;
+  if (policy == SchedulerPolicy::kCapacity) {
+    options.queues = {{"online", 0.7}, {"batch", 0.3}};
+  }
+  return options;
+}
+
+ServeReport run(const ServeOptions& options) {
+  datasets::DatasetCache cache(disk_cache_dir());
+  return run_serve(test_trace(), options, cache);
+}
+
+TEST(Serve, ReportIsByteIdenticalAtEveryParallelism) {
+  for (const auto policy :
+       {SchedulerPolicy::kFifo, SchedulerPolicy::kFair,
+        SchedulerPolicy::kCapacity}) {
+    const std::string serial = serve_report_json(run(options_with(policy, 1)));
+    for (const std::uint32_t parallelism : {4u, 0u}) {
+      EXPECT_EQ(serve_report_json(run(options_with(policy, parallelism))),
+                serial)
+          << sim::scheduler_policy_name(policy) << " parallelism "
+          << parallelism;
+    }
+  }
+}
+
+TEST(Serve, EveryJobCompletesAndTheLedgerBalances) {
+  const auto report = run(options_with(SchedulerPolicy::kFair));
+  ASSERT_EQ(report.jobs.size(), 8u);
+  EXPECT_EQ(report.serve_metrics.counter("serve.jobs_ok"), 8u);
+  EXPECT_EQ(report.serve_metrics.counter("serve.jobs_failed"), 0u);
+  EXPECT_EQ(report.serve_metrics.counter("serve.jobs_submitted"), 8u);
+  EXPECT_GT(report.makespan, 0.0);
+  EXPECT_GT(report.utilization, 0.0);
+  EXPECT_LE(report.utilization, 1.0);
+  EXPECT_LE(report.serve_metrics.gauge("serve.slots_peak"),
+            static_cast<double>(kSlots));
+  for (const auto& job : report.jobs) {
+    EXPECT_TRUE(job.cell.ok()) << job.key << ": " << job.cell.message;
+    EXPECT_GE(job.start, job.arrival) << job.key;
+    EXPECT_GE(job.finish, job.start) << job.key;
+    EXPECT_GE(job.granted_slots, 1u) << job.key;
+    EXPECT_LE(job.granted_slots, std::min(job.requested_slots, kSlots))
+        << job.key;
+  }
+}
+
+TEST(Serve, OversizedRequestsAreShrunkAndCounted) {
+  // A 12-slot request on an 8-slot cluster is always clamped — that is
+  // the cluster's size, not a scheduling decision, so FIFO leaves the
+  // shrunk counter at zero. Fair-share grants *below* the clamp under
+  // load, and that is what serve.grants_shrunk records.
+  const auto fifo = run(options_with(SchedulerPolicy::kFifo));
+  EXPECT_EQ(fifo.serve_metrics.counter("serve.grants_shrunk"), 0u);
+  bool saw_clamped = false;
+  for (const auto& job : fifo.jobs) {
+    if (job.requested_slots > kSlots) {
+      EXPECT_EQ(job.granted_slots, kSlots) << job.key;
+      saw_clamped = true;
+    }
+  }
+  EXPECT_TRUE(saw_clamped);
+
+  const auto fair = run(options_with(SchedulerPolicy::kFair));
+  EXPECT_GE(fair.serve_metrics.counter("serve.grants_shrunk"), 1u);
+  bool saw_shrunk = false;
+  for (const auto& job : fair.jobs) {
+    saw_shrunk |=
+        job.granted_slots < std::min(job.requested_slots, kSlots);
+  }
+  EXPECT_TRUE(saw_shrunk);
+}
+
+// Satellite 2 (unit flavour; the full matrix lives in
+// tests/platforms/multitenant_differential_test.cpp): under every
+// scheduler, each job's result — output hash, makespan, iterations — is
+// bit-identical to the same cell run alone at the granted worker count.
+TEST(Serve, JobResultsMatchIsolatedRunsUnderEveryScheduler) {
+  datasets::DatasetCache cache(disk_cache_dir());
+  std::map<std::string, harness::CellResult> isolated;  // by isolated key
+  const auto trace = test_trace();
+  for (const auto policy :
+       {SchedulerPolicy::kFifo, SchedulerPolicy::kFair,
+        SchedulerPolicy::kCapacity}) {
+    const auto report = run_serve(trace, options_with(policy), cache);
+    for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+      const auto& job = report.jobs[i];
+      ASSERT_TRUE(job.cell.ok()) << job.key << ": " << job.cell.message;
+      CellSpec spec = trace[i].cell;
+      spec.workers = job.cell.workers;  // the grant the scheduler made
+      const std::string key = spec.key();
+      if (isolated.count(key) == 0) {
+        isolated[key] = campaign::run_cell_spec(spec, cache);
+      }
+      const auto& solo = isolated[key];
+      ASSERT_TRUE(solo.ok()) << key << ": " << solo.message;
+      EXPECT_EQ(job.cell.output_hash, solo.output_hash)
+          << job.key << " under " << report.scheduler;
+      EXPECT_EQ(job.cell.makespan_sec, solo.makespan_sec)
+          << job.key << " under " << report.scheduler;
+      EXPECT_EQ(job.cell.iterations, solo.iterations)
+          << job.key << " under " << report.scheduler;
+      EXPECT_EQ(job.cell.workers, solo.workers) << job.key;
+    }
+  }
+}
+
+TEST(Serve, UnsortedTraceIsRejected) {
+  auto trace = test_trace();
+  std::swap(trace.front().arrival, trace.back().arrival);
+  datasets::DatasetCache cache(disk_cache_dir());
+  EXPECT_THROW(run_serve(trace, options_with(SchedulerPolicy::kFifo), cache),
+               Error);
+}
+
+TEST(Serve, ConcurrentJobsOnOneDatasetLoadItOnce) {
+  // All eight jobs share Amazon@1%: however the scheduler batches them,
+  // the shared cache must perform exactly one load (satellite 4's
+  // coalescing, observed end-to-end).
+  datasets::DatasetCache cache(disk_cache_dir());
+  const auto report =
+      run_serve(test_trace(), options_with(SchedulerPolicy::kFair, 0), cache);
+  ASSERT_EQ(report.jobs.size(), 8u);
+  EXPECT_EQ(cache.loads(), 1u);
+  EXPECT_EQ(cache.hits(), 7u);
+}
+
+TEST(Serve, JournalResumeReproducesTheReportByteForByte) {
+  const auto options = [&](const std::string& journal) {
+    auto o = options_with(SchedulerPolicy::kFair);
+    o.journal_path = journal;
+    return o;
+  };
+  const std::string reference =
+      serve_report_json(run(options_with(SchedulerPolicy::kFair)));
+
+  // Full journal: a second run executes nothing and reproduces the bytes.
+  const auto full = temp_path("serve_resume_full.jsonl");
+  std::filesystem::remove(full);
+  const auto first = run(options(full));
+  EXPECT_EQ(first.executed, 8u);
+  EXPECT_EQ(first.resumed, 0u);
+  EXPECT_EQ(serve_report_json(first), reference);
+  const auto second = run(options(full));
+  EXPECT_EQ(second.executed, 0u);
+  EXPECT_EQ(second.resumed, 8u);
+  EXPECT_EQ(serve_report_json(second), reference);
+
+  // Crash-resume: keep half the journal plus a torn partial line — the
+  // kill-mid-append signature — and restart at several parallelisms.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(full);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 8u);
+  for (const std::uint32_t parallelism : {1u, 4u}) {
+    const auto torn =
+        temp_path("serve_resume_torn_p" + std::to_string(parallelism) +
+                  ".jsonl");
+    std::filesystem::remove(torn);
+    {
+      std::ofstream out(torn);
+      for (std::size_t i = 0; i < 4; ++i) out << lines[i] << "\n";
+      out << lines[4].substr(0, lines[4].size() / 2);
+    }
+    auto o = options(torn);
+    o.parallelism = parallelism;
+    const auto resumed = run(o);
+    EXPECT_EQ(resumed.resumed, 4u) << "parallelism " << parallelism;
+    EXPECT_EQ(resumed.executed, 4u) << "parallelism " << parallelism;
+    EXPECT_EQ(serve_report_json(resumed), reference)
+        << "parallelism " << parallelism;
+    // The journal is now complete: one more run executes nothing.
+    const auto again = run(options(torn));
+    EXPECT_EQ(again.executed, 0u);
+    EXPECT_EQ(serve_report_json(again), reference);
+  }
+}
+
+TEST(Serve, JournalEntriesAtTheWrongWorkerCountReRun) {
+  // A journal written against an 8-slot pool must not satisfy a 4-slot
+  // serve: the shrunk grants imply different worker counts, and a resume
+  // that lied about them would break bit-identity to isolated runs.
+  const auto journal = temp_path("serve_resume_wrong_slots.jsonl");
+  std::filesystem::remove(journal);
+  auto wide = options_with(SchedulerPolicy::kFifo);
+  wide.journal_path = journal;
+  run(wide);
+
+  auto narrow = options_with(SchedulerPolicy::kFifo);
+  narrow.total_slots = 4;
+  const std::string reference = serve_report_json(run(narrow));
+  narrow.journal_path = journal;
+  const auto resumed = run(narrow);
+  EXPECT_EQ(resumed.executed + resumed.resumed, 8u);
+  EXPECT_GE(resumed.executed, 1u);  // at least the shrunk grants re-ran
+  EXPECT_EQ(serve_report_json(resumed), reference);
+}
+
+// ---------------------------------------------------------------------
+// Satellite 3: fault injection under contention. A hand-built contended
+// trace — three concurrent Giraph jobs on ample slots — where job 1
+// carries the fault. The other jobs' results and full timelines must not
+// move relative to the fault-free run.
+
+std::vector<ServeJob> faulted_trace(const std::vector<std::string>& faults,
+                                    std::uint32_t checkpoint_interval = 0) {
+  std::vector<ServeJob> trace;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ServeJob job;
+    job.cell.platform = "Giraph";
+    job.cell.dataset = datasets::DatasetId::kAmazon;
+    job.cell.algorithm = platforms::Algorithm::kBfs;
+    job.cell.workers = 2;
+    job.cell.scale = kScale;
+    job.arrival = 0.1 * static_cast<double>(i);
+    if (i == 1) {
+      job.cell.faults = faults;
+      job.cell.checkpoint_interval = checkpoint_interval;
+    }
+    trace.push_back(std::move(job));
+  }
+  return trace;
+}
+
+TEST(ServeFaults, StragglerDelaysOnlyTheJobItHits) {
+  datasets::DatasetCache cache(disk_cache_dir());
+  const auto options = options_with(SchedulerPolicy::kFifo);
+  const auto clean = run_serve(faulted_trace({}), options, cache);
+  const auto slow = run_serve(
+      faulted_trace({"straggler:0:4.0:1000"}), options, cache);
+  ASSERT_EQ(clean.jobs.size(), 3u);
+  ASSERT_EQ(slow.jobs.size(), 3u);
+  for (const auto& job : slow.jobs) {
+    EXPECT_TRUE(job.cell.ok()) << job.key << ": " << job.cell.message;
+  }
+  // The straggler stretches job 1 and nothing else: outputs everywhere
+  // identical, timelines identical for jobs 0 and 2 (slots are ample, so
+  // nobody queues behind the slow job).
+  EXPECT_GT(slow.jobs[1].service(), clean.jobs[1].service());
+  EXPECT_EQ(slow.jobs[1].cell.output_hash, clean.jobs[1].cell.output_hash);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    EXPECT_EQ(slow.jobs[i].cell.output_hash, clean.jobs[i].cell.output_hash);
+    EXPECT_EQ(slow.jobs[i].start, clean.jobs[i].start);
+    EXPECT_EQ(slow.jobs[i].finish, clean.jobs[i].finish);
+  }
+  EXPECT_GT(slow.makespan, clean.makespan);
+}
+
+TEST(ServeFaults, CrashedJobRetriesAndReleasesItsSlots) {
+  // A mid-run worker crash without checkpoints fails deterministically on
+  // every attempt: the job burns its retry budget, is recorded failed,
+  // and frees its slots immediately — the rest of the trace is untouched.
+  datasets::DatasetCache cache(disk_cache_dir());
+  auto options = options_with(SchedulerPolicy::kFifo);
+  options.max_attempts = 3;
+  const auto clean = run_serve(faulted_trace({}), options, cache);
+  const auto crashed =
+      run_serve(faulted_trace({"worker:1"}), options, cache);
+  ASSERT_EQ(crashed.jobs.size(), 3u);
+  EXPECT_FALSE(crashed.jobs[1].cell.ok());
+  EXPECT_EQ(crashed.jobs[1].cell.attempts, 3u);
+  EXPECT_EQ(crashed.jobs[1].service(), 0.0);  // no makespan for a failure
+  EXPECT_EQ(crashed.serve_metrics.counter("serve.jobs_failed"), 1u);
+  EXPECT_EQ(crashed.serve_metrics.counter("serve.retries"), 2u);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    EXPECT_TRUE(crashed.jobs[i].cell.ok()) << crashed.jobs[i].cell.message;
+    EXPECT_EQ(crashed.jobs[i].cell.output_hash,
+              clean.jobs[i].cell.output_hash);
+    EXPECT_EQ(crashed.jobs[i].start, clean.jobs[i].start);
+    EXPECT_EQ(crashed.jobs[i].finish, clean.jobs[i].finish);
+  }
+}
+
+TEST(ServeFaults, CheckpointedJobSurvivesTheCrashInOneAttempt) {
+  datasets::DatasetCache cache(disk_cache_dir());
+  const auto options = options_with(SchedulerPolicy::kFifo);
+  const auto report = run_serve(
+      faulted_trace({"worker:1"}, /*checkpoint_interval=*/2), options, cache);
+  ASSERT_EQ(report.jobs.size(), 3u);
+  EXPECT_TRUE(report.jobs[1].cell.ok()) << report.jobs[1].cell.message;
+  EXPECT_EQ(report.jobs[1].cell.attempts, 1u);
+  EXPECT_EQ(report.serve_metrics.counter("serve.jobs_failed"), 0u);
+}
+
+}  // namespace
+}  // namespace gb::serve

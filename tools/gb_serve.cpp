@@ -1,0 +1,351 @@
+// gb_serve: multi-tenant serving of an open-loop job trace on one shared
+// simulated cluster, under a pluggable scheduler (DESIGN.md §14).
+//
+//   gb_serve --trace-preset smoke --scheduler fair --slots 20
+//            --queues online:0.7,batch:0.3 --scale 0.01 --json -
+//
+//   gb_serve --trace 'rate=0.002;jobs=12;seed=7;mix=Giraph:KGS:BFS:w4,
+//            GraphLab:Amazon:PAGERANK:w16:x0.5:qbatch' --scheduler capacity
+//
+// The report is byte-identical across reruns, --parallelism settings and
+// --journal resumes; each job's result is bit-identical to the same cell
+// run alone through gb_run / gb_campaign.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "datasets/dataset_cache.h"
+#include "harness/json.h"
+#include "serve/serving.h"
+#include "serve/trace.h"
+#include "sim/scheduler.h"
+
+#include "flag_parse.h"
+
+namespace {
+
+using namespace gb;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::cerr << "error: " << msg << "\n\n";
+  std::cerr
+      << "usage: gb_serve [workload] [scheduling] [execution] [output]\n"
+         "workload:\n"
+         "  --trace SPEC           rate=R;jobs=N;seed=S;mix=ENTRY,...\n"
+         "                         ENTRY = Platform:Dataset:Algo with "
+         "optional\n"
+         "                         fields wN (slots), xW (weight), qNAME "
+         "(queue),\n"
+         "                         mG (GiB/node, enables paging)\n"
+         "  --trace-preset smoke   the skewed online/batch smoke trace\n"
+         "  --rate R               override the spec's arrival rate\n"
+         "  --jobs N               override the spec's job count\n"
+         "  --seed S               override the spec's seed\n"
+         "  --scale S              dataset scale for every job (0 = catalog "
+         "default)\n"
+         "scheduling:\n"
+         "  --scheduler NAME       fifo | fair | capacity (default fifo)\n"
+         "  --queues N:S,N:S,...   capacity queues name:share (capacity "
+         "only)\n"
+         "  --slots N              shared worker slots (default 20)\n"
+         "execution:\n"
+         "  --parallelism N        host threads for admitted batches "
+         "(0 = hardware,\n"
+         "                         default 1); never changes the report\n"
+         "  --max-attempts N       bounded retry for fault-injected jobs "
+         "(default 1)\n"
+         "  --journal FILE         resumable JSONL journal of finished "
+         "jobs\n"
+         "  --cache-dir DIR        dataset disk cache directory\n"
+         "output:\n"
+         "  --list                 print the expanded trace and exit\n"
+         "  --json FILE            serving report JSON ('-' = stdout)\n"
+         "  --per-job              per-job lines in the text summary\n"
+         "  --trace-out FILE       merged Chrome trace of job-tagged engine "
+         "spans\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* flag,
+                        std::uint64_t min_value = 0) {
+  const auto parsed = tools::parse_u64(text, min_value);
+  if (!parsed) {
+    usage((std::string(flag) + " expects an unsigned integer" +
+           (min_value > 0 ? " >= " + std::to_string(min_value) : "") +
+           ", got '" + text + "'")
+              .c_str());
+  }
+  return *parsed;
+}
+
+std::uint32_t parse_u32(const std::string& text, const char* flag,
+                        std::uint32_t min_value = 0) {
+  const auto parsed = tools::parse_u32(text, min_value);
+  if (!parsed) {
+    usage((std::string(flag) + " expects an unsigned 32-bit integer" +
+           (min_value > 0 ? " >= " + std::to_string(min_value) : "") +
+           ", got '" + text + "'")
+              .c_str());
+  }
+  return *parsed;
+}
+
+double parse_double(const std::string& text, const char* flag,
+                    double min_value) {
+  const auto parsed = tools::parse_double(text, min_value);
+  if (!parsed) {
+    usage((std::string(flag) + " expects a finite number >= " +
+           std::to_string(min_value) + ", got '" + text + "'")
+              .c_str());
+  }
+  return *parsed;
+}
+
+std::vector<sim::CapacityQueueSpec> parse_queues(const std::string& text) {
+  std::vector<sim::CapacityQueueSpec> queues;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      usage(("--queues entry '" + item + "' is not name:share").c_str());
+    }
+    sim::CapacityQueueSpec queue;
+    queue.name = item.substr(0, colon);
+    const auto share = tools::parse_double(item.substr(colon + 1), 0.0);
+    if (!share || *share <= 0.0) {
+      usage(("--queues entry '" + item + "' needs a share > 0").c_str());
+    }
+    queue.share = *share;
+    queues.push_back(std::move(queue));
+  }
+  if (queues.empty()) usage("--queues expects a non-empty list");
+  return queues;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text << '\n';
+  return static_cast<bool>(out);
+}
+
+/// Merged Chrome trace: one "process" per job, the job's engine spans
+/// shifted by its start time onto the shared serving clock. Only jobs
+/// executed this invocation carry spans (journal-resumed jobs ran in an
+/// earlier process).
+std::string serve_trace_json(const serve::ServeReport& report) {
+  harness::JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit");
+  json.value("ms");
+  json.key("traceEvents");
+  json.begin_array();
+  constexpr double kMicros = 1e6;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const auto& job = report.jobs[i];
+    json.begin_object();
+    json.key("name");
+    json.value("process_name");
+    json.key("ph");
+    json.value("M");
+    json.key("pid");
+    json.value(static_cast<std::uint64_t>(i));
+    json.key("tid");
+    json.value(std::uint64_t{0});
+    json.key("args");
+    json.begin_object();
+    json.key("name");
+    json.value(job.key);
+    json.end_object();
+    json.end_object();
+    for (const auto& span : job.spans) {
+      json.begin_object();
+      json.key("name");
+      json.value(span.name);
+      json.key("cat");
+      json.value(span.category);
+      json.key("ph");
+      json.value("X");
+      json.key("pid");
+      json.value(static_cast<std::uint64_t>(i));
+      json.key("tid");
+      json.value(std::uint64_t{0});
+      json.key("ts");
+      json.value((job.start + span.begin) * kMicros);
+      json.key("dur");
+      json.value((span.end - span.begin) * kMicros);
+      json.key("args");
+      json.begin_object();
+      json.key("job");
+      json.value(span.job);
+      json.key("workers");
+      json.value(std::uint64_t{span.workers});
+      json.end_object();
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_text;
+  std::string preset;
+  serve::ServeOptions options;
+  std::string cache_dir;
+  std::string json_path;
+  std::string trace_out_path;
+  bool list_only = false;
+  bool per_job = false;
+  double scale = 0.0;
+  double rate_override = 0.0;
+  std::uint64_t jobs_override = 0;
+  std::uint64_t seed_override = 0;
+  bool seed_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      trace_text = value();
+    } else if (arg == "--trace-preset") {
+      preset = value();
+    } else if (arg == "--rate") {
+      rate_override = parse_double(value(), "--rate", 0.0);
+    } else if (arg == "--jobs") {
+      jobs_override = parse_u64(value(), "--jobs", 1);
+    } else if (arg == "--seed") {
+      seed_override = parse_u64(value(), "--seed");
+      seed_set = true;
+    } else if (arg == "--scale") {
+      scale = parse_double(value(), "--scale", 0.0);
+    } else if (arg == "--scheduler") {
+      const auto policy = sim::parse_scheduler_policy(value());
+      if (!policy) usage("--scheduler expects fifo, fair or capacity");
+      options.scheduler = *policy;
+    } else if (arg == "--queues") {
+      options.queues = parse_queues(value());
+    } else if (arg == "--slots") {
+      options.total_slots = parse_u32(value(), "--slots", 1);
+    } else if (arg == "--parallelism") {
+      options.parallelism = parse_u32(value(), "--parallelism");
+    } else if (arg == "--max-attempts") {
+      options.max_attempts = parse_u32(value(), "--max-attempts", 1);
+    } else if (arg == "--journal") {
+      options.journal_path = value();
+    } else if (arg == "--cache-dir") {
+      cache_dir = value();
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--per-job") {
+      per_job = true;
+    } else if (arg == "--trace-out") {
+      trace_out_path = value();
+      options.collect_spans = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage(("unknown option '" + arg + "'").c_str());
+    }
+  }
+
+  if (trace_text.empty() && preset.empty()) {
+    usage("one of --trace or --trace-preset is required");
+  }
+  if (!trace_text.empty() && !preset.empty()) {
+    usage("--trace and --trace-preset are mutually exclusive");
+  }
+
+  serve::TraceSpec spec;
+  try {
+    if (!preset.empty()) {
+      if (preset != "smoke") {
+        usage(("unknown preset '" + preset + "' (smoke)").c_str());
+      }
+      spec = serve::smoke_trace(scale);
+    } else {
+      spec = serve::parse_trace_spec(trace_text, scale);
+    }
+  } catch (const std::exception& e) {
+    usage(e.what());
+  }
+  if (rate_override > 0.0) spec.rate = rate_override;
+  if (jobs_override > 0) spec.jobs = jobs_override;
+  if (seed_set) spec.seed = seed_override;
+
+  std::vector<serve::ServeJob> jobs;
+  try {
+    jobs = spec.expand();
+  } catch (const std::exception& e) {
+    usage(e.what());
+  }
+
+  if (list_only) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      std::printf("%10.1f  j%zu:%s  q=%s\n", jobs[i].arrival, i,
+                  jobs[i].cell.key().c_str(),
+                  jobs[i].queue.empty() ? "-" : jobs[i].queue.c_str());
+    }
+    return 0;
+  }
+
+  std::cerr << "serve: " << jobs.size() << " jobs, scheduler "
+            << sim::scheduler_policy_name(options.scheduler) << ", "
+            << options.total_slots << " slots, parallelism "
+            << options.parallelism << "\n";
+
+  serve::ServeReport report;
+  try {
+    datasets::DatasetCache cache(cache_dir);
+    report = serve::run_serve(jobs, options, cache);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cerr << "serve: " << report.executed << " jobs executed, "
+            << report.resumed << " resumed from journal\n";
+  // With --json -, stdout must stay a parseable JSON document; route the
+  // text summary to stderr so piping into a JSON consumer works.
+  if (json_path == "-") {
+    std::cerr << serve::serve_report_text(report, per_job);
+  } else {
+    std::cout << serve::serve_report_text(report, per_job);
+  }
+
+  if (!json_path.empty()) {
+    const std::string text = serve::serve_report_json(report);
+    if (json_path == "-") {
+      std::cout << text << "\n";
+    } else if (!write_file(json_path, text)) {
+      std::cerr << "error: cannot write '" << json_path << "'\n";
+      return 2;
+    } else {
+      std::cerr << "report written to " << json_path << "\n";
+    }
+  }
+  if (!trace_out_path.empty()) {
+    if (!write_file(trace_out_path, serve_trace_json(report))) {
+      std::cerr << "error: cannot write '" << trace_out_path << "'\n";
+      return 2;
+    }
+    std::cerr << "trace written to " << trace_out_path << "\n";
+  }
+  return 0;
+}
