@@ -39,6 +39,7 @@
 #include "harness/cell_result.h"
 #include "harness/json.h"
 #include "harness/json_read.h"
+#include "stats/repeat.h"
 
 namespace {
 
@@ -65,27 +66,14 @@ struct Sample {
   double sd_ms = 0.0;
 };
 
-/// Wall-clock of one warmup + `reps` timed runs of fn.
+/// Wall-clock of one warmup + `reps` timed runs of fn, summarized by the
+/// shared methodology layer (stats::repeat_measure / stats::describe):
+/// the sd is the unbiased n-1 sample deviation, pinned by gp_stats tests
+/// instead of re-derived here.
 Sample measure(const std::function<void()>& fn, int reps) {
-  fn();  // warmup: faults in caches and the allocator
-  std::vector<double> times_ms;
-  times_ms.reserve(reps);
-  for (int r = 0; r < reps; ++r) {
-    const auto start = std::chrono::steady_clock::now();
-    fn();
-    const auto stop = std::chrono::steady_clock::now();
-    times_ms.push_back(
-        std::chrono::duration<double, std::milli>(stop - start).count());
-  }
-  Sample s;
-  for (const double t : times_ms) s.mean_ms += t;
-  s.mean_ms /= times_ms.size();
-  double var = 0.0;
-  for (const double t : times_ms) var += (t - s.mean_ms) * (t - s.mean_ms);
-  s.sd_ms = times_ms.size() > 1
-                ? std::sqrt(var / (times_ms.size() - 1))
-                : 0.0;
-  return s;
+  const auto r = stats::repeat_measure(
+      fn, {.warmup = 1, .reps = static_cast<std::uint32_t>(reps)});
+  return Sample{r.stats.mean, r.stats.sd};
 }
 
 struct Entry {
@@ -109,6 +97,19 @@ struct Entry {
     const double lo_after = std::max(after.mean_ms - 2.0 * after.sd_ms,
                                      0.25 * after.mean_ms);
     return lo_after > 0.0 ? hi_before / lo_after : 0.0;
+  }
+
+  /// True when the 0.25·mean clamp in the speedup bounds engages on
+  /// either side — i.e. 2·sd eats more than 75% of a mean, so the
+  /// measurement is too noisy for the ±2 sd bounds to be meaningful.
+  /// Surfaced as a stderr warning and a `high_variance` artifact flag
+  /// rather than silently clamping (a flagged measurement invites a
+  /// higher GB_HOSTPERF_REPS; a silent clamp hides it).
+  bool high_variance() const {
+    const auto clamped = [](const Sample& s) {
+      return s.mean_ms - 2.0 * s.sd_ms < 0.25 * s.mean_ms;
+    };
+    return clamped(before) || clamped(after);
   }
 
   /// Committed regression floor: never demand more than a quarter of the
@@ -313,6 +314,14 @@ std::vector<Entry> measure_all(int reps, const std::string& only) {
         measure_cell(*giraph, ds, platforms::Algorithm::kConn, reps));
     std::cerr << "[hostperf] " << ds.name << " done\n";
   }
+  for (const auto& e : entries) {
+    if (e.high_variance()) {
+      std::cerr << "[hostperf] warning: " << e.label()
+                << " is high-variance (2*sd exceeds 75% of a mean); the "
+                   "0.25*mean clamp bounds its speedup estimates — raise "
+                   "GB_HOSTPERF_REPS for a tighter measurement\n";
+    }
+  }
   return entries;
 }
 
@@ -333,6 +342,11 @@ void write_entry_fields(harness::JsonWriter& w, const Entry& e) {
   w.value(e.after.sd_ms);
   w.key("speedup");
   w.value(e.speedup());
+  if (e.high_variance()) {
+    // Only when set: low-variance artifacts keep their historical bytes.
+    w.key("high_variance");
+    w.value(true);
+  }
   if (e.algorithm == "BFS") {
     w.key("pull_levels");
     w.value(e.pull_levels);
@@ -461,6 +475,11 @@ int run_check(const std::string& file, int reps, const std::string& only) {
       continue;
     }
     const double floor = c.number_or("check_floor", 1.0);
+    if (match->high_variance()) {
+      std::cerr << "[check] warning: " << label
+                << " re-measured high-variance; its optimistic speedup is "
+                   "bounded by the 0.25*mean clamp\n";
+    }
     const double optimistic = match->optimistic_speedup();
     if (optimistic < floor) {
       std::cerr << "[check] FAILED: " << label << " optimistic speedup "

@@ -8,6 +8,7 @@
 #include <map>
 
 #include "core/error.h"
+#include "stats/stats.h"
 
 namespace gb::campaign {
 namespace {
@@ -18,6 +19,13 @@ std::string format_drift(double baseline, double current) {
       baseline != 0.0 ? (current - baseline) / baseline * 100.0 : 0.0;
   std::snprintf(buffer, sizeof(buffer), "%.6g s -> %.6g s (%+.1f%%)",
                 baseline, current, rel);
+  return buffer;
+}
+
+std::string format_interval(const stats::Interval& interval) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "[%.6g, %.6g]", interval.lo,
+                interval.hi);
   return buffer;
 }
 
@@ -102,16 +110,46 @@ BaselineDiff check_baseline(const std::vector<harness::CellResult>& baseline,
     }
     if (!base.ok()) continue;  // both failed the same way: shape preserved
 
-    // Interval check: a small absolute floor keeps sub-second cells from
-    // failing on harmless retuning, the relative band scales with the
-    // cell. Old journals carry the same fields, so they stay readable.
-    const double allowed = std::max(
-        tolerance.makespan_abs, tolerance.makespan_rel * base.makespan_sec);
-    if (std::fabs(now.makespan_sec - base.makespan_sec) > allowed) {
+    // Interval-overlap drift checks (DESIGN.md §15): both sides get a
+    // symmetric tolerance band — half-width max(abs floor, rel · value),
+    // so the absolute floor keeps sub-second cells from failing on
+    // harmless retuning while the relative band scales with the cell —
+    // and drift means the two bands are disjoint.
+    const auto drifted = [](double base_value, double now_value, double rel,
+                            double abs_floor) {
+      return !stats::overlaps(
+          stats::tolerance_interval(base_value, rel, abs_floor),
+          stats::tolerance_interval(now_value, rel, abs_floor));
+    };
+    if (drifted(base.makespan_sec, now.makespan_sec, tolerance.makespan_rel,
+                tolerance.makespan_abs)) {
       diff.findings.push_back(
           base.key + ": makespan drift " +
           format_drift(base.makespan_sec, now.makespan_sec) +
-          " exceeds tolerance");
+          " (disjoint tolerance intervals)");
+    }
+    if (drifted(base.computation_sec, now.computation_sec,
+                tolerance.computation_rel, tolerance.computation_abs)) {
+      diff.findings.push_back(
+          base.key + ": computation drift " +
+          format_drift(base.computation_sec, now.computation_sec) +
+          " (disjoint tolerance intervals)");
+    }
+    // Host-time gate: only when both records carry a distribution. With
+    // n >= 2 on both sides the t-CIs carry real dispersion information;
+    // anything less would turn wall-clock noise into a hard failure.
+    if (tolerance.check_host_time && base.host_ms.size() >= 2 &&
+        now.host_ms.size() >= 2) {
+      const auto base_ci = stats::t_interval(
+          std::span<const double>(base.host_ms), tolerance.host_confidence);
+      const auto now_ci = stats::t_interval(
+          std::span<const double>(now.host_ms), tolerance.host_confidence);
+      if (!stats::overlaps(base_ci, now_ci)) {
+        diff.findings.push_back(base.key + ": host-time CI " +
+                                format_interval(base_ci) + " ms vs " +
+                                format_interval(now_ci) +
+                                " ms are disjoint");
+      }
     }
     if (tolerance.check_iterations && base.iterations != now.iterations) {
       diff.findings.push_back(base.key + ": iterations changed " +

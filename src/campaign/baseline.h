@@ -8,6 +8,13 @@
 // deterministic, so the default tolerance exists to absorb intentional
 // cost-model retuning, not measurement noise; outcome-class changes and
 // output-hash changes are never tolerated.
+//
+// Drift checks are interval-based (DESIGN.md §15): every numeric field
+// gets a symmetric tolerance band on BOTH sides
+// (stats::tolerance_interval), and drift means the bands are disjoint —
+// not a one-sided fixed epsilon around the baseline. When both records
+// carry host-time distributions (campaign --reps), the mean host times
+// are additionally compared by Student-t confidence-interval overlap.
 #pragma once
 
 #include <string>
@@ -21,18 +28,34 @@ struct BaselineTolerance {
   /// Allowed relative makespan drift for cells that are ok in both runs.
   double makespan_rel = 0.05;
 
-  /// Absolute makespan floor (seconds) under the drift check. The allowed
-  /// interval is max(makespan_abs, makespan_rel * baseline), so
-  /// sub-second cells (where a fixed relative epsilon amplifies harmless
-  /// cost-model retuning into failures) get a small absolute band, and a
-  /// zero-makespan baseline no longer skips the check entirely.
+  /// Absolute makespan floor (seconds) under the drift check. Each
+  /// side's band half-width is max(makespan_abs, makespan_rel * value),
+  /// so sub-second cells (where a fixed relative epsilon amplifies
+  /// harmless cost-model retuning into failures) get a small absolute
+  /// band, and a zero-makespan baseline no longer skips the check
+  /// entirely.
   double makespan_abs = 0.01;
+
+  /// Allowed relative / absolute drift for computation_sec, under the
+  /// same interval-overlap rule as makespan.
+  double computation_rel = 0.05;
+  double computation_abs = 0.01;
 
   /// Require bit-identical algorithm output (FNV digest) per cell.
   bool check_output_hash = true;
 
   /// Require identical iteration counts per cell.
   bool check_iterations = true;
+
+  /// When both records carry >= 2 timed host repetitions (campaign
+  /// --reps), require their t-CIs for the mean host time to overlap.
+  /// Records without distributions skip this, so checking a --reps
+  /// baseline against a single-shot run (or across machines where no
+  /// one journaled host times) never flakes on wall-clock.
+  bool check_host_time = true;
+
+  /// Confidence level of the host-time intervals.
+  double host_confidence = 0.95;
 };
 
 /// Diff between a current campaign and a baseline. Empty findings = pass.

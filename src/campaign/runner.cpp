@@ -10,6 +10,7 @@
 #include "obs/rollup.h"
 #include "sim/cluster.h"
 #include "sim/faults.h"
+#include "stats/repeat.h"
 
 namespace gb::campaign {
 namespace {
@@ -73,20 +74,62 @@ const harness::CellResult* CampaignResult::find(const std::string& key) const {
 harness::CellResult run_cell_spec(const CellSpec& spec,
                                   datasets::DatasetCache& cache,
                                   std::uint32_t cell_parallelism,
-                                  std::uint32_t max_attempts) {
+                                  std::uint32_t max_attempts,
+                                  std::uint32_t reps, std::uint32_t warmup) {
   if (max_attempts == 0) max_attempts = 1;
+  if (reps == 0) reps = 1;
   try {
     const auto dataset = cache.get(spec.dataset, spec.scale, spec.seed);
-    harness::CellResult result;
-    std::uint32_t attempt = 0;
-    do {
-      ++attempt;
-      result = run_once(spec, *dataset, cell_parallelism);
-      result.attempts = attempt;
-      // Retry is only meaningful when the failure came from injected
-      // faults; a fault-free crash or timeout is the paper's result.
-    } while (!result.ok() && !spec.faults.empty() && attempt < max_attempts);
-    return result;
+    const auto execute = [&] {
+      harness::CellResult result;
+      std::uint32_t attempt = 0;
+      do {
+        ++attempt;
+        result = run_once(spec, *dataset, cell_parallelism);
+        result.attempts = attempt;
+        // Retry is only meaningful when the failure came from injected
+        // faults; a fault-free crash or timeout is the paper's result.
+      } while (!result.ok() && !spec.faults.empty() &&
+               attempt < max_attempts);
+      return result;
+    };
+    if (reps == 1 && warmup == 0) {
+      // Single-shot: the historical path, byte-identical records
+      // (host_ms stays empty and absent from serialization).
+      return execute();
+    }
+
+    // Methodology mode (DESIGN.md §15): warmup runs prime host caches
+    // and are discarded; each timed repetition re-runs the full
+    // bounded-retry execution. The simulated record must be
+    // bit-identical across repetitions (the engine determinism
+    // contract) — divergence fails the cell rather than being silently
+    // averaged away.
+    harness::CellResult canonical;
+    bool have_canonical = false;
+    bool diverged = false;
+    const auto repeated = stats::repeat_measure(
+        [&] {
+          harness::CellResult r = execute();
+          if (!have_canonical) {
+            canonical = std::move(r);
+            have_canonical = true;
+            return;
+          }
+          diverged = diverged || r.outcome != canonical.outcome ||
+                     r.makespan_sec != canonical.makespan_sec ||
+                     r.computation_sec != canonical.computation_sec ||
+                     r.iterations != canonical.iterations ||
+                     r.output_hash != canonical.output_hash;
+        },
+        {.warmup = warmup, .reps = reps});
+    if (diverged) {
+      return error_result(spec,
+                          "nondeterministic cell: simulated record diverged "
+                          "across repetitions");
+    }
+    canonical.host_ms = repeated.times_ms;
+    return canonical;
   } catch (const std::exception& e) {
     // Dataset generation failures, bad fault specs, engine invariant
     // violations: record the cell as "error" rather than losing the
@@ -133,7 +176,8 @@ CampaignResult run_campaign(const GridSpec& grid, const RunnerOptions& options,
     for (std::size_t t = begin; t < end; ++t) {
       const std::size_t i = todo[t];
       harness::CellResult cell = run_cell_spec(
-          specs[i], cache, options.cell_parallelism, options.max_attempts);
+          specs[i], cache, options.cell_parallelism, options.max_attempts,
+          options.reps, options.warmup);
       if (journal) journal->append(cell);
       result.cells[i] = std::move(cell);
     }
@@ -185,6 +229,37 @@ std::string campaign_report_json(const CampaignResult& result) {
     json.value(value);
   }
   json.end_object();
+  json.end_object();
+  // Host-time methodology section: per-cell mean ± 95% t-CI derived from
+  // the journaled host_ms distributions. Empty object in single-shot
+  // mode, so default reports stay byte-identical across parallelism and
+  // resume; with --reps this is the one run-dependent section.
+  json.key("host");
+  json.begin_object();
+  for (const auto& cell : result.cells) {
+    if (cell.host_ms.empty()) continue;
+    const auto repeated = stats::summarize_times(cell.host_ms);
+    const auto ci = repeated.mean_ci();
+    json.key(cell.key);
+    json.begin_object();
+    json.key("reps");
+    json.value(static_cast<std::uint64_t>(repeated.times_ms.size()));
+    json.key("mean_ms");
+    json.value(repeated.stats.mean);
+    json.key("sd_ms");
+    json.value(repeated.stats.sd);
+    json.key("min_ms");
+    json.value(repeated.stats.min);
+    json.key("max_ms");
+    json.value(repeated.stats.max);
+    json.key("ci95_lo_ms");
+    json.value(ci.lo);
+    json.key("ci95_hi_ms");
+    json.value(ci.hi);
+    json.key("outliers");
+    json.value(static_cast<std::uint64_t>(repeated.outliers.size()));
+    json.end_object();
+  }
   json.end_object();
   json.end_object();
   return json.str();

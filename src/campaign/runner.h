@@ -48,6 +48,16 @@ struct RunnerOptions {
   /// crashes and timeouts) are results, never retried.
   std::uint32_t max_attempts = 1;
 
+  /// Timed repetitions per cell (DESIGN.md §15). 1 = the historical
+  /// single-shot mode with byte-identical records. >1 re-runs each cell,
+  /// asserts the simulated record is bit-identical across repetitions,
+  /// and stores the host wall-clock of every timed run in
+  /// CellResult::host_ms so reports carry mean ± CI instead of nothing.
+  std::uint32_t reps = 1;
+
+  /// Untimed warmup runs per cell before the first timed repetition.
+  std::uint32_t warmup = 0;
+
   /// Disk cache directory for dataset generation (DatasetCache /
   /// load_or_generate); empty = $GB_CACHE_DIR or the default.
   std::string cache_dir;
@@ -81,10 +91,17 @@ sim::ClusterConfig cluster_config_for(const CellSpec& spec,
 /// Run one cell to completion (including bounded fault retries) and
 /// package the journal-schema record. Does not journal; run_campaign
 /// does. Exposed for gb_run-style single-cell reuse and tests.
+/// With reps > 1 (or warmup > 0) the whole bounded-retry execution is
+/// repeated — warmup runs untimed and discarded, then `reps` timed
+/// repetitions whose host wall-clock lands in CellResult::host_ms. The
+/// simulated record must be bit-identical across repetitions; divergence
+/// produces an "error" record instead of a silently averaged lie.
 harness::CellResult run_cell_spec(const CellSpec& spec,
                                   datasets::DatasetCache& cache,
                                   std::uint32_t cell_parallelism = 1,
-                                  std::uint32_t max_attempts = 1);
+                                  std::uint32_t max_attempts = 1,
+                                  std::uint32_t reps = 1,
+                                  std::uint32_t warmup = 0);
 
 /// Run the whole grid with a private DatasetCache.
 CampaignResult run_campaign(const GridSpec& grid,
@@ -95,9 +112,13 @@ CampaignResult run_campaign(const GridSpec& grid,
 CampaignResult run_campaign(const GridSpec& grid, const RunnerOptions& options,
                             datasets::DatasetCache& cache);
 
-/// The campaign report: {"cells": [...], "rollup": {...}}. Contains only
-/// run-independent data, so an interrupted-and-resumed campaign produces
-/// byte-identical bytes to an uninterrupted one at any parallelism.
+/// The campaign report: {"cells": [...], "rollup": {...}, "host": {...}}.
+/// The simulated fields are run-independent, so an interrupted-and-
+/// resumed campaign produces byte-identical bytes to an uninterrupted
+/// one at any parallelism. The "host" section — per-cell host-time
+/// mean / sd / 95% t-CI, derived deterministically from the journaled
+/// host_ms distributions — is the one part that varies run to run; it is
+/// an empty object in single-shot mode, preserving full byte identity.
 std::string campaign_report_json(const CampaignResult& result);
 
 }  // namespace gb::campaign

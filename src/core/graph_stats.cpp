@@ -5,6 +5,8 @@
 #include <iterator>
 #include <vector>
 
+#include "stats/stats.h"
+
 namespace gb {
 
 GraphSummary summarize(const Graph& g) {
@@ -140,16 +142,30 @@ DegreeDistribution degree_distribution(const Graph& g) {
   d.max_degree = degrees.back();
   d.mean = total / static_cast<double>(n);
   const auto percentile = [&](double p) {
-    // Nearest-rank on the sorted degrees. Truncation used to pull every
-    // percentile toward the floor (p99 of 11 ranks landed on rank 9, not
-    // the rounded rank 10), so round to the nearest index instead.
-    const auto idx = static_cast<std::size_t>(
-        std::llround(p * static_cast<double>(n - 1)));
-    return degrees[idx];
+    // The repo-wide nearest-rank rule (stats::nearest_rank): the smallest
+    // degree with at least p·n of the vertices at or below it. This is
+    // the same rule the serving percentiles use, so a p99 here and a p99
+    // there mean the same thing; a skewed tail (the star hub) is hit at
+    // p99 exactly as before.
+    return degrees[stats::nearest_rank(n, p) - 1];
   };
   d.p50 = percentile(0.50);
   d.p90 = percentile(0.90);
   d.p99 = percentile(0.99);
+  // Moment skewness over the full degree population (all n vertices are
+  // observed, so the population moments are the right ones here).
+  {
+    double m2 = 0;
+    double m3 = 0;
+    for (const EdgeId deg : degrees) {
+      const double dx = static_cast<double>(deg) - d.mean;
+      m2 += dx * dx;
+      m3 += dx * dx * dx;
+    }
+    m2 /= static_cast<double>(n);
+    m3 /= static_cast<double>(n);
+    if (m2 > 0) d.skewness = m3 / std::pow(m2, 1.5);
+  }
   // Gini over the sorted degrees: G = (2*sum(i*x_i))/(n*sum(x)) - (n+1)/n.
   if (total > 0) {
     double weighted = 0;

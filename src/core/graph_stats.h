@@ -88,6 +88,11 @@ struct DegreeDistribution {
   EdgeId p90 = 0;
   EdgeId p99 = 0;
   double gini = 0;  // 0 = regular graph, -> 1 = all edges on one hub
+  /// Moment skewness g1 = m3 / m2^1.5 of the degree sequence (0 for a
+  /// regular graph, large and positive for hub-dominated ones). The
+  /// dataset-realism audit (gb_datagen --audit) reports it per dataset
+  /// per the SoK's complaint about unrealistically symmetric synthetics.
+  double skewness = 0;
   /// sum(deg^2): the neighborhood-exchange volume in id entries — the
   /// quantity behind every STATS crash in the paper.
   double sum_squared_degree = 0;

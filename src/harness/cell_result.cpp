@@ -132,6 +132,13 @@ void write_cell_result(JsonWriter& json, const CellResult& result) {
   json.value(static_cast<std::uint64_t>(result.attempts));
   json.key("output_hash");
   json.value(hex64(result.output_hash));
+  if (!result.host_ms.empty()) {
+    // Only when present: single-shot records keep their historical bytes.
+    json.key("host_ms");
+    json.begin_array();
+    for (const double ms : result.host_ms) json.value(ms);
+    json.end_array();
+  }
   json.key("metrics");
   json.begin_object();
   json.key("counters");
@@ -178,6 +185,17 @@ CellResult cell_result_from_json(const std::string& text) {
   r.iterations = doc.u64_or("iterations", 0);
   r.attempts = static_cast<std::uint32_t>(doc.u64_or("attempts", 1));
   r.output_hash = parse_hex64(doc.string_or("output_hash", "0"));
+  if (const JsonValue* host = doc.find("host_ms")) {
+    if (!host->is_array()) {
+      throw FormatError("cell result: host_ms is not an array");
+    }
+    for (const JsonValue& ms : host->array) {
+      if (ms.kind != JsonValue::Kind::kNumber) {
+        throw FormatError("cell result: host_ms entry is not a number");
+      }
+      r.host_ms.push_back(ms.number);
+    }
+  }
   if (const JsonValue* metrics = doc.find("metrics")) {
     if (const JsonValue* counters = metrics->find("counters")) {
       for (const auto& [name, value] : counters->object) {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "obs/metrics.h"
@@ -44,6 +45,17 @@ struct CellResult {
   /// counts). Pins bit-identity of results across parallelism settings
   /// and baseline generations without storing the full output.
   std::uint64_t output_hash = 0;
+
+  /// Host wall-clock milliseconds of each timed repetition of this cell
+  /// (campaign --reps; empty for single-shot runs, and then absent from
+  /// the serialized record, so existing journals and baselines keep
+  /// their exact bytes). This is the one deliberate exception to the
+  /// "no host wall-clock" rule above: the *simulated* fields stay
+  /// bit-identical across reps and parallelism — enforced per rep by the
+  /// runner — while the host-time distribution is what the mean ± CI
+  /// methodology reporting summarizes. Resume reuses the journaled
+  /// distribution, so completed repetitions survive a crash.
+  std::vector<double> host_ms;
 
   /// Per-cell metrics snapshot (journaled so a resumed campaign's rollup
   /// matches an uninterrupted one).

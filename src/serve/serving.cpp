@@ -17,19 +17,16 @@
 #include "obs/rollup.h"
 #include "platforms/job.h"
 #include "sim/event_queue.h"
+#include "stats/stats.h"
 
 namespace gb::serve {
 
 double percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  if (q <= 0.0) return values.front();
-  if (q >= 1.0) return values.back();
-  // Nearest-rank: the smallest value with at least q·n of the sample at
-  // or below it.
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(values.size())));
-  return values[std::max<std::size_t>(rank, 1) - 1];
+  // One rank rule repo-wide: stats::percentile implements the same
+  // nearest-rank selection this helper always used (golden-tested on 1-,
+  // 2- and ties-heavy inputs in tests/stats/), so the forwarding is
+  // behavior-preserving by construction.
+  return stats::percentile(std::move(values), q);
 }
 
 double jain_fairness(const std::vector<double>& values) {
@@ -45,18 +42,17 @@ double jain_fairness(const std::vector<double>& values) {
 }
 
 LatencyStats latency_stats(const std::vector<double>& values) {
-  LatencyStats stats;
-  if (values.empty()) return stats;
-  stats.p50 = percentile(values, 0.50);
-  stats.p95 = percentile(values, 0.95);
-  stats.p99 = percentile(values, 0.99);
-  double sum = 0.0;
-  for (const double x : values) {
-    sum += x;
-    stats.max = std::max(stats.max, x);
-  }
-  stats.mean = sum / static_cast<double>(values.size());
-  return stats;
+  LatencyStats out;
+  if (values.empty()) return out;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  out.p50 = stats::percentile_sorted(sorted, 0.50);
+  out.p95 = stats::percentile_sorted(sorted, 0.95);
+  out.p99 = stats::percentile_sorted(sorted, 0.99);
+  const auto d = stats::describe(sorted);
+  out.mean = d.mean;
+  out.max = d.max;
+  return out;
 }
 
 namespace {

@@ -1,0 +1,49 @@
+#include "stats/repeat.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace gb::stats {
+
+std::vector<std::size_t> flag_outliers(const std::vector<double>& values,
+                                       double fence_k) {
+  std::vector<std::size_t> flagged;
+  if (values.size() < 4) return flagged;  // quartiles need a real sample
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double q1 = percentile_interpolated_sorted(sorted, 0.25);
+  const double q3 = percentile_interpolated_sorted(sorted, 0.75);
+  const double iqr = q3 - q1;
+  const double lo = q1 - fence_k * iqr;
+  const double hi = q3 + fence_k * iqr;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < lo || values[i] > hi) flagged.push_back(i);
+  }
+  return flagged;
+}
+
+RepeatResult summarize_times(std::vector<double> times_ms, double fence_k) {
+  RepeatResult result;
+  result.times_ms = std::move(times_ms);
+  result.outliers = flag_outliers(result.times_ms, fence_k);
+  result.stats = describe(result.times_ms);
+  return result;
+}
+
+RepeatResult repeat_measure(const std::function<void()>& fn,
+                            const RepeatOptions& options) {
+  for (std::uint32_t w = 0; w < options.warmup; ++w) fn();
+  const std::uint32_t reps = std::max(options.reps, 1u);
+  std::vector<double> times_ms;
+  times_ms.reserve(reps);
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    times_ms.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  return summarize_times(std::move(times_ms), options.outlier_fence_k);
+}
+
+}  // namespace gb::stats

@@ -1,0 +1,61 @@
+// Controlled repeated measurement (DESIGN.md §15).
+//
+// LDBC Graphalytics prescribes the discipline every host wall-clock
+// claim in this repo follows: N untimed warmup runs (faulting in caches,
+// the allocator, and the branch predictor's opinion of the code) and M
+// timed repetitions, reported as a dispersion-aware summary rather than
+// a single number. RepeatedMeasurement is that discipline in one place;
+// bench_hostperf and gb_campaign --reps both run through it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/stats.h"
+
+namespace gb::stats {
+
+struct RepeatOptions {
+  /// Untimed warmup runs before the first timed repetition.
+  std::uint32_t warmup = 1;
+  /// Timed repetitions. 0 is coerced to 1 — a measurement with no timed
+  /// run is not a measurement.
+  std::uint32_t reps = 3;
+  /// Tukey fence multiplier for outlier flagging: a repetition beyond
+  /// [q1 - k·IQR, q3 + k·IQR] is flagged (never dropped — dropping data
+  /// silently is the SoK's complaint, flagging it is the fix).
+  double outlier_fence_k = 3.0;
+};
+
+/// The timed repetitions of one measured operation, in execution order,
+/// plus the derived summary. Outliers are flagged, never removed:
+/// `stats` and `mean_ci` summarize every timed repetition.
+struct RepeatResult {
+  std::vector<double> times_ms;        // one entry per timed repetition
+  std::vector<std::size_t> outliers;   // indices into times_ms, ascending
+  Description stats;                   // describe(times_ms)
+
+  /// Student-t confidence interval for the mean host time. Degenerate
+  /// ([mean, mean]) when reps < 2.
+  Interval mean_ci(double confidence = 0.95) const {
+    return t_interval(stats, confidence);
+  }
+};
+
+/// Flag outliers on an existing sample with the Tukey fence rule
+/// (quartiles by linear interpolation). Exposed so journaled host-time
+/// distributions can be re-audited without re-running anything.
+std::vector<std::size_t> flag_outliers(const std::vector<double>& values,
+                                       double fence_k = 3.0);
+
+/// Run `fn` warmup+reps times, timing the reps with a steady clock.
+RepeatResult repeat_measure(const std::function<void()>& fn,
+                            const RepeatOptions& options = {});
+
+/// Summarize an already-collected host-time sample the same way
+/// repeat_measure would (shared by journal-resumed campaign cells).
+RepeatResult summarize_times(std::vector<double> times_ms,
+                             double fence_k = 3.0);
+
+}  // namespace gb::stats

@@ -1,0 +1,343 @@
+#include "stats/stats.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/rng.h"
+#include "core/thread_pool.h"
+
+namespace gb::stats {
+namespace {
+
+/// Continued-fraction evaluation for the regularized incomplete beta
+/// (Lentz's method, the classic betacf arrangement). Converges in a few
+/// dozen iterations for every (a, b, x) the t CDF feeds it.
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-16;
+  constexpr double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+/// Regularized incomplete beta I_x(a, b).
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry that keeps the continued fraction fast-converging.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+/// Per-replicate RNG stream: a SplitMix64 hash of (seed, index) seeds an
+/// independent Xoshiro256 per bootstrap replicate, so replicate b draws
+/// the same resample whichever thread runs it.
+Xoshiro256 replicate_rng(std::uint64_t seed, std::uint64_t index) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  return Xoshiro256(sm.next());
+}
+
+}  // namespace
+
+Description describe(std::span<const double> values) {
+  Description d;
+  d.n = values.size();
+  if (values.empty()) return d;
+  d.min = values.front();
+  d.max = values.front();
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+    d.min = std::min(d.min, v);
+    d.max = std::max(d.max, v);
+  }
+  d.mean = sum / static_cast<double>(d.n);
+  if (d.n > 1) {
+    // Unbiased sample variance: divisor n-1. The population divisor n
+    // understates spread at exactly the small rep counts the perf gates
+    // run with, which makes ±k·sd bands too tight.
+    double ss = 0.0;
+    for (const double v : values) ss += (v - d.mean) * (v - d.mean);
+    d.variance = ss / static_cast<double>(d.n - 1);
+    d.sd = std::sqrt(d.variance);
+  }
+  return d;
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  return sorted[nearest_rank(sorted.size(), q) - 1];
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, q);
+}
+
+double percentile_interpolated_sorted(std::span<const double> sorted,
+                                      double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const double h = clamped * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile_interpolated(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return percentile_interpolated_sorted(values, q);
+}
+
+bool overlaps(const Interval& a, const Interval& b) {
+  return a.lo <= b.hi && b.lo <= a.hi;
+}
+
+Interval tolerance_interval(double value, double rel, double abs_floor) {
+  const double e = std::max(abs_floor, rel * std::fabs(value));
+  Interval iv;
+  iv.lo = value - e;
+  iv.hi = value + e;
+  iv.center = value;
+  iv.confidence = 0.0;  // a tolerance band, not a statistical interval
+  return iv;
+}
+
+double normal_quantile(double p) {
+  // Acklam's inverse-normal rational approximation.
+  if (!(p > 0.0 && p < 1.0)) {
+    if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+    return std::numeric_limits<double>::infinity();
+  }
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double student_t_cdf(double t, double df) {
+  if (df <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (t == 0.0) return 0.5;
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * incomplete_beta(0.5 * df, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double student_t_quantile(double p, double df) {
+  if (df <= 0.0 || !(p > 0.0 && p < 1.0)) {
+    if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+    if (p >= 1.0) return std::numeric_limits<double>::infinity();
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (p == 0.5) return 0.0;
+  // Symmetric, monotone CDF → bisection is exact enough (≈1e-12 wide
+  // final bracket) and immune to the approximation-drift bugs of
+  // closed-form inverses. The normal quantile seeds the bracket.
+  const bool upper = p > 0.5;
+  const double target = upper ? p : 1.0 - p;
+  double lo = 0.0;
+  double hi = std::max(2.0, 2.0 * std::fabs(normal_quantile(target)));
+  while (student_t_cdf(hi, df) < target && hi < 1e12) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, df) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * std::max(1.0, hi)) break;
+  }
+  const double t = 0.5 * (lo + hi);
+  return upper ? t : -t;
+}
+
+Interval t_interval(const Description& d, double confidence) {
+  Interval iv;
+  iv.center = d.mean;
+  iv.confidence = confidence;
+  if (d.n < 2 || d.sd == 0.0) {
+    iv.lo = d.mean;
+    iv.hi = d.mean;
+    return iv;
+  }
+  const double alpha = 1.0 - confidence;
+  const double t = student_t_quantile(1.0 - 0.5 * alpha,
+                                      static_cast<double>(d.n - 1));
+  const double half = t * d.sd / std::sqrt(static_cast<double>(d.n));
+  iv.lo = d.mean - half;
+  iv.hi = d.mean + half;
+  return iv;
+}
+
+Interval t_interval(std::span<const double> values, double confidence) {
+  return t_interval(describe(values), confidence);
+}
+
+Interval bootstrap_bca(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic,
+    const BootstrapOptions& options, ThreadPool* pool) {
+  const std::size_t n = values.size();
+  const double theta = n > 0 ? statistic(values) : 0.0;
+  Interval iv;
+  iv.center = theta;
+  iv.confidence = options.confidence;
+  iv.lo = theta;
+  iv.hi = theta;
+  if (n < 2 || options.resamples < 2) return iv;
+
+  // Replicates, one RNG stream per index: chunking them over the pool
+  // reorders only the work, never a draw, so the replicate vector — and
+  // everything derived from it — is bit-identical at every parallelism.
+  const std::size_t B = options.resamples;
+  std::vector<double> replicates(B);
+  run_chunks(
+      pool, B,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::vector<double> resample(n);
+        for (std::size_t b = begin; b < end; ++b) {
+          auto rng = replicate_rng(options.seed, b);
+          for (std::size_t i = 0; i < n; ++i) {
+            resample[i] = values[rng.next_below(n)];
+          }
+          replicates[b] = statistic(resample);
+        }
+      },
+      /*grain=*/16);
+
+  std::vector<double> sorted = replicates;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front() == sorted.back()) return iv;  // constant statistic
+
+  // Bias correction z0: the normal quantile of the fraction of
+  // replicates below the full-sample statistic (ties split evenly so a
+  // heavily tied replicate set does not bias the correction).
+  double below = 0.0;
+  for (const double r : replicates) {
+    if (r < theta) {
+      below += 1.0;
+    } else if (r == theta) {
+      below += 0.5;
+    }
+  }
+  double frac = below / static_cast<double>(B);
+  frac = std::clamp(frac, 0.5 / static_cast<double>(B),
+                    1.0 - 0.5 / static_cast<double>(B));
+  const double z0 = normal_quantile(frac);
+
+  // Acceleration from the jackknife skew of the statistic.
+  std::vector<double> loo(n - 1);
+  std::vector<double> jack(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t k = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) loo[k++] = values[j];
+    }
+    jack[i] = statistic(loo);
+  }
+  double jack_mean = 0.0;
+  for (const double v : jack) jack_mean += v;
+  jack_mean /= static_cast<double>(n);
+  double num = 0.0;
+  double den = 0.0;
+  for (const double v : jack) {
+    const double d = jack_mean - v;
+    num += d * d * d;
+    den += d * d;
+  }
+  const double accel =
+      den > 0.0 ? num / (6.0 * std::pow(den, 1.5)) : 0.0;
+
+  const double alpha = 1.0 - options.confidence;
+  const auto adjusted = [&](double a) {
+    const double z = normal_quantile(a);
+    const double w = z0 + (z0 + z) / (1.0 - accel * (z0 + z));
+    // Guard the degenerate accel * (z0 + z) -> 1 pole.
+    if (!std::isfinite(w)) return a < 0.5 ? 0.0 : 1.0;
+    // Φ(w) via the complementary error function.
+    return 0.5 * std::erfc(-w / std::sqrt(2.0));
+  };
+  const double a1 = adjusted(0.5 * alpha);
+  const double a2 = adjusted(1.0 - 0.5 * alpha);
+  iv.lo = percentile_interpolated_sorted(sorted, a1);
+  iv.hi = percentile_interpolated_sorted(sorted, a2);
+  if (iv.lo > iv.hi) std::swap(iv.lo, iv.hi);
+  return iv;
+}
+
+Interval bootstrap_mean(std::span<const double> values,
+                        const BootstrapOptions& options, ThreadPool* pool) {
+  return bootstrap_bca(
+      values,
+      [](std::span<const double> sample) {
+        double sum = 0.0;
+        for (const double v : sample) sum += v;
+        return sample.empty() ? 0.0 : sum / static_cast<double>(sample.size());
+      },
+      options, pool);
+}
+
+}  // namespace gb::stats

@@ -1,0 +1,141 @@
+// Shared statistical methodology layer (DESIGN.md §15).
+//
+// Every measurement surface in this repo — campaign cells, serving
+// percentiles, host-perf trajectories — reports numbers that back a
+// claim, and the SoK on graph-benchmark faults calls out exactly the
+// mistakes a hand-rolled helper invites: population variance on tiny
+// samples, ad-hoc percentile rank rules that disagree between callers,
+// and fixed-epsilon regression gates that ignore dispersion entirely.
+// This library is the single implementation those surfaces share:
+//
+//   * descriptive statistics with the *sample* (n-1) variance;
+//   * nearest-rank and linearly interpolated percentiles with one
+//     documented rank rule (golden tests pin it on 1-, 2- and
+//     ties-heavy inputs);
+//   * Student-t and BCa-bootstrap confidence intervals, the bootstrap
+//     driven by a seeded deterministic resampler whose replicate
+//     streams are independent of host parallelism;
+//   * interval-overlap comparison, the primitive behind every
+//     dispersion-aware regression gate.
+//
+// Everything here is deterministic: same inputs (and seed) → bit-equal
+// outputs, at every thread count.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace gb {
+class ThreadPool;
+}
+
+namespace gb::stats {
+
+/// Descriptive summary of a sample. `variance` is the unbiased sample
+/// variance (divisor n-1); a single observation has zero variance by
+/// convention (there is no spread information, not infinite spread).
+struct Description {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // sample variance, divisor n-1
+  double sd = 0.0;        // sqrt(variance)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Description describe(std::span<const double> values);
+
+/// The one rank rule every percentile in this repo uses. Nearest-rank:
+/// the q-th percentile of n sorted values is the value at (1-based) rank
+/// ceil(q * n), clamped to [1, n] — the smallest value with at least
+/// q·n of the sample at or below it. q <= 0 yields rank 1 (the min),
+/// q >= 1 yields rank n (the max). Inline so gp_core's graph statistics
+/// can share the rule without a link dependency on gp_stats.
+inline std::size_t nearest_rank(std::size_t n, double q) {
+  if (n == 0) return 0;
+  if (q <= 0.0) return 1;
+  if (q >= 1.0) return n;
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  return std::clamp<std::size_t>(rank, 1, n);
+}
+
+/// Nearest-rank percentile of an already sorted sample; 0 when empty.
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Nearest-rank percentile of an unsorted sample (sorts a copy).
+double percentile(std::vector<double> values, double q);
+
+/// Linearly interpolated percentile (the R-7 / NumPy "linear" rule:
+/// index h = q * (n - 1), interpolate between floor(h) and ceil(h)).
+/// Smoother than nearest-rank for small samples; used where a continuous
+/// estimate matters (bootstrap replicate quantiles). 0 when empty.
+double percentile_interpolated_sorted(std::span<const double> sorted, double q);
+double percentile_interpolated(std::vector<double> values, double q);
+
+/// A two-sided confidence interval around a point estimate.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double center = 0.0;      // the point estimate the interval brackets
+  double confidence = 0.0;  // e.g. 0.95
+};
+
+/// Closed-interval overlap: [a.lo, a.hi] ∩ [b.lo, b.hi] ≠ ∅. The
+/// primitive behind the interval-based regression gates: two
+/// measurements are compatible when their intervals intersect.
+bool overlaps(const Interval& a, const Interval& b);
+
+/// The symmetric tolerance interval [v - e, v + e] with
+/// e = max(abs_floor, rel * |v|). This is how a deterministic scalar
+/// (a simulated makespan) is given a comparison band: both sides of a
+/// baseline check get one, and drift means the bands do not intersect.
+Interval tolerance_interval(double value, double rel, double abs_floor);
+
+/// Standard normal quantile Φ⁻¹(p), p in (0, 1). Acklam's rational
+/// approximation, |relative error| < 1.15e-9 — more than enough for
+/// bootstrap bias corrections.
+double normal_quantile(double p);
+
+/// Student-t quantile: the t with CDF_t(t; df) = p, p in (0, 1), df > 0.
+/// Evaluated by bisection on the exact CDF (regularized incomplete
+/// beta), so closed-form table values are reproduced to ~1e-10.
+double student_t_quantile(double p, double df);
+
+/// Student-t CDF (exposed for tests).
+double student_t_cdf(double t, double df);
+
+/// Two-sided Student-t confidence interval for the mean of a sample.
+/// n < 2 yields the degenerate interval [mean, mean] — one observation
+/// carries no dispersion information, and the gates treat a degenerate
+/// interval as "no evidence of drift" only via the tolerance band.
+Interval t_interval(const Description& d, double confidence = 0.95);
+Interval t_interval(std::span<const double> values, double confidence = 0.95);
+
+struct BootstrapOptions {
+  std::size_t resamples = 1000;
+  std::uint64_t seed = 42;
+  double confidence = 0.95;
+};
+
+/// BCa (bias-corrected and accelerated) bootstrap confidence interval
+/// for an arbitrary statistic. Replicate b draws its resample from an
+/// RNG derived from (seed, b) alone, and replicates are merged in index
+/// order — so the interval is bit-identical at every `pool` size,
+/// including none. Degenerate inputs (n < 2, or a statistic that is
+/// constant across replicates) collapse to [stat, stat].
+Interval bootstrap_bca(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic,
+    const BootstrapOptions& options = {}, ThreadPool* pool = nullptr);
+
+/// bootstrap_bca for the mean (the common case).
+Interval bootstrap_mean(std::span<const double> values,
+                        const BootstrapOptions& options = {},
+                        ThreadPool* pool = nullptr);
+
+}  // namespace gb::stats

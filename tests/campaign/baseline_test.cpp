@@ -114,6 +114,73 @@ TEST(Baseline, ZeroMakespanBaselineIsStillChecked) {
   EXPECT_NE(diff.findings[0].find("makespan drift"), std::string::npos);
 }
 
+TEST(Baseline, IntervalOverlapIsSymmetricTwoSided) {
+  // Both sides carry a band: base 100 ± 5 vs now 108 ± 5.4 still overlap
+  // (the old one-sided epsilon would have failed 8% > 5%); 120 ± 6 is
+  // disjoint and fails.
+  const std::vector<harness::CellResult> base = {cell("a", "ok", 100.0)};
+  EXPECT_TRUE(check_baseline(base, {cell("a", "ok", 108.0)}).ok());
+  EXPECT_FALSE(check_baseline(base, {cell("a", "ok", 120.0)}).ok());
+  // Symmetric: swapping baseline and current gives the same verdicts.
+  EXPECT_TRUE(check_baseline({cell("a", "ok", 108.0)}, base).ok());
+  EXPECT_FALSE(check_baseline({cell("a", "ok", 120.0)}, base).ok());
+}
+
+TEST(Baseline, ComputationDriftIsChecked) {
+  auto base = cell("a", "ok", 10.0);
+  auto now = cell("a", "ok", 10.0);
+  base.computation_sec = 8.0;
+  now.computation_sec = 10.0;  // disjoint 5% bands: [7.6,8.4] vs [9.5,10.5]
+  const auto diff = check_baseline({base}, {now});
+  ASSERT_EQ(diff.findings.size(), 1u);
+  EXPECT_NE(diff.findings[0].find("computation drift"), std::string::npos);
+
+  BaselineTolerance loose;
+  loose.computation_rel = 0.2;  // [6.4,9.6] vs [8,12] overlap
+  EXPECT_TRUE(check_baseline({base}, {now}, loose).ok());
+}
+
+TEST(Baseline, HostTimeCiOverlapGate) {
+  auto base = cell("a", "ok", 10.0);
+  auto now = cell("a", "ok", 10.0);
+  base.host_ms = {100.0, 102.0, 101.0};
+  now.host_ms = {101.0, 103.0, 102.0};  // CIs overlap: compatible
+  EXPECT_TRUE(check_baseline({base}, {now}).ok());
+
+  now.host_ms = {200.0, 202.0, 201.0};  // 2x slower, tight CIs: disjoint
+  const auto diff = check_baseline({base}, {now});
+  ASSERT_EQ(diff.findings.size(), 1u);
+  EXPECT_NE(diff.findings[0].find("host-time CI"), std::string::npos);
+
+  BaselineTolerance off;
+  off.check_host_time = false;
+  EXPECT_TRUE(check_baseline({base}, {now}, off).ok());
+}
+
+TEST(Baseline, HostTimeGateSkipsSingleShotSides) {
+  // Either side without a real distribution (n < 2) skips the host gate:
+  // a --reps baseline checked by a single-shot CI run must not flake.
+  auto base = cell("a", "ok", 10.0);
+  auto now = cell("a", "ok", 10.0);
+  base.host_ms = {100.0, 102.0, 101.0};
+  EXPECT_TRUE(check_baseline({base}, {now}).ok());
+  now.host_ms = {5000.0};
+  EXPECT_TRUE(check_baseline({base}, {now}).ok());
+}
+
+TEST(Baseline, HostTimeDistributionRoundTripsThroughSaveLoad) {
+  const auto path = temp_path("baseline_host_ms.jsonl");
+  auto with_reps = cell("a", "ok", 10.0);
+  with_reps.host_ms = {12.25, 11.5, 13.75};
+  save_baseline(path, {with_reps, cell("b", "ok", 10.0)});
+  const auto loaded = load_baseline(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].host_ms, with_reps.host_ms);
+  EXPECT_TRUE(loaded[1].host_ms.empty());
+  EXPECT_EQ(harness::cell_result_to_json(loaded[0]),
+            harness::cell_result_to_json(with_reps));
+}
+
 TEST(Baseline, OutcomeClassChangeFails) {
   const std::vector<harness::CellResult> base = {cell("a", "ok", 10.0)};
   const std::vector<harness::CellResult> now = {cell("a", "crash(OOM)", 0.0)};

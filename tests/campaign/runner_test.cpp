@@ -214,6 +214,112 @@ TEST(Runner, BadCellSpecBecomesErrorResultNotACrash) {
   EXPECT_FALSE(result.message.empty());
 }
 
+TEST(Runner, RepsRecordHostTimeDistribution) {
+  CellSpec spec;
+  spec.platform = "Giraph";
+  spec.dataset = DatasetId::kAmazon;
+  spec.algorithm = Algorithm::kBfs;
+  spec.workers = 4;
+  spec.scale = 0.01;
+  datasets::DatasetCache cache(disk_cache_dir());
+
+  const auto single = run_cell_spec(spec, cache);
+  EXPECT_TRUE(single.host_ms.empty());  // single-shot: historical bytes
+
+  const auto repeated = run_cell_spec(spec, cache, 1, 1, /*reps=*/3,
+                                      /*warmup=*/1);
+  ASSERT_EQ(repeated.host_ms.size(), 3u);
+  for (const double ms : repeated.host_ms) EXPECT_GE(ms, 0.0);
+  // The simulated record is unchanged by repetition.
+  EXPECT_EQ(repeated.outcome, single.outcome);
+  EXPECT_EQ(repeated.makespan_sec, single.makespan_sec);
+  EXPECT_EQ(repeated.output_hash, single.output_hash);
+  EXPECT_EQ(repeated.iterations, single.iterations);
+}
+
+TEST(Runner, RepsJournalRoundTripAndResumeKeepsRepetitions) {
+  const auto grid = small_grid();
+  const auto journal = temp_path("runner_reps_journal.jsonl");
+  std::filesystem::remove(journal);
+  auto options = options_with(1, journal);
+  options.reps = 3;
+
+  const auto first = run_campaign(grid, options);
+  for (const auto& cell : first.cells) {
+    EXPECT_EQ(cell.host_ms.size(), 3u) << cell.key;
+  }
+
+  // The journaled distribution round-trips byte-exactly...
+  const auto latest = Journal::read_latest(journal);
+  for (const auto& cell : first.cells) {
+    EXPECT_EQ(harness::cell_result_to_json(latest.at(cell.key)),
+              harness::cell_result_to_json(cell));
+  }
+
+  // ...and a resumed campaign keeps the completed repetitions instead of
+  // re-measuring them: the resumed report is byte-identical, host times
+  // included.
+  const auto resumed = run_campaign(grid, options);
+  EXPECT_EQ(resumed.executed, 0u);
+  EXPECT_EQ(campaign_report_json(resumed), campaign_report_json(first));
+}
+
+TEST(Runner, RepsCrashResumeKeepsCompletedRepetitions) {
+  const auto grid = small_grid();
+  const auto full_journal = temp_path("runner_reps_crash_full.jsonl");
+  std::filesystem::remove(full_journal);
+  auto options = options_with(1, full_journal);
+  options.reps = 2;
+  const auto first = run_campaign(grid, options);
+
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(full_journal);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4u);
+
+  const auto torn = temp_path("runner_reps_crash_torn.jsonl");
+  std::filesystem::remove(torn);
+  {
+    std::ofstream out(torn);
+    out << lines[0] << "\n" << lines[1] << "\n"
+        << lines[2].substr(0, lines[2].size() / 2);
+  }
+  auto resume_options = options_with(2, torn);
+  resume_options.reps = 2;
+  const auto resumed = run_campaign(grid, resume_options);
+  EXPECT_EQ(resumed.resumed, 2u);
+  EXPECT_EQ(resumed.executed, 2u);
+  // The two journaled cells keep their exact measured distribution; the
+  // re-run cells carry fresh 2-rep distributions.
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(harness::cell_result_to_json(resumed.cells[i]), lines[i]);
+  }
+  for (const auto& cell : resumed.cells) {
+    EXPECT_EQ(cell.host_ms.size(), 2u) << cell.key;
+  }
+}
+
+TEST(Runner, RepsSimulatedReportIsParallelismIndependent) {
+  // Host times differ run to run by nature; the acceptance bit-identity
+  // claim is about the simulated outputs. Strip host_ms and the reports
+  // must match across --parallelism even in methodology mode.
+  const auto grid = small_grid();
+  auto serial = options_with(1);
+  serial.reps = 2;
+  auto parallel = options_with(4);
+  parallel.reps = 2;
+  auto a = run_campaign(grid, serial);
+  auto b = run_campaign(grid, parallel);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (auto* result : {&a, &b}) {
+    for (auto& cell : result->cells) cell.host_ms.clear();
+  }
+  EXPECT_EQ(campaign_report_json(a), campaign_report_json(b));
+}
+
 TEST(Runner, JournalRecordsMatchReportCells) {
   const auto grid = small_grid();
   const auto journal = temp_path("runner_journal_schema.jsonl");

@@ -1,0 +1,73 @@
+// Repeated-measurement runner: warmup/rep accounting, Tukey outlier
+// flagging (flag, never drop), and the journal-side summarize_times path.
+#include "stats/repeat.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gb::stats {
+namespace {
+
+TEST(RepeatMeasure, RunsWarmupPlusTimedReps) {
+  int calls = 0;
+  const auto result = repeat_measure([&] { ++calls; },
+                                     {.warmup = 2, .reps = 3});
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(result.times_ms.size(), 3u);
+  EXPECT_EQ(result.stats.n, 3u);
+  for (const double t : result.times_ms) EXPECT_GE(t, 0.0);
+}
+
+TEST(RepeatMeasure, ZeroRepsCoercedToOne) {
+  int calls = 0;
+  const auto result = repeat_measure([&] { ++calls; },
+                                     {.warmup = 0, .reps = 0});
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(result.times_ms.size(), 1u);
+  // One rep: degenerate CI, mean == the single time.
+  const auto ci = result.mean_ci();
+  EXPECT_DOUBLE_EQ(ci.lo, result.stats.mean);
+  EXPECT_DOUBLE_EQ(ci.hi, result.stats.mean);
+}
+
+TEST(Outliers, TukeyFenceFlagsTheTail) {
+  // Five identical reps and one wild one: IQR is 0, so the fences sit on
+  // the quartile and the straggler is flagged.
+  const std::vector<double> times = {10.0, 10.0, 10.0, 10.0, 10.0, 100.0};
+  const auto flagged = flag_outliers(times, 3.0);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 5u);
+}
+
+TEST(Outliers, FlaggedNotDropped) {
+  const std::vector<double> times = {10.0, 10.0, 10.0, 10.0, 10.0, 100.0};
+  const auto result = summarize_times(times);
+  EXPECT_EQ(result.outliers.size(), 1u);
+  // The summary still covers every repetition — outliers are reported,
+  // never silently removed.
+  EXPECT_EQ(result.stats.n, 6u);
+  EXPECT_DOUBLE_EQ(result.stats.mean, 25.0);
+  EXPECT_DOUBLE_EQ(result.stats.max, 100.0);
+}
+
+TEST(Outliers, SmallAndRegularSamplesFlagNothing) {
+  EXPECT_TRUE(flag_outliers({1.0, 100.0}, 3.0).empty());  // n < 4
+  EXPECT_TRUE(flag_outliers({9.0, 10.0, 11.0, 10.0, 9.5}, 3.0).empty());
+  EXPECT_TRUE(flag_outliers({5.0, 5.0, 5.0, 5.0}, 3.0).empty());
+}
+
+TEST(SummarizeTimes, MatchesDescribeAndTInterval) {
+  const std::vector<double> times = {10.0, 12.0, 11.0, 13.0};
+  const auto result = summarize_times(times);
+  const auto d = describe(times);
+  EXPECT_DOUBLE_EQ(result.stats.mean, d.mean);
+  EXPECT_DOUBLE_EQ(result.stats.sd, d.sd);
+  const auto ci = result.mean_ci(0.99);
+  const auto expected = t_interval(d, 0.99);
+  EXPECT_DOUBLE_EQ(ci.lo, expected.lo);
+  EXPECT_DOUBLE_EQ(ci.hi, expected.hi);
+}
+
+}  // namespace
+}  // namespace gb::stats

@@ -1,0 +1,224 @@
+// Shared statistics layer (DESIGN.md §15): descriptive stats with the
+// unbiased n-1 variance, the repo-wide nearest-rank percentile rule
+// (golden-pinned on 1-, 2- and ties-heavy inputs), Student-t intervals
+// against closed-form table values, interval-overlap gates, and the
+// seeded BCa bootstrap's bit-identity at every pool size.
+#include "stats/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace gb::stats {
+namespace {
+
+TEST(Describe, UnbiasedSampleVariance) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  const auto d = describe(values);
+  EXPECT_EQ(d.n, 4u);
+  EXPECT_DOUBLE_EQ(d.mean, 2.5);
+  // Sum of squared deviations is 5.0; the n-1 divisor gives 5/3, where
+  // the population divisor would give 5/4 — the difference this layer
+  // exists to pin down.
+  EXPECT_DOUBLE_EQ(d.variance, 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(d.sd, std::sqrt(5.0 / 3.0));
+  EXPECT_DOUBLE_EQ(d.min, 1.0);
+  EXPECT_DOUBLE_EQ(d.max, 4.0);
+}
+
+TEST(Describe, SingleObservationHasZeroVariance) {
+  const std::vector<double> values = {7.5};
+  const auto d = describe(values);
+  EXPECT_EQ(d.n, 1u);
+  EXPECT_DOUBLE_EQ(d.mean, 7.5);
+  EXPECT_DOUBLE_EQ(d.variance, 0.0);
+  EXPECT_DOUBLE_EQ(d.sd, 0.0);
+}
+
+TEST(Describe, EmptyIsAllZero) {
+  const auto d = describe(std::span<const double>());
+  EXPECT_EQ(d.n, 0u);
+  EXPECT_DOUBLE_EQ(d.mean, 0.0);
+  EXPECT_DOUBLE_EQ(d.variance, 0.0);
+}
+
+TEST(NearestRank, RankRuleGolden) {
+  // ceil(q * n), clamped to [1, n].
+  EXPECT_EQ(nearest_rank(0, 0.5), 0u);
+  EXPECT_EQ(nearest_rank(1, 0.0), 1u);
+  EXPECT_EQ(nearest_rank(1, 0.5), 1u);
+  EXPECT_EQ(nearest_rank(1, 1.0), 1u);
+  EXPECT_EQ(nearest_rank(2, 0.5), 1u);   // ceil(1.0) = 1
+  EXPECT_EQ(nearest_rank(2, 0.51), 2u);  // ceil(1.02) = 2
+  EXPECT_EQ(nearest_rank(10, 0.50), 5u);
+  EXPECT_EQ(nearest_rank(10, 0.90), 9u);
+  EXPECT_EQ(nearest_rank(10, 0.91), 10u);
+  EXPECT_EQ(nearest_rank(10, 0.99), 10u);
+  EXPECT_EQ(nearest_rank(11, 0.50), 6u);
+  EXPECT_EQ(nearest_rank(11, 0.99), 11u);
+}
+
+TEST(Percentile, EmptySingleAndAllEqual) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 5.0, 5.0, 5.0}, 0.01), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 5.0, 5.0, 5.0}, 0.99), 5.0);
+}
+
+TEST(Percentile, TwoElementGolden) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 0.50), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 0.51), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 1.0), 2.0);
+}
+
+TEST(Percentile, TiesHeavyGolden) {
+  // Nine 1s and one 10: the tail value appears exactly past rank 9.
+  const std::vector<double> ties = {1, 1, 1, 1, 1, 1, 1, 1, 1, 10};
+  EXPECT_DOUBLE_EQ(percentile(ties, 0.50), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(ties, 0.90), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(ties, 0.91), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(ties, 0.99), 10.0);
+}
+
+TEST(Percentile, SortsItsInput) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(PercentileInterpolated, R7RuleGolden) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_interpolated(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_interpolated(values, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile_interpolated(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_interpolated(values, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(percentile_interpolated({42.0}, 0.9), 42.0);
+  EXPECT_DOUBLE_EQ(percentile_interpolated({}, 0.9), 0.0);
+}
+
+TEST(Intervals, ToleranceBandAndOverlap) {
+  const auto band = tolerance_interval(100.0, 0.05, 0.01);
+  EXPECT_DOUBLE_EQ(band.lo, 95.0);
+  EXPECT_DOUBLE_EQ(band.hi, 105.0);
+  EXPECT_DOUBLE_EQ(band.center, 100.0);
+
+  // The absolute floor governs when the relative band is smaller.
+  const auto floor_band = tolerance_interval(0.02, 0.05, 0.01);
+  EXPECT_DOUBLE_EQ(floor_band.lo, 0.01);
+  EXPECT_DOUBLE_EQ(floor_band.hi, 0.03);
+
+  // Negative values band around |v|.
+  const auto neg = tolerance_interval(-100.0, 0.05, 0.01);
+  EXPECT_DOUBLE_EQ(neg.lo, -105.0);
+  EXPECT_DOUBLE_EQ(neg.hi, -95.0);
+
+  Interval a{0.0, 1.0, 0.5, 0.0};
+  Interval b{1.0, 2.0, 1.5, 0.0};   // closed intervals: touching counts
+  Interval c{1.1, 2.0, 1.5, 0.0};
+  EXPECT_TRUE(overlaps(a, b));
+  EXPECT_TRUE(overlaps(b, a));
+  EXPECT_FALSE(overlaps(a, c));
+  EXPECT_FALSE(overlaps(c, a));
+}
+
+TEST(NormalQuantile, TableValues) {
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-7);
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.05), -1.644853627, 1e-7);
+  EXPECT_NEAR(normal_quantile(0.001), -3.090232306, 1e-6);
+}
+
+TEST(StudentT, CdfAndQuantileTableValues) {
+  EXPECT_DOUBLE_EQ(student_t_cdf(0.0, 5.0), 0.5);
+  // Classic two-sided 95% critical values.
+  EXPECT_NEAR(student_t_quantile(0.975, 1.0), 12.70620474, 1e-6);
+  EXPECT_NEAR(student_t_quantile(0.975, 2.0), 4.30265273, 1e-7);
+  EXPECT_NEAR(student_t_quantile(0.975, 4.0), 2.77644511, 1e-7);
+  EXPECT_NEAR(student_t_quantile(0.975, 9.0), 2.26215716, 1e-7);
+  EXPECT_NEAR(student_t_quantile(0.995, 9.0), 3.24983554, 1e-7);
+  // Symmetry and round-trip through the CDF.
+  EXPECT_NEAR(student_t_quantile(0.025, 4.0), -2.77644511, 1e-7);
+  EXPECT_NEAR(student_t_cdf(2.77644511, 4.0), 0.975, 1e-8);
+  EXPECT_DOUBLE_EQ(student_t_quantile(0.5, 7.0), 0.0);
+}
+
+TEST(TInterval, MatchesClosedForm) {
+  // {1..5}: mean 3, sd sqrt(2.5), n 5 → half-width t(0.975, 4) * sd/√5.
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto ci = t_interval(std::span<const double>(values), 0.95);
+  const double half = 2.7764451052 * std::sqrt(2.5) / std::sqrt(5.0);
+  EXPECT_NEAR(ci.lo, 3.0 - half, 1e-8);
+  EXPECT_NEAR(ci.hi, 3.0 + half, 1e-8);
+  EXPECT_DOUBLE_EQ(ci.center, 3.0);
+  EXPECT_DOUBLE_EQ(ci.confidence, 0.95);
+}
+
+TEST(TInterval, DegenerateSamplesCollapseToPoint) {
+  const std::vector<double> one = {4.2};
+  const auto single = t_interval(std::span<const double>(one));
+  EXPECT_DOUBLE_EQ(single.lo, 4.2);
+  EXPECT_DOUBLE_EQ(single.hi, 4.2);
+
+  const std::vector<double> constant = {4.2, 4.2, 4.2};
+  const auto flat = t_interval(std::span<const double>(constant));
+  EXPECT_DOUBLE_EQ(flat.lo, 4.2);
+  EXPECT_DOUBLE_EQ(flat.hi, 4.2);
+}
+
+std::vector<double> bootstrap_sample() {
+  // A deliberately skewed sample (mostly small, one heavy tail value) so
+  // the BCa bias/acceleration corrections are actually exercised.
+  return {1.2, 1.4, 1.1, 1.3, 9.0, 1.5, 1.2, 1.6, 1.4, 1.3,
+          1.1, 1.7, 1.2, 1.5, 1.3, 1.4, 1.2, 1.6, 1.1, 1.8};
+}
+
+TEST(Bootstrap, BitIdenticalAtEveryParallelism) {
+  const auto values = bootstrap_sample();
+  const auto serial =
+      bootstrap_mean(std::span<const double>(values), {}, nullptr);
+  for (const std::uint32_t threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    const auto parallel =
+        bootstrap_mean(std::span<const double>(values), {}, &pool);
+    EXPECT_EQ(parallel.lo, serial.lo) << threads << " threads";
+    EXPECT_EQ(parallel.hi, serial.hi) << threads << " threads";
+  }
+}
+
+TEST(Bootstrap, SeedChangesDrawsSameSeedRepeats) {
+  const auto values = bootstrap_sample();
+  BootstrapOptions options;
+  const auto a = bootstrap_mean(std::span<const double>(values), options);
+  const auto b = bootstrap_mean(std::span<const double>(values), options);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+  options.seed = 1234;
+  const auto c = bootstrap_mean(std::span<const double>(values), options);
+  EXPECT_TRUE(c.lo != a.lo || c.hi != a.hi);
+}
+
+TEST(Bootstrap, IntervalBracketsTheMeanOfADispersedSample) {
+  const auto values = bootstrap_sample();
+  const auto ci = bootstrap_mean(std::span<const double>(values));
+  EXPECT_LT(ci.lo, ci.center);
+  EXPECT_GT(ci.hi, ci.center);
+  EXPECT_DOUBLE_EQ(ci.center, describe(values).mean);
+}
+
+TEST(Bootstrap, DegenerateInputsCollapseToPoint) {
+  const std::vector<double> one = {3.0};
+  const auto single = bootstrap_mean(std::span<const double>(one));
+  EXPECT_DOUBLE_EQ(single.lo, 3.0);
+  EXPECT_DOUBLE_EQ(single.hi, 3.0);
+
+  const std::vector<double> constant = {2.0, 2.0, 2.0, 2.0};
+  const auto flat = bootstrap_mean(std::span<const double>(constant));
+  EXPECT_DOUBLE_EQ(flat.lo, 2.0);
+  EXPECT_DOUBLE_EQ(flat.hi, 2.0);
+}
+
+}  // namespace
+}  // namespace gb::stats

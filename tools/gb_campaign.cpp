@@ -24,6 +24,7 @@
 #include "harness/report.h"
 #include "partition/strategy.h"
 #include "platforms/platform.h"
+#include "stats/repeat.h"
 
 #include "flag_parse.h"
 
@@ -64,6 +65,12 @@ using namespace gb;
          "(default 1)\n"
          "  --max-attempts N       bounded retry for faulted cells "
          "(default 1)\n"
+         "  --reps N               timed repetitions per cell; >1 records "
+         "the host-time\n"
+         "                         distribution and reports mean ± 95% CI "
+         "(default 1)\n"
+         "  --warmup N             untimed warmup runs before the timed "
+         "reps (default 0)\n"
          "  --journal FILE         resumable JSONL journal; already-done "
          "cells are skipped\n"
          "  --cache-dir DIR        dataset disk cache directory\n"
@@ -244,6 +251,10 @@ int main(int argc, char** argv) {
       options.cell_parallelism = parse_u32(value(), "--cell-parallelism");
     } else if (arg == "--max-attempts") {
       options.max_attempts = parse_u32(value(), "--max-attempts", 1);
+    } else if (arg == "--reps") {
+      options.reps = parse_u32(value(), "--reps", 1);
+    } else if (arg == "--warmup") {
+      options.warmup = parse_u32(value(), "--warmup");
     } else if (arg == "--journal") {
       options.journal_path = value();
     } else if (arg == "--cache-dir") {
@@ -323,6 +334,25 @@ int main(int argc, char** argv) {
             << " failed\n";
   std::cerr << "datasets: " << result.dataset_loads << " loaded, "
             << result.dataset_hits << " cache hits\n";
+
+  if (options.reps > 1 || options.warmup > 0) {
+    // Methodology summary (DESIGN.md §15): per-cell host-time mean with a
+    // 95% Student-t confidence interval over the timed repetitions.
+    std::cerr << "host time: " << options.warmup << " warmup + "
+              << options.reps << " timed rep(s) per cell, 95% t-CI:\n";
+    for (const auto& cell : result.cells) {
+      if (cell.host_ms.empty()) continue;
+      const auto repeated = stats::summarize_times(cell.host_ms);
+      const auto ci = repeated.mean_ci();
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  %s: %.3f ms ± [%.3f, %.3f] (sd %.3f, n=%zu%s)",
+                    cell.key.c_str(), repeated.stats.mean, ci.lo, ci.hi,
+                    repeated.stats.sd, repeated.times_ms.size(),
+                    repeated.outliers.empty() ? "" : ", outliers flagged");
+      std::cerr << line << "\n";
+    }
+  }
 
   if (!out_path.empty()) {
     const std::string report = campaign::campaign_report_json(result);

@@ -3,12 +3,17 @@
 //
 //   gb_datagen --dataset DotaLeague --scale 0.01 --text dota.txt
 //   gb_datagen --dataset Synth --binary synth.gbin
+//   gb_datagen --audit --scale 0.01          # realism audit vs Table 2
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/graph_io.h"
 #include "core/graph_stats.h"
+#include "core/thread_pool.h"
 #include "datasets/catalog.h"
 
 #include "flag_parse.h"
@@ -21,7 +26,19 @@ namespace {
   if (msg != nullptr) std::cerr << "error: " << msg << "\n\n";
   std::cerr << "usage: gb_datagen --dataset NAME [--scale S] [--seed S]\n"
                "                  [--text FILE] [--snap FILE] "
-               "[--binary FILE] [--degrees]\n";
+               "[--binary FILE] [--degrees]\n"
+               "       gb_datagen --audit [--dataset NAME] [--scale S] "
+               "[--seed S]\n"
+               "                  [--audit-tolerance R]\n"
+               "\n"
+               "--audit generates each catalog dataset (all of them when\n"
+               "--dataset is omitted) and reports structural realism vs the\n"
+               "paper's Table 2: average degree and link density drift\n"
+               "(size-adjusted, so a scaled-down instance is compared to\n"
+               "what Table 2 implies at that size), plus degree skewness,\n"
+               "Gini, and average local clustering. Exits 1 when any\n"
+               "dataset's degree/density drift exceeds --audit-tolerance\n"
+               "(relative, default 0.25).\n";
   std::exit(2);
 }
 
@@ -49,6 +66,92 @@ std::uint64_t parse_u64(const std::string& text, const char* flag) {
   return *parsed;
 }
 
+/// Dataset-realism audit vs the paper's Table 2 (DESIGN.md §15). The
+/// density comparison is size-adjusted: for both directedness
+/// conventions d = D / (#V - 1) exactly, so Table 2's density column
+/// implies d_expected(n) = d_paper * (V_paper - 1) / (n - 1) at a
+/// measured size n — comparing a smoke-scale instance to the raw paper
+/// density would just measure 1/n, not generator fidelity.
+int run_audit(const std::vector<const gb::datasets::DatasetInfo*>& metas,
+              double scale, std::uint64_t seed, double tolerance) {
+  using namespace gb;
+  ThreadPool pool;
+  std::printf(
+      "dataset realism audit vs Table 2 (scale %s, seed %llu, "
+      "tolerance %.0f%%)\n",
+      scale > 0.0 ? std::to_string(scale).c_str() : "catalog default",
+      static_cast<unsigned long long>(seed), tolerance * 100.0);
+  int failures = 0;
+  for (const auto* meta : metas) {
+    const auto ds = datasets::generate(meta->id, scale, seed);
+    const auto summary = summarize(ds.graph);
+    const auto deg = degree_distribution(ds.graph);
+    const double lcc = average_lcc(ds.graph, &pool);
+    const double n = static_cast<double>(summary.num_vertices);
+
+    const double degree_drift =
+        meta->paper_avg_degree > 0.0
+            ? (summary.average_degree - meta->paper_avg_degree) /
+                  meta->paper_avg_degree
+            : 0.0;
+    const double expected_density =
+        n > 1.0 ? meta->paper_density *
+                      (static_cast<double>(meta->paper_vertices) - 1.0) /
+                      (n - 1.0)
+                : 0.0;
+    const double density_drift =
+        expected_density > 0.0
+            ? (summary.link_density - expected_density) / expected_density
+            : 0.0;
+
+    const bool directed_ok = summary.directed == meta->directed;
+    // A dense dataset shrunk below its paper degree cannot represent it:
+    // DotaLeague's D = 1663 needs at least 1664 vertices. The structural
+    // metrics are still reported, but the degree/density gate would only
+    // measure the scale choice, so it is skipped.
+    const bool feasible = meta->paper_avg_degree <= n - 1.0;
+    const bool within = directed_ok &&
+                        (!feasible || (std::abs(degree_drift) <= tolerance &&
+                                       std::abs(density_drift) <= tolerance));
+    if (!within) ++failures;
+
+    std::printf("  %-11s V=%llu E=%llu\n", ds.name.c_str(),
+                static_cast<unsigned long long>(summary.num_vertices),
+                static_cast<unsigned long long>(summary.num_edges));
+    std::printf("    avg degree %.4g vs paper %.4g (%+.1f%%)\n",
+                summary.average_degree, meta->paper_avg_degree,
+                degree_drift * 100.0);
+    std::printf("    density    %.4g vs Table-2-at-size %.4g (%+.1f%%)\n",
+                summary.link_density, expected_density,
+                density_drift * 100.0);
+    std::printf(
+        "    degree skewness %.3g  gini %.3f  p99/max %llu/%llu  "
+        "avg LCC %.4f\n",
+        deg.skewness, deg.gini, static_cast<unsigned long long>(deg.p99),
+        static_cast<unsigned long long>(deg.max_degree), lcc);
+    if (!directed_ok) {
+      std::printf("    DRIFT: directedness changed (paper: %s)\n",
+                  meta->directed ? "directed" : "undirected");
+    }
+    if (!feasible) {
+      std::printf(
+          "    note: paper degree %.4g infeasible at %llu vertices; "
+          "degree/density gate skipped\n",
+          meta->paper_avg_degree,
+          static_cast<unsigned long long>(summary.num_vertices));
+    }
+    std::printf("    %s\n", within ? "[ok]" : "[DRIFT]");
+  }
+  if (failures > 0) {
+    std::printf("audit: %d of %zu dataset(s) drifted beyond %.0f%%\n",
+                failures, metas.size(), tolerance * 100.0);
+    return 1;
+  }
+  std::printf("audit: all %zu dataset(s) within %.0f%% of Table 2\n",
+              metas.size(), tolerance * 100.0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,6 +163,8 @@ int main(int argc, char** argv) {
   std::string snap_path;
   std::string binary_path;
   bool degrees = false;
+  bool audit = false;
+  double audit_tolerance = 0.25;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -81,12 +186,32 @@ int main(int argc, char** argv) {
       binary_path = value();
     } else if (arg == "--degrees") {
       degrees = true;
+    } else if (arg == "--audit") {
+      audit = true;
+    } else if (arg == "--audit-tolerance") {
+      audit_tolerance = parse_double(value(), "--audit-tolerance", 0.0);
     } else if (arg == "--help" || arg == "-h") {
       usage();
     } else {
       usage(("unknown option '" + arg + "'").c_str());
     }
   }
+  if (audit) {
+    std::vector<const datasets::DatasetInfo*> metas;
+    if (dataset_name.empty()) {
+      for (const auto id : datasets::all_datasets()) {
+        metas.push_back(&datasets::info(id));
+      }
+    } else {
+      const auto* one = datasets::find_info(dataset_name);
+      if (one == nullptr) {
+        usage(("unknown dataset '" + dataset_name + "'").c_str());
+      }
+      metas.push_back(one);
+    }
+    return run_audit(metas, scale, seed, audit_tolerance);
+  }
+
   if (dataset_name.empty()) usage("--dataset is required");
   const auto* meta = datasets::find_info(dataset_name);
   if (meta == nullptr) usage(("unknown dataset '" + dataset_name + "'").c_str());
@@ -109,6 +234,7 @@ int main(int argc, char** argv) {
               << d.p50 << " / " << d.p90 << " / " << d.p99 << " / "
               << d.max_degree << "\n"
               << "  mean:        " << d.mean << "\n"
+              << "  skewness:    " << d.skewness << "\n"
               << "  gini:        " << d.gini << "\n"
               << "  sum(deg^2):  " << d.sum_squared_degree
               << "  (neighborhood-exchange volume in id entries)\n";
